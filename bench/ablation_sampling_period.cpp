@@ -1,0 +1,42 @@
+// Ablation: how the probing period biases what the sampling methodology can
+// see. The paper's 15-minute grain misses ~30% of power cycles (§5.2.2) and
+// over-estimates mean session length; shorter periods close the gap on the
+// SMART ground truth, longer ones widen it.
+#include "bench_common.hpp"
+
+#include "labmon/trace/sessions.hpp"
+#include "labmon/util/strings.hpp"
+#include "labmon/util/table.hpp"
+
+int main() {
+  using namespace labmon;
+  bench::Banner("Ablation: sampling period vs detected machine sessions");
+
+  util::AsciiTable table(
+      "Same campus behaviour, different probing period (seed fixed)");
+  table.SetHeader({"Period (min)", "Iterations", "Samples", "Sessions seen",
+                   "SMART cycles", "Cycle excess (%)", "Mean session (h)"});
+  for (const int minutes : {5, 15, 30, 60}) {
+    auto config = bench::BenchConfig();
+    config.campus.days = std::min(bench::BenchDays(), 21);
+    config.collector.period = minutes * util::kSecondsPerMinute;
+    const auto result = core::Experiment::Run(config);
+    const auto sessions = trace::ReconstructSessions(result.trace);
+    const auto smart = analysis::ComputeSmartStats(
+        result.trace, sessions.size(), config.campus.days);
+    const auto stats = analysis::ComputeSessionStats(sessions);
+    table.AddRow({std::to_string(minutes),
+                  std::to_string(result.run_stats.iterations),
+                  util::FormatWithThousands(
+                      static_cast<std::int64_t>(result.trace.size())),
+                  std::to_string(sessions.size()),
+                  std::to_string(smart.experiment_cycles),
+                  util::FormatFixed(smart.cycle_excess_over_sessions_pct, 1),
+                  util::FormatFixed(stats.mean_hours, 2)});
+  }
+  std::cout << table.Render();
+  std::cout << "\nPaper (15-minute period): 10,688 sessions vs 13,871 SMART "
+               "cycles (+30%).\nShorter periods catch more of the short "
+               "cycles; 60-minute sampling misses most reboots.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Shared plumbing for the reproduction benches: every bench runs the full
+// experiment (77 simulated days by default; override with LABMON_BENCH_DAYS)
+// and prints its table/figure as "measured vs paper".
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "labmon/core/experiment.hpp"
+#include "labmon/core/report.hpp"
+
+namespace labmon::bench {
+
+inline int BenchDays() {
+  if (const char* env = std::getenv("LABMON_BENCH_DAYS")) {
+    const int days = std::atoi(env);
+    if (days > 0) return days;
+  }
+  return 77;
+}
+
+inline std::uint64_t BenchSeed() {
+  if (const char* env = std::getenv("LABMON_BENCH_SEED")) {
+    return static_cast<std::uint64_t>(std::atoll(env));
+  }
+  return 20050201;
+}
+
+inline core::ExperimentConfig BenchConfig() {
+  core::ExperimentConfig config;
+  config.campus.days = BenchDays();
+  config.campus.seed = BenchSeed();
+  return config;
+}
+
+inline void Banner(const std::string& title) {
+  std::cout << std::string(72, '=') << '\n'
+            << title << '\n'
+            << "(" << BenchDays()
+            << " simulated days, 169 machines, 15-minute sampling)\n"
+            << std::string(72, '=') << "\n\n";
+}
+
+}  // namespace labmon::bench

@@ -1,0 +1,68 @@
+// Reproduces §5.1's discussion: classroom machines vs the corporate desktop
+// environment of Bolosky et al. / Douceur. The same behavioural engine runs
+// both scenarios; the contrast the paper draws — corporate machines have
+// far higher uptime ratios (>60% above one nine) and higher CPU usage
+// (~15%, inflated by always-busy compute boxes), while classroom machines
+// are volatile and almost fully idle — must emerge from the presets.
+#include "bench_common.hpp"
+
+#include "labmon/util/strings.hpp"
+#include "labmon/util/table.hpp"
+
+int main() {
+  using namespace labmon;
+  bench::Banner("Scenario comparison: classroom (paper) vs corporate (§5.1)");
+
+  const int days = std::min(bench::BenchDays(), 28);
+  util::AsciiTable table("Same engine, two behavioural presets (" +
+                         std::to_string(days) + " days)");
+  table.SetHeader({"Metric", "Classroom", "Corporate", "Paper says"});
+
+  struct Row {
+    core::ExperimentResult result;
+    analysis::UptimeRanking ranking;
+    analysis::Table2Result table2;
+  };
+  const auto run = [&](workload::CampusConfig campus) {
+    campus.days = days;
+    core::ExperimentConfig config;
+    config.campus = campus;
+    Row row{core::Experiment::Run(config), {}, {}};
+    row.ranking = analysis::ComputeUptimeRanking(row.result.trace);
+    row.table2 = analysis::ComputeTable2(row.result.trace);
+    return row;
+  };
+  const Row classroom = run(workload::PaperCampusConfig());
+  const Row corporate = run(workload::CorporateCampusConfig());
+
+  const auto pct = [](double v) { return util::FormatFixed(v, 1); };
+  const auto nine_share = [](const analysis::UptimeRanking& r) {
+    return 100.0 * static_cast<double>(r.machines_above_09) /
+           static_cast<double>(std::max<std::size_t>(1, r.entries.size()));
+  };
+
+  table.AddRow({"Mean uptime (%)", pct(classroom.table2.both.uptime_pct),
+                pct(corporate.table2.both.uptime_pct),
+                "corporate much higher"});
+  table.AddRow({"Machines above one nine (>0.9) (%)",
+                pct(nine_share(classroom.ranking)),
+                pct(nine_share(corporate.ranking)),
+                ">60% corporate, ~0% classroom"});
+  table.AddRow({"Machines above 0.5 ratio",
+                std::to_string(classroom.ranking.machines_above_half),
+                std::to_string(corporate.ranking.machines_above_half),
+                "classroom: only 30 of 169"});
+  table.AddRow({"Mean CPU idleness (%)",
+                pct(classroom.table2.both.cpu_idle_pct),
+                pct(corporate.table2.both.cpu_idle_pct),
+                "97.9 classroom, ~85 corporate (Bolosky ~15% usage)"});
+  table.AddRow({"Occupied share of attempts (%)",
+                pct(classroom.table2.with_login.uptime_pct),
+                pct(corporate.table2.with_login.uptime_pct), "-"});
+  std::cout << table.Render();
+  std::cout << "\nThe contrast is behavioural, not hard-coded: the corporate "
+               "preset removes\nclosing sweeps and classes, makes most boxes "
+               "owner-sticky, and adds a 10%\npopulation of always-busy "
+               "compute machines.\n";
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Figure 2 — login samples grouped by relative session hour; the
+// justification of the 10-hour forgotten-login threshold.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace labmon;
+  bench::Banner("Figure 2: interactive sessions by relative hour since logon");
+  const auto result = core::Experiment::Run(bench::BenchConfig());
+  const core::Report report(result);
+  std::cout << report.Figure2();
+  return 0;
+}

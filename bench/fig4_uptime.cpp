@@ -1,0 +1,12 @@
+// Reproduces Figure 4 — left: per-machine uptime ratio + nines; right:
+// distribution of machine-session lengths.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace labmon;
+  bench::Banner("Figure 4: uptime ratio / nines and session-length distribution");
+  const auto result = core::Experiment::Run(bench::BenchConfig());
+  const core::Report report(result);
+  std::cout << report.Figure4();
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Figure 5 — weekly distribution of CPU idleness, RAM/SWAP load
+// (left plot) and network rates (right plot).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace labmon;
+  bench::Banner("Figure 5: weekly distribution of resource usage");
+  const auto result = core::Experiment::Run(bench::BenchConfig());
+  const core::Report report(result);
+  std::cout << report.Figure5();
+  return 0;
+}

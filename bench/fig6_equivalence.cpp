@@ -1,0 +1,12 @@
+// Reproduces Figure 6 / §5.4 — the cluster-equivalence ratio and the 2:1
+// rule of Arpaci et al.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace labmon;
+  bench::Banner("Figure 6: weekly cluster-equivalence ratio (2:1 rule)");
+  const auto result = core::Experiment::Run(bench::BenchConfig());
+  const core::Report report(result);
+  std::cout << report.Figure6();
+  return 0;
+}

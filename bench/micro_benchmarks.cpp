@@ -1,0 +1,199 @@
+// google-benchmark microbenchmarks of the infrastructure hot paths: probe
+// formatting/parsing, behavioural simulation throughput, interval
+// derivation, analysis aggregation, and the NBench kernels themselves.
+#include <benchmark/benchmark.h>
+
+#include "labmon/analysis/aggregate.hpp"
+#include "labmon/core/experiment.hpp"
+#include "labmon/ddc/w32_probe.hpp"
+#include "labmon/nbench/nbench.hpp"
+#include "labmon/smart/attributes.hpp"
+#include "labmon/stats/running_stats.hpp"
+#include "labmon/trace/binary_io.hpp"
+#include "labmon/trace/intervals.hpp"
+#include "labmon/util/rng.hpp"
+#include "labmon/winsim/paper_specs.hpp"
+#include "labmon/workload/driver.hpp"
+
+namespace {
+
+using namespace labmon;
+
+winsim::Machine BenchMachine() {
+  winsim::MachineSpec spec;
+  spec.name = "L01-PC01";
+  spec.lab = "L01";
+  spec.cpu_model = "Pentium 4";
+  spec.cpu_ghz = 2.4;
+  spec.ram_mb = 512;
+  spec.swap_mb = 768;
+  spec.disk_gb = 74.5;
+  spec.mac = "00:0C:AA:BB:CC:DD";
+  spec.disk_serial = "WD-BENCH0001";
+  return winsim::Machine(0, spec, smart::DiskSmart("WD-BENCH0001", 5000, 800));
+}
+
+void BM_ProbeFormat(benchmark::State& state) {
+  auto machine = BenchMachine();
+  machine.Boot(0);
+  machine.Login("a000001", 10);
+  util::SimTime t = 0;
+  for (auto _ : state) {
+    t += 900;
+    machine.AdvanceTo(t);
+    benchmark::DoNotOptimize(ddc::FormatW32ProbeOutput(machine));
+  }
+}
+BENCHMARK(BM_ProbeFormat);
+
+void BM_ProbeParse(benchmark::State& state) {
+  auto machine = BenchMachine();
+  machine.Boot(0);
+  machine.AdvanceTo(900);
+  const std::string text = ddc::FormatW32ProbeOutput(machine);
+  for (auto _ : state) {
+    auto parsed = ddc::ParseW32ProbeOutput(text);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_ProbeParse);
+
+void BM_SmartEncodeDecode(benchmark::State& state) {
+  smart::DiskSmart disk("WD-BENCH0001", 5000, 800);
+  for (auto _ : state) {
+    const auto block = disk.Snapshot().Encode();
+    auto decoded = smart::AttributeTable::Decode(block);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_SmartEncodeDecode);
+
+void BM_MachineAdvance(benchmark::State& state) {
+  auto machine = BenchMachine();
+  machine.Boot(0);
+  machine.SetCpuBusyFraction(0.05);
+  machine.SetNetRates(250, 355);
+  util::SimTime t = 0;
+  for (auto _ : state) {
+    t += 900;
+    machine.AdvanceTo(t);
+    benchmark::DoNotOptimize(machine.IdleThreadSeconds());
+  }
+}
+BENCHMARK(BM_MachineAdvance);
+
+void BM_WorkloadSimulationDay(benchmark::State& state) {
+  // Cost of simulating one behavioural day of the whole 169-machine campus.
+  for (auto _ : state) {
+    state.PauseTiming();
+    util::Rng rng(7);
+    winsim::Fleet fleet = winsim::MakePaperFleet(rng);
+    workload::CampusConfig config;
+    config.days = 1;
+    workload::WorkloadDriver driver(fleet, config);
+    state.ResumeTiming();
+    driver.FinishAt(config.EndTime());
+    benchmark::DoNotOptimize(driver.ground_truth().boots);
+  }
+}
+BENCHMARK(BM_WorkloadSimulationDay)->Unit(benchmark::kMillisecond);
+
+void BM_FullExperimentDay(benchmark::State& state) {
+  // Simulation + collection + post-collect parse, per simulated day.
+  for (auto _ : state) {
+    core::ExperimentConfig config;
+    config.campus.days = static_cast<int>(state.range(0));
+    auto result = core::Experiment::Run(config);
+    benchmark::DoNotOptimize(result.trace.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 96 * 169);
+}
+BENCHMARK(BM_FullExperimentDay)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_IntervalDerivation(benchmark::State& state) {
+  core::ExperimentConfig config;
+  config.campus.days = 3;
+  const auto result = core::Experiment::Run(config);
+  for (auto _ : state) {
+    std::size_t count = 0;
+    trace::ForEachInterval(result.trace, {},
+                           [&](const trace::SampleInterval&) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(result.trace.size()));
+}
+BENCHMARK(BM_IntervalDerivation)->Unit(benchmark::kMillisecond);
+
+void BM_Table2Aggregation(benchmark::State& state) {
+  core::ExperimentConfig config;
+  config.campus.days = 3;
+  const auto result = core::Experiment::Run(config);
+  for (auto _ : state) {
+    auto table2 = analysis::ComputeTable2(result.trace);
+    benchmark::DoNotOptimize(table2.both.cpu_idle_pct);
+  }
+}
+BENCHMARK(BM_Table2Aggregation)->Unit(benchmark::kMillisecond);
+
+void BM_RunningStats(benchmark::State& state) {
+  util::Rng rng(3);
+  std::vector<double> data(100000);
+  for (auto& v : data) v = rng.Uniform();
+  for (auto _ : state) {
+    stats::RunningStats s;
+    for (const double v : data) s.Add(v);
+    benchmark::DoNotOptimize(s.variance());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_RunningStats);
+
+void BM_BinaryTraceSerialize(benchmark::State& state) {
+  core::ExperimentConfig config;
+  config.campus.days = 2;
+  const auto result = core::Experiment::Run(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::SerializeTrace(result.trace));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(result.trace.size()));
+}
+BENCHMARK(BM_BinaryTraceSerialize)->Unit(benchmark::kMillisecond);
+
+void BM_BinaryTraceDeserialize(benchmark::State& state) {
+  core::ExperimentConfig config;
+  config.campus.days = 2;
+  const auto result = core::Experiment::Run(config);
+  const std::string bytes = trace::SerializeTrace(result.trace);
+  for (auto _ : state) {
+    auto restored = trace::DeserializeTrace(bytes);
+    benchmark::DoNotOptimize(restored);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_BinaryTraceDeserialize)->Unit(benchmark::kMillisecond);
+
+void BM_Xoshiro(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextU64());
+  }
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_NBenchKernel(benchmark::State& state) {
+  const auto id = static_cast<nbench::KernelId>(state.range(0));
+  state.SetLabel(nbench::KernelName(id));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nbench::RunKernelOnce(id, seed++));
+  }
+}
+BENCHMARK(BM_NBenchKernel)->DenseRange(0, 9)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

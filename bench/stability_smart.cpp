@@ -1,0 +1,17 @@
+// Reproduces §5.2 — machine stability: sampled sessions (5.2.1) vs SMART
+// power-cycle ground truth (5.2.2), including the whole-disk-life
+// uptime-per-cycle estimate.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace labmon;
+  bench::Banner("Sections 5.2.1/5.2.2: machine sessions and SMART power cycles");
+  const auto result = core::Experiment::Run(bench::BenchConfig());
+  const core::Report report(result);
+  std::cout << report.Stability() << '\n';
+  std::cout << "ground truth: " << result.ground_truth.boots << " boots, "
+            << result.ground_truth.short_cycles
+            << " short (<15 min) power cycles invisible at the sampling "
+               "period\n";
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Reproduces Table 1 — "Main characteristics of machines" — and, because the
+// authors gathered the INT/FP indexes with a DDC benchmark probe, also runs
+// the real NBench kernel suite on this host to show the measurement path.
+#include "bench_common.hpp"
+
+#include "labmon/ddc/nbench_probe.hpp"
+
+int main() {
+  using namespace labmon;
+  bench::Banner("Table 1: machine inventory + NBench indexes");
+  const auto result = core::Experiment::Run(bench::BenchConfig());
+  const core::Report report(result);
+  std::cout << report.Table1() << '\n';
+
+  std::cout << "NBench benchmark probe executed on this host (the same suite\n"
+               "the authors ran via DDC; indexes are relative to the built-in\n"
+               "baseline machine, not comparable with Table 1's 2005 boxes):\n";
+  nbench::SuiteConfig quick;
+  quick.min_seconds_per_kernel = 0.05;
+  std::cout << ddc::NBenchProbe::RunOnHost("localhost", quick);
+  return 0;
+}

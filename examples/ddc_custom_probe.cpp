@@ -1,0 +1,146 @@
+// ddc_custom_probe: extending the DDC framework with a user-defined probe
+// and post-collect code — the workflow §3 describes ("the possibility of
+// tailoring the probe to our monitoring needs").
+//
+// The custom probe reports only disk health (SMART attribute table, hex
+// encoded like a real pass-through read) and the post-collect sink decodes
+// the 512-byte block, verifies its checksum, and tallies fleet-wide disk
+// statistics.
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "labmon/ddc/coordinator.hpp"
+#include "labmon/smart/attributes.hpp"
+#include "labmon/util/strings.hpp"
+#include "labmon/winsim/paper_specs.hpp"
+#include "labmon/workload/driver.hpp"
+
+namespace {
+
+using namespace labmon;
+
+/// A probe that dumps the disk's SMART block as hex (smartctl-style raw).
+class DiskHealthProbe final : public ddc::Probe {
+ public:
+  const char* name() const noexcept override { return "diskhealth.exe"; }
+
+  std::string Execute(winsim::Machine& machine, util::SimTime t) override {
+    machine.AdvanceTo(t);
+    const auto block = machine.DiskSmartData().Snapshot().Encode();
+    std::ostringstream out;
+    out << "DISKHEALTH 1.0\n";
+    out << "host: " << machine.spec().name << '\n';
+    out << "serial: " << machine.spec().disk_serial << '\n';
+    out << "smart_block: ";
+    out << std::hex << std::setfill('0');
+    for (const auto byte : block) {
+      out << std::setw(2) << static_cast<unsigned>(byte);
+    }
+    out << '\n';
+    return out.str();
+  }
+};
+
+/// Post-collect code: decode the hex block, verify, aggregate.
+class DiskHealthSink final : public ddc::SampleSink {
+ public:
+  void OnSample(const ddc::CollectedSample& sample) override {
+    if (!sample.outcome.ok()) {
+      ++unreachable_;
+      return;
+    }
+    const auto& text = sample.outcome.stdout_text;
+    const auto pos = text.find("smart_block: ");
+    if (pos == std::string::npos) {
+      ++rejected_;
+      return;
+    }
+    const auto hex_view =
+        util::Trim(std::string_view(text).substr(pos + 13));
+    std::vector<std::uint8_t> block;
+    block.reserve(hex_view.size() / 2);
+    for (std::size_t i = 0; i + 1 < hex_view.size(); i += 2) {
+      const auto hi = HexDigit(hex_view[i]);
+      const auto lo = HexDigit(hex_view[i + 1]);
+      if (hi < 0 || lo < 0) {
+        ++rejected_;
+        return;
+      }
+      block.push_back(static_cast<std::uint8_t>(hi * 16 + lo));
+    }
+    const auto table = smart::AttributeTable::Decode(block);
+    if (!table.ok()) {
+      ++rejected_;
+      return;
+    }
+    ++decoded_;
+    const auto hours = table.value().RawOf(smart::AttributeId::kPowerOnHours);
+    const auto cycles =
+        table.value().RawOf(smart::AttributeId::kPowerCycleCount);
+    total_power_on_hours_ += hours;
+    total_cycles_ += cycles;
+    if (cycles > 0) {
+      ratio_sum_ += static_cast<double>(hours) / static_cast<double>(cycles);
+      ++ratio_count_;
+    }
+  }
+
+  void Report() const {
+    std::cout << "decoded SMART blocks: " << decoded_ << " (rejected "
+              << rejected_ << ", unreachable " << unreachable_ << ")\n";
+    if (decoded_ == 0) return;
+    std::cout << "fleet mean power-on hours: "
+              << util::FormatFixed(
+                     static_cast<double>(total_power_on_hours_) /
+                         static_cast<double>(decoded_), 0)
+              << ", mean power cycles: "
+              << util::FormatFixed(static_cast<double>(total_cycles_) /
+                                       static_cast<double>(decoded_), 0)
+              << ", mean lifetime uptime/cycle: "
+              << util::FormatFixed(ratio_count_ ? ratio_sum_ / ratio_count_
+                                                : 0.0, 2)
+              << " h (paper §5.2.2: 6.46 h)\n";
+  }
+
+ private:
+  static int HexDigit(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  }
+
+  std::uint64_t decoded_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t unreachable_ = 0;
+  std::uint64_t total_power_on_hours_ = 0;
+  std::uint64_t total_cycles_ = 0;
+  double ratio_sum_ = 0.0;
+  std::uint64_t ratio_count_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "Custom DDC probe demo: one day of hourly disk-health probing\n\n";
+  util::Rng rng(20050201);
+  winsim::Fleet fleet = winsim::MakePaperFleet(rng);
+  workload::CampusConfig campus;
+  campus.days = 1;
+  workload::WorkloadDriver driver(fleet, campus);
+
+  DiskHealthProbe probe;
+  DiskHealthSink sink;
+  ddc::CoordinatorConfig config;
+  config.period = util::kSecondsPerHour;  // custom cadence for a custom probe
+  ddc::Coordinator coordinator(
+      fleet, probe, config, sink,
+      [&driver](util::SimTime t) { driver.AdvanceTo(t); });
+  const auto stats = coordinator.Run(0, campus.EndTime());
+
+  std::cout << "iterations: " << stats.iterations << ", attempts "
+            << stats.attempts << ", successes " << stats.successes << "\n";
+  sink.Report();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// fleet_report: the full 77-day reproduction. Prints every table/figure of
+// the paper (measured vs published) and exports figure data as CSV.
+//
+//   $ ./fleet_report [output_dir] [days] [seed] [scenario.ini]
+#include <cstdlib>
+#include <iostream>
+
+#include "labmon/core/experiment.hpp"
+#include "labmon/core/report.hpp"
+#include "labmon/trace/binary_io.hpp"
+#include "labmon/workload/config_io.hpp"
+#include "labmon/util/log.hpp"
+#include "labmon/util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace labmon;
+  util::log::SetLevel(util::log::Level::kInfo);
+
+  const std::string out_dir = argc > 1 ? argv[1] : "report_out";
+  core::ExperimentConfig config;
+  if (argc > 2) config.campus.days = std::atoi(argv[2]);
+  if (argc > 3) {
+    config.campus.seed = static_cast<std::uint64_t>(std::atoll(argv[3]));
+  }
+  if (argc > 4) {
+    auto loaded = workload::LoadCampusConfig(argv[4], config.campus);
+    if (!loaded.ok()) {
+      std::cerr << "scenario file error: " << loaded.error() << '\n';
+      return 1;
+    }
+    config.campus = loaded.value();
+    std::cout << "scenario overrides loaded from " << argv[4] << "\n";
+  }
+
+  const auto result = core::Experiment::Run(config);
+  const core::Report report(result);
+
+  std::cout << report.FullReport() << '\n';
+
+  std::cout << "--- run summary ---\n";
+  std::cout << "iterations: " << result.run_stats.iterations
+            << " (paper: 6883), attempts: " << result.run_stats.attempts
+            << ", samples: " << result.trace.size() << " (paper: 583653)\n";
+  std::cout << "response rate: "
+            << util::FormatFixed(100.0 * result.run_stats.ResponseRate(), 1)
+            << "% (paper: 50.2%)\n";
+  std::cout << "mean iteration: "
+            << util::FormatFixed(result.run_stats.mean_iteration_s / 60.0, 2)
+            << " min (paper: 16.1 = 110880/6883)\n";
+  std::cout << "ground truth: " << result.ground_truth.boots << " boots ("
+            << result.ground_truth.short_cycles << " short cycles), "
+            << result.ground_truth.TotalLogins() << " logins ("
+            << result.ground_truth.forgotten_sessions << " forgotten)\n";
+
+  if (const auto err = report.WriteCsvFiles(out_dir); !err.empty()) {
+    std::cerr << "CSV export failed: " << err << '\n';
+    return 1;
+  }
+  const std::string trace_path = out_dir + "/trace.lmtr";
+  if (const auto saved = trace::WriteTraceFile(trace_path, result.trace);
+      !saved.ok()) {
+    std::cerr << "trace export failed: " << saved.error() << '\n';
+    return 1;
+  }
+  std::cout << "figure data written to " << out_dir
+            << "/, full trace to " << trace_path
+            << " (explore it with trace_explorer)\n";
+  return 0;
+}

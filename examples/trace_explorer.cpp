@@ -1,0 +1,116 @@
+// trace_explorer: offline analysis of a saved monitoring trace — the
+// workflow of someone reanalysing the study's data without re-running the
+// collection. Reads the compact binary format (.lmtr) written by
+// fleet_report, or generates a fresh trace when given no file.
+//
+//   $ ./trace_explorer                 # simulate 7 days, then explore
+//   $ ./trace_explorer trace.lmtr      # explore a saved trace
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "labmon/analysis/aggregate.hpp"
+#include "labmon/analysis/availability.hpp"
+#include "labmon/core/experiment.hpp"
+#include "labmon/trace/binary_io.hpp"
+#include "labmon/trace/sessions.hpp"
+#include "labmon/util/strings.hpp"
+#include "labmon/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace labmon;
+
+  trace::TraceStore store(0);
+  if (argc > 1) {
+    auto loaded = trace::ReadTraceFile(argv[1]);
+    if (!loaded.ok()) {
+      std::cerr << "cannot load " << argv[1] << ": " << loaded.error() << '\n';
+      return 1;
+    }
+    store = std::move(loaded).value();
+    std::cout << "Loaded " << util::FormatWithThousands(
+                     static_cast<std::int64_t>(store.size()))
+              << " samples from " << argv[1] << "\n\n";
+  } else {
+    std::cout << "No trace given — simulating 7 days first...\n\n";
+    core::ExperimentConfig config;
+    config.campus.days = 7;
+    auto result = core::Experiment::Run(config);
+    store = std::move(result.trace);
+  }
+
+  // Headline aggregates.
+  const auto table2 = analysis::ComputeTable2(store);
+  std::cout << "samples: " << util::FormatWithThousands(
+                   static_cast<std::int64_t>(store.size()))
+            << " over " << store.iterations().size() << " iterations, "
+            << store.machine_count() << " machines\n";
+  std::cout << "fleet CPU idleness: "
+            << util::FormatFixed(table2.both.cpu_idle_pct, 2) << "%, RAM "
+            << util::FormatFixed(table2.both.ram_load_pct, 1) << "%\n\n";
+
+  // Busiest (least idle) machines: one linear interval pass keyed by
+  // machine.
+  struct MachineLoad {
+    std::size_t machine;
+    double idle;
+    std::uint32_t samples;
+  };
+  std::vector<double> idle_sum(store.machine_count(), 0.0);
+  std::vector<std::size_t> idle_n(store.machine_count(), 0);
+  trace::ForEachInterval(store, {}, [&](const trace::SampleInterval& i) {
+    idle_sum[i.machine] += i.cpu_idle_pct;
+    ++idle_n[i.machine];
+  });
+  std::vector<MachineLoad> loads;
+  for (std::size_t m = 0; m < store.machine_count(); ++m) {
+    if (idle_n[m] == 0) continue;
+    loads.push_back(MachineLoad{
+        m, idle_sum[m] / static_cast<double>(idle_n[m]),
+        static_cast<std::uint32_t>(store.MachineSamples(m).size())});
+  }
+  std::sort(loads.begin(), loads.end(),
+            [](const auto& a, const auto& b) { return a.idle < b.idle; });
+  util::AsciiTable busiest("Busiest machines (lowest mean CPU idleness)");
+  busiest.SetHeader({"Machine", "Mean idle %", "Samples"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, loads.size()); ++i) {
+    busiest.AddRow({std::to_string(loads[i].machine),
+                    util::FormatFixed(loads[i].idle, 2),
+                    std::to_string(loads[i].samples)});
+  }
+  std::cout << busiest.Render() << '\n';
+
+  // Longest interactive spans (the forgotten-login suspects).
+  auto spans = trace::ReconstructInteractiveSpans(store);
+  std::sort(spans.begin(), spans.end(), [](const auto& a, const auto& b) {
+    return a.ObservedSeconds() > b.ObservedSeconds();
+  });
+  util::AsciiTable ghosts("Longest interactive sessions (>= 10 h = forgotten)");
+  ghosts.SetHeader({"Machine", "Logon at", "Observed length"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, spans.size()); ++i) {
+    ghosts.AddRow({std::to_string(spans[i].machine),
+                   util::FormatTimestamp(spans[i].logon_time),
+                   util::FormatDuration(spans[i].ObservedSeconds())});
+  }
+  std::cout << ghosts.Render() << '\n';
+
+  // Heaviest network consumers by received volume.
+  std::map<std::uint32_t, double> recv_by_machine;
+  trace::ForEachInterval(store, {}, [&](const trace::SampleInterval& i) {
+    recv_by_machine[i.machine] +=
+        i.recv_bps * static_cast<double>(i.Seconds());
+  });
+  std::vector<std::pair<double, std::uint32_t>> top_recv;
+  for (const auto& [machine, bytes] : recv_by_machine) {
+    top_recv.emplace_back(bytes, machine);
+  }
+  std::sort(top_recv.rbegin(), top_recv.rend());
+  util::AsciiTable net("Top downloaders (bytes received over the trace)");
+  net.SetHeader({"Machine", "Received"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, top_recv.size()); ++i) {
+    net.AddRow({std::to_string(top_recv[i].second),
+                util::FormatBytes(top_recv[i].first)});
+  }
+  std::cout << net.Render();
+  return 0;
+}

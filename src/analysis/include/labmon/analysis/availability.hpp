@@ -1,0 +1,63 @@
+// Machine availability — Figure 3 (machine counts over time) and
+// Figure 4 (per-machine uptime ratios/nines, session-length distribution).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "labmon/stats/histogram.hpp"
+#include "labmon/stats/timeseries.hpp"
+#include "labmon/trace/sessions.hpp"
+#include "labmon/trace/trace_store.hpp"
+
+namespace labmon::analysis {
+
+/// Figure 3: counts of powered-on and user-free machines per iteration.
+struct AvailabilitySeries {
+  stats::TimeSeries powered_on;   ///< responding machines per iteration
+  stats::TimeSeries user_free;    ///< responding without (effective) session
+  double mean_powered_on = 0.0;   ///< paper: 84.87
+  double mean_user_free = 0.0;    ///< paper: 57.29
+};
+
+[[nodiscard]] AvailabilitySeries ComputeAvailabilitySeries(
+    const trace::TraceStore& trace,
+    std::int64_t forgotten_threshold_s = trace::kForgottenThresholdSeconds);
+
+/// Figure 4-left: per-machine cumulated uptime ratio and nines, sorted
+/// descending by uptime.
+struct UptimeRanking {
+  struct Entry {
+    std::uint32_t machine = 0;
+    double uptime_ratio = 0.0;  ///< responses / attempts
+    double nines = 0.0;
+  };
+  std::vector<Entry> entries;       ///< sorted by descending ratio
+  int machines_above_half = 0;      ///< paper: 30 above 0.5
+  int machines_above_08 = 0;        ///< paper: < 10
+  int machines_above_09 = 0;        ///< paper: none
+};
+
+[[nodiscard]] UptimeRanking ComputeUptimeRanking(
+    const trace::TraceStore& trace);
+
+/// Figure 4-right: distribution of machine-session lengths.
+struct SessionLengthDistribution {
+  stats::Histogram histogram;          ///< 2-hour bins over [0, 96 h]
+  std::uint64_t total_sessions = 0;
+  double fraction_within_96h = 0.0;    ///< paper: 98.7 %
+  double uptime_fraction_within_96h = 0.0;  ///< paper: 87.93 %
+  double mean_hours = 0.0;             ///< paper: 15 h 55 m
+  double stddev_hours = 0.0;           ///< paper: 26.65 h
+};
+
+[[nodiscard]] SessionLengthDistribution ComputeSessionLengthDistribution(
+    const std::vector<trace::MachineSession>& sessions);
+
+/// Renders the Figure 4-left ranking as a fixed-step table plus the
+/// threshold counts.
+[[nodiscard]] std::string RenderUptimeRanking(const UptimeRanking& ranking,
+                                              std::size_t step = 10);
+
+}  // namespace labmon::analysis

@@ -1,0 +1,49 @@
+// Harvestable memory and disk capacity — operationalising the paper's
+// conclusions (§6): "such resources might be put to good use for network
+// RAM schemes" and "a possible application for such disk space relates to
+// distributed backups or to the implementation of local data grids".
+//
+// Capacity is computed per iteration from responding machines' free RAM
+// and free disk, then divided by a replication factor (volatile donors
+// force redundancy). The *dependable* capacity is a low percentile of the
+// per-iteration series — what a network-RAM client could actually plan on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "labmon/stats/timeseries.hpp"
+#include "labmon/stats/weekly_profile.hpp"
+#include "labmon/trace/trace_store.hpp"
+
+namespace labmon::analysis {
+
+struct CapacityOptions {
+  /// Copies of every page/block stored on distinct donors.
+  int replication = 2;
+  /// Fraction of a machine's free RAM a donor would actually contribute
+  /// (Gupta et al.: memory can be borrowed aggressively; keep a cushion).
+  double ram_donation_fraction = 0.5;
+  /// Fraction of free disk a backup scheme may consume.
+  double disk_donation_fraction = 0.5;
+};
+
+struct CapacityResult {
+  /// Usable (replication-adjusted) capacity per iteration.
+  stats::TimeSeries ram_gb;
+  stats::TimeSeries disk_tb;
+  /// Weekly profile of the RAM series (network RAM follows the usage week).
+  stats::WeeklyProfile ram_gb_weekly;
+  double mean_ram_gb = 0.0;
+  double p10_ram_gb = 0.0;   ///< dependable floor (10th percentile)
+  double mean_disk_tb = 0.0;
+  double p10_disk_tb = 0.0;
+};
+
+[[nodiscard]] CapacityResult ComputeHarvestableCapacity(
+    const trace::TraceStore& trace, const CapacityOptions& options = {});
+
+[[nodiscard]] std::string RenderCapacity(const CapacityResult& result,
+                                         const CapacityOptions& options);
+
+}  // namespace labmon::analysis

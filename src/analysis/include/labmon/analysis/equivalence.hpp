@@ -1,0 +1,37 @@
+// Figure 6 / §5.4 — the cluster-equivalence ratio: what fraction of a
+// dedicated 169-machine cluster the harvested idle CPU is worth.
+//
+// Per time bin: ratio = Σ_responding (idleness_i × perf_i) / Σ_all perf_i,
+// where perf_i is the machine's NBench combined index (INT and FP weighted
+// 50/50). The occupied/free split follows the 10-hour login rule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "labmon/stats/weekly_profile.hpp"
+#include "labmon/trace/trace_store.hpp"
+
+namespace labmon::analysis {
+
+struct EquivalenceResult {
+  /// Weekly distribution of the ratio (total and per class).
+  stats::WeeklyProfile weekly_total;
+  stats::WeeklyProfile weekly_occupied;
+  stats::WeeklyProfile weekly_free;
+  /// Time-averaged ratios over the whole experiment.
+  double mean_occupied = 0.0;  ///< paper: 0.26
+  double mean_free = 0.0;      ///< paper: 0.25
+  double mean_total = 0.0;     ///< paper: 0.51 (the 2:1 rule)
+};
+
+/// `perf_index[i]` is machine i's combined NBench index; the trace's
+/// machine count must match.
+[[nodiscard]] EquivalenceResult ComputeEquivalence(
+    const trace::TraceStore& trace, const std::vector<double>& perf_index,
+    int bin_minutes = 15,
+    std::int64_t forgotten_threshold_s = trace::kForgottenThresholdSeconds);
+
+[[nodiscard]] std::string RenderEquivalence(const EquivalenceResult& result);
+
+}  // namespace labmon::analysis

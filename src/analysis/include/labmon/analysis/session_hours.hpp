@@ -1,0 +1,37 @@
+// Figure 2 — interactive-session samples grouped by their relative time
+// since logon, used to justify the 10-hour forgotten-login threshold: the
+// first bin whose average CPU idleness exceeds 99% marks sessions that are
+// almost certainly abandoned.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "labmon/trace/trace_store.hpp"
+
+namespace labmon::analysis {
+
+/// One relative-hour bin ([h, h+1) since session logon).
+struct SessionHourBin {
+  int hour = 0;
+  std::uint64_t samples = 0;
+  double mean_cpu_idle_pct = 0.0;
+};
+
+struct SessionHourProfile {
+  std::vector<SessionHourBin> bins;  ///< [0-1), [1-2), … [23-24), [24+)
+  /// First bin whose mean idleness is >= 99% (paper: the [10-11) bin).
+  int first_bin_above_99 = -1;
+};
+
+/// Groups all login samples (no threshold filtering — this analysis is what
+/// *establishes* the threshold) by relative session hour; idleness is the
+/// inter-sample interval average attributed to the closing sample.
+[[nodiscard]] SessionHourProfile ComputeSessionHourProfile(
+    const trace::TraceStore& trace, int max_hours = 24);
+
+[[nodiscard]] std::string RenderSessionHourProfile(
+    const SessionHourProfile& profile);
+
+}  // namespace labmon::analysis

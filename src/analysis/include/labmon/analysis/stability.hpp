@@ -1,0 +1,48 @@
+// Machine stability (§5.2): sampled machine sessions vs SMART ground truth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "labmon/trace/sessions.hpp"
+#include "labmon/trace/trace_store.hpp"
+
+namespace labmon::analysis {
+
+/// §5.2.1 — machine-session statistics from the sampled trace.
+struct SessionStats {
+  std::uint64_t session_count = 0;   ///< paper: 10,688
+  double mean_hours = 0.0;           ///< paper: 15.92 h (15 h 55 m)
+  double stddev_hours = 0.0;         ///< paper: 26.65 h
+};
+
+[[nodiscard]] SessionStats ComputeSessionStats(
+    const std::vector<trace::MachineSession>& sessions);
+
+/// §5.2.2 — SMART power-cycle analysis.
+struct SmartStats {
+  /// Power cycles accumulated during the experiment (last - first sample).
+  std::uint64_t experiment_cycles = 0;       ///< paper: 13,871
+  double cycles_per_machine_mean = 0.0;      ///< paper: 82.57
+  double cycles_per_machine_stddev = 0.0;    ///< paper: 37.05
+  double cycles_per_machine_day = 0.0;       ///< paper: 1.07
+  /// Excess of SMART cycles over sampled sessions (short invisible cycles).
+  double cycle_excess_over_sessions_pct = 0.0;  ///< paper: ~30 %
+  /// Mean power-on hours per cycle during the experiment window.
+  double experiment_hours_per_cycle_mean = 0.0;    ///< paper: 13.9 h
+  double experiment_hours_per_cycle_stddev = 0.0;  ///< paper: ~8 h
+  /// Whole-disk-life hours per cycle (from absolute SMART counters).
+  double life_hours_per_cycle_mean = 0.0;    ///< paper: 6.46 h
+  double life_hours_per_cycle_stddev = 0.0;  ///< paper: 4.78 h
+};
+
+[[nodiscard]] SmartStats ComputeSmartStats(const trace::TraceStore& trace,
+                                           std::uint64_t session_count,
+                                           int experiment_days);
+
+/// Renders both stability analyses with the paper reference values.
+[[nodiscard]] std::string RenderStability(const SessionStats& sessions,
+                                          const SmartStats& smart);
+
+}  // namespace labmon::analysis

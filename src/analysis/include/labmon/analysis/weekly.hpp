@@ -1,0 +1,33 @@
+// Figure 5 — weekly distribution of CPU idleness, RAM/swap load (left) and
+// network rates (right), folded over the 7-day week.
+#pragma once
+
+#include <string>
+
+#include "labmon/stats/weekly_profile.hpp"
+#include "labmon/trace/trace_store.hpp"
+
+namespace labmon::analysis {
+
+struct WeeklyProfiles {
+  stats::WeeklyProfile cpu_idle_pct;  ///< fleet-average per 15-min-of-week bin
+  stats::WeeklyProfile ram_load_pct;
+  stats::WeeklyProfile swap_load_pct;
+  stats::WeeklyProfile sent_bps;
+  stats::WeeklyProfile recv_bps;
+
+  // Headline shape checks (paper §5.3).
+  double min_cpu_idle_pct = 0.0;    ///< paper: never below 90, dip < 91
+  std::string min_cpu_idle_when;    ///< paper: Tuesday afternoon
+  double min_ram_load_pct = 0.0;    ///< paper: never below 50
+  double closed_hours_cpu_idle = 0.0;  ///< 04–08 weekday window, near 100
+};
+
+/// `bin_minutes` defaults to the sampling period (15 minutes).
+[[nodiscard]] WeeklyProfiles ComputeWeeklyProfiles(
+    const trace::TraceStore& trace, int bin_minutes = 15);
+
+/// Renders an hourly summary of the weekly curves plus the shape checks.
+[[nodiscard]] std::string RenderWeeklyProfiles(const WeeklyProfiles& profiles);
+
+}  // namespace labmon::analysis

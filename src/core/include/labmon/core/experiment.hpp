@@ -1,0 +1,60 @@
+// Experiment — the one-call public API reproducing the study end to end:
+// build the 169-machine fleet, drive it with the behavioural model, run the
+// DDC coordinator for 77 simulated days, and return the collected trace
+// ready for analysis.
+//
+//   labmon::core::ExperimentConfig config;       // paper defaults
+//   auto result = labmon::core::Experiment::Run(config);
+//   labmon::core::Report report(result);
+//   std::cout << report.Table2();
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "labmon/ddc/coordinator.hpp"
+#include "labmon/trace/trace_store.hpp"
+#include "labmon/winsim/fleet.hpp"
+#include "labmon/workload/config.hpp"
+#include "labmon/workload/driver.hpp"
+
+namespace labmon::core {
+
+/// Full experiment configuration; the defaults reproduce the paper.
+struct ExperimentConfig {
+  workload::CampusConfig campus;          ///< 77 days, 169 machines
+  ddc::CoordinatorConfig collector;       ///< 15-min sequential probing
+  winsim::PriorLifeModel prior_life;      ///< pre-experiment SMART history
+};
+
+/// Static description of one lab for reporting (Table 1).
+struct LabSummary {
+  std::string name;
+  std::size_t machine_count = 0;
+  std::string cpu_model;
+  double cpu_ghz = 0.0;
+  int ram_mb = 0;
+  double disk_gb = 0.0;
+  double int_index = 0.0;
+  double fp_index = 0.0;
+};
+
+/// Everything a run produces.
+struct ExperimentResult {
+  trace::TraceStore trace;
+  ddc::RunStats run_stats;
+  workload::GroundTruth ground_truth;
+  std::vector<double> perf_index;     ///< combined NBench index per machine
+  std::vector<LabSummary> labs;
+  winsim::Fleet::Totals hardware;
+  int days = 0;
+  std::uint64_t parse_failures = 0;
+};
+
+class Experiment {
+ public:
+  /// Runs the full experiment (deterministic for a given config).
+  [[nodiscard]] static ExperimentResult Run(const ExperimentConfig& config);
+};
+
+}  // namespace labmon::core

@@ -1,0 +1,97 @@
+// Report — runs every analysis of the paper on an ExperimentResult and
+// renders/exports them.
+#pragma once
+
+#include <string>
+
+#include "labmon/analysis/aggregate.hpp"
+#include "labmon/analysis/availability.hpp"
+#include "labmon/analysis/equivalence.hpp"
+#include "labmon/analysis/per_lab.hpp"
+#include "labmon/analysis/session_hours.hpp"
+#include "labmon/analysis/stability.hpp"
+#include "labmon/analysis/weekly.hpp"
+#include "labmon/core/experiment.hpp"
+
+namespace labmon::core {
+
+class Report {
+ public:
+  /// Computes all analyses eagerly. The result must outlive the report.
+  explicit Report(const ExperimentResult& result);
+
+  // Rendered artefacts (paper-vs-measured tables).
+  [[nodiscard]] std::string Table1() const;  ///< machine inventory
+  [[nodiscard]] std::string Table2() const;  ///< main results
+  [[nodiscard]] std::string Figure2() const;
+  [[nodiscard]] std::string Figure3() const;
+  [[nodiscard]] std::string Figure4() const;
+  [[nodiscard]] std::string Figure5() const;
+  [[nodiscard]] std::string Figure6() const;
+  [[nodiscard]] std::string Stability() const;
+  /// Per-lab usage breakdown + fleet resource headroom (paper abstract).
+  [[nodiscard]] std::string PerLab() const;
+  /// All of the above concatenated.
+  [[nodiscard]] std::string FullReport() const;
+
+  // Raw analysis results, for programmatic use.
+  [[nodiscard]] const analysis::Table2Result& table2() const noexcept {
+    return table2_;
+  }
+  [[nodiscard]] const analysis::AvailabilitySeries& availability()
+      const noexcept {
+    return availability_;
+  }
+  [[nodiscard]] const analysis::UptimeRanking& uptime_ranking()
+      const noexcept {
+    return ranking_;
+  }
+  [[nodiscard]] const analysis::SessionLengthDistribution& session_lengths()
+      const noexcept {
+    return session_lengths_;
+  }
+  [[nodiscard]] const analysis::SessionStats& session_stats() const noexcept {
+    return session_stats_;
+  }
+  [[nodiscard]] const analysis::SmartStats& smart_stats() const noexcept {
+    return smart_stats_;
+  }
+  [[nodiscard]] const analysis::SessionHourProfile& session_hours()
+      const noexcept {
+    return session_hours_;
+  }
+  [[nodiscard]] const analysis::WeeklyProfiles& weekly() const noexcept {
+    return weekly_;
+  }
+  [[nodiscard]] const analysis::EquivalenceResult& equivalence()
+      const noexcept {
+    return equivalence_;
+  }
+  [[nodiscard]] const std::vector<analysis::LabUsage>& per_lab()
+      const noexcept {
+    return per_lab_;
+  }
+  [[nodiscard]] const analysis::ResourceHeadroom& headroom() const noexcept {
+    return headroom_;
+  }
+
+  /// Writes figure data as CSV files into `directory` (created if needed).
+  /// Returns an error message on failure, empty string on success.
+  [[nodiscard]] std::string WriteCsvFiles(const std::string& directory) const;
+
+ private:
+  const ExperimentResult* result_;
+  analysis::Table2Result table2_;
+  analysis::AvailabilitySeries availability_;
+  analysis::UptimeRanking ranking_;
+  analysis::SessionLengthDistribution session_lengths_;
+  analysis::SessionStats session_stats_;
+  analysis::SmartStats smart_stats_;
+  analysis::SessionHourProfile session_hours_;
+  analysis::WeeklyProfiles weekly_;
+  analysis::EquivalenceResult equivalence_;
+  std::vector<analysis::LabUsage> per_lab_;
+  analysis::ResourceHeadroom headroom_;
+};
+
+}  // namespace labmon::core

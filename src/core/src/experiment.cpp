@@ -1,0 +1,61 @@
+#include "labmon/core/experiment.hpp"
+
+#include "labmon/ddc/w32_probe.hpp"
+#include "labmon/trace/sink.hpp"
+#include "labmon/util/log.hpp"
+#include "labmon/util/strings.hpp"
+#include "labmon/winsim/paper_specs.hpp"
+
+namespace labmon::core {
+
+ExperimentResult Experiment::Run(const ExperimentConfig& config) {
+  util::Rng rng(config.campus.seed);
+  winsim::Fleet fleet = winsim::MakePaperFleet(rng, config.prior_life);
+  workload::WorkloadDriver driver(fleet, config.campus);
+
+  ExperimentResult result;
+  result.days = config.campus.days;
+  result.trace.set_machine_count(fleet.size());
+  // ~96 iterations/day upper bound; reserve for the ~50% response rate.
+  result.trace.Reserve(static_cast<std::size_t>(config.campus.days) * 96 *
+                       fleet.size() / 2);
+
+  trace::TraceStoreSink sink(result.trace);
+  ddc::W32Probe probe;
+  ddc::Coordinator coordinator(
+      fleet, probe, config.collector, sink,
+      [&driver](util::SimTime t) { driver.AdvanceTo(t); });
+
+  util::log::Info("running " + std::to_string(config.campus.days) +
+                  "-day experiment over " + std::to_string(fleet.size()) +
+                  " machines");
+  result.run_stats = coordinator.Run(0, config.campus.EndTime());
+  driver.FinishAt(config.campus.EndTime());
+
+  result.ground_truth = driver.ground_truth();
+  result.parse_failures = sink.parse_failures();
+  result.hardware = fleet.HardwareTotals();
+  result.perf_index.reserve(fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    result.perf_index.push_back(fleet.machine(i).spec().CombinedIndex());
+  }
+  for (const auto& lab : fleet.labs()) {
+    const auto& spec = fleet.machine(lab.first).spec();
+    LabSummary summary;
+    summary.name = lab.name;
+    summary.machine_count = lab.count;
+    summary.cpu_model = spec.cpu_model;
+    summary.cpu_ghz = spec.cpu_ghz;
+    summary.ram_mb = spec.ram_mb;
+    summary.disk_gb = spec.disk_gb;
+    summary.int_index = spec.int_index;
+    summary.fp_index = spec.fp_index;
+    result.labs.push_back(std::move(summary));
+  }
+  util::log::Info("collected " + std::to_string(result.trace.size()) +
+                  " samples in " +
+                  std::to_string(result.run_stats.iterations) + " iterations");
+  return result;
+}
+
+}  // namespace labmon::core

@@ -1,0 +1,239 @@
+#include "labmon/core/report.hpp"
+
+#include <filesystem>
+#include <sstream>
+
+#include "labmon/trace/sessions.hpp"
+#include "labmon/util/csv.hpp"
+#include "labmon/util/strings.hpp"
+#include "labmon/util/table.hpp"
+
+namespace labmon::core {
+
+Report::Report(const ExperimentResult& result)
+    : result_(&result),
+      table2_(analysis::ComputeTable2(result.trace)),
+      availability_(analysis::ComputeAvailabilitySeries(result.trace)),
+      ranking_(analysis::ComputeUptimeRanking(result.trace)),
+      session_lengths_(analysis::ComputeSessionLengthDistribution(
+          trace::ReconstructSessions(result.trace))),
+      session_stats_(analysis::ComputeSessionStats(
+          trace::ReconstructSessions(result.trace))),
+      smart_stats_(analysis::ComputeSmartStats(
+          result.trace, session_stats_.session_count, result.days)),
+      session_hours_(analysis::ComputeSessionHourProfile(result.trace)),
+      weekly_(analysis::ComputeWeeklyProfiles(result.trace)),
+      // §5.4 splits occupied/free by *raw* interactive presence (the
+      // forgotten-login reclassification is a Table-2 device; the
+      // equivalence figure charges any open session to "occupied").
+      equivalence_(analysis::ComputeEquivalence(
+          result.trace, result.perf_index, 15,
+          trace::kNoForgottenThreshold)),
+      headroom_(analysis::ComputeResourceHeadroom(result.trace)) {
+  std::vector<analysis::LabKey> keys;
+  std::size_t first = 0;
+  for (const auto& lab : result.labs) {
+    keys.push_back(analysis::LabKey{lab.name, first, lab.machine_count});
+    first += lab.machine_count;
+  }
+  per_lab_ = analysis::ComputePerLabUsage(result.trace, keys);
+}
+
+std::string Report::Table1() const {
+  util::AsciiTable table("Table 1: Main characteristics of machines");
+  table.SetHeader({"Lab", "CPU (GHz)", "RAM MB", "Disk (GB)", "INT / FP",
+                   "Machines"});
+  for (const auto& lab : result_->labs) {
+    table.AddRow({lab.name,
+                  lab.cpu_model + " (" + util::FormatFixed(lab.cpu_ghz, 2) +
+                      ")",
+                  std::to_string(lab.ram_mb),
+                  util::FormatFixed(lab.disk_gb, 1),
+                  util::FormatFixed(lab.int_index, 1) + " / " +
+                      util::FormatFixed(lab.fp_index, 1),
+                  std::to_string(lab.machine_count)});
+  }
+  std::string out = table.Render();
+  out += "combined: " + util::FormatFixed(result_->hardware.ram_gb, 2) +
+         " GB RAM (paper: 56.62), " +
+         util::FormatFixed(result_->hardware.disk_tb, 2) +
+         " TB disk (paper: 6.66)\n";
+  return out;
+}
+
+std::string Report::Table2() const {
+  return analysis::RenderTable2(table2_, /*with_paper_reference=*/true);
+}
+
+std::string Report::Figure2() const {
+  return analysis::RenderSessionHourProfile(session_hours_);
+}
+
+std::string Report::Figure3() const {
+  std::ostringstream oss;
+  oss << "Figure 3: machines powered on / user-free over the experiment\n";
+  oss << "mean powered-on machines: "
+      << util::FormatFixed(availability_.mean_powered_on, 2)
+      << " (paper: 84.87)\n";
+  oss << "mean user-free machines: "
+      << util::FormatFixed(availability_.mean_user_free, 2)
+      << " (paper: 57.29)\n";
+  oss << "user-free share of powered-on: "
+      << util::FormatFixed(100.0 * availability_.mean_user_free /
+                               std::max(1.0, availability_.mean_powered_on),
+                           1)
+      << "% (paper: ~70%)\n";
+  return oss.str();
+}
+
+std::string Report::Figure4() const {
+  std::string out = analysis::RenderUptimeRanking(ranking_, 10);
+  util::AsciiTable table(
+      "Figure 4 (right): distribution of machine-session uptime (<= 96 h)");
+  table.SetHeader({"Length bin (h)", "Sessions", "Fraction (%)"});
+  const auto& h = session_lengths_.histogram;
+  for (std::size_t i = 0; i < h.bin_count(); i += 2) {
+    const double count = h.count(i) + (i + 1 < h.bin_count() ? h.count(i + 1) : 0.0);
+    table.AddRow({"[" + util::FormatFixed(h.bin_lo(i), 0) + "-" +
+                      util::FormatFixed(h.bin_lo(i) + 4.0, 0) + "[",
+                  util::FormatFixed(count, 0),
+                  util::FormatFixed(
+                      100.0 * count / std::max(1.0, h.total()), 2)});
+  }
+  out += table.Render();
+  out += "sessions <= 96 h: " +
+         util::FormatFixed(session_lengths_.fraction_within_96h, 2) +
+         "% of sessions (paper: 98.7%), " +
+         util::FormatFixed(session_lengths_.uptime_fraction_within_96h, 2) +
+         "% of cumulated uptime (paper: 87.93%)\n";
+  return out;
+}
+
+std::string Report::Figure5() const {
+  return analysis::RenderWeeklyProfiles(weekly_);
+}
+
+std::string Report::Figure6() const {
+  return analysis::RenderEquivalence(equivalence_);
+}
+
+std::string Report::Stability() const {
+  return analysis::RenderStability(session_stats_, smart_stats_);
+}
+
+std::string Report::PerLab() const {
+  return analysis::RenderPerLabUsage(per_lab_) +
+         analysis::RenderResourceHeadroom(headroom_);
+}
+
+std::string Report::FullReport() const {
+  std::ostringstream oss;
+  oss << Table1() << '\n'
+      << Table2() << '\n'
+      << Figure2() << '\n'
+      << Figure3() << '\n'
+      << Figure4() << '\n'
+      << Stability() << '\n'
+      << PerLab() << '\n'
+      << Figure5() << '\n'
+      << Figure6();
+  return oss.str();
+}
+
+std::string Report::WriteCsvFiles(const std::string& directory) const {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) return "cannot create directory: " + directory;
+
+  const auto write = [&](const std::string& name,
+                         const std::string& content) -> std::string {
+    const auto result = util::WriteTextFile(directory + "/" + name, content);
+    return result.ok() ? std::string{} : result.error();
+  };
+
+  // Figure 3 series.
+  if (auto err = write("fig3_powered_on.csv",
+                       availability_.powered_on.ToCsv("powered_on"));
+      !err.empty()) {
+    return err;
+  }
+  if (auto err = write("fig3_user_free.csv",
+                       availability_.user_free.ToCsv("user_free"));
+      !err.empty()) {
+    return err;
+  }
+
+  // Figure 4 left: ranking.
+  {
+    std::ostringstream oss;
+    util::CsvWriter w(oss);
+    w.Row("rank", "machine", "uptime_ratio", "nines");
+    for (std::size_t i = 0; i < ranking_.entries.size(); ++i) {
+      const auto& e = ranking_.entries[i];
+      w.Row(std::to_string(i + 1), std::to_string(e.machine),
+            util::FormatFixed(e.uptime_ratio, 6),
+            util::FormatFixed(e.nines, 6));
+    }
+    if (auto err = write("fig4_uptime_ranking.csv", oss.str()); !err.empty()) {
+      return err;
+    }
+  }
+
+  // Figure 4 right: session-length histogram.
+  {
+    std::ostringstream oss;
+    util::CsvWriter w(oss);
+    w.Row("bin_lo_h", "bin_hi_h", "sessions");
+    const auto& h = session_lengths_.histogram;
+    for (std::size_t i = 0; i < h.bin_count(); ++i) {
+      w.Row(util::FormatFixed(h.bin_lo(i), 1), util::FormatFixed(h.bin_hi(i), 1),
+            util::FormatFixed(h.count(i), 0));
+    }
+    if (auto err = write("fig4_session_lengths.csv", oss.str());
+        !err.empty()) {
+      return err;
+    }
+  }
+
+  // Figure 2: session-hour profile.
+  {
+    std::ostringstream oss;
+    util::CsvWriter w(oss);
+    w.Row("hour_bin", "samples", "mean_cpu_idle_pct");
+    for (const auto& bin : session_hours_.bins) {
+      w.Row(std::to_string(bin.hour), std::to_string(bin.samples),
+            util::FormatFixed(bin.mean_cpu_idle_pct, 4));
+    }
+    if (auto err = write("fig2_session_hours.csv", oss.str()); !err.empty()) {
+      return err;
+    }
+  }
+
+  // Figures 5 and 6: weekly profiles.
+  {
+    std::ostringstream oss;
+    util::CsvWriter w(oss);
+    w.Row("minute_of_week", "label", "cpu_idle_pct", "ram_pct", "swap_pct",
+          "sent_bps", "recv_bps", "equiv_total", "equiv_occupied",
+          "equiv_free");
+    for (std::size_t i = 0; i < weekly_.cpu_idle_pct.bin_count(); ++i) {
+      w.Row(std::to_string(weekly_.cpu_idle_pct.BinStartMinute(i)),
+            weekly_.cpu_idle_pct.BinLabel(i),
+            util::FormatFixed(weekly_.cpu_idle_pct.Mean(i), 4),
+            util::FormatFixed(weekly_.ram_load_pct.Mean(i), 4),
+            util::FormatFixed(weekly_.swap_load_pct.Mean(i), 4),
+            util::FormatFixed(weekly_.sent_bps.Mean(i), 2),
+            util::FormatFixed(weekly_.recv_bps.Mean(i), 2),
+            util::FormatFixed(equivalence_.weekly_total.Mean(i), 5),
+            util::FormatFixed(equivalence_.weekly_occupied.Mean(i), 5),
+            util::FormatFixed(equivalence_.weekly_free.Mean(i), 5));
+    }
+    if (auto err = write("fig5_fig6_weekly.csv", oss.str()); !err.empty()) {
+      return err;
+    }
+  }
+  return {};
+}
+
+}  // namespace labmon::core

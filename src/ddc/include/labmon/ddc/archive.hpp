@@ -1,0 +1,77 @@
+// OutputArchive — DDC's raw-output storage (Figure 1, step 3: "these
+// results are post-processed at the coordinator's and stored").
+//
+// Every successful probe execution is appended, timestamped, to a
+// per-machine log under the archive directory; a MANIFEST file records the
+// machine name mapping. Archives are append-only and replayable: a stored
+// collection can be re-analysed later without re-running it (see
+// ReplayArchive), which is how the study's data outlived the experiment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "labmon/ddc/coordinator.hpp"
+#include "labmon/util/expected.hpp"
+
+namespace labmon::ddc {
+
+/// A sink that persists every successful probe output to disk.
+class OutputArchive final : public SampleSink {
+ public:
+  /// Creates/opens an archive rooted at `directory` for `machine_names`.
+  /// The directory is created if missing; existing logs are appended to.
+  [[nodiscard]] static util::Result<std::unique_ptr<OutputArchive>> Open(
+      const std::string& directory,
+      const std::vector<std::string>& machine_names);
+
+  ~OutputArchive() override;
+  OutputArchive(const OutputArchive&) = delete;
+  OutputArchive& operator=(const OutputArchive&) = delete;
+
+  void OnSample(const CollectedSample& sample) override;
+  void OnIterationEnd(std::uint64_t iteration, util::SimTime start_time,
+                      util::SimTime end_time) override;
+
+  /// Flushes and closes all log files (also done by the destructor).
+  void Close();
+
+  [[nodiscard]] const std::string& directory() const noexcept {
+    return directory_;
+  }
+  [[nodiscard]] std::uint64_t entries_written() const noexcept {
+    return entries_;
+  }
+
+ private:
+  OutputArchive(std::string directory, std::vector<std::string> names);
+
+  std::string directory_;
+  std::vector<std::string> machine_names_;
+  std::uint64_t entries_ = 0;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One replayed archive entry.
+struct ArchiveEntry {
+  std::size_t machine_index = 0;
+  std::uint64_t iteration = 0;
+  util::SimTime t = 0;
+  std::string stdout_text;
+};
+
+/// Streams every stored entry of one machine's log in order. Returns the
+/// number of entries replayed, or an error.
+[[nodiscard]] util::Result<std::uint64_t> ReplayMachineLog(
+    const std::string& directory, std::size_t machine_index,
+    const std::function<void(const ArchiveEntry&)>& fn);
+
+/// Reads the archive manifest (machine index -> name).
+[[nodiscard]] util::Result<std::vector<std::string>> ReadManifest(
+    const std::string& directory);
+
+}  // namespace labmon::ddc

@@ -1,0 +1,59 @@
+// One-shot probe campaigns.
+//
+// Besides periodic monitoring, DDC was used for one-off collections: the
+// NBench indexes of Table 1 were "gathered with DDC using the corresponding
+// benchmark probe" (§4.1) — every machine had to be measured *once*, which
+// on a volatile classroom fleet means retrying powered-off machines on
+// later passes until the whole fleet is covered. Campaign implements that
+// scheduling mode.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "labmon/ddc/executor.hpp"
+#include "labmon/ddc/probe.hpp"
+#include "labmon/winsim/fleet.hpp"
+
+namespace labmon::ddc {
+
+/// Result of a campaign.
+struct CampaignResult {
+  /// Per-machine captured stdout (nullopt = never reached).
+  std::vector<std::optional<std::string>> outputs;
+  std::uint64_t passes = 0;          ///< sweeps over the pending set
+  std::uint64_t attempts = 0;
+  std::uint64_t completed = 0;
+  util::SimTime finished_at = 0;     ///< instant the last machine completed
+  bool complete = false;             ///< all machines reached before deadline
+
+  [[nodiscard]] double CoverageFraction() const noexcept {
+    return outputs.empty()
+               ? 0.0
+               : static_cast<double>(completed) /
+                     static_cast<double>(outputs.size());
+  }
+};
+
+/// Campaign configuration.
+struct CampaignConfig {
+  /// Delay between passes over the still-pending machines.
+  util::SimTime pass_period = 30 * util::kSecondsPerMinute;
+  /// Give up after this instant even if machines remain unreached.
+  util::SimTime deadline = 14 * util::kSecondsPerDay;
+  ExecPolicy exec_policy;
+  std::uint64_t seed = 0xca3b41a7;
+};
+
+/// Runs `probe` once on every machine of the fleet, sweeping the pending
+/// set every `pass_period` until full coverage or the deadline. `advance`
+/// co-drives the behavioural simulation (may be empty).
+[[nodiscard]] CampaignResult RunCampaign(
+    winsim::Fleet& fleet, Probe& probe, const CampaignConfig& config,
+    util::SimTime start,
+    const std::function<void(util::SimTime)>& advance = {});
+
+}  // namespace labmon::ddc

@@ -1,0 +1,112 @@
+// The DDC coordinator (§3, Figure 1): schedules periodic probe executions
+// over the machine set, captures probe output, and feeds it to
+// post-collect code (the sink).
+//
+// Two execution schedules are modelled:
+//  * kSequential  — what the study ran: one psexec at a time over all 169
+//    machines. Offline-host timeouts make iterations overrun the 15-minute
+//    period, which is why fewer iterations complete than the calendar allows.
+//  * kParallelSimulated — a k-worker pool (simulated schedule, deterministic):
+//    the ablation benchmark uses it to show how parallel probing removes the
+//    overrun problem.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "labmon/ddc/executor.hpp"
+#include "labmon/ddc/probe.hpp"
+#include "labmon/util/time.hpp"
+#include "labmon/winsim/fleet.hpp"
+
+namespace labmon::ddc {
+
+/// One probe attempt as delivered to post-collect code.
+struct CollectedSample {
+  std::size_t machine_index = 0;
+  std::uint64_t iteration = 0;
+  util::SimTime attempt_time = 0;  ///< instant the execution started
+  ExecOutcome outcome;
+};
+
+/// Post-collect interface ("post-collecting code … executed at the
+/// coordinator site, immediately after a successful remote execution").
+class SampleSink {
+ public:
+  virtual ~SampleSink() = default;
+  virtual void OnSample(const CollectedSample& sample) = 0;
+  /// Called when an iteration over all machines completes.
+  virtual void OnIterationEnd(std::uint64_t iteration,
+                              util::SimTime start_time,
+                              util::SimTime end_time) {
+    (void)iteration;
+    (void)start_time;
+    (void)end_time;
+  }
+};
+
+/// Coordinator configuration.
+struct CoordinatorConfig {
+  util::SimTime period = 15 * util::kSecondsPerMinute;
+  enum class Mode : std::uint8_t { kSequential, kParallelSimulated };
+  Mode mode = Mode::kSequential;
+  int workers = 8;  ///< parallel-simulated worker count
+  ExecPolicy exec_policy;
+  std::uint64_t seed = 0xddc0ffee;
+};
+
+/// Aggregate statistics of a monitoring run.
+struct RunStats {
+  std::uint64_t iterations = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t errors = 0;
+  double total_span_s = 0.0;         ///< last iteration end - start
+  double max_iteration_s = 0.0;
+  double mean_iteration_s = 0.0;
+
+  [[nodiscard]] double ResponseRate() const noexcept {
+    return attempts ? static_cast<double>(successes) /
+                          static_cast<double>(attempts)
+                    : 0.0;
+  }
+};
+
+class Coordinator {
+ public:
+  /// `advance` is invoked with every execution instant before probing so a
+  /// co-simulated behaviour driver can bring the fleet up to date; pass an
+  /// empty function when driving a static fleet.
+  Coordinator(winsim::Fleet& fleet, Probe& probe, CoordinatorConfig config,
+              SampleSink& sink,
+              std::function<void(util::SimTime)> advance = {});
+
+  /// Runs iterations from `start` until the iteration start would reach
+  /// `end`. Returns run statistics.
+  RunStats Run(util::SimTime start, util::SimTime end);
+
+ private:
+  [[nodiscard]] util::SimTime RunIterationSequential(std::uint64_t iteration,
+                                                     util::SimTime start);
+  [[nodiscard]] util::SimTime RunIterationParallel(std::uint64_t iteration,
+                                                   util::SimTime start);
+  void AdvanceTo(util::SimTime t);
+  void Tally(const ExecOutcome& outcome) noexcept;
+
+  std::uint64_t attempts_ = 0;
+  std::uint64_t successes_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t errors_ = 0;
+
+  winsim::Fleet& fleet_;
+  Probe& probe_;
+  CoordinatorConfig config_;
+  SampleSink& sink_;
+  std::function<void(util::SimTime)> advance_;
+  RemoteExecutor executor_;
+};
+
+}  // namespace labmon::ddc

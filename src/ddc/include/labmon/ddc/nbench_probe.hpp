@@ -1,0 +1,40 @@
+// The benchmark probe: how the authors collected Table 1's INT/FP indexes
+// ("NBench performance indexes were gathered with DDC using the
+// corresponding benchmark probe", §4.1).
+//
+// On a *simulated* machine it reports the indexes of the machine's spec
+// (the paper's published measurements); `RunOnHost()` genuinely runs the
+// labmon::nbench suite so the same probe works against real hardware.
+#pragma once
+
+#include "labmon/ddc/probe.hpp"
+#include "labmon/nbench/nbench.hpp"
+#include "labmon/util/expected.hpp"
+
+namespace labmon::ddc {
+
+/// Parsed output of the benchmark probe.
+struct NBenchReport {
+  std::string host;
+  double int_index = 0.0;
+  double fp_index = 0.0;
+};
+
+class NBenchProbe final : public Probe {
+ public:
+  [[nodiscard]] const char* name() const noexcept override {
+    return "nbenchprobe.exe";
+  }
+  [[nodiscard]] std::string Execute(winsim::Machine& machine,
+                                    util::SimTime t) override;
+
+  /// Runs the real kernel suite on the host and renders the same format.
+  [[nodiscard]] static std::string RunOnHost(const std::string& host_name,
+                                             const nbench::SuiteConfig& config);
+};
+
+/// Parses the probe's stdout.
+[[nodiscard]] util::Result<NBenchReport> ParseNBenchOutput(
+    const std::string& text);
+
+}  // namespace labmon::ddc

@@ -1,0 +1,30 @@
+// Probe abstraction of the Distributed Data Collector (DDC, §3).
+//
+// A probe is "a simple win32 console application that outputs, via standard
+// output, several metrics". Here a probe is an object that renders the
+// machine's observable state to the same kind of text its real counterpart
+// would print; DDC captures that text and hands it to post-collect code.
+#pragma once
+
+#include <string>
+
+#include "labmon/util/time.hpp"
+#include "labmon/winsim/machine.hpp"
+
+namespace labmon::ddc {
+
+/// Interface of a remotely executed console probe.
+class Probe {
+ public:
+  virtual ~Probe() = default;
+
+  /// Probe binary name (what psexec would launch remotely).
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Runs on `machine` at instant `t`; returns the probe's stdout text.
+  /// The machine is powered on and already integrated to `t`.
+  [[nodiscard]] virtual std::string Execute(winsim::Machine& machine,
+                                            util::SimTime t) = 0;
+};
+
+}  // namespace labmon::ddc

@@ -1,0 +1,75 @@
+// W32Probe — the monitoring probe of the study (§3.1) and its output parser.
+//
+// The emitted text mirrors what the real probe printed after querying the
+// Win32 API: static metrics (processor, OS, memory sizes, disk identity,
+// MACs) and dynamic metrics (boot time/uptime, idle-thread time,
+// dwMemoryLoad, swap load, free disk, SMART counters, NIC totals, and the
+// interactive session if one exists). Loads are emitted as integer percent
+// exactly like dwMemoryLoad.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "labmon/ddc/probe.hpp"
+#include "labmon/util/expected.hpp"
+
+namespace labmon::ddc {
+
+/// Fully parsed W32Probe output.
+struct W32Sample {
+  // Static metrics.
+  std::string host;
+  std::string os;
+  std::string cpu_model;
+  int cpu_mhz = 0;
+  int ram_mb = 0;
+  int swap_mb = 0;
+  std::string disk_serial;
+  std::uint64_t disk_total_b = 0;
+  std::string mac;
+
+  // Dynamic metrics.
+  std::int64_t boot_time = 0;       ///< seconds since experiment epoch
+  std::int64_t uptime_s = 0;
+  double cpu_idle_s = 0.0;          ///< idle-thread seconds since boot
+  int mem_load_pct = 0;             ///< dwMemoryLoad (integer percent)
+  int swap_load_pct = 0;
+  std::uint64_t disk_free_b = 0;
+  std::uint64_t smart_power_on_hours = 0;
+  std::uint64_t smart_power_cycles = 0;
+  std::uint64_t net_sent_b = 0;     ///< total bytes since boot
+  std::uint64_t net_recv_b = 0;
+
+  // Interactive session (absent when nobody is logged on).
+  std::optional<std::string> session_user;
+  std::int64_t session_logon_time = 0;
+
+  [[nodiscard]] bool HasSession() const noexcept {
+    return session_user.has_value();
+  }
+  /// Seconds the session has been open at probe time `t`.
+  [[nodiscard]] std::int64_t SessionSeconds(std::int64_t t) const noexcept {
+    return HasSession() ? t - session_logon_time : 0;
+  }
+};
+
+/// The probe itself.
+class W32Probe final : public Probe {
+ public:
+  [[nodiscard]] const char* name() const noexcept override {
+    return "w32probe.exe";
+  }
+  [[nodiscard]] std::string Execute(winsim::Machine& machine,
+                                    util::SimTime t) override;
+};
+
+/// Renders a machine's state as W32Probe stdout (what Execute emits).
+[[nodiscard]] std::string FormatW32ProbeOutput(const winsim::Machine& machine);
+
+/// Parses W32Probe stdout; fails on missing/garbled mandatory fields.
+[[nodiscard]] util::Result<W32Sample> ParseW32ProbeOutput(
+    const std::string& text);
+
+}  // namespace labmon::ddc

@@ -1,0 +1,137 @@
+#include "labmon/ddc/archive.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "labmon/util/csv.hpp"
+#include "labmon/util/strings.hpp"
+
+namespace labmon::ddc {
+
+namespace {
+
+std::string LogPath(const std::string& directory, std::size_t machine) {
+  char name[32];
+  std::snprintf(name, sizeof name, "machine_%04zu.log", machine);
+  return directory + "/" + name;
+}
+
+}  // namespace
+
+struct OutputArchive::Impl {
+  std::vector<std::ofstream> logs;  ///< lazily opened, append mode
+};
+
+OutputArchive::OutputArchive(std::string directory,
+                             std::vector<std::string> names)
+    : directory_(std::move(directory)),
+      machine_names_(std::move(names)),
+      impl_(std::make_unique<Impl>()) {
+  impl_->logs.resize(machine_names_.size());
+}
+
+OutputArchive::~OutputArchive() { Close(); }
+
+util::Result<std::unique_ptr<OutputArchive>> OutputArchive::Open(
+    const std::string& directory,
+    const std::vector<std::string>& machine_names) {
+  using R = util::Result<std::unique_ptr<OutputArchive>>;
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) return R::Err("cannot create archive directory: " + directory);
+
+  // Manifest: one machine name per line, index order.
+  std::string manifest;
+  for (const auto& name : machine_names) {
+    manifest += name;
+    manifest += '\n';
+  }
+  const auto written =
+      util::WriteTextFile(directory + "/MANIFEST", manifest);
+  if (!written.ok()) return R::Err(written.error());
+
+  return std::unique_ptr<OutputArchive>(
+      new OutputArchive(directory, machine_names));
+}
+
+void OutputArchive::OnSample(const CollectedSample& sample) {
+  if (!sample.outcome.ok()) return;
+  if (sample.machine_index >= impl_->logs.size()) return;
+  auto& log = impl_->logs[sample.machine_index];
+  if (!log.is_open()) {
+    log.open(LogPath(directory_, sample.machine_index),
+             std::ios::app | std::ios::binary);
+    if (!log) return;
+  }
+  // Entry header: "@ <iteration> <t> <payload bytes>".
+  log << "@ " << sample.iteration << ' ' << sample.attempt_time << ' '
+      << sample.outcome.stdout_text.size() << '\n'
+      << sample.outcome.stdout_text << '\n';
+  ++entries_;
+}
+
+void OutputArchive::OnIterationEnd(std::uint64_t, util::SimTime,
+                                   util::SimTime) {}
+
+void OutputArchive::Close() {
+  if (!impl_) return;
+  for (auto& log : impl_->logs) {
+    if (log.is_open()) log.close();
+  }
+}
+
+util::Result<std::uint64_t> ReplayMachineLog(
+    const std::string& directory, std::size_t machine_index,
+    const std::function<void(const ArchiveEntry&)>& fn) {
+  using R = util::Result<std::uint64_t>;
+  const auto text = util::ReadTextFile(LogPath(directory, machine_index));
+  if (!text.ok()) return R::Err(text.error());
+  const std::string& data = text.value();
+
+  std::uint64_t replayed = 0;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    if (data[pos] != '@') return R::Err("corrupt log: missing entry header");
+    const auto header_end = data.find('\n', pos);
+    if (header_end == std::string::npos) return R::Err("truncated header");
+    const auto fields =
+        util::Split(data.substr(pos + 2, header_end - pos - 2), ' ');
+    if (fields.size() != 3) return R::Err("garbled entry header");
+    const auto iteration = util::ParseInt64(fields[0]);
+    const auto t = util::ParseInt64(fields[1]);
+    const auto bytes = util::ParseInt64(fields[2]);
+    if (!iteration || !t || !bytes || *bytes < 0) {
+      return R::Err("garbled entry header numbers");
+    }
+    const std::size_t payload_start = header_end + 1;
+    const auto payload_len = static_cast<std::size_t>(*bytes);
+    if (payload_start + payload_len + 1 > data.size() + 1) {
+      return R::Err("truncated entry payload");
+    }
+    ArchiveEntry entry;
+    entry.machine_index = machine_index;
+    entry.iteration = static_cast<std::uint64_t>(*iteration);
+    entry.t = *t;
+    entry.stdout_text = data.substr(payload_start, payload_len);
+    fn(entry);
+    ++replayed;
+    pos = payload_start + payload_len + 1;  // +1: trailing newline
+  }
+  return replayed;
+}
+
+util::Result<std::vector<std::string>> ReadManifest(
+    const std::string& directory) {
+  using R = util::Result<std::vector<std::string>>;
+  const auto text = util::ReadTextFile(directory + "/MANIFEST");
+  if (!text.ok()) return R::Err(text.error());
+  std::vector<std::string> names;
+  for (auto& line : util::Split(text.value(), '\n')) {
+    if (!line.empty()) names.push_back(std::move(line));
+  }
+  return names;
+}
+
+}  // namespace labmon::ddc

@@ -1,0 +1,45 @@
+#include "labmon/ddc/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace labmon::ddc {
+
+CampaignResult RunCampaign(winsim::Fleet& fleet, Probe& probe,
+                           const CampaignConfig& config, util::SimTime start,
+                           const std::function<void(util::SimTime)>& advance) {
+  CampaignResult result;
+  result.outputs.assign(fleet.size(), std::nullopt);
+
+  RemoteExecutor executor(config.exec_policy, config.seed);
+  std::vector<std::size_t> pending(fleet.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = i;
+
+  util::SimTime pass_start = start;
+  while (!pending.empty() && pass_start < config.deadline) {
+    ++result.passes;
+    util::SimTime now = pass_start;
+    std::vector<std::size_t> still_pending;
+    still_pending.reserve(pending.size());
+    for (const std::size_t i : pending) {
+      if (advance) advance(now);
+      ++result.attempts;
+      const auto outcome = executor.Execute(probe, fleet.machine(i), now);
+      if (outcome.ok()) {
+        result.outputs[i] = outcome.stdout_text;
+        ++result.completed;
+        result.finished_at = now;
+      } else {
+        still_pending.push_back(i);
+      }
+      now += static_cast<util::SimTime>(std::llround(outcome.latency_s));
+    }
+    pending = std::move(still_pending);
+    // Next pass at the period boundary (or immediately after an overrun).
+    pass_start = std::max(pass_start + config.pass_period, now);
+  }
+  result.complete = pending.empty();
+  return result;
+}
+
+}  // namespace labmon::ddc

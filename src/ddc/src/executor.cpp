@@ -1,0 +1,45 @@
+#include "labmon/ddc/executor.hpp"
+
+#include <algorithm>
+
+namespace labmon::ddc {
+
+RemoteExecutor::RemoteExecutor(ExecPolicy policy, std::uint64_t seed)
+    : policy_(policy), rng_(seed) {}
+
+ExecOutcome RemoteExecutor::Execute(Probe& probe, winsim::Machine& machine,
+                                    util::SimTime t) {
+  ExecOutcome outcome;
+  if (!machine.powered_on()) {
+    outcome.status = ExecOutcome::Status::kTimeout;
+    outcome.latency_s = std::max(
+        policy_.offline_timeout_min_s,
+        rng_.Normal(policy_.offline_timeout_mean_s,
+                    policy_.offline_timeout_sigma_s));
+    outcome.exit_code = -1;
+    outcome.stderr_text = "psexec: could not connect to " +
+                          machine.spec().name + ": timeout";
+    return outcome;
+  }
+  if (rng_.Bernoulli(policy_.transient_failure_prob)) {
+    outcome.status = ExecOutcome::Status::kError;
+    outcome.latency_s = std::max(
+        policy_.success_latency_min_s,
+        rng_.Normal(policy_.success_latency_mean_s,
+                    policy_.success_latency_sigma_s));
+    outcome.exit_code = 2;
+    outcome.stderr_text =
+        "psexec: RPC server busy on " + machine.spec().name;
+    return outcome;
+  }
+  outcome.status = ExecOutcome::Status::kOk;
+  outcome.latency_s = std::max(
+      policy_.success_latency_min_s,
+      rng_.Normal(policy_.success_latency_mean_s,
+                  policy_.success_latency_sigma_s));
+  outcome.exit_code = 0;
+  outcome.stdout_text = probe.Execute(machine, t);
+  return outcome;
+}
+
+}  // namespace labmon::ddc

@@ -1,0 +1,73 @@
+#include "labmon/ddc/nbench_probe.hpp"
+
+#include <sstream>
+
+#include "labmon/util/strings.hpp"
+
+namespace labmon::ddc {
+
+namespace {
+
+std::string Render(const std::string& host, double int_index, double fp_index) {
+  std::ostringstream out;
+  out << "NBENCHPROBE 1.0\n";
+  out << "host: " << host << '\n';
+  out << "int_index: " << util::FormatFixed(int_index, 2) << '\n';
+  out << "fp_index: " << util::FormatFixed(fp_index, 2) << '\n';
+  return out.str();
+}
+
+}  // namespace
+
+std::string NBenchProbe::Execute(winsim::Machine& machine, util::SimTime t) {
+  machine.AdvanceTo(t);
+  // A real benchmark run would peg the CPU for minutes; on the simulated
+  // fleet the published Table 1 indexes stand in for that run.
+  const auto& spec = machine.spec();
+  return Render(spec.name, spec.int_index, spec.fp_index);
+}
+
+std::string NBenchProbe::RunOnHost(const std::string& host_name,
+                                   const nbench::SuiteConfig& config) {
+  const auto scores = nbench::RunSuite(config);
+  const auto indexes = nbench::ComputeIndexes(scores);
+  return Render(host_name, indexes.int_index, indexes.fp_index);
+}
+
+util::Result<NBenchReport> ParseNBenchOutput(const std::string& text) {
+  using R = util::Result<NBenchReport>;
+  const auto lines = util::Split(text, '\n');
+  if (lines.empty() || util::Trim(lines.front()) != "NBENCHPROBE 1.0") {
+    return R::Err("missing NBENCHPROBE banner");
+  }
+  NBenchReport report;
+  bool have_int = false;
+  bool have_fp = false;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view line = util::Trim(lines[i]);
+    if (line.empty()) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    const auto key = util::Trim(line.substr(0, colon));
+    const auto value = util::Trim(line.substr(colon + 1));
+    if (key == "host") {
+      report.host = std::string(value);
+    } else if (key == "int_index") {
+      const auto v = util::ParseDouble(value);
+      if (!v) return R::Err("garbled int_index");
+      report.int_index = *v;
+      have_int = true;
+    } else if (key == "fp_index") {
+      const auto v = util::ParseDouble(value);
+      if (!v) return R::Err("garbled fp_index");
+      report.fp_index = *v;
+      have_fp = true;
+    }
+  }
+  if (report.host.empty() || !have_int || !have_fp) {
+    return R::Err("incomplete nbench report");
+  }
+  return report;
+}
+
+}  // namespace labmon::ddc

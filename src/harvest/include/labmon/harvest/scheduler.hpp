@@ -1,0 +1,126 @@
+// Desktop-grid harvesting simulator.
+//
+// The paper's conclusion is that classroom idleness is harvestable "for
+// grid desktop computing" but that volatility "requires survival techniques
+// such as checkpointing, oversubscription and multiple executions" (§6).
+// This module puts a number on that claim: a Condor/BOINC-style scavenger
+// runs a batch of work units on the simulated fleet, co-driven by the same
+// behavioural model the monitoring experiment measures, and reports
+// throughput, evictions and wasted work under different policies.
+//
+// Progress is measured in *index-seconds*: one second of exclusive CPU on a
+// machine of NBench combined index 1.0. A unit of, say, 25 index-hours
+// takes ~48 wall minutes on an idle L03 box (index ~38).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "labmon/util/time.hpp"
+#include "labmon/winsim/fleet.hpp"
+#include "labmon/workload/driver.hpp"
+
+namespace labmon::harvest {
+
+/// Scavenging policy knobs.
+struct HarvestPolicy {
+  /// Also run on occupied machines (stealing only the idle share), or
+  /// restrict to user-free machines (eviction when somebody logs in).
+  bool use_occupied_machines = false;
+  /// Seconds of task runtime between checkpoints; 0 disables checkpointing
+  /// (an eviction then loses the unit's entire accrued progress).
+  double checkpoint_interval_s = 15 * 60;
+  /// Scheduler reaction period (matches real scavengers' polling).
+  util::SimTime scheduler_step_s = 60;
+  /// Machines must have been free for this long before being claimed
+  /// (Condor-style "keyboard idle" guard). 0 claims immediately.
+  util::SimTime claim_delay_s = 5 * 60;
+  /// Speculative backup copies (the paper's "multiple executions"): when
+  /// the queue drains, idle machines re-execute the least-progressed
+  /// running units from their checkpoints; the first copy to finish wins.
+  bool speculative_backups = false;
+  int max_copies_per_unit = 2;
+};
+
+/// A batch of identical work units.
+struct JobBatch {
+  std::uint64_t unit_count = 0;
+  double unit_index_seconds = 0.0;  ///< work per unit, in index-seconds
+
+  [[nodiscard]] double TotalIndexSeconds() const noexcept {
+    return static_cast<double>(unit_count) * unit_index_seconds;
+  }
+};
+
+/// Outcome of one harvesting run.
+struct HarvestResult {
+  std::uint64_t units_completed = 0;
+  std::uint64_t units_total = 0;
+  /// Wall-clock seconds from start until the last unit finished
+  /// (= the full horizon when the batch did not finish).
+  double makespan_s = 0.0;
+  bool batch_finished = false;
+  /// Useful work delivered (index-seconds credited to completed/ongoing
+  /// progress, net of losses).
+  double useful_index_seconds = 0.0;
+  /// Work lost to evictions (progress beyond the last checkpoint).
+  double wasted_index_seconds = 0.0;
+  std::uint64_t evictions_login = 0;     ///< user sat down (free-only mode)
+  std::uint64_t evictions_poweroff = 0;  ///< machine shut down under us
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t backup_copies_started = 0;
+  std::uint64_t backup_copies_cancelled = 0;
+  /// Mean number of machines computing at any instant.
+  double mean_busy_machines = 0.0;
+  /// Useful throughput expressed as dedicated machines of fleet-average
+  /// index — directly comparable with Figure 6's equivalence ratio × 169.
+  double effective_dedicated_machines = 0.0;
+
+  [[nodiscard]] double WasteFraction() const noexcept {
+    const double gross = useful_index_seconds + wasted_index_seconds;
+    return gross > 0.0 ? wasted_index_seconds / gross : 0.0;
+  }
+};
+
+/// The scavenging scheduler. Owns no resources; runs against a fleet and
+/// its behavioural driver.
+class DesktopGrid {
+ public:
+  DesktopGrid(winsim::Fleet& fleet, workload::WorkloadDriver& driver,
+              HarvestPolicy policy);
+
+  /// Runs `batch` from `start` until completion or `end`, co-simulating
+  /// the campus behaviour. Deterministic.
+  [[nodiscard]] HarvestResult Run(const JobBatch& batch, util::SimTime start,
+                                  util::SimTime end);
+
+ private:
+  struct Slot {
+    bool has_task = false;
+    std::size_t unit = 0;          ///< index into the unit table
+    double progress = 0.0;         ///< index-seconds done on this copy
+    double started_from = 0.0;     ///< checkpoint the copy resumed from
+    double runtime_since_cp = 0.0; ///< task wall seconds since checkpoint
+    util::SimTime free_since = 0;  ///< when the machine last became eligible
+    bool was_eligible = false;
+  };
+
+  struct UnitState {
+    double checkpoint = 0.0;  ///< best secured progress across copies
+    bool done = false;
+    int running_copies = 0;
+    bool queued = true;
+  };
+
+  [[nodiscard]] bool Eligible(const winsim::Machine& machine) const noexcept;
+
+  winsim::Fleet& fleet_;
+  workload::WorkloadDriver& driver_;
+  HarvestPolicy policy_;
+};
+
+/// Renders a result row (used by the bench).
+[[nodiscard]] std::string DescribePolicy(const HarvestPolicy& policy);
+
+}  // namespace labmon::harvest

@@ -1,0 +1,199 @@
+#include "labmon/harvest/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "labmon/util/strings.hpp"
+
+namespace labmon::harvest {
+
+DesktopGrid::DesktopGrid(winsim::Fleet& fleet,
+                         workload::WorkloadDriver& driver,
+                         HarvestPolicy policy)
+    : fleet_(fleet), driver_(driver), policy_(policy) {}
+
+bool DesktopGrid::Eligible(const winsim::Machine& machine) const noexcept {
+  if (!machine.powered_on()) return false;
+  if (policy_.use_occupied_machines) return true;
+  return !machine.Session().has_value();
+}
+
+HarvestResult DesktopGrid::Run(const JobBatch& batch, util::SimTime start,
+                               util::SimTime end) {
+  HarvestResult result;
+  result.units_total = batch.unit_count;
+  result.makespan_s = static_cast<double>(end - start);
+
+  std::vector<UnitState> units(batch.unit_count);
+  // LIFO pending queue of unit ids — evicted units get picked back up
+  // promptly, like a real grid queue.
+  std::vector<std::size_t> queue(batch.unit_count);
+  for (std::size_t u = 0; u < queue.size(); ++u) {
+    queue[u] = queue.size() - 1 - u;
+  }
+  std::vector<Slot> slots(fleet_.size());
+  const auto step = std::max<util::SimTime>(1, policy_.scheduler_step_s);
+  const double step_s = static_cast<double>(step);
+
+  double busy_machine_seconds = 0.0;
+  double elapsed_s = 0.0;
+
+  // Finds the least-progressed running unit eligible for a backup copy.
+  const auto pick_backup_victim = [&]() -> std::size_t {
+    std::size_t best = units.size();
+    double best_progress = std::numeric_limits<double>::infinity();
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      const auto& unit = units[u];
+      if (unit.done || unit.queued || unit.running_copies == 0) continue;
+      if (unit.running_copies >= policy_.max_copies_per_unit) continue;
+      if (unit.checkpoint < best_progress) {
+        best_progress = unit.checkpoint;
+        best = u;
+      }
+    }
+    return best;
+  };
+
+  const auto detach_copy = [&](Slot& slot, bool requeue_if_orphaned) {
+    UnitState& unit = units[slot.unit];
+    --unit.running_copies;
+    if (!unit.done && unit.running_copies == 0 && !unit.queued &&
+        requeue_if_orphaned) {
+      queue.push_back(slot.unit);
+      unit.queued = true;
+    }
+    slot = Slot{};
+  };
+
+  for (util::SimTime t = start; t < end; t += step) {
+    driver_.AdvanceTo(t);
+    for (std::size_t i = 0; i < fleet_.size(); ++i) {
+      auto& m = fleet_.machine(i);
+      m.AdvanceTo(t);
+      auto& slot = slots[i];
+      const bool eligible = Eligible(m);
+
+      if (slot.has_task) {
+        UnitState& unit = units[slot.unit];
+        if (unit.done) {
+          // Another copy finished first: everything this copy computed
+          // beyond its resume point is duplicated work.
+          result.wasted_index_seconds +=
+              std::max(0.0, slot.progress - slot.started_from);
+          ++result.backup_copies_cancelled;
+          detach_copy(slot, /*requeue_if_orphaned=*/false);
+        } else if (!eligible) {
+          // Evicted: progress beyond the unit's best checkpoint is lost.
+          result.wasted_index_seconds +=
+              std::max(0.0, slot.progress - unit.checkpoint);
+          if (!m.powered_on()) {
+            ++result.evictions_poweroff;
+          } else {
+            ++result.evictions_login;
+          }
+          detach_copy(slot, /*requeue_if_orphaned=*/true);
+        } else {
+          // Harvest the idle share of this step.
+          const double idle_share =
+              std::max(0.0, 1.0 - m.cpu_busy_fraction());
+          slot.progress += m.spec().CombinedIndex() * idle_share * step_s;
+          slot.runtime_since_cp += step_s;
+          busy_machine_seconds += step_s;
+          if (policy_.checkpoint_interval_s > 0.0 &&
+              slot.runtime_since_cp >= policy_.checkpoint_interval_s) {
+            unit.checkpoint = std::max(unit.checkpoint, slot.progress);
+            slot.runtime_since_cp = 0.0;
+            ++result.checkpoints_written;
+          }
+          if (slot.progress >= batch.unit_index_seconds) {
+            // Completed. Overshoot within the final step is discarded (at
+            // most one step of one machine per unit). Work duplicated by
+            // still-running sibling copies is charged when they notice.
+            unit.done = true;
+            ++result.units_completed;
+            // The unit's full work is credited exactly once, here (partial
+            // progress of unfinished units is credited at run end).
+            result.useful_index_seconds += batch.unit_index_seconds;
+            detach_copy(slot, /*requeue_if_orphaned=*/false);
+            if (result.units_completed == batch.unit_count) {
+              result.batch_finished = true;
+              result.makespan_s = static_cast<double>(t + step - start);
+            }
+          }
+        }
+      }
+
+      if (!slot.has_task && eligible) {
+        if (!slot.was_eligible) slot.free_since = t;
+        if (t - slot.free_since >= policy_.claim_delay_s) {
+          std::size_t unit_id = units.size();
+          bool is_backup = false;
+          if (!queue.empty()) {
+            unit_id = queue.back();
+            queue.pop_back();
+            units[unit_id].queued = false;
+          } else if (policy_.speculative_backups) {
+            unit_id = pick_backup_victim();
+            is_backup = unit_id < units.size();
+          }
+          if (unit_id < units.size()) {
+            UnitState& unit = units[unit_id];
+            slot.has_task = true;
+            slot.unit = unit_id;
+            slot.progress = unit.checkpoint;
+            slot.started_from = unit.checkpoint;
+            slot.runtime_since_cp = 0.0;
+            ++unit.running_copies;
+            if (is_backup) ++result.backup_copies_started;
+          }
+        }
+      }
+      slot.was_eligible = eligible;
+    }
+    elapsed_s += step_s;
+    if (result.batch_finished) break;
+  }
+
+  // Surviving progress still counts as useful — it is resumable. For each
+  // unfinished unit, credit the best of its checkpoint and any running
+  // copy (duplicates beyond that best are waste).
+  std::vector<double> best(units.size(), 0.0);
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    if (!units[u].done) best[u] = units[u].checkpoint;
+  }
+  for (const auto& slot : slots) {
+    if (!slot.has_task || units[slot.unit].done) continue;
+    best[slot.unit] = std::max(best[slot.unit], slot.progress);
+  }
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    if (!units[u].done) result.useful_index_seconds += best[u];
+  }
+
+  result.mean_busy_machines =
+      elapsed_s > 0.0 ? busy_machine_seconds / elapsed_s : 0.0;
+  double index_sum = 0.0;
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+    index_sum += fleet_.machine(i).spec().CombinedIndex();
+  }
+  const double avg_index =
+      fleet_.size() ? index_sum / static_cast<double>(fleet_.size()) : 1.0;
+  if (result.makespan_s > 0.0 && avg_index > 0.0) {
+    result.effective_dedicated_machines =
+        result.useful_index_seconds / result.makespan_s / avg_index;
+  }
+  return result;
+}
+
+std::string DescribePolicy(const HarvestPolicy& policy) {
+  std::string out = policy.use_occupied_machines ? "free+occupied" : "free-only";
+  if (policy.checkpoint_interval_s <= 0.0) {
+    out += ", no ckpt";
+  } else {
+    out += ", ckpt " +
+           util::FormatFixed(policy.checkpoint_interval_s / 60.0, 0) + " min";
+  }
+  if (policy.speculative_backups) out += ", backups";
+  return out;
+}
+
+}  // namespace labmon::harvest

@@ -1,0 +1,96 @@
+// NBench/BYTEmark-style CPU benchmark suite.
+//
+// The paper normalises machine performance with NBench INT and FP indexes
+// (Table 1, §5.4). This module implements the ten classic BYTEmark kernels
+// as genuine, self-validating workloads so the indexes can be measured on
+// the host (`examples/nbench_host`) exactly the way the authors ran their
+// benchmark probe through DDC. The simulator assigns Table 1's published
+// indexes to simulated machines; this suite exists so the *measurement
+// machinery* is real, not stubbed.
+//
+// Index semantics follow BYTEmark: the INTEGER index is the geometric mean
+// of seven kernels' rates relative to a fixed baseline machine, the
+// FLOATING-POINT index the geometric mean of the remaining three.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "labmon/util/rng.hpp"
+
+namespace labmon::nbench {
+
+/// The ten BYTEmark kernels.
+enum class KernelId : int {
+  kNumericSort = 0,     // INT: heapsort of int arrays
+  kStringSort = 1,      // INT: sort of variable-length strings
+  kBitfield = 2,        // INT: bitmap set/clear/complement runs
+  kFpEmulation = 3,     // INT: software floating point (fixed-point 32.32)
+  kAssignment = 4,      // INT: task-assignment problem
+  kIdea = 5,            // INT: IDEA block cipher encrypt/decrypt
+  kHuffman = 6,         // INT: Huffman compression round-trip
+  kFourier = 7,         // FP : Fourier series coefficients
+  kNeuralNet = 8,       // FP : back-propagation network training
+  kLuDecomposition = 9, // FP : LU solve of dense linear systems
+};
+
+inline constexpr int kKernelCount = 10;
+
+/// All kernel ids in canonical order.
+[[nodiscard]] std::array<KernelId, kKernelCount> AllKernels() noexcept;
+
+/// Display name ("NUMERIC SORT", matching BYTEmark's banners).
+[[nodiscard]] const char* KernelName(KernelId id) noexcept;
+
+/// True for the seven kernels contributing to the INTEGER index.
+[[nodiscard]] bool IsIntegerKernel(KernelId id) noexcept;
+
+/// Runs one self-validating iteration of the kernel; returns a checksum
+/// that must be stable for a given seed (tests pin these). Throws
+/// std::runtime_error if the kernel's internal verification fails.
+[[nodiscard]] std::uint64_t RunKernelOnce(KernelId id, std::uint64_t seed);
+
+/// Result of timing one kernel.
+struct KernelScore {
+  KernelId id{};
+  double iterations_per_second = 0.0;
+  std::uint64_t iterations = 0;
+  double elapsed_seconds = 0.0;
+  std::uint64_t checksum = 0;  ///< XOR of per-iteration checksums
+};
+
+/// Suite configuration.
+struct SuiteConfig {
+  /// Minimum wall-clock time to spend per kernel (adaptive batching).
+  double min_seconds_per_kernel = 0.10;
+  std::uint64_t seed = 1;
+};
+
+/// INT + FP indexes, BYTEmark-style.
+struct Indexes {
+  double int_index = 0.0;
+  double fp_index = 0.0;
+  /// 50/50 blend used by the paper's equivalence normalisation.
+  [[nodiscard]] double Combined() const noexcept {
+    return 0.5 * int_index + 0.5 * fp_index;
+  }
+};
+
+/// Times a single kernel.
+[[nodiscard]] KernelScore TimeKernel(KernelId id, const SuiteConfig& config);
+
+/// Runs the whole suite.
+[[nodiscard]] std::vector<KernelScore> RunSuite(const SuiteConfig& config);
+
+/// Reduces per-kernel scores to INT/FP indexes (geometric means of rates
+/// relative to the built-in baseline rates).
+[[nodiscard]] Indexes ComputeIndexes(const std::vector<KernelScore>& scores);
+
+/// Baseline iterations/second for a kernel — the reference machine that
+/// scores index 1.0 in each category (a Pentium-90-class box, in keeping
+/// with BYTEmark's original normalisation).
+[[nodiscard]] double BaselineRate(KernelId id) noexcept;
+
+}  // namespace labmon::nbench

@@ -1,0 +1,147 @@
+#include "labmon/nbench/nbench.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "kernels.hpp"
+
+namespace labmon::nbench {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double Elapsed(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+}  // namespace
+
+std::array<KernelId, kKernelCount> AllKernels() noexcept {
+  return {KernelId::kNumericSort,  KernelId::kStringSort,
+          KernelId::kBitfield,     KernelId::kFpEmulation,
+          KernelId::kAssignment,   KernelId::kIdea,
+          KernelId::kHuffman,      KernelId::kFourier,
+          KernelId::kNeuralNet,    KernelId::kLuDecomposition};
+}
+
+const char* KernelName(KernelId id) noexcept {
+  switch (id) {
+    case KernelId::kNumericSort: return "NUMERIC SORT";
+    case KernelId::kStringSort: return "STRING SORT";
+    case KernelId::kBitfield: return "BITFIELD";
+    case KernelId::kFpEmulation: return "FP EMULATION";
+    case KernelId::kAssignment: return "ASSIGNMENT";
+    case KernelId::kIdea: return "IDEA";
+    case KernelId::kHuffman: return "HUFFMAN";
+    case KernelId::kFourier: return "FOURIER";
+    case KernelId::kNeuralNet: return "NEURAL NET";
+    case KernelId::kLuDecomposition: return "LU DECOMPOSITION";
+  }
+  return "UNKNOWN";
+}
+
+bool IsIntegerKernel(KernelId id) noexcept {
+  switch (id) {
+    case KernelId::kFourier:
+    case KernelId::kNeuralNet:
+    case KernelId::kLuDecomposition:
+      return false;
+    default:
+      return true;
+  }
+}
+
+std::uint64_t RunKernelOnce(KernelId id, std::uint64_t seed) {
+  using namespace detail;
+  switch (id) {
+    case KernelId::kNumericSort: return RunNumericSort(seed);
+    case KernelId::kStringSort: return RunStringSort(seed);
+    case KernelId::kBitfield: return RunBitfield(seed);
+    case KernelId::kFpEmulation: return RunFpEmulation(seed);
+    case KernelId::kAssignment: return RunAssignment(seed);
+    case KernelId::kIdea: return RunIdea(seed);
+    case KernelId::kHuffman: return RunHuffman(seed);
+    case KernelId::kFourier: return RunFourier(seed);
+    case KernelId::kNeuralNet: return RunNeuralNet(seed);
+    case KernelId::kLuDecomposition: return RunLuDecomposition(seed);
+  }
+  throw std::runtime_error("unknown kernel id");
+}
+
+KernelScore TimeKernel(KernelId id, const SuiteConfig& config) {
+  KernelScore score;
+  score.id = id;
+  // Warm-up iteration (also primes caches / validates once).
+  score.checksum ^= RunKernelOnce(id, config.seed);
+
+  const auto start = Clock::now();
+  std::uint64_t iterations = 0;
+  std::uint64_t batch = 1;
+  double elapsed = 0.0;
+  while (elapsed < config.min_seconds_per_kernel) {
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      score.checksum ^= RunKernelOnce(id, config.seed + iterations + i);
+    }
+    iterations += batch;
+    elapsed = Elapsed(start);
+    if (elapsed < config.min_seconds_per_kernel / 4.0) batch *= 2;
+  }
+  score.iterations = iterations;
+  score.elapsed_seconds = elapsed;
+  score.iterations_per_second =
+      elapsed > 0.0 ? static_cast<double>(iterations) / elapsed : 0.0;
+  return score;
+}
+
+std::vector<KernelScore> RunSuite(const SuiteConfig& config) {
+  std::vector<KernelScore> scores;
+  scores.reserve(kKernelCount);
+  for (const KernelId id : AllKernels()) {
+    scores.push_back(TimeKernel(id, config));
+  }
+  return scores;
+}
+
+double BaselineRate(KernelId id) noexcept {
+  // Iterations/second that define index 1.0 per kernel — a Pentium-90-class
+  // reference in the spirit of BYTEmark's original baseline machine. The
+  // absolute constants only shift all indexes by a common factor; relative
+  // comparisons between machines (all the paper uses) are unaffected.
+  switch (id) {
+    case KernelId::kNumericSort: return 60.0;
+    case KernelId::kStringSort: return 8.0;
+    case KernelId::kBitfield: return 300.0;
+    case KernelId::kFpEmulation: return 12.0;
+    case KernelId::kAssignment: return 80.0;
+    case KernelId::kIdea: return 150.0;
+    case KernelId::kHuffman: return 100.0;
+    case KernelId::kFourier: return 90.0;
+    case KernelId::kNeuralNet: return 20.0;
+    case KernelId::kLuDecomposition: return 40.0;
+  }
+  return 1.0;
+}
+
+Indexes ComputeIndexes(const std::vector<KernelScore>& scores) {
+  double int_log_sum = 0.0;
+  int int_n = 0;
+  double fp_log_sum = 0.0;
+  int fp_n = 0;
+  for (const KernelScore& s : scores) {
+    if (s.iterations_per_second <= 0.0) continue;
+    const double relative = s.iterations_per_second / BaselineRate(s.id);
+    if (IsIntegerKernel(s.id)) {
+      int_log_sum += std::log(relative);
+      ++int_n;
+    } else {
+      fp_log_sum += std::log(relative);
+      ++fp_n;
+    }
+  }
+  Indexes idx;
+  idx.int_index = int_n ? std::exp(int_log_sum / int_n) : 0.0;
+  idx.fp_index = fp_n ? std::exp(fp_log_sum / fp_n) : 0.0;
+  return idx;
+}
+
+}  // namespace labmon::nbench

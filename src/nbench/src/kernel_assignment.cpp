@@ -1,0 +1,102 @@
+// ASSIGNMENT — task-assignment problem (BYTEmark kernel 5). Solves a dense
+// NxN min-cost assignment with the Hungarian algorithm (potentials form) and
+// certifies optimality via complementary slackness before returning.
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "kernels.hpp"
+#include "labmon/util/rng.hpp"
+
+namespace labmon::nbench::detail {
+
+namespace {
+constexpr int kN = 64;
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+}  // namespace
+
+std::uint64_t RunAssignment(std::uint64_t seed) {
+  util::Rng rng(seed ^ 0x4153534eULL);  // "ASSN"
+  std::vector<std::int64_t> cost(static_cast<std::size_t>(kN) * kN);
+  for (auto& c : cost) c = rng.UniformInt(0, 9999);
+  const auto at = [&](int i, int j) -> std::int64_t& {
+    return cost[static_cast<std::size_t>(i) * kN + j];
+  };
+
+  // Hungarian algorithm with row/column potentials (1-indexed internals).
+  std::vector<std::int64_t> u(kN + 1, 0), v(kN + 1, 0);
+  std::vector<int> p(kN + 1, 0), way(kN + 1, 0);
+  for (int i = 1; i <= kN; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<std::int64_t> minv(kN + 1, kInf);
+    std::vector<char> used(kN + 1, 0);
+    do {
+      used[j0] = 1;
+      const int i0 = p[j0];
+      std::int64_t delta = kInf;
+      int j1 = 0;
+      for (int j = 1; j <= kN; ++j) {
+        if (used[j]) continue;
+        const std::int64_t cur = at(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= kN; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  // row_of[j0-1] = assigned row for column; build row -> column map.
+  std::vector<int> col_of(kN, -1);
+  for (int j = 1; j <= kN; ++j) {
+    if (p[j] > 0) col_of[p[j] - 1] = j - 1;
+  }
+
+  // Validation 1: assignment is a permutation.
+  std::vector<char> seen(kN, 0);
+  for (int i = 0; i < kN; ++i) {
+    if (col_of[i] < 0 || seen[col_of[i]]) {
+      throw std::runtime_error("ASSIGNMENT: not a permutation");
+    }
+    seen[col_of[i]] = 1;
+  }
+  // Validation 2: complementary slackness certifies optimality:
+  // u[i] + v[j] <= c[i][j] for all (i, j), equality on assigned pairs.
+  std::int64_t total = 0;
+  for (int i = 0; i < kN; ++i) {
+    for (int j = 0; j < kN; ++j) {
+      if (u[i + 1] + v[j + 1] > at(i, j)) {
+        throw std::runtime_error("ASSIGNMENT: dual feasibility violated");
+      }
+    }
+    const int j = col_of[i];
+    if (u[i + 1] + v[j + 1] != at(i, j)) {
+      throw std::runtime_error("ASSIGNMENT: complementary slackness violated");
+    }
+    total += at(i, j);
+  }
+  return static_cast<std::uint64_t>(total) * 1099511628211ULL ^
+         static_cast<std::uint64_t>(col_of[0]);
+}
+
+}  // namespace labmon::nbench::detail

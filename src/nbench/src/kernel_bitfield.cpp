@@ -1,0 +1,74 @@
+// BITFIELD — random runs of bit set/clear/complement over a bitmap
+// (BYTEmark kernel 3).
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "kernels.hpp"
+#include "labmon/util/rng.hpp"
+
+namespace labmon::nbench::detail {
+
+namespace {
+constexpr std::size_t kBitmapWords = 2048;  // 64 Ki bits
+constexpr std::size_t kBitCount = kBitmapWords * 32;
+constexpr int kOperations = 256;
+
+void SetRun(std::vector<std::uint32_t>& map, std::size_t start,
+            std::size_t len) noexcept {
+  for (std::size_t b = start; b < start + len; ++b) {
+    map[(b % kBitCount) >> 5] |= (1u << ((b % kBitCount) & 31));
+  }
+}
+
+void ClearRun(std::vector<std::uint32_t>& map, std::size_t start,
+              std::size_t len) noexcept {
+  for (std::size_t b = start; b < start + len; ++b) {
+    map[(b % kBitCount) >> 5] &= ~(1u << ((b % kBitCount) & 31));
+  }
+}
+
+void ComplementRun(std::vector<std::uint32_t>& map, std::size_t start,
+                   std::size_t len) noexcept {
+  for (std::size_t b = start; b < start + len; ++b) {
+    map[(b % kBitCount) >> 5] ^= (1u << ((b % kBitCount) & 31));
+  }
+}
+
+}  // namespace
+
+std::uint64_t RunBitfield(std::uint64_t seed) {
+  util::Rng rng(seed ^ 0x42495446ULL);  // "BITF"
+  std::vector<std::uint32_t> map(kBitmapWords, 0);
+  for (int op = 0; op < kOperations; ++op) {
+    const auto start = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(kBitCount - 1)));
+    const auto len = static_cast<std::size_t>(rng.UniformInt(1, 1024));
+    switch (rng.UniformInt(0, 2)) {
+      case 0: SetRun(map, start, len); break;
+      case 1: ClearRun(map, start, len); break;
+      default: ComplementRun(map, start, len); break;
+    }
+  }
+  // Population count doubles as the validation step: recompute it two ways.
+  std::uint64_t popcount_loop = 0;
+  std::uint64_t popcount_builtin = 0;
+  for (const std::uint32_t w : map) {
+    popcount_builtin += static_cast<std::uint64_t>(__builtin_popcount(w));
+    std::uint32_t v = w;
+    while (v) {
+      v &= v - 1;
+      ++popcount_loop;
+    }
+  }
+  if (popcount_loop != popcount_builtin) {
+    throw std::runtime_error("BITFIELD: popcount mismatch");
+  }
+  std::uint64_t checksum = popcount_loop;
+  for (std::size_t i = 0; i < map.size(); i += 97) {
+    checksum = checksum * 1099511628211ULL ^ map[i];
+  }
+  return checksum;
+}
+
+}  // namespace labmon::nbench::detail

@@ -1,0 +1,127 @@
+// FP EMULATION — software floating point on integer hardware (BYTEmark
+// kernel 4). Implements a miniature binary floating-point format (32-bit
+// mantissa + 16-bit exponent, sign/magnitude) with add/sub/mul/div built
+// from integer operations only, then validates against the hardware FPU.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "kernels.hpp"
+#include "labmon/util/rng.hpp"
+
+namespace labmon::nbench::detail {
+
+namespace {
+
+/// Software float: value = sign * mantissa * 2^(exponent-31), with the
+/// mantissa normalised so bit 31 is set (except for zero).
+struct SoftFloat {
+  std::uint32_t mantissa = 0;
+  std::int32_t exponent = 0;
+  int sign = 1;
+};
+
+SoftFloat Normalize(std::uint64_t mantissa64, std::int32_t exponent,
+                    int sign) noexcept {
+  if (mantissa64 == 0) return SoftFloat{0, 0, 1};
+  while (mantissa64 >= (1ULL << 32)) {
+    mantissa64 >>= 1;
+    ++exponent;
+  }
+  while (mantissa64 < (1ULL << 31)) {
+    mantissa64 <<= 1;
+    --exponent;
+  }
+  return SoftFloat{static_cast<std::uint32_t>(mantissa64), exponent, sign};
+}
+
+SoftFloat FromDouble(double v) noexcept {
+  if (v == 0.0) return SoftFloat{0, 0, 1};
+  const int sign = v < 0 ? -1 : 1;
+  v = std::fabs(v);
+  int exp2 = 0;
+  const double frac = std::frexp(v, &exp2);  // frac in [0.5, 1)
+  const auto mant =
+      static_cast<std::uint64_t>(frac * 4294967296.0);  // frac * 2^32
+  return Normalize(mant, exp2 - 1, sign);  // mantissa*2^(exp-31) semantics
+}
+
+double ToDouble(const SoftFloat& f) noexcept {
+  if (f.mantissa == 0) return 0.0;
+  return f.sign * std::ldexp(static_cast<double>(f.mantissa), f.exponent - 31);
+}
+
+SoftFloat Add(const SoftFloat& a, const SoftFloat& b) noexcept {
+  if (a.mantissa == 0) return b;
+  if (b.mantissa == 0) return a;
+  const SoftFloat* hi = &a;
+  const SoftFloat* lo = &b;
+  if (b.exponent > a.exponent ||
+      (b.exponent == a.exponent && b.mantissa > a.mantissa)) {
+    hi = &b;
+    lo = &a;
+  }
+  const std::int32_t shift = hi->exponent - lo->exponent;
+  const std::uint64_t lo_mant = shift >= 64 ? 0 : (static_cast<std::uint64_t>(lo->mantissa) >> shift);
+  std::uint64_t mant;
+  int sign = hi->sign;
+  if (hi->sign == lo->sign) {
+    mant = static_cast<std::uint64_t>(hi->mantissa) + lo_mant;
+  } else {
+    mant = static_cast<std::uint64_t>(hi->mantissa) - lo_mant;
+  }
+  return Normalize(mant, hi->exponent, sign);
+}
+
+SoftFloat Neg(SoftFloat f) noexcept {
+  f.sign = -f.sign;
+  return f;
+}
+
+SoftFloat Mul(const SoftFloat& a, const SoftFloat& b) noexcept {
+  if (a.mantissa == 0 || b.mantissa == 0) return SoftFloat{0, 0, 1};
+  const std::uint64_t product =
+      (static_cast<std::uint64_t>(a.mantissa) * b.mantissa) >> 31;
+  return Normalize(product, a.exponent + b.exponent, a.sign * b.sign);
+}
+
+SoftFloat Div(const SoftFloat& a, const SoftFloat& b) {
+  if (b.mantissa == 0) throw std::runtime_error("FP EMULATION: divide by zero");
+  if (a.mantissa == 0) return SoftFloat{0, 0, 1};
+  const std::uint64_t numer = static_cast<std::uint64_t>(a.mantissa) << 31;
+  const std::uint64_t quotient = numer / b.mantissa;
+  return Normalize(quotient, a.exponent - b.exponent, a.sign * b.sign);
+}
+
+}  // namespace
+
+std::uint64_t RunFpEmulation(std::uint64_t seed) {
+  util::Rng rng(seed ^ 0x46454d55ULL);  // "FEMU"
+  std::uint64_t checksum = 0;
+  constexpr int kExpressions = 160;
+  for (int i = 0; i < kExpressions; ++i) {
+    const double x = rng.Uniform(-100.0, 100.0);
+    const double y = rng.Uniform(0.5, 50.0);
+    const double z = rng.Uniform(-10.0, 10.0);
+    // Evaluate ((x*y) + z) / y - x in software FP…
+    const SoftFloat sx = FromDouble(x);
+    const SoftFloat sy = FromDouble(y);
+    const SoftFloat sz = FromDouble(z);
+    const SoftFloat soft =
+        Add(Div(Add(Mul(sx, sy), sz), sy), Neg(sx));  // should be ~ z/y
+    const double got = ToDouble(soft);
+    // …and validate against the hardware FPU within emulation tolerance.
+    const double want = (x * y + z) / y - x;
+    const double scale = std::max({std::fabs(x), std::fabs(want), 1.0});
+    if (std::fabs(got - want) > 1e-6 * scale) {
+      throw std::runtime_error("FP EMULATION: result diverged from FPU");
+    }
+    checksum = checksum * 1099511628211ULL ^
+               static_cast<std::uint64_t>(
+                   static_cast<std::int64_t>(got * 4096.0));
+  }
+  return checksum;
+}
+
+}  // namespace labmon::nbench::detail

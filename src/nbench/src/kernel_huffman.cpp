@@ -1,0 +1,188 @@
+// HUFFMAN — Huffman compression round trip (BYTEmark kernel 7). Builds a
+// canonical Huffman code over synthetic English-like text, compresses,
+// decompresses, and verifies byte-exact recovery plus actual shrinkage.
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <queue>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "kernels.hpp"
+#include "labmon/util/rng.hpp"
+
+namespace labmon::nbench::detail {
+
+namespace {
+
+constexpr std::size_t kTextBytes = 8192;
+
+/// Skewed letter frequencies make the text compressible (~English ranking).
+std::string MakeText(util::Rng& rng) {
+  static constexpr const char* kAlphabet = " etaoinshrdlucmfwygpbvkxqjz.";
+  static constexpr double kWeights[] = {
+      17.0, 12.7, 9.1, 8.2, 7.5, 7.0, 6.7, 6.3, 6.1, 6.0, 4.3, 4.0, 2.8,
+      2.8,  2.4,  2.4, 2.2, 2.0, 2.0, 1.9, 1.5, 1.0, 0.8, 0.2, 0.2, 0.2,
+      0.1,  1.3};
+  std::string text;
+  text.reserve(kTextBytes);
+  const std::span<const double> weights(kWeights, std::size(kWeights));
+  for (std::size_t i = 0; i < kTextBytes; ++i) {
+    text.push_back(kAlphabet[rng.WeightedIndex(weights)]);
+  }
+  return text;
+}
+
+struct Node {
+  std::uint64_t freq = 0;
+  int symbol = -1;  ///< leaf symbol, -1 for internal
+  int left = -1;
+  int right = -1;
+};
+
+/// Builds code lengths via a Huffman tree, then assigns canonical codes.
+struct Codebook {
+  std::vector<std::uint8_t> lengths;   // per symbol (256)
+  std::vector<std::uint32_t> codes;    // canonical, MSB-first
+};
+
+Codebook BuildCodebook(const std::string& text) {
+  std::vector<std::uint64_t> freq(256, 0);
+  for (const unsigned char c : text) ++freq[c];
+
+  std::vector<Node> nodes;
+  using HeapItem = std::pair<std::uint64_t, int>;  // (freq, node index)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (int s = 0; s < 256; ++s) {
+    if (freq[s] == 0) continue;
+    nodes.push_back(Node{freq[s], s, -1, -1});
+    heap.emplace(freq[s], static_cast<int>(nodes.size()) - 1);
+  }
+  if (heap.size() == 1) {  // degenerate single-symbol text
+    const auto [f, idx] = heap.top();
+    nodes.push_back(Node{f, -1, idx, idx});
+  }
+  while (heap.size() > 1) {
+    const auto [fa, a] = heap.top();
+    heap.pop();
+    const auto [fb, b] = heap.top();
+    heap.pop();
+    nodes.push_back(Node{fa + fb, -1, a, b});
+    heap.emplace(fa + fb, static_cast<int>(nodes.size()) - 1);
+  }
+
+  Codebook book;
+  book.lengths.assign(256, 0);
+  book.codes.assign(256, 0);
+  // Depth-first walk to get code lengths.
+  struct Frame {
+    int node;
+    std::uint8_t depth;
+  };
+  std::vector<Frame> stack{{static_cast<int>(nodes.size()) - 1, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& n = nodes[static_cast<std::size_t>(f.node)];
+    if (n.symbol >= 0) {
+      book.lengths[static_cast<std::size_t>(n.symbol)] =
+          std::max<std::uint8_t>(1, f.depth);
+      continue;
+    }
+    stack.push_back({n.left, static_cast<std::uint8_t>(f.depth + 1)});
+    if (n.right != n.left) {
+      stack.push_back({n.right, static_cast<std::uint8_t>(f.depth + 1)});
+    }
+  }
+  // Canonical code assignment: sort by (length, symbol).
+  std::vector<int> symbols;
+  for (int s = 0; s < 256; ++s) {
+    if (book.lengths[static_cast<std::size_t>(s)] > 0) symbols.push_back(s);
+  }
+  std::sort(symbols.begin(), symbols.end(), [&](int a, int b) {
+    const auto la = book.lengths[static_cast<std::size_t>(a)];
+    const auto lb = book.lengths[static_cast<std::size_t>(b)];
+    return la != lb ? la < lb : a < b;
+  });
+  std::uint32_t code = 0;
+  std::uint8_t prev_len = 0;
+  for (const int s : symbols) {
+    const auto len = book.lengths[static_cast<std::size_t>(s)];
+    code <<= (len - prev_len);
+    book.codes[static_cast<std::size_t>(s)] = code;
+    ++code;
+    prev_len = len;
+  }
+  return book;
+}
+
+}  // namespace
+
+std::uint64_t RunHuffman(std::uint64_t seed) {
+  util::Rng rng(seed ^ 0x48554646ULL);  // "HUFF"
+  const std::string text = MakeText(rng);
+  const Codebook book = BuildCodebook(text);
+
+  // Compress: MSB-first bit packing.
+  std::vector<std::uint8_t> packed;
+  packed.reserve(text.size() / 2);
+  std::uint32_t bit_buffer = 0;
+  int bits_pending = 0;
+  for (const unsigned char c : text) {
+    const std::uint8_t len = book.lengths[c];
+    bit_buffer = (bit_buffer << len) | book.codes[c];
+    bits_pending += len;
+    while (bits_pending >= 8) {
+      packed.push_back(
+          static_cast<std::uint8_t>(bit_buffer >> (bits_pending - 8)));
+      bits_pending -= 8;
+    }
+  }
+  if (bits_pending > 0) {
+    packed.push_back(static_cast<std::uint8_t>(bit_buffer << (8 - bits_pending)));
+  }
+  if (packed.size() >= text.size()) {
+    throw std::runtime_error("HUFFMAN: no compression achieved");
+  }
+
+  // Decompress with a (length, code) -> symbol walk on canonical codes.
+  std::string recovered;
+  recovered.reserve(text.size());
+  std::uint32_t acc = 0;
+  std::uint8_t acc_len = 0;
+  std::size_t byte_idx = 0;
+  int bit_idx = 7;
+  while (recovered.size() < text.size()) {
+    if (byte_idx >= packed.size()) {
+      throw std::runtime_error("HUFFMAN: bitstream exhausted early");
+    }
+    acc = (acc << 1) | ((packed[byte_idx] >> bit_idx) & 1u);
+    ++acc_len;
+    if (--bit_idx < 0) {
+      bit_idx = 7;
+      ++byte_idx;
+    }
+    for (int s = 0; s < 256; ++s) {
+      if (book.lengths[static_cast<std::size_t>(s)] == acc_len &&
+          book.codes[static_cast<std::size_t>(s)] == acc) {
+        recovered.push_back(static_cast<char>(s));
+        acc = 0;
+        acc_len = 0;
+        break;
+      }
+    }
+    if (acc_len > 30) throw std::runtime_error("HUFFMAN: code walk diverged");
+  }
+  if (recovered != text) {
+    throw std::runtime_error("HUFFMAN: round trip mismatch");
+  }
+  std::uint64_t checksum = packed.size();
+  for (std::size_t i = 0; i < packed.size(); i += 53) {
+    checksum = checksum * 1099511628211ULL ^ packed[i];
+  }
+  return checksum;
+}
+
+}  // namespace labmon::nbench::detail

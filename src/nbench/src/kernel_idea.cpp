@@ -1,0 +1,166 @@
+// IDEA — International Data Encryption Algorithm (BYTEmark kernel 6).
+// Full 8.5-round IDEA over a 4 KiB buffer; each iteration encrypts then
+// decrypts and verifies the round trip (historical benchmark cipher — not
+// for production cryptography).
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "kernels.hpp"
+#include "labmon/util/rng.hpp"
+
+namespace labmon::nbench::detail {
+
+namespace {
+
+constexpr int kRounds = 8;
+constexpr int kKeySubkeys = 52;
+constexpr std::size_t kBufferBytes = 4096;
+
+using SubkeyArray = std::array<std::uint16_t, kKeySubkeys>;
+
+/// Multiplication modulo 65537 with 0 representing 65536 (IDEA's group op).
+std::uint16_t MulMod(std::uint32_t a, std::uint32_t b) noexcept {
+  if (a == 0) a = 0x10000;
+  if (b == 0) b = 0x10000;
+  const std::uint32_t product = (a * b) % 0x10001;
+  return static_cast<std::uint16_t>(product == 0x10000 ? 0 : product);
+}
+
+/// Multiplicative inverse modulo 65537 (extended Euclid).
+std::uint16_t MulInv(std::uint16_t x) noexcept {
+  if (x <= 1) return x;
+  std::int64_t t0 = 0, t1 = 1;
+  std::int64_t r0 = 0x10001, r1 = x;
+  while (r1 != 0) {
+    const std::int64_t q = r0 / r1;
+    std::int64_t tmp = r0 - q * r1;
+    r0 = r1;
+    r1 = tmp;
+    tmp = t0 - q * t1;
+    t0 = t1;
+    t1 = tmp;
+  }
+  if (t0 < 0) t0 += 0x10001;
+  return static_cast<std::uint16_t>(t0);
+}
+
+SubkeyArray ExpandKey(const std::array<std::uint16_t, 8>& key) noexcept {
+  SubkeyArray z{};
+  for (int i = 0; i < 8; ++i) z[i] = key[i];
+  // Each batch of 8 subkeys is the 128-bit key rotated left by 25 bits
+  // (standard Lai/Massey schedule).
+  for (int i = 8; i < kKeySubkeys; ++i) {
+    std::uint16_t hi, lo;
+    if ((i & 7) < 6) {
+      hi = z[i - 7];
+      lo = z[i - 6];
+    } else if ((i & 7) == 6) {
+      hi = z[i - 7];
+      lo = z[i - 14];
+    } else {
+      hi = z[i - 15];
+      lo = z[i - 14];
+    }
+    z[i] = static_cast<std::uint16_t>(((hi & 127u) << 9) | (lo >> 7));
+  }
+  return z;
+}
+
+SubkeyArray InvertKey(const SubkeyArray& z) noexcept {
+  // Classic back-to-front construction (Lai/Massey; cf. the reference
+  // implementation in Schneier's Applied Cryptography).
+  SubkeyArray dk{};
+  int zi = 0;
+  int p = kKeySubkeys;
+  const auto neg = [](std::uint16_t x) {
+    return static_cast<std::uint16_t>(0 - x);
+  };
+  std::uint16_t t1 = MulInv(z[zi++]);
+  std::uint16_t t2 = neg(z[zi++]);
+  std::uint16_t t3 = neg(z[zi++]);
+  dk[--p] = MulInv(z[zi++]);
+  dk[--p] = t3;
+  dk[--p] = t2;
+  dk[--p] = t1;
+  for (int r = 1; r < kRounds; ++r) {
+    t1 = z[zi++];
+    dk[--p] = z[zi++];
+    dk[--p] = t1;
+    t1 = MulInv(z[zi++]);
+    t2 = neg(z[zi++]);
+    t3 = neg(z[zi++]);
+    dk[--p] = MulInv(z[zi++]);
+    dk[--p] = t2;  // inner rounds swap the two additive subkeys
+    dk[--p] = t3;
+    dk[--p] = t1;
+  }
+  t1 = z[zi++];
+  dk[--p] = z[zi++];
+  dk[--p] = t1;
+  t1 = MulInv(z[zi++]);
+  t2 = neg(z[zi++]);
+  t3 = neg(z[zi++]);
+  dk[--p] = MulInv(z[zi++]);
+  dk[--p] = t3;
+  dk[--p] = t2;
+  dk[--p] = t1;
+  return dk;
+}
+
+void CipherBlock(std::uint16_t* block, const SubkeyArray& z) noexcept {
+  std::uint16_t x1 = block[0], x2 = block[1], x3 = block[2], x4 = block[3];
+  int k = 0;
+  for (int r = 0; r < kRounds; ++r) {
+    x1 = MulMod(x1, z[k + 0]);
+    x2 = static_cast<std::uint16_t>(x2 + z[k + 1]);
+    x3 = static_cast<std::uint16_t>(x3 + z[k + 2]);
+    x4 = MulMod(x4, z[k + 3]);
+    const std::uint16_t t1 = MulMod(x1 ^ x3, z[k + 4]);
+    const std::uint16_t t2 =
+        MulMod(static_cast<std::uint16_t>((x2 ^ x4) + t1), z[k + 5]);
+    const std::uint16_t t3 = static_cast<std::uint16_t>(t1 + t2);
+    x1 ^= t2;
+    x4 ^= t3;
+    const std::uint16_t tmp = x2 ^ t3;
+    x2 = x3 ^ t2;
+    x3 = tmp;
+    k += 6;
+  }
+  block[0] = MulMod(x1, z[k + 0]);
+  block[1] = static_cast<std::uint16_t>(x3 + z[k + 1]);
+  block[2] = static_cast<std::uint16_t>(x2 + z[k + 2]);
+  block[3] = MulMod(x4, z[k + 3]);
+}
+
+}  // namespace
+
+std::uint64_t RunIdea(std::uint64_t seed) {
+  util::Rng rng(seed ^ 0x49444541ULL);  // "IDEA"
+  std::array<std::uint16_t, 8> key{};
+  for (auto& k : key) k = static_cast<std::uint16_t>(rng.NextU64());
+  const SubkeyArray enc = ExpandKey(key);
+  const SubkeyArray dec = InvertKey(enc);
+
+  std::vector<std::uint16_t> plain(kBufferBytes / 2);
+  for (auto& w : plain) w = static_cast<std::uint16_t>(rng.NextU64());
+  std::vector<std::uint16_t> work = plain;
+
+  for (std::size_t off = 0; off + 4 <= work.size(); off += 4) {
+    CipherBlock(work.data() + off, enc);
+  }
+  std::uint64_t checksum = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < work.size(); i += 31) {
+    checksum = (checksum ^ work[i]) * 1099511628211ULL;
+  }
+  for (std::size_t off = 0; off + 4 <= work.size(); off += 4) {
+    CipherBlock(work.data() + off, dec);
+  }
+  if (work != plain) {
+    throw std::runtime_error("IDEA: decrypt(encrypt(x)) != x");
+  }
+  return checksum;
+}
+
+}  // namespace labmon::nbench::detail

@@ -1,0 +1,95 @@
+// LU DECOMPOSITION — dense linear system solve via Crout/Doolittle LU with
+// partial pivoting (BYTEmark kernel 10). Validates by back-substitution
+// residual against the original system.
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "kernels.hpp"
+#include "labmon/util/rng.hpp"
+
+namespace labmon::nbench::detail {
+
+namespace {
+constexpr int kN = 64;
+}
+
+std::uint64_t RunLuDecomposition(std::uint64_t seed) {
+  util::Rng rng(seed ^ 0x4c554445ULL);  // "LUDE"
+  std::vector<double> a(static_cast<std::size_t>(kN) * kN);
+  std::vector<double> b(kN);
+  const auto at = [&](std::vector<double>& m, int i, int j) -> double& {
+    return m[static_cast<std::size_t>(i) * kN + j];
+  };
+  for (int i = 0; i < kN; ++i) {
+    double row_sum = 0.0;
+    for (int j = 0; j < kN; ++j) {
+      const double v = rng.Uniform(-1.0, 1.0);
+      at(a, i, j) = v;
+      row_sum += std::fabs(v);
+    }
+    at(a, i, i) += row_sum;  // diagonal dominance keeps the system benign
+    b[i] = rng.Uniform(-10.0, 10.0);
+  }
+  std::vector<double> lu = a;
+  std::vector<int> perm(kN);
+  for (int i = 0; i < kN; ++i) perm[i] = i;
+
+  // Doolittle LU with partial pivoting, in place.
+  for (int k = 0; k < kN; ++k) {
+    int pivot = k;
+    double best = std::fabs(at(lu, k, k));
+    for (int i = k + 1; i < kN; ++i) {
+      const double cand = std::fabs(at(lu, i, k));
+      if (cand > best) {
+        best = cand;
+        pivot = i;
+      }
+    }
+    if (best < 1e-12) throw std::runtime_error("LU: singular matrix");
+    if (pivot != k) {
+      for (int j = 0; j < kN; ++j) std::swap(at(lu, k, j), at(lu, pivot, j));
+      std::swap(perm[k], perm[pivot]);
+    }
+    for (int i = k + 1; i < kN; ++i) {
+      at(lu, i, k) /= at(lu, k, k);
+      const double factor = at(lu, i, k);
+      for (int j = k + 1; j < kN; ++j) {
+        at(lu, i, j) -= factor * at(lu, k, j);
+      }
+    }
+  }
+
+  // Solve L y = P b, then U x = y.
+  std::vector<double> x(kN);
+  for (int i = 0; i < kN; ++i) {
+    double sum = b[static_cast<std::size_t>(perm[i])];
+    for (int j = 0; j < i; ++j) sum -= at(lu, i, j) * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = sum;
+  }
+  for (int i = kN - 1; i >= 0; --i) {
+    double sum = x[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < kN; ++j) sum -= at(lu, i, j) * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = sum / at(lu, i, i);
+  }
+
+  // Validation: residual ||Ax - b||_inf must be tiny.
+  double residual = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    double dot = 0.0;
+    for (int j = 0; j < kN; ++j) dot += at(a, i, j) * x[static_cast<std::size_t>(j)];
+    residual = std::max(residual, std::fabs(dot - b[static_cast<std::size_t>(i)]));
+  }
+  if (residual > 1e-8) throw std::runtime_error("LU: residual too large");
+
+  std::uint64_t checksum = 0;
+  for (int i = 0; i < kN; i += 7) {
+    checksum = checksum * 1099511628211ULL ^
+               static_cast<std::uint64_t>(
+                   static_cast<std::int64_t>(x[static_cast<std::size_t>(i)] * 1e6));
+  }
+  return checksum;
+}
+
+}  // namespace labmon::nbench::detail

@@ -1,0 +1,145 @@
+// NEURAL NET — back-propagation training of a small feed-forward network
+// (BYTEmark kernel 9). The original learns 5x7 bitmap digits -> 8-bit codes;
+// we train 26 8-bit parity/identity patterns through a 8-12-8 network and
+// verify the trained network actually classifies its training set.
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "kernels.hpp"
+#include "labmon/util/rng.hpp"
+
+namespace labmon::nbench::detail {
+
+namespace {
+
+constexpr int kIn = 8;
+constexpr int kHidden = 12;
+constexpr int kOut = 8;
+constexpr int kPatterns = 26;
+constexpr int kMaxEpochs = 400;
+constexpr double kLearningRate = 0.6;
+constexpr double kMomentum = 0.4;
+
+double Sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
+
+struct Network {
+  std::array<std::array<double, kIn + 1>, kHidden> w_ih{};   // +1 bias
+  std::array<std::array<double, kHidden + 1>, kOut> w_ho{};  // +1 bias
+  std::array<std::array<double, kIn + 1>, kHidden> dw_ih{};
+  std::array<std::array<double, kHidden + 1>, kOut> dw_ho{};
+
+  std::array<double, kHidden> hidden{};
+  std::array<double, kOut> out{};
+
+  void Forward(const std::array<double, kIn>& in) noexcept {
+    for (int h = 0; h < kHidden; ++h) {
+      double sum = w_ih[h][kIn];  // bias
+      for (int i = 0; i < kIn; ++i) sum += w_ih[h][i] * in[i];
+      hidden[h] = Sigmoid(sum);
+    }
+    for (int o = 0; o < kOut; ++o) {
+      double sum = w_ho[o][kHidden];  // bias
+      for (int h = 0; h < kHidden; ++h) sum += w_ho[o][h] * hidden[h];
+      out[o] = Sigmoid(sum);
+    }
+  }
+
+  double Train(const std::array<double, kIn>& in,
+               const std::array<double, kOut>& target) noexcept {
+    Forward(in);
+    std::array<double, kOut> delta_o{};
+    double error = 0.0;
+    for (int o = 0; o < kOut; ++o) {
+      const double e = target[o] - out[o];
+      error += e * e;
+      delta_o[o] = e * out[o] * (1.0 - out[o]);
+    }
+    std::array<double, kHidden> delta_h{};
+    for (int h = 0; h < kHidden; ++h) {
+      double sum = 0.0;
+      for (int o = 0; o < kOut; ++o) sum += delta_o[o] * w_ho[o][h];
+      delta_h[h] = sum * hidden[h] * (1.0 - hidden[h]);
+    }
+    for (int o = 0; o < kOut; ++o) {
+      for (int h = 0; h < kHidden; ++h) {
+        const double dw = kLearningRate * delta_o[o] * hidden[h] +
+                          kMomentum * dw_ho[o][h];
+        w_ho[o][h] += dw;
+        dw_ho[o][h] = dw;
+      }
+      const double dwb =
+          kLearningRate * delta_o[o] + kMomentum * dw_ho[o][kHidden];
+      w_ho[o][kHidden] += dwb;
+      dw_ho[o][kHidden] = dwb;
+    }
+    for (int h = 0; h < kHidden; ++h) {
+      for (int i = 0; i < kIn; ++i) {
+        const double dw =
+            kLearningRate * delta_h[h] * in[i] + kMomentum * dw_ih[h][i];
+        w_ih[h][i] += dw;
+        dw_ih[h][i] = dw;
+      }
+      const double dwb =
+          kLearningRate * delta_h[h] + kMomentum * dw_ih[h][kIn];
+      w_ih[h][kIn] += dwb;
+      dw_ih[h][kIn] = dwb;
+    }
+    return error;
+  }
+};
+
+}  // namespace
+
+std::uint64_t RunNeuralNet(std::uint64_t seed) {
+  util::Rng rng(seed ^ 0x4e4e4554ULL);  // "NNET"
+  Network net;
+  for (auto& row : net.w_ih) {
+    for (auto& w : row) w = rng.Uniform(-0.5, 0.5);
+  }
+  for (auto& row : net.w_ho) {
+    for (auto& w : row) w = rng.Uniform(-0.5, 0.5);
+  }
+
+  // Training set: input = 8-bit code of letter index, target = rotated code.
+  std::array<std::array<double, kIn>, kPatterns> inputs{};
+  std::array<std::array<double, kOut>, kPatterns> targets{};
+  for (int p = 0; p < kPatterns; ++p) {
+    const unsigned code = static_cast<unsigned>(p) + 0x41;  // 'A'..'Z'
+    const unsigned rotated = ((code << 3) | (code >> 5)) & 0xff;
+    for (int b = 0; b < 8; ++b) {
+      inputs[p][b] = (code >> b) & 1u ? 0.9 : 0.1;
+      targets[p][b] = (rotated >> b) & 1u ? 0.9 : 0.1;
+    }
+  }
+
+  int epochs = 0;
+  double error = 1e9;
+  while (epochs < kMaxEpochs && error > 0.5) {
+    error = 0.0;
+    for (int p = 0; p < kPatterns; ++p) {
+      error += net.Train(inputs[p], targets[p]);
+    }
+    ++epochs;
+  }
+
+  // Validation: every pattern must decode to the correct bits.
+  for (int p = 0; p < kPatterns; ++p) {
+    net.Forward(inputs[p]);
+    for (int b = 0; b < 8; ++b) {
+      const bool want = targets[p][b] > 0.5;
+      const bool got = net.out[b] > 0.5;
+      if (want != got) {
+        throw std::runtime_error("NEURAL NET: failed to learn training set");
+      }
+    }
+  }
+  std::uint64_t checksum = static_cast<std::uint64_t>(epochs);
+  checksum = checksum * 1099511628211ULL ^
+             static_cast<std::uint64_t>(
+                 static_cast<std::int64_t>(error * 1e6));
+  return checksum;
+}
+
+}  // namespace labmon::nbench::detail

@@ -1,0 +1,64 @@
+// NUMERIC SORT — heapsort of 32-bit integer arrays (BYTEmark kernel 1).
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+
+#include "kernels.hpp"
+#include "labmon/util/rng.hpp"
+
+namespace labmon::nbench::detail {
+
+namespace {
+
+constexpr std::size_t kArraySize = 2048;
+constexpr int kArraysPerIteration = 4;
+
+void SiftDown(std::array<std::int32_t, kArraySize>& a, std::size_t start,
+              std::size_t end) noexcept {
+  std::size_t root = start;
+  while (2 * root + 1 <= end) {
+    std::size_t child = 2 * root + 1;
+    if (child + 1 <= end && a[child] < a[child + 1]) ++child;
+    if (a[root] < a[child]) {
+      std::swap(a[root], a[child]);
+      root = child;
+    } else {
+      return;
+    }
+  }
+}
+
+void HeapSort(std::array<std::int32_t, kArraySize>& a) noexcept {
+  for (std::size_t start = kArraySize / 2; start-- > 0;) {
+    SiftDown(a, start, kArraySize - 1);
+  }
+  for (std::size_t end = kArraySize - 1; end > 0; --end) {
+    std::swap(a[0], a[end]);
+    SiftDown(a, 0, end - 1);
+  }
+}
+
+}  // namespace
+
+std::uint64_t RunNumericSort(std::uint64_t seed) {
+  util::Rng rng(seed ^ 0x4e554d53ULL);  // "NUMS"
+  std::uint64_t checksum = 0;
+  std::array<std::int32_t, kArraySize> data{};
+  for (int pass = 0; pass < kArraysPerIteration; ++pass) {
+    for (auto& v : data) {
+      v = static_cast<std::int32_t>(rng.NextU64());
+    }
+    HeapSort(data);
+    for (std::size_t i = 1; i < kArraySize; ++i) {
+      if (data[i - 1] > data[i]) {
+        throw std::runtime_error("NUMERIC SORT: output not sorted");
+      }
+    }
+    checksum = checksum * 1099511628211ULL ^
+               static_cast<std::uint64_t>(
+                   static_cast<std::uint32_t>(data[kArraySize / 2]));
+  }
+  return checksum;
+}
+
+}  // namespace labmon::nbench::detail

@@ -1,0 +1,61 @@
+// STRING SORT — sorts arrays of variable-length strings (BYTEmark kernel 2).
+// Like the original, strings live in one contiguous pool and sorting moves
+// index records, not bytes.
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+#include "kernels.hpp"
+#include "labmon/util/rng.hpp"
+
+namespace labmon::nbench::detail {
+
+namespace {
+constexpr std::size_t kStringCount = 1024;
+constexpr std::size_t kMinLen = 4;
+constexpr std::size_t kMaxLen = 40;
+}  // namespace
+
+std::uint64_t RunStringSort(std::uint64_t seed) {
+  util::Rng rng(seed ^ 0x53545253ULL);  // "STRS"
+  std::vector<char> pool;
+  pool.reserve(kStringCount * kMaxLen);
+  struct Record {
+    std::uint32_t offset;
+    std::uint32_t length;
+  };
+  std::vector<Record> records;
+  records.reserve(kStringCount);
+  for (std::size_t i = 0; i < kStringCount; ++i) {
+    const auto len = static_cast<std::size_t>(
+        rng.UniformInt(static_cast<std::int64_t>(kMinLen),
+                       static_cast<std::int64_t>(kMaxLen)));
+    records.push_back(Record{static_cast<std::uint32_t>(pool.size()),
+                             static_cast<std::uint32_t>(len)});
+    for (std::size_t c = 0; c < len; ++c) {
+      pool.push_back(static_cast<char>('A' + rng.UniformInt(0, 25)));
+    }
+  }
+  const auto view = [&](const Record& r) {
+    return std::string_view(pool.data() + r.offset, r.length);
+  };
+  std::sort(records.begin(), records.end(),
+            [&](const Record& a, const Record& b) { return view(a) < view(b); });
+  std::uint64_t checksum = 1469598103934665603ULL;
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    if (view(records[i - 1]) > view(records[i])) {
+      throw std::runtime_error("STRING SORT: output not sorted");
+    }
+  }
+  for (const Record& r : records) {
+    const auto sv = view(r);
+    checksum = (checksum ^ static_cast<unsigned char>(sv.front())) *
+               1099511628211ULL;
+    checksum = (checksum ^ sv.size()) * 1099511628211ULL;
+  }
+  return checksum;
+}
+
+}  // namespace labmon::nbench::detail

@@ -1,0 +1,22 @@
+// Internal kernel entry points (one translation unit per kernel).
+// Each function runs one self-validating iteration with a deterministic
+// working set derived from `seed` and returns a checksum; it throws
+// std::runtime_error on verification failure.
+#pragma once
+
+#include <cstdint>
+
+namespace labmon::nbench::detail {
+
+std::uint64_t RunNumericSort(std::uint64_t seed);
+std::uint64_t RunStringSort(std::uint64_t seed);
+std::uint64_t RunBitfield(std::uint64_t seed);
+std::uint64_t RunFpEmulation(std::uint64_t seed);
+std::uint64_t RunAssignment(std::uint64_t seed);
+std::uint64_t RunIdea(std::uint64_t seed);
+std::uint64_t RunHuffman(std::uint64_t seed);
+std::uint64_t RunFourier(std::uint64_t seed);
+std::uint64_t RunNeuralNet(std::uint64_t seed);
+std::uint64_t RunLuDecomposition(std::uint64_t seed);
+
+}  // namespace labmon::nbench::detail

@@ -1,0 +1,80 @@
+// ATA S.M.A.R.T. attribute model.
+//
+// The paper (§3.1, §5.2.2) reads two SMART counters from every monitored
+// disk: Power-On Hours Count (attribute 0x09) and Power Cycle Count
+// (attribute 0x0C). We model the real on-disk representation — the 512-byte
+// SMART data block of ATA/ATAPI-5, containing up to 30 twelve-byte attribute
+// entries and a two's-complement checksum — so the probe exercises a genuine
+// decode path rather than reading struct fields.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "labmon/util/expected.hpp"
+
+namespace labmon::smart {
+
+/// Well-known attribute identifiers (subset relevant to the study).
+enum class AttributeId : std::uint8_t {
+  kRawReadErrorRate = 0x01,
+  kSpinUpTime = 0x03,
+  kStartStopCount = 0x04,
+  kReallocatedSectors = 0x05,
+  kSeekErrorRate = 0x07,
+  kPowerOnHours = 0x09,
+  kSpinRetryCount = 0x0A,
+  kPowerCycleCount = 0x0C,
+  kTemperature = 0xC2,
+  kHardwareEccRecovered = 0xC3,
+  kCurrentPendingSectors = 0xC5,
+};
+
+/// Human-readable name for an attribute id ("Power_On_Hours", ...).
+[[nodiscard]] const char* AttributeName(AttributeId id) noexcept;
+
+/// One 12-byte SMART attribute table entry.
+struct Attribute {
+  AttributeId id{};
+  std::uint16_t flags = 0x0032;  ///< typical event-count flags
+  std::uint8_t value = 100;      ///< normalised current value
+  std::uint8_t worst = 100;      ///< normalised worst value
+  std::uint64_t raw = 0;         ///< 48-bit raw counter
+};
+
+inline constexpr std::size_t kSmartBlockSize = 512;
+inline constexpr std::size_t kMaxAttributes = 30;
+
+/// A decoded SMART data block: ordered attribute list.
+class AttributeTable {
+ public:
+  /// Adds or replaces the entry for `attr.id`.
+  void Set(const Attribute& attr);
+  /// Looks up an entry by id.
+  [[nodiscard]] std::optional<Attribute> Find(AttributeId id) const noexcept;
+  /// Raw counter of an attribute, or `fallback` when absent.
+  [[nodiscard]] std::uint64_t RawOf(AttributeId id,
+                                    std::uint64_t fallback = 0) const noexcept;
+
+  [[nodiscard]] const std::vector<Attribute>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Serialises to the 512-byte ATA SMART data block (entries at offset 2,
+  /// zero padding, checksum in the final byte so the block sums to 0 mod 256).
+  [[nodiscard]] std::array<std::uint8_t, kSmartBlockSize> Encode() const;
+
+  /// Parses a 512-byte block; verifies the checksum and entry bounds.
+  [[nodiscard]] static util::Result<AttributeTable> Decode(
+      std::span<const std::uint8_t> block);
+
+ private:
+  std::vector<Attribute> entries_;
+};
+
+}  // namespace labmon::smart

@@ -1,0 +1,55 @@
+// Stateful SMART counters of one simulated hard disk.
+//
+// Tracks lifetime Power-On Hours and Power Cycle Count across the disk's
+// whole life — including the pre-experiment "prior life" the paper exploits
+// in §5.2.2 to estimate long-run uptime-per-power-cycle. Sub-hour on-time is
+// carried internally so the exported hour counter advances like a real
+// drive's (whole hours only).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "labmon/smart/attributes.hpp"
+
+namespace labmon::smart {
+
+/// Lifetime SMART state of a disk.
+class DiskSmart {
+ public:
+  DiskSmart() = default;
+  /// Seeds prior-life counters (hours on, cycle count) accumulated before
+  /// the monitoring experiment begins.
+  DiskSmart(std::string serial, double prior_hours, std::uint64_t prior_cycles);
+
+  /// Registers a power-on event (increments the cycle counter).
+  void NotePowerOn() noexcept { ++power_cycles_; }
+
+  /// Accrues powered-on time. Call whenever simulated on-time elapses.
+  void AccrueOnTime(double seconds) noexcept;
+
+  [[nodiscard]] const std::string& serial() const noexcept { return serial_; }
+  /// Lifetime whole power-on hours (SMART raw value of attribute 0x09).
+  [[nodiscard]] std::uint64_t PowerOnHours() const noexcept;
+  /// Lifetime power-on hours including the fractional part (model-internal
+  /// precision, used by analyses that want exact ratios).
+  [[nodiscard]] double PowerOnHoursExact() const noexcept { return hours_; }
+  /// Lifetime power cycle count (SMART raw value of attribute 0x0C).
+  [[nodiscard]] std::uint64_t PowerCycles() const noexcept {
+    return power_cycles_;
+  }
+
+  /// Mean power-on hours per power cycle over the disk's whole life.
+  [[nodiscard]] double UptimePerCycleHours() const noexcept;
+
+  /// Snapshot as an encodable SMART attribute table (the two counters the
+  /// study uses plus plausible static attributes).
+  [[nodiscard]] AttributeTable Snapshot() const;
+
+ private:
+  std::string serial_ = "UNSET-SERIAL";
+  double hours_ = 0.0;  ///< lifetime powered-on hours (exact)
+  std::uint64_t power_cycles_ = 0;
+};
+
+}  // namespace labmon::smart

@@ -1,0 +1,105 @@
+#include "labmon/smart/attributes.hpp"
+
+#include <algorithm>
+
+namespace labmon::smart {
+
+const char* AttributeName(AttributeId id) noexcept {
+  switch (id) {
+    case AttributeId::kRawReadErrorRate: return "Raw_Read_Error_Rate";
+    case AttributeId::kSpinUpTime: return "Spin_Up_Time";
+    case AttributeId::kStartStopCount: return "Start_Stop_Count";
+    case AttributeId::kReallocatedSectors: return "Reallocated_Sector_Ct";
+    case AttributeId::kSeekErrorRate: return "Seek_Error_Rate";
+    case AttributeId::kPowerOnHours: return "Power_On_Hours";
+    case AttributeId::kSpinRetryCount: return "Spin_Retry_Count";
+    case AttributeId::kPowerCycleCount: return "Power_Cycle_Count";
+    case AttributeId::kTemperature: return "Temperature_Celsius";
+    case AttributeId::kHardwareEccRecovered: return "Hardware_ECC_Recovered";
+    case AttributeId::kCurrentPendingSectors: return "Current_Pending_Sector";
+  }
+  return "Unknown_Attribute";
+}
+
+void AttributeTable::Set(const Attribute& attr) {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [&](const Attribute& e) { return e.id == attr.id; });
+  if (it != entries_.end()) {
+    *it = attr;
+  } else {
+    entries_.push_back(attr);
+  }
+}
+
+std::optional<Attribute> AttributeTable::Find(AttributeId id) const noexcept {
+  for (const auto& e : entries_) {
+    if (e.id == id) return e;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t AttributeTable::RawOf(AttributeId id,
+                                    std::uint64_t fallback) const noexcept {
+  const auto attr = Find(id);
+  return attr ? attr->raw : fallback;
+}
+
+std::array<std::uint8_t, kSmartBlockSize> AttributeTable::Encode() const {
+  std::array<std::uint8_t, kSmartBlockSize> block{};
+  // Bytes 0-1: SMART structure revision number (0x0010 little-endian).
+  block[0] = 0x10;
+  block[1] = 0x00;
+  std::size_t offset = 2;
+  const std::size_t n = std::min(entries_.size(), kMaxAttributes);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Attribute& a = entries_[i];
+    block[offset + 0] = static_cast<std::uint8_t>(a.id);
+    block[offset + 1] = static_cast<std::uint8_t>(a.flags & 0xff);
+    block[offset + 2] = static_cast<std::uint8_t>(a.flags >> 8);
+    block[offset + 3] = a.value;
+    block[offset + 4] = a.worst;
+    for (int b = 0; b < 6; ++b) {
+      block[offset + 5 + static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>((a.raw >> (8 * b)) & 0xff);
+    }
+    block[offset + 11] = 0;  // reserved
+    offset += 12;
+  }
+  // Final byte: two's-complement checksum over the first 511 bytes.
+  std::uint8_t sum = 0;
+  for (std::size_t i = 0; i + 1 < kSmartBlockSize; ++i) sum += block[i];
+  block[kSmartBlockSize - 1] = static_cast<std::uint8_t>(0x100 - sum);
+  return block;
+}
+
+util::Result<AttributeTable> AttributeTable::Decode(
+    std::span<const std::uint8_t> block) {
+  using R = util::Result<AttributeTable>;
+  if (block.size() != kSmartBlockSize) {
+    return R::Err("SMART block must be exactly 512 bytes");
+  }
+  std::uint8_t sum = 0;
+  for (const std::uint8_t byte : block) sum += byte;
+  if (sum != 0) return R::Err("SMART block checksum mismatch");
+
+  AttributeTable table;
+  std::size_t offset = 2;
+  for (std::size_t i = 0; i < kMaxAttributes; ++i, offset += 12) {
+    const std::uint8_t id = block[offset];
+    if (id == 0) continue;  // vacant slot
+    Attribute a;
+    a.id = static_cast<AttributeId>(id);
+    a.flags = static_cast<std::uint16_t>(block[offset + 1] |
+                                         (block[offset + 2] << 8));
+    a.value = block[offset + 3];
+    a.worst = block[offset + 4];
+    a.raw = 0;
+    for (int b = 5; b >= 0; --b) {
+      a.raw = (a.raw << 8) | block[offset + 5 + static_cast<std::size_t>(b)];
+    }
+    table.entries_.push_back(a);
+  }
+  return table;
+}
+
+}  // namespace labmon::smart

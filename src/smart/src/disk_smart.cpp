@@ -1,0 +1,46 @@
+#include "labmon/smart/disk_smart.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace labmon::smart {
+
+DiskSmart::DiskSmart(std::string serial, double prior_hours,
+                     std::uint64_t prior_cycles)
+    : serial_(std::move(serial)),
+      hours_(std::max(0.0, prior_hours)),
+      power_cycles_(prior_cycles) {}
+
+void DiskSmart::AccrueOnTime(double seconds) noexcept {
+  if (seconds > 0.0) hours_ += seconds / 3600.0;
+}
+
+std::uint64_t DiskSmart::PowerOnHours() const noexcept {
+  return static_cast<std::uint64_t>(hours_);
+}
+
+double DiskSmart::UptimePerCycleHours() const noexcept {
+  if (power_cycles_ == 0) return 0.0;
+  return hours_ / static_cast<double>(power_cycles_);
+}
+
+AttributeTable DiskSmart::Snapshot() const {
+  AttributeTable table;
+  // Normalised value for POH conventionally decays from 100; clamp at 1.
+  const auto poh = PowerOnHours();
+  const auto poh_value = static_cast<std::uint8_t>(
+      std::max<std::int64_t>(1, 100 - static_cast<std::int64_t>(poh / 1000)));
+  table.Set(Attribute{AttributeId::kRawReadErrorRate, 0x000f, 100, 100, 0});
+  table.Set(Attribute{AttributeId::kSpinUpTime, 0x0003, 97, 97, 1480});
+  table.Set(Attribute{AttributeId::kStartStopCount, 0x0032, 100, 100,
+                      power_cycles_});
+  table.Set(Attribute{AttributeId::kReallocatedSectors, 0x0033, 100, 100, 0});
+  table.Set(Attribute{AttributeId::kPowerOnHours, 0x0032, poh_value, poh_value,
+                      poh});
+  table.Set(Attribute{AttributeId::kPowerCycleCount, 0x0032, 100, 100,
+                      power_cycles_});
+  table.Set(Attribute{AttributeId::kTemperature, 0x0022, 36, 42, 36});
+  return table;
+}
+
+}  // namespace labmon::smart

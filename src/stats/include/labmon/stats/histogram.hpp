@@ -1,0 +1,52 @@
+// Fixed-width histogram used for session-length distributions (Fig 4-right)
+// and the relative-session-hour analysis (Fig 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace labmon::stats {
+
+/// Histogram over [lo, hi) with uniform bin width. Values outside the range
+/// are counted in dedicated underflow/overflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void Add(double value) noexcept { AddWeighted(value, 1.0); }
+  void AddWeighted(double value, double weight) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept {
+    return lo_ + static_cast<double>(i) * width_;
+  }
+  [[nodiscard]] double bin_hi(std::size_t i) const noexcept {
+    return bin_lo(i) + width_;
+  }
+  [[nodiscard]] double count(std::size_t i) const noexcept { return counts_[i]; }
+  [[nodiscard]] double underflow() const noexcept { return underflow_; }
+  [[nodiscard]] double overflow() const noexcept { return overflow_; }
+  [[nodiscard]] double total() const noexcept { return total_; }
+
+  /// Fraction of total mass in bin i (0 when empty).
+  [[nodiscard]] double Fraction(std::size_t i) const noexcept;
+  /// Fraction of total mass at values < x (linear interpolation within bins).
+  [[nodiscard]] double CdfAt(double x) const noexcept;
+  /// Approximate quantile (inverse CDF), q in [0, 1].
+  [[nodiscard]] double Quantile(double q) const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+  double total_ = 0.0;
+};
+
+}  // namespace labmon::stats

@@ -1,0 +1,15 @@
+// Availability expressed in "nines" (Douceur, SIGMETRICS PER 2003), as used
+// by the paper's Figure 4-left: nines = -log10(1 - availability).
+#pragma once
+
+namespace labmon::stats {
+
+/// Converts an availability ratio in [0, 1] to nines. A ratio of 0.9 is one
+/// nine, 0.99 two nines. Ratios >= 1 saturate at `cap` (default 9.0, i.e.
+/// "measured as always up"); ratios <= 0 give 0.
+[[nodiscard]] double AvailabilityToNines(double ratio, double cap = 9.0) noexcept;
+
+/// Inverse transform: nines -> availability ratio in [0, 1).
+[[nodiscard]] double NinesToAvailability(double nines) noexcept;
+
+}  // namespace labmon::stats

@@ -1,0 +1,42 @@
+// Welford online mean/variance with support for weighted observations and
+// merging (so per-chunk accumulators from ParallelFor can be combined).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace labmon::stats {
+
+/// Numerically stable streaming statistics accumulator.
+class RunningStats {
+ public:
+  /// Adds one observation with weight 1.
+  void Add(double x) noexcept { AddWeighted(x, 1.0); }
+
+  /// Adds an observation with a non-negative weight (e.g. a time-interval
+  /// length, so time-weighted averages fall out naturally).
+  void AddWeighted(double x, double weight) noexcept;
+
+  /// Merges another accumulator into this one (parallel reduction step).
+  void Merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::int64_t count() const noexcept { return count_; }
+  [[nodiscard]] double weight() const noexcept { return weight_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Population variance (weighted).
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * weight_; }
+
+ private:
+  std::int64_t count_ = 0;
+  double weight_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  ///< weighted sum of squared deviations
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace labmon::stats

@@ -1,0 +1,55 @@
+// Simple (time, value) series with binning/resampling helpers; backs the
+// Figure 3 machine-count-over-time curves and their CSV export.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "labmon/util/time.hpp"
+
+namespace labmon::stats {
+
+/// Append-only time series. Points must be appended in non-decreasing time
+/// order (enforced in debug builds).
+class TimeSeries {
+ public:
+  struct Point {
+    util::SimTime t = 0;
+    double value = 0.0;
+  };
+
+  void Append(util::SimTime t, double value);
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] const Point& operator[](std::size_t i) const noexcept {
+    return points_[i];
+  }
+  [[nodiscard]] const std::vector<Point>& points() const noexcept {
+    return points_;
+  }
+
+  /// Mean of all values (unweighted).
+  [[nodiscard]] double Mean() const noexcept;
+  [[nodiscard]] double Min() const noexcept;
+  [[nodiscard]] double Max() const noexcept;
+
+  /// Downsamples by averaging into fixed windows of `window` seconds
+  /// starting at t=0; windows with no points are skipped.
+  [[nodiscard]] TimeSeries Resample(util::SimTime window) const;
+
+  /// CSV of "t_seconds,timestamp,value" rows with header.
+  [[nodiscard]] std::string ToCsv(const std::string& value_name) const;
+
+  /// Sample autocorrelation at integer lag (by index, not by time): 1 at
+  /// lag 0, in [-1, 1] elsewhere; 0 when the series is too short. Fig 3's
+  /// "sharp pattern with high-frequency variations" shows up as a fast
+  /// drop at small lags with a strong revival at the daily lag.
+  [[nodiscard]] double Autocorrelation(std::size_t lag) const noexcept;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace labmon::stats

@@ -1,0 +1,67 @@
+#include "labmon/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace labmon::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0.0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::AddWeighted(double value, double weight) noexcept {
+  if (weight <= 0.0) return;
+  total_ += weight;
+  if (value < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (value >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((value - lo_) / width_);
+  idx = std::min(idx, counts_.size() - 1);  // guard FP edge at hi_
+  counts_[idx] += weight;
+}
+
+double Histogram::Fraction(std::size_t i) const noexcept {
+  return total_ > 0.0 ? counts_[i] / total_ : 0.0;
+}
+
+double Histogram::CdfAt(double x) const noexcept {
+  if (total_ <= 0.0) return 0.0;
+  double mass = underflow_;
+  if (x <= lo_) return x < lo_ ? 0.0 : mass / total_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (x >= bin_hi(i)) {
+      mass += counts_[i];
+      continue;
+    }
+    const double frac = (x - bin_lo(i)) / width_;
+    mass += counts_[i] * frac;
+    return mass / total_;
+  }
+  return mass / total_;  // x >= hi_: overflow not yet counted as "< x"
+}
+
+double Histogram::Quantile(double q) const noexcept {
+  if (total_ <= 0.0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * total_;
+  double mass = underflow_;
+  if (target <= mass) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (mass + counts_[i] >= target && counts_[i] > 0.0) {
+      const double frac = (target - mass) / counts_[i];
+      return bin_lo(i) + frac * width_;
+    }
+    mass += counts_[i];
+  }
+  return hi_;
+}
+
+}  // namespace labmon::stats

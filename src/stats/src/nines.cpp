@@ -1,0 +1,19 @@
+#include "labmon/stats/nines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace labmon::stats {
+
+double AvailabilityToNines(double ratio, double cap) noexcept {
+  if (ratio <= 0.0) return 0.0;
+  if (ratio >= 1.0) return cap;
+  return std::min(cap, -std::log10(1.0 - ratio));
+}
+
+double NinesToAvailability(double nines) noexcept {
+  if (nines <= 0.0) return 0.0;
+  return 1.0 - std::pow(10.0, -nines);
+}
+
+}  // namespace labmon::stats

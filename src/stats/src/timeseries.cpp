@@ -1,0 +1,82 @@
+#include "labmon/stats/timeseries.hpp"
+
+#include <cassert>
+#include <limits>
+#include <sstream>
+
+#include "labmon/util/csv.hpp"
+#include "labmon/util/strings.hpp"
+
+namespace labmon::stats {
+
+void TimeSeries::Append(util::SimTime t, double value) {
+  assert(points_.empty() || t >= points_.back().t);
+  points_.push_back(Point{t, value});
+}
+
+double TimeSeries::Mean() const noexcept {
+  if (points_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& p : points_) sum += p.value;
+  return sum / static_cast<double>(points_.size());
+}
+
+double TimeSeries::Min() const noexcept {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& p : points_) best = p.value < best ? p.value : best;
+  return best;
+}
+
+double TimeSeries::Max() const noexcept {
+  double best = -std::numeric_limits<double>::infinity();
+  for (const auto& p : points_) best = p.value > best ? p.value : best;
+  return best;
+}
+
+TimeSeries TimeSeries::Resample(util::SimTime window) const {
+  assert(window > 0);
+  TimeSeries out;
+  std::size_t i = 0;
+  while (i < points_.size()) {
+    const util::SimTime bucket = points_[i].t / window;
+    double sum = 0.0;
+    std::size_t n = 0;
+    while (i < points_.size() && points_[i].t / window == bucket) {
+      sum += points_[i].value;
+      ++n;
+      ++i;
+    }
+    out.Append(bucket * window, sum / static_cast<double>(n));
+  }
+  return out;
+}
+
+double TimeSeries::Autocorrelation(std::size_t lag) const noexcept {
+  if (points_.size() < 2 || lag >= points_.size()) {
+    return lag == 0 && !points_.empty() ? 1.0 : 0.0;
+  }
+  const double mean = Mean();
+  double denom = 0.0;
+  for (const auto& p : points_) {
+    denom += (p.value - mean) * (p.value - mean);
+  }
+  if (denom <= 0.0) return 0.0;
+  double numer = 0.0;
+  for (std::size_t i = 0; i + lag < points_.size(); ++i) {
+    numer += (points_[i].value - mean) * (points_[i + lag].value - mean);
+  }
+  return numer / denom;
+}
+
+std::string TimeSeries::ToCsv(const std::string& value_name) const {
+  std::ostringstream oss;
+  util::CsvWriter writer(oss);
+  writer.Row("t_seconds", "timestamp", value_name);
+  for (const auto& p : points_) {
+    writer.Row(std::to_string(p.t), util::FormatTimestamp(p.t),
+               util::FormatFixed(p.value, 6));
+  }
+  return oss.str();
+}
+
+}  // namespace labmon::stats

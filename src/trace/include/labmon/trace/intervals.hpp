@@ -1,0 +1,49 @@
+// Inter-sample interval derivation (§4.2): the probe reports *cumulative*
+// idle-thread time and NIC byte totals since boot precisely so that two
+// consecutive samples of one boot epoch yield the average CPU idleness and
+// network rates over the interval between them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "labmon/trace/trace_store.hpp"
+
+namespace labmon::trace {
+
+/// One derived interval between two consecutive samples of a boot epoch.
+struct SampleInterval {
+  std::uint32_t machine = 0;
+  std::uint32_t end_index = 0;    ///< index of the closing sample
+  std::int64_t start_t = 0;
+  std::int64_t end_t = 0;
+  double cpu_idle_pct = 0.0;      ///< average idleness over the interval
+  double sent_bps = 0.0;
+  double recv_bps = 0.0;
+  LoginClass login_class = LoginClass::kNoLogin;  ///< of the closing sample
+
+  [[nodiscard]] std::int64_t Seconds() const noexcept {
+    return end_t - start_t;
+  }
+};
+
+/// Options for interval derivation.
+struct IntervalOptions {
+  /// Forgotten-login threshold for classification (paper: 10 h).
+  std::int64_t forgotten_threshold_s = kForgottenThresholdSeconds;
+  /// Discard intervals longer than this (a machine that vanished for hours
+  /// between two samples of one boot epoch carries little information).
+  std::int64_t max_interval_s = 2 * 3600;
+};
+
+/// Derives all intervals (per machine, consecutive same-boot samples).
+[[nodiscard]] std::vector<SampleInterval> DeriveIntervals(
+    const TraceStore& trace, const IntervalOptions& options = {});
+
+/// Streaming variant: invokes `fn` per interval without materialising the
+/// vector (the 77-day trace has ~10^6 of them).
+void ForEachInterval(const TraceStore& trace, const IntervalOptions& options,
+                     const std::function<void(const SampleInterval&)>& fn);
+
+}  // namespace labmon::trace

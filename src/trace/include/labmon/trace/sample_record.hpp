@@ -1,0 +1,83 @@
+// Flattened successful-probe record — the rows of the study's trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "labmon/ddc/w32_probe.hpp"
+#include "labmon/util/time.hpp"
+
+namespace labmon::trace {
+
+/// The paper's forgotten-login threshold: samples whose interactive session
+/// is >= 10 h old are treated as captured on non-occupied machines (§4.2).
+inline constexpr std::int64_t kForgottenThresholdSeconds = 10 * 3600;
+
+/// Sentinel threshold disabling reclassification entirely (raw login state).
+inline constexpr std::int64_t kNoForgottenThreshold =
+    std::int64_t{1} << 62;
+
+/// Login-state classification of a sample.
+enum class LoginClass : std::uint8_t {
+  kNoLogin = 0,     ///< no interactive session
+  kWithLogin = 1,   ///< session younger than the threshold
+  kForgotten = 2,   ///< session >= threshold: counted as no-login (§4.2)
+};
+
+/// One successful probe execution, flattened for analysis.
+struct SampleRecord {
+  std::uint32_t machine = 0;
+  std::uint32_t iteration = 0;
+  std::int64_t t = 0;  ///< execution instant
+
+  std::int64_t boot_time = 0;
+  std::int64_t uptime_s = 0;
+  double cpu_idle_s = 0.0;
+  std::uint16_t ram_mb = 0;      ///< installed RAM (static metric)
+  std::uint8_t mem_load_pct = 0;
+  std::uint8_t swap_load_pct = 0;
+  std::uint64_t disk_total_b = 0;
+  std::uint64_t disk_free_b = 0;
+  std::uint64_t smart_power_on_hours = 0;
+  std::uint64_t smart_power_cycles = 0;
+  std::uint64_t net_sent_b = 0;
+  std::uint64_t net_recv_b = 0;
+  bool has_session = false;
+  std::int64_t session_logon = 0;
+  std::string user;
+
+  /// Session age at probe time (0 when no session).
+  [[nodiscard]] std::int64_t SessionSeconds() const noexcept {
+    return has_session ? t - session_logon : 0;
+  }
+
+  /// Classification with a configurable threshold (the paper uses 10 h).
+  [[nodiscard]] LoginClass Classify(
+      std::int64_t threshold_s = kForgottenThresholdSeconds) const noexcept {
+    if (!has_session) return LoginClass::kNoLogin;
+    return SessionSeconds() >= threshold_s ? LoginClass::kForgotten
+                                           : LoginClass::kWithLogin;
+  }
+
+  /// True when the sample counts as "occupied" under the paper's rule.
+  [[nodiscard]] bool CountsAsOccupied(
+      std::int64_t threshold_s = kForgottenThresholdSeconds) const noexcept {
+    return Classify(threshold_s) == LoginClass::kWithLogin;
+  }
+
+  [[nodiscard]] std::uint64_t DiskUsedBytes() const noexcept {
+    return disk_total_b - disk_free_b;
+  }
+
+  /// Unused (available) main memory in MB at sample time.
+  [[nodiscard]] double FreeRamMb() const noexcept {
+    return ram_mb * (100.0 - mem_load_pct) / 100.0;
+  }
+};
+
+/// Builds a record from parsed probe output.
+[[nodiscard]] SampleRecord MakeRecord(std::uint32_t machine,
+                                      std::uint32_t iteration, std::int64_t t,
+                                      const ddc::W32Sample& sample);
+
+}  // namespace labmon::trace

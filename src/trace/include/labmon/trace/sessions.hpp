@@ -1,0 +1,48 @@
+// Session reconstruction from the sampled trace (§5.2).
+//
+// A *machine session* is the activity between a boot and its corresponding
+// shutdown; the sampling methodology observes it as a run of samples
+// sharing a boot epoch. Between two samples only one reboot can be
+// detected (uptime-based detection), so multiple quick reboots collapse —
+// exactly the bias §5.2.2 quantifies against SMART ground truth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "labmon/trace/trace_store.hpp"
+
+namespace labmon::trace {
+
+/// One reconstructed machine session (boot -> shutdown).
+struct MachineSession {
+  std::uint32_t machine = 0;
+  std::int64_t boot_time = 0;      ///< as reported by the probe
+  std::int64_t first_sample_t = 0;
+  std::int64_t last_sample_t = 0;
+  std::int64_t last_uptime_s = 0;  ///< observed session length
+  std::uint32_t sample_count = 0;
+};
+
+/// All sessions of all machines, ordered by (machine, boot_time).
+[[nodiscard]] std::vector<MachineSession> ReconstructSessions(
+    const TraceStore& trace);
+
+/// One observed interactive login span (per machine+logon instant).
+struct InteractiveSpan {
+  std::uint32_t machine = 0;
+  std::int64_t logon_time = 0;
+  std::int64_t last_sample_t = 0;
+  std::uint32_t sample_count = 0;
+
+  /// Observed span length (logon to last sample that still showed it).
+  [[nodiscard]] std::int64_t ObservedSeconds() const noexcept {
+    return last_sample_t - logon_time;
+  }
+};
+
+/// All interactive spans observed in the trace.
+[[nodiscard]] std::vector<InteractiveSpan> ReconstructInteractiveSpans(
+    const TraceStore& trace);
+
+}  // namespace labmon::trace

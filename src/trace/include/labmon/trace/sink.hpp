@@ -1,0 +1,33 @@
+// TraceStoreSink — the study's "post-collecting code": parses W32Probe
+// stdout right after each successful remote execution and appends the
+// extracted record to the trace (§3, Figure 1 step 3).
+#pragma once
+
+#include <cstdint>
+
+#include "labmon/ddc/coordinator.hpp"
+#include "labmon/trace/trace_store.hpp"
+
+namespace labmon::trace {
+
+class TraceStoreSink final : public ddc::SampleSink {
+ public:
+  explicit TraceStoreSink(TraceStore& store) : store_(&store) {}
+
+  void OnSample(const ddc::CollectedSample& sample) override;
+  void OnIterationEnd(std::uint64_t iteration, util::SimTime start_time,
+                      util::SimTime end_time) override;
+
+  /// Samples whose stdout failed to parse (post-collect rejects).
+  [[nodiscard]] std::uint64_t parse_failures() const noexcept {
+    return parse_failures_;
+  }
+
+ private:
+  TraceStore* store_;
+  std::uint64_t parse_failures_ = 0;
+  std::uint32_t iteration_attempts_ = 0;
+  std::uint32_t iteration_successes_ = 0;
+};
+
+}  // namespace labmon::trace

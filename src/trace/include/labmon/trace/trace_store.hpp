@@ -1,0 +1,81 @@
+// TraceStore — the collected monitoring trace.
+//
+// Stores every *successful* sample (the paper's 583,653 rows) plus
+// per-iteration metadata, so attempt counts and response rates are exact
+// without storing a row per timeout. Supports CSV round-trip for
+// persistence and external analysis.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "labmon/trace/sample_record.hpp"
+#include "labmon/util/expected.hpp"
+
+namespace labmon::trace {
+
+/// Metadata of one coordinator iteration.
+struct IterationInfo {
+  std::uint64_t iteration = 0;
+  std::int64_t start_t = 0;
+  std::int64_t end_t = 0;
+  std::uint32_t attempts = 0;
+  std::uint32_t successes = 0;
+};
+
+class TraceStore {
+ public:
+  explicit TraceStore(std::size_t machine_count = 0)
+      : machine_count_(machine_count) {}
+
+  void Reserve(std::size_t samples) { samples_.reserve(samples); }
+
+  /// Appends a successful sample (must be time-ordered per machine).
+  void Append(SampleRecord record);
+  /// Appends iteration metadata (in iteration order).
+  void AppendIteration(IterationInfo info);
+
+  [[nodiscard]] std::size_t machine_count() const noexcept {
+    return machine_count_;
+  }
+  void set_machine_count(std::size_t n) noexcept { machine_count_ = n; }
+
+  [[nodiscard]] std::span<const SampleRecord> samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] std::span<const IterationInfo> iterations() const noexcept {
+    return iterations_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] std::uint64_t TotalAttempts() const noexcept;
+
+  /// Indices of one machine's samples, in time order.
+  [[nodiscard]] std::span<const std::uint32_t> MachineSamples(
+      std::size_t machine) const;
+
+  /// Per-machine response (success) counts.
+  [[nodiscard]] std::vector<std::uint32_t> ResponsesPerMachine() const;
+
+  /// Serialises all samples to CSV text (with header).
+  [[nodiscard]] std::string SamplesToCsv() const;
+  /// Serialises iteration metadata to CSV text.
+  [[nodiscard]] std::string IterationsToCsv() const;
+
+  /// Parses a store back from the two CSV documents.
+  [[nodiscard]] static util::Result<TraceStore> FromCsv(
+      const std::string& samples_csv, const std::string& iterations_csv,
+      std::size_t machine_count);
+
+ private:
+  void EnsureIndex() const;
+
+  std::size_t machine_count_;
+  std::vector<SampleRecord> samples_;
+  std::vector<IterationInfo> iterations_;
+  mutable std::vector<std::vector<std::uint32_t>> per_machine_;  ///< lazy
+  mutable bool index_dirty_ = true;
+};
+
+}  // namespace labmon::trace

@@ -1,0 +1,250 @@
+#include "labmon/trace/binary_io.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "labmon/util/csv.hpp"
+#include "labmon/util/varint.hpp"
+
+namespace labmon::trace {
+
+namespace {
+
+constexpr char kMagic[] = "LMTR1";
+constexpr std::size_t kMagicLen = 5;
+
+/// Per-machine previous-sample state used for delta coding.
+struct Previous {
+  std::int64_t t = 0;
+  std::int64_t iteration = 0;
+  std::int64_t boot_time = 0;
+  std::int64_t uptime_s = 0;
+  std::int64_t idle_cs = 0;  ///< idle seconds in centiseconds (exact: the
+                             ///< probe emits 2 decimals)
+  std::int64_t ram_mb = 0;
+  std::int64_t mem = 0;
+  std::int64_t swap = 0;
+  std::int64_t disk_total = 0;
+  std::int64_t disk_free = 0;
+  std::int64_t poh = 0;
+  std::int64_t cycles = 0;
+  std::int64_t sent = 0;
+  std::int64_t recv = 0;
+  std::int64_t logon = 0;
+};
+
+std::int64_t IdleCentiseconds(double idle_s) {
+  return static_cast<std::int64_t>(idle_s * 100.0 + 0.5);
+}
+
+}  // namespace
+
+std::string SerializeTrace(const TraceStore& store) {
+  std::string out;
+  out.reserve(store.size() * 24 + 64);
+  out.append(kMagic, kMagicLen);
+
+  // User string table.
+  std::unordered_map<std::string, std::uint64_t> user_ids;
+  std::vector<const std::string*> users;
+  for (const auto& s : store.samples()) {
+    if (!s.has_session) continue;
+    if (user_ids.emplace(s.user, users.size()).second) {
+      users.push_back(&s.user);
+    }
+  }
+
+  util::PutVarint(out, store.machine_count());
+  util::PutVarint(out, store.size());
+  util::PutVarint(out, store.iterations().size());
+  util::PutVarint(out, users.size());
+  for (const auto* user : users) {
+    util::PutVarint(out, user->size());
+    out.append(*user);
+  }
+
+  std::vector<Previous> prev(store.machine_count());
+  for (const auto& s : store.samples()) {
+    if (s.machine >= prev.size()) prev.resize(s.machine + 1);
+    Previous& p = prev[s.machine];
+    util::PutVarint(out, s.machine);
+    util::PutSignedVarint(out, static_cast<std::int64_t>(s.iteration) -
+                                   p.iteration);
+    util::PutSignedVarint(out, s.t - p.t);
+    util::PutSignedVarint(out, s.boot_time - p.boot_time);
+    util::PutSignedVarint(out, s.uptime_s - p.uptime_s);
+    const std::int64_t idle_cs = IdleCentiseconds(s.cpu_idle_s);
+    util::PutSignedVarint(out, idle_cs - p.idle_cs);
+    util::PutSignedVarint(out, s.ram_mb - p.ram_mb);
+    util::PutSignedVarint(out, s.mem_load_pct - p.mem);
+    util::PutSignedVarint(out, s.swap_load_pct - p.swap);
+    util::PutSignedVarint(out,
+                          static_cast<std::int64_t>(s.disk_total_b) -
+                              p.disk_total);
+    util::PutSignedVarint(out,
+                          static_cast<std::int64_t>(s.disk_free_b) -
+                              p.disk_free);
+    util::PutSignedVarint(
+        out, static_cast<std::int64_t>(s.smart_power_on_hours) - p.poh);
+    util::PutSignedVarint(
+        out, static_cast<std::int64_t>(s.smart_power_cycles) - p.cycles);
+    util::PutSignedVarint(out,
+                          static_cast<std::int64_t>(s.net_sent_b) - p.sent);
+    util::PutSignedVarint(out,
+                          static_cast<std::int64_t>(s.net_recv_b) - p.recv);
+    if (s.has_session) {
+      util::PutVarint(out, 1 + user_ids[s.user]);
+      util::PutSignedVarint(out, s.session_logon - p.logon);
+      p.logon = s.session_logon;
+    } else {
+      util::PutVarint(out, 0);
+    }
+    p.iteration = s.iteration;
+    p.t = s.t;
+    p.boot_time = s.boot_time;
+    p.uptime_s = s.uptime_s;
+    p.idle_cs = idle_cs;
+    p.ram_mb = s.ram_mb;
+    p.mem = s.mem_load_pct;
+    p.swap = s.swap_load_pct;
+    p.disk_total = static_cast<std::int64_t>(s.disk_total_b);
+    p.disk_free = static_cast<std::int64_t>(s.disk_free_b);
+    p.poh = static_cast<std::int64_t>(s.smart_power_on_hours);
+    p.cycles = static_cast<std::int64_t>(s.smart_power_cycles);
+    p.sent = static_cast<std::int64_t>(s.net_sent_b);
+    p.recv = static_cast<std::int64_t>(s.net_recv_b);
+  }
+
+  // Iteration metadata (delta against the previous iteration row).
+  std::int64_t prev_start = 0;
+  std::int64_t prev_end = 0;
+  for (const auto& it : store.iterations()) {
+    util::PutSignedVarint(out, it.start_t - prev_start);
+    util::PutSignedVarint(out, it.end_t - prev_end);
+    util::PutVarint(out, it.attempts);
+    util::PutVarint(out, it.successes);
+    prev_start = it.start_t;
+    prev_end = it.end_t;
+  }
+  return out;
+}
+
+util::Result<TraceStore> DeserializeTrace(const std::string& bytes) {
+  using R = util::Result<TraceStore>;
+  if (bytes.size() < kMagicLen ||
+      bytes.compare(0, kMagicLen, kMagic, kMagicLen) != 0) {
+    return R::Err("not a LMTR1 trace (bad magic)");
+  }
+  util::VarintReader reader(bytes);
+  (void)reader.ReadBytes(kMagicLen);
+
+  const auto machine_count = reader.Read();
+  const auto sample_count = reader.Read();
+  const auto iteration_count = reader.Read();
+  const auto user_count = reader.Read();
+  if (!machine_count || !sample_count || !iteration_count || !user_count) {
+    return R::Err("truncated header");
+  }
+  if (*sample_count > (std::uint64_t{1} << 32) ||
+      *user_count > (std::uint64_t{1} << 28)) {
+    return R::Err("implausible header counts");
+  }
+
+  std::vector<std::string> users;
+  users.reserve(*user_count);
+  for (std::uint64_t i = 0; i < *user_count; ++i) {
+    const auto len = reader.Read();
+    if (!len || *len > 4096) return R::Err("garbled user table");
+    auto name = reader.ReadBytes(*len);
+    if (!name) return R::Err("truncated user table");
+    users.push_back(std::move(*name));
+  }
+
+  TraceStore store(*machine_count);
+  store.Reserve(*sample_count);
+  std::vector<Previous> prev(*machine_count);
+  for (std::uint64_t n = 0; n < *sample_count; ++n) {
+    const auto machine = reader.Read();
+    if (!machine) return R::Err("truncated sample stream");
+    if (*machine >= prev.size()) prev.resize(*machine + 1);
+    Previous& p = prev[*machine];
+
+    SampleRecord s;
+    s.machine = static_cast<std::uint32_t>(*machine);
+    const auto read = [&](std::int64_t& base) -> bool {
+      const auto delta = reader.ReadSigned();
+      if (!delta) return false;
+      base += *delta;
+      return true;
+    };
+    if (!read(p.iteration) || !read(p.t) || !read(p.boot_time) ||
+        !read(p.uptime_s) || !read(p.idle_cs) || !read(p.ram_mb) ||
+        !read(p.mem) ||
+        !read(p.swap) || !read(p.disk_total) || !read(p.disk_free) ||
+        !read(p.poh) || !read(p.cycles) || !read(p.sent) || !read(p.recv)) {
+      return R::Err("truncated sample fields");
+    }
+    s.iteration = static_cast<std::uint32_t>(p.iteration);
+    s.t = p.t;
+    s.boot_time = p.boot_time;
+    s.uptime_s = p.uptime_s;
+    s.cpu_idle_s = static_cast<double>(p.idle_cs) / 100.0;
+    s.ram_mb = static_cast<std::uint16_t>(p.ram_mb);
+    s.mem_load_pct = static_cast<std::uint8_t>(p.mem);
+    s.swap_load_pct = static_cast<std::uint8_t>(p.swap);
+    s.disk_total_b = static_cast<std::uint64_t>(p.disk_total);
+    s.disk_free_b = static_cast<std::uint64_t>(p.disk_free);
+    s.smart_power_on_hours = static_cast<std::uint64_t>(p.poh);
+    s.smart_power_cycles = static_cast<std::uint64_t>(p.cycles);
+    s.net_sent_b = static_cast<std::uint64_t>(p.sent);
+    s.net_recv_b = static_cast<std::uint64_t>(p.recv);
+
+    const auto user_ref = reader.Read();
+    if (!user_ref) return R::Err("truncated session field");
+    if (*user_ref > 0) {
+      if (*user_ref > users.size()) return R::Err("dangling user reference");
+      s.has_session = true;
+      s.user = users[*user_ref - 1];
+      const auto logon_delta = reader.ReadSigned();
+      if (!logon_delta) return R::Err("truncated logon field");
+      p.logon += *logon_delta;
+      s.session_logon = p.logon;
+    }
+    store.Append(std::move(s));
+  }
+
+  std::int64_t prev_start = 0;
+  std::int64_t prev_end = 0;
+  for (std::uint64_t i = 0; i < *iteration_count; ++i) {
+    const auto ds = reader.ReadSigned();
+    const auto de = reader.ReadSigned();
+    const auto attempts = reader.Read();
+    const auto successes = reader.Read();
+    if (!ds || !de || !attempts || !successes) {
+      return R::Err("truncated iteration metadata");
+    }
+    prev_start += *ds;
+    prev_end += *de;
+    IterationInfo info;
+    info.iteration = i;
+    info.start_t = prev_start;
+    info.end_t = prev_end;
+    info.attempts = static_cast<std::uint32_t>(*attempts);
+    info.successes = static_cast<std::uint32_t>(*successes);
+    store.AppendIteration(info);
+  }
+  return store;
+}
+
+util::Result<bool> WriteTraceFile(const std::string& path,
+                                  const TraceStore& store) {
+  return util::WriteTextFile(path, SerializeTrace(store));
+}
+
+util::Result<TraceStore> ReadTraceFile(const std::string& path) {
+  auto bytes = util::ReadTextFile(path);
+  if (!bytes.ok()) return util::Result<TraceStore>::Err(bytes.error());
+  return DeserializeTrace(bytes.value());
+}
+
+}  // namespace labmon::trace

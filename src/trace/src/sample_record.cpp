@@ -1,0 +1,35 @@
+#include "labmon/trace/sample_record.hpp"
+
+#include <algorithm>
+
+namespace labmon::trace {
+
+SampleRecord MakeRecord(std::uint32_t machine, std::uint32_t iteration,
+                        std::int64_t t, const ddc::W32Sample& sample) {
+  SampleRecord r;
+  r.machine = machine;
+  r.iteration = iteration;
+  r.t = t;
+  r.boot_time = sample.boot_time;
+  r.uptime_s = sample.uptime_s;
+  r.cpu_idle_s = sample.cpu_idle_s;
+  r.ram_mb = static_cast<std::uint16_t>(std::clamp(sample.ram_mb, 0, 65535));
+  r.mem_load_pct = static_cast<std::uint8_t>(
+      std::clamp(sample.mem_load_pct, 0, 100));
+  r.swap_load_pct = static_cast<std::uint8_t>(
+      std::clamp(sample.swap_load_pct, 0, 100));
+  r.disk_total_b = sample.disk_total_b;
+  r.disk_free_b = sample.disk_free_b;
+  r.smart_power_on_hours = sample.smart_power_on_hours;
+  r.smart_power_cycles = sample.smart_power_cycles;
+  r.net_sent_b = sample.net_sent_b;
+  r.net_recv_b = sample.net_recv_b;
+  r.has_session = sample.HasSession();
+  if (r.has_session) {
+    r.session_logon = sample.session_logon_time;
+    r.user = *sample.session_user;
+  }
+  return r;
+}
+
+}  // namespace labmon::trace

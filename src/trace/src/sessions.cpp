@@ -1,0 +1,73 @@
+#include "labmon/trace/sessions.hpp"
+
+namespace labmon::trace {
+
+std::vector<MachineSession> ReconstructSessions(const TraceStore& trace) {
+  std::vector<MachineSession> sessions;
+  for (std::size_t m = 0; m < trace.machine_count(); ++m) {
+    const auto indices = trace.MachineSamples(m);
+    const MachineSession* open = nullptr;
+    for (const std::uint32_t idx : indices) {
+      const SampleRecord& s = trace.samples()[idx];
+      // A new boot epoch: first sample, boot time changed, or uptime went
+      // backwards (boot-time equality is the robust signal; uptime
+      // regression catches clock quirks).
+      const bool new_session =
+          open == nullptr || s.boot_time != open->boot_time ||
+          s.uptime_s < open->last_uptime_s;
+      if (new_session) {
+        MachineSession session;
+        session.machine = static_cast<std::uint32_t>(m);
+        session.boot_time = s.boot_time;
+        session.first_sample_t = s.t;
+        session.last_sample_t = s.t;
+        session.last_uptime_s = s.uptime_s;
+        session.sample_count = 1;
+        sessions.push_back(session);
+        open = &sessions.back();
+      } else {
+        auto& session = sessions.back();
+        session.last_sample_t = s.t;
+        session.last_uptime_s = s.uptime_s;
+        ++session.sample_count;
+        open = &session;
+      }
+    }
+  }
+  return sessions;
+}
+
+std::vector<InteractiveSpan> ReconstructInteractiveSpans(
+    const TraceStore& trace) {
+  std::vector<InteractiveSpan> spans;
+  for (std::size_t m = 0; m < trace.machine_count(); ++m) {
+    const auto indices = trace.MachineSamples(m);
+    const InteractiveSpan* open = nullptr;
+    for (const std::uint32_t idx : indices) {
+      const SampleRecord& s = trace.samples()[idx];
+      if (!s.has_session) {
+        open = nullptr;
+        continue;
+      }
+      // Logon instants are exact (the probe reports session start), so a
+      // span is keyed by its logon time.
+      if (open == nullptr || s.session_logon != open->logon_time) {
+        InteractiveSpan span;
+        span.machine = static_cast<std::uint32_t>(m);
+        span.logon_time = s.session_logon;
+        span.last_sample_t = s.t;
+        span.sample_count = 1;
+        spans.push_back(span);
+        open = &spans.back();
+      } else {
+        auto& span = spans.back();
+        span.last_sample_t = s.t;
+        ++span.sample_count;
+        open = &span;
+      }
+    }
+  }
+  return spans;
+}
+
+}  // namespace labmon::trace

@@ -1,0 +1,37 @@
+#include "labmon/trace/sink.hpp"
+
+#include "labmon/ddc/w32_probe.hpp"
+#include "labmon/util/log.hpp"
+
+namespace labmon::trace {
+
+void TraceStoreSink::OnSample(const ddc::CollectedSample& sample) {
+  ++iteration_attempts_;
+  if (!sample.outcome.ok()) return;
+  const auto parsed = ddc::ParseW32ProbeOutput(sample.outcome.stdout_text);
+  if (!parsed.ok()) {
+    ++parse_failures_;
+    util::log::Warn("post-collect parse failure: " + parsed.error());
+    return;
+  }
+  ++iteration_successes_;
+  store_->Append(MakeRecord(static_cast<std::uint32_t>(sample.machine_index),
+                            static_cast<std::uint32_t>(sample.iteration),
+                            sample.attempt_time, parsed.value()));
+}
+
+void TraceStoreSink::OnIterationEnd(std::uint64_t iteration,
+                                    util::SimTime start_time,
+                                    util::SimTime end_time) {
+  IterationInfo info;
+  info.iteration = iteration;
+  info.start_t = start_time;
+  info.end_t = end_time;
+  info.attempts = iteration_attempts_;
+  info.successes = iteration_successes_;
+  store_->AppendIteration(info);
+  iteration_attempts_ = 0;
+  iteration_successes_ = 0;
+}
+
+}  // namespace labmon::trace

@@ -1,0 +1,141 @@
+#include "labmon/trace/trace_store.hpp"
+
+#include <sstream>
+
+#include "labmon/util/csv.hpp"
+#include "labmon/util/strings.hpp"
+
+namespace labmon::trace {
+
+void TraceStore::Append(SampleRecord record) {
+  samples_.push_back(std::move(record));
+  index_dirty_ = true;
+}
+
+void TraceStore::AppendIteration(IterationInfo info) {
+  iterations_.push_back(info);
+}
+
+std::uint64_t TraceStore::TotalAttempts() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& it : iterations_) total += it.attempts;
+  return total;
+}
+
+void TraceStore::EnsureIndex() const {
+  if (!index_dirty_) return;
+  per_machine_.assign(machine_count_, {});
+  for (std::uint32_t i = 0; i < samples_.size(); ++i) {
+    const auto m = samples_[i].machine;
+    if (m >= per_machine_.size()) per_machine_.resize(m + 1);
+    per_machine_[m].push_back(i);
+  }
+  index_dirty_ = false;
+}
+
+std::span<const std::uint32_t> TraceStore::MachineSamples(
+    std::size_t machine) const {
+  EnsureIndex();
+  if (machine >= per_machine_.size()) return {};
+  return per_machine_[machine];
+}
+
+std::vector<std::uint32_t> TraceStore::ResponsesPerMachine() const {
+  EnsureIndex();
+  std::vector<std::uint32_t> counts(per_machine_.size(), 0);
+  for (std::size_t m = 0; m < per_machine_.size(); ++m) {
+    counts[m] = static_cast<std::uint32_t>(per_machine_[m].size());
+  }
+  return counts;
+}
+
+std::string TraceStore::SamplesToCsv() const {
+  std::ostringstream oss;
+  util::CsvWriter w(oss);
+  w.Row("machine", "iteration", "t", "boot_time", "uptime_s", "cpu_idle_s",
+        "ram_mb", "mem_load_pct", "swap_load_pct", "disk_total_b", "disk_free_b",
+        "smart_poh", "smart_cycles", "net_sent_b", "net_recv_b", "user",
+        "session_logon");
+  for (const auto& s : samples_) {
+    w.Row(std::to_string(s.machine), std::to_string(s.iteration),
+          std::to_string(s.t), std::to_string(s.boot_time),
+          std::to_string(s.uptime_s), util::FormatFixed(s.cpu_idle_s, 2),
+          std::to_string(s.ram_mb), std::to_string(s.mem_load_pct),
+          std::to_string(s.swap_load_pct),
+          std::to_string(s.disk_total_b), std::to_string(s.disk_free_b),
+          std::to_string(s.smart_power_on_hours),
+          std::to_string(s.smart_power_cycles), std::to_string(s.net_sent_b),
+          std::to_string(s.net_recv_b), s.has_session ? s.user : "",
+          s.has_session ? std::to_string(s.session_logon) : "");
+  }
+  return oss.str();
+}
+
+std::string TraceStore::IterationsToCsv() const {
+  std::ostringstream oss;
+  util::CsvWriter w(oss);
+  w.Row("iteration", "start_t", "end_t", "attempts", "successes");
+  for (const auto& it : iterations_) {
+    w.Row(std::to_string(it.iteration), std::to_string(it.start_t),
+          std::to_string(it.end_t), std::to_string(it.attempts),
+          std::to_string(it.successes));
+  }
+  return oss.str();
+}
+
+util::Result<TraceStore> TraceStore::FromCsv(const std::string& samples_csv,
+                                             const std::string& iterations_csv,
+                                             std::size_t machine_count) {
+  using R = util::Result<TraceStore>;
+  const auto samples_doc = util::ParseCsv(samples_csv);
+  if (!samples_doc.ok()) return R::Err("samples: " + samples_doc.error());
+  const auto iter_doc = util::ParseCsv(iterations_csv);
+  if (!iter_doc.ok()) return R::Err("iterations: " + iter_doc.error());
+
+  TraceStore store(machine_count);
+  store.Reserve(samples_doc.value().rows.size());
+  for (const auto& row : samples_doc.value().rows) {
+    if (row.size() < 17) return R::Err("short sample row");
+    const auto i64 = [&](std::size_t col) {
+      return util::ParseInt64(row[col]).value_or(0);
+    };
+    SampleRecord s;
+    s.machine = static_cast<std::uint32_t>(i64(0));
+    s.iteration = static_cast<std::uint32_t>(i64(1));
+    s.t = i64(2);
+    s.boot_time = i64(3);
+    s.uptime_s = i64(4);
+    s.cpu_idle_s = util::ParseDouble(row[5]).value_or(0.0);
+    s.ram_mb = static_cast<std::uint16_t>(i64(6));
+    s.mem_load_pct = static_cast<std::uint8_t>(i64(7));
+    s.swap_load_pct = static_cast<std::uint8_t>(i64(8));
+    s.disk_total_b = static_cast<std::uint64_t>(i64(9));
+    s.disk_free_b = static_cast<std::uint64_t>(i64(10));
+    s.smart_power_on_hours = static_cast<std::uint64_t>(i64(11));
+    s.smart_power_cycles = static_cast<std::uint64_t>(i64(12));
+    s.net_sent_b = static_cast<std::uint64_t>(i64(13));
+    s.net_recv_b = static_cast<std::uint64_t>(i64(14));
+    s.has_session = !row[15].empty();
+    if (s.has_session) {
+      s.user = row[15];
+      s.session_logon = i64(16);
+    }
+    store.Append(std::move(s));
+  }
+  for (const auto& row : iter_doc.value().rows) {
+    if (row.size() < 5) return R::Err("short iteration row");
+    IterationInfo info;
+    info.iteration =
+        static_cast<std::uint64_t>(util::ParseInt64(row[0]).value_or(0));
+    info.start_t = util::ParseInt64(row[1]).value_or(0);
+    info.end_t = util::ParseInt64(row[2]).value_or(0);
+    info.attempts =
+        static_cast<std::uint32_t>(util::ParseInt64(row[3]).value_or(0));
+    info.successes =
+        static_cast<std::uint32_t>(util::ParseInt64(row[4]).value_or(0));
+    store.AppendIteration(info);
+  }
+  return store;
+}
+
+}  // namespace labmon::trace

@@ -1,0 +1,58 @@
+// Minimal Result<T> error-or-value type (libstdc++ 12 lacks std::expected).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace labmon::util {
+
+/// Lightweight error payload: a human-readable message.
+struct Error {
+  std::string message;
+};
+
+/// Value-or-error, in the spirit of std::expected<T, Error>.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}        // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] static Result Err(std::string message) {
+    return Result(Error{std::move(message)});
+  }
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(data_);
+  }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const std::string& error() const {
+    assert(!ok());
+    return std::get<Error>(data_).message;
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+}  // namespace labmon::util

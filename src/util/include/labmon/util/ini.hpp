@@ -1,0 +1,47 @@
+// Minimal INI reader: `[section]` headers, `key = value` pairs, `#`/`;`
+// comments. Backs scenario files for the workload configuration
+// (workload::LoadCampusConfig) so experiments can be re-parameterised
+// without recompiling.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "labmon/util/expected.hpp"
+
+namespace labmon::util {
+
+/// A parsed INI document. Keys are addressed as "section.key" (keys before
+/// any section header live in the "" section and are addressed bare).
+class IniFile {
+ public:
+  /// Parses INI text; fails on malformed lines (no '=' outside a comment,
+  /// unterminated section header).
+  [[nodiscard]] static Result<IniFile> Parse(const std::string& text);
+  /// Reads and parses a file.
+  [[nodiscard]] static Result<IniFile> Load(const std::string& path);
+
+  /// Raw string lookup ("section.key"), nullopt when absent.
+  [[nodiscard]] std::optional<std::string> Get(const std::string& key) const;
+  /// Typed lookups: return `fallback` when the key is absent, and an error
+  /// via `ok=false` (if provided) when present but unparsable.
+  [[nodiscard]] double GetDouble(const std::string& key, double fallback,
+                                 bool* ok = nullptr) const;
+  [[nodiscard]] std::int64_t GetInt(const std::string& key,
+                                    std::int64_t fallback,
+                                    bool* ok = nullptr) const;
+  [[nodiscard]] bool GetBool(const std::string& key, bool fallback,
+                             bool* ok = nullptr) const;
+
+  /// All "section.key" names present (document order).
+  [[nodiscard]] const std::vector<std::string>& keys() const noexcept {
+    return keys_;
+  }
+
+ private:
+  std::vector<std::string> keys_;
+  std::vector<std::string> values_;
+};
+
+}  // namespace labmon::util

@@ -1,0 +1,23 @@
+// Tiny leveled logger. Default level is kWarn so library code stays quiet in
+// tests; examples/bench raise it explicitly.
+#pragma once
+
+#include <string_view>
+
+namespace labmon::util::log {
+
+enum class Level : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold (thread-safe).
+void SetLevel(Level level) noexcept;
+[[nodiscard]] Level GetLevel() noexcept;
+
+/// Emits a message to stderr when `level` >= the global threshold.
+void Emit(Level level, std::string_view message);
+
+inline void Debug(std::string_view m) { Emit(Level::kDebug, m); }
+inline void Info(std::string_view m) { Emit(Level::kInfo, m); }
+inline void Warn(std::string_view m) { Emit(Level::kWarn, m); }
+inline void ErrorMsg(std::string_view m) { Emit(Level::kError, m); }
+
+}  // namespace labmon::util::log

@@ -1,0 +1,30 @@
+// Shared-memory parallel helpers (per the C++ Core Guidelines: RAII-managed
+// std::jthread workers, no detached threads, exceptions propagated).
+//
+// Used by the analysis layer to fan per-machine computations across cores
+// and by tests to validate thread-safety of the sinks.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace labmon::util {
+
+/// Number of workers ParallelFor will use by default (hardware concurrency,
+/// at least 1).
+[[nodiscard]] std::size_t DefaultWorkerCount() noexcept;
+
+/// Runs body(i) for i in [0, count) across `workers` threads with static
+/// block scheduling. Runs inline when count is small or workers <= 1.
+/// The first exception thrown by any invocation is rethrown on the caller.
+void ParallelFor(std::size_t count, const std::function<void(std::size_t)>& body,
+                 std::size_t workers = 0);
+
+/// Chunked variant: body(begin, end) over disjoint ranges covering
+/// [0, count). Lets callers keep per-chunk accumulators without sharing.
+void ParallelForChunked(
+    std::size_t count,
+    const std::function<void(std::size_t begin, std::size_t end)>& body,
+    std::size_t workers = 0);
+
+}  // namespace labmon::util

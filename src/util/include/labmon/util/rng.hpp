@@ -1,0 +1,88 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Everything stochastic in labmon flows through Rng (xoshiro256** seeded via
+// SplitMix64), never through std:: distributions, so a given seed produces an
+// identical trace on every platform and compiler. The distribution samplers
+// below are hand-rolled for exactly that reason.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+
+namespace labmon::util {
+
+/// SplitMix64 — used to expand a single seed into xoshiro state and as a
+/// cheap standalone generator for hashing-style uses.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t Next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) with a suite of distribution
+/// samplers. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed1abf001dull) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return NextU64(); }
+
+  std::uint64_t NextU64() noexcept;
+
+  /// Derives an independent generator (stream-split); used to give each
+  /// machine / lab / subsystem its own deterministic stream.
+  [[nodiscard]] Rng Fork() noexcept;
+
+  /// Uniform double in [0, 1).
+  double Uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Bernoulli trial with success probability p (clamped to [0, 1]).
+  bool Bernoulli(double p) noexcept;
+  /// Standard normal via Box–Muller (cached spare).
+  double StdNormal() noexcept;
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev) noexcept;
+  /// Log-normal parameterised by the *underlying* normal's mu/sigma.
+  double LogNormal(double mu, double sigma) noexcept;
+  /// Log-normal parameterised by the desired mean and stddev of the
+  /// log-normal variate itself (solves for mu/sigma). mean > 0.
+  double LogNormalMeanStd(double mean, double stddev) noexcept;
+  /// Exponential with the given mean (mean = 1/rate). mean > 0.
+  double Exponential(double mean) noexcept;
+  /// Poisson variate; Knuth's method for small means, normal approximation
+  /// above 64 (adequate for arrival counts).
+  int Poisson(double mean) noexcept;
+  /// Index sampled proportionally to non-negative weights; returns
+  /// weights.size() when all weights are zero/empty.
+  std::size_t WeightedIndex(std::span<const double> weights) noexcept;
+  /// Triangular distribution on [lo, hi] with the given mode.
+  double Triangular(double lo, double mode, double hi) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace labmon::util

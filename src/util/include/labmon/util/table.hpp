@@ -1,0 +1,51 @@
+// ASCII table rendering for bench harness output: every reproduced paper
+// table/figure prints "paper vs measured" rows through this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace labmon::util {
+
+/// Column alignment inside an AsciiTable.
+enum class Align { kLeft, kRight };
+
+/// Builds monospace tables like:
+///
+///   +----------+---------+----------+
+///   | Metric   |   Paper | Measured |
+///   +----------+---------+----------+
+///   | CPU idle |    97.9 |     97.6 |
+///   +----------+---------+----------+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row; column count is fixed from here on.
+  void SetHeader(std::vector<std::string> header);
+  /// Per-column alignment (defaults: first column left, others right).
+  void SetAlignments(std::vector<Align> alignments);
+  /// Appends a body row; must match the header's column count (short rows
+  /// are padded with empty cells).
+  void AddRow(std::vector<std::string> row);
+  /// Appends a horizontal separator between body rows.
+  void AddSeparator();
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders the full table (including trailing newline).
+  [[nodiscard]] std::string Render() const;
+
+ private:
+  struct RowEntry {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> alignments_;
+  std::vector<RowEntry> rows_;
+};
+
+}  // namespace labmon::util

@@ -1,0 +1,76 @@
+// Simulated-time utilities for the labmon experiment clock.
+//
+// The experiment clock counts whole seconds from an epoch defined as
+// *Monday 00:00:00* of the first monitored week (the paper notes its plots'
+// x-axis labels denote Mondays, so every civil-time computation here is
+// anchored the same way). No time zones, no DST: classroom timetables in the
+// paper are expressed in local wall-clock time and so are we.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace labmon::util {
+
+/// Seconds since the experiment epoch (Monday 00:00:00 of week 0).
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kSecondsPerMinute = 60;
+inline constexpr SimTime kSecondsPerHour = 60 * kSecondsPerMinute;
+inline constexpr SimTime kSecondsPerDay = 24 * kSecondsPerHour;
+inline constexpr SimTime kSecondsPerWeek = 7 * kSecondsPerDay;
+
+/// Days of the week; the experiment epoch falls on a Monday.
+enum class DayOfWeek : int {
+  kMonday = 0,
+  kTuesday = 1,
+  kWednesday = 2,
+  kThursday = 3,
+  kFriday = 4,
+  kSaturday = 5,
+  kSunday = 6,
+};
+
+/// Three-letter English day name ("Mon", ...).
+[[nodiscard]] const char* DayName(DayOfWeek dow) noexcept;
+
+/// Broken-down civil time relative to the experiment epoch.
+struct CivilTime {
+  int day = 0;            ///< whole days since epoch (day 0 = first Monday)
+  int week = 0;           ///< whole weeks since epoch
+  DayOfWeek dow = DayOfWeek::kMonday;
+  int hour = 0;           ///< [0, 24)
+  int minute = 0;         ///< [0, 60)
+  int second = 0;         ///< [0, 60)
+  int minute_of_day = 0;  ///< [0, 1440)
+  int minute_of_week = 0; ///< [0, 10080)
+};
+
+/// Breaks a simulation instant into civil components. `t` must be >= 0.
+[[nodiscard]] CivilTime ToCivil(SimTime t) noexcept;
+
+/// Builds an instant from civil components ("day 12 at 14:30:00").
+[[nodiscard]] SimTime MakeTime(int day, int hour, int minute = 0,
+                               int second = 0) noexcept;
+
+/// Instant of `dow` in week `week` at the given wall-clock time.
+[[nodiscard]] SimTime MakeWeekTime(int week, DayOfWeek dow, int hour,
+                                   int minute = 0, int second = 0) noexcept;
+
+/// Day-of-week of an instant.
+[[nodiscard]] DayOfWeek DayOfWeekOf(SimTime t) noexcept;
+
+/// Fractional hour of day in [0, 24) — convenient for intensity curves.
+[[nodiscard]] double HourOfDay(SimTime t) noexcept;
+
+/// True when `t` falls on Saturday or Sunday.
+[[nodiscard]] bool IsWeekend(SimTime t) noexcept;
+
+/// Renders a duration as a compact mixed unit string, e.g. "15h55m",
+/// "3d02h", "42s". Negative durations are prefixed with '-'.
+[[nodiscard]] std::string FormatDuration(SimTime seconds);
+
+/// Renders an instant as "D012 Tue 14:30:00".
+[[nodiscard]] std::string FormatTimestamp(SimTime t);
+
+}  // namespace labmon::util

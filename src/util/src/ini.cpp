@@ -1,0 +1,99 @@
+#include "labmon/util/ini.hpp"
+
+#include "labmon/util/csv.hpp"
+#include "labmon/util/strings.hpp"
+
+namespace labmon::util {
+
+Result<IniFile> IniFile::Parse(const std::string& text) {
+  using R = Result<IniFile>;
+  IniFile ini;
+  std::string section;
+  int line_no = 0;
+  for (const auto& raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw_line);
+    if (line.empty() || line.front() == '#' || line.front() == ';') continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        return R::Err("line " + std::to_string(line_no) +
+                      ": malformed section header");
+      }
+      section = std::string(Trim(line.substr(1, line.size() - 2)));
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return R::Err("line " + std::to_string(line_no) + ": expected key=value");
+    }
+    const auto key = Trim(line.substr(0, eq));
+    if (key.empty()) {
+      return R::Err("line " + std::to_string(line_no) + ": empty key");
+    }
+    const auto value = Trim(line.substr(eq + 1));
+    ini.keys_.push_back(section.empty()
+                            ? std::string(key)
+                            : section + "." + std::string(key));
+    ini.values_.emplace_back(value);
+  }
+  return ini;
+}
+
+Result<IniFile> IniFile::Load(const std::string& path) {
+  auto text = ReadTextFile(path);
+  if (!text.ok()) return Result<IniFile>::Err(text.error());
+  return Parse(text.value());
+}
+
+std::optional<std::string> IniFile::Get(const std::string& key) const {
+  // Last assignment wins, like most INI dialects.
+  for (std::size_t i = keys_.size(); i-- > 0;) {
+    if (keys_[i] == key) return values_[i];
+  }
+  return std::nullopt;
+}
+
+double IniFile::GetDouble(const std::string& key, double fallback,
+                          bool* ok) const {
+  if (ok) *ok = true;
+  const auto raw = Get(key);
+  if (!raw) return fallback;
+  const auto parsed = ParseDouble(*raw);
+  if (!parsed) {
+    if (ok) *ok = false;
+    return fallback;
+  }
+  return *parsed;
+}
+
+std::int64_t IniFile::GetInt(const std::string& key, std::int64_t fallback,
+                             bool* ok) const {
+  if (ok) *ok = true;
+  const auto raw = Get(key);
+  if (!raw) return fallback;
+  const auto parsed = ParseInt64(*raw);
+  if (!parsed) {
+    if (ok) *ok = false;
+    return fallback;
+  }
+  return *parsed;
+}
+
+bool IniFile::GetBool(const std::string& key, bool fallback, bool* ok) const {
+  if (ok) *ok = true;
+  const auto raw = Get(key);
+  if (!raw) return fallback;
+  const std::string lowered = ToLower(*raw);
+  if (lowered == "true" || lowered == "yes" || lowered == "on" ||
+      lowered == "1") {
+    return true;
+  }
+  if (lowered == "false" || lowered == "no" || lowered == "off" ||
+      lowered == "0") {
+    return false;
+  }
+  if (ok) *ok = false;
+  return fallback;
+}
+
+}  // namespace labmon::util

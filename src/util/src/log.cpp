@@ -1,0 +1,40 @@
+#include "labmon/util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace labmon::util::log {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(Level::kWarn)};
+std::mutex g_emit_mutex;
+
+const char* LevelTag(Level level) noexcept {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void SetLevel(Level level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+Level GetLevel() noexcept {
+  return static_cast<Level>(g_level.load(std::memory_order_relaxed));
+}
+
+void Emit(Level level, std::string_view message) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[labmon %s] %.*s\n", LevelTag(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace labmon::util::log

@@ -1,0 +1,62 @@
+#include "labmon/util/parallel.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace labmon::util {
+
+std::size_t DefaultWorkerCount() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void ParallelForChunked(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t workers) {
+  if (workers == 0) workers = DefaultWorkerCount();
+  workers = std::min(workers, count);
+  if (count == 0) return;
+  if (workers <= 1 || count < 2) {
+    body(0, count);
+    return;
+  }
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    const std::size_t chunk = (count + workers - 1) / workers;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const std::size_t begin = w * chunk;
+      const std::size_t end = std::min(count, begin + chunk);
+      if (begin >= end) break;
+      pool.emplace_back([&, begin, end] {
+        try {
+          body(begin, end);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+  }  // jthread joins here
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ParallelFor(std::size_t count,
+                 const std::function<void(std::size_t)>& body,
+                 std::size_t workers) {
+  ParallelForChunked(
+      count,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      },
+      workers);
+}
+
+}  // namespace labmon::util

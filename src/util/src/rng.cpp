@@ -1,0 +1,147 @@
+#include "labmon/util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace labmon::util {
+
+namespace {
+constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.Next();
+}
+
+std::uint64_t Rng::NextU64() noexcept {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::Fork() noexcept {
+  // Seeding a child from two draws of the parent keeps streams decorrelated
+  // well enough for simulation purposes (each child re-expands via SplitMix).
+  const std::uint64_t a = NextU64();
+  const std::uint64_t b = NextU64();
+  return Rng(a ^ Rotl(b, 31) ^ 0x9e3779b97f4a7c15ULL);
+}
+
+double Rng::Uniform() noexcept {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * Uniform();
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(NextU64());  // full range
+  // Lemire-style rejection to avoid modulo bias.
+  std::uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * range;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < range) {
+    const std::uint64_t threshold = (0 - range) % range;
+    while (l < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * range;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::int64_t>(m >> 64);
+}
+
+bool Rng::Bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform() < p;
+}
+
+double Rng::StdNormal() noexcept {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 0.0);
+  const double u2 = Uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  spare_normal_ = r * std::sin(theta);
+  has_spare_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) noexcept {
+  return mean + stddev * StdNormal();
+}
+
+double Rng::LogNormal(double mu, double sigma) noexcept {
+  return std::exp(Normal(mu, sigma));
+}
+
+double Rng::LogNormalMeanStd(double mean, double stddev) noexcept {
+  const double variance_ratio = (stddev * stddev) / (mean * mean);
+  const double sigma2 = std::log1p(variance_ratio);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return LogNormal(mu, std::sqrt(sigma2));
+}
+
+double Rng::Exponential(double mean) noexcept {
+  double u = 0.0;
+  do {
+    u = Uniform();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+int Rng::Poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    const double v = Normal(mean, std::sqrt(mean));
+    return std::max(0, static_cast<int>(std::lround(v)));
+  }
+  const double limit = std::exp(-mean);
+  int k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= Uniform();
+  } while (p > limit);
+  return k - 1;
+}
+
+std::size_t Rng::WeightedIndex(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (const double w : weights) total += std::max(0.0, w);
+  if (total <= 0.0) return weights.size();
+  double target = Uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= std::max(0.0, weights[i]);
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+double Rng::Triangular(double lo, double mode, double hi) noexcept {
+  const double u = Uniform();
+  const double cut = (hi > lo) ? (mode - lo) / (hi - lo) : 0.5;
+  if (u < cut) return lo + std::sqrt(u * (hi - lo) * (mode - lo));
+  return hi - std::sqrt((1.0 - u) * (hi - lo) * (hi - mode));
+}
+
+}  // namespace labmon::util

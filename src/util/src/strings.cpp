@@ -1,0 +1,104 @@
+#include "labmon/util/strings.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace labmon::util {
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(text.substr(start));
+      break;
+    }
+    fields.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return fields;
+}
+
+std::string_view Trim(std::string_view text) noexcept {
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::optional<std::int64_t> ParseInt64(std::string_view text) noexcept {
+  const std::string_view trimmed = Trim(text);
+  if (trimmed.empty() || trimmed.size() > 32) return std::nullopt;
+  char buf[40];
+  trimmed.copy(buf, trimmed.size());
+  buf[trimmed.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(buf, &end, 10);
+  if (errno != 0 || end != buf + trimmed.size()) return std::nullopt;
+  return static_cast<std::int64_t>(value);
+}
+
+std::optional<double> ParseDouble(std::string_view text) noexcept {
+  const std::string_view trimmed = Trim(text);
+  if (trimmed.empty() || trimmed.size() > 48) return std::nullopt;
+  char buf[56];
+  trimmed.copy(buf, trimmed.size());
+  buf[trimmed.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(buf, &end);
+  if (errno != 0 || end != buf + trimmed.size()) return std::nullopt;
+  return value;
+}
+
+std::string FormatFixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string FormatWithThousands(std::int64_t value) {
+  const bool negative = value < 0;
+  std::string digits = std::to_string(negative ? -value : value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return negative ? "-" + out : out;
+}
+
+std::string FormatBytes(double bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  int unit = 0;
+  double v = bytes;
+  while (v >= 1024.0 && unit < 5) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof buf, "%.0f %s", v, kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f %s", v, kUnits[unit]);
+  }
+  return buf;
+}
+
+}  // namespace labmon::util

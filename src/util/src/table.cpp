@@ -1,0 +1,76 @@
+#include "labmon/util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace labmon::util {
+
+void AsciiTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void AsciiTable::SetAlignments(std::vector<Align> alignments) {
+  alignments_ = std::move(alignments);
+}
+
+void AsciiTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(RowEntry{std::move(row), false});
+}
+
+void AsciiTable::AddSeparator() { rows_.push_back(RowEntry{{}, true}); }
+
+std::string AsciiTable::Render() const {
+  const std::size_t cols = header_.size();
+  std::vector<std::size_t> widths(cols, 0);
+  for (std::size_t i = 0; i < cols; ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < cols && i < row.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+
+  const auto align_of = [&](std::size_t col) {
+    if (col < alignments_.size()) return alignments_[col];
+    return col == 0 ? Align::kLeft : Align::kRight;
+  };
+
+  std::ostringstream oss;
+  const auto rule = [&]() {
+    oss << '+';
+    for (std::size_t i = 0; i < cols; ++i) {
+      oss << std::string(widths[i] + 2, '-') << '+';
+    }
+    oss << '\n';
+  };
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    oss << '|';
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      const std::size_t pad = widths[i] - cell.size();
+      oss << ' ';
+      if (align_of(i) == Align::kRight) {
+        oss << std::string(pad, ' ') << cell;
+      } else {
+        oss << cell << std::string(pad, ' ');
+      }
+      oss << " |";
+    }
+    oss << '\n';
+  };
+
+  if (!title_.empty()) oss << title_ << '\n';
+  rule();
+  emit_row(header_);
+  rule();
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      rule();
+    } else {
+      emit_row(row.cells);
+    }
+  }
+  rule();
+  return oss.str();
+}
+
+}  // namespace labmon::util

@@ -1,0 +1,92 @@
+#include "labmon/util/time.hpp"
+
+#include <cstdio>
+
+namespace labmon::util {
+
+const char* DayName(DayOfWeek dow) noexcept {
+  switch (dow) {
+    case DayOfWeek::kMonday: return "Mon";
+    case DayOfWeek::kTuesday: return "Tue";
+    case DayOfWeek::kWednesday: return "Wed";
+    case DayOfWeek::kThursday: return "Thu";
+    case DayOfWeek::kFriday: return "Fri";
+    case DayOfWeek::kSaturday: return "Sat";
+    case DayOfWeek::kSunday: return "Sun";
+  }
+  return "???";
+}
+
+CivilTime ToCivil(SimTime t) noexcept {
+  CivilTime c;
+  c.day = static_cast<int>(t / kSecondsPerDay);
+  c.week = static_cast<int>(t / kSecondsPerWeek);
+  c.dow = static_cast<DayOfWeek>(c.day % 7);
+  const auto sec_of_day = t % kSecondsPerDay;
+  c.hour = static_cast<int>(sec_of_day / kSecondsPerHour);
+  c.minute = static_cast<int>((sec_of_day / kSecondsPerMinute) % 60);
+  c.second = static_cast<int>(sec_of_day % 60);
+  c.minute_of_day = c.hour * 60 + c.minute;
+  c.minute_of_week = static_cast<int>((t % kSecondsPerWeek) / kSecondsPerMinute);
+  return c;
+}
+
+SimTime MakeTime(int day, int hour, int minute, int second) noexcept {
+  return SimTime{day} * kSecondsPerDay + SimTime{hour} * kSecondsPerHour +
+         SimTime{minute} * kSecondsPerMinute + SimTime{second};
+}
+
+SimTime MakeWeekTime(int week, DayOfWeek dow, int hour, int minute,
+                     int second) noexcept {
+  return MakeTime(week * 7 + static_cast<int>(dow), hour, minute, second);
+}
+
+DayOfWeek DayOfWeekOf(SimTime t) noexcept {
+  return static_cast<DayOfWeek>((t / kSecondsPerDay) % 7);
+}
+
+double HourOfDay(SimTime t) noexcept {
+  return static_cast<double>(t % kSecondsPerDay) /
+         static_cast<double>(kSecondsPerHour);
+}
+
+bool IsWeekend(SimTime t) noexcept {
+  const auto dow = DayOfWeekOf(t);
+  return dow == DayOfWeek::kSaturday || dow == DayOfWeek::kSunday;
+}
+
+std::string FormatDuration(SimTime seconds) {
+  std::string prefix;
+  if (seconds < 0) {
+    prefix = "-";
+    seconds = -seconds;
+  }
+  char buf[64];
+  const auto days = seconds / kSecondsPerDay;
+  const auto hours = (seconds % kSecondsPerDay) / kSecondsPerHour;
+  const auto minutes = (seconds % kSecondsPerHour) / kSecondsPerMinute;
+  const auto secs = seconds % kSecondsPerMinute;
+  if (days > 0) {
+    std::snprintf(buf, sizeof buf, "%lldd%02lldh", static_cast<long long>(days),
+                  static_cast<long long>(hours));
+  } else if (hours > 0) {
+    std::snprintf(buf, sizeof buf, "%lldh%02lldm", static_cast<long long>(hours),
+                  static_cast<long long>(minutes));
+  } else if (minutes > 0) {
+    std::snprintf(buf, sizeof buf, "%lldm%02llds",
+                  static_cast<long long>(minutes), static_cast<long long>(secs));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llds", static_cast<long long>(secs));
+  }
+  return prefix + buf;
+}
+
+std::string FormatTimestamp(SimTime t) {
+  const CivilTime c = ToCivil(t);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "D%03d %s %02d:%02d:%02d", c.day,
+                DayName(c.dow), c.hour, c.minute, c.second);
+  return buf;
+}
+
+}  // namespace labmon::util

@@ -1,0 +1,83 @@
+// Fleet = the full set of monitored machines, organised into labs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "labmon/util/rng.hpp"
+#include "labmon/winsim/machine.hpp"
+
+namespace labmon::winsim {
+
+/// One classroom laboratory: a contiguous range of machine indices.
+struct LabInfo {
+  std::string name;        ///< "L01" … "L11"
+  std::size_t first = 0;   ///< index of first machine in the fleet
+  std::size_t count = 0;   ///< number of machines
+};
+
+/// Parameters for the synthetic prior life of a disk (pre-experiment SMART
+/// history, §5.2.2). Machines are 1–3 years old; prior usage patterns had
+/// shorter uptimes per cycle than observed during the monitored semester.
+struct PriorLifeModel {
+  double min_age_years = 1.0;
+  double max_age_years = 3.0;
+  /// Mean/σ of the prior-life uptime-per-power-cycle (hours).
+  double hours_per_cycle_mean = 5.6;
+  double hours_per_cycle_sigma = 4.5;
+  /// Fraction of calendar life the machine spent powered on.
+  double duty_cycle_mean = 0.34;
+  double duty_cycle_sigma = 0.10;
+};
+
+/// Per-lab hardware template used when instantiating a fleet.
+struct LabSpec {
+  std::string name;
+  std::size_t machine_count = 0;
+  std::string cpu_model;
+  double cpu_ghz = 0.0;
+  int ram_mb = 0;
+  double disk_gb = 0.0;
+  double int_index = 0.0;
+  double fp_index = 0.0;
+};
+
+/// Owns all machines plus the lab directory.
+class Fleet {
+ public:
+  /// Instantiates machines from per-lab templates. `rng` drives MAC/serial
+  /// generation and prior-life SMART seeding.
+  Fleet(std::span<const LabSpec> labs, const PriorLifeModel& prior,
+        util::Rng& rng);
+
+  [[nodiscard]] std::size_t size() const noexcept { return machines_.size(); }
+  [[nodiscard]] Machine& machine(std::size_t i) noexcept { return machines_[i]; }
+  [[nodiscard]] const Machine& machine(std::size_t i) const noexcept {
+    return machines_[i];
+  }
+  [[nodiscard]] std::span<const LabInfo> labs() const noexcept { return labs_; }
+  [[nodiscard]] std::size_t lab_count() const noexcept { return labs_.size(); }
+  /// Lab index a machine belongs to.
+  [[nodiscard]] std::size_t LabOf(std::size_t machine_index) const noexcept;
+
+  /// Integrates every machine up to `t`.
+  void AdvanceAllTo(util::SimTime t);
+
+  /// Aggregate hardware totals (paper §4.1: 56.62 GB RAM, 6.66 TB disk…).
+  struct Totals {
+    double ram_gb = 0.0;
+    double disk_tb = 0.0;
+    double sum_int_index = 0.0;
+    double sum_fp_index = 0.0;
+  };
+  [[nodiscard]] Totals HardwareTotals() const noexcept;
+
+ private:
+  std::vector<Machine> machines_;
+  std::vector<LabInfo> labs_;
+  std::vector<std::size_t> lab_of_;
+};
+
+}  // namespace labmon::winsim

@@ -1,0 +1,141 @@
+// One simulated Windows 2000 machine.
+//
+// The machine exposes the same observable surface W32Probe reads through the
+// Win32 API on real hardware: uptime, cumulative idle-thread time since
+// boot, dwMemoryLoad-style memory/swap loads, free disk space, NIC byte
+// totals since boot, and the interactive session (if any).
+//
+// Counters evolve *piecewise-analytically*: the workload driver sets rates
+// (CPU busy fraction, network bps) at event boundaries and `AdvanceTo`
+// integrates them lazily — O(events), not O(simulated seconds). This is what
+// makes the 77-day × 169-machine experiment run in seconds.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "labmon/smart/disk_smart.hpp"
+#include "labmon/util/time.hpp"
+#include "labmon/winsim/machine_spec.hpp"
+
+namespace labmon::winsim {
+
+/// Memory snapshot in the spirit of Win32 GlobalMemoryStatus().
+struct MemoryStatus {
+  double load_percent = 0.0;  ///< dwMemoryLoad
+  int total_mb = 0;
+  double avail_mb = 0.0;
+};
+
+/// Interactive logon session (username + logon instant).
+struct InteractiveSession {
+  std::string user;
+  util::SimTime logon_time = 0;
+};
+
+/// Cumulative NIC counters since boot.
+struct NetTotals {
+  std::uint64_t sent_bytes = 0;
+  std::uint64_t recv_bytes = 0;
+};
+
+class Machine {
+ public:
+  Machine(std::size_t id, MachineSpec spec, smart::DiskSmart disk_smart);
+
+  [[nodiscard]] std::size_t id() const noexcept { return id_; }
+  [[nodiscard]] const MachineSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] bool powered_on() const noexcept { return powered_on_; }
+  /// Instant the machine state was last integrated to.
+  [[nodiscard]] util::SimTime now() const noexcept { return now_; }
+
+  // --- power management (driver-side) -----------------------------------
+  /// Powers the machine on at `t`. Requires it to be off. Increments the
+  /// disk's SMART power-cycle counter and resets all since-boot counters.
+  void Boot(util::SimTime t);
+  /// Powers the machine off at `t` (integrating up to `t` first). Any
+  /// interactive session is terminated.
+  void Shutdown(util::SimTime t);
+  /// Shutdown immediately followed by Boot (counts one extra power cycle).
+  void Reboot(util::SimTime t);
+
+  /// Integrates counters up to `t` (monotone; no-op while powered off,
+  /// except that time still passes).
+  void AdvanceTo(util::SimTime t);
+
+  // --- workload control (driver-side) ------------------------------------
+  /// Sets the CPU busy fraction in [0, 1] effective from the current instant.
+  void SetCpuBusyFraction(double fraction);
+  /// Sets network send/receive rates in bytes per second.
+  void SetNetRates(double sent_bps, double recv_bps);
+  /// Sets memory load percent (dwMemoryLoad semantics, clamped to [0,100]).
+  void SetMemLoadPercent(double percent);
+  /// Sets swap (page file) load percent.
+  void SetSwapLoadPercent(double percent);
+  /// Sets used bytes on the single disk (clamped to capacity).
+  void SetDiskUsedBytes(std::uint64_t bytes);
+  /// Opens an interactive session. Requires power and no existing session.
+  void Login(std::string user, util::SimTime t);
+  /// Closes the interactive session (no-op when none).
+  void Logout();
+
+  // --- observable surface (probe-side; machine must be powered on) -------
+  [[nodiscard]] util::SimTime BootTime() const noexcept;
+  [[nodiscard]] util::SimTime UptimeSeconds() const noexcept;
+  /// Seconds consumed by the OS idle thread since boot (what the paper's
+  /// probe reads to derive average CPU idleness between samples).
+  [[nodiscard]] double IdleThreadSeconds() const noexcept;
+  /// Busy CPU seconds since boot (complement of the idle thread).
+  [[nodiscard]] double BusySeconds() const noexcept;
+  [[nodiscard]] MemoryStatus Memory() const noexcept;
+  [[nodiscard]] MemoryStatus Swap() const noexcept;
+  [[nodiscard]] std::uint64_t DiskFreeBytes() const noexcept;
+  [[nodiscard]] std::uint64_t DiskUsedBytes() const noexcept { return disk_used_bytes_; }
+  [[nodiscard]] NetTotals Network() const noexcept;
+  [[nodiscard]] const std::optional<InteractiveSession>& Session() const noexcept {
+    return session_;
+  }
+  [[nodiscard]] const smart::DiskSmart& DiskSmartData() const noexcept {
+    return disk_smart_;
+  }
+
+  // --- introspection for tests/analysis ground truth ---------------------
+  [[nodiscard]] double cpu_busy_fraction() const noexcept { return cpu_busy_fraction_; }
+  [[nodiscard]] std::uint64_t boots() const noexcept { return boots_; }
+  /// Ground-truth cumulative powered-on seconds over the whole simulation.
+  [[nodiscard]] double total_on_seconds() const noexcept { return total_on_seconds_; }
+
+ private:
+  void RequireOn() const noexcept { assert(powered_on_); }
+
+  std::size_t id_;
+  MachineSpec spec_;
+  smart::DiskSmart disk_smart_;
+
+  bool powered_on_ = false;
+  util::SimTime now_ = 0;
+  util::SimTime boot_time_ = 0;
+  std::uint64_t boots_ = 0;
+  double total_on_seconds_ = 0.0;
+
+  // Piecewise rates (valid while powered on).
+  double cpu_busy_fraction_ = 0.0;
+  double net_sent_bps_ = 0.0;
+  double net_recv_bps_ = 0.0;
+
+  // Integrated since boot.
+  double busy_seconds_ = 0.0;
+  double net_sent_bytes_ = 0.0;
+  double net_recv_bytes_ = 0.0;
+
+  // Levels (not integrated).
+  double mem_load_percent_ = 0.0;
+  double swap_load_percent_ = 0.0;
+  std::uint64_t disk_used_bytes_ = 0;
+
+  std::optional<InteractiveSession> session_;
+};
+
+}  // namespace labmon::winsim

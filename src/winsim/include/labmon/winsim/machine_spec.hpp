@@ -1,0 +1,37 @@
+// Static description of a simulated classroom PC — the "static metrics" of
+// W32Probe (§3.1.1): processor, OS, memory sizes, disks, NICs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace labmon::winsim {
+
+/// Immutable hardware/software description of one machine.
+struct MachineSpec {
+  std::string name;        ///< hostname, e.g. "L01-PC03"
+  std::string lab;         ///< classroom, e.g. "L01"
+  std::string cpu_model;   ///< e.g. "Pentium 4"
+  double cpu_ghz = 0.0;    ///< nominal clock
+  int ram_mb = 0;          ///< installed main memory
+  int swap_mb = 0;         ///< configured virtual memory (page file)
+  double disk_gb = 0.0;    ///< single-disk capacity as marketed (1e9 bytes)
+  double int_index = 0.0;  ///< NBench integer index (Table 1, INT)
+  double fp_index = 0.0;   ///< NBench floating-point index (Table 1, FP)
+  std::string os = "Windows 2000 Professional SP3";
+  std::string mac;         ///< primary NIC MAC, "00:0C:…"
+  std::string disk_serial; ///< disk serial reported via SMART identify
+
+  /// Disk capacity in bytes (vendors count 1 GB = 1e9 bytes).
+  [[nodiscard]] std::uint64_t DiskBytes() const noexcept {
+    return static_cast<std::uint64_t>(disk_gb * 1e9);
+  }
+
+  /// Combined NBench index: the paper weights INT and FP 50/50 for the
+  /// cluster-equivalence normalisation (§5.4).
+  [[nodiscard]] double CombinedIndex() const noexcept {
+    return 0.5 * int_index + 0.5 * fp_index;
+  }
+};
+
+}  // namespace labmon::winsim

@@ -1,0 +1,18 @@
+// The paper's Table 1: hardware of the 11 monitored classrooms.
+#pragma once
+
+#include <vector>
+
+#include "labmon/winsim/fleet.hpp"
+
+namespace labmon::winsim {
+
+/// Returns the 11 lab templates exactly as published in Table 1 (all labs
+/// have 16 machines except L09 with 9; 169 machines total).
+[[nodiscard]] std::vector<LabSpec> PaperLabSpecs();
+
+/// Builds the 169-machine fleet of the paper with prior-life SMART seeding.
+[[nodiscard]] Fleet MakePaperFleet(util::Rng& rng,
+                                   const PriorLifeModel& prior = {});
+
+}  // namespace labmon::winsim

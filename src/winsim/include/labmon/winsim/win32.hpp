@@ -1,0 +1,112 @@
+// Win32-flavoured API facade over a simulated machine.
+//
+// W32Probe "gathers its monitoring data mostly through win32 API calls"
+// (§3). This header reproduces the relevant slice of that API — same
+// structures, same units, same quirks — so probe code against the simulator
+// reads like probe code against Windows 2000:
+//
+//  * GetTickCount returns *milliseconds* since boot in a DWORD and
+//    therefore wraps after 49.7 days (a real bug source in long-uptime
+//    monitoring; our Machine tracks uptime exactly, the facade wraps).
+//  * GlobalMemoryStatus fills MEMORYSTATUS with dwMemoryLoad as an integer
+//    percentage and byte counts for physical/page-file memory.
+//  * NtQuerySystemInformation(SystemPerformanceInformation) exposes the
+//    idle thread's accumulated time in 100 ns units.
+//  * GetDiskFreeSpaceExA reports byte counts via ULARGE_INTEGER.
+//  * WTSQuerySessionInformation-style session query.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "labmon/winsim/machine.hpp"
+
+namespace labmon::winsim::win32 {
+
+// -- Windows type aliases (the real SDK spellings) --------------------------
+using BOOL = int;
+using DWORD = std::uint32_t;
+using ULONGLONG = std::uint64_t;
+using SIZE_T = std::uint64_t;
+using LONGLONG = std::int64_t;
+
+inline constexpr BOOL TRUE_ = 1;
+inline constexpr BOOL FALSE_ = 0;
+
+/// ULARGE_INTEGER: the classic low/high-part union view.
+union ULARGE_INTEGER {
+  struct {
+    DWORD LowPart;
+    DWORD HighPart;
+  } u;
+  ULONGLONG QuadPart;
+};
+
+/// MEMORYSTATUS as filled by GlobalMemoryStatus on Windows 2000.
+struct MEMORYSTATUS {
+  DWORD dwLength = sizeof(MEMORYSTATUS);
+  DWORD dwMemoryLoad = 0;       ///< integer percent in use
+  SIZE_T dwTotalPhys = 0;       ///< bytes
+  SIZE_T dwAvailPhys = 0;       ///< bytes
+  SIZE_T dwTotalPageFile = 0;   ///< bytes
+  SIZE_T dwAvailPageFile = 0;   ///< bytes
+  SIZE_T dwTotalVirtual = 0;
+  SIZE_T dwAvailVirtual = 0;
+};
+
+/// The slice of SYSTEM_PERFORMANCE_INFORMATION the probe reads.
+struct SYSTEM_PERFORMANCE_INFORMATION {
+  LONGLONG IdleProcessTime = 0;  ///< 100 ns units since boot
+};
+
+/// LARGE_INTEGER-style boot-relative timing via QueryUnbiasedUptime-like
+/// exact seconds (what the probe derives boot_time/uptime from).
+struct SYSTEM_TIMEOFDAY_INFORMATION {
+  LONGLONG BootTime = 0;     ///< seconds since experiment epoch
+  LONGLONG CurrentTime = 0;  ///< seconds since experiment epoch
+};
+
+/// Milliseconds since boot, DWORD — wraps every 2^32 ms (~49.7 days),
+/// exactly like the real GetTickCount.
+[[nodiscard]] DWORD GetTickCount(const Machine& machine) noexcept;
+
+/// 64-bit tick count (the XP-era GetTickCount64, provided for contrast
+/// and for tests of the wrap behaviour).
+[[nodiscard]] ULONGLONG GetTickCount64(const Machine& machine) noexcept;
+
+/// Fills MEMORYSTATUS; no return value, like the real call.
+void GlobalMemoryStatus(const Machine& machine, MEMORYSTATUS* status) noexcept;
+
+/// NtQuerySystemInformation(SystemPerformanceInformation).
+/// Returns 0 (STATUS_SUCCESS) always — the simulated call cannot fail.
+[[nodiscard]] int NtQuerySystemInformation(
+    const Machine& machine, SYSTEM_PERFORMANCE_INFORMATION* info) noexcept;
+
+/// NtQuerySystemInformation(SystemTimeOfDayInformation).
+[[nodiscard]] int NtQuerySystemInformation(
+    const Machine& machine, SYSTEM_TIMEOFDAY_INFORMATION* info) noexcept;
+
+/// GetDiskFreeSpaceExA for the machine's single volume. Returns TRUE_.
+[[nodiscard]] BOOL GetDiskFreeSpaceExA(const Machine& machine,
+                                       ULARGE_INTEGER* free_bytes_available,
+                                       ULARGE_INTEGER* total_bytes,
+                                       ULARGE_INTEGER* total_free_bytes) noexcept;
+
+/// WTS-style interactive session query: returns TRUE_ and fills `user_name`
+/// and `logon_time` when a session exists, else FALSE_.
+[[nodiscard]] BOOL WTSQuerySessionInformation(const Machine& machine,
+                                              std::string* user_name,
+                                              LONGLONG* logon_time);
+
+/// The slice of MIB_IFROW the probe reads (IP Helper GetIfEntry).
+struct MIB_IFROW {
+  DWORD dwInOctets = 0;   ///< wraps at 2^32 like the real 32-bit counter
+  DWORD dwOutOctets = 0;
+  ULONGLONG InOctets64 = 0;   ///< 64-bit shadow (RFC 2863 HC counters)
+  ULONGLONG OutOctets64 = 0;
+};
+
+/// GetIfEntry for the machine's single NIC. Returns NO_ERROR (0).
+[[nodiscard]] DWORD GetIfEntry(const Machine& machine, MIB_IFROW* row) noexcept;
+
+}  // namespace labmon::winsim::win32

@@ -1,0 +1,94 @@
+#include "labmon/winsim/fleet.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace labmon::winsim {
+
+namespace {
+
+std::string MakeMac(util::Rng& rng) {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "00:0C:%02X:%02X:%02X:%02X",
+                static_cast<unsigned>(rng.UniformInt(0, 255)),
+                static_cast<unsigned>(rng.UniformInt(0, 255)),
+                static_cast<unsigned>(rng.UniformInt(0, 255)),
+                static_cast<unsigned>(rng.UniformInt(0, 255)));
+  return buf;
+}
+
+std::string MakeDiskSerial(util::Rng& rng) {
+  static constexpr char kAlphabet[] = "0123456789ABCDEFGHJKLMNPQRSTUVWXYZ";
+  std::string serial = "WD-";
+  for (int i = 0; i < 9; ++i) {
+    serial.push_back(kAlphabet[rng.UniformInt(0, 33)]);
+  }
+  return serial;
+}
+
+smart::DiskSmart SeedPriorLife(const std::string& serial,
+                               const PriorLifeModel& prior, util::Rng& rng) {
+  const double age_years =
+      rng.Uniform(prior.min_age_years, prior.max_age_years);
+  const double duty =
+      std::clamp(rng.Normal(prior.duty_cycle_mean, prior.duty_cycle_sigma),
+                 0.05, 0.95);
+  const double prior_hours = age_years * 365.0 * 24.0 * duty;
+  const double hours_per_cycle = std::max(
+      0.5, rng.Normal(prior.hours_per_cycle_mean, prior.hours_per_cycle_sigma));
+  const auto prior_cycles =
+      static_cast<std::uint64_t>(std::max(1.0, prior_hours / hours_per_cycle));
+  return smart::DiskSmart(serial, prior_hours, prior_cycles);
+}
+
+}  // namespace
+
+Fleet::Fleet(std::span<const LabSpec> labs, const PriorLifeModel& prior,
+             util::Rng& rng) {
+  std::size_t next_index = 0;
+  for (const LabSpec& lab : labs) {
+    labs_.push_back(LabInfo{lab.name, next_index, lab.machine_count});
+    for (std::size_t i = 0; i < lab.machine_count; ++i) {
+      MachineSpec spec;
+      char host[32];
+      std::snprintf(host, sizeof host, "%s-PC%02zu", lab.name.c_str(), i + 1);
+      spec.name = host;
+      spec.lab = lab.name;
+      spec.cpu_model = lab.cpu_model;
+      spec.cpu_ghz = lab.cpu_ghz;
+      spec.ram_mb = lab.ram_mb;
+      // Windows 2000 default page file: 1.5x installed RAM.
+      spec.swap_mb = lab.ram_mb + lab.ram_mb / 2;
+      spec.disk_gb = lab.disk_gb;
+      spec.int_index = lab.int_index;
+      spec.fp_index = lab.fp_index;
+      spec.mac = MakeMac(rng);
+      spec.disk_serial = MakeDiskSerial(rng);
+      auto disk = SeedPriorLife(spec.disk_serial, prior, rng);
+      machines_.emplace_back(next_index, std::move(spec), std::move(disk));
+      lab_of_.push_back(labs_.size() - 1);
+      ++next_index;
+    }
+  }
+}
+
+std::size_t Fleet::LabOf(std::size_t machine_index) const noexcept {
+  return lab_of_[machine_index];
+}
+
+void Fleet::AdvanceAllTo(util::SimTime t) {
+  for (Machine& m : machines_) m.AdvanceTo(t);
+}
+
+Fleet::Totals Fleet::HardwareTotals() const noexcept {
+  Totals totals;
+  for (const Machine& m : machines_) {
+    totals.ram_gb += m.spec().ram_mb / 1024.0;
+    totals.disk_tb += m.spec().disk_gb / 1024.0;
+    totals.sum_int_index += m.spec().int_index;
+    totals.sum_fp_index += m.spec().fp_index;
+  }
+  return totals;
+}
+
+}  // namespace labmon::winsim

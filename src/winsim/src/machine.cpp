@@ -1,0 +1,138 @@
+#include "labmon/winsim/machine.hpp"
+
+#include <algorithm>
+
+namespace labmon::winsim {
+
+Machine::Machine(std::size_t id, MachineSpec spec, smart::DiskSmart disk_smart)
+    : id_(id), spec_(std::move(spec)), disk_smart_(std::move(disk_smart)) {}
+
+void Machine::Boot(util::SimTime t) {
+  assert(!powered_on_);
+  assert(t >= now_);
+  now_ = t;
+  powered_on_ = true;
+  boot_time_ = t;
+  ++boots_;
+  disk_smart_.NotePowerOn();
+  busy_seconds_ = 0.0;
+  net_sent_bytes_ = 0.0;
+  net_recv_bytes_ = 0.0;
+  cpu_busy_fraction_ = 0.0;
+  net_sent_bps_ = 0.0;
+  net_recv_bps_ = 0.0;
+  session_.reset();
+}
+
+void Machine::Shutdown(util::SimTime t) {
+  RequireOn();
+  AdvanceTo(t);
+  powered_on_ = false;
+  session_.reset();
+}
+
+void Machine::Reboot(util::SimTime t) {
+  Shutdown(t);
+  Boot(t);
+}
+
+void Machine::AdvanceTo(util::SimTime t) {
+  assert(t >= now_);
+  if (!powered_on_) {
+    now_ = t;
+    return;
+  }
+  const double dt = static_cast<double>(t - now_);
+  if (dt > 0.0) {
+    busy_seconds_ += cpu_busy_fraction_ * dt;
+    net_sent_bytes_ += net_sent_bps_ * dt;
+    net_recv_bytes_ += net_recv_bps_ * dt;
+    disk_smart_.AccrueOnTime(dt);
+    total_on_seconds_ += dt;
+    now_ = t;
+  }
+}
+
+void Machine::SetCpuBusyFraction(double fraction) {
+  RequireOn();
+  cpu_busy_fraction_ = std::clamp(fraction, 0.0, 1.0);
+}
+
+void Machine::SetNetRates(double sent_bps, double recv_bps) {
+  RequireOn();
+  net_sent_bps_ = std::max(0.0, sent_bps);
+  net_recv_bps_ = std::max(0.0, recv_bps);
+}
+
+void Machine::SetMemLoadPercent(double percent) {
+  RequireOn();
+  mem_load_percent_ = std::clamp(percent, 0.0, 100.0);
+}
+
+void Machine::SetSwapLoadPercent(double percent) {
+  RequireOn();
+  swap_load_percent_ = std::clamp(percent, 0.0, 100.0);
+}
+
+void Machine::SetDiskUsedBytes(std::uint64_t bytes) {
+  disk_used_bytes_ = std::min(bytes, spec_.DiskBytes());
+}
+
+void Machine::Login(std::string user, util::SimTime t) {
+  RequireOn();
+  assert(!session_.has_value());
+  session_ = InteractiveSession{std::move(user), t};
+}
+
+void Machine::Logout() { session_.reset(); }
+
+util::SimTime Machine::BootTime() const noexcept {
+  RequireOn();
+  return boot_time_;
+}
+
+util::SimTime Machine::UptimeSeconds() const noexcept {
+  RequireOn();
+  return now_ - boot_time_;
+}
+
+double Machine::IdleThreadSeconds() const noexcept {
+  RequireOn();
+  return static_cast<double>(UptimeSeconds()) - busy_seconds_;
+}
+
+double Machine::BusySeconds() const noexcept {
+  RequireOn();
+  return busy_seconds_;
+}
+
+MemoryStatus Machine::Memory() const noexcept {
+  RequireOn();
+  MemoryStatus m;
+  m.load_percent = mem_load_percent_;
+  m.total_mb = spec_.ram_mb;
+  m.avail_mb = spec_.ram_mb * (1.0 - mem_load_percent_ / 100.0);
+  return m;
+}
+
+MemoryStatus Machine::Swap() const noexcept {
+  RequireOn();
+  MemoryStatus m;
+  m.load_percent = swap_load_percent_;
+  m.total_mb = spec_.swap_mb;
+  m.avail_mb = spec_.swap_mb * (1.0 - swap_load_percent_ / 100.0);
+  return m;
+}
+
+std::uint64_t Machine::DiskFreeBytes() const noexcept {
+  RequireOn();
+  return spec_.DiskBytes() - disk_used_bytes_;
+}
+
+NetTotals Machine::Network() const noexcept {
+  RequireOn();
+  return NetTotals{static_cast<std::uint64_t>(net_sent_bytes_),
+                   static_cast<std::uint64_t>(net_recv_bytes_)};
+}
+
+}  // namespace labmon::winsim

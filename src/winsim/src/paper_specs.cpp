@@ -1,0 +1,28 @@
+#include "labmon/winsim/paper_specs.hpp"
+
+namespace labmon::winsim {
+
+std::vector<LabSpec> PaperLabSpecs() {
+  // Table 1 of the paper, column for column. INT/FP are the NBench indexes
+  // measured by the authors with their DDC benchmark probe.
+  return {
+      {"L01", 16, "Pentium 4", 2.40, 512, 74.5, 30.5, 33.1},
+      {"L02", 16, "Pentium 4", 2.40, 512, 74.5, 30.5, 33.1},
+      {"L03", 16, "Pentium 4", 2.60, 512, 55.8, 39.3, 36.7},
+      {"L04", 16, "Pentium 4", 2.40, 512, 59.5, 30.6, 33.2},
+      {"L05", 16, "Pentium III", 1.10, 512, 14.5, 23.2, 19.9},
+      {"L06", 16, "Pentium 4", 2.60, 256, 55.9, 39.2, 36.7},
+      {"L07", 16, "Pentium 4", 1.50, 256, 37.3, 23.5, 22.1},
+      {"L08", 16, "Pentium III", 1.10, 256, 18.6, 22.3, 18.6},
+      {"L09", 9, "Pentium III", 0.65, 128, 14.5, 13.7, 12.1},
+      {"L10", 16, "Pentium III", 0.65, 128, 14.5, 13.7, 12.2},
+      {"L11", 16, "Pentium III", 0.65, 128, 14.5, 13.7, 12.2},
+  };
+}
+
+Fleet MakePaperFleet(util::Rng& rng, const PriorLifeModel& prior) {
+  const auto labs = PaperLabSpecs();
+  return Fleet(labs, prior, rng);
+}
+
+}  // namespace labmon::winsim

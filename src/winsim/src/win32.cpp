@@ -1,0 +1,73 @@
+#include "labmon/winsim/win32.hpp"
+
+#include <cmath>
+
+namespace labmon::winsim::win32 {
+
+DWORD GetTickCount(const Machine& machine) noexcept {
+  return static_cast<DWORD>(GetTickCount64(machine));  // truncation == wrap
+}
+
+ULONGLONG GetTickCount64(const Machine& machine) noexcept {
+  return static_cast<ULONGLONG>(machine.UptimeSeconds()) * 1000ULL;
+}
+
+void GlobalMemoryStatus(const Machine& machine, MEMORYSTATUS* status) noexcept {
+  const auto mem = machine.Memory();
+  const auto swap = machine.Swap();
+  status->dwLength = sizeof(MEMORYSTATUS);
+  status->dwMemoryLoad = static_cast<DWORD>(std::lround(mem.load_percent));
+  status->dwTotalPhys = static_cast<SIZE_T>(mem.total_mb) * 1024 * 1024;
+  status->dwAvailPhys = static_cast<SIZE_T>(mem.avail_mb * 1024.0 * 1024.0);
+  status->dwTotalPageFile = static_cast<SIZE_T>(swap.total_mb) * 1024 * 1024;
+  status->dwAvailPageFile = static_cast<SIZE_T>(swap.avail_mb * 1024.0 * 1024.0);
+  // Win2000's 2 GB user-mode virtual address space.
+  status->dwTotalVirtual = SIZE_T{2} * 1024 * 1024 * 1024;
+  status->dwAvailVirtual = status->dwTotalVirtual / 2;
+}
+
+int NtQuerySystemInformation(const Machine& machine,
+                             SYSTEM_PERFORMANCE_INFORMATION* info) noexcept {
+  // 100 ns ticks: seconds * 1e7.
+  info->IdleProcessTime =
+      static_cast<LONGLONG>(machine.IdleThreadSeconds() * 1e7);
+  return 0;
+}
+
+int NtQuerySystemInformation(const Machine& machine,
+                             SYSTEM_TIMEOFDAY_INFORMATION* info) noexcept {
+  info->BootTime = machine.BootTime();
+  info->CurrentTime = machine.now();
+  return 0;
+}
+
+BOOL GetDiskFreeSpaceExA(const Machine& machine,
+                         ULARGE_INTEGER* free_bytes_available,
+                         ULARGE_INTEGER* total_bytes,
+                         ULARGE_INTEGER* total_free_bytes) noexcept {
+  const ULONGLONG free_bytes = machine.DiskFreeBytes();
+  const ULONGLONG total = machine.spec().DiskBytes();
+  if (free_bytes_available) free_bytes_available->QuadPart = free_bytes;
+  if (total_bytes) total_bytes->QuadPart = total;
+  if (total_free_bytes) total_free_bytes->QuadPart = free_bytes;
+  return TRUE_;
+}
+
+BOOL WTSQuerySessionInformation(const Machine& machine, std::string* user_name,
+                                LONGLONG* logon_time) {
+  if (!machine.Session().has_value()) return FALSE_;
+  if (user_name) *user_name = machine.Session()->user;
+  if (logon_time) *logon_time = machine.Session()->logon_time;
+  return TRUE_;
+}
+
+DWORD GetIfEntry(const Machine& machine, MIB_IFROW* row) noexcept {
+  const auto net = machine.Network();
+  row->InOctets64 = net.recv_bytes;
+  row->OutOctets64 = net.sent_bytes;
+  row->dwInOctets = static_cast<DWORD>(net.recv_bytes);    // 32-bit wrap
+  row->dwOutOctets = static_cast<DWORD>(net.sent_bytes);
+  return 0;  // NO_ERROR
+}
+
+}  // namespace labmon::winsim::win32

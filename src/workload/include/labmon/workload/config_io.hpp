@@ -1,0 +1,26 @@
+// Scenario files: load/save a CampusConfig as INI so experiments can be
+// re-parameterised without recompiling. Every behavioural knob maps to a
+// `[section] key`; unknown keys are reported as errors (they are almost
+// always typos that would otherwise silently fall back to defaults).
+#pragma once
+
+#include <string>
+
+#include "labmon/util/expected.hpp"
+#include "labmon/workload/config.hpp"
+
+namespace labmon::workload {
+
+/// Parses a scenario from INI text, starting from `base` (defaults to the
+/// paper scenario) and overriding any keys present.
+[[nodiscard]] util::Result<CampusConfig> ParseCampusConfig(
+    const std::string& ini_text, const CampusConfig& base = CampusConfig{});
+
+/// Loads a scenario file from disk.
+[[nodiscard]] util::Result<CampusConfig> LoadCampusConfig(
+    const std::string& path, const CampusConfig& base = CampusConfig{});
+
+/// Renders a config as INI text (round-trips through ParseCampusConfig).
+[[nodiscard]] std::string SaveCampusConfig(const CampusConfig& config);
+
+}  // namespace labmon::workload

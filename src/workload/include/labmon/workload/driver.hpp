@@ -1,0 +1,179 @@
+// WorkloadDriver — the discrete-event behavioural engine.
+//
+// Drives a winsim::Fleet through the experiment: weekly class timetables,
+// walk-in student arrivals, interactive activity phases, forgotten logouts,
+// night closing sweeps, short power cycles and boot bursts. The DDC
+// coordinator co-simulates by calling `AdvanceTo(t)` before probing, so
+// machine state is always consistent with the behavioural history at every
+// sample instant.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "labmon/util/rng.hpp"
+#include "labmon/util/time.hpp"
+#include "labmon/winsim/fleet.hpp"
+#include "labmon/workload/config.hpp"
+#include "labmon/workload/timetable.hpp"
+
+namespace labmon::workload {
+
+/// Counters of what "really happened" — ground truth the sampling-based
+/// analyses can be validated against (e.g. §5.2.2's invisible short cycles).
+struct GroundTruth {
+  std::uint64_t boots = 0;
+  std::uint64_t shutdowns = 0;
+  std::uint64_t reboots = 0;
+  std::uint64_t short_cycles = 0;
+  std::uint64_t class_logins = 0;
+  std::uint64_t walkin_logins = 0;
+  std::uint64_t forgotten_sessions = 0;
+  std::uint64_t lost_arrivals = 0;
+  std::uint64_t sweep_shutdowns = 0;
+
+  [[nodiscard]] std::uint64_t TotalLogins() const noexcept {
+    return class_logins + walkin_logins;
+  }
+};
+
+class WorkloadDriver {
+ public:
+  /// The fleet must outlive the driver. All machines must be powered off
+  /// and at time 0.
+  WorkloadDriver(winsim::Fleet& fleet, const CampusConfig& config);
+
+  WorkloadDriver(const WorkloadDriver&) = delete;
+  WorkloadDriver& operator=(const WorkloadDriver&) = delete;
+
+  /// Processes every behavioural event with timestamp <= t. Monotone.
+  void AdvanceTo(util::SimTime t);
+
+  /// Advances to `t` and integrates every machine's counters to `t`
+  /// (call once at the end of the experiment).
+  void FinishAt(util::SimTime t);
+
+  [[nodiscard]] const Timetable& timetable() const noexcept { return timetable_; }
+  [[nodiscard]] const GroundTruth& ground_truth() const noexcept {
+    return truth_;
+  }
+  [[nodiscard]] const CampusConfig& config() const noexcept { return config_; }
+  [[nodiscard]] util::SimTime now() const noexcept { return now_; }
+
+  /// Per-machine behavioural temperament (tests & ablations).
+  [[nodiscard]] double StayOnTendency(std::size_t machine) const noexcept;
+
+  /// Walk-in arrival rate (students/hour) for a lab at an instant — exposed
+  /// for tests of the intensity shape.
+  [[nodiscard]] double ArrivalRate(std::size_t lab, util::SimTime t) const noexcept;
+
+  /// True when the classrooms are open at `t` (§4.2 opening policy).
+  [[nodiscard]] bool IsOpen(util::SimTime t) const noexcept;
+
+ private:
+  enum class EventKind : std::uint8_t {
+    kClassStart,
+    kClassEnd,
+    kSeatStart,
+    kHourPlan,
+    kArrival,
+    kDeferredLogin,
+    kSessionEnd,
+    kActivityPhase,
+    kAbandonSettle,
+    kBootSettle,
+    kSweep,
+    kShortCycleStart,
+    kShortCycleEnd,
+  };
+
+  struct Event {
+    util::SimTime t = 0;
+    std::uint64_t seq = 0;  ///< FIFO tie-break for determinism
+    EventKind kind{};
+    std::uint32_t index = 0;     ///< lab or machine index
+    std::uint64_t gen = 0;       ///< generation tag (stale-event filter)
+    util::SimTime aux = 0;       ///< e.g. planned session end
+    bool flag = false;           ///< e.g. cpu-heavy / weekend sweep
+  };
+
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  enum class SessKind : std::uint8_t { kNone, kWalkin, kClass, kForgotten };
+
+  struct MachineState {
+    std::uint64_t power_gen = 0;
+    std::uint64_t session_gen = 0;
+    SessKind sess = SessKind::kNone;
+    bool heavy = false;
+    double stay_on = 0.0;            ///< resists sweeps when high
+    bool compute_server = false;     ///< crunches 100% CPU whenever on
+    double disk_image_gb = 0.0;      ///< OS+software image (fixed)
+    double base_mem = 0.0;           ///< drawn per boot
+    double base_swap = 0.0;
+    double app_mem_points = 0.0;     ///< while a session's apps are open
+    double app_swap_points = 0.0;
+    double temp_disk_bytes = 0.0;    ///< student temp area
+  };
+
+  struct LabState {
+    bool in_class = false;
+    bool heavy = false;
+    util::SimTime class_end = 0;
+    double popularity = 0.5;         ///< [0,1], from NBench indexes
+    double arrival_weight = 1.0;     ///< share of campus walk-ins
+  };
+
+  // -- scheduling helpers --------------------------------------------------
+  void Push(util::SimTime t, EventKind kind, std::uint32_t index,
+            std::uint64_t gen = 0, util::SimTime aux = 0, bool flag = false);
+  void ScheduleCalendar();
+
+  // -- event handlers --------------------------------------------------
+  void Dispatch(const Event& e);
+  void OnClassStart(const Event& e);
+  void OnClassEnd(const Event& e);
+  void OnSeatStart(const Event& e);
+  void OnHourPlan(const Event& e);
+  void OnArrival(const Event& e);
+  void OnDeferredLogin(const Event& e);
+  void OnSessionEnd(const Event& e);
+  void OnActivityPhase(const Event& e);
+  void OnAbandonSettle(const Event& e);
+  void OnBootSettle(const Event& e);
+  void OnSweep(const Event& e);
+  void OnShortCycleStart(const Event& e);
+  void OnShortCycleEnd(const Event& e);
+
+  // -- machine manipulation -------------------------------------------
+  void BootMachine(std::size_t i, util::SimTime t);
+  void ShutdownMachine(std::size_t i, util::SimTime t);
+  void LoginMachine(std::size_t i, util::SimTime t, SessKind kind,
+                    util::SimTime planned_end, bool heavy);
+  void ForceLogout(std::size_t i, util::SimTime t);
+  void ApplyIdleRates(std::size_t i);
+  [[nodiscard]] double DiskImageGbFor(double disk_gb) const noexcept;
+  [[nodiscard]] double DrawPhaseBusy(bool heavy_session);
+  [[nodiscard]] double ForgetProb(SessKind kind) const noexcept;
+  [[nodiscard]] double OffProb(SessKind kind) const noexcept;
+
+  winsim::Fleet& fleet_;
+  CampusConfig config_;
+  util::Rng rng_;
+  Timetable timetable_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::uint64_t next_seq_ = 0;
+  util::SimTime now_ = 0;
+  std::vector<MachineState> machines_;
+  std::vector<LabState> labs_;
+  GroundTruth truth_;
+  std::uint64_t next_student_ = 1;
+};
+
+}  // namespace labmon::workload

@@ -1,0 +1,58 @@
+// Weekly class timetable: which lab teaches in which two-hour slot.
+// Real academic timetables repeat weekly, so one schedule is generated per
+// lab and instantiated for every week of the experiment.
+#pragma once
+
+#include <vector>
+
+#include "labmon/util/rng.hpp"
+#include "labmon/util/time.hpp"
+#include "labmon/workload/config.hpp"
+
+namespace labmon::workload {
+
+/// One recurring class: `lab` teaches from start to end minute-of-week.
+struct ClassBlock {
+  std::size_t lab = 0;
+  util::DayOfWeek day = util::DayOfWeek::kMonday;
+  int start_hour = 0;
+  int duration_hours = 2;
+  bool cpu_heavy = false;  ///< the Tuesday 50%-CPU practical (§5.3)
+
+  [[nodiscard]] util::SimTime StartInWeek(int week) const noexcept {
+    return util::MakeWeekTime(week, day, start_hour);
+  }
+  [[nodiscard]] util::SimTime EndInWeek(int week) const noexcept {
+    return StartInWeek(week) + util::SimTime{duration_hours} * util::kSecondsPerHour;
+  }
+};
+
+/// The full weekly timetable of the campus.
+class Timetable {
+ public:
+  /// Generates a weekly schedule for `lab_count` labs. `popularity[i]` in
+  /// [0, 1] skews class allocation toward popular (faster) labs.
+  static Timetable Generate(const TimetableModel& model,
+                            std::size_t lab_count,
+                            const std::vector<double>& popularity,
+                            util::Rng& rng);
+
+  [[nodiscard]] const std::vector<ClassBlock>& blocks() const noexcept {
+    return blocks_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return blocks_.size(); }
+
+  /// Blocks taught by one lab.
+  [[nodiscard]] std::vector<ClassBlock> BlocksForLab(std::size_t lab) const;
+
+  /// True when `lab` has a class covering minute-of-week `minute`.
+  [[nodiscard]] bool InClass(std::size_t lab, int minute_of_week) const noexcept;
+
+  /// Average number of classes per lab per week.
+  [[nodiscard]] double MeanClassesPerLab(std::size_t lab_count) const noexcept;
+
+ private:
+  std::vector<ClassBlock> blocks_;
+};
+
+}  // namespace labmon::workload

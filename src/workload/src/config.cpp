@@ -1,0 +1,48 @@
+#include "labmon/workload/config.hpp"
+
+namespace labmon::workload {
+
+CampusConfig PaperCampusConfig() { return CampusConfig{}; }
+
+CampusConfig CorporateCampusConfig() {
+  CampusConfig config;
+  config.seed = 20050202;
+  // No teaching: machines belong to individual employees.
+  config.timetable.weekday_slot_prob = 0.0;
+  config.timetable.saturday_slot_prob = 0.0;
+  config.timetable.heavy_class_lab = -1;
+  // One owner per machine: arrivals are workday logins, mostly 8-hour days.
+  config.arrivals.weekday_peak_per_hour = 26.0;
+  config.arrivals.popularity_bias = 0.0;  // owners sit at their own box
+  config.arrivals.prefer_off_machines = true;
+  config.arrivals.morning_factor = 1.0;   // everyone arrives in the morning
+  config.arrivals.midday_factor = 0.35;
+  config.arrivals.afternoon_factor = 0.25;
+  config.arrivals.evening_factor = 0.05;
+  config.arrivals.night_factor = 0.01;
+  config.arrivals.saturday_factor = 0.05;
+  config.arrivals.long_stay_prob = 0.80;
+  config.arrivals.long_stay_hours_lo = 6.0;
+  config.arrivals.long_stay_hours_hi = 9.5;
+  // Power habits: the paper (citing Douceur) describes two corporate
+  // populations — daytime machines and 24-hour machines. No sweeps.
+  config.power.sweeps_enabled = false;
+  config.power.sticky_fraction = 0.65;   // the 24-hour population
+  config.power.sticky_stay_on_lo = 0.96;
+  config.power.sticky_stay_on_hi = 0.995;
+  config.power.normal_stay_on_lo = 0.10;
+  config.power.normal_stay_on_hi = 0.45;
+  config.power.off_after_walkin = 0.10;  // logouts rarely power off
+  config.power.off_after_class = 0.10;
+  config.power.off_after_evening = 0.70; // daytime machines off for the night
+  config.power.short_cycles_per_day = 0.2;
+  // A minority of boxes crunches continuously (Bolosky's 100%-CPU hosts).
+  config.activity.compute_server_fraction = 0.10;
+  // Office users forget to log out much less than students do, and there
+  // is nobody to shoo them out at a closing time.
+  config.forgotten.forget_prob_walkin = 0.05;
+  config.forgotten.forget_prob_class = 0.0;
+  return config;
+}
+
+}  // namespace labmon::workload

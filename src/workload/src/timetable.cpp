@@ -1,0 +1,98 @@
+#include "labmon/workload/timetable.hpp"
+
+#include <algorithm>
+
+namespace labmon::workload {
+
+Timetable Timetable::Generate(const TimetableModel& model,
+                              std::size_t lab_count,
+                              const std::vector<double>& popularity,
+                              util::Rng& rng) {
+  Timetable tt;
+  for (std::size_t lab = 0; lab < lab_count; ++lab) {
+    const double pop = lab < popularity.size() ? popularity[lab] : 0.5;
+    // Scale slot probability around the mean by popularity: fast labs get
+    // proportionally more teaching (they are requested by lecturers).
+    const double scale =
+        1.0 + model.popularity_skew * (2.0 * pop - 1.0);
+    const double weekday_p =
+        std::clamp(model.weekday_slot_prob * scale, 0.0, 0.95);
+    const double saturday_p =
+        std::clamp(model.saturday_slot_prob * scale, 0.0, 0.9);
+
+    for (int d = 0; d < 5; ++d) {
+      for (const int hour : TimetableModel::kWeekdaySlots) {
+        if (!rng.Bernoulli(weekday_p)) continue;
+        ClassBlock block;
+        block.lab = lab;
+        block.day = static_cast<util::DayOfWeek>(d);
+        block.start_hour = hour;
+        block.duration_hours = 2;
+        tt.blocks_.push_back(block);
+      }
+    }
+    for (const int hour : TimetableModel::kSaturdaySlots) {
+      if (!rng.Bernoulli(saturday_p)) continue;
+      ClassBlock block;
+      block.lab = lab;
+      block.day = util::DayOfWeek::kSaturday;
+      block.start_hour = hour;
+      block.duration_hours = 2;
+      tt.blocks_.push_back(block);
+    }
+  }
+
+  // The CPU-heavy Tuesday practical: remove colliding blocks, then insert.
+  if (model.heavy_class_lab >= 0 &&
+      static_cast<std::size_t>(model.heavy_class_lab) < lab_count) {
+    const auto lab = static_cast<std::size_t>(model.heavy_class_lab);
+    const int start = model.heavy_class_start_hour;
+    const int end = start + model.heavy_class_hours;
+    std::erase_if(tt.blocks_, [&](const ClassBlock& b) {
+      if (b.lab != lab || b.day != util::DayOfWeek::kTuesday) return false;
+      const int b_end = b.start_hour + b.duration_hours;
+      return b.start_hour < end && b_end > start;
+    });
+    ClassBlock heavy;
+    heavy.lab = lab;
+    heavy.day = util::DayOfWeek::kTuesday;
+    heavy.start_hour = start;
+    heavy.duration_hours = model.heavy_class_hours;
+    heavy.cpu_heavy = true;
+    tt.blocks_.push_back(heavy);
+  }
+
+  std::sort(tt.blocks_.begin(), tt.blocks_.end(),
+            [](const ClassBlock& a, const ClassBlock& b) {
+              const auto ka = a.StartInWeek(0);
+              const auto kb = b.StartInWeek(0);
+              return ka != kb ? ka < kb : a.lab < b.lab;
+            });
+  return tt;
+}
+
+std::vector<ClassBlock> Timetable::BlocksForLab(std::size_t lab) const {
+  std::vector<ClassBlock> out;
+  for (const ClassBlock& b : blocks_) {
+    if (b.lab == lab) out.push_back(b);
+  }
+  return out;
+}
+
+bool Timetable::InClass(std::size_t lab, int minute_of_week) const noexcept {
+  for (const ClassBlock& b : blocks_) {
+    if (b.lab != lab) continue;
+    const int start =
+        (static_cast<int>(b.day) * 24 + b.start_hour) * 60;
+    const int end = start + b.duration_hours * 60;
+    if (minute_of_week >= start && minute_of_week < end) return true;
+  }
+  return false;
+}
+
+double Timetable::MeanClassesPerLab(std::size_t lab_count) const noexcept {
+  if (lab_count == 0) return 0.0;
+  return static_cast<double>(blocks_.size()) / static_cast<double>(lab_count);
+}
+
+}  // namespace labmon::workload

@@ -1,0 +1,66 @@
+// Hand-built traces with known ground truth for analysis-layer tests.
+#pragma once
+
+#include <cstdint>
+
+#include "labmon/trace/trace_store.hpp"
+
+namespace labmon::analysis::testing {
+
+/// Builder for small, fully-controlled traces.
+class TraceBuilder {
+ public:
+  explicit TraceBuilder(std::size_t machines) : store_(machines) {}
+
+  /// Adds a sample; idleness of the machine is `idle_frac` since boot
+  /// (cumulative counter = uptime * idle_frac).
+  TraceBuilder& Sample(std::uint32_t machine, std::uint32_t iteration,
+                       std::int64_t t, std::int64_t boot, double idle_frac,
+                       std::int64_t logon = -1, int mem_pct = 50,
+                       int swap_pct = 25, double sent_bps = 250,
+                       double recv_bps = 350) {
+    trace::SampleRecord r;
+    r.machine = machine;
+    r.iteration = iteration;
+    r.t = t;
+    r.boot_time = boot;
+    r.uptime_s = t - boot;
+    r.cpu_idle_s = static_cast<double>(r.uptime_s) * idle_frac;
+    r.ram_mb = 512;
+    r.mem_load_pct = static_cast<std::uint8_t>(mem_pct);
+    r.swap_load_pct = static_cast<std::uint8_t>(swap_pct);
+    r.disk_total_b = 74'500'000'000ULL;
+    r.disk_free_b = 60'900'000'000ULL;  // 13.6 GB used
+    r.smart_power_on_hours = 1000 + static_cast<std::uint64_t>(t / 3600);
+    r.smart_power_cycles = 200;
+    r.net_sent_b = static_cast<std::uint64_t>(sent_bps * r.uptime_s);
+    r.net_recv_b = static_cast<std::uint64_t>(recv_bps * r.uptime_s);
+    if (logon >= 0) {
+      r.has_session = true;
+      r.user = "u";
+      r.session_logon = logon;
+    }
+    store_.Append(r);
+    return *this;
+  }
+
+  /// Registers `n` iterations of `attempts` machines each, 900 s apart.
+  TraceBuilder& Iterations(std::size_t n, std::uint32_t attempts) {
+    for (std::size_t i = 0; i < n; ++i) {
+      trace::IterationInfo info;
+      info.iteration = i;
+      info.start_t = static_cast<std::int64_t>(i) * 900;
+      info.end_t = info.start_t + 300;
+      info.attempts = attempts;
+      store_.AppendIteration(info);
+    }
+    return *this;
+  }
+
+  [[nodiscard]] trace::TraceStore Build() { return std::move(store_); }
+
+ private:
+  trace::TraceStore store_;
+};
+
+}  // namespace labmon::analysis::testing

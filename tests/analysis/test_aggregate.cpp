@@ -1,0 +1,104 @@
+#include "labmon/analysis/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synthetic_trace.hpp"
+
+namespace labmon::analysis {
+namespace {
+
+using testing::TraceBuilder;
+
+TEST(Table2Test, EmptyTrace) {
+  TraceBuilder builder(2);
+  const auto trace = builder.Iterations(3, 2).Build();
+  const auto result = ComputeTable2(trace);
+  EXPECT_EQ(result.both.samples, 0u);
+  EXPECT_EQ(result.total_attempts, 6u);
+  EXPECT_DOUBLE_EQ(result.both.uptime_pct, 0.0);
+}
+
+TEST(Table2Test, SplitsByLoginClass) {
+  TraceBuilder builder(2);
+  // Machine 0: two free samples; machine 1: two occupied samples.
+  builder.Sample(0, 0, 900, 0, 0.997, -1, 50, 20)
+      .Sample(0, 1, 1800, 0, 0.997, -1, 50, 20)
+      .Sample(1, 0, 910, 0, 0.94, 100, 70, 35)
+      .Sample(1, 1, 1810, 0, 0.94, 100, 70, 35)
+      .Iterations(2, 2);
+  const auto trace = builder.Build();
+  const auto result = ComputeTable2(trace);
+
+  EXPECT_EQ(result.no_login.samples, 2u);
+  EXPECT_EQ(result.with_login.samples, 2u);
+  EXPECT_EQ(result.both.samples, 4u);
+  EXPECT_EQ(result.total_attempts, 4u);
+  EXPECT_DOUBLE_EQ(result.no_login.uptime_pct, 50.0);
+  EXPECT_DOUBLE_EQ(result.with_login.uptime_pct, 50.0);
+  EXPECT_DOUBLE_EQ(result.both.uptime_pct, 100.0);
+  EXPECT_DOUBLE_EQ(result.no_login.ram_load_pct, 50.0);
+  EXPECT_DOUBLE_EQ(result.with_login.ram_load_pct, 70.0);
+  EXPECT_DOUBLE_EQ(result.both.ram_load_pct, 60.0);
+  EXPECT_DOUBLE_EQ(result.no_login.swap_load_pct, 20.0);
+  EXPECT_DOUBLE_EQ(result.with_login.swap_load_pct, 35.0);
+  // One interval per machine.
+  EXPECT_NEAR(result.no_login.cpu_idle_pct, 99.7, 1e-9);
+  EXPECT_NEAR(result.with_login.cpu_idle_pct, 94.0, 1e-9);
+  EXPECT_NEAR(result.both.cpu_idle_pct, (99.7 + 94.0) / 2.0, 1e-9);
+  // Disk used: 13.6 GB everywhere.
+  EXPECT_NEAR(result.both.disk_used_gb, 13.6, 1e-9);
+}
+
+TEST(Table2Test, ForgottenSamplesCountAsNoLogin) {
+  TraceBuilder builder(1);
+  const std::int64_t t = 100000;
+  builder.Sample(0, 0, t, 0, 0.99, /*logon=*/t - 12 * 3600)
+      .Sample(0, 1, t + 900, 0, 0.99, t - 12 * 3600)
+      .Iterations(2, 1);
+  const auto trace = builder.Build();
+  const auto result = ComputeTable2(trace);
+  EXPECT_EQ(result.no_login.samples, 2u);
+  EXPECT_EQ(result.with_login.samples, 0u);
+  EXPECT_EQ(result.raw_login_samples, 2u);
+  EXPECT_EQ(result.reclassified_samples, 2u);
+}
+
+TEST(Table2Test, ThresholdConfigurable) {
+  TraceBuilder builder(1);
+  const std::int64_t t = 100000;
+  builder.Sample(0, 0, t, 0, 0.99, /*logon=*/t - 5 * 3600).Iterations(1, 1);
+  const auto trace = builder.Build();
+  trace::IntervalOptions strict;
+  strict.forgotten_threshold_s = 4 * 3600;
+  EXPECT_EQ(ComputeTable2(trace, strict).with_login.samples, 0u);
+  trace::IntervalOptions lenient;
+  lenient.forgotten_threshold_s = 6 * 3600;
+  EXPECT_EQ(ComputeTable2(trace, lenient).with_login.samples, 1u);
+}
+
+TEST(Table2Test, NetworkRatesFromIntervals) {
+  TraceBuilder builder(1);
+  builder.Sample(0, 0, 900, 0, 0.99, -1, 50, 25, 255.0, 359.0)
+      .Sample(0, 1, 1800, 0, 0.99, -1, 50, 25, 255.0, 359.0)
+      .Iterations(2, 1);
+  const auto trace = builder.Build();
+  const auto result = ComputeTable2(trace);
+  EXPECT_NEAR(result.no_login.sent_bps, 255.0, 0.5);
+  EXPECT_NEAR(result.no_login.recv_bps, 359.0, 0.5);
+}
+
+TEST(Table2Test, RenderContainsPaperReference) {
+  TraceBuilder builder(1);
+  builder.Sample(0, 0, 900, 0, 0.99).Iterations(1, 1);
+  const auto trace = builder.Build();
+  const auto result = ComputeTable2(trace);
+  const std::string out = RenderTable2(result, true);
+  EXPECT_NE(out.find("(393,970)"), std::string::npos);
+  EXPECT_NE(out.find("Avg CPU idle"), std::string::npos);
+  EXPECT_NE(out.find("(97.9)"), std::string::npos);
+  const std::string bare = RenderTable2(result, false);
+  EXPECT_EQ(bare.find("(393,970)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace labmon::analysis

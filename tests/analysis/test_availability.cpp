@@ -1,0 +1,103 @@
+#include "labmon/analysis/availability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synthetic_trace.hpp"
+
+namespace labmon::analysis {
+namespace {
+
+using testing::TraceBuilder;
+
+TEST(AvailabilitySeriesTest, CountsOnAndFreePerIteration) {
+  TraceBuilder builder(3);
+  // Iteration 0: machines 0,1 on; 1 occupied. Iteration 1: only machine 0.
+  builder.Sample(0, 0, 900, 0, 0.99)
+      .Sample(1, 0, 905, 0, 0.95, /*logon=*/800)
+      .Sample(0, 1, 1800, 0, 0.99)
+      .Iterations(2, 3);
+  const auto trace = builder.Build();
+  const auto series = ComputeAvailabilitySeries(trace);
+  ASSERT_EQ(series.powered_on.size(), 2u);
+  EXPECT_DOUBLE_EQ(series.powered_on[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(series.powered_on[1].value, 1.0);
+  EXPECT_DOUBLE_EQ(series.user_free[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(series.user_free[1].value, 1.0);
+  EXPECT_DOUBLE_EQ(series.mean_powered_on, 1.5);
+  EXPECT_DOUBLE_EQ(series.mean_user_free, 1.0);
+}
+
+TEST(AvailabilitySeriesTest, ForgottenSessionsCountAsFree) {
+  TraceBuilder builder(1);
+  const std::int64_t t = 100000;
+  builder.Sample(0, 0, t, 0, 0.99, /*logon=*/t - 11 * 3600).Iterations(1, 1);
+  const auto trace = builder.Build();
+  const auto series = ComputeAvailabilitySeries(trace);
+  EXPECT_DOUBLE_EQ(series.user_free[0].value, 1.0);
+  // With the threshold disabled, the same sample counts as occupied.
+  const auto raw =
+      ComputeAvailabilitySeries(trace, trace::kNoForgottenThreshold);
+  EXPECT_DOUBLE_EQ(raw.user_free[0].value, 0.0);
+}
+
+TEST(UptimeRankingTest, RatiosAndThresholdCounts) {
+  TraceBuilder builder(3);
+  // 4 iterations; machine 0 responds 4x, machine 1 2x, machine 2 never.
+  for (std::uint32_t it = 0; it < 4; ++it) {
+    builder.Sample(0, it, 900 * (it + 1), 0, 0.99);
+    if (it < 2) builder.Sample(1, it, 905 + 900 * it, 0, 0.99);
+  }
+  builder.Iterations(4, 3);
+  const auto trace = builder.Build();
+  const auto ranking = ComputeUptimeRanking(trace);
+  ASSERT_EQ(ranking.entries.size(), 3u);
+  // Sorted descending.
+  EXPECT_DOUBLE_EQ(ranking.entries[0].uptime_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(ranking.entries[1].uptime_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(ranking.entries[2].uptime_ratio, 0.0);
+  EXPECT_EQ(ranking.entries[0].machine, 0u);
+  EXPECT_EQ(ranking.machines_above_half, 1);
+  EXPECT_EQ(ranking.machines_above_08, 1);
+  EXPECT_EQ(ranking.machines_above_09, 1);
+  // Nines of a perfect responder saturate at the cap.
+  EXPECT_DOUBLE_EQ(ranking.entries[0].nines, 9.0);
+  EXPECT_NEAR(ranking.entries[1].nines, 0.30103, 1e-4);
+}
+
+TEST(SessionLengthTest, DistributionStatistics) {
+  std::vector<trace::MachineSession> sessions;
+  for (const double hours : {2.0, 2.0, 10.0, 50.0, 120.0}) {
+    trace::MachineSession s;
+    s.last_uptime_s = static_cast<std::int64_t>(hours * 3600);
+    sessions.push_back(s);
+  }
+  const auto dist = ComputeSessionLengthDistribution(sessions);
+  EXPECT_EQ(dist.total_sessions, 5u);
+  EXPECT_DOUBLE_EQ(dist.fraction_within_96h, 80.0);
+  EXPECT_NEAR(dist.uptime_fraction_within_96h, 100.0 * 64.0 / 184.0, 1e-9);
+  EXPECT_NEAR(dist.mean_hours, 184.0 / 5.0, 1e-9);
+  EXPECT_GT(dist.stddev_hours, 0.0);
+  // Histogram: the two 2-hour sessions share the [2,4) bin.
+  EXPECT_DOUBLE_EQ(dist.histogram.count(1), 2.0);
+  EXPECT_DOUBLE_EQ(dist.histogram.overflow(), 1.0);
+}
+
+TEST(SessionLengthTest, EmptySessions) {
+  const auto dist = ComputeSessionLengthDistribution({});
+  EXPECT_EQ(dist.total_sessions, 0u);
+  EXPECT_DOUBLE_EQ(dist.fraction_within_96h, 0.0);
+  EXPECT_DOUBLE_EQ(dist.mean_hours, 0.0);
+}
+
+TEST(UptimeRankingTest, RenderShowsThresholds) {
+  TraceBuilder builder(2);
+  builder.Sample(0, 0, 900, 0, 0.99).Iterations(1, 2);
+  const auto trace = builder.Build();
+  const auto ranking = ComputeUptimeRanking(trace);
+  const std::string out = RenderUptimeRanking(ranking, 1);
+  EXPECT_NE(out.find("uptime ratio > 0.5"), std::string::npos);
+  EXPECT_NE(out.find("(paper: 30)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace labmon::analysis

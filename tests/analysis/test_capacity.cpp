@@ -1,0 +1,78 @@
+#include "labmon/analysis/capacity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synthetic_trace.hpp"
+
+namespace labmon::analysis {
+namespace {
+
+using testing::TraceBuilder;
+
+TEST(CapacityTest, SumsFreeResourcesPerIteration) {
+  TraceBuilder builder(2);
+  // Two machines, 512 MB each at 50% load -> 256 MB free each.
+  builder.Sample(0, 0, 900, 0, 0.99, -1, 50)
+      .Sample(1, 0, 905, 0, 0.99, -1, 50)
+      .Iterations(1, 2);
+  const auto trace = builder.Build();
+  CapacityOptions options;
+  options.replication = 1;
+  options.ram_donation_fraction = 1.0;
+  options.disk_donation_fraction = 1.0;
+  const auto capacity = ComputeHarvestableCapacity(trace, options);
+  ASSERT_EQ(capacity.ram_gb.size(), 1u);
+  EXPECT_NEAR(capacity.ram_gb[0].value, 512.0 / 1024.0, 1e-9);
+  // Builder disks: 60.9 GB free each -> 121.8 GB = 0.1189 TB.
+  EXPECT_NEAR(capacity.disk_tb[0].value, 2 * 60.9 / 1024.0, 1e-6);
+}
+
+TEST(CapacityTest, ReplicationDividesCapacity) {
+  TraceBuilder builder(1);
+  builder.Sample(0, 0, 900, 0, 0.99, -1, 50)
+      .Sample(0, 1, 1800, 0, 0.99, -1, 50)
+      .Iterations(2, 1);
+  const auto trace = builder.Build();
+  CapacityOptions r1;
+  r1.replication = 1;
+  CapacityOptions r3;
+  r3.replication = 3;
+  const auto c1 = ComputeHarvestableCapacity(trace, r1);
+  const auto c3 = ComputeHarvestableCapacity(trace, r3);
+  EXPECT_NEAR(c1.mean_ram_gb, 3.0 * c3.mean_ram_gb, 1e-9);
+  EXPECT_NEAR(c1.mean_disk_tb, 3.0 * c3.mean_disk_tb, 1e-9);
+}
+
+TEST(CapacityTest, PercentileFloorBelowMean) {
+  TraceBuilder builder(1);
+  // Iteration 0: machine free; iteration 1: machine off (no sample).
+  builder.Sample(0, 0, 900, 0, 0.99, -1, 20).Iterations(2, 1);
+  const auto trace = builder.Build();
+  const auto capacity = ComputeHarvestableCapacity(trace);
+  EXPECT_LT(capacity.p10_ram_gb, capacity.mean_ram_gb);
+  // p10 interpolates 10% of the way from the empty iteration (0 GB) toward
+  // the occupied one.
+  EXPECT_NEAR(capacity.p10_ram_gb, 0.1 * capacity.ram_gb[0].value, 1e-9);
+}
+
+TEST(CapacityTest, RenderMentionsBothSchemes) {
+  TraceBuilder builder(1);
+  builder.Sample(0, 0, 900, 0, 0.99).Iterations(1, 1);
+  const auto trace = builder.Build();
+  CapacityOptions options;
+  const auto capacity = ComputeHarvestableCapacity(trace, options);
+  const std::string out = RenderCapacity(capacity, options);
+  EXPECT_NE(out.find("network RAM"), std::string::npos);
+  EXPECT_NE(out.find("distributed backup"), std::string::npos);
+}
+
+TEST(CapacityTest, EmptyTraceIsZero) {
+  TraceBuilder builder(3);
+  const auto trace = builder.Build();
+  const auto capacity = ComputeHarvestableCapacity(trace);
+  EXPECT_DOUBLE_EQ(capacity.mean_ram_gb, 0.0);
+  EXPECT_TRUE(capacity.ram_gb.empty());
+}
+
+}  // namespace
+}  // namespace labmon::analysis

@@ -1,0 +1,91 @@
+#include "labmon/analysis/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synthetic_trace.hpp"
+
+namespace labmon::analysis {
+namespace {
+
+using testing::TraceBuilder;
+
+TEST(EquivalenceTest, FullyIdleFleetScoresOne) {
+  TraceBuilder builder(2);
+  builder.Sample(0, 0, 900, 0, 1.0)
+      .Sample(1, 0, 905, 0, 1.0)
+      .Sample(0, 1, 1800, 0, 1.0)
+      .Sample(1, 1, 1805, 0, 1.0)
+      .Iterations(2, 2);
+  const auto trace = builder.Build();
+  const std::vector<double> perf{10.0, 10.0};
+  const auto result = ComputeEquivalence(trace, perf);
+  // Only iteration 1 closes intervals; iteration 0's ratio is 0.
+  EXPECT_NEAR(result.mean_total, 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(result.mean_occupied, 0.0);
+}
+
+TEST(EquivalenceTest, PerformanceWeighting) {
+  TraceBuilder builder(2);
+  // Machine 0 (weight 30) idle 100%; machine 1 (weight 10) off.
+  builder.Sample(0, 0, 900, 0, 1.0).Sample(0, 1, 1800, 0, 1.0).Iterations(2, 2);
+  const auto trace = builder.Build();
+  const std::vector<double> perf{30.0, 10.0};
+  const auto result = ComputeEquivalence(trace, perf);
+  // Iteration 1: 30/40 = 0.75; iteration 0: 0 -> mean 0.375.
+  EXPECT_NEAR(result.mean_total, 0.375, 1e-9);
+}
+
+TEST(EquivalenceTest, OccupiedFreeSplit) {
+  TraceBuilder builder(2);
+  builder.Sample(0, 0, 900, 0, 1.0)
+      .Sample(1, 0, 905, 0, 0.5, /*logon=*/100)
+      .Sample(0, 1, 1800, 0, 1.0)
+      .Sample(1, 1, 1805, 0, 0.5, /*logon=*/100)
+      .Iterations(2, 2);
+  const auto trace = builder.Build();
+  const std::vector<double> perf{10.0, 10.0};
+  const auto result = ComputeEquivalence(trace, perf);
+  // Iteration 1: free contributes 10*1.0/20 = 0.5; occupied 10*0.5/20 = 0.25.
+  EXPECT_NEAR(result.weekly_free.MaxBinMean(), 0.5, 1e-9);
+  EXPECT_NEAR(result.mean_occupied, 0.125, 1e-9);
+  EXPECT_NEAR(result.mean_free, 0.25, 1e-9);
+  EXPECT_NEAR(result.mean_total, 0.375, 1e-9);
+}
+
+TEST(EquivalenceTest, ThresholdMovesForgottenToFree) {
+  TraceBuilder builder(1);
+  const std::int64_t t = 200000;
+  builder.Sample(0, 0, t, 0, 0.99, /*logon=*/t - 12 * 3600)
+      .Sample(0, 1, t + 900, 0, 0.99, t - 12 * 3600)
+      .Iterations(2, 1);
+  const auto trace = builder.Build();
+  const std::vector<double> perf{1.0};
+  const auto with_rule =
+      ComputeEquivalence(trace, perf, 15, trace::kForgottenThresholdSeconds);
+  EXPECT_GT(with_rule.mean_free, 0.0);
+  EXPECT_DOUBLE_EQ(with_rule.mean_occupied, 0.0);
+  const auto raw =
+      ComputeEquivalence(trace, perf, 15, trace::kNoForgottenThreshold);
+  EXPECT_GT(raw.mean_occupied, 0.0);
+  EXPECT_DOUBLE_EQ(raw.mean_free, 0.0);
+}
+
+TEST(EquivalenceTest, EmptyTraceIsZero) {
+  TraceBuilder builder(2);
+  const auto trace = builder.Build();  // no iterations at all
+  const auto result = ComputeEquivalence(trace, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(result.mean_total, 0.0);
+}
+
+TEST(EquivalenceTest, RenderContainsTwoToOneRule) {
+  TraceBuilder builder(1);
+  builder.Sample(0, 0, 900, 0, 1.0).Sample(0, 1, 1800, 0, 1.0).Iterations(2, 1);
+  const auto trace = builder.Build();
+  const auto result = ComputeEquivalence(trace, {1.0});
+  const std::string out = RenderEquivalence(result);
+  EXPECT_NE(out.find("2:1 rule"), std::string::npos);
+  EXPECT_NE(out.find("0.51"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace labmon::analysis

@@ -1,0 +1,105 @@
+#include "labmon/analysis/per_lab.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synthetic_trace.hpp"
+
+namespace labmon::analysis {
+namespace {
+
+using testing::TraceBuilder;
+
+std::vector<LabKey> TwoLabs() {
+  return {{"A", 0, 2}, {"B", 2, 1}};
+}
+
+TEST(PerLabTest, SplitsSamplesByLab) {
+  TraceBuilder builder(3);
+  // Lab A: machine 0 responds twice (one occupied), machine 1 never.
+  // Lab B: machine 2 responds once.
+  builder.Sample(0, 0, 900, 0, 0.99, -1, 40)
+      .Sample(0, 1, 1800, 0, 0.99, /*logon=*/1000, 70)
+      .Sample(2, 0, 905, 0, 0.95, -1, 60)
+      .Iterations(2, 3);
+  const auto trace = builder.Build();
+  const auto usage = ComputePerLabUsage(trace, TwoLabs());
+  ASSERT_EQ(usage.size(), 3u);  // two labs + fleet
+
+  const auto& lab_a = usage[0];
+  EXPECT_EQ(lab_a.name, "A");
+  EXPECT_EQ(lab_a.machines, 2u);
+  EXPECT_EQ(lab_a.samples, 2u);
+  // 2 responses of 4 attempts (2 machines x 2 iterations).
+  EXPECT_DOUBLE_EQ(lab_a.uptime_pct, 50.0);
+  EXPECT_DOUBLE_EQ(lab_a.occupied_pct, 25.0);
+  EXPECT_DOUBLE_EQ(lab_a.ram_load_pct, 55.0);
+
+  const auto& lab_b = usage[1];
+  EXPECT_EQ(lab_b.samples, 1u);
+  EXPECT_DOUBLE_EQ(lab_b.uptime_pct, 50.0);
+  EXPECT_DOUBLE_EQ(lab_b.occupied_pct, 0.0);
+
+  const auto& fleet = usage[2];
+  EXPECT_EQ(fleet.name, "Fleet");
+  EXPECT_EQ(fleet.samples, 3u);
+  EXPECT_DOUBLE_EQ(fleet.uptime_pct, 50.0);
+}
+
+TEST(PerLabTest, IntervalIdlenessPerLab) {
+  TraceBuilder builder(3);
+  builder.Sample(0, 0, 900, 0, 0.90)
+      .Sample(0, 1, 1800, 0, 0.90)   // lab A interval at 90%
+      .Sample(2, 0, 905, 0, 1.0)
+      .Sample(2, 1, 1805, 0, 1.0)    // lab B interval at 100%
+      .Iterations(2, 3);
+  const auto trace = builder.Build();
+  const auto usage = ComputePerLabUsage(trace, TwoLabs());
+  EXPECT_NEAR(usage[0].cpu_idle_pct, 90.0, 1e-9);
+  EXPECT_NEAR(usage[1].cpu_idle_pct, 100.0, 1e-9);
+  EXPECT_NEAR(usage[2].cpu_idle_pct, 95.0, 1e-9);
+}
+
+TEST(PerLabTest, FleetRowEqualsWholeTraceAggregates) {
+  TraceBuilder builder(3);
+  for (std::uint32_t it = 0; it < 5; ++it) {
+    builder.Sample(0, it, 900 * (it + 1), 0, 0.97, -1, 44)
+        .Sample(2, it, 905 + 900 * it, 0, 0.99, -1, 66);
+  }
+  builder.Iterations(5, 3);
+  const auto trace = builder.Build();
+  const auto usage = ComputePerLabUsage(trace, TwoLabs());
+  const auto& fleet = usage.back();
+  EXPECT_EQ(fleet.samples, trace.size());
+  EXPECT_DOUBLE_EQ(fleet.ram_load_pct, 55.0);
+}
+
+TEST(ResourceHeadroomTest, ComputesUnusedShares) {
+  TraceBuilder builder(1);
+  builder.Sample(0, 0, 900, 0, 0.979, -1, /*mem=*/58)
+      .Sample(0, 1, 1800, 0, 0.979, -1, 60)
+      .Iterations(2, 1);
+  const auto trace = builder.Build();
+  const auto h = ComputeResourceHeadroom(trace);
+  EXPECT_NEAR(h.cpu_idle_pct, 97.9, 1e-6);
+  EXPECT_DOUBLE_EQ(h.unused_ram_pct, 41.0);
+  // Builder machines: 74.5 GB disk with 13.6 GB used.
+  EXPECT_NEAR(h.free_disk_gb_per_machine, 60.9, 1e-9);
+  EXPECT_NEAR(h.free_disk_tb_fleet, 60.9 / 1024.0, 1e-9);
+}
+
+TEST(PerLabTest, RenderContainsLabsAndFleet) {
+  TraceBuilder builder(3);
+  builder.Sample(0, 0, 900, 0, 0.99).Iterations(1, 3);
+  const auto trace = builder.Build();
+  const auto usage = ComputePerLabUsage(trace, TwoLabs());
+  const std::string out = RenderPerLabUsage(usage);
+  EXPECT_NE(out.find("| A "), std::string::npos);
+  EXPECT_NE(out.find("| Fleet "), std::string::npos);
+  const auto h = ComputeResourceHeadroom(trace);
+  const std::string headroom = RenderResourceHeadroom(h);
+  EXPECT_NE(headroom.find("42.1%"), std::string::npos);
+  EXPECT_NE(headroom.find("unused main memory"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace labmon::analysis

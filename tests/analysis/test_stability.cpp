@@ -1,0 +1,102 @@
+#include "labmon/analysis/stability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synthetic_trace.hpp"
+
+namespace labmon::analysis {
+namespace {
+
+using testing::TraceBuilder;
+
+TEST(SessionStatsTest, MeanAndStddev) {
+  std::vector<trace::MachineSession> sessions;
+  for (const double hours : {10.0, 20.0}) {
+    trace::MachineSession s;
+    s.last_uptime_s = static_cast<std::int64_t>(hours * 3600);
+    sessions.push_back(s);
+  }
+  const auto stats = ComputeSessionStats(sessions);
+  EXPECT_EQ(stats.session_count, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_hours, 15.0);
+  EXPECT_DOUBLE_EQ(stats.stddev_hours, 5.0);
+}
+
+TEST(SmartStatsTest, CyclesAndRatiosFromCounters) {
+  trace::TraceStore store(2);
+  // Machine 0: cycles 100 -> 110, hours 1000 -> 1100 over the window.
+  trace::SampleRecord first;
+  first.machine = 0;
+  first.iteration = 0;
+  first.t = 900;
+  first.boot_time = 0;
+  first.uptime_s = 900;
+  first.smart_power_cycles = 100;
+  first.smart_power_on_hours = 1000;
+  store.Append(first);
+  trace::SampleRecord last = first;
+  last.iteration = 99;
+  last.t = 90000;
+  last.uptime_s = 90000;
+  last.smart_power_cycles = 110;
+  last.smart_power_on_hours = 1100;
+  store.Append(last);
+  // Machine 1: cycles 200 -> 220, hours 2000 -> 2100.
+  trace::SampleRecord m1a = first;
+  m1a.machine = 1;
+  m1a.smart_power_cycles = 200;
+  m1a.smart_power_on_hours = 2000;
+  store.Append(m1a);
+  trace::SampleRecord m1b = m1a;
+  m1b.iteration = 99;
+  m1b.t = 90000;
+  m1b.uptime_s = 90000;
+  m1b.smart_power_cycles = 220;
+  m1b.smart_power_on_hours = 2100;
+  store.Append(m1b);
+
+  const auto stats = ComputeSmartStats(store, /*session_count=*/20,
+                                       /*experiment_days=*/10);
+  EXPECT_EQ(stats.experiment_cycles, 30u);
+  EXPECT_DOUBLE_EQ(stats.cycles_per_machine_mean, 15.0);
+  EXPECT_DOUBLE_EQ(stats.cycles_per_machine_stddev, 5.0);
+  EXPECT_DOUBLE_EQ(stats.cycles_per_machine_day, 1.5);
+  // 30 cycles vs 20 sampled sessions -> 50% excess.
+  EXPECT_DOUBLE_EQ(stats.cycle_excess_over_sessions_pct, 50.0);
+  // Experiment ratios: 100/10=10 and 100/20=5 -> mean 7.5.
+  EXPECT_DOUBLE_EQ(stats.experiment_hours_per_cycle_mean, 7.5);
+  // Whole-life ratios: 1100/110=10 and 2100/220=9.545... -> mean ~9.77.
+  EXPECT_NEAR(stats.life_hours_per_cycle_mean, (10.0 + 2100.0 / 220.0) / 2.0,
+              1e-9);
+}
+
+TEST(SmartStatsTest, MachineWithoutSamplesSkipped) {
+  trace::TraceStore store(3);  // all empty
+  const auto stats = ComputeSmartStats(store, 0, 77);
+  EXPECT_EQ(stats.experiment_cycles, 0u);
+  EXPECT_DOUBLE_EQ(stats.cycles_per_machine_mean, 0.0);
+  EXPECT_DOUBLE_EQ(stats.cycle_excess_over_sessions_pct, 0.0);
+}
+
+TEST(SmartStatsTest, SingleSampleMachineContributesZeroCycles) {
+  TraceBuilder builder(1);
+  builder.Sample(0, 0, 900, 0, 0.99).Iterations(1, 1);
+  const auto trace = builder.Build();
+  const auto stats = ComputeSmartStats(trace, 1, 1);
+  EXPECT_EQ(stats.experiment_cycles, 0u);
+  // Whole-life ratio still computable from the absolute counters.
+  EXPECT_GT(stats.life_hours_per_cycle_mean, 0.0);
+}
+
+TEST(StabilityRenderTest, ContainsPaperReferences) {
+  const SessionStats sessions{10688, 15.92, 26.65};
+  SmartStats smart;
+  smart.experiment_cycles = 13871;
+  const std::string out = RenderStability(sessions, smart);
+  EXPECT_NE(out.find("10688"), std::string::npos);
+  EXPECT_NE(out.find("13871"), std::string::npos);
+  EXPECT_NE(out.find("6.46"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace labmon::analysis

@@ -1,0 +1,84 @@
+#include "labmon/analysis/weekly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synthetic_trace.hpp"
+
+namespace labmon::analysis {
+namespace {
+
+using testing::TraceBuilder;
+using util::MakeTime;
+
+TEST(WeeklyAnalysisTest, RamFoldsIntoWeekBins) {
+  TraceBuilder builder(1);
+  // Same Tuesday 14:00 slot over two weeks: RAM 40 and 60 -> mean 50.
+  builder.Sample(0, 0, MakeTime(1, 14), 0, 0.99, -1, 40)
+      .Sample(0, 1, MakeTime(8, 14), MakeTime(8, 13), 0.99, -1, 60)
+      .Iterations(2, 1);
+  const auto trace = builder.Build();
+  const auto profiles = ComputeWeeklyProfiles(trace);
+  const auto bin = profiles.ram_load_pct.BinOf(MakeTime(1, 14));
+  EXPECT_DOUBLE_EQ(profiles.ram_load_pct.Mean(bin), 50.0);
+}
+
+TEST(WeeklyAnalysisTest, CpuIdleFromIntervals) {
+  TraceBuilder builder(1);
+  builder.Sample(0, 0, MakeTime(2, 10), 0, 0.92)
+      .Sample(0, 1, MakeTime(2, 10, 15), 0, 0.92)
+      .Iterations(2, 1);
+  const auto trace = builder.Build();
+  const auto profiles = ComputeWeeklyProfiles(trace);
+  const auto bin = profiles.cpu_idle_pct.BinOf(MakeTime(2, 10, 15));
+  EXPECT_NEAR(profiles.cpu_idle_pct.Mean(bin), 92.0, 1e-6);
+  EXPECT_NEAR(profiles.min_cpu_idle_pct, 92.0, 1e-6);
+}
+
+TEST(WeeklyAnalysisTest, MinTracksTuesdaySpike) {
+  TraceBuilder builder(2);
+  // Machine 0 idles at 99% on Monday; machine 1 burns CPU Tuesday 15:00.
+  builder.Sample(0, 0, MakeTime(0, 10), 0, 0.99)
+      .Sample(0, 1, MakeTime(0, 10, 15), 0, 0.99)
+      .Sample(1, 2, MakeTime(1, 15), MakeTime(1, 14), 0.55)
+      .Sample(1, 3, MakeTime(1, 15, 15), MakeTime(1, 14), 0.55)
+      .Iterations(4, 2);
+  const auto trace = builder.Build();
+  const auto profiles = ComputeWeeklyProfiles(trace);
+  EXPECT_NEAR(profiles.min_cpu_idle_pct, 55.0, 1e-6);
+  EXPECT_EQ(profiles.min_cpu_idle_when.substr(0, 3), "Tue");
+}
+
+TEST(WeeklyAnalysisTest, NetworkRatesBinned) {
+  TraceBuilder builder(1);
+  builder.Sample(0, 0, MakeTime(3, 16), 0, 0.99, -1, 50, 25, 1000.0, 4000.0)
+      .Sample(0, 1, MakeTime(3, 16, 15), 0, 0.99, -1, 50, 25, 1000.0, 4000.0)
+      .Iterations(2, 1);
+  const auto trace = builder.Build();
+  const auto profiles = ComputeWeeklyProfiles(trace);
+  const auto bin = profiles.recv_bps.BinOf(MakeTime(3, 16, 15));
+  EXPECT_NEAR(profiles.recv_bps.Mean(bin), 4000.0, 1.0);
+  EXPECT_NEAR(profiles.sent_bps.Mean(bin), 1000.0, 1.0);
+}
+
+TEST(WeeklyAnalysisTest, RenderMentionsShapeChecks) {
+  TraceBuilder builder(1);
+  builder.Sample(0, 0, MakeTime(0, 10), 0, 0.99)
+      .Sample(0, 1, MakeTime(0, 10, 15), 0, 0.99)
+      .Iterations(2, 1);
+  const auto trace = builder.Build();
+  const auto profiles = ComputeWeeklyProfiles(trace);
+  const std::string out = RenderWeeklyProfiles(profiles);
+  EXPECT_NE(out.find("min weekly CPU idleness"), std::string::npos);
+  EXPECT_NE(out.find("Tuesday afternoon"), std::string::npos);
+}
+
+TEST(WeeklyAnalysisTest, CustomResolution) {
+  TraceBuilder builder(1);
+  builder.Sample(0, 0, MakeTime(0, 10), 0, 0.99).Iterations(1, 1);
+  const auto trace = builder.Build();
+  const auto profiles = ComputeWeeklyProfiles(trace, 60);
+  EXPECT_EQ(profiles.ram_load_pct.bin_count(), 168u);
+}
+
+}  // namespace
+}  // namespace labmon::analysis

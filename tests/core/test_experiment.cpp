@@ -1,0 +1,227 @@
+// Integration tests: the full pipeline on short experiments, including a
+// loose-band check of the paper calibration on one simulated week.
+#include "labmon/core/experiment.hpp"
+#include "labmon/core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "labmon/trace/sessions.hpp"
+#include "labmon/util/csv.hpp"
+
+namespace labmon::core {
+namespace {
+
+ExperimentResult RunDays(int days, std::uint64_t seed = 20050201) {
+  ExperimentConfig config;
+  config.campus.days = days;
+  config.campus.seed = seed;
+  return Experiment::Run(config);
+}
+
+TEST(ExperimentTest, ProducesPlausibleTraceStructure) {
+  const auto result = RunDays(2);
+  EXPECT_EQ(result.trace.machine_count(), 169u);
+  EXPECT_GT(result.run_stats.iterations, 150u);   // ~192 nominal for 2 days
+  EXPECT_LE(result.run_stats.iterations, 192u);
+  EXPECT_EQ(result.run_stats.attempts, result.run_stats.iterations * 169);
+  EXPECT_EQ(result.trace.size() + result.run_stats.timeouts +
+                result.run_stats.errors,
+            result.run_stats.attempts);
+  EXPECT_EQ(result.parse_failures, 0u);
+  EXPECT_EQ(result.labs.size(), 11u);
+  EXPECT_EQ(result.perf_index.size(), 169u);
+}
+
+TEST(ExperimentTest, IterationMetadataConsistent) {
+  const auto result = RunDays(1);
+  const auto& iterations = result.trace.iterations();
+  ASSERT_FALSE(iterations.empty());
+  std::uint64_t successes = 0;
+  for (std::size_t i = 0; i < iterations.size(); ++i) {
+    EXPECT_EQ(iterations[i].iteration, i);
+    EXPECT_EQ(iterations[i].attempts, 169u);
+    EXPECT_LE(iterations[i].successes, iterations[i].attempts);
+    if (i > 0) {
+      EXPECT_GE(iterations[i].start_t, iterations[i - 1].end_t);
+      EXPECT_GE(iterations[i].start_t,
+                iterations[i - 1].start_t + 15 * 60);
+    }
+    successes += iterations[i].successes;
+  }
+  EXPECT_EQ(successes, result.trace.size());
+}
+
+TEST(ExperimentTest, SamplesAreTimeOrderedPerMachine) {
+  const auto result = RunDays(2);
+  for (std::size_t m = 0; m < result.trace.machine_count(); ++m) {
+    const auto indices = result.trace.MachineSamples(m);
+    for (std::size_t k = 1; k < indices.size(); ++k) {
+      EXPECT_LT(result.trace.samples()[indices[k - 1]].t,
+                result.trace.samples()[indices[k]].t);
+    }
+  }
+}
+
+TEST(ExperimentTest, SmartCountersMonotonePerMachine) {
+  const auto result = RunDays(3);
+  for (std::size_t m = 0; m < result.trace.machine_count(); ++m) {
+    const auto indices = result.trace.MachineSamples(m);
+    for (std::size_t k = 1; k < indices.size(); ++k) {
+      const auto& prev = result.trace.samples()[indices[k - 1]];
+      const auto& next = result.trace.samples()[indices[k]];
+      EXPECT_GE(next.smart_power_cycles, prev.smart_power_cycles);
+      EXPECT_GE(next.smart_power_on_hours, prev.smart_power_on_hours);
+    }
+  }
+}
+
+TEST(ExperimentTest, DeterministicForSeed) {
+  const auto a = RunDays(1, 42);
+  const auto b = RunDays(1, 42);
+  EXPECT_EQ(a.trace.size(), b.trace.size());
+  EXPECT_EQ(a.ground_truth.boots, b.ground_truth.boots);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); i += 97) {
+    EXPECT_EQ(a.trace.samples()[i].t, b.trace.samples()[i].t);
+    EXPECT_EQ(a.trace.samples()[i].machine, b.trace.samples()[i].machine);
+    EXPECT_DOUBLE_EQ(a.trace.samples()[i].cpu_idle_s,
+                     b.trace.samples()[i].cpu_idle_s);
+  }
+}
+
+TEST(ExperimentTest, SeedChangesTrace) {
+  const auto a = RunDays(1, 1);
+  const auto b = RunDays(1, 2);
+  EXPECT_NE(a.trace.size(), b.trace.size());
+}
+
+TEST(ExperimentTest, UptimeSanityOnSamples) {
+  const auto result = RunDays(2);
+  for (const auto& s : result.trace.samples()) {
+    EXPECT_GE(s.uptime_s, 0);
+    EXPECT_LE(s.boot_time + s.uptime_s, s.t + 1);
+    EXPECT_GE(s.cpu_idle_s, 0.0);
+    EXPECT_LE(s.cpu_idle_s, static_cast<double>(s.uptime_s) + 1.0);
+    EXPECT_LE(s.mem_load_pct, 100);
+    EXPECT_LE(s.swap_load_pct, 100);
+    EXPECT_LE(s.disk_free_b, s.disk_total_b);
+    if (s.has_session) {
+      EXPECT_LE(s.session_logon, s.t);
+      EXPECT_FALSE(s.user.empty());
+    }
+  }
+}
+
+TEST(ExperimentCalibrationTest, OneWeekBandsHoldLoosely) {
+  // One simulated week must land in generous bands around the paper's
+  // 77-day values (weekly structure is the dominant period).
+  const auto result = RunDays(7);
+  const Report report(result);
+  const auto& t2 = report.table2();
+
+  EXPECT_NEAR(t2.both.uptime_pct, 50.0, 8.0);
+  EXPECT_GT(t2.no_login.cpu_idle_pct, 99.0);
+  EXPECT_NEAR(t2.with_login.cpu_idle_pct, 94.2, 2.5);
+  EXPECT_NEAR(t2.no_login.ram_load_pct, 54.8, 5.0);
+  EXPECT_GT(t2.with_login.ram_load_pct, t2.no_login.ram_load_pct + 5.0);
+  EXPECT_GT(t2.with_login.swap_load_pct, t2.no_login.swap_load_pct);
+  EXPECT_NEAR(t2.both.disk_used_gb, 13.6, 1.5);
+  // Client role: received >> sent, occupied >> free.
+  EXPECT_GT(t2.with_login.recv_bps, 2.0 * t2.with_login.sent_bps);
+  EXPECT_GT(t2.with_login.recv_bps, 5.0 * t2.no_login.recv_bps);
+
+  // The 2:1 equivalence rule.
+  EXPECT_NEAR(report.equivalence().mean_total, 0.5, 0.1);
+
+  // Weekly shape: idleness never collapses; RAM floor holds.
+  EXPECT_GT(report.weekly().min_cpu_idle_pct, 85.0);
+  EXPECT_GT(report.weekly().min_ram_load_pct, 45.0);
+}
+
+TEST(ExperimentTest, ReportRendersEverything) {
+  const auto result = RunDays(2);
+  const Report report(result);
+  EXPECT_NE(report.Table1().find("L01"), std::string::npos);
+  EXPECT_NE(report.Table2().find("Avg CPU idle"), std::string::npos);
+  EXPECT_NE(report.Figure2().find("Hour bin"), std::string::npos);
+  EXPECT_NE(report.Figure3().find("powered-on"), std::string::npos);
+  EXPECT_NE(report.Figure4().find("nines"), std::string::npos);
+  EXPECT_NE(report.Figure5().find("CPU idle %"), std::string::npos);
+  EXPECT_NE(report.Figure6().find("equivalence"), std::string::npos);
+  EXPECT_NE(report.Stability().find("SMART"), std::string::npos);
+  EXPECT_GT(report.FullReport().size(), 2000u);
+}
+
+TEST(ExperimentTest, PerLabAndHeadroomInReport) {
+  const auto result = RunDays(2);
+  const Report report(result);
+  // 11 labs + the fleet row.
+  ASSERT_EQ(report.per_lab().size(), 12u);
+  EXPECT_EQ(report.per_lab().back().name, "Fleet");
+  EXPECT_EQ(report.per_lab().back().machines, 169u);
+  std::uint64_t lab_samples = 0;
+  for (std::size_t l = 0; l + 1 < report.per_lab().size(); ++l) {
+    lab_samples += report.per_lab()[l].samples;
+  }
+  EXPECT_EQ(lab_samples, report.per_lab().back().samples);
+  EXPECT_EQ(report.per_lab().back().samples, result.trace.size());
+  // Popularity gradient: the fast P4 lab L03 sees more occupancy than the
+  // slow PIII lab L10.
+  EXPECT_GT(report.per_lab()[2].occupied_pct,
+            report.per_lab()[9].occupied_pct);
+  // Headroom: idleness matches Table 2's combined column; RAM classes
+  // cover 512/256/128 MB.
+  EXPECT_NEAR(report.headroom().cpu_idle_pct,
+              report.table2().both.cpu_idle_pct, 0.2);
+  ASSERT_EQ(report.headroom().by_ram_class.size(), 3u);
+  EXPECT_EQ(report.headroom().by_ram_class.front().ram_mb, 128);
+  EXPECT_EQ(report.headroom().by_ram_class.back().ram_mb, 512);
+  // Larger machines have more free MB (the paper's 512 MB observation).
+  EXPECT_GT(report.headroom().by_ram_class.back().free_mb,
+            report.headroom().by_ram_class.front().free_mb * 3.0);
+  EXPECT_NE(report.PerLab().find("Fleet"), std::string::npos);
+}
+
+TEST(ExperimentTest, RunStatsIterationTimings) {
+  const auto result = RunDays(1);
+  EXPECT_GT(result.run_stats.mean_iteration_s, 60.0);
+  EXPECT_GE(result.run_stats.max_iteration_s,
+            result.run_stats.mean_iteration_s);
+  EXPECT_GT(result.run_stats.total_span_s, 0.0);
+  EXPECT_EQ(result.run_stats.successes + result.run_stats.timeouts +
+                result.run_stats.errors,
+            result.run_stats.attempts);
+}
+
+TEST(ExperimentTest, CsvExportWritesFiles) {
+  const auto result = RunDays(1);
+  const Report report(result);
+  const std::string dir = ::testing::TempDir() + "/labmon_report_test";
+  const std::string err = report.WriteCsvFiles(dir);
+  EXPECT_TRUE(err.empty()) << err;
+  for (const char* name :
+       {"fig3_powered_on.csv", "fig3_user_free.csv",
+        "fig4_uptime_ranking.csv", "fig4_session_lengths.csv",
+        "fig2_session_hours.csv", "fig5_fig6_weekly.csv"}) {
+    const auto text = util::ReadTextFile(dir + "/" + name);
+    EXPECT_TRUE(text.ok()) << name;
+    EXPECT_GT(text.value().size(), 10u) << name;
+  }
+}
+
+TEST(ExperimentTest, TraceRoundTripsThroughCsv) {
+  const auto result = RunDays(1);
+  const auto samples_csv = result.trace.SamplesToCsv();
+  const auto iterations_csv = result.trace.IterationsToCsv();
+  const auto restored = trace::TraceStore::FromCsv(samples_csv, iterations_csv,
+                                                   result.trace.machine_count());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().size(), result.trace.size());
+  EXPECT_EQ(restored.value().TotalAttempts(), result.trace.TotalAttempts());
+  // Sessions reconstruct identically on the restored trace.
+  EXPECT_EQ(trace::ReconstructSessions(restored.value()).size(),
+            trace::ReconstructSessions(result.trace).size());
+}
+
+}  // namespace
+}  // namespace labmon::core

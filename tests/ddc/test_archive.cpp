@@ -1,0 +1,158 @@
+#include "labmon/ddc/archive.hpp"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "labmon/ddc/w32_probe.hpp"
+#include "labmon/util/csv.hpp"
+#include "labmon/winsim/fleet.hpp"
+
+namespace labmon::ddc {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/labmon_archive_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+CollectedSample MakeSample(std::size_t machine, std::uint64_t iteration,
+                           util::SimTime t, const std::string& text) {
+  CollectedSample sample;
+  sample.machine_index = machine;
+  sample.iteration = iteration;
+  sample.attempt_time = t;
+  sample.outcome.status = ExecOutcome::Status::kOk;
+  sample.outcome.exit_code = 0;
+  sample.outcome.stdout_text = text;
+  return sample;
+}
+
+TEST(ArchiveTest, WritesManifestAndEntries) {
+  const std::string dir = FreshDir("basic");
+  auto archive = OutputArchive::Open(dir, {"L01-PC01", "L01-PC02"});
+  ASSERT_TRUE(archive.ok()) << archive.error();
+  auto& sink = *archive.value();
+  sink.OnSample(MakeSample(0, 0, 900, "payload zero"));
+  sink.OnSample(MakeSample(1, 0, 905, "payload one"));
+  sink.OnSample(MakeSample(0, 1, 1800, "payload two"));
+  sink.Close();
+  EXPECT_EQ(sink.entries_written(), 3u);
+
+  const auto manifest = ReadManifest(dir);
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_EQ(manifest.value().size(), 2u);
+  EXPECT_EQ(manifest.value()[0], "L01-PC01");
+
+  std::vector<ArchiveEntry> entries;
+  const auto replayed = ReplayMachineLog(
+      dir, 0, [&](const ArchiveEntry& e) { entries.push_back(e); });
+  ASSERT_TRUE(replayed.ok()) << replayed.error();
+  EXPECT_EQ(replayed.value(), 2u);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].iteration, 0u);
+  EXPECT_EQ(entries[0].t, 900);
+  EXPECT_EQ(entries[0].stdout_text, "payload zero");
+  EXPECT_EQ(entries[1].stdout_text, "payload two");
+}
+
+TEST(ArchiveTest, SkipsFailedSamples) {
+  const std::string dir = FreshDir("failed");
+  auto archive = OutputArchive::Open(dir, {"M0"});
+  ASSERT_TRUE(archive.ok());
+  CollectedSample timeout = MakeSample(0, 0, 900, "");
+  timeout.outcome.status = ExecOutcome::Status::kTimeout;
+  archive.value()->OnSample(timeout);
+  EXPECT_EQ(archive.value()->entries_written(), 0u);
+}
+
+TEST(ArchiveTest, MultilinePayloadRoundTrips) {
+  const std::string dir = FreshDir("multiline");
+  auto archive = OutputArchive::Open(dir, {"M0"});
+  ASSERT_TRUE(archive.ok());
+  const std::string payload = "W32PROBE 1.2\nhost: x\nsession: none\n";
+  archive.value()->OnSample(MakeSample(0, 3, 2700, payload));
+  archive.value()->Close();
+  std::vector<ArchiveEntry> entries;
+  ASSERT_TRUE(
+      ReplayMachineLog(dir, 0, [&](const ArchiveEntry& e) {
+        entries.push_back(e);
+      }).ok());
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].stdout_text, payload);
+}
+
+TEST(ArchiveTest, AppendAcrossReopen) {
+  const std::string dir = FreshDir("reopen");
+  {
+    auto archive = OutputArchive::Open(dir, {"M0"});
+    ASSERT_TRUE(archive.ok());
+    archive.value()->OnSample(MakeSample(0, 0, 900, "first"));
+  }
+  {
+    auto archive = OutputArchive::Open(dir, {"M0"});
+    ASSERT_TRUE(archive.ok());
+    archive.value()->OnSample(MakeSample(0, 1, 1800, "second"));
+  }
+  std::uint64_t n = 0;
+  ASSERT_TRUE(ReplayMachineLog(dir, 0, [&](const ArchiveEntry&) { ++n; }).ok());
+  EXPECT_EQ(n, 2u);
+}
+
+TEST(ArchiveTest, ReplayRejectsCorruption) {
+  const std::string dir = FreshDir("corrupt");
+  auto archive = OutputArchive::Open(dir, {"M0"});
+  ASSERT_TRUE(archive.ok());
+  archive.value()->OnSample(MakeSample(0, 0, 900, "payload"));
+  archive.value()->Close();
+  // Flip the first byte of the log.
+  const std::string path = dir + "/machine_0000.log";
+  auto text = util::ReadTextFile(path);
+  ASSERT_TRUE(text.ok());
+  std::string corrupted = text.value();
+  corrupted[0] = '#';
+  ASSERT_TRUE(util::WriteTextFile(path, corrupted).ok());
+  EXPECT_FALSE(ReplayMachineLog(dir, 0, [](const ArchiveEntry&) {}).ok());
+}
+
+TEST(ArchiveTest, MissingLogFails) {
+  const std::string dir = FreshDir("missing");
+  auto archive = OutputArchive::Open(dir, {"M0"});
+  ASSERT_TRUE(archive.ok());
+  EXPECT_FALSE(ReplayMachineLog(dir, 5, [](const ArchiveEntry&) {}).ok());
+}
+
+TEST(ArchiveTest, WorksAsCoordinatorSink) {
+  const std::string dir = FreshDir("coordinator");
+  std::vector<winsim::LabSpec> labs{{
+      "T01", 3, "Pentium 4", 2.4, 512, 74.5, 30.5, 33.1}};
+  util::Rng rng(1);
+  winsim::Fleet fleet(labs, winsim::PriorLifeModel{}, rng);
+  for (std::size_t i = 0; i < fleet.size(); ++i) fleet.machine(i).Boot(0);
+
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    names.push_back(fleet.machine(i).spec().name);
+  }
+  auto archive = OutputArchive::Open(dir, names);
+  ASSERT_TRUE(archive.ok());
+
+  W32Probe probe;
+  CoordinatorConfig config;
+  config.exec_policy.transient_failure_prob = 0.0;
+  Coordinator coordinator(fleet, probe, config, *archive.value());
+  (void)coordinator.Run(0, 2 * config.period);
+  archive.value()->Close();
+  EXPECT_EQ(archive.value()->entries_written(), 6u);
+
+  // Replay parses back into valid probe samples.
+  std::uint64_t parsed = 0;
+  ASSERT_TRUE(ReplayMachineLog(dir, 1, [&](const ArchiveEntry& e) {
+                parsed += ParseW32ProbeOutput(e.stdout_text).ok() ? 1 : 0;
+              }).ok());
+  EXPECT_EQ(parsed, 2u);
+}
+
+}  // namespace
+}  // namespace labmon::ddc

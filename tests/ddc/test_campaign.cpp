@@ -1,0 +1,106 @@
+#include "labmon/ddc/campaign.hpp"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "labmon/ddc/nbench_probe.hpp"
+#include "labmon/ddc/w32_probe.hpp"
+#include "labmon/winsim/paper_specs.hpp"
+#include "labmon/workload/driver.hpp"
+
+namespace labmon::ddc {
+namespace {
+
+winsim::Fleet SmallFleet(std::size_t machines) {
+  std::vector<winsim::LabSpec> labs{{
+      "T01", machines, "Pentium 4", 2.4, 512, 74.5, 30.5, 33.1}};
+  util::Rng rng(3);
+  return winsim::Fleet(labs, winsim::PriorLifeModel{}, rng);
+}
+
+TEST(CampaignTest, AllOnFleetCompletesInOnePass) {
+  auto fleet = SmallFleet(8);
+  for (std::size_t i = 0; i < fleet.size(); ++i) fleet.machine(i).Boot(0);
+  NBenchProbe probe;
+  CampaignConfig config;
+  config.exec_policy.transient_failure_prob = 0.0;
+  const auto result = RunCampaign(fleet, probe, config, 0);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.passes, 1u);
+  EXPECT_EQ(result.completed, 8u);
+  EXPECT_EQ(result.attempts, 8u);
+  EXPECT_DOUBLE_EQ(result.CoverageFraction(), 1.0);
+  for (const auto& output : result.outputs) {
+    ASSERT_TRUE(output.has_value());
+    EXPECT_TRUE(ParseNBenchOutput(*output).ok());
+  }
+}
+
+TEST(CampaignTest, OffMachinesRetriedInLaterPasses) {
+  auto fleet = SmallFleet(4);
+  fleet.machine(0).Boot(0);
+  fleet.machine(2).Boot(0);
+  NBenchProbe probe;
+  CampaignConfig config;
+  config.exec_policy.transient_failure_prob = 0.0;
+  config.pass_period = 600;
+  // Boot the remaining machines during the campaign via the advance hook.
+  const auto result = RunCampaign(
+      fleet, probe, config, 0, [&](util::SimTime t) {
+        if (t >= 900 && !fleet.machine(1).powered_on()) {
+          fleet.machine(1).Boot(t);
+        }
+        if (t >= 1500 && !fleet.machine(3).powered_on()) {
+          fleet.machine(3).Boot(t);
+        }
+        fleet.AdvanceAllTo(t);
+      });
+  EXPECT_TRUE(result.complete);
+  EXPECT_GT(result.passes, 1u);
+  EXPECT_GT(result.attempts, 4u);  // retries happened
+  EXPECT_EQ(result.completed, 4u);
+}
+
+TEST(CampaignTest, DeadlineBoundsIncompleteCampaign) {
+  auto fleet = SmallFleet(3);  // all off forever
+  NBenchProbe probe;
+  CampaignConfig config;
+  config.pass_period = 600;
+  config.deadline = 4000;  // a handful of passes only
+  const auto result = RunCampaign(fleet, probe, config, 0);
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.completed, 0u);
+  EXPECT_GT(result.passes, 1u);
+  EXPECT_DOUBLE_EQ(result.CoverageFraction(), 0.0);
+}
+
+TEST(CampaignTest, FullFleetBenchmarkCampaignUnderRealChurn) {
+  // The Table 1 scenario: benchmark all 169 machines of the paper fleet
+  // while the campus lives its normal life. Coverage must complete within
+  // a few days.
+  util::Rng rng(17);
+  winsim::Fleet fleet = winsim::MakePaperFleet(rng);
+  workload::CampusConfig campus;
+  campus.days = 14;
+  workload::WorkloadDriver driver(fleet, campus);
+  NBenchProbe probe;
+  CampaignConfig config;
+  config.deadline = campus.EndTime();
+  const auto result = RunCampaign(
+      fleet, probe, config, 0,
+      [&driver](util::SimTime t) { driver.AdvanceTo(t); });
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.completed, 169u);
+  EXPECT_GT(result.passes, 1u);
+  EXPECT_LT(result.finished_at, 10 * util::kSecondsPerDay)
+      << "a week and a half of churn reaches every classroom machine";
+  // Every output parses and reports the machine's published indexes.
+  const auto report = ParseNBenchOutput(*result.outputs[0]);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report.value().int_index, fleet.machine(0).spec().int_index,
+              1e-6);
+}
+
+}  // namespace
+}  // namespace labmon::ddc

@@ -1,0 +1,188 @@
+#include "labmon/ddc/coordinator.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "labmon/ddc/w32_probe.hpp"
+#include "labmon/winsim/fleet.hpp"
+
+namespace labmon::ddc {
+namespace {
+
+winsim::Fleet SmallFleet(std::size_t machines = 5) {
+  std::vector<winsim::LabSpec> labs{{
+      "T01", machines, "Pentium 4", 2.4, 512, 74.5, 30.5, 33.1}};
+  util::Rng rng(1);
+  return winsim::Fleet(labs, winsim::PriorLifeModel{}, rng);
+}
+
+/// Sink recording everything it sees.
+class RecordingSink : public SampleSink {
+ public:
+  void OnSample(const CollectedSample& sample) override {
+    samples.push_back(sample);
+  }
+  void OnIterationEnd(std::uint64_t iteration, util::SimTime start,
+                      util::SimTime end) override {
+    iterations.emplace_back(start, end);
+    (void)iteration;
+  }
+  std::vector<CollectedSample> samples;
+  std::vector<std::pair<util::SimTime, util::SimTime>> iterations;
+};
+
+TEST(CoordinatorTest, ProbesEveryMachineEveryIteration) {
+  auto fleet = SmallFleet(5);
+  for (std::size_t i = 0; i < fleet.size(); ++i) fleet.machine(i).Boot(0);
+  RecordingSink sink;
+  W32Probe probe;
+  CoordinatorConfig config;
+  config.exec_policy.transient_failure_prob = 0.0;
+  Coordinator coordinator(fleet, probe, config, sink);
+  const auto stats = coordinator.Run(0, 4 * config.period);
+  EXPECT_EQ(stats.iterations, 4u);
+  EXPECT_EQ(stats.attempts, 4u * 5u);
+  EXPECT_EQ(stats.successes, stats.attempts);
+  EXPECT_EQ(sink.samples.size(), stats.attempts);
+  EXPECT_DOUBLE_EQ(stats.ResponseRate(), 1.0);
+}
+
+TEST(CoordinatorTest, OfflineMachinesTimeOutButIterationContinues) {
+  auto fleet = SmallFleet(6);
+  fleet.machine(0).Boot(0);
+  fleet.machine(3).Boot(0);
+  RecordingSink sink;
+  W32Probe probe;
+  CoordinatorConfig config;
+  config.exec_policy.transient_failure_prob = 0.0;
+  Coordinator coordinator(fleet, probe, config, sink);
+  const auto stats = coordinator.Run(0, config.period);
+  EXPECT_EQ(stats.iterations, 1u);
+  EXPECT_EQ(stats.successes, 2u);
+  EXPECT_EQ(stats.timeouts, 4u);
+}
+
+TEST(CoordinatorTest, SequentialTimeAdvancesWithLatencies) {
+  auto fleet = SmallFleet(4);
+  RecordingSink sink;  // all machines off -> every attempt times out
+  W32Probe probe;
+  CoordinatorConfig config;
+  Coordinator coordinator(fleet, probe, config, sink);
+  (void)coordinator.Run(0, config.period);
+  ASSERT_EQ(sink.samples.size(), 4u);
+  for (std::size_t i = 1; i < sink.samples.size(); ++i) {
+    EXPECT_GT(sink.samples[i].attempt_time, sink.samples[i - 1].attempt_time)
+        << "sequential attempts must be spaced by the previous latency";
+  }
+}
+
+TEST(CoordinatorTest, OverrunDelaysNextIteration) {
+  // 30 offline machines at >= 3 s each overrun a 60-second period, so the
+  // number of iterations is below span/period — the paper's 6883 < 7392.
+  auto fleet = SmallFleet(30);
+  RecordingSink sink;
+  W32Probe probe;
+  CoordinatorConfig config;
+  config.period = 60;
+  Coordinator coordinator(fleet, probe, config, sink);
+  const auto stats = coordinator.Run(0, 3600);
+  EXPECT_LT(stats.iterations, 3600u / 60u);
+  EXPECT_GT(stats.max_iteration_s, 60.0);
+  // Iterations never overlap.
+  for (std::size_t i = 1; i < sink.iterations.size(); ++i) {
+    EXPECT_GE(sink.iterations[i].first, sink.iterations[i - 1].second);
+  }
+}
+
+TEST(CoordinatorTest, FastIterationsKeepPeriodBoundary) {
+  auto fleet = SmallFleet(2);
+  fleet.machine(0).Boot(0);
+  fleet.machine(1).Boot(0);
+  RecordingSink sink;
+  W32Probe probe;
+  CoordinatorConfig config;
+  config.exec_policy.transient_failure_prob = 0.0;
+  Coordinator coordinator(fleet, probe, config, sink);
+  (void)coordinator.Run(0, 4 * config.period);
+  ASSERT_EQ(sink.iterations.size(), 4u);
+  for (std::size_t i = 0; i < sink.iterations.size(); ++i) {
+    EXPECT_EQ(sink.iterations[i].first,
+              static_cast<util::SimTime>(i) * config.period);
+  }
+}
+
+TEST(CoordinatorTest, AdvanceCallbackInvokedBeforeEveryProbe) {
+  auto fleet = SmallFleet(3);
+  for (std::size_t i = 0; i < fleet.size(); ++i) fleet.machine(i).Boot(0);
+  RecordingSink sink;
+  W32Probe probe;
+  CoordinatorConfig config;
+  std::vector<util::SimTime> advances;
+  Coordinator coordinator(fleet, probe, config, sink,
+                          [&](util::SimTime t) { advances.push_back(t); });
+  (void)coordinator.Run(0, config.period);
+  ASSERT_EQ(advances.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(advances.begin(), advances.end()));
+  for (std::size_t i = 0; i < advances.size(); ++i) {
+    EXPECT_EQ(advances[i], sink.samples[i].attempt_time);
+  }
+}
+
+TEST(CoordinatorTest, ParallelModeShortensIterations) {
+  auto fleet_seq = SmallFleet(30);
+  auto fleet_par = SmallFleet(30);
+  RecordingSink sink_seq;
+  RecordingSink sink_par;
+  W32Probe probe;
+  CoordinatorConfig seq;
+  seq.period = 60;
+  CoordinatorConfig par = seq;
+  par.mode = CoordinatorConfig::Mode::kParallelSimulated;
+  par.workers = 10;
+  Coordinator a(fleet_seq, probe, seq, sink_seq);
+  Coordinator b(fleet_par, probe, par, sink_par);
+  const auto stats_seq = a.Run(0, 3600);
+  const auto stats_par = b.Run(0, 3600);
+  EXPECT_LT(stats_par.mean_iteration_s, stats_seq.mean_iteration_s / 3.0);
+  EXPECT_GT(stats_par.iterations, stats_seq.iterations);
+}
+
+TEST(CoordinatorTest, ParallelModeStillProbesAllMachines) {
+  auto fleet = SmallFleet(12);
+  for (std::size_t i = 0; i < fleet.size(); ++i) fleet.machine(i).Boot(0);
+  RecordingSink sink;
+  W32Probe probe;
+  CoordinatorConfig config;
+  config.mode = CoordinatorConfig::Mode::kParallelSimulated;
+  config.workers = 4;
+  config.exec_policy.transient_failure_prob = 0.0;
+  std::vector<util::SimTime> advances;
+  Coordinator coordinator(fleet, probe, config, sink,
+                          [&](util::SimTime t) { advances.push_back(t); });
+  const auto stats = coordinator.Run(0, config.period);
+  EXPECT_EQ(stats.successes, 12u);
+  EXPECT_TRUE(std::is_sorted(advances.begin(), advances.end()))
+      << "co-simulation time must stay monotone in parallel mode";
+  std::vector<bool> seen(12, false);
+  for (const auto& s : sink.samples) seen[s.machine_index] = true;
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_TRUE(seen[i]) << "machine " << i;
+  }
+}
+
+TEST(CoordinatorTest, ZeroSpanRunsNothing) {
+  auto fleet = SmallFleet(2);
+  RecordingSink sink;
+  W32Probe probe;
+  CoordinatorConfig config;
+  Coordinator coordinator(fleet, probe, config, sink);
+  const auto stats = coordinator.Run(100, 100);
+  EXPECT_EQ(stats.iterations, 0u);
+  EXPECT_EQ(stats.attempts, 0u);
+}
+
+}  // namespace
+}  // namespace labmon::ddc

@@ -1,0 +1,106 @@
+#include "labmon/ddc/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "labmon/ddc/w32_probe.hpp"
+#include "labmon/smart/disk_smart.hpp"
+
+namespace labmon::ddc {
+namespace {
+
+winsim::Machine TestMachine() {
+  winsim::MachineSpec spec;
+  spec.name = "L01-PC01";
+  spec.cpu_model = "Pentium III";
+  spec.cpu_ghz = 1.1;
+  spec.ram_mb = 256;
+  spec.swap_mb = 384;
+  spec.disk_gb = 18.6;
+  return winsim::Machine(0, spec, smart::DiskSmart("S", 0, 0));
+}
+
+TEST(RemoteExecutorTest, OfflineMachineTimesOut) {
+  winsim::Machine m = TestMachine();  // powered off
+  RemoteExecutor exec(ExecPolicy{}, 1);
+  W32Probe probe;
+  const auto outcome = exec.Execute(probe, m, 100);
+  EXPECT_EQ(outcome.status, ExecOutcome::Status::kTimeout);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_GE(outcome.latency_s, exec.policy().offline_timeout_min_s);
+  EXPECT_TRUE(outcome.stdout_text.empty());
+  EXPECT_NE(outcome.stderr_text.find("timeout"), std::string::npos);
+  EXPECT_EQ(outcome.exit_code, -1);
+}
+
+TEST(RemoteExecutorTest, OnlineMachineSucceeds) {
+  winsim::Machine m = TestMachine();
+  m.Boot(0);
+  ExecPolicy policy;
+  policy.transient_failure_prob = 0.0;
+  RemoteExecutor exec(policy, 2);
+  W32Probe probe;
+  const auto outcome = exec.Execute(probe, m, 900);
+  EXPECT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.exit_code, 0);
+  EXPECT_GE(outcome.latency_s, policy.success_latency_min_s);
+  EXPECT_NE(outcome.stdout_text.find("W32PROBE"), std::string::npos);
+  // The probe observed the machine at the execution instant.
+  const auto parsed = ParseW32ProbeOutput(outcome.stdout_text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().uptime_s, 900);
+}
+
+TEST(RemoteExecutorTest, OfflineTimeoutsAreMuchSlowerThanSuccess) {
+  // The asymmetry that causes the paper's iteration overrun.
+  winsim::Machine on = TestMachine();
+  on.Boot(0);
+  winsim::Machine off = TestMachine();
+  ExecPolicy policy;
+  policy.transient_failure_prob = 0.0;
+  RemoteExecutor exec(policy, 3);
+  W32Probe probe;
+  double on_total = 0.0;
+  double off_total = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    on.AdvanceTo(i + 1);
+    on_total += exec.Execute(probe, on, i + 1).latency_s;
+    off_total += exec.Execute(probe, off, i + 1).latency_s;
+  }
+  EXPECT_GT(off_total, 3.0 * on_total);
+}
+
+TEST(RemoteExecutorTest, TransientFailuresAtConfiguredRate) {
+  winsim::Machine m = TestMachine();
+  m.Boot(0);
+  ExecPolicy policy;
+  policy.transient_failure_prob = 0.25;
+  RemoteExecutor exec(policy, 4);
+  W32Probe probe;
+  int failures = 0;
+  constexpr int kN = 4000;
+  for (int i = 0; i < kN; ++i) {
+    m.AdvanceTo(i + 1);
+    const auto outcome = exec.Execute(probe, m, i + 1);
+    if (outcome.status == ExecOutcome::Status::kError) {
+      ++failures;
+      EXPECT_EQ(outcome.exit_code, 2);
+      EXPECT_TRUE(outcome.stdout_text.empty());
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(failures) / kN, 0.25, 0.03);
+}
+
+TEST(RemoteExecutorTest, DeterministicForSeed) {
+  winsim::Machine m1 = TestMachine();
+  winsim::Machine m2 = TestMachine();
+  RemoteExecutor a(ExecPolicy{}, 99);
+  RemoteExecutor b(ExecPolicy{}, 99);
+  W32Probe probe;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.Execute(probe, m1, i).latency_s,
+                     b.Execute(probe, m2, i).latency_s);
+  }
+}
+
+}  // namespace
+}  // namespace labmon::ddc

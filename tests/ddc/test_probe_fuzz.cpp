@@ -1,0 +1,107 @@
+// Robustness fuzzing of the probe-output parsers: random byte mutations,
+// truncations and field shuffles must never crash or produce a success
+// with corrupted mandatory numeric fields left unvalidated.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "labmon/ddc/nbench_probe.hpp"
+#include "labmon/ddc/w32_probe.hpp"
+#include "labmon/smart/disk_smart.hpp"
+#include "labmon/util/rng.hpp"
+#include "labmon/util/strings.hpp"
+#include "labmon/winsim/machine.hpp"
+
+namespace labmon::ddc {
+namespace {
+
+std::string ReferenceOutput() {
+  winsim::MachineSpec spec;
+  spec.name = "L05-PC09";
+  spec.cpu_model = "Pentium III";
+  spec.cpu_ghz = 1.1;
+  spec.ram_mb = 512;
+  spec.swap_mb = 768;
+  spec.disk_gb = 14.5;
+  spec.mac = "00:0C:01:02:03:04";
+  spec.disk_serial = "WD-FUZZ00001";
+  winsim::Machine m(0, spec, smart::DiskSmart("WD-FUZZ00001", 900.0, 150));
+  m.Boot(100);
+  m.Login("a001234", 400);
+  m.AdvanceTo(1900);
+  return FormatW32ProbeOutput(m);
+}
+
+class ProbeFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProbeFuzzTest, RandomByteMutationsNeverCrash) {
+  const std::string reference = ReferenceOutput();
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = reference;
+    const int mutations = static_cast<int>(rng.UniformInt(1, 8));
+    for (int k = 0; k < mutations; ++k) {
+      const auto pos = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(mutated.size()) - 1));
+      mutated[pos] = static_cast<char>(rng.UniformInt(1, 126));
+    }
+    // Must not crash; success or a clean error are both acceptable.
+    const auto parsed = ParseW32ProbeOutput(mutated);
+    if (!parsed.ok()) {
+      EXPECT_FALSE(parsed.error().empty());
+    }
+  }
+}
+
+TEST_P(ProbeFuzzTest, RandomTruncationsNeverCrash) {
+  const std::string reference = ReferenceOutput();
+  util::Rng rng(GetParam() ^ 0xabcdef);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto cut = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(reference.size())));
+    (void)ParseW32ProbeOutput(reference.substr(0, cut));
+  }
+}
+
+TEST_P(ProbeFuzzTest, LineShufflesStillParse) {
+  // Field order must not matter (key-value format).
+  const std::string reference = ReferenceOutput();
+  util::Rng rng(GetParam() ^ 0x5eed);
+  auto lines = util::Split(reference, '\n');
+  // Keep the banner first; shuffle the rest (Fisher-Yates).
+  for (std::size_t i = lines.size() - 1; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.UniformInt(1, static_cast<std::int64_t>(i)));
+    std::swap(lines[i], lines[j]);
+  }
+  std::string shuffled;
+  for (const auto& line : lines) {
+    shuffled += line;
+    shuffled += '\n';
+  }
+  const auto parsed = ParseW32ProbeOutput(shuffled);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().host, "L05-PC09");
+  EXPECT_EQ(parsed.value().uptime_s, 1800);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProbeFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(NBenchParserFuzzTest, MutationsNeverCrash) {
+  nbench::SuiteConfig quick;
+  const std::string reference =
+      "NBENCHPROBE 1.0\nhost: x\nint_index: 30.50\nfp_index: 33.10\n";
+  util::Rng rng(77);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = reference;
+    const auto pos = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(mutated.size()) - 1));
+    mutated[pos] = static_cast<char>(rng.UniformInt(1, 126));
+    (void)ParseNBenchOutput(mutated);
+  }
+  (void)quick;
+}
+
+}  // namespace
+}  // namespace labmon::ddc

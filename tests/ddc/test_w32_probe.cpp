@@ -1,0 +1,162 @@
+#include "labmon/ddc/w32_probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "labmon/smart/disk_smart.hpp"
+#include "labmon/winsim/machine.hpp"
+
+namespace labmon::ddc {
+namespace {
+
+winsim::Machine TestMachine() {
+  winsim::MachineSpec spec;
+  spec.name = "L03-PC07";
+  spec.lab = "L03";
+  spec.cpu_model = "Pentium 4";
+  spec.cpu_ghz = 2.6;
+  spec.ram_mb = 512;
+  spec.swap_mb = 768;
+  spec.disk_gb = 55.8;
+  spec.int_index = 39.3;
+  spec.fp_index = 36.7;
+  spec.mac = "00:0C:12:34:56:78";
+  spec.disk_serial = "WD-ABCDEF123";
+  return winsim::Machine(7, spec, smart::DiskSmart("WD-ABCDEF123", 2345.0, 410));
+}
+
+TEST(W32ProbeTest, RoundTripAllFields) {
+  winsim::Machine m = TestMachine();
+  m.Boot(1000);
+  m.SetCpuBusyFraction(0.1);
+  m.SetMemLoadPercent(44.0);
+  m.SetSwapLoadPercent(21.0);
+  m.SetDiskUsedBytes(static_cast<std::uint64_t>(14.6e9));
+  m.SetNetRates(250.0, 355.0);
+  m.Login("a004711", 1500);
+  m.AdvanceTo(2800);
+
+  W32Probe probe;
+  const std::string out = probe.Execute(m, 2800);
+  const auto parsed = ParseW32ProbeOutput(out);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const W32Sample& s = parsed.value();
+
+  EXPECT_EQ(s.host, "L03-PC07");
+  EXPECT_EQ(s.os, "Windows 2000 Professional SP3");
+  EXPECT_EQ(s.cpu_model, "Pentium 4");
+  EXPECT_EQ(s.cpu_mhz, 2600);
+  EXPECT_EQ(s.ram_mb, 512);
+  EXPECT_EQ(s.swap_mb, 768);
+  EXPECT_EQ(s.mac, "00:0C:12:34:56:78");
+  EXPECT_EQ(s.disk_serial, "WD-ABCDEF123");
+  EXPECT_EQ(s.boot_time, 1000);
+  EXPECT_EQ(s.uptime_s, 1800);
+  EXPECT_NEAR(s.cpu_idle_s, 1800 - 180.0, 0.01);
+  EXPECT_EQ(s.mem_load_pct, 44);
+  EXPECT_EQ(s.swap_load_pct, 21);
+  EXPECT_EQ(s.disk_total_b, m.spec().DiskBytes());
+  EXPECT_EQ(s.disk_free_b,
+            m.spec().DiskBytes() - static_cast<std::uint64_t>(14.6e9));
+  EXPECT_EQ(s.smart_power_cycles, 411u);  // 410 prior + this boot
+  EXPECT_EQ(s.net_sent_b, static_cast<std::uint64_t>(250 * 1800));
+  EXPECT_EQ(s.net_recv_b, static_cast<std::uint64_t>(355 * 1800));
+  ASSERT_TRUE(s.HasSession());
+  EXPECT_EQ(*s.session_user, "a004711");
+  EXPECT_EQ(s.session_logon_time, 1500);
+  EXPECT_EQ(s.SessionSeconds(2800), 1300);
+}
+
+TEST(W32ProbeTest, NoSessionReportsNone) {
+  winsim::Machine m = TestMachine();
+  m.Boot(0);
+  m.AdvanceTo(60);
+  const std::string out = FormatW32ProbeOutput(m);
+  EXPECT_NE(out.find("session: none"), std::string::npos);
+  const auto parsed = ParseW32ProbeOutput(out);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed.value().HasSession());
+  EXPECT_EQ(parsed.value().SessionSeconds(60), 0);
+}
+
+TEST(W32ProbeTest, ProbeAdvancesMachineToExecutionInstant) {
+  winsim::Machine m = TestMachine();
+  m.Boot(0);
+  W32Probe probe;
+  (void)probe.Execute(m, 900);
+  EXPECT_EQ(m.now(), 900);
+  EXPECT_EQ(m.UptimeSeconds(), 900);
+}
+
+TEST(W32ProbeTest, ProbeNameIsWin32Binary) {
+  W32Probe probe;
+  EXPECT_STREQ(probe.name(), "w32probe.exe");
+}
+
+TEST(W32ProbeParserTest, RejectsMissingBanner) {
+  EXPECT_FALSE(ParseW32ProbeOutput("host: x\n").ok());
+  EXPECT_FALSE(ParseW32ProbeOutput("").ok());
+}
+
+TEST(W32ProbeParserTest, RejectsMalformedLine) {
+  const std::string text = "W32PROBE 1.2\nhost L03\n";
+  EXPECT_FALSE(ParseW32ProbeOutput(text).ok());
+}
+
+TEST(W32ProbeParserTest, RejectsMissingMandatoryField) {
+  // A full output with uptime_s removed must fail.
+  winsim::Machine m = TestMachine();
+  m.Boot(0);
+  m.AdvanceTo(10);
+  std::string out = FormatW32ProbeOutput(m);
+  const auto pos = out.find("uptime_s:");
+  const auto end = out.find('\n', pos);
+  out.erase(pos, end - pos + 1);
+  const auto parsed = ParseW32ProbeOutput(out);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().find("uptime_s"), std::string::npos);
+}
+
+TEST(W32ProbeParserTest, RejectsGarbledNumbers) {
+  winsim::Machine m = TestMachine();
+  m.Boot(0);
+  m.AdvanceTo(10);
+  std::string out = FormatW32ProbeOutput(m);
+  const auto pos = out.find("mem_load_pct: ");
+  out.replace(pos + 14, 1, "x");
+  EXPECT_FALSE(ParseW32ProbeOutput(out).ok());
+}
+
+TEST(W32ProbeParserTest, RejectsGarbledSession) {
+  const std::string base =
+      "W32PROBE 1.2\nhost: h\nos: o\ncpu: c @ 100 MHz\nram_mb: 1\n"
+      "swap_mb: 1\nmac0: m\ndisk0_serial: s\ndisk0_total_b: 10\n"
+      "boot_time: 0\nuptime_s: 5\ncpu_idle_s: 4.5\nmem_load_pct: 50\n"
+      "swap_load_pct: 20\ndisk0_free_b: 5\nsmart_power_on_hours: 1\n"
+      "smart_power_cycles: 1\nnet_sent_b: 0\nnet_recv_b: 0\n";
+  EXPECT_TRUE(ParseW32ProbeOutput(base + "session: none\n").ok());
+  EXPECT_FALSE(ParseW32ProbeOutput(base + "session: useronly\n").ok());
+  EXPECT_FALSE(ParseW32ProbeOutput(base + "session: user notanumber\n").ok());
+  EXPECT_FALSE(ParseW32ProbeOutput(base).ok());  // session line missing
+}
+
+TEST(W32ProbeParserTest, ToleratesExtraWhitespaceAndUnknownKeys) {
+  winsim::Machine m = TestMachine();
+  m.Boot(0);
+  m.AdvanceTo(10);
+  std::string out = FormatW32ProbeOutput(m);
+  out += "future_metric: 42\n\n";
+  const auto parsed = ParseW32ProbeOutput(out);
+  EXPECT_TRUE(parsed.ok()) << parsed.error();
+}
+
+TEST(W32ProbeTest, MemLoadEmittedAsIntegerLikeDwMemoryLoad) {
+  winsim::Machine m = TestMachine();
+  m.Boot(0);
+  m.SetMemLoadPercent(44.7);
+  m.AdvanceTo(10);
+  const std::string out = FormatW32ProbeOutput(m);
+  EXPECT_NE(out.find("mem_load_pct: 45\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace labmon::ddc

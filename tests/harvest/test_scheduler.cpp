@@ -1,0 +1,189 @@
+#include "labmon/harvest/scheduler.hpp"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "labmon/winsim/paper_specs.hpp"
+
+namespace labmon::harvest {
+namespace {
+
+struct GridFixture {
+  explicit GridFixture(int days = 2, std::uint64_t seed = 5) {
+    campus.days = days;
+    campus.seed = seed;
+    util::Rng rng(seed);
+    fleet = std::make_unique<winsim::Fleet>(winsim::MakePaperFleet(rng));
+    driver = std::make_unique<workload::WorkloadDriver>(*fleet, campus);
+  }
+  workload::CampusConfig campus;
+  std::unique_ptr<winsim::Fleet> fleet;
+  std::unique_ptr<workload::WorkloadDriver> driver;
+};
+
+HarvestResult RunBatch(GridFixture& f, const HarvestPolicy& policy,
+                       std::uint64_t units, double unit_hours) {
+  DesktopGrid grid(*f.fleet, *f.driver, policy);
+  JobBatch batch;
+  batch.unit_count = units;
+  batch.unit_index_seconds = unit_hours * 3600.0;
+  return grid.Run(batch, 0, f.campus.EndTime());
+}
+
+TEST(DesktopGridTest, SmallBatchCompletes) {
+  GridFixture f;
+  HarvestPolicy policy;
+  const auto result = RunBatch(f, policy, 20, 5.0);
+  EXPECT_TRUE(result.batch_finished);
+  EXPECT_EQ(result.units_completed, 20u);
+  EXPECT_GT(result.makespan_s, 0.0);
+  EXPECT_LT(result.makespan_s, f.campus.EndTime());
+  EXPECT_GE(result.useful_index_seconds, 20 * 5.0 * 3600.0 - 1e-6);
+}
+
+TEST(DesktopGridTest, AccountingInvariants) {
+  GridFixture f;
+  HarvestPolicy policy;
+  policy.checkpoint_interval_s = 600;
+  const auto result = RunBatch(f, policy, 400, 20.0);
+  EXPECT_LE(result.units_completed, result.units_total);
+  EXPECT_GE(result.wasted_index_seconds, 0.0);
+  EXPECT_GE(result.useful_index_seconds,
+            static_cast<double>(result.units_completed) * 20.0 * 3600.0 -
+                1e-6);
+  EXPECT_GE(result.mean_busy_machines, 0.0);
+  EXPECT_LE(result.mean_busy_machines, 169.0);
+  EXPECT_GE(result.WasteFraction(), 0.0);
+  EXPECT_LE(result.WasteFraction(), 1.0);
+}
+
+TEST(DesktopGridTest, DeterministicForSeed) {
+  HarvestPolicy policy;
+  GridFixture a(2, 9);
+  GridFixture b(2, 9);
+  const auto ra = RunBatch(a, policy, 100, 10.0);
+  const auto rb = RunBatch(b, policy, 100, 10.0);
+  EXPECT_EQ(ra.units_completed, rb.units_completed);
+  EXPECT_DOUBLE_EQ(ra.useful_index_seconds, rb.useful_index_seconds);
+  EXPECT_EQ(ra.evictions_poweroff, rb.evictions_poweroff);
+}
+
+TEST(DesktopGridTest, CheckpointingReducesWaste) {
+  // Same behaviour (same seed), different checkpoint intervals: waste must
+  // not increase as checkpoints get denser.
+  const auto waste_at = [&](double interval_s) {
+    GridFixture f(3, 13);
+    HarvestPolicy policy;
+    policy.checkpoint_interval_s = interval_s;
+    return RunBatch(f, policy, 2000, 15.0).wasted_index_seconds;
+  };
+  const double none = waste_at(0.0);
+  const double hourly = waste_at(3600.0);
+  const double frequent = waste_at(300.0);
+  EXPECT_GT(none, hourly);
+  EXPECT_GT(hourly, frequent);
+}
+
+TEST(DesktopGridTest, CheckpointsAreWritten) {
+  GridFixture f;
+  HarvestPolicy policy;
+  policy.checkpoint_interval_s = 300;
+  const auto with_ckpt = RunBatch(f, policy, 200, 15.0);
+  EXPECT_GT(with_ckpt.checkpoints_written, 0u);
+  GridFixture g;
+  policy.checkpoint_interval_s = 0.0;
+  const auto without = RunBatch(g, policy, 200, 15.0);
+  EXPECT_EQ(without.checkpoints_written, 0u);
+}
+
+TEST(DesktopGridTest, EvictionsHappenOnBusyCampus) {
+  GridFixture f(3);
+  HarvestPolicy policy;
+  policy.claim_delay_s = 0;  // aggressive claiming maximises collisions
+  const auto result = RunBatch(f, policy, 3000, 20.0);
+  EXPECT_GT(result.evictions_login + result.evictions_poweroff, 0u);
+}
+
+TEST(DesktopGridTest, OccupiedModeDeliversMoreThroughput) {
+  const auto effective = [&](bool occupied) {
+    GridFixture f(3, 21);
+    HarvestPolicy policy;
+    policy.use_occupied_machines = occupied;
+    // Oversized batch: neither finishes, so throughput is comparable.
+    return RunBatch(f, policy, 100000, 20.0).effective_dedicated_machines;
+  };
+  const double free_only = effective(false);
+  const double with_occupied = effective(true);
+  EXPECT_GT(with_occupied, free_only);
+  // Both bounded by the fleet's Figure-6 upper limit (~0.55 x 169).
+  EXPECT_LT(with_occupied, 110.0);
+  EXPECT_GT(free_only, 5.0);
+}
+
+TEST(DesktopGridTest, ClaimDelayReducesLoginEvictions) {
+  const auto login_evictions = [&](util::SimTime delay) {
+    GridFixture f(2, 31);
+    HarvestPolicy policy;
+    policy.claim_delay_s = delay;
+    return RunBatch(f, policy, 100000, 20.0).evictions_login;
+  };
+  // A keyboard-idle guard must not make things worse.
+  EXPECT_LE(login_evictions(30 * 60), login_evictions(0));
+}
+
+TEST(DesktopGridTest, EmptyBatchFinishesImmediately) {
+  GridFixture f(1);
+  HarvestPolicy policy;
+  const auto result = RunBatch(f, policy, 0, 10.0);
+  EXPECT_EQ(result.units_completed, 0u);
+  EXPECT_EQ(result.units_total, 0u);
+  EXPECT_FALSE(result.batch_finished);  // nothing to finish
+  EXPECT_DOUBLE_EQ(result.useful_index_seconds, 0.0);
+}
+
+TEST(DesktopGridTest, SpeculativeBackupsImproveTailLatency) {
+  // A batch sized so the tail is dominated by stragglers on slow or
+  // evicted machines: backups must not lengthen the makespan, and should
+  // start at least one copy.
+  const auto run = [&](bool backups) {
+    GridFixture f(3, 41);
+    HarvestPolicy policy;
+    policy.speculative_backups = backups;
+    policy.checkpoint_interval_s = 900;
+    return RunBatch(f, policy, 900, 25.0);
+  };
+  const auto without = run(false);
+  const auto with = run(true);
+  ASSERT_TRUE(without.batch_finished);
+  ASSERT_TRUE(with.batch_finished);
+  EXPECT_GT(with.backup_copies_started, 0u);
+  EXPECT_LE(with.makespan_s, without.makespan_s);
+  EXPECT_EQ(without.backup_copies_started, 0u);
+}
+
+TEST(DesktopGridTest, BackupsNeverExceedCopyLimit) {
+  GridFixture f(2, 43);
+  HarvestPolicy policy;
+  policy.speculative_backups = true;
+  policy.max_copies_per_unit = 2;
+  const auto result = RunBatch(f, policy, 50, 10.0);
+  EXPECT_TRUE(result.batch_finished);
+  // Cancellations can never exceed starts.
+  EXPECT_LE(result.backup_copies_cancelled,
+            result.backup_copies_started + result.units_total);
+}
+
+TEST(DescribePolicyTest, Labels) {
+  HarvestPolicy policy;
+  policy.checkpoint_interval_s = 900;
+  EXPECT_EQ(DescribePolicy(policy), "free-only, ckpt 15 min");
+  policy.use_occupied_machines = true;
+  policy.checkpoint_interval_s = 0;
+  EXPECT_EQ(DescribePolicy(policy), "free+occupied, no ckpt");
+  policy.speculative_backups = true;
+  EXPECT_EQ(DescribePolicy(policy), "free+occupied, no ckpt, backups");
+}
+
+}  // namespace
+}  // namespace labmon::harvest

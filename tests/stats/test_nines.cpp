@@ -1,0 +1,46 @@
+#include "labmon/stats/nines.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace labmon::stats {
+namespace {
+
+TEST(NinesTest, CanonicalValues) {
+  EXPECT_NEAR(AvailabilityToNines(0.9), 1.0, 1e-12);
+  EXPECT_NEAR(AvailabilityToNines(0.99), 2.0, 1e-12);
+  EXPECT_NEAR(AvailabilityToNines(0.999), 3.0, 1e-9);
+  EXPECT_NEAR(AvailabilityToNines(0.5), std::log10(2.0), 1e-12);
+}
+
+TEST(NinesTest, Edges) {
+  EXPECT_DOUBLE_EQ(AvailabilityToNines(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(AvailabilityToNines(-0.3), 0.0);
+  EXPECT_DOUBLE_EQ(AvailabilityToNines(1.0), 9.0);   // saturates at cap
+  EXPECT_DOUBLE_EQ(AvailabilityToNines(1.0, 4.0), 4.0);
+}
+
+TEST(NinesTest, Monotone) {
+  double prev = -1.0;
+  for (double r = 0.0; r < 1.0; r += 0.01) {
+    const double n = AvailabilityToNines(r);
+    EXPECT_GE(n, prev);
+    prev = n;
+  }
+}
+
+TEST(NinesTest, RoundTrip) {
+  for (const double r : {0.1, 0.5, 0.9, 0.99, 0.9999}) {
+    EXPECT_NEAR(NinesToAvailability(AvailabilityToNines(r)), r, 1e-9);
+  }
+}
+
+TEST(NinesTest, InverseEdges) {
+  EXPECT_DOUBLE_EQ(NinesToAvailability(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(NinesToAvailability(-2.0), 0.0);
+  EXPECT_NEAR(NinesToAvailability(1.0), 0.9, 1e-12);
+}
+
+}  // namespace
+}  // namespace labmon::stats

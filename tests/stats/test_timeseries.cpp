@@ -1,0 +1,96 @@
+#include "labmon/stats/timeseries.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace labmon::stats {
+namespace {
+
+TEST(TimeSeriesTest, AppendAndAccess) {
+  TimeSeries s;
+  EXPECT_TRUE(s.empty());
+  s.Append(0, 1.0);
+  s.Append(10, 3.0);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[1].t, 10);
+  EXPECT_DOUBLE_EQ(s[1].value, 3.0);
+}
+
+TEST(TimeSeriesTest, Statistics) {
+  TimeSeries s;
+  s.Append(0, 2.0);
+  s.Append(1, 4.0);
+  s.Append(2, 9.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+}
+
+TEST(TimeSeriesTest, EmptyMeanIsZero) {
+  TimeSeries s;
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+}
+
+TEST(TimeSeriesTest, ResampleAveragesWindows) {
+  TimeSeries s;
+  s.Append(0, 1.0);
+  s.Append(30, 3.0);   // window [0, 60): mean 2
+  s.Append(60, 10.0);  // window [60, 120): mean 10
+  s.Append(200, 7.0);  // window [180, 240): mean 7
+  const TimeSeries r = s.Resample(60);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].t, 0);
+  EXPECT_DOUBLE_EQ(r[0].value, 2.0);
+  EXPECT_EQ(r[1].t, 60);
+  EXPECT_DOUBLE_EQ(r[1].value, 10.0);
+  EXPECT_EQ(r[2].t, 180);
+  EXPECT_DOUBLE_EQ(r[2].value, 7.0);
+}
+
+TEST(TimeSeriesTest, ResamplePreservesTotalCountWeightedMean) {
+  TimeSeries s;
+  for (int i = 0; i < 100; ++i) s.Append(i * 10, static_cast<double>(i));
+  const TimeSeries r = s.Resample(100);  // 10 points per window
+  ASSERT_EQ(r.size(), 10u);
+  EXPECT_DOUBLE_EQ(r.Mean(), s.Mean());
+}
+
+TEST(TimeSeriesTest, CsvOutput) {
+  TimeSeries s;
+  s.Append(900, 84.0);
+  const std::string csv = s.ToCsv("powered_on");
+  EXPECT_NE(csv.find("t_seconds,timestamp,powered_on"), std::string::npos);
+  EXPECT_NE(csv.find("900,"), std::string::npos);
+  EXPECT_NE(csv.find("84.000000"), std::string::npos);
+}
+
+TEST(TimeSeriesTest, AutocorrelationBasics) {
+  TimeSeries s;
+  for (int i = 0; i < 100; ++i) s.Append(i, i % 2 ? 1.0 : -1.0);
+  EXPECT_DOUBLE_EQ(s.Autocorrelation(0), 1.0);
+  EXPECT_NEAR(s.Autocorrelation(1), -1.0, 0.05);  // alternating series
+  EXPECT_NEAR(s.Autocorrelation(2), 1.0, 0.05);
+}
+
+TEST(TimeSeriesTest, AutocorrelationPeriodicSignal) {
+  TimeSeries s;
+  for (int i = 0; i < 672; ++i) {
+    s.Append(i * 900, std::sin(2.0 * M_PI * i / 96.0));  // daily period
+  }
+  EXPECT_GT(s.Autocorrelation(96), 0.8);   // revives at the period
+  EXPECT_LT(s.Autocorrelation(48), -0.8);  // anti-phase at half period
+}
+
+TEST(TimeSeriesTest, AutocorrelationDegenerateCases) {
+  TimeSeries s;
+  EXPECT_DOUBLE_EQ(s.Autocorrelation(0), 0.0);
+  s.Append(0, 5.0);
+  EXPECT_DOUBLE_EQ(s.Autocorrelation(0), 1.0);
+  s.Append(1, 5.0);  // constant series: zero variance
+  EXPECT_DOUBLE_EQ(s.Autocorrelation(1), 0.0);
+  EXPECT_DOUBLE_EQ(s.Autocorrelation(99), 0.0);  // lag beyond length
+}
+
+}  // namespace
+}  // namespace labmon::stats

@@ -1,0 +1,100 @@
+#include "labmon/stats/weekly_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "labmon/util/time.hpp"
+
+namespace labmon::stats {
+namespace {
+
+using util::DayOfWeek;
+using util::MakeTime;
+using util::MakeWeekTime;
+
+TEST(WeeklyProfileTest, BinCountMatchesResolution) {
+  EXPECT_EQ(WeeklyProfile(15).bin_count(), 672u);
+  EXPECT_EQ(WeeklyProfile(60).bin_count(), 168u);
+  EXPECT_EQ(WeeklyProfile(1440).bin_count(), 7u);
+}
+
+TEST(WeeklyProfileTest, FoldsAcrossWeeks) {
+  WeeklyProfile p(60);
+  // Same hour-of-week in three different weeks.
+  p.Add(MakeWeekTime(0, DayOfWeek::kTuesday, 14), 10.0);
+  p.Add(MakeWeekTime(1, DayOfWeek::kTuesday, 14), 20.0);
+  p.Add(MakeWeekTime(5, DayOfWeek::kTuesday, 14), 30.0);
+  const auto bin = p.BinOf(MakeWeekTime(0, DayOfWeek::kTuesday, 14));
+  EXPECT_DOUBLE_EQ(p.Mean(bin), 20.0);
+  EXPECT_EQ(p.Bin(bin).count(), 3);
+}
+
+TEST(WeeklyProfileTest, BinOfComputesMinuteOfWeek) {
+  WeeklyProfile p(15);
+  EXPECT_EQ(p.BinOf(0), 0u);
+  EXPECT_EQ(p.BinOf(MakeTime(0, 0, 15)), 1u);
+  EXPECT_EQ(p.BinOf(MakeTime(0, 1, 0)), 4u);
+  EXPECT_EQ(p.BinOf(MakeTime(1, 0, 0)), 96u);  // Tuesday 00:00
+  EXPECT_EQ(p.BinOf(MakeTime(6, 23, 59)), 671u);
+}
+
+TEST(WeeklyProfileTest, BinLabels) {
+  WeeklyProfile p(15);
+  EXPECT_EQ(p.BinLabel(0), "Mon 00:00");
+  EXPECT_EQ(p.BinLabel(p.BinOf(MakeTime(1, 14, 30))), "Tue 14:30");
+  EXPECT_EQ(p.BinLabel(671), "Sun 23:45");
+}
+
+TEST(WeeklyProfileTest, MeanOverWindow) {
+  WeeklyProfile p(60);
+  p.Add(MakeTime(0, 8), 10.0);
+  p.Add(MakeTime(0, 9), 30.0);
+  p.Add(MakeTime(0, 20), 100.0);  // outside window
+  const int lo = 8 * 60;
+  const int hi = 10 * 60;
+  EXPECT_DOUBLE_EQ(p.MeanOverWindow(lo, hi), 20.0);
+}
+
+TEST(WeeklyProfileTest, MeanOverWindowWeighsByObservationMass) {
+  WeeklyProfile p(60);
+  p.Add(MakeTime(0, 8), 10.0);
+  p.Add(MakeTime(0, 8), 10.0);
+  p.Add(MakeTime(0, 8), 10.0);
+  p.Add(MakeTime(0, 9), 40.0);
+  // Bin means are 10 and 40 with weights 3 and 1 -> 17.5.
+  EXPECT_DOUBLE_EQ(p.MeanOverWindow(8 * 60, 10 * 60), 17.5);
+}
+
+TEST(WeeklyProfileTest, MinMaxAndArgMinSkipEmptyBins) {
+  WeeklyProfile p(60);
+  p.Add(MakeTime(2, 10), 5.0);
+  p.Add(MakeTime(3, 11), 2.0);
+  p.Add(MakeTime(4, 12), 9.0);
+  EXPECT_DOUBLE_EQ(p.MinBinMean(), 2.0);
+  EXPECT_DOUBLE_EQ(p.MaxBinMean(), 9.0);
+  EXPECT_EQ(p.ArgMinBin(), p.BinOf(MakeTime(3, 11)));
+}
+
+TEST(WeeklyProfileTest, WeightedAdd) {
+  WeeklyProfile p(60);
+  p.Add(MakeTime(0, 12), 0.0, 1.0);
+  p.Add(MakeTime(0, 12), 10.0, 3.0);
+  EXPECT_DOUBLE_EQ(p.Mean(p.BinOf(MakeTime(0, 12))), 7.5);
+}
+
+class WeeklyResolutionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeeklyResolutionTest, EveryMinuteMapsToValidBin) {
+  WeeklyProfile p(GetParam());
+  for (int minute = 0; minute < 7 * 24 * 60; minute += 7) {
+    const auto bin = p.BinOf(static_cast<util::SimTime>(minute) * 60);
+    ASSERT_LT(bin, p.bin_count());
+    EXPECT_LE(p.BinStartMinute(bin), minute);
+    EXPECT_GT(p.BinStartMinute(bin) + GetParam(), minute);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, WeeklyResolutionTest,
+                         ::testing::Values(5, 15, 30, 60, 120));
+
+}  // namespace
+}  // namespace labmon::stats

@@ -1,0 +1,137 @@
+#include "labmon/trace/binary_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "labmon/core/experiment.hpp"
+
+namespace labmon::trace {
+namespace {
+
+SampleRecord MakeSample(std::uint32_t machine, std::uint32_t iteration,
+                        std::int64_t t, bool session) {
+  SampleRecord r;
+  r.machine = machine;
+  r.iteration = iteration;
+  r.t = t;
+  r.boot_time = t - 500;
+  r.uptime_s = 500;
+  r.cpu_idle_s = 497.53;
+  r.mem_load_pct = 44;
+  r.swap_load_pct = 21;
+  r.disk_total_b = 74'500'000'000ULL;
+  r.disk_free_b = 60'000'000'123ULL;
+  r.smart_power_on_hours = 5123;
+  r.smart_power_cycles = 811;
+  r.net_sent_b = 112233;
+  r.net_recv_b = 445566;
+  if (session) {
+    r.has_session = true;
+    r.user = "a0099";
+    r.session_logon = t - 300;
+  }
+  return r;
+}
+
+TraceStore SmallStore() {
+  TraceStore store(3);
+  store.Append(MakeSample(0, 0, 900, false));
+  store.Append(MakeSample(2, 0, 905, true));
+  store.Append(MakeSample(0, 1, 1800, true));
+  store.Append(MakeSample(2, 1, 1805, true));
+  store.AppendIteration(IterationInfo{0, 0, 910, 3, 2});
+  store.AppendIteration(IterationInfo{1, 900, 1810, 3, 2});
+  return store;
+}
+
+void ExpectStoresEqual(const TraceStore& a, const TraceStore& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.iterations().size(), b.iterations().size());
+  EXPECT_EQ(a.machine_count(), b.machine_count());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& x = a.samples()[i];
+    const auto& y = b.samples()[i];
+    EXPECT_EQ(x.machine, y.machine);
+    EXPECT_EQ(x.iteration, y.iteration);
+    EXPECT_EQ(x.t, y.t);
+    EXPECT_EQ(x.boot_time, y.boot_time);
+    EXPECT_EQ(x.uptime_s, y.uptime_s);
+    EXPECT_NEAR(x.cpu_idle_s, y.cpu_idle_s, 0.005);  // centisecond grid
+    EXPECT_EQ(x.mem_load_pct, y.mem_load_pct);
+    EXPECT_EQ(x.swap_load_pct, y.swap_load_pct);
+    EXPECT_EQ(x.disk_total_b, y.disk_total_b);
+    EXPECT_EQ(x.disk_free_b, y.disk_free_b);
+    EXPECT_EQ(x.smart_power_on_hours, y.smart_power_on_hours);
+    EXPECT_EQ(x.smart_power_cycles, y.smart_power_cycles);
+    EXPECT_EQ(x.net_sent_b, y.net_sent_b);
+    EXPECT_EQ(x.net_recv_b, y.net_recv_b);
+    EXPECT_EQ(x.has_session, y.has_session);
+    EXPECT_EQ(x.user, y.user);
+    if (x.has_session) EXPECT_EQ(x.session_logon, y.session_logon);
+  }
+  for (std::size_t i = 0; i < a.iterations().size(); ++i) {
+    EXPECT_EQ(a.iterations()[i].start_t, b.iterations()[i].start_t);
+    EXPECT_EQ(a.iterations()[i].end_t, b.iterations()[i].end_t);
+    EXPECT_EQ(a.iterations()[i].attempts, b.iterations()[i].attempts);
+    EXPECT_EQ(a.iterations()[i].successes, b.iterations()[i].successes);
+  }
+}
+
+TEST(BinaryTraceTest, RoundTripSmallStore) {
+  const TraceStore store = SmallStore();
+  const std::string bytes = SerializeTrace(store);
+  EXPECT_EQ(bytes.substr(0, 5), "LMTR1");
+  const auto restored = DeserializeTrace(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.error();
+  ExpectStoresEqual(store, restored.value());
+}
+
+TEST(BinaryTraceTest, EmptyStore) {
+  TraceStore store(5);
+  const auto restored = DeserializeTrace(SerializeTrace(store));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().size(), 0u);
+  EXPECT_EQ(restored.value().machine_count(), 5u);
+}
+
+TEST(BinaryTraceTest, RejectsBadMagic) {
+  EXPECT_FALSE(DeserializeTrace("NOPE!whatever").ok());
+  EXPECT_FALSE(DeserializeTrace("").ok());
+}
+
+TEST(BinaryTraceTest, RejectsTruncation) {
+  const std::string bytes = SerializeTrace(SmallStore());
+  for (const std::size_t cut : {bytes.size() - 1, bytes.size() / 2,
+                                std::size_t{6}}) {
+    EXPECT_FALSE(DeserializeTrace(bytes.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST(BinaryTraceTest, RoundTripRealExperimentAndBeatsCsv) {
+  core::ExperimentConfig config;
+  config.campus.days = 2;
+  const auto result = core::Experiment::Run(config);
+
+  const std::string bytes = SerializeTrace(result.trace);
+  const auto restored = DeserializeTrace(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.error();
+  ExpectStoresEqual(result.trace, restored.value());
+
+  const std::string csv = result.trace.SamplesToCsv();
+  EXPECT_LT(bytes.size() * 3, csv.size())
+      << "binary format should be at least 3x smaller than CSV "
+      << "(binary=" << bytes.size() << ", csv=" << csv.size() << ")";
+}
+
+TEST(BinaryTraceTest, FileRoundTrip) {
+  const TraceStore store = SmallStore();
+  const std::string path = ::testing::TempDir() + "/labmon_trace.lmtr";
+  ASSERT_TRUE(WriteTraceFile(path, store).ok());
+  const auto restored = ReadTraceFile(path);
+  ASSERT_TRUE(restored.ok()) << restored.error();
+  ExpectStoresEqual(store, restored.value());
+  EXPECT_FALSE(ReadTraceFile("/nonexistent/file.lmtr").ok());
+}
+
+}  // namespace
+}  // namespace labmon::trace

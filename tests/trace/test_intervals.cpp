@@ -1,0 +1,152 @@
+#include "labmon/trace/intervals.hpp"
+
+#include <gtest/gtest.h>
+
+namespace labmon::trace {
+namespace {
+
+SampleRecord Sample(std::uint32_t m, std::int64_t t, std::int64_t boot,
+                    double idle_s, std::uint64_t sent, std::uint64_t recv,
+                    std::int64_t logon = -1) {
+  SampleRecord r;
+  r.machine = m;
+  r.iteration = static_cast<std::uint32_t>(t / 900);
+  r.t = t;
+  r.boot_time = boot;
+  r.uptime_s = t - boot;
+  r.cpu_idle_s = idle_s;
+  r.net_sent_b = sent;
+  r.net_recv_b = recv;
+  if (logon >= 0) {
+    r.has_session = true;
+    r.user = "u";
+    r.session_logon = logon;
+  }
+  return r;
+}
+
+TEST(IntervalTest, DerivesIdlenessAndRates) {
+  TraceStore store(1);
+  store.Append(Sample(0, 1000, 0, 990.0, 1000, 2000));
+  store.Append(Sample(0, 1900, 0, 1845.0, 10000, 20000));
+  const auto intervals = DeriveIntervals(store);
+  ASSERT_EQ(intervals.size(), 1u);
+  const auto& i = intervals[0];
+  EXPECT_EQ(i.Seconds(), 900);
+  EXPECT_NEAR(i.cpu_idle_pct, (1845.0 - 990.0) / 900.0 * 100.0, 1e-9);
+  EXPECT_NEAR(i.sent_bps, 9000.0 / 900.0, 1e-9);
+  EXPECT_NEAR(i.recv_bps, 18000.0 / 900.0, 1e-9);
+  EXPECT_EQ(i.login_class, LoginClass::kNoLogin);
+}
+
+TEST(IntervalTest, RebootBreaksInterval) {
+  TraceStore store(1);
+  store.Append(Sample(0, 1000, 0, 990.0, 0, 0));
+  store.Append(Sample(0, 1900, 1200, 690.0, 0, 0));  // rebooted
+  EXPECT_TRUE(DeriveIntervals(store).empty());
+}
+
+TEST(IntervalTest, TooLongGapDiscarded) {
+  TraceStore store(1);
+  IntervalOptions options;
+  options.max_interval_s = 3600;
+  store.Append(Sample(0, 1000, 0, 990.0, 0, 0));
+  store.Append(Sample(0, 1000 + 7200, 0, 7100.0, 0, 0));
+  EXPECT_TRUE(DeriveIntervals(store, options).empty());
+  options.max_interval_s = 8000;
+  EXPECT_EQ(DeriveIntervals(store, options).size(), 1u);
+}
+
+TEST(IntervalTest, IdlenessClampedToValidRange) {
+  TraceStore store(1);
+  // Idle counter grew faster than wall clock (measurement noise).
+  store.Append(Sample(0, 1000, 0, 0.0, 0, 0));
+  store.Append(Sample(0, 1900, 0, 2000.0, 0, 0));
+  const auto intervals = DeriveIntervals(store);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_DOUBLE_EQ(intervals[0].cpu_idle_pct, 100.0);
+}
+
+TEST(IntervalTest, CounterWrapGuard) {
+  TraceStore store(1);
+  store.Append(Sample(0, 1000, 0, 900.0, 50000, 70000));
+  store.Append(Sample(0, 1900, 0, 1800.0, 10, 20));  // counters "wrapped"
+  const auto intervals = DeriveIntervals(store);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_DOUBLE_EQ(intervals[0].sent_bps, 0.0);
+  EXPECT_DOUBLE_EQ(intervals[0].recv_bps, 0.0);
+}
+
+TEST(IntervalTest, ClassificationByClosingSample) {
+  TraceStore store(1);
+  store.Append(Sample(0, 1000, 0, 990.0, 0, 0));
+  store.Append(Sample(0, 1900, 0, 1880.0, 0, 0, /*logon=*/1200));
+  const auto intervals = DeriveIntervals(store);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0].login_class, LoginClass::kWithLogin);
+}
+
+TEST(IntervalTest, ClassificationByOpeningSampleWhenSessionEnded) {
+  // Session visible at the interval's start but gone at its end: the
+  // interval still carries the session's resource usage.
+  TraceStore store(1);
+  store.Append(Sample(0, 1000, 0, 990.0, 0, 0, /*logon=*/500));
+  store.Append(Sample(0, 1900, 0, 1880.0, 0, 0));
+  const auto intervals = DeriveIntervals(store);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0].login_class, LoginClass::kWithLogin);
+}
+
+TEST(IntervalTest, ForgottenSessionsClassifiedFree) {
+  TraceStore store(1);
+  const std::int64_t t1 = 100000;
+  const std::int64_t t2 = t1 + 900;
+  store.Append(Sample(0, t1, 0, t1 * 0.99, 0, 0, t1 - 11 * 3600));
+  store.Append(Sample(0, t2, 0, t2 * 0.99, 0, 0, t1 - 11 * 3600));
+  const auto intervals = DeriveIntervals(store);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0].login_class, LoginClass::kForgotten);
+}
+
+TEST(IntervalTest, ThresholdDisabledKeepsForgottenOccupied) {
+  TraceStore store(1);
+  const std::int64_t t1 = 100000;
+  store.Append(Sample(0, t1, 0, 0.0, 0, 0, t1 - 20 * 3600));
+  store.Append(Sample(0, t1 + 900, 0, 890.0, 0, 0, t1 - 20 * 3600));
+  IntervalOptions options;
+  options.forgotten_threshold_s = kNoForgottenThreshold;
+  const auto intervals = DeriveIntervals(store, options);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0].login_class, LoginClass::kWithLogin);
+}
+
+TEST(IntervalTest, StreamingMatchesMaterialised) {
+  TraceStore store(2);
+  for (int k = 0; k < 20; ++k) {
+    store.Append(Sample(0, 1000 + k * 900, 0, k * 890.0, 0, 0));
+    store.Append(Sample(1, 1010 + k * 900, k < 10 ? 0 : 9000,
+                        k < 10 ? k * 880.0 : (k - 10) * 880.0, 0, 0));
+  }
+  const auto materialised = DeriveIntervals(store);
+  std::size_t streamed = 0;
+  ForEachInterval(store, {}, [&](const SampleInterval& i) {
+    ASSERT_LT(streamed, materialised.size());
+    EXPECT_EQ(i.end_index, materialised[streamed].end_index);
+    EXPECT_DOUBLE_EQ(i.cpu_idle_pct, materialised[streamed].cpu_idle_pct);
+    ++streamed;
+  });
+  EXPECT_EQ(streamed, materialised.size());
+}
+
+TEST(IntervalTest, ZeroOrNegativeDtSkipped) {
+  TraceStore store(1);
+  auto a = Sample(0, 1000, 0, 990.0, 0, 0);
+  auto b = Sample(0, 1000, 0, 990.0, 0, 0);
+  b.uptime_s = a.uptime_s;  // duplicate sample
+  store.Append(a);
+  store.Append(b);
+  EXPECT_TRUE(DeriveIntervals(store).empty());
+}
+
+}  // namespace
+}  // namespace labmon::trace

@@ -1,0 +1,117 @@
+#include "labmon/trace/sessions.hpp"
+
+#include <gtest/gtest.h>
+
+namespace labmon::trace {
+namespace {
+
+/// Appends a sample of machine `m` at time `t` for boot epoch `boot`.
+void AddSample(TraceStore& store, std::uint32_t m, std::int64_t t,
+               std::int64_t boot, const char* user = nullptr,
+               std::int64_t logon = 0) {
+  SampleRecord r;
+  r.machine = m;
+  r.iteration = static_cast<std::uint32_t>(t / 900);
+  r.t = t;
+  r.boot_time = boot;
+  r.uptime_s = t - boot;
+  r.cpu_idle_s = static_cast<double>(t - boot) * 0.99;
+  if (user) {
+    r.has_session = true;
+    r.user = user;
+    r.session_logon = logon;
+  }
+  store.Append(r);
+}
+
+TEST(SessionReconstructionTest, SingleSession) {
+  TraceStore store(1);
+  AddSample(store, 0, 1000, 0);
+  AddSample(store, 0, 1900, 0);
+  AddSample(store, 0, 2800, 0);
+  const auto sessions = ReconstructSessions(store);
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].machine, 0u);
+  EXPECT_EQ(sessions[0].boot_time, 0);
+  EXPECT_EQ(sessions[0].first_sample_t, 1000);
+  EXPECT_EQ(sessions[0].last_sample_t, 2800);
+  EXPECT_EQ(sessions[0].last_uptime_s, 2800);
+  EXPECT_EQ(sessions[0].sample_count, 3u);
+}
+
+TEST(SessionReconstructionTest, RebootSplitsSessions) {
+  TraceStore store(1);
+  AddSample(store, 0, 1000, 0);
+  AddSample(store, 0, 1900, 0);
+  AddSample(store, 0, 2800, 2000);  // rebooted at t=2000
+  AddSample(store, 0, 3700, 2000);
+  const auto sessions = ReconstructSessions(store);
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].last_uptime_s, 1900);
+  EXPECT_EQ(sessions[1].boot_time, 2000);
+  EXPECT_EQ(sessions[1].last_uptime_s, 1700);
+}
+
+TEST(SessionReconstructionTest, GapWithSameBootIsOneSession) {
+  // Machine unreachable for a few iterations but never rebooted.
+  TraceStore store(1);
+  AddSample(store, 0, 1000, 0);
+  AddSample(store, 0, 9100, 0);  // long gap, same boot epoch
+  const auto sessions = ReconstructSessions(store);
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].sample_count, 2u);
+}
+
+TEST(SessionReconstructionTest, MultipleMachinesIndependent) {
+  TraceStore store(3);
+  AddSample(store, 0, 1000, 0);
+  AddSample(store, 2, 1000, 500);
+  AddSample(store, 0, 1900, 1500);  // machine 0 rebooted
+  const auto sessions = ReconstructSessions(store);
+  ASSERT_EQ(sessions.size(), 3u);
+}
+
+TEST(SessionReconstructionTest, EmptyTrace) {
+  TraceStore store(5);
+  EXPECT_TRUE(ReconstructSessions(store).empty());
+  EXPECT_TRUE(ReconstructInteractiveSpans(store).empty());
+}
+
+TEST(InteractiveSpanTest, SingleSpan) {
+  TraceStore store(1);
+  AddSample(store, 0, 1000, 0);
+  AddSample(store, 0, 1900, 0, "alice", 1500);
+  AddSample(store, 0, 2800, 0, "alice", 1500);
+  AddSample(store, 0, 3700, 0);
+  const auto spans = ReconstructInteractiveSpans(store);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].logon_time, 1500);
+  EXPECT_EQ(spans[0].last_sample_t, 2800);
+  EXPECT_EQ(spans[0].sample_count, 2u);
+  EXPECT_EQ(spans[0].ObservedSeconds(), 1300);
+}
+
+TEST(InteractiveSpanTest, BackToBackSessionsSplitByLogonTime) {
+  // bob logs in the same interval alice logged out: different logon
+  // instants mean different spans even with no session-free sample between.
+  TraceStore store(1);
+  AddSample(store, 0, 1000, 0, "alice", 900);
+  AddSample(store, 0, 1900, 0, "bob", 1700);
+  const auto spans = ReconstructInteractiveSpans(store);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].logon_time, 900);
+  EXPECT_EQ(spans[1].logon_time, 1700);
+}
+
+TEST(InteractiveSpanTest, SpanSurvivesAcrossManySamples) {
+  TraceStore store(1);
+  for (int i = 0; i < 50; ++i) {
+    AddSample(store, 0, 1000 + i * 900, 0, "carol", 950);
+  }
+  const auto spans = ReconstructInteractiveSpans(store);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].sample_count, 50u);
+}
+
+}  // namespace
+}  // namespace labmon::trace

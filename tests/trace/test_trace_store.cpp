@@ -1,0 +1,155 @@
+#include "labmon/trace/trace_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace labmon::trace {
+namespace {
+
+SampleRecord MakeTestRecord(std::uint32_t machine, std::uint32_t iteration,
+                            std::int64_t t, bool session = false) {
+  SampleRecord r;
+  r.machine = machine;
+  r.iteration = iteration;
+  r.t = t;
+  r.boot_time = t - 100;
+  r.uptime_s = 100;
+  r.cpu_idle_s = 99.5;
+  r.mem_load_pct = 44;
+  r.swap_load_pct = 21;
+  r.disk_total_b = 74'500'000'000ULL;
+  r.disk_free_b = 60'000'000'000ULL;
+  r.smart_power_on_hours = 5123;
+  r.smart_power_cycles = 811;
+  r.net_sent_b = 123456;
+  r.net_recv_b = 654321;
+  if (session) {
+    r.has_session = true;
+    r.session_logon = t - 50;
+    r.user = "a000042";
+  }
+  return r;
+}
+
+TEST(SampleRecordTest, Classification) {
+  SampleRecord r = MakeTestRecord(0, 0, 100000, true);
+  r.session_logon = r.t - 3600;  // 1 h old
+  EXPECT_EQ(r.Classify(), LoginClass::kWithLogin);
+  EXPECT_TRUE(r.CountsAsOccupied());
+  r.session_logon = r.t - 11 * 3600;  // 11 h old -> forgotten
+  EXPECT_EQ(r.Classify(), LoginClass::kForgotten);
+  EXPECT_FALSE(r.CountsAsOccupied());
+  r.has_session = false;
+  EXPECT_EQ(r.Classify(), LoginClass::kNoLogin);
+}
+
+TEST(SampleRecordTest, ThresholdBoundaryIsInclusive) {
+  SampleRecord r = MakeTestRecord(0, 0, 200000, true);
+  r.session_logon = r.t - kForgottenThresholdSeconds;
+  EXPECT_EQ(r.Classify(), LoginClass::kForgotten);  // "equal or above" (§4.2)
+  r.session_logon = r.t - kForgottenThresholdSeconds + 1;
+  EXPECT_EQ(r.Classify(), LoginClass::kWithLogin);
+}
+
+TEST(SampleRecordTest, CustomThreshold) {
+  SampleRecord r = MakeTestRecord(0, 0, 100000, true);
+  r.session_logon = r.t - 7 * 3600;
+  EXPECT_EQ(r.Classify(6 * 3600), LoginClass::kForgotten);
+  EXPECT_EQ(r.Classify(8 * 3600), LoginClass::kWithLogin);
+  EXPECT_EQ(r.Classify(kNoForgottenThreshold), LoginClass::kWithLogin);
+}
+
+TEST(SampleRecordTest, DiskUsedBytes) {
+  const SampleRecord r = MakeTestRecord(0, 0, 1000);
+  EXPECT_EQ(r.DiskUsedBytes(), 14'500'000'000ULL);
+}
+
+TEST(TraceStoreTest, AppendAndIndex) {
+  TraceStore store(3);
+  store.Append(MakeTestRecord(0, 0, 900));
+  store.Append(MakeTestRecord(2, 0, 910));
+  store.Append(MakeTestRecord(0, 1, 1800));
+  EXPECT_EQ(store.size(), 3u);
+  const auto m0 = store.MachineSamples(0);
+  ASSERT_EQ(m0.size(), 2u);
+  EXPECT_EQ(store.samples()[m0[0]].t, 900);
+  EXPECT_EQ(store.samples()[m0[1]].t, 1800);
+  EXPECT_TRUE(store.MachineSamples(1).empty());
+  EXPECT_EQ(store.MachineSamples(2).size(), 1u);
+}
+
+TEST(TraceStoreTest, ResponsesPerMachine) {
+  TraceStore store(3);
+  store.Append(MakeTestRecord(1, 0, 900));
+  store.Append(MakeTestRecord(1, 1, 1800));
+  const auto responses = store.ResponsesPerMachine();
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(responses[0], 0u);
+  EXPECT_EQ(responses[1], 2u);
+}
+
+TEST(TraceStoreTest, TotalAttemptsFromIterations) {
+  TraceStore store(2);
+  store.AppendIteration(IterationInfo{0, 0, 900, 169, 80});
+  store.AppendIteration(IterationInfo{1, 900, 1800, 169, 90});
+  EXPECT_EQ(store.TotalAttempts(), 338u);
+  EXPECT_EQ(store.iterations().size(), 2u);
+}
+
+TEST(TraceStoreTest, CsvRoundTripPreservesEverything) {
+  TraceStore store(4);
+  store.Append(MakeTestRecord(0, 0, 900));
+  store.Append(MakeTestRecord(3, 0, 905, /*session=*/true));
+  store.Append(MakeTestRecord(3, 1, 1805, /*session=*/true));
+  store.AppendIteration(IterationInfo{0, 0, 910, 4, 2});
+  store.AppendIteration(IterationInfo{1, 900, 1810, 4, 1});
+
+  const std::string samples_csv = store.SamplesToCsv();
+  const std::string iterations_csv = store.IterationsToCsv();
+  const auto restored =
+      TraceStore::FromCsv(samples_csv, iterations_csv, 4);
+  ASSERT_TRUE(restored.ok()) << restored.error();
+  const TraceStore& r = restored.value();
+  ASSERT_EQ(r.size(), 3u);
+  ASSERT_EQ(r.iterations().size(), 2u);
+  EXPECT_EQ(r.TotalAttempts(), 8u);
+
+  const SampleRecord& original = store.samples()[1];
+  const SampleRecord& copy = r.samples()[1];
+  EXPECT_EQ(copy.machine, original.machine);
+  EXPECT_EQ(copy.iteration, original.iteration);
+  EXPECT_EQ(copy.t, original.t);
+  EXPECT_EQ(copy.boot_time, original.boot_time);
+  EXPECT_EQ(copy.uptime_s, original.uptime_s);
+  EXPECT_NEAR(copy.cpu_idle_s, original.cpu_idle_s, 0.01);
+  EXPECT_EQ(copy.mem_load_pct, original.mem_load_pct);
+  EXPECT_EQ(copy.swap_load_pct, original.swap_load_pct);
+  EXPECT_EQ(copy.disk_total_b, original.disk_total_b);
+  EXPECT_EQ(copy.disk_free_b, original.disk_free_b);
+  EXPECT_EQ(copy.smart_power_on_hours, original.smart_power_on_hours);
+  EXPECT_EQ(copy.smart_power_cycles, original.smart_power_cycles);
+  EXPECT_EQ(copy.net_sent_b, original.net_sent_b);
+  EXPECT_EQ(copy.net_recv_b, original.net_recv_b);
+  EXPECT_EQ(copy.has_session, original.has_session);
+  EXPECT_EQ(copy.user, original.user);
+  EXPECT_EQ(copy.session_logon, original.session_logon);
+  // And the no-session record stayed session-free.
+  EXPECT_FALSE(r.samples()[0].has_session);
+}
+
+TEST(TraceStoreTest, FromCsvRejectsGarbage) {
+  EXPECT_FALSE(TraceStore::FromCsv("", "", 1).ok());
+  EXPECT_FALSE(TraceStore::FromCsv("h\nonly-one-field\n",
+                                   "iteration,s,e,a,su\n", 1)
+                   .ok());
+}
+
+TEST(TraceStoreTest, IndexRebuiltAfterAppend) {
+  TraceStore store(2);
+  store.Append(MakeTestRecord(0, 0, 900));
+  EXPECT_EQ(store.MachineSamples(0).size(), 1u);
+  store.Append(MakeTestRecord(0, 1, 1800));
+  EXPECT_EQ(store.MachineSamples(0).size(), 2u);  // lazily refreshed
+}
+
+}  // namespace
+}  // namespace labmon::trace

@@ -1,0 +1,57 @@
+#include "labmon/util/expected.hpp"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace labmon::util {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  auto r = Result<int>::Err("boom");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), "boom");
+}
+
+TEST(ResultTest, ValueOrFallback) {
+  EXPECT_EQ(Result<int>(7).value_or(0), 7);
+  EXPECT_EQ(Result<int>::Err("x").value_or(99), 99);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, MutableValueReference) {
+  Result<std::string> r(std::string("a"));
+  r.value() += "b";
+  EXPECT_EQ(r.value(), "ab");
+}
+
+TEST(ResultTest, ImplicitConstructionFromValueAndError) {
+  const auto make = [](bool ok) -> Result<int> {
+    if (ok) return 1;
+    return Error{"nope"};
+  };
+  EXPECT_TRUE(make(true).ok());
+  EXPECT_FALSE(make(false).ok());
+}
+
+TEST(ResultTest, NonCopyableValueType) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r.value(), 5);
+}
+
+}  // namespace
+}  // namespace labmon::util

@@ -1,0 +1,52 @@
+#include "labmon/util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace labmon::util::log {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLevel()) {}
+  ~LogLevelGuard() { SetLevel(saved_); }
+
+ private:
+  Level saved_;
+};
+
+TEST(LogTest, LevelRoundTrip) {
+  LogLevelGuard guard;
+  SetLevel(Level::kDebug);
+  EXPECT_EQ(GetLevel(), Level::kDebug);
+  SetLevel(Level::kError);
+  EXPECT_EQ(GetLevel(), Level::kError);
+}
+
+TEST(LogTest, EmitBelowThresholdIsCheapNoop) {
+  LogLevelGuard guard;
+  SetLevel(Level::kOff);
+  // Nothing observable to assert beyond "does not crash / does not hang";
+  // emit across all levels.
+  Debug("d");
+  Info("i");
+  Warn("w");
+  ErrorMsg("e");
+}
+
+TEST(LogTest, EmitAtThresholdDoesNotCrash) {
+  LogLevelGuard guard;
+  SetLevel(Level::kDebug);
+  Emit(Level::kDebug, "visible debug line from tests");
+  Emit(Level::kError, std::string(1000, 'x'));  // long message
+  Emit(Level::kInfo, "");                       // empty message
+}
+
+TEST(LogTest, DefaultLevelQuietensInfo) {
+  // The library default is kWarn so tests and probes stay quiet.
+  LogLevelGuard guard;
+  SetLevel(Level::kWarn);
+  EXPECT_LT(static_cast<int>(Level::kInfo), static_cast<int>(GetLevel()));
+}
+
+}  // namespace
+}  // namespace labmon::util::log

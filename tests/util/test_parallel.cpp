@@ -1,0 +1,88 @@
+#include "labmon/util/parallel.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace labmon::util {
+namespace {
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(kN, [&](std::size_t i) { ++hits[i]; }, 4);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, ZeroCountIsNoop) {
+  bool called = false;
+  ParallelFor(0, [&](std::size_t) { called = true; }, 4);
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SingleWorkerRunsInline) {
+  std::vector<std::size_t> order;
+  ParallelFor(5, [&](std::size_t i) { order.push_back(i); }, 1);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, PropagatesException) {
+  EXPECT_THROW(
+      ParallelFor(
+          100,
+          [](std::size_t i) {
+            if (i == 50) throw std::runtime_error("boom");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelForChunkedTest, ChunksAreDisjointAndCover) {
+  constexpr std::size_t kN = 1001;  // deliberately not divisible
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelForChunked(
+      kN,
+      [&](std::size_t begin, std::size_t end) {
+        EXPECT_LE(begin, end);
+        for (std::size_t i = begin; i < end; ++i) ++hits[i];
+      },
+      3);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ParallelForChunkedTest, SumReductionMatchesSerial) {
+  constexpr std::size_t kN = 100000;
+  std::vector<double> data(kN);
+  std::iota(data.begin(), data.end(), 0.0);
+  std::atomic<long long> total{0};
+  ParallelForChunked(
+      kN,
+      [&](std::size_t begin, std::size_t end) {
+        double local = 0.0;
+        for (std::size_t i = begin; i < end; ++i) local += data[i];
+        total += static_cast<long long>(local);
+      },
+      8);
+  EXPECT_EQ(total.load(),
+            static_cast<long long>(kN) * (kN - 1) / 2);
+}
+
+TEST(ParallelForTest, DefaultWorkerCountPositive) {
+  EXPECT_GE(DefaultWorkerCount(), 1u);
+}
+
+TEST(ParallelForTest, WorkersExceedingCountStillCorrect) {
+  std::vector<std::atomic<int>> hits(3);
+  ParallelFor(3, [&](std::size_t i) { ++hits[i]; }, 64);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace labmon::util

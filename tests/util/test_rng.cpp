@@ -1,0 +1,235 @@
+#include "labmon/util/rng.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace labmon::util {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, SplitMix64KnownVector) {
+  // Reference values for seed 0 (Vigna's splitmix64.c).
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.Next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.Next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.Next(), 0x06c45d188009454fULL);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntRespectsBoundsInclusive) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.UniformInt(-3, 4);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 4);
+    saw_lo |= v == -3;
+    saw_hi |= v == 4;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.UniformInt(42, 42), 42);
+  }
+}
+
+TEST(RngTest, UniformIntIsUnbiased) {
+  Rng rng(19);
+  std::array<int, 6> counts{};
+  constexpr int kN = 60000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[static_cast<std::size_t>(rng.UniformInt(0, 5))];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kN / 6, 450);  // ~4.5 sigma
+  }
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(29);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(31);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.Normal(10.0, 3.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanAndPositivity) {
+  Rng rng(37);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.Exponential(5.0);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 5.0, 0.1);
+}
+
+TEST(RngTest, LogNormalMeanStdParameterisation) {
+  Rng rng(41);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  constexpr int kN = 400000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.LogNormalMeanStd(80.0, 60.0);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / kN;
+  const double stddev = std::sqrt(sum2 / kN - mean * mean);
+  EXPECT_NEAR(mean, 80.0, 1.5);
+  EXPECT_NEAR(stddev, 60.0, 3.0);
+}
+
+class PoissonTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonTest, MeanMatches) {
+  const double lambda = GetParam();
+  Rng rng(43 + static_cast<std::uint64_t>(lambda * 100));
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const int k = rng.Poisson(lambda);
+    EXPECT_GE(k, 0);
+    sum += k;
+  }
+  EXPECT_NEAR(sum / kN, lambda, std::max(0.05, lambda * 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, PoissonTest,
+                         ::testing::Values(0.1, 0.9, 3.0, 12.0, 80.0));
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(47);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Poisson(0.0), 0);
+    EXPECT_EQ(rng.Poisson(-1.0), 0);
+  }
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(53);
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) {
+    const auto idx = rng.WeightedIndex(weights);
+    ASSERT_LT(idx, weights.size());
+    ++counts[idx];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kN, 0.75, 0.01);
+}
+
+TEST(RngTest, WeightedIndexAllZeroReturnsSize) {
+  Rng rng(59);
+  const std::vector<double> weights{0.0, 0.0};
+  EXPECT_EQ(rng.WeightedIndex(weights), weights.size());
+  EXPECT_EQ(rng.WeightedIndex({}), 0u);
+}
+
+TEST(RngTest, TriangularWithinBoundsAndMode) {
+  Rng rng(61);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.Triangular(0.0, 2.0, 10.0);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 10.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, (0.0 + 2.0 + 10.0) / 3.0, 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(67);
+  Rng child = parent.Fork();
+  // The child must not replay the parent's sequence.
+  Rng parent_copy(67);
+  parent_copy.NextU64();
+  parent_copy.NextU64();  // Fork consumed two draws
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.NextU64() == parent_copy.NextU64()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~0ULL);
+}
+
+}  // namespace
+}  // namespace labmon::util

@@ -1,0 +1,105 @@
+#include "labmon/util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace labmon::util {
+namespace {
+
+TEST(SplitTest, BasicFields) {
+  const auto fields = Split("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  const auto fields = Split("a,,c,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(SplitTest, NoSeparator) {
+  const auto fields = Split("solo", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "solo");
+}
+
+TEST(SplitTest, EmptyInput) {
+  const auto fields = Split("", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "");
+}
+
+TEST(TrimTest, TrimsBothEnds) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(ToLowerTest, Basic) {
+  EXPECT_EQ(ToLower("Hello World"), "hello world");
+  EXPECT_EQ(ToLower("123-ABC"), "123-abc");
+}
+
+TEST(ParseInt64Test, ValidInputs) {
+  EXPECT_EQ(ParseInt64("0"), 0);
+  EXPECT_EQ(ParseInt64("-42"), -42);
+  EXPECT_EQ(ParseInt64(" 583653 "), 583653);
+  EXPECT_EQ(ParseInt64("9223372036854775807"), 9223372036854775807LL);
+}
+
+TEST(ParseInt64Test, InvalidInputs) {
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_FALSE(ParseInt64("abc").has_value());
+  EXPECT_FALSE(ParseInt64("12x").has_value());
+  EXPECT_FALSE(ParseInt64("1.5").has_value());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").has_value());
+}
+
+TEST(ParseDoubleTest, ValidInputs) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.14").value(), 3.14);
+  EXPECT_DOUBLE_EQ(ParseDouble("-0.5").value(), -0.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("1e3").value(), 1000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble(" 97.9 ").value(), 97.9);
+}
+
+TEST(ParseDoubleTest, InvalidInputs) {
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("x").has_value());
+  EXPECT_FALSE(ParseDouble("1.5z").has_value());
+}
+
+TEST(FormatFixedTest, Precision) {
+  EXPECT_EQ(FormatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatFixed(97.9, 1), "97.9");
+  EXPECT_EQ(FormatFixed(-2.5, 0), "-2");  // round-half-even at 0 digits
+  EXPECT_EQ(FormatFixed(0.0, 3), "0.000");
+}
+
+TEST(FormatWithThousandsTest, GroupsDigits) {
+  EXPECT_EQ(FormatWithThousands(0), "0");
+  EXPECT_EQ(FormatWithThousands(999), "999");
+  EXPECT_EQ(FormatWithThousands(1000), "1,000");
+  EXPECT_EQ(FormatWithThousands(583653), "583,653");
+  EXPECT_EQ(FormatWithThousands(1163227), "1,163,227");
+  EXPECT_EQ(FormatWithThousands(-12345), "-12,345");
+}
+
+TEST(FormatBytesTest, PicksUnit) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1024), "1.0 KB");
+  EXPECT_EQ(FormatBytes(13.6e9), FormatBytes(13.6e9));  // stable
+  EXPECT_EQ(FormatBytes(1024.0 * 1024 * 1024), "1.0 GB");
+}
+
+TEST(CatTest, ConcatenatesMixedTypes) {
+  EXPECT_EQ(Cat("x=", 42, ", y=", 1.5), "x=42, y=1.5");
+  EXPECT_EQ(Cat(), "");
+}
+
+}  // namespace
+}  // namespace labmon::util

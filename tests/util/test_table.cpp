@@ -1,0 +1,95 @@
+#include "labmon/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace labmon::util {
+namespace {
+
+TEST(AsciiTableTest, RendersHeaderAndRows) {
+  AsciiTable t;
+  t.SetHeader({"Name", "Value"});
+  t.AddRow({"cpu", "97.9"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("| Name "), std::string::npos);
+  EXPECT_NE(out.find("| cpu "), std::string::npos);
+  EXPECT_NE(out.find("97.9"), std::string::npos);
+  // 3 rules + header + 1 row = 5 lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+}
+
+TEST(AsciiTableTest, TitleOnFirstLine) {
+  AsciiTable t("My Title");
+  t.SetHeader({"A"});
+  const std::string out = t.Render();
+  EXPECT_EQ(out.rfind("My Title\n", 0), 0u);
+}
+
+TEST(AsciiTableTest, ColumnsAlignToWidestCell) {
+  AsciiTable t;
+  t.SetHeader({"H", "X"});
+  t.AddRow({"longvalue", "1"});
+  const std::string out = t.Render();
+  // Every line between rules must have the same length.
+  std::size_t expected = 0;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const auto end = out.find('\n', start);
+    const auto line = out.substr(start, end - start);
+    if (expected == 0) expected = line.size();
+    EXPECT_EQ(line.size(), expected);
+    start = end + 1;
+  }
+}
+
+TEST(AsciiTableTest, DefaultAlignment) {
+  AsciiTable t;
+  t.SetHeader({"Key", "Num"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"bb", "22"});
+  const std::string out = t.Render();
+  // First column left-aligned -> "| a  |"; second right-aligned -> "|   1 |".
+  EXPECT_NE(out.find("| a   |"), std::string::npos);
+  EXPECT_NE(out.find("|   1 |"), std::string::npos);
+}
+
+TEST(AsciiTableTest, ExplicitAlignment) {
+  AsciiTable t;
+  t.SetHeader({"A", "B"});
+  t.SetAlignments({Align::kRight, Align::kLeft});
+  t.AddRow({"1", "x"});
+  t.AddRow({"22", "yy"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("|  1 |"), std::string::npos);
+  EXPECT_NE(out.find("| x  |"), std::string::npos);
+}
+
+TEST(AsciiTableTest, ShortRowsPadded) {
+  AsciiTable t;
+  t.SetHeader({"A", "B", "C"});
+  t.AddRow({"only"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("| only |"), std::string::npos);
+}
+
+TEST(AsciiTableTest, SeparatorBetweenSections) {
+  AsciiTable t;
+  t.SetHeader({"A"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  const std::string out = t.Render();
+  // 4 rules (top, under-header, mid separator, bottom) + header + 2 rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 7);
+}
+
+TEST(AsciiTableTest, RowCount) {
+  AsciiTable t;
+  t.SetHeader({"A"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace labmon::util

@@ -1,0 +1,104 @@
+#include "labmon/util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace labmon::util {
+namespace {
+
+TEST(TimeTest, EpochIsMondayMidnight) {
+  const CivilTime c = ToCivil(0);
+  EXPECT_EQ(c.day, 0);
+  EXPECT_EQ(c.week, 0);
+  EXPECT_EQ(c.dow, DayOfWeek::kMonday);
+  EXPECT_EQ(c.hour, 0);
+  EXPECT_EQ(c.minute, 0);
+  EXPECT_EQ(c.second, 0);
+}
+
+TEST(TimeTest, ToCivilBreaksDownComponents) {
+  // Day 9 = second Wednesday; 14:30:45.
+  const SimTime t = MakeTime(9, 14, 30, 45);
+  const CivilTime c = ToCivil(t);
+  EXPECT_EQ(c.day, 9);
+  EXPECT_EQ(c.week, 1);
+  EXPECT_EQ(c.dow, DayOfWeek::kWednesday);
+  EXPECT_EQ(c.hour, 14);
+  EXPECT_EQ(c.minute, 30);
+  EXPECT_EQ(c.second, 45);
+  EXPECT_EQ(c.minute_of_day, 14 * 60 + 30);
+  EXPECT_EQ(c.minute_of_week, (2 * 24 + 14) * 60 + 30);
+}
+
+TEST(TimeTest, MakeTimeRoundTripsThroughToCivil) {
+  for (int day : {0, 1, 6, 7, 76}) {
+    for (int hour : {0, 4, 8, 12, 23}) {
+      const SimTime t = MakeTime(day, hour, 15, 30);
+      const CivilTime c = ToCivil(t);
+      EXPECT_EQ(c.day, day);
+      EXPECT_EQ(c.hour, hour);
+      EXPECT_EQ(c.minute, 15);
+      EXPECT_EQ(c.second, 30);
+    }
+  }
+}
+
+TEST(TimeTest, MakeWeekTimeSelectsDayOfWeek) {
+  const SimTime t = MakeWeekTime(2, DayOfWeek::kSaturday, 21);
+  const CivilTime c = ToCivil(t);
+  EXPECT_EQ(c.week, 2);
+  EXPECT_EQ(c.dow, DayOfWeek::kSaturday);
+  EXPECT_EQ(c.hour, 21);
+}
+
+TEST(TimeTest, DayOfWeekCycles) {
+  EXPECT_EQ(DayOfWeekOf(MakeTime(0, 12)), DayOfWeek::kMonday);
+  EXPECT_EQ(DayOfWeekOf(MakeTime(5, 12)), DayOfWeek::kSaturday);
+  EXPECT_EQ(DayOfWeekOf(MakeTime(6, 12)), DayOfWeek::kSunday);
+  EXPECT_EQ(DayOfWeekOf(MakeTime(7, 12)), DayOfWeek::kMonday);
+  EXPECT_EQ(DayOfWeekOf(MakeTime(13, 23, 59, 59)), DayOfWeek::kSunday);
+}
+
+TEST(TimeTest, IsWeekend) {
+  EXPECT_FALSE(IsWeekend(MakeTime(0, 10)));
+  EXPECT_FALSE(IsWeekend(MakeTime(4, 23, 59, 59)));
+  EXPECT_TRUE(IsWeekend(MakeTime(5, 0)));
+  EXPECT_TRUE(IsWeekend(MakeTime(6, 23, 59, 59)));
+  EXPECT_FALSE(IsWeekend(MakeTime(7, 0)));
+}
+
+TEST(TimeTest, HourOfDayIsFractional) {
+  EXPECT_DOUBLE_EQ(HourOfDay(MakeTime(3, 6)), 6.0);
+  EXPECT_DOUBLE_EQ(HourOfDay(MakeTime(3, 6, 30)), 6.5);
+  EXPECT_NEAR(HourOfDay(MakeTime(3, 23, 59, 59)), 24.0, 1e-3);
+}
+
+TEST(TimeTest, FormatDurationPicksUnits) {
+  EXPECT_EQ(FormatDuration(42), "42s");
+  EXPECT_EQ(FormatDuration(5 * 60 + 3), "5m03s");
+  EXPECT_EQ(FormatDuration(15 * 3600 + 55 * 60), "15h55m");
+  EXPECT_EQ(FormatDuration(3 * kSecondsPerDay + 2 * 3600), "3d02h");
+  EXPECT_EQ(FormatDuration(0), "0s");
+}
+
+TEST(TimeTest, FormatDurationNegative) {
+  EXPECT_EQ(FormatDuration(-90), "-1m30s");
+}
+
+TEST(TimeTest, FormatTimestamp) {
+  EXPECT_EQ(FormatTimestamp(MakeTime(12, 14, 30, 0)), "D012 Sat 14:30:00");
+  EXPECT_EQ(FormatTimestamp(0), "D000 Mon 00:00:00");
+}
+
+TEST(TimeTest, DayNames) {
+  EXPECT_STREQ(DayName(DayOfWeek::kMonday), "Mon");
+  EXPECT_STREQ(DayName(DayOfWeek::kSunday), "Sun");
+}
+
+TEST(TimeTest, WeekConstantsConsistent) {
+  EXPECT_EQ(kSecondsPerWeek, 7 * kSecondsPerDay);
+  EXPECT_EQ(kSecondsPerDay, 24 * kSecondsPerHour);
+  EXPECT_EQ(kSecondsPerHour, 60 * kSecondsPerMinute);
+}
+
+}  // namespace
+}  // namespace labmon::util

@@ -1,0 +1,144 @@
+#include "labmon/winsim/fleet.hpp"
+#include "labmon/winsim/paper_specs.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace labmon::winsim {
+namespace {
+
+TEST(PaperSpecsTest, ElevenLabsAnd169Machines) {
+  const auto labs = PaperLabSpecs();
+  ASSERT_EQ(labs.size(), 11u);
+  std::size_t total = 0;
+  for (const auto& lab : labs) total += lab.machine_count;
+  EXPECT_EQ(total, 169u);
+  // L09 is the small lab.
+  EXPECT_EQ(labs[8].name, "L09");
+  EXPECT_EQ(labs[8].machine_count, 9u);
+}
+
+TEST(PaperSpecsTest, Table1Values) {
+  const auto labs = PaperLabSpecs();
+  EXPECT_EQ(labs[0].cpu_model, "Pentium 4");
+  EXPECT_DOUBLE_EQ(labs[0].cpu_ghz, 2.40);
+  EXPECT_EQ(labs[0].ram_mb, 512);
+  EXPECT_DOUBLE_EQ(labs[0].disk_gb, 74.5);
+  EXPECT_DOUBLE_EQ(labs[0].int_index, 30.5);
+  EXPECT_DOUBLE_EQ(labs[0].fp_index, 33.1);
+  EXPECT_EQ(labs[10].ram_mb, 128);
+  EXPECT_DOUBLE_EQ(labs[10].fp_index, 12.2);
+}
+
+TEST(FleetTest, BuildsAllMachinesWithLabStructure) {
+  util::Rng rng(1);
+  Fleet fleet = MakePaperFleet(rng);
+  EXPECT_EQ(fleet.size(), 169u);
+  EXPECT_EQ(fleet.lab_count(), 11u);
+  std::size_t covered = 0;
+  for (const auto& lab : fleet.labs()) {
+    for (std::size_t i = lab.first; i < lab.first + lab.count; ++i) {
+      EXPECT_EQ(fleet.machine(i).spec().lab, lab.name);
+      EXPECT_EQ(fleet.LabOf(i), covered == 0 ? fleet.LabOf(i) : fleet.LabOf(i));
+    }
+    covered += lab.count;
+  }
+  EXPECT_EQ(covered, 169u);
+}
+
+TEST(FleetTest, LabOfIsConsistent) {
+  util::Rng rng(2);
+  Fleet fleet = MakePaperFleet(rng);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const auto lab = fleet.LabOf(i);
+    const auto& info = fleet.labs()[lab];
+    EXPECT_GE(i, info.first);
+    EXPECT_LT(i, info.first + info.count);
+  }
+}
+
+TEST(FleetTest, HostnamesUniqueAndWellFormed) {
+  util::Rng rng(3);
+  Fleet fleet = MakePaperFleet(rng);
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const auto& spec = fleet.machine(i).spec();
+    names.insert(spec.name);
+    EXPECT_EQ(spec.name.substr(0, 3), spec.lab);
+    EXPECT_NE(spec.name.find("-PC"), std::string::npos);
+  }
+  EXPECT_EQ(names.size(), 169u);
+}
+
+TEST(FleetTest, MacsAndSerialsUnique) {
+  util::Rng rng(4);
+  Fleet fleet = MakePaperFleet(rng);
+  std::set<std::string> macs;
+  std::set<std::string> serials;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    macs.insert(fleet.machine(i).spec().mac);
+    serials.insert(fleet.machine(i).spec().disk_serial);
+  }
+  EXPECT_EQ(macs.size(), 169u);
+  EXPECT_EQ(serials.size(), 169u);
+}
+
+TEST(FleetTest, HardwareTotalsMatchPaper) {
+  util::Rng rng(5);
+  Fleet fleet = MakePaperFleet(rng);
+  const auto totals = fleet.HardwareTotals();
+  // Paper §4.1: 56.62 GB of memory, 6.66 TB of disk.
+  EXPECT_NEAR(totals.ram_gb, 56.62, 1.0);
+  EXPECT_NEAR(totals.disk_tb, 6.66, 0.1);
+  EXPECT_GT(totals.sum_int_index, 0.0);
+  EXPECT_GT(totals.sum_fp_index, 0.0);
+}
+
+TEST(FleetTest, SwapIsWindowsDefaultPageFile) {
+  util::Rng rng(6);
+  Fleet fleet = MakePaperFleet(rng);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const auto& spec = fleet.machine(i).spec();
+    EXPECT_EQ(spec.swap_mb, spec.ram_mb + spec.ram_mb / 2);
+  }
+}
+
+TEST(FleetTest, PriorLifeSeedingWithinModel) {
+  util::Rng rng(7);
+  PriorLifeModel prior;
+  Fleet fleet = MakePaperFleet(rng, prior);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const auto& disk = fleet.machine(i).DiskSmartData();
+    EXPECT_GT(disk.PowerCycles(), 0u);
+    EXPECT_GT(disk.PowerOnHoursExact(), 0.0);
+    // Age bounds: at most max_age_years of 24/7 uptime.
+    EXPECT_LT(disk.PowerOnHoursExact(),
+              prior.max_age_years * 365.25 * 24.0);
+  }
+}
+
+TEST(FleetTest, DeterministicForSeed) {
+  util::Rng rng_a(42);
+  util::Rng rng_b(42);
+  Fleet a = MakePaperFleet(rng_a);
+  Fleet b = MakePaperFleet(rng_b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.machine(i).spec().mac, b.machine(i).spec().mac);
+    EXPECT_EQ(a.machine(i).DiskSmartData().PowerCycles(),
+              b.machine(i).DiskSmartData().PowerCycles());
+  }
+}
+
+TEST(FleetTest, AdvanceAllMovesEveryMachine) {
+  util::Rng rng(8);
+  Fleet fleet = MakePaperFleet(rng);
+  fleet.machine(0).Boot(0);
+  fleet.AdvanceAllTo(500);
+  EXPECT_EQ(fleet.machine(0).now(), 500);
+  EXPECT_EQ(fleet.machine(100).now(), 500);
+  EXPECT_EQ(fleet.machine(0).UptimeSeconds(), 500);
+}
+
+}  // namespace
+}  // namespace labmon::winsim

@@ -1,0 +1,249 @@
+#include "labmon/winsim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "labmon/util/rng.hpp"
+
+namespace labmon::winsim {
+namespace {
+
+MachineSpec TestSpec() {
+  MachineSpec spec;
+  spec.name = "L01-PC01";
+  spec.lab = "L01";
+  spec.cpu_model = "Pentium 4";
+  spec.cpu_ghz = 2.4;
+  spec.ram_mb = 512;
+  spec.swap_mb = 768;
+  spec.disk_gb = 74.5;
+  spec.int_index = 30.5;
+  spec.fp_index = 33.1;
+  spec.mac = "00:0C:AA:BB:CC:DD";
+  spec.disk_serial = "WD-XYZ";
+  return spec;
+}
+
+Machine TestMachine() {
+  return Machine(0, TestSpec(), smart::DiskSmart("WD-XYZ", 1000.0, 200));
+}
+
+TEST(MachineSpecTest, DerivedQuantities) {
+  const MachineSpec spec = TestSpec();
+  EXPECT_EQ(spec.DiskBytes(), static_cast<std::uint64_t>(74.5e9));
+  EXPECT_DOUBLE_EQ(spec.CombinedIndex(), 0.5 * 30.5 + 0.5 * 33.1);
+}
+
+TEST(MachineTest, StartsPoweredOff) {
+  Machine m = TestMachine();
+  EXPECT_FALSE(m.powered_on());
+  EXPECT_EQ(m.boots(), 0u);
+}
+
+TEST(MachineTest, BootSetsUptimeBaseline) {
+  Machine m = TestMachine();
+  m.Boot(1000);
+  EXPECT_TRUE(m.powered_on());
+  EXPECT_EQ(m.BootTime(), 1000);
+  EXPECT_EQ(m.UptimeSeconds(), 0);
+  m.AdvanceTo(4600);
+  EXPECT_EQ(m.UptimeSeconds(), 3600);
+  EXPECT_EQ(m.boots(), 1u);
+}
+
+TEST(MachineTest, BootIncrementsSmartCycle) {
+  Machine m = TestMachine();
+  EXPECT_EQ(m.DiskSmartData().PowerCycles(), 200u);
+  m.Boot(0);
+  EXPECT_EQ(m.DiskSmartData().PowerCycles(), 201u);
+  m.Shutdown(100);
+  m.Boot(200);
+  EXPECT_EQ(m.DiskSmartData().PowerCycles(), 202u);
+}
+
+TEST(MachineTest, SmartHoursAccrueOnlyWhileOn) {
+  Machine m = TestMachine();
+  const double before = m.DiskSmartData().PowerOnHoursExact();
+  m.AdvanceTo(7200);  // off: no accrual
+  EXPECT_DOUBLE_EQ(m.DiskSmartData().PowerOnHoursExact(), before);
+  m.Boot(7200);
+  m.AdvanceTo(7200 + 3600);
+  EXPECT_NEAR(m.DiskSmartData().PowerOnHoursExact(), before + 1.0, 1e-9);
+  m.Shutdown(7200 + 3600);
+  m.AdvanceTo(7200 + 7200);
+  EXPECT_NEAR(m.DiskSmartData().PowerOnHoursExact(), before + 1.0, 1e-9);
+}
+
+TEST(MachineTest, IdleThreadAccounting) {
+  Machine m = TestMachine();
+  m.Boot(0);
+  m.SetCpuBusyFraction(0.25);
+  m.AdvanceTo(1000);
+  EXPECT_NEAR(m.BusySeconds(), 250.0, 1e-9);
+  EXPECT_NEAR(m.IdleThreadSeconds(), 750.0, 1e-9);
+  m.SetCpuBusyFraction(0.0);
+  m.AdvanceTo(2000);
+  EXPECT_NEAR(m.IdleThreadSeconds(), 1750.0, 1e-9);
+  // Invariant: idle + busy == uptime.
+  EXPECT_NEAR(m.IdleThreadSeconds() + m.BusySeconds(),
+              static_cast<double>(m.UptimeSeconds()), 1e-9);
+}
+
+TEST(MachineTest, BusyFractionClamped) {
+  Machine m = TestMachine();
+  m.Boot(0);
+  m.SetCpuBusyFraction(1.7);
+  m.AdvanceTo(100);
+  EXPECT_NEAR(m.BusySeconds(), 100.0, 1e-9);
+  m.SetCpuBusyFraction(-0.5);
+  m.AdvanceTo(200);
+  EXPECT_NEAR(m.BusySeconds(), 100.0, 1e-9);
+}
+
+TEST(MachineTest, CountersResetAcrossReboot) {
+  Machine m = TestMachine();
+  m.Boot(0);
+  m.SetCpuBusyFraction(0.5);
+  m.SetNetRates(100.0, 200.0);
+  m.AdvanceTo(1000);
+  m.Reboot(1000);
+  EXPECT_EQ(m.UptimeSeconds(), 0);
+  EXPECT_NEAR(m.BusySeconds(), 0.0, 1e-9);
+  EXPECT_EQ(m.Network().sent_bytes, 0u);
+  EXPECT_EQ(m.Network().recv_bytes, 0u);
+  EXPECT_EQ(m.BootTime(), 1000);
+}
+
+TEST(MachineTest, NetworkCountersIntegrateRates) {
+  Machine m = TestMachine();
+  m.Boot(0);
+  m.SetNetRates(250.0, 355.0);
+  m.AdvanceTo(900);
+  EXPECT_EQ(m.Network().sent_bytes, static_cast<std::uint64_t>(250 * 900));
+  EXPECT_EQ(m.Network().recv_bytes, static_cast<std::uint64_t>(355 * 900));
+  m.SetNetRates(0.0, 0.0);
+  m.AdvanceTo(1800);
+  EXPECT_EQ(m.Network().sent_bytes, static_cast<std::uint64_t>(250 * 900));
+}
+
+TEST(MachineTest, MemoryStatusReflectsLoad) {
+  Machine m = TestMachine();
+  m.Boot(0);
+  m.SetMemLoadPercent(44.0);
+  const auto mem = m.Memory();
+  EXPECT_DOUBLE_EQ(mem.load_percent, 44.0);
+  EXPECT_EQ(mem.total_mb, 512);
+  EXPECT_NEAR(mem.avail_mb, 512 * 0.56, 1e-9);
+  m.SetMemLoadPercent(120.0);
+  EXPECT_DOUBLE_EQ(m.Memory().load_percent, 100.0);
+}
+
+TEST(MachineTest, SwapStatus) {
+  Machine m = TestMachine();
+  m.Boot(0);
+  m.SetSwapLoadPercent(25.0);
+  EXPECT_DOUBLE_EQ(m.Swap().load_percent, 25.0);
+  EXPECT_EQ(m.Swap().total_mb, 768);
+}
+
+TEST(MachineTest, DiskUsage) {
+  Machine m = TestMachine();
+  m.Boot(0);
+  m.SetDiskUsedBytes(static_cast<std::uint64_t>(13.6e9));
+  EXPECT_EQ(m.DiskUsedBytes(), static_cast<std::uint64_t>(13.6e9));
+  EXPECT_EQ(m.DiskFreeBytes(),
+            m.spec().DiskBytes() - static_cast<std::uint64_t>(13.6e9));
+  // Clamped to capacity.
+  m.SetDiskUsedBytes(~0ULL);
+  EXPECT_EQ(m.DiskFreeBytes(), 0u);
+}
+
+TEST(MachineTest, SessionLifecycle) {
+  Machine m = TestMachine();
+  m.Boot(0);
+  EXPECT_FALSE(m.Session().has_value());
+  m.Login("a000001", 600);
+  ASSERT_TRUE(m.Session().has_value());
+  EXPECT_EQ(m.Session()->user, "a000001");
+  EXPECT_EQ(m.Session()->logon_time, 600);
+  m.Logout();
+  EXPECT_FALSE(m.Session().has_value());
+}
+
+TEST(MachineTest, ShutdownClearsSession) {
+  Machine m = TestMachine();
+  m.Boot(0);
+  m.Login("u", 10);
+  m.Shutdown(100);
+  EXPECT_FALSE(m.powered_on());
+  m.Boot(200);
+  EXPECT_FALSE(m.Session().has_value());
+}
+
+TEST(MachineTest, TotalOnSecondsTracksGroundTruth) {
+  Machine m = TestMachine();
+  m.Boot(0);
+  m.AdvanceTo(100);
+  m.Shutdown(100);
+  m.AdvanceTo(500);
+  m.Boot(500);
+  m.AdvanceTo(900);
+  m.Shutdown(900);
+  EXPECT_NEAR(m.total_on_seconds(), 500.0, 1e-9);
+}
+
+TEST(MachineTest, RandomisedInvariantSweep) {
+  // Property: at every instant, idle+busy==uptime, counters are
+  // non-negative, and SMART hours never decrease.
+  util::Rng rng(2024);
+  Machine m = TestMachine();
+  util::SimTime t = 0;
+  double last_hours = m.DiskSmartData().PowerOnHoursExact();
+  for (int step = 0; step < 2000; ++step) {
+    t += rng.UniformInt(1, 600);
+    switch (rng.UniformInt(0, 5)) {
+      case 0:
+        if (!m.powered_on()) m.Boot(t);
+        break;
+      case 1:
+        if (m.powered_on()) m.Shutdown(t);
+        break;
+      case 2:
+        if (m.powered_on()) {
+          m.AdvanceTo(t);
+          m.SetCpuBusyFraction(rng.Uniform());
+        }
+        break;
+      case 3:
+        if (m.powered_on()) {
+          m.AdvanceTo(t);
+          m.SetNetRates(rng.Uniform(0, 1e4), rng.Uniform(0, 1e5));
+        }
+        break;
+      case 4:
+        if (m.powered_on() && !m.Session().has_value()) {
+          m.AdvanceTo(t);
+          m.Login("u", t);
+        }
+        break;
+      default:
+        if (m.powered_on()) {
+          m.AdvanceTo(t);
+          m.Logout();
+        }
+        break;
+    }
+    m.AdvanceTo(t);
+    if (m.powered_on()) {
+      ASSERT_NEAR(m.IdleThreadSeconds() + m.BusySeconds(),
+                  static_cast<double>(m.UptimeSeconds()), 1e-6);
+      ASSERT_GE(m.IdleThreadSeconds(), -1e-9);
+      ASSERT_GE(m.BusySeconds(), -1e-9);
+    }
+    const double hours = m.DiskSmartData().PowerOnHoursExact();
+    ASSERT_GE(hours, last_hours);
+    last_hours = hours;
+  }
+}
+
+}  // namespace
+}  // namespace labmon::winsim

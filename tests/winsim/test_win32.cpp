@@ -1,0 +1,125 @@
+#include "labmon/winsim/win32.hpp"
+
+#include <gtest/gtest.h>
+
+#include "labmon/smart/disk_smart.hpp"
+#include "labmon/util/time.hpp"
+
+namespace labmon::winsim::win32 {
+namespace {
+
+Machine TestMachine(int ram_mb = 512) {
+  MachineSpec spec;
+  spec.name = "L01-PC01";
+  spec.cpu_model = "Pentium 4";
+  spec.cpu_ghz = 2.4;
+  spec.ram_mb = ram_mb;
+  spec.swap_mb = ram_mb + ram_mb / 2;
+  spec.disk_gb = 74.5;
+  return Machine(0, spec, smart::DiskSmart("S", 100.0, 10));
+}
+
+TEST(Win32Test, GetTickCountIsMillisecondsSinceBoot) {
+  Machine m = TestMachine();
+  m.Boot(1000);
+  m.AdvanceTo(1000 + 3600);
+  EXPECT_EQ(GetTickCount(m), 3600u * 1000u);
+  EXPECT_EQ(GetTickCount64(m), 3600ULL * 1000ULL);
+}
+
+TEST(Win32Test, GetTickCountWrapsAt49Days) {
+  // The classic DWORD wrap: 2^32 ms ~= 49.71 days of uptime.
+  Machine m = TestMachine();
+  m.Boot(0);
+  const util::SimTime fifty_days = 50 * util::kSecondsPerDay;
+  m.AdvanceTo(fifty_days);
+  const ULONGLONG ms64 = GetTickCount64(m);
+  EXPECT_GT(ms64, 0xFFFFFFFFULL);  // uptime exceeds the DWORD range
+  EXPECT_EQ(GetTickCount(m), static_cast<DWORD>(ms64));
+  EXPECT_LT(GetTickCount(m), ms64);  // it wrapped
+}
+
+TEST(Win32Test, GlobalMemoryStatusFieldsConsistent) {
+  Machine m = TestMachine(512);
+  m.Boot(0);
+  m.SetMemLoadPercent(44.0);
+  m.SetSwapLoadPercent(20.0);
+  MEMORYSTATUS status;
+  GlobalMemoryStatus(m, &status);
+  EXPECT_EQ(status.dwLength, sizeof(MEMORYSTATUS));
+  EXPECT_EQ(status.dwMemoryLoad, 44u);
+  EXPECT_EQ(status.dwTotalPhys, 512ULL * 1024 * 1024);
+  EXPECT_NEAR(static_cast<double>(status.dwAvailPhys),
+              512.0 * 1024 * 1024 * 0.56, 1024.0);
+  EXPECT_EQ(status.dwTotalPageFile, 768ULL * 1024 * 1024);
+  EXPECT_NEAR(static_cast<double>(status.dwAvailPageFile),
+              768.0 * 1024 * 1024 * 0.80, 1024.0);
+  EXPECT_EQ(status.dwTotalVirtual, 2ULL * 1024 * 1024 * 1024);
+}
+
+TEST(Win32Test, IdleProcessTimeIn100nsUnits) {
+  Machine m = TestMachine();
+  m.Boot(0);
+  m.SetCpuBusyFraction(0.25);
+  m.AdvanceTo(1000);
+  SYSTEM_PERFORMANCE_INFORMATION perf;
+  EXPECT_EQ(NtQuerySystemInformation(m, &perf), 0);
+  EXPECT_EQ(perf.IdleProcessTime, static_cast<LONGLONG>(750.0 * 1e7));
+}
+
+TEST(Win32Test, TimeOfDayInformation) {
+  Machine m = TestMachine();
+  m.Boot(5000);
+  m.AdvanceTo(9000);
+  SYSTEM_TIMEOFDAY_INFORMATION tod;
+  EXPECT_EQ(NtQuerySystemInformation(m, &tod), 0);
+  EXPECT_EQ(tod.BootTime, 5000);
+  EXPECT_EQ(tod.CurrentTime, 9000);
+}
+
+TEST(Win32Test, GetDiskFreeSpaceEx) {
+  Machine m = TestMachine();
+  m.Boot(0);
+  m.SetDiskUsedBytes(static_cast<std::uint64_t>(14.5e9));
+  ULARGE_INTEGER avail{};
+  ULARGE_INTEGER total{};
+  ULARGE_INTEGER total_free{};
+  EXPECT_EQ(GetDiskFreeSpaceExA(m, &avail, &total, &total_free), TRUE_);
+  EXPECT_EQ(total.QuadPart, m.spec().DiskBytes());
+  EXPECT_EQ(total_free.QuadPart,
+            m.spec().DiskBytes() - static_cast<std::uint64_t>(14.5e9));
+  EXPECT_EQ(avail.QuadPart, total_free.QuadPart);
+  // Low/high-part view agrees with QuadPart.
+  EXPECT_EQ(total.u.LowPart, static_cast<DWORD>(total.QuadPart));
+  EXPECT_EQ(total.u.HighPart, static_cast<DWORD>(total.QuadPart >> 32));
+  // Null out-params tolerated.
+  EXPECT_EQ(GetDiskFreeSpaceExA(m, nullptr, nullptr, nullptr), TRUE_);
+}
+
+TEST(Win32Test, SessionQuery) {
+  Machine m = TestMachine();
+  m.Boot(0);
+  std::string user;
+  LONGLONG logon = 0;
+  EXPECT_EQ(WTSQuerySessionInformation(m, &user, &logon), FALSE_);
+  m.Login("a000123", 600);
+  EXPECT_EQ(WTSQuerySessionInformation(m, &user, &logon), TRUE_);
+  EXPECT_EQ(user, "a000123");
+  EXPECT_EQ(logon, 600);
+}
+
+TEST(Win32Test, GetIfEntryCountersAndWrap) {
+  Machine m = TestMachine();
+  m.Boot(0);
+  m.SetNetRates(0.0, 1e6);  // 1 MB/s received
+  m.AdvanceTo(5000);        // 5 GB: beyond the 32-bit counter
+  MIB_IFROW row;
+  EXPECT_EQ(GetIfEntry(m, &row), 0u);
+  EXPECT_EQ(row.InOctets64, 5'000'000'000ULL);
+  EXPECT_EQ(row.dwInOctets, static_cast<DWORD>(5'000'000'000ULL));
+  EXPECT_LT(row.dwInOctets, row.InOctets64);  // the 32-bit view wrapped
+  EXPECT_EQ(row.OutOctets64, 0u);
+}
+
+}  // namespace
+}  // namespace labmon::winsim::win32

@@ -1,0 +1,133 @@
+#include "labmon/workload/timetable.hpp"
+
+#include <gtest/gtest.h>
+
+namespace labmon::workload {
+namespace {
+
+std::vector<double> UniformPopularity(std::size_t labs, double value = 0.5) {
+  return std::vector<double>(labs, value);
+}
+
+TEST(TimetableTest, GeneratesBlocksWithinTeachingWindows) {
+  TimetableModel model;
+  util::Rng rng(1);
+  const auto tt = Timetable::Generate(model, 11, UniformPopularity(11), rng);
+  EXPECT_GT(tt.size(), 0u);
+  for (const auto& block : tt.blocks()) {
+    EXPECT_LT(block.lab, 11u);
+    EXPECT_GE(block.start_hour, 8);
+    EXPECT_LE(block.start_hour + block.duration_hours, 22);
+    if (block.day == util::DayOfWeek::kSaturday) {
+      EXPECT_LE(block.start_hour + block.duration_hours, 15);
+    }
+    EXPECT_NE(block.day, util::DayOfWeek::kSunday);
+  }
+}
+
+TEST(TimetableTest, HeavyClassPresentExactlyOnce) {
+  TimetableModel model;
+  util::Rng rng(2);
+  const auto tt = Timetable::Generate(model, 11, UniformPopularity(11), rng);
+  int heavy = 0;
+  for (const auto& block : tt.blocks()) {
+    if (!block.cpu_heavy) continue;
+    ++heavy;
+    EXPECT_EQ(block.lab, static_cast<std::size_t>(model.heavy_class_lab));
+    EXPECT_EQ(block.day, util::DayOfWeek::kTuesday);
+    EXPECT_EQ(block.start_hour, model.heavy_class_start_hour);
+    EXPECT_EQ(block.duration_hours, model.heavy_class_hours);
+  }
+  EXPECT_EQ(heavy, 1);
+}
+
+TEST(TimetableTest, HeavyClassDoesNotOverlapOtherBlocksInItsLab) {
+  TimetableModel model;
+  util::Rng rng(3);
+  const auto tt = Timetable::Generate(model, 11, UniformPopularity(11), rng);
+  const auto lab = static_cast<std::size_t>(model.heavy_class_lab);
+  const int heavy_start = model.heavy_class_start_hour * 60;
+  const int heavy_end = (model.heavy_class_start_hour + model.heavy_class_hours) * 60;
+  for (const auto& block : tt.BlocksForLab(lab)) {
+    if (block.cpu_heavy || block.day != util::DayOfWeek::kTuesday) continue;
+    const int start = block.start_hour * 60;
+    const int end = start + block.duration_hours * 60;
+    EXPECT_TRUE(end <= heavy_start || start >= heavy_end)
+        << "block at " << block.start_hour << " overlaps the heavy class";
+  }
+}
+
+TEST(TimetableTest, HeavyClassDisabledWithNegativeLab) {
+  TimetableModel model;
+  model.heavy_class_lab = -1;
+  util::Rng rng(4);
+  const auto tt = Timetable::Generate(model, 11, UniformPopularity(11), rng);
+  for (const auto& block : tt.blocks()) {
+    EXPECT_FALSE(block.cpu_heavy);
+  }
+}
+
+TEST(TimetableTest, PopularLabsTeachMore) {
+  TimetableModel model;
+  model.popularity_skew = 0.7;
+  std::vector<double> popularity(11, 0.0);
+  popularity[0] = 1.0;  // only lab 0 is popular
+  // Average over many generations to smooth randomness.
+  double popular_blocks = 0;
+  double unpopular_blocks = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    util::Rng rng(100 + static_cast<std::uint64_t>(trial));
+    const auto tt = Timetable::Generate(model, 11, popularity, rng);
+    popular_blocks += static_cast<double>(tt.BlocksForLab(0).size());
+    unpopular_blocks += static_cast<double>(tt.BlocksForLab(5).size());
+  }
+  EXPECT_GT(popular_blocks, 1.8 * unpopular_blocks);
+}
+
+TEST(TimetableTest, InClassQueries) {
+  TimetableModel model;
+  model.heavy_class_lab = 0;
+  model.weekday_slot_prob = 0.0;  // only the heavy class exists
+  model.saturday_slot_prob = 0.0;
+  util::Rng rng(5);
+  const auto tt = Timetable::Generate(model, 2, UniformPopularity(2), rng);
+  ASSERT_EQ(tt.size(), 1u);
+  const int tuesday_1430 = (24 + 14) * 60 + 30;
+  EXPECT_TRUE(tt.InClass(0, tuesday_1430));
+  EXPECT_FALSE(tt.InClass(1, tuesday_1430));
+  const int tuesday_1730 = (24 + 17) * 60 + 30;
+  EXPECT_FALSE(tt.InClass(0, tuesday_1730));
+}
+
+TEST(TimetableTest, BlocksSortedByWeekStart) {
+  TimetableModel model;
+  util::Rng rng(6);
+  const auto tt = Timetable::Generate(model, 11, UniformPopularity(11), rng);
+  for (std::size_t i = 1; i < tt.size(); ++i) {
+    EXPECT_LE(tt.blocks()[i - 1].StartInWeek(0), tt.blocks()[i].StartInWeek(0));
+  }
+}
+
+TEST(TimetableTest, WeekInstantiation) {
+  ClassBlock block;
+  block.lab = 3;
+  block.day = util::DayOfWeek::kWednesday;
+  block.start_hour = 10;
+  block.duration_hours = 2;
+  EXPECT_EQ(block.StartInWeek(0), util::MakeTime(2, 10));
+  EXPECT_EQ(block.StartInWeek(3), util::MakeTime(23, 10));
+  EXPECT_EQ(block.EndInWeek(3) - block.StartInWeek(3),
+            2 * util::kSecondsPerHour);
+}
+
+TEST(TimetableTest, MeanClassesPerLab) {
+  TimetableModel model;
+  util::Rng rng(7);
+  const auto tt = Timetable::Generate(model, 11, UniformPopularity(11), rng);
+  EXPECT_NEAR(tt.MeanClassesPerLab(11),
+              static_cast<double>(tt.size()) / 11.0, 1e-12);
+  EXPECT_DOUBLE_EQ(tt.MeanClassesPerLab(0), 0.0);
+}
+
+}  // namespace
+}  // namespace labmon::workload
