@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_parallel_collector"
+  "../bench/ablation_parallel_collector.pdb"
+  "CMakeFiles/ablation_parallel_collector.dir/ablation_parallel_collector.cpp.o"
+  "CMakeFiles/ablation_parallel_collector.dir/ablation_parallel_collector.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parallel_collector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_threshold.cpp" "bench_build/CMakeFiles/ablation_threshold.dir/ablation_threshold.cpp.o" "gcc" "bench_build/CMakeFiles/ablation_threshold.dir/ablation_threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/labmon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/labmon_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/labmon_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/labmon_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddc/CMakeFiles/labmon_ddc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbench/CMakeFiles/labmon_nbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/harvest/CMakeFiles/labmon_harvest.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/labmon_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/winsim/CMakeFiles/labmon_winsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/smart/CMakeFiles/labmon_smart.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/labmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

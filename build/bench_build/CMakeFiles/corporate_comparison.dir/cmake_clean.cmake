@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/corporate_comparison"
+  "../bench/corporate_comparison.pdb"
+  "CMakeFiles/corporate_comparison.dir/corporate_comparison.cpp.o"
+  "CMakeFiles/corporate_comparison.dir/corporate_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corporate_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_session_hours"
+  "../bench/fig2_session_hours.pdb"
+  "CMakeFiles/fig2_session_hours.dir/fig2_session_hours.cpp.o"
+  "CMakeFiles/fig2_session_hours.dir/fig2_session_hours.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_session_hours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_availability"
+  "../bench/fig3_availability.pdb"
+  "CMakeFiles/fig3_availability.dir/fig3_availability.cpp.o"
+  "CMakeFiles/fig3_availability.dir/fig3_availability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_uptime"
+  "../bench/fig4_uptime.pdb"
+  "CMakeFiles/fig4_uptime.dir/fig4_uptime.cpp.o"
+  "CMakeFiles/fig4_uptime.dir/fig4_uptime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_uptime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_weekly"
+  "../bench/fig5_weekly.pdb"
+  "CMakeFiles/fig5_weekly.dir/fig5_weekly.cpp.o"
+  "CMakeFiles/fig5_weekly.dir/fig5_weekly.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_weekly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

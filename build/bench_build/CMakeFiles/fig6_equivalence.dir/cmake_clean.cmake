@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_equivalence"
+  "../bench/fig6_equivalence.pdb"
+  "CMakeFiles/fig6_equivalence.dir/fig6_equivalence.cpp.o"
+  "CMakeFiles/fig6_equivalence.dir/fig6_equivalence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/harvest_capacity"
+  "../bench/harvest_capacity.pdb"
+  "CMakeFiles/harvest_capacity.dir/harvest_capacity.cpp.o"
+  "CMakeFiles/harvest_capacity.dir/harvest_capacity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

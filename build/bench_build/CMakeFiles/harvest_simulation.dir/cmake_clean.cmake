@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/harvest_simulation"
+  "../bench/harvest_simulation.pdb"
+  "CMakeFiles/harvest_simulation.dir/harvest_simulation.cpp.o"
+  "CMakeFiles/harvest_simulation.dir/harvest_simulation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/stability_smart"
+  "../bench/stability_smart.pdb"
+  "CMakeFiles/stability_smart.dir/stability_smart.cpp.o"
+  "CMakeFiles/stability_smart.dir/stability_smart.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stability_smart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_custom_probe.dir/ddc_custom_probe.cpp.o"
+  "CMakeFiles/ddc_custom_probe.dir/ddc_custom_probe.cpp.o.d"
+  "ddc_custom_probe"
+  "ddc_custom_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_custom_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_planner.dir/harvest_planner.cpp.o"
+  "CMakeFiles/harvest_planner.dir/harvest_planner.cpp.o.d"
+  "harvest_planner"
+  "harvest_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

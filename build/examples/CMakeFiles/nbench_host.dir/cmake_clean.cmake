@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbench_host.dir/nbench_host.cpp.o"
+  "CMakeFiles/nbench_host.dir/nbench_host.cpp.o.d"
+  "nbench_host"
+  "nbench_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbench_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/src/aggregate.cpp" "src/analysis/CMakeFiles/labmon_analysis.dir/src/aggregate.cpp.o" "gcc" "src/analysis/CMakeFiles/labmon_analysis.dir/src/aggregate.cpp.o.d"
+  "/root/repo/src/analysis/src/availability.cpp" "src/analysis/CMakeFiles/labmon_analysis.dir/src/availability.cpp.o" "gcc" "src/analysis/CMakeFiles/labmon_analysis.dir/src/availability.cpp.o.d"
+  "/root/repo/src/analysis/src/capacity.cpp" "src/analysis/CMakeFiles/labmon_analysis.dir/src/capacity.cpp.o" "gcc" "src/analysis/CMakeFiles/labmon_analysis.dir/src/capacity.cpp.o.d"
+  "/root/repo/src/analysis/src/equivalence.cpp" "src/analysis/CMakeFiles/labmon_analysis.dir/src/equivalence.cpp.o" "gcc" "src/analysis/CMakeFiles/labmon_analysis.dir/src/equivalence.cpp.o.d"
+  "/root/repo/src/analysis/src/per_lab.cpp" "src/analysis/CMakeFiles/labmon_analysis.dir/src/per_lab.cpp.o" "gcc" "src/analysis/CMakeFiles/labmon_analysis.dir/src/per_lab.cpp.o.d"
+  "/root/repo/src/analysis/src/session_hours.cpp" "src/analysis/CMakeFiles/labmon_analysis.dir/src/session_hours.cpp.o" "gcc" "src/analysis/CMakeFiles/labmon_analysis.dir/src/session_hours.cpp.o.d"
+  "/root/repo/src/analysis/src/stability.cpp" "src/analysis/CMakeFiles/labmon_analysis.dir/src/stability.cpp.o" "gcc" "src/analysis/CMakeFiles/labmon_analysis.dir/src/stability.cpp.o.d"
+  "/root/repo/src/analysis/src/weekly.cpp" "src/analysis/CMakeFiles/labmon_analysis.dir/src/weekly.cpp.o" "gcc" "src/analysis/CMakeFiles/labmon_analysis.dir/src/weekly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/labmon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/labmon_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/labmon_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/winsim/CMakeFiles/labmon_winsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddc/CMakeFiles/labmon_ddc.dir/DependInfo.cmake"
+  "/root/repo/build/src/smart/CMakeFiles/labmon_smart.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbench/CMakeFiles/labmon_nbench.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labmon_analysis.dir/src/aggregate.cpp.o"
+  "CMakeFiles/labmon_analysis.dir/src/aggregate.cpp.o.d"
+  "CMakeFiles/labmon_analysis.dir/src/availability.cpp.o"
+  "CMakeFiles/labmon_analysis.dir/src/availability.cpp.o.d"
+  "CMakeFiles/labmon_analysis.dir/src/capacity.cpp.o"
+  "CMakeFiles/labmon_analysis.dir/src/capacity.cpp.o.d"
+  "CMakeFiles/labmon_analysis.dir/src/equivalence.cpp.o"
+  "CMakeFiles/labmon_analysis.dir/src/equivalence.cpp.o.d"
+  "CMakeFiles/labmon_analysis.dir/src/per_lab.cpp.o"
+  "CMakeFiles/labmon_analysis.dir/src/per_lab.cpp.o.d"
+  "CMakeFiles/labmon_analysis.dir/src/session_hours.cpp.o"
+  "CMakeFiles/labmon_analysis.dir/src/session_hours.cpp.o.d"
+  "CMakeFiles/labmon_analysis.dir/src/stability.cpp.o"
+  "CMakeFiles/labmon_analysis.dir/src/stability.cpp.o.d"
+  "CMakeFiles/labmon_analysis.dir/src/weekly.cpp.o"
+  "CMakeFiles/labmon_analysis.dir/src/weekly.cpp.o.d"
+  "liblabmon_analysis.a"
+  "liblabmon_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labmon_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

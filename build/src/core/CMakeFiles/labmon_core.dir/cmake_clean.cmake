@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labmon_core.dir/src/experiment.cpp.o"
+  "CMakeFiles/labmon_core.dir/src/experiment.cpp.o.d"
+  "CMakeFiles/labmon_core.dir/src/report.cpp.o"
+  "CMakeFiles/labmon_core.dir/src/report.cpp.o.d"
+  "liblabmon_core.a"
+  "liblabmon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labmon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

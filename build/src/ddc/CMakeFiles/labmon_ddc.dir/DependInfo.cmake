@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ddc/src/archive.cpp" "src/ddc/CMakeFiles/labmon_ddc.dir/src/archive.cpp.o" "gcc" "src/ddc/CMakeFiles/labmon_ddc.dir/src/archive.cpp.o.d"
+  "/root/repo/src/ddc/src/campaign.cpp" "src/ddc/CMakeFiles/labmon_ddc.dir/src/campaign.cpp.o" "gcc" "src/ddc/CMakeFiles/labmon_ddc.dir/src/campaign.cpp.o.d"
+  "/root/repo/src/ddc/src/coordinator.cpp" "src/ddc/CMakeFiles/labmon_ddc.dir/src/coordinator.cpp.o" "gcc" "src/ddc/CMakeFiles/labmon_ddc.dir/src/coordinator.cpp.o.d"
+  "/root/repo/src/ddc/src/executor.cpp" "src/ddc/CMakeFiles/labmon_ddc.dir/src/executor.cpp.o" "gcc" "src/ddc/CMakeFiles/labmon_ddc.dir/src/executor.cpp.o.d"
+  "/root/repo/src/ddc/src/nbench_probe.cpp" "src/ddc/CMakeFiles/labmon_ddc.dir/src/nbench_probe.cpp.o" "gcc" "src/ddc/CMakeFiles/labmon_ddc.dir/src/nbench_probe.cpp.o.d"
+  "/root/repo/src/ddc/src/w32_probe.cpp" "src/ddc/CMakeFiles/labmon_ddc.dir/src/w32_probe.cpp.o" "gcc" "src/ddc/CMakeFiles/labmon_ddc.dir/src/w32_probe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/labmon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/winsim/CMakeFiles/labmon_winsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/smart/CMakeFiles/labmon_smart.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbench/CMakeFiles/labmon_nbench.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

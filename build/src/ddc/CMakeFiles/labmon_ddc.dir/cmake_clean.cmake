@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labmon_ddc.dir/src/archive.cpp.o"
+  "CMakeFiles/labmon_ddc.dir/src/archive.cpp.o.d"
+  "CMakeFiles/labmon_ddc.dir/src/campaign.cpp.o"
+  "CMakeFiles/labmon_ddc.dir/src/campaign.cpp.o.d"
+  "CMakeFiles/labmon_ddc.dir/src/coordinator.cpp.o"
+  "CMakeFiles/labmon_ddc.dir/src/coordinator.cpp.o.d"
+  "CMakeFiles/labmon_ddc.dir/src/executor.cpp.o"
+  "CMakeFiles/labmon_ddc.dir/src/executor.cpp.o.d"
+  "CMakeFiles/labmon_ddc.dir/src/nbench_probe.cpp.o"
+  "CMakeFiles/labmon_ddc.dir/src/nbench_probe.cpp.o.d"
+  "CMakeFiles/labmon_ddc.dir/src/w32_probe.cpp.o"
+  "CMakeFiles/labmon_ddc.dir/src/w32_probe.cpp.o.d"
+  "liblabmon_ddc.a"
+  "liblabmon_ddc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labmon_ddc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

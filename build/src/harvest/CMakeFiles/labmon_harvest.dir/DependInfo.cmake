@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harvest/src/scheduler.cpp" "src/harvest/CMakeFiles/labmon_harvest.dir/src/scheduler.cpp.o" "gcc" "src/harvest/CMakeFiles/labmon_harvest.dir/src/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/labmon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/winsim/CMakeFiles/labmon_winsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/labmon_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/smart/CMakeFiles/labmon_smart.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labmon_harvest.dir/src/scheduler.cpp.o"
+  "CMakeFiles/labmon_harvest.dir/src/scheduler.cpp.o.d"
+  "liblabmon_harvest.a"
+  "liblabmon_harvest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labmon_harvest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nbench/src/harness.cpp" "src/nbench/CMakeFiles/labmon_nbench.dir/src/harness.cpp.o" "gcc" "src/nbench/CMakeFiles/labmon_nbench.dir/src/harness.cpp.o.d"
+  "/root/repo/src/nbench/src/kernel_assignment.cpp" "src/nbench/CMakeFiles/labmon_nbench.dir/src/kernel_assignment.cpp.o" "gcc" "src/nbench/CMakeFiles/labmon_nbench.dir/src/kernel_assignment.cpp.o.d"
+  "/root/repo/src/nbench/src/kernel_bitfield.cpp" "src/nbench/CMakeFiles/labmon_nbench.dir/src/kernel_bitfield.cpp.o" "gcc" "src/nbench/CMakeFiles/labmon_nbench.dir/src/kernel_bitfield.cpp.o.d"
+  "/root/repo/src/nbench/src/kernel_fourier.cpp" "src/nbench/CMakeFiles/labmon_nbench.dir/src/kernel_fourier.cpp.o" "gcc" "src/nbench/CMakeFiles/labmon_nbench.dir/src/kernel_fourier.cpp.o.d"
+  "/root/repo/src/nbench/src/kernel_fp_emulation.cpp" "src/nbench/CMakeFiles/labmon_nbench.dir/src/kernel_fp_emulation.cpp.o" "gcc" "src/nbench/CMakeFiles/labmon_nbench.dir/src/kernel_fp_emulation.cpp.o.d"
+  "/root/repo/src/nbench/src/kernel_huffman.cpp" "src/nbench/CMakeFiles/labmon_nbench.dir/src/kernel_huffman.cpp.o" "gcc" "src/nbench/CMakeFiles/labmon_nbench.dir/src/kernel_huffman.cpp.o.d"
+  "/root/repo/src/nbench/src/kernel_idea.cpp" "src/nbench/CMakeFiles/labmon_nbench.dir/src/kernel_idea.cpp.o" "gcc" "src/nbench/CMakeFiles/labmon_nbench.dir/src/kernel_idea.cpp.o.d"
+  "/root/repo/src/nbench/src/kernel_lu_decomposition.cpp" "src/nbench/CMakeFiles/labmon_nbench.dir/src/kernel_lu_decomposition.cpp.o" "gcc" "src/nbench/CMakeFiles/labmon_nbench.dir/src/kernel_lu_decomposition.cpp.o.d"
+  "/root/repo/src/nbench/src/kernel_neural_net.cpp" "src/nbench/CMakeFiles/labmon_nbench.dir/src/kernel_neural_net.cpp.o" "gcc" "src/nbench/CMakeFiles/labmon_nbench.dir/src/kernel_neural_net.cpp.o.d"
+  "/root/repo/src/nbench/src/kernel_numeric_sort.cpp" "src/nbench/CMakeFiles/labmon_nbench.dir/src/kernel_numeric_sort.cpp.o" "gcc" "src/nbench/CMakeFiles/labmon_nbench.dir/src/kernel_numeric_sort.cpp.o.d"
+  "/root/repo/src/nbench/src/kernel_string_sort.cpp" "src/nbench/CMakeFiles/labmon_nbench.dir/src/kernel_string_sort.cpp.o" "gcc" "src/nbench/CMakeFiles/labmon_nbench.dir/src/kernel_string_sort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/labmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labmon_nbench.dir/src/harness.cpp.o"
+  "CMakeFiles/labmon_nbench.dir/src/harness.cpp.o.d"
+  "CMakeFiles/labmon_nbench.dir/src/kernel_assignment.cpp.o"
+  "CMakeFiles/labmon_nbench.dir/src/kernel_assignment.cpp.o.d"
+  "CMakeFiles/labmon_nbench.dir/src/kernel_bitfield.cpp.o"
+  "CMakeFiles/labmon_nbench.dir/src/kernel_bitfield.cpp.o.d"
+  "CMakeFiles/labmon_nbench.dir/src/kernel_fourier.cpp.o"
+  "CMakeFiles/labmon_nbench.dir/src/kernel_fourier.cpp.o.d"
+  "CMakeFiles/labmon_nbench.dir/src/kernel_fp_emulation.cpp.o"
+  "CMakeFiles/labmon_nbench.dir/src/kernel_fp_emulation.cpp.o.d"
+  "CMakeFiles/labmon_nbench.dir/src/kernel_huffman.cpp.o"
+  "CMakeFiles/labmon_nbench.dir/src/kernel_huffman.cpp.o.d"
+  "CMakeFiles/labmon_nbench.dir/src/kernel_idea.cpp.o"
+  "CMakeFiles/labmon_nbench.dir/src/kernel_idea.cpp.o.d"
+  "CMakeFiles/labmon_nbench.dir/src/kernel_lu_decomposition.cpp.o"
+  "CMakeFiles/labmon_nbench.dir/src/kernel_lu_decomposition.cpp.o.d"
+  "CMakeFiles/labmon_nbench.dir/src/kernel_neural_net.cpp.o"
+  "CMakeFiles/labmon_nbench.dir/src/kernel_neural_net.cpp.o.d"
+  "CMakeFiles/labmon_nbench.dir/src/kernel_numeric_sort.cpp.o"
+  "CMakeFiles/labmon_nbench.dir/src/kernel_numeric_sort.cpp.o.d"
+  "CMakeFiles/labmon_nbench.dir/src/kernel_string_sort.cpp.o"
+  "CMakeFiles/labmon_nbench.dir/src/kernel_string_sort.cpp.o.d"
+  "liblabmon_nbench.a"
+  "liblabmon_nbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labmon_nbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

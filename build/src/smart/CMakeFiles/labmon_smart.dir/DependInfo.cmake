@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smart/src/attributes.cpp" "src/smart/CMakeFiles/labmon_smart.dir/src/attributes.cpp.o" "gcc" "src/smart/CMakeFiles/labmon_smart.dir/src/attributes.cpp.o.d"
+  "/root/repo/src/smart/src/disk_smart.cpp" "src/smart/CMakeFiles/labmon_smart.dir/src/disk_smart.cpp.o" "gcc" "src/smart/CMakeFiles/labmon_smart.dir/src/disk_smart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/labmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labmon_smart.dir/src/attributes.cpp.o"
+  "CMakeFiles/labmon_smart.dir/src/attributes.cpp.o.d"
+  "CMakeFiles/labmon_smart.dir/src/disk_smart.cpp.o"
+  "CMakeFiles/labmon_smart.dir/src/disk_smart.cpp.o.d"
+  "liblabmon_smart.a"
+  "liblabmon_smart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labmon_smart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for labmon_smart.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/src/histogram.cpp" "src/stats/CMakeFiles/labmon_stats.dir/src/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/labmon_stats.dir/src/histogram.cpp.o.d"
+  "/root/repo/src/stats/src/nines.cpp" "src/stats/CMakeFiles/labmon_stats.dir/src/nines.cpp.o" "gcc" "src/stats/CMakeFiles/labmon_stats.dir/src/nines.cpp.o.d"
+  "/root/repo/src/stats/src/running_stats.cpp" "src/stats/CMakeFiles/labmon_stats.dir/src/running_stats.cpp.o" "gcc" "src/stats/CMakeFiles/labmon_stats.dir/src/running_stats.cpp.o.d"
+  "/root/repo/src/stats/src/timeseries.cpp" "src/stats/CMakeFiles/labmon_stats.dir/src/timeseries.cpp.o" "gcc" "src/stats/CMakeFiles/labmon_stats.dir/src/timeseries.cpp.o.d"
+  "/root/repo/src/stats/src/weekly_profile.cpp" "src/stats/CMakeFiles/labmon_stats.dir/src/weekly_profile.cpp.o" "gcc" "src/stats/CMakeFiles/labmon_stats.dir/src/weekly_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/labmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labmon_stats.dir/src/histogram.cpp.o"
+  "CMakeFiles/labmon_stats.dir/src/histogram.cpp.o.d"
+  "CMakeFiles/labmon_stats.dir/src/nines.cpp.o"
+  "CMakeFiles/labmon_stats.dir/src/nines.cpp.o.d"
+  "CMakeFiles/labmon_stats.dir/src/running_stats.cpp.o"
+  "CMakeFiles/labmon_stats.dir/src/running_stats.cpp.o.d"
+  "CMakeFiles/labmon_stats.dir/src/timeseries.cpp.o"
+  "CMakeFiles/labmon_stats.dir/src/timeseries.cpp.o.d"
+  "CMakeFiles/labmon_stats.dir/src/weekly_profile.cpp.o"
+  "CMakeFiles/labmon_stats.dir/src/weekly_profile.cpp.o.d"
+  "liblabmon_stats.a"
+  "liblabmon_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labmon_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/src/binary_io.cpp" "src/trace/CMakeFiles/labmon_trace.dir/src/binary_io.cpp.o" "gcc" "src/trace/CMakeFiles/labmon_trace.dir/src/binary_io.cpp.o.d"
+  "/root/repo/src/trace/src/intervals.cpp" "src/trace/CMakeFiles/labmon_trace.dir/src/intervals.cpp.o" "gcc" "src/trace/CMakeFiles/labmon_trace.dir/src/intervals.cpp.o.d"
+  "/root/repo/src/trace/src/sample_record.cpp" "src/trace/CMakeFiles/labmon_trace.dir/src/sample_record.cpp.o" "gcc" "src/trace/CMakeFiles/labmon_trace.dir/src/sample_record.cpp.o.d"
+  "/root/repo/src/trace/src/sessions.cpp" "src/trace/CMakeFiles/labmon_trace.dir/src/sessions.cpp.o" "gcc" "src/trace/CMakeFiles/labmon_trace.dir/src/sessions.cpp.o.d"
+  "/root/repo/src/trace/src/sink.cpp" "src/trace/CMakeFiles/labmon_trace.dir/src/sink.cpp.o" "gcc" "src/trace/CMakeFiles/labmon_trace.dir/src/sink.cpp.o.d"
+  "/root/repo/src/trace/src/trace_store.cpp" "src/trace/CMakeFiles/labmon_trace.dir/src/trace_store.cpp.o" "gcc" "src/trace/CMakeFiles/labmon_trace.dir/src/trace_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/labmon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddc/CMakeFiles/labmon_ddc.dir/DependInfo.cmake"
+  "/root/repo/build/src/winsim/CMakeFiles/labmon_winsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/smart/CMakeFiles/labmon_smart.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbench/CMakeFiles/labmon_nbench.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labmon_trace.dir/src/binary_io.cpp.o"
+  "CMakeFiles/labmon_trace.dir/src/binary_io.cpp.o.d"
+  "CMakeFiles/labmon_trace.dir/src/intervals.cpp.o"
+  "CMakeFiles/labmon_trace.dir/src/intervals.cpp.o.d"
+  "CMakeFiles/labmon_trace.dir/src/sample_record.cpp.o"
+  "CMakeFiles/labmon_trace.dir/src/sample_record.cpp.o.d"
+  "CMakeFiles/labmon_trace.dir/src/sessions.cpp.o"
+  "CMakeFiles/labmon_trace.dir/src/sessions.cpp.o.d"
+  "CMakeFiles/labmon_trace.dir/src/sink.cpp.o"
+  "CMakeFiles/labmon_trace.dir/src/sink.cpp.o.d"
+  "CMakeFiles/labmon_trace.dir/src/trace_store.cpp.o"
+  "CMakeFiles/labmon_trace.dir/src/trace_store.cpp.o.d"
+  "liblabmon_trace.a"
+  "liblabmon_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labmon_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

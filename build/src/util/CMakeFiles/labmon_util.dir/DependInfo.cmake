@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/src/csv.cpp" "src/util/CMakeFiles/labmon_util.dir/src/csv.cpp.o" "gcc" "src/util/CMakeFiles/labmon_util.dir/src/csv.cpp.o.d"
+  "/root/repo/src/util/src/ini.cpp" "src/util/CMakeFiles/labmon_util.dir/src/ini.cpp.o" "gcc" "src/util/CMakeFiles/labmon_util.dir/src/ini.cpp.o.d"
+  "/root/repo/src/util/src/log.cpp" "src/util/CMakeFiles/labmon_util.dir/src/log.cpp.o" "gcc" "src/util/CMakeFiles/labmon_util.dir/src/log.cpp.o.d"
+  "/root/repo/src/util/src/parallel.cpp" "src/util/CMakeFiles/labmon_util.dir/src/parallel.cpp.o" "gcc" "src/util/CMakeFiles/labmon_util.dir/src/parallel.cpp.o.d"
+  "/root/repo/src/util/src/rng.cpp" "src/util/CMakeFiles/labmon_util.dir/src/rng.cpp.o" "gcc" "src/util/CMakeFiles/labmon_util.dir/src/rng.cpp.o.d"
+  "/root/repo/src/util/src/strings.cpp" "src/util/CMakeFiles/labmon_util.dir/src/strings.cpp.o" "gcc" "src/util/CMakeFiles/labmon_util.dir/src/strings.cpp.o.d"
+  "/root/repo/src/util/src/table.cpp" "src/util/CMakeFiles/labmon_util.dir/src/table.cpp.o" "gcc" "src/util/CMakeFiles/labmon_util.dir/src/table.cpp.o.d"
+  "/root/repo/src/util/src/time.cpp" "src/util/CMakeFiles/labmon_util.dir/src/time.cpp.o" "gcc" "src/util/CMakeFiles/labmon_util.dir/src/time.cpp.o.d"
+  "/root/repo/src/util/src/varint.cpp" "src/util/CMakeFiles/labmon_util.dir/src/varint.cpp.o" "gcc" "src/util/CMakeFiles/labmon_util.dir/src/varint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

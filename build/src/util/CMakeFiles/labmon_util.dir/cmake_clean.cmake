@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labmon_util.dir/src/csv.cpp.o"
+  "CMakeFiles/labmon_util.dir/src/csv.cpp.o.d"
+  "CMakeFiles/labmon_util.dir/src/ini.cpp.o"
+  "CMakeFiles/labmon_util.dir/src/ini.cpp.o.d"
+  "CMakeFiles/labmon_util.dir/src/log.cpp.o"
+  "CMakeFiles/labmon_util.dir/src/log.cpp.o.d"
+  "CMakeFiles/labmon_util.dir/src/parallel.cpp.o"
+  "CMakeFiles/labmon_util.dir/src/parallel.cpp.o.d"
+  "CMakeFiles/labmon_util.dir/src/rng.cpp.o"
+  "CMakeFiles/labmon_util.dir/src/rng.cpp.o.d"
+  "CMakeFiles/labmon_util.dir/src/strings.cpp.o"
+  "CMakeFiles/labmon_util.dir/src/strings.cpp.o.d"
+  "CMakeFiles/labmon_util.dir/src/table.cpp.o"
+  "CMakeFiles/labmon_util.dir/src/table.cpp.o.d"
+  "CMakeFiles/labmon_util.dir/src/time.cpp.o"
+  "CMakeFiles/labmon_util.dir/src/time.cpp.o.d"
+  "CMakeFiles/labmon_util.dir/src/varint.cpp.o"
+  "CMakeFiles/labmon_util.dir/src/varint.cpp.o.d"
+  "liblabmon_util.a"
+  "liblabmon_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labmon_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

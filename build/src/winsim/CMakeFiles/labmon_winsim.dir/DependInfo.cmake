@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/winsim/src/fleet.cpp" "src/winsim/CMakeFiles/labmon_winsim.dir/src/fleet.cpp.o" "gcc" "src/winsim/CMakeFiles/labmon_winsim.dir/src/fleet.cpp.o.d"
+  "/root/repo/src/winsim/src/machine.cpp" "src/winsim/CMakeFiles/labmon_winsim.dir/src/machine.cpp.o" "gcc" "src/winsim/CMakeFiles/labmon_winsim.dir/src/machine.cpp.o.d"
+  "/root/repo/src/winsim/src/paper_specs.cpp" "src/winsim/CMakeFiles/labmon_winsim.dir/src/paper_specs.cpp.o" "gcc" "src/winsim/CMakeFiles/labmon_winsim.dir/src/paper_specs.cpp.o.d"
+  "/root/repo/src/winsim/src/win32.cpp" "src/winsim/CMakeFiles/labmon_winsim.dir/src/win32.cpp.o" "gcc" "src/winsim/CMakeFiles/labmon_winsim.dir/src/win32.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/labmon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/smart/CMakeFiles/labmon_smart.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labmon_winsim.dir/src/fleet.cpp.o"
+  "CMakeFiles/labmon_winsim.dir/src/fleet.cpp.o.d"
+  "CMakeFiles/labmon_winsim.dir/src/machine.cpp.o"
+  "CMakeFiles/labmon_winsim.dir/src/machine.cpp.o.d"
+  "CMakeFiles/labmon_winsim.dir/src/paper_specs.cpp.o"
+  "CMakeFiles/labmon_winsim.dir/src/paper_specs.cpp.o.d"
+  "CMakeFiles/labmon_winsim.dir/src/win32.cpp.o"
+  "CMakeFiles/labmon_winsim.dir/src/win32.cpp.o.d"
+  "liblabmon_winsim.a"
+  "liblabmon_winsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labmon_winsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/src/config.cpp" "src/workload/CMakeFiles/labmon_workload.dir/src/config.cpp.o" "gcc" "src/workload/CMakeFiles/labmon_workload.dir/src/config.cpp.o.d"
+  "/root/repo/src/workload/src/config_io.cpp" "src/workload/CMakeFiles/labmon_workload.dir/src/config_io.cpp.o" "gcc" "src/workload/CMakeFiles/labmon_workload.dir/src/config_io.cpp.o.d"
+  "/root/repo/src/workload/src/driver.cpp" "src/workload/CMakeFiles/labmon_workload.dir/src/driver.cpp.o" "gcc" "src/workload/CMakeFiles/labmon_workload.dir/src/driver.cpp.o.d"
+  "/root/repo/src/workload/src/timetable.cpp" "src/workload/CMakeFiles/labmon_workload.dir/src/timetable.cpp.o" "gcc" "src/workload/CMakeFiles/labmon_workload.dir/src/timetable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/labmon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/winsim/CMakeFiles/labmon_winsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/smart/CMakeFiles/labmon_smart.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labmon_workload.dir/src/config.cpp.o"
+  "CMakeFiles/labmon_workload.dir/src/config.cpp.o.d"
+  "CMakeFiles/labmon_workload.dir/src/config_io.cpp.o"
+  "CMakeFiles/labmon_workload.dir/src/config_io.cpp.o.d"
+  "CMakeFiles/labmon_workload.dir/src/driver.cpp.o"
+  "CMakeFiles/labmon_workload.dir/src/driver.cpp.o.d"
+  "CMakeFiles/labmon_workload.dir/src/timetable.cpp.o"
+  "CMakeFiles/labmon_workload.dir/src/timetable.cpp.o.d"
+  "liblabmon_workload.a"
+  "liblabmon_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labmon_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblabmon_workload.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_aggregate.dir/analysis/test_aggregate.cpp.o"
+  "CMakeFiles/test_analysis_aggregate.dir/analysis/test_aggregate.cpp.o.d"
+  "test_analysis_aggregate"
+  "test_analysis_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

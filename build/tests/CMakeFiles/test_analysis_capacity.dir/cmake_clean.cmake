@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_capacity.dir/analysis/test_capacity.cpp.o"
+  "CMakeFiles/test_analysis_capacity.dir/analysis/test_capacity.cpp.o.d"
+  "test_analysis_capacity"
+  "test_analysis_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

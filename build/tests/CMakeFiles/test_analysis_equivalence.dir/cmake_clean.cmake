@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_equivalence.dir/analysis/test_equivalence.cpp.o"
+  "CMakeFiles/test_analysis_equivalence.dir/analysis/test_equivalence.cpp.o.d"
+  "test_analysis_equivalence"
+  "test_analysis_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_per_lab.dir/analysis/test_per_lab.cpp.o"
+  "CMakeFiles/test_analysis_per_lab.dir/analysis/test_per_lab.cpp.o.d"
+  "test_analysis_per_lab"
+  "test_analysis_per_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_per_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

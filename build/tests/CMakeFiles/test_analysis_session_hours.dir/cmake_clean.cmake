@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_session_hours.dir/analysis/test_session_hours.cpp.o"
+  "CMakeFiles/test_analysis_session_hours.dir/analysis/test_session_hours.cpp.o.d"
+  "test_analysis_session_hours"
+  "test_analysis_session_hours.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_session_hours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

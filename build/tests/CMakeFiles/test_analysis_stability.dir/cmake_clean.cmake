@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_stability.dir/analysis/test_stability.cpp.o"
+  "CMakeFiles/test_analysis_stability.dir/analysis/test_stability.cpp.o.d"
+  "test_analysis_stability"
+  "test_analysis_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_weekly.dir/analysis/test_weekly.cpp.o"
+  "CMakeFiles/test_analysis_weekly.dir/analysis/test_weekly.cpp.o.d"
+  "test_analysis_weekly"
+  "test_analysis_weekly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_weekly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

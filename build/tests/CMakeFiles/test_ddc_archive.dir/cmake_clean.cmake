@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddc_archive.dir/ddc/test_archive.cpp.o"
+  "CMakeFiles/test_ddc_archive.dir/ddc/test_archive.cpp.o.d"
+  "test_ddc_archive"
+  "test_ddc_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddc_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddc_coordinator.dir/ddc/test_coordinator.cpp.o"
+  "CMakeFiles/test_ddc_coordinator.dir/ddc/test_coordinator.cpp.o.d"
+  "test_ddc_coordinator"
+  "test_ddc_coordinator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddc_coordinator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddc_executor.dir/ddc/test_executor.cpp.o"
+  "CMakeFiles/test_ddc_executor.dir/ddc/test_executor.cpp.o.d"
+  "test_ddc_executor"
+  "test_ddc_executor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddc_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

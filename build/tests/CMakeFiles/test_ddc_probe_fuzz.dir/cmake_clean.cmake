@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddc_probe_fuzz.dir/ddc/test_probe_fuzz.cpp.o"
+  "CMakeFiles/test_ddc_probe_fuzz.dir/ddc/test_probe_fuzz.cpp.o.d"
+  "test_ddc_probe_fuzz"
+  "test_ddc_probe_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddc_probe_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddc_w32probe.dir/ddc/test_w32_probe.cpp.o"
+  "CMakeFiles/test_ddc_w32probe.dir/ddc/test_w32_probe.cpp.o.d"
+  "test_ddc_w32probe"
+  "test_ddc_w32probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddc_w32probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harvest.dir/harvest/test_scheduler.cpp.o"
+  "CMakeFiles/test_harvest.dir/harvest/test_scheduler.cpp.o.d"
+  "test_harvest"
+  "test_harvest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harvest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

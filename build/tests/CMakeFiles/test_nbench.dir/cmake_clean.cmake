@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nbench.dir/nbench/test_nbench.cpp.o"
+  "CMakeFiles/test_nbench.dir/nbench/test_nbench.cpp.o.d"
+  "test_nbench"
+  "test_nbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nbench_golden.dir/nbench/test_nbench_golden.cpp.o"
+  "CMakeFiles/test_nbench_golden.dir/nbench/test_nbench_golden.cpp.o.d"
+  "test_nbench_golden"
+  "test_nbench_golden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nbench_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

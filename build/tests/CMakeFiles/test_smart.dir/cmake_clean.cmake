@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smart.dir/smart/test_smart.cpp.o"
+  "CMakeFiles/test_smart.dir/smart/test_smart.cpp.o.d"
+  "test_smart"
+  "test_smart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

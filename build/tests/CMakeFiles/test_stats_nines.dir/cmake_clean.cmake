@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_nines.dir/stats/test_nines.cpp.o"
+  "CMakeFiles/test_stats_nines.dir/stats/test_nines.cpp.o.d"
+  "test_stats_nines"
+  "test_stats_nines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_nines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

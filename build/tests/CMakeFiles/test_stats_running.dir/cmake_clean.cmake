@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_running.dir/stats/test_running_stats.cpp.o"
+  "CMakeFiles/test_stats_running.dir/stats/test_running_stats.cpp.o.d"
+  "test_stats_running"
+  "test_stats_running.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_running.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_timeseries.dir/stats/test_timeseries.cpp.o"
+  "CMakeFiles/test_stats_timeseries.dir/stats/test_timeseries.cpp.o.d"
+  "test_stats_timeseries"
+  "test_stats_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_weekly.dir/stats/test_weekly_profile.cpp.o"
+  "CMakeFiles/test_stats_weekly.dir/stats/test_weekly_profile.cpp.o.d"
+  "test_stats_weekly"
+  "test_stats_weekly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_weekly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

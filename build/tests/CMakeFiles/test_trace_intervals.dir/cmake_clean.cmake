@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_intervals.dir/trace/test_intervals.cpp.o"
+  "CMakeFiles/test_trace_intervals.dir/trace/test_intervals.cpp.o.d"
+  "test_trace_intervals"
+  "test_trace_intervals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_sessions.dir/trace/test_sessions.cpp.o"
+  "CMakeFiles/test_trace_sessions.dir/trace/test_sessions.cpp.o.d"
+  "test_trace_sessions"
+  "test_trace_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

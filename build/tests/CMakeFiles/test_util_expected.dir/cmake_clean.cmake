@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_expected.dir/util/test_expected.cpp.o"
+  "CMakeFiles/test_util_expected.dir/util/test_expected.cpp.o.d"
+  "test_util_expected"
+  "test_util_expected.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_expected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

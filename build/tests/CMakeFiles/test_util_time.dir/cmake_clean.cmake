@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_time.dir/util/test_time.cpp.o"
+  "CMakeFiles/test_util_time.dir/util/test_time.cpp.o.d"
+  "test_util_time"
+  "test_util_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_varint.dir/util/test_varint.cpp.o"
+  "CMakeFiles/test_util_varint.dir/util/test_varint.cpp.o.d"
+  "test_util_varint"
+  "test_util_varint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_varint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_winsim_fleet.dir/winsim/test_fleet.cpp.o"
+  "CMakeFiles/test_winsim_fleet.dir/winsim/test_fleet.cpp.o.d"
+  "test_winsim_fleet"
+  "test_winsim_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_winsim_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_winsim_machine.dir/winsim/test_machine.cpp.o"
+  "CMakeFiles/test_winsim_machine.dir/winsim/test_machine.cpp.o.d"
+  "test_winsim_machine"
+  "test_winsim_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_winsim_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

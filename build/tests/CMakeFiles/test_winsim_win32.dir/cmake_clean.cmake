@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_winsim_win32.dir/winsim/test_win32.cpp.o"
+  "CMakeFiles/test_winsim_win32.dir/winsim/test_win32.cpp.o.d"
+  "test_winsim_win32"
+  "test_winsim_win32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_winsim_win32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

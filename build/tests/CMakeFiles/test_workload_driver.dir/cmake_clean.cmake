@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_driver.dir/workload/test_driver.cpp.o"
+  "CMakeFiles/test_workload_driver.dir/workload/test_driver.cpp.o.d"
+  "test_workload_driver"
+  "test_workload_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_timetable.dir/workload/test_timetable.cpp.o"
+  "CMakeFiles/test_workload_timetable.dir/workload/test_timetable.cpp.o.d"
+  "test_workload_timetable"
+  "test_workload_timetable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_timetable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
