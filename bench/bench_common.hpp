@@ -9,8 +9,26 @@
 
 #include "labmon/core/experiment.hpp"
 #include "labmon/core/report.hpp"
+#include "labmon/obs/span.hpp"
 
 namespace labmon::bench {
+
+/// RAII phase marker: wraps a bench phase ("run", "analyze", "render") in
+/// an obs span so traced bench runs show where the wall time went.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(const std::string& name) : span_("bench." + name) {}
+
+ private:
+  obs::Span span_;
+};
+
+/// Runs the experiment under a "bench.experiment" span.
+inline core::ExperimentResult RunExperiment(
+    const core::ExperimentConfig& config) {
+  ScopedPhase phase("experiment");
+  return core::Experiment::Run(config);
+}
 
 inline int BenchDays() {
   if (const char* env = std::getenv("LABMON_BENCH_DAYS")) {

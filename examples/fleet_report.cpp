@@ -2,34 +2,178 @@
 // the paper (measured vs published) and exports figure data as CSV.
 //
 //   $ ./fleet_report [output_dir] [days] [seed] [scenario.ini]
+//                    [--metrics-out m.prom] [--trace-out t.json]
+//                    [--events-out e.jsonl]
+//
+// --metrics-out wires the collector into the obs default registry and
+// writes a Prometheus text file plus a campaign health report (response
+// rate per lab, iteration-overrun distribution — the paper's 6,883-vs-7,392
+// effect made visible). --trace-out enables span tracing and writes a
+// Chrome trace_event JSON loadable in chrome://tracing / Perfetto.
+// --events-out writes the JSONL event stream (log lines + spans + metrics).
 #include <cstdlib>
+#include <fstream>
+#include <functional>
 #include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
 
 #include "labmon/core/experiment.hpp"
 #include "labmon/core/report.hpp"
+#include "labmon/obs/exporters.hpp"
 #include "labmon/trace/binary_io.hpp"
 #include "labmon/workload/config_io.hpp"
 #include "labmon/util/log.hpp"
 #include "labmon/util/strings.hpp"
 
+namespace {
+
+using namespace labmon;
+
+/// Response rate per lab and the overrun distribution, computed straight
+/// from the registry snapshot (exercises the same data a scrape would see).
+std::string CampaignHealthReport(const obs::Registry& registry) {
+  std::ostringstream out;
+  out << "--- campaign health (from metrics registry) ---\n";
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> by_lab;
+  for (const auto& family : registry.Snapshot()) {
+    if (family.name == "labmon_ddc_probe_outcomes_total") {
+      for (const auto& point : family.counters) {
+        std::string lab;
+        std::string outcome;
+        for (const auto& [key, value] : point.labels) {
+          if (key == "lab") lab = value;
+          if (key == "outcome") outcome = value;
+        }
+        auto& [ok, total] = by_lab[lab];
+        total += point.value;
+        if (outcome == "ok") ok += point.value;
+      }
+    } else if (family.name == "labmon_ddc_iteration_overrun_seconds") {
+      for (const auto& point : family.histograms) {
+        out << "iteration overrun distribution (" << point.count
+            << " iterations):\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < point.boundaries.size(); ++i) {
+          cumulative += point.buckets[i];
+          out << "  <= " << util::FormatFixed(point.boundaries[i], 0)
+              << " s: " << cumulative << '\n';
+        }
+        out << "  >  "
+            << util::FormatFixed(point.boundaries.empty()
+                                     ? 0.0
+                                     : point.boundaries.back(),
+                                 0)
+            << " s: " << point.count - cumulative << '\n';
+        out << "  mean overrun: "
+            << util::FormatFixed(
+                   point.count ? point.sum / static_cast<double>(point.count)
+                               : 0.0,
+                   1)
+            << " s\n";
+      }
+    }
+  }
+  out << "response rate per lab:\n";
+  for (const auto& [lab, counts] : by_lab) {
+    const auto [ok, total] = counts;
+    out << "  " << lab << ": "
+        << util::FormatFixed(
+               total ? 100.0 * static_cast<double>(ok) /
+                           static_cast<double>(total)
+                     : 0.0,
+               1)
+        << "% (" << ok << "/" << total << ")\n";
+  }
+  return out.str();
+}
+
+bool WriteFileOrComplain(const std::string& path,
+                         const std::function<void(std::ostream&)>& fill) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    return false;
+  }
+  fill(out);
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace labmon;
   util::log::SetLevel(util::log::Level::kInfo);
 
-  const std::string out_dir = argc > 1 ? argv[1] : "report_out";
-  core::ExperimentConfig config;
-  if (argc > 2) config.campus.days = std::atoi(argv[2]);
-  if (argc > 3) {
-    config.campus.seed = static_cast<std::uint64_t>(std::atoll(argv[3]));
+  std::string metrics_out;
+  std::string trace_out;
+  std::string events_out;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto flag_value = [&](const char* name) -> const char* {
+      if (arg != name) return nullptr;
+      if (i + 1 >= argc) {
+        std::cerr << name << " requires a path argument\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (const char* v = flag_value("--metrics-out")) {
+      metrics_out = v;
+    } else if (const char* v = flag_value("--trace-out")) {
+      trace_out = v;
+    } else if (const char* v = flag_value("--events-out")) {
+      events_out = v;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag " << arg << '\n';
+      return 1;
+    } else {
+      positional.push_back(arg);
+    }
   }
-  if (argc > 4) {
-    auto loaded = workload::LoadCampusConfig(argv[4], config.campus);
+
+  const std::string out_dir = !positional.empty() ? positional[0] : "report_out";
+  core::ExperimentConfig config;
+  if (positional.size() > 1) config.campus.days = std::atoi(positional[1].c_str());
+  if (positional.size() > 2) {
+    config.campus.seed =
+        static_cast<std::uint64_t>(std::atoll(positional[2].c_str()));
+  }
+  if (positional.size() > 3) {
+    auto loaded = workload::LoadCampusConfig(positional[3], config.campus);
     if (!loaded.ok()) {
       std::cerr << "scenario file error: " << loaded.error() << '\n';
       return 1;
     }
     config.campus = loaded.value();
-    std::cout << "scenario overrides loaded from " << argv[4] << "\n";
+    std::cout << "scenario overrides loaded from " << positional[3] << "\n";
+  }
+
+  // Observability wiring: metrics registry, span tracer, JSONL log capture.
+  if (!metrics_out.empty()) {
+    config.collector.metrics = &obs::DefaultRegistry();
+  }
+  if (!trace_out.empty() || !events_out.empty()) {
+    obs::DefaultTracer().set_enabled(true);
+    config.collector.tracer = &obs::DefaultTracer();
+  }
+  std::ofstream events_file;
+  std::unique_ptr<obs::JsonlWriter> events;
+  if (!events_out.empty()) {
+    events_file.open(events_out, std::ios::binary);
+    if (!events_file) {
+      std::cerr << "cannot open " << events_out << " for writing\n";
+      return 1;
+    }
+    events = std::make_unique<obs::JsonlWriter>(events_file);
+    // Tee log lines into the event stream (stderr keeps working via the
+    // sink printing too).
+    util::log::SetSink([&](util::log::Level level, std::string_view message) {
+      obs::MakeLogSink(*events)(level, message);
+      std::cerr << "[labmon] " << message << '\n';
+    });
   }
 
   const auto result = core::Experiment::Run(config);
@@ -62,6 +206,35 @@ int main(int argc, char** argv) {
     std::cerr << "trace export failed: " << saved.error() << '\n';
     return 1;
   }
+
+  if (!metrics_out.empty()) {
+    if (!WriteFileOrComplain(metrics_out, [](std::ostream& out) {
+          obs::WritePrometheus(obs::DefaultRegistry(), out);
+        })) {
+      return 1;
+    }
+    std::cout << '\n' << CampaignHealthReport(obs::DefaultRegistry());
+    std::cout << "metrics written to " << metrics_out << '\n';
+  }
+  if (!trace_out.empty()) {
+    if (!WriteFileOrComplain(trace_out, [](std::ostream& out) {
+          obs::WriteChromeTrace(obs::DefaultTracer(), out);
+        })) {
+      return 1;
+    }
+    std::cout << "chrome trace written to " << trace_out
+              << " (open in chrome://tracing or ui.perfetto.dev; "
+              << obs::DefaultTracer().size() << " spans, "
+              << obs::DefaultTracer().dropped() << " dropped)\n";
+  }
+  if (events) {
+    obs::WriteSpansJsonl(obs::DefaultTracer(), *events);
+    obs::WriteMetricsJsonl(obs::DefaultRegistry(), *events);
+    util::log::SetSink({});  // detach before the writer goes away
+    std::cout << "event stream written to " << events_out << " ("
+              << events->events() << " events)\n";
+  }
+
   std::cout << "figure data written to " << out_dir
             << "/, full trace to " << trace_path
             << " (explore it with trace_explorer)\n";

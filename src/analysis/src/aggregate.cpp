@@ -1,5 +1,7 @@
 #include "labmon/analysis/aggregate.hpp"
 
+#include "labmon/obs/span.hpp"
+
 #include "labmon/stats/running_stats.hpp"
 #include "labmon/util/strings.hpp"
 #include "labmon/util/table.hpp"
@@ -47,6 +49,7 @@ struct Accumulator {
 
 Table2Result ComputeTable2(const trace::TraceStore& trace,
                            const trace::IntervalOptions& options) {
+  obs::Span span("analysis.table2");
   Table2Result result;
   result.total_attempts = trace.TotalAttempts();
   result.iterations = trace.iterations().size();

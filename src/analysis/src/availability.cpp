@@ -1,5 +1,7 @@
 #include "labmon/analysis/availability.hpp"
 
+#include "labmon/obs/span.hpp"
+
 #include <algorithm>
 
 #include "labmon/stats/nines.hpp"
@@ -11,6 +13,7 @@ namespace labmon::analysis {
 
 AvailabilitySeries ComputeAvailabilitySeries(
     const trace::TraceStore& trace, std::int64_t forgotten_threshold_s) {
+  obs::Span span("analysis.availability");
   AvailabilitySeries series;
   // Per-iteration counters (iterations appear in order in the metadata).
   std::vector<std::uint32_t> on(trace.iterations().size(), 0);
@@ -31,6 +34,7 @@ AvailabilitySeries ComputeAvailabilitySeries(
 }
 
 UptimeRanking ComputeUptimeRanking(const trace::TraceStore& trace) {
+  obs::Span span("analysis.uptime_ranking");
   UptimeRanking ranking;
   const auto responses = trace.ResponsesPerMachine();
   // Attempts per machine = iteration count (every iteration probes all).
@@ -59,6 +63,7 @@ UptimeRanking ComputeUptimeRanking(const trace::TraceStore& trace) {
 
 SessionLengthDistribution ComputeSessionLengthDistribution(
     const std::vector<trace::MachineSession>& sessions) {
+  obs::Span span("analysis.session_lengths");
   SessionLengthDistribution dist{
       stats::Histogram(0.0, 96.0, 48), 0, 0.0, 0.0, 0.0, 0.0};
   stats::RunningStats lengths;

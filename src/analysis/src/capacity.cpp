@@ -1,5 +1,7 @@
 #include "labmon/analysis/capacity.hpp"
 
+#include "labmon/obs/span.hpp"
+
 #include <algorithm>
 #include <vector>
 
@@ -23,6 +25,7 @@ double Percentile(std::vector<double> values, double q) {
 
 CapacityResult ComputeHarvestableCapacity(const trace::TraceStore& trace,
                                           const CapacityOptions& options) {
+  obs::Span span("analysis.capacity");
   CapacityResult result;
   const std::size_t iterations = trace.iterations().size();
   std::vector<double> ram_mb_sum(iterations, 0.0);

@@ -1,5 +1,7 @@
 #include "labmon/analysis/equivalence.hpp"
 
+#include "labmon/obs/span.hpp"
+
 #include <cassert>
 
 #include "labmon/stats/running_stats.hpp"
@@ -13,6 +15,7 @@ EquivalenceResult ComputeEquivalence(const trace::TraceStore& trace,
                                      const std::vector<double>& perf_index,
                                      int bin_minutes,
                                      std::int64_t forgotten_threshold_s) {
+  obs::Span span("analysis.equivalence");
   assert(perf_index.size() >= trace.machine_count());
   double fleet_perf = 0.0;
   for (std::size_t m = 0; m < trace.machine_count(); ++m) {

@@ -1,5 +1,7 @@
 #include "labmon/analysis/per_lab.hpp"
 
+#include "labmon/obs/span.hpp"
+
 #include <map>
 
 #include "labmon/stats/running_stats.hpp"
@@ -24,6 +26,7 @@ struct LabAccumulator {
 std::vector<LabUsage> ComputePerLabUsage(const trace::TraceStore& trace,
                                          const std::vector<LabKey>& labs,
                                          std::int64_t forgotten_threshold_s) {
+  obs::Span span("analysis.per_lab");
   // Machine -> lab mapping.
   std::vector<std::size_t> lab_of(trace.machine_count(), labs.size());
   for (std::size_t l = 0; l < labs.size(); ++l) {
@@ -87,6 +90,7 @@ std::vector<LabUsage> ComputePerLabUsage(const trace::TraceStore& trace,
 }
 
 ResourceHeadroom ComputeResourceHeadroom(const trace::TraceStore& trace) {
+  obs::Span span("analysis.headroom");
   ResourceHeadroom h;
   stats::RunningStats idle;
   stats::RunningStats unused_ram_pct;

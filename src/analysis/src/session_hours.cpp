@@ -1,5 +1,7 @@
 #include "labmon/analysis/session_hours.hpp"
 
+#include "labmon/obs/span.hpp"
+
 #include <algorithm>
 #include <limits>
 
@@ -12,6 +14,7 @@ namespace labmon::analysis {
 
 SessionHourProfile ComputeSessionHourProfile(const trace::TraceStore& trace,
                                              int max_hours) {
+  obs::Span span("analysis.session_hours");
   std::vector<stats::RunningStats> bins(
       static_cast<std::size_t>(max_hours) + 1);
 

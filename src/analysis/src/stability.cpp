@@ -1,5 +1,7 @@
 #include "labmon/analysis/stability.hpp"
 
+#include "labmon/obs/span.hpp"
+
 #include "labmon/stats/running_stats.hpp"
 #include "labmon/util/strings.hpp"
 #include "labmon/util/table.hpp"
@@ -8,6 +10,7 @@ namespace labmon::analysis {
 
 SessionStats ComputeSessionStats(
     const std::vector<trace::MachineSession>& sessions) {
+  obs::Span span("analysis.session_stats");
   SessionStats out;
   stats::RunningStats lengths;
   for (const auto& s : sessions) {
@@ -22,6 +25,7 @@ SessionStats ComputeSessionStats(
 SmartStats ComputeSmartStats(const trace::TraceStore& trace,
                              std::uint64_t session_count,
                              int experiment_days) {
+  obs::Span span("analysis.smart_stats");
   SmartStats out;
   stats::RunningStats per_machine_cycles;
   stats::RunningStats experiment_ratio;

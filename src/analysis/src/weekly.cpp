@@ -1,5 +1,7 @@
 #include "labmon/analysis/weekly.hpp"
 
+#include "labmon/obs/span.hpp"
+
 #include "labmon/trace/intervals.hpp"
 #include "labmon/util/strings.hpp"
 #include "labmon/util/table.hpp"
@@ -8,6 +10,7 @@ namespace labmon::analysis {
 
 WeeklyProfiles ComputeWeeklyProfiles(const trace::TraceStore& trace,
                                      int bin_minutes) {
+  obs::Span span("analysis.weekly");
   WeeklyProfiles p{stats::WeeklyProfile(bin_minutes),
                    stats::WeeklyProfile(bin_minutes),
                    stats::WeeklyProfile(bin_minutes),

@@ -1,6 +1,7 @@
 #include "labmon/core/experiment.hpp"
 
 #include "labmon/ddc/w32_probe.hpp"
+#include "labmon/obs/span.hpp"
 #include "labmon/trace/sink.hpp"
 #include "labmon/util/log.hpp"
 #include "labmon/util/strings.hpp"
@@ -9,8 +10,13 @@
 namespace labmon::core {
 
 ExperimentResult Experiment::Run(const ExperimentConfig& config) {
+  obs::Span run_span("experiment.run");
+  run_span.SetSimRange(0, config.campus.EndTime());
   util::Rng rng(config.campus.seed);
-  winsim::Fleet fleet = winsim::MakePaperFleet(rng, config.prior_life);
+  winsim::Fleet fleet = [&] {
+    obs::Span build_span("experiment.build_fleet");
+    return winsim::MakePaperFleet(rng, config.prior_life);
+  }();
   workload::WorkloadDriver driver(fleet, config.campus);
 
   ExperimentResult result;
@@ -29,8 +35,12 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config) {
   util::log::Info("running " + std::to_string(config.campus.days) +
                   "-day experiment over " + std::to_string(fleet.size()) +
                   " machines");
-  result.run_stats = coordinator.Run(0, config.campus.EndTime());
-  driver.FinishAt(config.campus.EndTime());
+  {
+    obs::Span collect_span("experiment.collect");
+    collect_span.SetSimRange(0, config.campus.EndTime());
+    result.run_stats = coordinator.Run(0, config.campus.EndTime());
+    driver.FinishAt(config.campus.EndTime());
+  }
 
   result.ground_truth = driver.ground_truth();
   result.parse_failures = sink.parse_failures();

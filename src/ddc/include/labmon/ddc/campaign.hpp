@@ -16,6 +16,7 @@
 
 #include "labmon/ddc/executor.hpp"
 #include "labmon/ddc/probe.hpp"
+#include "labmon/obs/registry.hpp"
 #include "labmon/winsim/fleet.hpp"
 
 namespace labmon::ddc {
@@ -46,6 +47,9 @@ struct CampaignConfig {
   util::SimTime deadline = 14 * util::kSecondsPerDay;
   ExecPolicy exec_policy;
   std::uint64_t seed = 0xca3b41a7;
+  /// Injectable per-campaign registry: pass/attempt/completion counters and
+  /// coverage gauge are reported here. Null disables instrumentation.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Runs `probe` once on every machine of the fleet, sweeping the pending

@@ -18,6 +18,8 @@
 
 #include "labmon/ddc/executor.hpp"
 #include "labmon/ddc/probe.hpp"
+#include "labmon/obs/registry.hpp"
+#include "labmon/obs/span.hpp"
 #include "labmon/util/time.hpp"
 #include "labmon/winsim/fleet.hpp"
 
@@ -55,6 +57,13 @@ struct CoordinatorConfig {
   int workers = 8;  ///< parallel-simulated worker count
   ExecPolicy exec_policy;
   std::uint64_t seed = 0xddc0ffee;
+  /// Metrics registry the run reports into (per-machine attempt/outcome
+  /// counters, latency histograms, iteration-overrun gauges). Null opts the
+  /// hot path out of instrumentation entirely.
+  obs::Registry* metrics = nullptr;
+  /// Tracer receiving "coordinator.iteration"/"executor.execute" spans.
+  /// Null (or a disabled tracer) records nothing.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Aggregate statistics of a monitoring run.
@@ -85,16 +94,28 @@ class Coordinator {
               std::function<void(util::SimTime)> advance = {});
 
   /// Runs iterations from `start` until the iteration start would reach
-  /// `end`. Returns run statistics.
+  /// `end`. Returns run statistics. Tallies are per-run: calling Run()
+  /// again on the same coordinator starts from zero.
   RunStats Run(util::SimTime start, util::SimTime end);
 
  private:
+  /// Per-machine instruments, resolved once per Run() so the probe loop
+  /// only touches cached pointers.
+  struct MachineInstruments {
+    obs::Counter* attempts = nullptr;
+    obs::Counter* ok = nullptr;
+    obs::Counter* timeout = nullptr;
+    obs::Counter* error = nullptr;
+  };
+
   [[nodiscard]] util::SimTime RunIterationSequential(std::uint64_t iteration,
                                                      util::SimTime start);
   [[nodiscard]] util::SimTime RunIterationParallel(std::uint64_t iteration,
                                                    util::SimTime start);
   void AdvanceTo(util::SimTime t);
-  void Tally(const ExecOutcome& outcome) noexcept;
+  void Tally(std::size_t machine_index, const ExecOutcome& outcome) noexcept;
+  ExecOutcome ExecuteOne(std::size_t machine_index, util::SimTime t);
+  void BindInstruments();
 
   std::uint64_t attempts_ = 0;
   std::uint64_t successes_ = 0;
@@ -107,6 +128,13 @@ class Coordinator {
   SampleSink& sink_;
   std::function<void(util::SimTime)> advance_;
   RemoteExecutor executor_;
+
+  std::vector<MachineInstruments> machine_metrics_;
+  obs::Histogram* latency_hist_[3] = {nullptr, nullptr, nullptr};
+  obs::Histogram* iteration_hist_ = nullptr;
+  obs::Histogram* overrun_hist_ = nullptr;
+  obs::Gauge* overrun_gauge_ = nullptr;
+  obs::Counter* iterations_counter_ = nullptr;
 };
 
 }  // namespace labmon::ddc

@@ -6,6 +6,19 @@
 
 namespace labmon::ddc {
 
+namespace {
+/// Probe latencies live between ~0.3 s (LAN success) and ~15 s (dead-host
+/// timeout); buckets cover both regimes.
+const std::vector<double> kLatencyBounds = {0.5, 1.0, 2.0, 4.0, 8.0, 16.0};
+/// Iteration durations in seconds; the paper's period is 900 s, overruns
+/// reach into the tens of minutes.
+const std::vector<double> kIterationBounds = {300.0,  600.0,  900.0,
+                                              1200.0, 1800.0, 3600.0};
+/// Overrun beyond the period, seconds (0-bucket = iteration fit the period).
+const std::vector<double> kOverrunBounds = {0.0,   60.0,   120.0,
+                                            300.0, 600.0, 1800.0};
+}  // namespace
+
 Coordinator::Coordinator(winsim::Fleet& fleet, Probe& probe,
                          CoordinatorConfig config, SampleSink& sink,
                          std::function<void(util::SimTime)> advance)
@@ -14,35 +27,119 @@ Coordinator::Coordinator(winsim::Fleet& fleet, Probe& probe,
       config_(config),
       sink_(sink),
       advance_(std::move(advance)),
-      executor_(config.exec_policy, config.seed) {}
+      executor_(config.exec_policy, config.seed) {
+  // Resolve instruments once: the probe loop must only touch cached
+  // atomics, never the registry mutex or label strings.
+  if (config_.metrics) BindInstruments();
+}
 
 void Coordinator::AdvanceTo(util::SimTime t) {
   if (advance_) advance_(t);
 }
 
-void Coordinator::Tally(const ExecOutcome& outcome) noexcept {
+void Coordinator::BindInstruments() {
+  obs::Registry& registry = *config_.metrics;
+  machine_metrics_.resize(fleet_.size());
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+    const std::string& machine = fleet_.machine(i).spec().name;
+    const std::string& lab = fleet_.labs()[fleet_.LabOf(i)].name;
+    MachineInstruments& m = machine_metrics_[i];
+    m.attempts = &registry.GetCounter(
+        "labmon_ddc_probe_attempts_total",
+        "Remote probe executions attempted per machine",
+        {{"machine", machine}, {"lab", lab}});
+    m.ok = &registry.GetCounter(
+        "labmon_ddc_probe_outcomes_total",
+        "Probe attempt outcomes per machine",
+        {{"machine", machine}, {"lab", lab}, {"outcome", "ok"}});
+    m.timeout = &registry.GetCounter(
+        "labmon_ddc_probe_outcomes_total", "",
+        {{"machine", machine}, {"lab", lab}, {"outcome", "timeout"}});
+    m.error = &registry.GetCounter(
+        "labmon_ddc_probe_outcomes_total", "",
+        {{"machine", machine}, {"lab", lab}, {"outcome", "error"}});
+  }
+  const char* outcome_names[3] = {"ok", "timeout", "error"};
+  for (int s = 0; s < 3; ++s) {
+    latency_hist_[s] = &registry.GetHistogram(
+        "labmon_ddc_probe_latency_seconds", kLatencyBounds,
+        "Wall time one remote execution attempt consumed",
+        {{"outcome", outcome_names[s]}});
+  }
+  iteration_hist_ = &registry.GetHistogram(
+      "labmon_ddc_iteration_seconds", kIterationBounds,
+      "Duration of one full sweep over the machine set");
+  overrun_hist_ = &registry.GetHistogram(
+      "labmon_ddc_iteration_overrun_seconds", kOverrunBounds,
+      "Seconds an iteration ran past the sampling period");
+  overrun_gauge_ = &registry.GetGauge(
+      "labmon_ddc_iteration_overrun_current_seconds",
+      "Overrun of the most recent iteration");
+  iterations_counter_ = &registry.GetCounter(
+      "labmon_ddc_iterations_total", "Completed coordinator iterations");
+}
+
+void Coordinator::Tally(std::size_t machine_index,
+                        const ExecOutcome& outcome) noexcept {
   ++attempts_;
   switch (outcome.status) {
     case ExecOutcome::Status::kOk: ++successes_; break;
     case ExecOutcome::Status::kTimeout: ++timeouts_; break;
     case ExecOutcome::Status::kError: ++errors_; break;
   }
+  if (machine_metrics_.empty()) return;
+  const MachineInstruments& m = machine_metrics_[machine_index];
+  m.attempts->Increment();
+  switch (outcome.status) {
+    case ExecOutcome::Status::kOk: m.ok->Increment(); break;
+    case ExecOutcome::Status::kTimeout: m.timeout->Increment(); break;
+    case ExecOutcome::Status::kError: m.error->Increment(); break;
+  }
+  latency_hist_[static_cast<int>(outcome.status)]->Observe(outcome.latency_s);
+}
+
+ExecOutcome Coordinator::ExecuteOne(std::size_t machine_index,
+                                    util::SimTime t) {
+  obs::Span span("executor.execute", config_.tracer);
+  ExecOutcome outcome = executor_.Execute(probe_, fleet_.machine(machine_index), t);
+  if (span.active()) {
+    span.SetSimRange(
+        t, t + static_cast<util::SimTime>(std::llround(outcome.latency_s)));
+  }
+  return outcome;
 }
 
 RunStats Coordinator::Run(util::SimTime start, util::SimTime end) {
+  // Tallies are per-run; without this a second Run() would fold the first
+  // run's counts into its RunStats.
+  attempts_ = successes_ = timeouts_ = errors_ = 0;
+
   RunStats stats;
   double iteration_s_sum = 0.0;
   util::SimTime iteration_start = start;
   while (iteration_start < end) {
-    const util::SimTime iteration_end =
-        config_.mode == CoordinatorConfig::Mode::kSequential
-            ? RunIterationSequential(stats.iterations, iteration_start)
-            : RunIterationParallel(stats.iterations, iteration_start);
+    util::SimTime iteration_end;
+    {
+      obs::Span span("coordinator.iteration", config_.tracer);
+      iteration_end =
+          config_.mode == CoordinatorConfig::Mode::kSequential
+              ? RunIterationSequential(stats.iterations, iteration_start)
+              : RunIterationParallel(stats.iterations, iteration_start);
+      span.SetSimRange(iteration_start, iteration_end);
+    }
     sink_.OnIterationEnd(stats.iterations, iteration_start, iteration_end);
     const double duration =
         static_cast<double>(iteration_end - iteration_start);
     iteration_s_sum += duration;
     stats.max_iteration_s = std::max(stats.max_iteration_s, duration);
+    if (iterations_counter_) {
+      iterations_counter_->Increment();
+      iteration_hist_->Observe(duration);
+      const double overrun =
+          std::max(0.0, duration - static_cast<double>(config_.period));
+      overrun_hist_->Observe(overrun);
+      overrun_gauge_->Set(overrun);
+    }
     ++stats.iterations;
     stats.total_span_s = static_cast<double>(iteration_end - start);
     // Next attempt at the next period boundary — or immediately, when the
@@ -71,8 +168,8 @@ util::SimTime Coordinator::RunIterationSequential(std::uint64_t iteration,
     sample.machine_index = i;
     sample.iteration = iteration;
     sample.attempt_time = now;
-    sample.outcome = executor_.Execute(probe_, fleet_.machine(i), now);
-    Tally(sample.outcome);
+    sample.outcome = ExecuteOne(i, now);
+    Tally(i, sample.outcome);
     sink_.OnSample(sample);
     now += static_cast<util::SimTime>(
         std::llround(sample.outcome.latency_s));
@@ -100,8 +197,8 @@ util::SimTime Coordinator::RunIterationParallel(std::uint64_t iteration,
     sample.machine_index = i;
     sample.iteration = iteration;
     sample.attempt_time = free_at;
-    sample.outcome = executor_.Execute(probe_, fleet_.machine(i), free_at);
-    Tally(sample.outcome);
+    sample.outcome = ExecuteOne(i, free_at);
+    Tally(i, sample.outcome);
     sink_.OnSample(sample);
     const util::SimTime done =
         free_at +

@@ -1,0 +1,34 @@
+// Exporters — turn a Registry / Tracer into external formats:
+//  * Prometheus text exposition (metrics scrape / file inspection),
+//  * Chrome trace_event JSON (open in chrome://tracing or Perfetto),
+//  * JSONL event stream (spans + metrics as line-delimited JSON).
+#pragma once
+
+#include <ostream>
+
+#include "labmon/obs/jsonl.hpp"
+#include "labmon/obs/registry.hpp"
+#include "labmon/obs/span.hpp"
+
+namespace labmon::obs {
+
+/// Prometheus text exposition format 0.0.4: # HELP/# TYPE headers, one line
+/// per series, histograms as cumulative le="" buckets plus _sum/_count.
+/// Deterministic: families in name order, series in label order.
+void WritePrometheus(const Registry& registry, std::ostream& out);
+
+/// Chrome trace_event JSON. Spans become "X" (complete) events on two
+/// synthetic processes: pid 1 carries the wall-clock timeline, and spans
+/// with a sim range are mirrored on pid 2 where 1 simulated second is
+/// rendered as 1 second (ts/dur in microseconds). Load the file in
+/// chrome://tracing or https://ui.perfetto.dev.
+void WriteChromeTrace(const Tracer& tracer, std::ostream& out);
+
+/// Appends every retained span as a {"type":"span",...} event.
+void WriteSpansJsonl(const Tracer& tracer, JsonlWriter& writer);
+
+/// Appends the registry snapshot as {"type":"metric",...} events
+/// (histograms dump count/sum/mean, not individual buckets).
+void WriteMetricsJsonl(const Registry& registry, JsonlWriter& writer);
+
+}  // namespace labmon::obs

@@ -1,0 +1,52 @@
+// JSONL event stream — one JSON object per line, the third labmon::obs
+// export format. Carries heterogeneous events (spans, log lines, metric
+// dumps) so a whole campaign can be replayed from a single append-only
+// file.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string_view>
+
+#include "labmon/util/log.hpp"
+
+namespace labmon::obs {
+
+/// Serialises flat JSON objects line by line. Thread-safe: each
+/// Begin()..End() sequence holds the writer lock, so events from
+/// concurrent threads interleave only at line granularity.
+class JsonlWriter {
+ public:
+  explicit JsonlWriter(std::ostream& out) : out_(&out) {}
+  JsonlWriter(const JsonlWriter&) = delete;
+  JsonlWriter& operator=(const JsonlWriter&) = delete;
+
+  /// Opens an event object and writes its "type" field.
+  JsonlWriter& Begin(std::string_view type);
+  JsonlWriter& Field(std::string_view key, std::string_view value);
+  JsonlWriter& Field(std::string_view key, const char* value) {
+    return Field(key, std::string_view(value));
+  }
+  JsonlWriter& Field(std::string_view key, double value);
+  JsonlWriter& Field(std::string_view key, std::int64_t value);
+  JsonlWriter& Field(std::string_view key, std::uint64_t value);
+  /// Closes the object and emits the newline.
+  void End();
+
+  [[nodiscard]] std::uint64_t events() const noexcept { return events_; }
+
+ private:
+  std::ostream* out_;
+  std::mutex mutex_;
+  bool open_ = false;
+  std::uint64_t events_ = 0;
+};
+
+/// Builds a util::log sink that appends every emitted log line to `writer`
+/// as {"type":"log","level":"warn","message":...}. Install it with
+/// util::log::SetSink; the writer must outlive the installation.
+[[nodiscard]] util::log::Sink MakeLogSink(JsonlWriter& writer);
+
+}  // namespace labmon::obs

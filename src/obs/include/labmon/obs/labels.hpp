@@ -1,0 +1,27 @@
+// Metric labels — ordered key/value pairs attached to an instrument, e.g.
+// {lab="L01", outcome="timeout"}. Labels are canonicalised (sorted by key)
+// on registration so {a=1,b=2} and {b=2,a=1} name the same time series.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace labmon::obs {
+
+/// One label set. Kept as a flat vector: label counts are tiny (0-3) and a
+/// flat sorted vector beats a map for both lookup-key use and iteration.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Returns `labels` sorted by key (ties keep first occurrence order).
+[[nodiscard]] Labels Canonical(Labels labels);
+
+/// Escapes a label value for Prometheus/JSON exposition: backslash, double
+/// quote and newline become \\, \" and \n.
+[[nodiscard]] std::string EscapeLabelValue(std::string_view value);
+
+/// Renders `{k1="v1",k2="v2"}`, or "" for an empty set.
+[[nodiscard]] std::string RenderLabels(const Labels& labels);
+
+}  // namespace labmon::obs

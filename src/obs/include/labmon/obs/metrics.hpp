@@ -1,0 +1,97 @@
+// The three instrument kinds of labmon::obs.
+//
+// Instruments are lock-free on the write path: Counter and Histogram use
+// relaxed atomics, Gauge uses a CAS loop on an atomic<double>. Registry
+// lookups (which do take a mutex) are meant to happen once, outside hot
+// loops — callers cache the returned reference/pointer.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace labmon::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (may go up and down).
+class Gauge {
+ public:
+  void Set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-boundary histogram (Prometheus bucket semantics: bucket i counts
+/// observations <= boundaries[i]; one extra bucket catches the rest).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> boundaries)
+      : boundaries_(std::move(boundaries)),
+        buckets_(boundaries_.size() + 1) {}
+
+  void Observe(double v) noexcept {
+    const auto it =
+        std::lower_bound(boundaries_.begin(), boundaries_.end(), v);
+    buckets_[static_cast<std::size_t>(it - boundaries_.begin())].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] const std::vector<double>& boundaries() const noexcept {
+    return boundaries_;
+  }
+  /// Non-cumulative count of bucket `i` (i == boundaries().size() is the
+  /// overflow / +Inf bucket).
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return buckets_.size();
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept {
+    const auto n = count();
+    return n ? sum() / static_cast<double>(n) : 0.0;
+  }
+
+ private:
+  std::vector<double> boundaries_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+}  // namespace labmon::obs

@@ -1,0 +1,107 @@
+// Metrics registry — named families of Counter/Gauge/Histogram instruments
+// keyed by canonical label set.
+//
+// Two usage modes, matching the DDC pipeline:
+//  * the process-global DefaultRegistry() — what binary_io, campaigns and
+//    fleet_report use by default;
+//  * injectable per-campaign registries — CoordinatorConfig/CampaignConfig
+//    carry a nullable Registry*; null opts the hot path out entirely.
+//
+// Lookups take a mutex; returned references are stable for the registry's
+// lifetime, so hot paths resolve instruments once and cache the pointer.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "labmon/obs/labels.hpp"
+#include "labmon/obs/metrics.hpp"
+
+namespace labmon::obs {
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// Point-in-time copies used by exporters and report code.
+struct CounterPoint {
+  Labels labels;
+  std::uint64_t value = 0;
+};
+struct GaugePoint {
+  Labels labels;
+  double value = 0.0;
+};
+struct HistogramPoint {
+  Labels labels;
+  std::vector<double> boundaries;
+  std::vector<std::uint64_t> buckets;  ///< non-cumulative, +Inf last
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+struct FamilySnapshot {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  std::vector<CounterPoint> counters;
+  std::vector<GaugePoint> gauges;
+  std::vector<HistogramPoint> histograms;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the instrument for (name, labels), creating family and/or
+  /// series on first use. `help` is kept from the first registration.
+  /// Requesting an existing family under a different type is reported via
+  /// util::log and returns a detached dummy instrument (writes are lost but
+  /// safe) rather than corrupting the family.
+  Counter& GetCounter(std::string_view name, std::string_view help = "",
+                      Labels labels = {});
+  Gauge& GetGauge(std::string_view name, std::string_view help = "",
+                  Labels labels = {});
+  /// `boundaries` must be sorted ascending; they are fixed by the first
+  /// registration of the family (later calls reuse them).
+  Histogram& GetHistogram(std::string_view name,
+                          std::vector<double> boundaries,
+                          std::string_view help = "", Labels labels = {});
+
+  /// Consistent copy of every family, families in name order and series in
+  /// canonical label order (deterministic exporter output).
+  [[nodiscard]] std::vector<FamilySnapshot> Snapshot() const;
+
+  [[nodiscard]] std::size_t family_count() const;
+
+  /// Drops every family. Only for tests.
+  void Clear();
+
+ private:
+  struct Family {
+    MetricType type = MetricType::kCounter;
+    std::string help;
+    std::vector<double> boundaries;  ///< histograms only
+    std::map<Labels, std::unique_ptr<Counter>> counters;
+    std::map<Labels, std::unique_ptr<Gauge>> gauges;
+    std::map<Labels, std::unique_ptr<Histogram>> histograms;
+  };
+
+  Family& GetFamily(std::string_view name, std::string_view help,
+                    MetricType type, bool& type_ok);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family, std::less<>> families_;
+  // Sinks for type-mismatched lookups; never exported.
+  Counter mismatch_counter_;
+  Gauge mismatch_gauge_;
+  std::unique_ptr<Histogram> mismatch_histogram_;
+};
+
+/// The process-global registry.
+[[nodiscard]] Registry& DefaultRegistry();
+
+}  // namespace labmon::obs

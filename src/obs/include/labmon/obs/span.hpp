@@ -1,0 +1,96 @@
+// Trace spans — RAII timing scopes ("coordinator.iteration",
+// "analysis.table2") recorded into a bounded in-memory ring buffer.
+//
+// A span captures both wall time (microseconds of steady clock, relative to
+// the tracer's construction instant) and, optionally, simulation time.
+// When the owning tracer is disabled (the default) constructing a Span
+// costs one atomic load and no clock reads, so library code can be
+// instrumented unconditionally.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "labmon/util/time.hpp"
+
+namespace labmon::obs {
+
+/// One completed span.
+struct SpanRecord {
+  std::string name;
+  std::uint64_t start_us = 0;     ///< wall clock, relative to tracer epoch
+  std::uint64_t duration_us = 0;  ///< wall-clock duration
+  util::SimTime sim_start = -1;   ///< simulation range; -1 = not set
+  util::SimTime sim_end = -1;
+  std::uint32_t thread_id = 0;    ///< small per-process thread ordinal
+  std::uint32_t depth = 0;        ///< nesting depth within the thread
+  std::uint64_t seq = 0;          ///< global completion order
+};
+
+/// Bounded span store. When full, the oldest records are overwritten; the
+/// drop count is kept so exports can say so.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 8192);
+
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since tracer construction (steady clock).
+  [[nodiscard]] std::uint64_t NowMicros() const noexcept;
+
+  void Record(SpanRecord record);
+
+  /// Retained records in completion order (oldest first).
+  [[nodiscard]] std::vector<SpanRecord> Snapshot() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Records evicted by the ring since construction/Clear.
+  [[nodiscard]] std::uint64_t dropped() const;
+  void Clear();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;
+  std::size_t head_ = 0;         ///< next write slot once the ring is full
+  std::uint64_t recorded_ = 0;   ///< total Record() calls
+};
+
+/// The process-global tracer (disabled until someone enables it).
+[[nodiscard]] Tracer& DefaultTracer();
+
+/// RAII timing scope. Records into `tracer` at destruction when the tracer
+/// was enabled at construction; a null/disabled tracer makes the whole
+/// object a no-op.
+class Span {
+ public:
+  explicit Span(std::string_view name, Tracer* tracer = &DefaultTracer());
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  /// Attaches the simulation-time range the span covers.
+  void SetSimRange(util::SimTime start, util::SimTime end) noexcept {
+    record_.sim_start = start;
+    record_.sim_end = end;
+  }
+  [[nodiscard]] bool active() const noexcept { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_ = nullptr;  ///< null = disabled at construction
+  SpanRecord record_;
+};
+
+}  // namespace labmon::obs

@@ -1,0 +1,95 @@
+#include "labmon/obs/jsonl.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace labmon::obs {
+
+namespace {
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* LevelName(util::log::Level level) {
+  switch (level) {
+    case util::log::Level::kDebug: return "debug";
+    case util::log::Level::kInfo: return "info";
+    case util::log::Level::kWarn: return "warn";
+    case util::log::Level::kError: return "error";
+    case util::log::Level::kOff: return "off";
+  }
+  return "unknown";
+}
+}  // namespace
+
+JsonlWriter& JsonlWriter::Begin(std::string_view type) {
+  mutex_.lock();
+  open_ = true;
+  *out_ << "{\"type\":\"" << Escape(type) << '"';
+  return *this;
+}
+
+JsonlWriter& JsonlWriter::Field(std::string_view key, std::string_view value) {
+  *out_ << ",\"" << Escape(key) << "\":\"" << Escape(value) << '"';
+  return *this;
+}
+
+JsonlWriter& JsonlWriter::Field(std::string_view key, double value) {
+  char buf[64];
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+  }
+  *out_ << ",\"" << Escape(key) << "\":" << buf;
+  return *this;
+}
+
+JsonlWriter& JsonlWriter::Field(std::string_view key, std::int64_t value) {
+  *out_ << ",\"" << Escape(key) << "\":" << value;
+  return *this;
+}
+
+JsonlWriter& JsonlWriter::Field(std::string_view key, std::uint64_t value) {
+  *out_ << ",\"" << Escape(key) << "\":" << value;
+  return *this;
+}
+
+void JsonlWriter::End() {
+  *out_ << "}\n";
+  ++events_;
+  open_ = false;
+  mutex_.unlock();
+}
+
+util::log::Sink MakeLogSink(JsonlWriter& writer) {
+  return [&writer](util::log::Level level, std::string_view message) {
+    writer.Begin("log")
+        .Field("level", LevelName(level))
+        .Field("message", message);
+    writer.End();
+  };
+}
+
+}  // namespace labmon::obs

@@ -1,0 +1,155 @@
+#include "labmon/obs/registry.hpp"
+
+#include <algorithm>
+
+#include "labmon/util/log.hpp"
+
+namespace labmon::obs {
+
+Labels Canonical(Labels labels) {
+  std::stable_sort(labels.begin(), labels.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  return labels;
+}
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += EscapeLabelValue(value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+Registry::Family& Registry::GetFamily(std::string_view name,
+                                      std::string_view help, MetricType type,
+                                      bool& type_ok) {
+  const auto it = families_.find(name);
+  if (it == families_.end()) {
+    Family family;
+    family.type = type;
+    family.help = std::string(help);
+    type_ok = true;
+    return families_.emplace(std::string(name), std::move(family))
+        .first->second;
+  }
+  type_ok = it->second.type == type;
+  if (!type_ok) {
+    util::log::Warn("obs: metric '" + std::string(name) +
+                    "' re-registered with a different type; returning "
+                    "detached instrument");
+  }
+  return it->second;
+}
+
+Counter& Registry::GetCounter(std::string_view name, std::string_view help,
+                              Labels labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  bool type_ok = false;
+  Family& family = GetFamily(name, help, MetricType::kCounter, type_ok);
+  if (!type_ok) return mismatch_counter_;
+  auto& slot = family.counters[Canonical(std::move(labels))];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(std::string_view name, std::string_view help,
+                          Labels labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  bool type_ok = false;
+  Family& family = GetFamily(name, help, MetricType::kGauge, type_ok);
+  if (!type_ok) return mismatch_gauge_;
+  auto& slot = family.gauges[Canonical(std::move(labels))];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name,
+                                  std::vector<double> boundaries,
+                                  std::string_view help, Labels labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  bool type_ok = false;
+  Family& family = GetFamily(name, help, MetricType::kHistogram, type_ok);
+  if (!type_ok) {
+    if (!mismatch_histogram_) {
+      mismatch_histogram_ = std::make_unique<Histogram>(std::move(boundaries));
+    }
+    return *mismatch_histogram_;
+  }
+  if (family.boundaries.empty()) family.boundaries = std::move(boundaries);
+  auto& slot = family.histograms[Canonical(std::move(labels))];
+  if (!slot) slot = std::make_unique<Histogram>(family.boundaries);
+  return *slot;
+}
+
+std::vector<FamilySnapshot> Registry::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FamilySnapshot> out;
+  out.reserve(families_.size());
+  for (const auto& [name, family] : families_) {
+    FamilySnapshot snap;
+    snap.name = name;
+    snap.help = family.help;
+    snap.type = family.type;
+    for (const auto& [labels, counter] : family.counters) {
+      snap.counters.push_back({labels, counter->value()});
+    }
+    for (const auto& [labels, gauge] : family.gauges) {
+      snap.gauges.push_back({labels, gauge->value()});
+    }
+    for (const auto& [labels, histogram] : family.histograms) {
+      HistogramPoint point;
+      point.labels = labels;
+      point.boundaries = histogram->boundaries();
+      point.buckets.reserve(histogram->bucket_count());
+      for (std::size_t i = 0; i < histogram->bucket_count(); ++i) {
+        point.buckets.push_back(histogram->bucket(i));
+      }
+      point.count = histogram->count();
+      point.sum = histogram->sum();
+      snap.histograms.push_back(std::move(point));
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::size_t Registry::family_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return families_.size();
+}
+
+void Registry::Clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  families_.clear();
+}
+
+Registry& DefaultRegistry() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace labmon::obs

@@ -1,0 +1,89 @@
+#include "labmon/obs/span.hpp"
+
+namespace labmon::obs {
+
+namespace {
+// Small dense thread ordinals (Chrome traces render tid 1, 2, … nicely).
+std::uint32_t ThisThreadOrdinal() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+thread_local std::uint32_t t_depth = 0;
+std::atomic<std::uint64_t> g_seq{0};
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      capacity_(capacity ? capacity : 1) {}
+
+std::uint64_t Tracer::NowMicros() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::Record(SpanRecord record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+    return;
+  }
+  ring_[head_] = std::move(record);
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::size_t Tracer::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t Tracer::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_ - ring_.size();
+}
+
+void Tracer::Clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  head_ = 0;
+  recorded_ = 0;
+}
+
+Tracer& DefaultTracer() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Span::Span(std::string_view name, Tracer* tracer) {
+  if (!tracer || !tracer->enabled()) return;
+  tracer_ = tracer;
+  record_.name = std::string(name);
+  record_.start_us = tracer->NowMicros();
+  record_.thread_id = ThisThreadOrdinal();
+  record_.depth = t_depth++;
+}
+
+Span::~Span() {
+  if (!tracer_) return;
+  --t_depth;
+  record_.duration_us = tracer_->NowMicros() - record_.start_us;
+  record_.seq = g_seq.fetch_add(1, std::memory_order_relaxed);
+  tracer_->Record(std::move(record_));
+}
+
+}  // namespace labmon::obs

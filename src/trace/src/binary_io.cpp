@@ -3,6 +3,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "labmon/obs/registry.hpp"
+#include "labmon/obs/span.hpp"
 #include "labmon/util/csv.hpp"
 #include "labmon/util/varint.hpp"
 
@@ -37,9 +39,27 @@ std::int64_t IdleCentiseconds(double idle_s) {
   return static_cast<std::int64_t>(idle_s * 100.0 + 0.5);
 }
 
+/// Bulk-updates the default registry's trace I/O counters (one call per
+/// serialise/parse, never per record, so the codec hot loop stays clean).
+void CountTraceIo(const char* direction, std::uint64_t bytes,
+                  std::uint64_t records) {
+  obs::Registry& registry = obs::DefaultRegistry();
+  registry
+      .GetCounter("labmon_trace_io_bytes_total",
+                  "Binary trace bytes moved through the LMTR1 codec",
+                  {{"direction", direction}})
+      .Increment(bytes);
+  registry
+      .GetCounter("labmon_trace_io_records_total",
+                  "Sample records moved through the LMTR1 codec",
+                  {{"direction", direction}})
+      .Increment(records);
+}
+
 }  // namespace
 
 std::string SerializeTrace(const TraceStore& store) {
+  obs::Span span("trace.serialize");
   std::string out;
   out.reserve(store.size() * 24 + 64);
   out.append(kMagic, kMagicLen);
@@ -126,10 +146,12 @@ std::string SerializeTrace(const TraceStore& store) {
     prev_start = it.start_t;
     prev_end = it.end_t;
   }
+  CountTraceIo("write", out.size(), store.size());
   return out;
 }
 
 util::Result<TraceStore> DeserializeTrace(const std::string& bytes) {
+  obs::Span span("trace.deserialize");
   using R = util::Result<TraceStore>;
   if (bytes.size() < kMagicLen ||
       bytes.compare(0, kMagicLen, kMagic, kMagicLen) != 0) {
@@ -233,6 +255,7 @@ util::Result<TraceStore> DeserializeTrace(const std::string& bytes) {
     info.successes = static_cast<std::uint32_t>(*successes);
     store.AppendIteration(info);
   }
+  CountTraceIo("read", bytes.size(), store.size());
   return store;
 }
 

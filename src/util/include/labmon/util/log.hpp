@@ -1,7 +1,10 @@
 // Tiny leveled logger. Default level is kWarn so library code stays quiet in
-// tests; examples/bench raise it explicitly.
+// tests; examples/bench raise it explicitly. Output goes to stderr unless a
+// sink is installed (tests capture warnings; labmon::obs routes log events
+// into its JSONL exporter).
 #pragma once
 
+#include <functional>
 #include <string_view>
 
 namespace labmon::util::log {
@@ -12,7 +15,16 @@ enum class Level : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 
 void SetLevel(Level level) noexcept;
 [[nodiscard]] Level GetLevel() noexcept;
 
-/// Emits a message to stderr when `level` >= the global threshold.
+/// Receives every message that passes the threshold.
+using Sink = std::function<void(Level, std::string_view)>;
+
+/// Replaces the stderr default with `sink`; pass an empty function to
+/// restore stderr. Thread-safe; the sink runs under the emit lock, so it
+/// must not log recursively.
+void SetSink(Sink sink);
+
+/// Emits a message to the sink (stderr by default) when `level` >= the
+/// global threshold.
 void Emit(Level level, std::string_view message);
 
 inline void Debug(std::string_view m) { Emit(Level::kDebug, m); }

@@ -3,12 +3,18 @@
 #include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <utility>
 
 namespace labmon::util::log {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(Level::kWarn)};
 std::mutex g_emit_mutex;
+
+Sink& GlobalSink() {
+  static Sink sink;  // empty = stderr default
+  return sink;
+}
 
 const char* LevelTag(Level level) noexcept {
   switch (level) {
@@ -30,9 +36,18 @@ Level GetLevel() noexcept {
   return static_cast<Level>(g_level.load(std::memory_order_relaxed));
 }
 
+void SetSink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  GlobalSink() = std::move(sink);
+}
+
 void Emit(Level level, std::string_view message) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
   const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  if (const Sink& sink = GlobalSink()) {
+    sink(level, message);
+    return;
+  }
   std::fprintf(stderr, "[labmon %s] %.*s\n", LevelTag(level),
                static_cast<int>(message.size()), message.data());
 }

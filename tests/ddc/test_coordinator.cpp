@@ -173,6 +173,108 @@ TEST(CoordinatorTest, ParallelModeStillProbesAllMachines) {
   }
 }
 
+TEST(CoordinatorTest, SecondRunDoesNotAccumulateFirstRunsTallies) {
+  auto fleet = SmallFleet(5);
+  for (std::size_t i = 0; i < fleet.size(); ++i) fleet.machine(i).Boot(0);
+  RecordingSink sink;
+  W32Probe probe;
+  CoordinatorConfig config;
+  config.exec_policy.transient_failure_prob = 0.0;
+  Coordinator coordinator(fleet, probe, config, sink);
+  const auto first = coordinator.Run(0, 2 * config.period);
+  EXPECT_EQ(first.attempts, 2u * 5u);
+  const auto second =
+      coordinator.Run(10 * config.period, 12 * config.period);
+  EXPECT_EQ(second.iterations, 2u);
+  EXPECT_EQ(second.attempts, 2u * 5u)
+      << "tallies must reset between Run() calls";
+  EXPECT_EQ(second.successes, 2u * 5u);
+}
+
+TEST(CoordinatorTest, MetricsRegistryCollectsPerMachineCounters) {
+  auto fleet = SmallFleet(3);
+  fleet.machine(0).Boot(0);
+  fleet.machine(1).Boot(0);  // machine 2 stays off -> timeouts
+  RecordingSink sink;
+  W32Probe probe;
+  obs::Registry registry;
+  CoordinatorConfig config;
+  config.exec_policy.transient_failure_prob = 0.0;
+  config.metrics = &registry;
+  Coordinator coordinator(fleet, probe, config, sink);
+  const auto stats = coordinator.Run(0, 2 * config.period);
+
+  std::uint64_t attempts = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t iteration_observations = 0;
+  bool saw_lab_label = false;
+  for (const auto& family : registry.Snapshot()) {
+    if (family.name == "labmon_ddc_probe_attempts_total") {
+      for (const auto& point : family.counters) {
+        attempts += point.value;
+        for (const auto& [key, value] : point.labels) {
+          if (key == "lab" && value == "T01") saw_lab_label = true;
+        }
+      }
+    } else if (family.name == "labmon_ddc_probe_outcomes_total") {
+      for (const auto& point : family.counters) {
+        for (const auto& [key, value] : point.labels) {
+          if (key != "outcome") continue;
+          if (value == "ok") ok += point.value;
+          if (value == "timeout") timeouts += point.value;
+        }
+      }
+    } else if (family.name == "labmon_ddc_iteration_seconds") {
+      for (const auto& point : family.histograms) {
+        iteration_observations += point.count;
+      }
+    }
+  }
+  EXPECT_EQ(attempts, stats.attempts);
+  EXPECT_EQ(ok, stats.successes);
+  EXPECT_EQ(timeouts, stats.timeouts);
+  EXPECT_EQ(iteration_observations, stats.iterations);
+  EXPECT_TRUE(saw_lab_label);
+}
+
+TEST(CoordinatorTest, TracerRecordsIterationAndExecutorSpans) {
+  auto fleet = SmallFleet(2);
+  for (std::size_t i = 0; i < fleet.size(); ++i) fleet.machine(i).Boot(0);
+  RecordingSink sink;
+  W32Probe probe;
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  CoordinatorConfig config;
+  config.exec_policy.transient_failure_prob = 0.0;
+  config.tracer = &tracer;
+  Coordinator coordinator(fleet, probe, config, sink);
+  (void)coordinator.Run(0, config.period);
+
+  std::size_t iteration_spans = 0;
+  std::size_t execute_spans = 0;
+  for (const auto& span : tracer.Snapshot()) {
+    if (span.name == "coordinator.iteration") {
+      ++iteration_spans;
+      EXPECT_EQ(span.sim_start, 0);
+      EXPECT_GT(span.sim_end, 0);
+    }
+    if (span.name == "executor.execute") ++execute_spans;
+  }
+  EXPECT_EQ(iteration_spans, 1u);
+  EXPECT_EQ(execute_spans, 2u);
+}
+
+TEST(CoordinatorTest, NullRegistryRunsUninstrumented) {
+  auto fleet = SmallFleet(2);
+  RecordingSink sink;
+  W32Probe probe;
+  CoordinatorConfig config;  // metrics/tracer default to null
+  Coordinator coordinator(fleet, probe, config, sink);
+  const auto stats = coordinator.Run(0, config.period);
+  EXPECT_EQ(stats.attempts, 2u);  // plain run still works
+}
+
 TEST(CoordinatorTest, ZeroSpanRunsNothing) {
   auto fleet = SmallFleet(2);
   RecordingSink sink;

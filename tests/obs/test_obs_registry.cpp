@@ -1,0 +1,135 @@
+#include "labmon/obs/registry.hpp"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace labmon::obs {
+namespace {
+
+TEST(ObsRegistryTest, CounterRegistrationAndLookupReturnSameInstrument) {
+  Registry registry;
+  Counter& a = registry.GetCounter("events_total", "help text");
+  Counter& b = registry.GetCounter("events_total");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  b.Increment(2);
+  EXPECT_EQ(a.value(), 3u);
+}
+
+TEST(ObsRegistryTest, LabelSetsNameDistinctSeries) {
+  Registry registry;
+  Counter& e1 = registry.GetCounter("probe_total", "", {{"lab", "e1"}});
+  Counter& e2 = registry.GetCounter("probe_total", "", {{"lab", "e2"}});
+  EXPECT_NE(&e1, &e2);
+  e1.Increment(5);
+  EXPECT_EQ(e2.value(), 0u);
+  EXPECT_EQ(registry.family_count(), 1u);
+}
+
+TEST(ObsRegistryTest, LabelOrderIsCanonicalised) {
+  Registry registry;
+  Counter& a = registry.GetCounter(
+      "c", "", {{"lab", "e1"}, {"outcome", "timeout"}});
+  Counter& b = registry.GetCounter(
+      "c", "", {{"outcome", "timeout"}, {"lab", "e1"}});
+  EXPECT_EQ(&a, &b) << "{a,b} and {b,a} must name the same time series";
+}
+
+TEST(ObsRegistryTest, GaugeSetAddRoundTrip) {
+  Registry registry;
+  Gauge& gauge = registry.GetGauge("overrun_seconds");
+  gauge.Set(12.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 12.5);
+  gauge.Add(-2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 10.0);
+}
+
+TEST(ObsRegistryTest, HistogramBucketEdges) {
+  Registry registry;
+  Histogram& h = registry.GetHistogram("latency", {1.0, 2.0, 4.0});
+  h.Observe(0.5);   // <= 1
+  h.Observe(1.0);   // boundary value counts in le=1 (Prometheus semantics)
+  h.Observe(1.001); // <= 2
+  h.Observe(4.0);   // le=4
+  h.Observe(99.0);  // +Inf
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);  // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.001 + 4.0 + 99.0);
+}
+
+TEST(ObsRegistryTest, HistogramBoundariesFixedByFirstRegistration) {
+  Registry registry;
+  Histogram& a = registry.GetHistogram("h", {1.0, 2.0});
+  Histogram& b = registry.GetHistogram("h", {5.0, 6.0, 7.0}, "",
+                                       {{"k", "v"}});
+  EXPECT_EQ(a.boundaries().size(), 2u);
+  EXPECT_EQ(b.boundaries().size(), 2u) << "later boundaries are ignored";
+}
+
+TEST(ObsRegistryTest, TypeMismatchReturnsDetachedInstrument) {
+  Registry registry;
+  Counter& counter = registry.GetCounter("dual");
+  counter.Increment();
+  // Same family name as a gauge: must not corrupt the counter family.
+  Gauge& gauge = registry.GetGauge("dual");
+  gauge.Set(7.0);
+  const auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].type, MetricType::kCounter);
+  ASSERT_EQ(snapshot[0].counters.size(), 1u);
+  EXPECT_EQ(snapshot[0].counters[0].value, 1u);
+}
+
+TEST(ObsRegistryTest, SnapshotIsDeterministicallyOrdered) {
+  Registry registry;
+  registry.GetCounter("zebra_total").Increment();
+  registry.GetCounter("alpha_total").Increment(2);
+  registry.GetCounter("alpha_total", "", {{"lab", "e2"}}).Increment(3);
+  registry.GetCounter("alpha_total", "", {{"lab", "e1"}}).Increment(4);
+  const auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].name, "alpha_total");
+  EXPECT_EQ(snapshot[1].name, "zebra_total");
+  ASSERT_EQ(snapshot[0].counters.size(), 3u);
+  // Unlabelled first (empty label set sorts lowest), then e1, then e2.
+  EXPECT_TRUE(snapshot[0].counters[0].labels.empty());
+  EXPECT_EQ(snapshot[0].counters[1].labels[0].second, "e1");
+  EXPECT_EQ(snapshot[0].counters[2].labels[0].second, "e2");
+}
+
+TEST(ObsRegistryTest, ConcurrentIncrementsAreLossless) {
+  Registry registry;
+  Counter& counter = registry.GetCounter("shared_total");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsRegistryTest, DefaultRegistryIsAStableSingleton) {
+  EXPECT_EQ(&DefaultRegistry(), &DefaultRegistry());
+}
+
+TEST(ObsRegistryTest, ClearDropsFamilies) {
+  Registry registry;
+  registry.GetCounter("tmp_total").Increment();
+  EXPECT_EQ(registry.family_count(), 1u);
+  registry.Clear();
+  EXPECT_EQ(registry.family_count(), 0u);
+}
+
+}  // namespace
+}  // namespace labmon::obs

@@ -1,0 +1,103 @@
+#include "labmon/obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+namespace labmon::obs {
+namespace {
+
+TEST(ObsSpanTest, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  { Span span("quiet", &tracer); }
+  EXPECT_EQ(tracer.size(), 0u);
+  { Span span("null-tracer", nullptr); }  // must be a safe no-op
+}
+
+TEST(ObsSpanTest, EnabledTracerRecordsNameAndTiming) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Span span("coordinator.iteration", &tracer);
+    span.SetSimRange(900, 1800);
+  }
+  const auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "coordinator.iteration");
+  EXPECT_EQ(spans[0].sim_start, 900);
+  EXPECT_EQ(spans[0].sim_end, 1800);
+  EXPECT_GE(spans[0].duration_us, 0u);
+}
+
+TEST(ObsSpanTest, SimRangeDefaultsToUnset) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  { Span span("no-sim", &tracer); }
+  const auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].sim_start, -1);
+}
+
+TEST(ObsSpanTest, NestedSpansRecordDepthAndCompleteInnerFirst) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Span outer("outer", &tracer);
+    {
+      Span middle("middle", &tracer);
+      { Span inner("inner", &tracer); }
+    }
+  }
+  const auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // Completion order: inner, middle, outer.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].depth, 2u);
+  EXPECT_EQ(spans[1].name, "middle");
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[2].name, "outer");
+  EXPECT_EQ(spans[2].depth, 0u);
+  // Siblings-after-nesting start back at the outer depth.
+  { Span again("again", &tracer); }
+  EXPECT_EQ(tracer.Snapshot().back().depth, 0u);
+}
+
+TEST(ObsSpanTest, RingBufferKeepsNewestAndCountsDrops) {
+  Tracer tracer(/*capacity=*/4);
+  tracer.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    Span span("span-" + std::to_string(i), &tracer);
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().name, "span-6");
+  EXPECT_EQ(spans.back().name, "span-9");
+}
+
+TEST(ObsSpanTest, EnableStateIsCapturedAtConstruction) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Span span("captured", &tracer);
+    tracer.set_enabled(false);  // mid-span disable must not lose the record
+  }
+  EXPECT_EQ(tracer.size(), 1u);
+}
+
+TEST(ObsSpanTest, ClearResetsRingAndDropCount) {
+  Tracer tracer(2);
+  tracer.set_enabled(true);
+  for (int i = 0; i < 5; ++i) { Span span("x", &tracer); }
+  tracer.Clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(ObsSpanTest, DefaultTracerIsDisabledSingleton) {
+  EXPECT_EQ(&DefaultTracer(), &DefaultTracer());
+  // Library code constructs spans against it unconditionally, so the
+  // default must stay off unless an exporter turns it on.
+}
+
+}  // namespace
+}  // namespace labmon::obs

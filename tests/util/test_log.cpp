@@ -1,9 +1,26 @@
 #include "labmon/util/log.hpp"
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace labmon::util::log {
 namespace {
+
+/// Restores the stderr default and the saved level on scope exit.
+class SinkGuard {
+ public:
+  SinkGuard() : saved_level_(GetLevel()) {}
+  ~SinkGuard() {
+    SetSink({});
+    SetLevel(saved_level_);
+  }
+
+ private:
+  Level saved_level_;
+};
 
 class LogLevelGuard {
  public:
@@ -39,6 +56,45 @@ TEST(LogTest, EmitAtThresholdDoesNotCrash) {
   Emit(Level::kDebug, "visible debug line from tests");
   Emit(Level::kError, std::string(1000, 'x'));  // long message
   Emit(Level::kInfo, "");                       // empty message
+}
+
+TEST(LogTest, SinkCapturesMessagesInsteadOfStderr) {
+  SinkGuard guard;
+  std::vector<std::pair<Level, std::string>> captured;
+  SetSink([&](Level level, std::string_view message) {
+    captured.emplace_back(level, std::string(message));
+  });
+  SetLevel(Level::kWarn);
+  Warn("low disk");
+  ErrorMsg("probe failed");
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, Level::kWarn);
+  EXPECT_EQ(captured[0].second, "low disk");
+  EXPECT_EQ(captured[1].first, Level::kError);
+  EXPECT_EQ(captured[1].second, "probe failed");
+}
+
+TEST(LogTest, SinkRespectsThreshold) {
+  SinkGuard guard;
+  int calls = 0;
+  SetSink([&](Level, std::string_view) { ++calls; });
+  SetLevel(Level::kError);
+  Debug("d");
+  Info("i");
+  Warn("w");
+  EXPECT_EQ(calls, 0);
+  ErrorMsg("e");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(LogTest, EmptySinkRestoresStderrDefault) {
+  SinkGuard guard;
+  int calls = 0;
+  SetSink([&](Level, std::string_view) { ++calls; });
+  SetLevel(Level::kOff);  // keep the restored stderr path quiet
+  SetSink({});
+  Emit(Level::kError, "goes nowhere observable");
+  EXPECT_EQ(calls, 0) << "detached sink must not be invoked";
 }
 
 TEST(LogTest, DefaultLevelQuietensInfo) {
