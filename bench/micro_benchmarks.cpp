@@ -1,9 +1,16 @@
 // google-benchmark microbenchmarks of the infrastructure hot paths: probe
 // formatting/parsing, behavioural simulation throughput, interval
-// derivation, analysis aggregation, and the NBench kernels themselves.
+// derivation, analysis aggregation (legacy serial vs single-sweep
+// pipeline), and the NBench kernels themselves.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+
+#include "bench_common.hpp"
 #include "labmon/analysis/aggregate.hpp"
+#include "labmon/analysis/passes.hpp"
+#include "labmon/analysis/pipeline.hpp"
 #include "labmon/core/experiment.hpp"
 #include "labmon/ddc/w32_probe.hpp"
 #include "labmon/nbench/nbench.hpp"
@@ -135,6 +142,128 @@ void BM_Table2Aggregation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Table2Aggregation)->Unit(benchmark::kMillisecond);
+
+// --- full-report analysis: legacy serial Compute* vs single-sweep
+// pipeline.  Both run the paper's eight analyses on the same trace (77
+// simulated days at the seed scenario; override with LABMON_BENCH_DAYS).
+// The pipeline variant reports its speedup over the serial baseline as a
+// benchmark counter so it lands in --benchmark_format=json output.
+
+const core::ExperimentResult& AnalysisBenchResult() {
+  static const core::ExperimentResult result =
+      core::Experiment::Run(bench::BenchConfig());
+  return result;
+}
+
+std::vector<analysis::LabKey> AnalysisBenchLabs(
+    const core::ExperimentResult& result) {
+  std::vector<analysis::LabKey> keys;
+  std::size_t first = 0;
+  for (const auto& lab : result.labs) {
+    keys.push_back(analysis::LabKey{lab.name, first, lab.machine_count});
+    first += lab.machine_count;
+  }
+  return keys;
+}
+
+// The eight analyses as independent serial passes, each re-walking the
+// trace (sessions reconstructed once and shared, as the fairest baseline).
+double RunLegacyAnalyses(const core::ExperimentResult& result) {
+  const auto& trace = result.trace;
+  const auto table2 = analysis::ComputeTable2(trace);
+  const auto series = analysis::ComputeAvailabilitySeries(trace);
+  const auto ranking = analysis::ComputeUptimeRanking(trace);
+  const auto sessions = trace::ReconstructSessions(trace);
+  const auto lengths = analysis::ComputeSessionLengthDistribution(sessions);
+  const auto session_stats = analysis::ComputeSessionStats(sessions);
+  const auto smart = analysis::ComputeSmartStats(
+      trace, session_stats.session_count, result.days);
+  const auto hours = analysis::ComputeSessionHourProfile(trace);
+  const auto weekly = analysis::ComputeWeeklyProfiles(trace);
+  const auto equivalence = analysis::ComputeEquivalence(
+      trace, result.perf_index, 15, trace::kNoForgottenThreshold);
+  const auto per_lab =
+      analysis::ComputePerLabUsage(trace, AnalysisBenchLabs(result));
+  const auto headroom = analysis::ComputeResourceHeadroom(trace);
+  const auto capacity = analysis::ComputeHarvestableCapacity(trace);
+  return table2.both.cpu_idle_pct + series.mean_powered_on +
+         static_cast<double>(ranking.entries.size()) + lengths.histogram.total() +
+         static_cast<double>(session_stats.session_count) +
+         smart.cycles_per_machine_day +
+         static_cast<double>(hours.bins.size()) + weekly.min_cpu_idle_pct +
+         equivalence.mean_total + static_cast<double>(per_lab.size()) +
+         headroom.unused_ram_pct + capacity.p10_ram_gb;
+}
+
+// The same eight analyses as one derivation plus one parallel sweep.
+double RunPipelineAnalyses(const core::ExperimentResult& result) {
+  const trace::DerivedTrace derived(result.trace);
+  analysis::AnalysisPipeline pipeline;
+  auto& table2 = pipeline.Emplace<analysis::AggregatePass>();
+  auto& availability = pipeline.Emplace<analysis::AvailabilityPass>();
+  auto& hours = pipeline.Emplace<analysis::SessionHoursPass>();
+  auto& weekly = pipeline.Emplace<analysis::WeeklyPass>();
+  auto& equivalence = pipeline.Emplace<analysis::EquivalencePass>(
+      result.perf_index, 15, trace::kNoForgottenThreshold);
+  auto& stability = pipeline.Emplace<analysis::StabilityPass>(result.days);
+  auto& per_lab =
+      pipeline.Emplace<analysis::PerLabPass>(AnalysisBenchLabs(result));
+  auto& capacity = pipeline.Emplace<analysis::CapacityPass>();
+  pipeline.Run(derived);
+  return table2.result().both.cpu_idle_pct +
+         availability.result().series.mean_powered_on +
+         static_cast<double>(availability.result().ranking.entries.size()) +
+         availability.result().session_lengths.histogram.total() +
+         static_cast<double>(stability.result().sessions.session_count) +
+         stability.result().smart.cycles_per_machine_day +
+         static_cast<double>(hours.result().bins.size()) +
+         weekly.result().min_cpu_idle_pct + equivalence.result().mean_total +
+         static_cast<double>(per_lab.result().usage.size()) +
+         per_lab.result().headroom.unused_ram_pct +
+         capacity.result().p10_ram_gb;
+}
+
+void BM_AnalysisLegacyFullReport(benchmark::State& state) {
+  const auto& result = AnalysisBenchResult();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunLegacyAnalyses(result));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(result.trace.size()));
+}
+BENCHMARK(BM_AnalysisLegacyFullReport)->Unit(benchmark::kMillisecond);
+
+void BM_AnalysisPipelineFullReport(benchmark::State& state) {
+  const auto& result = AnalysisBenchResult();
+  // The speedup counter is a *paired* measurement: every iteration times
+  // one pipeline run and one legacy run back to back, so slow drifts in
+  // machine speed (noisy-neighbour VMs) cancel out of the ratio instead
+  // of contaminating a one-shot baseline.
+  double legacy_seconds = 0.0;
+  double pipeline_seconds = 0.0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(RunPipelineAnalyses(result));
+    const auto mid = std::chrono::steady_clock::now();
+    pipeline_seconds += std::chrono::duration<double>(mid - start).count();
+    state.PauseTiming();
+    const auto legacy_start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(RunLegacyAnalyses(result));
+    legacy_seconds += std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - legacy_start)
+                          .count();
+    state.ResumeTiming();
+  }
+  const auto rounds =
+      static_cast<double>(std::max<std::int64_t>(1, state.iterations()));
+  state.counters["legacy_seconds"] = legacy_seconds / rounds;
+  state.counters["pipeline_seconds"] = pipeline_seconds / rounds;
+  state.counters["speedup_vs_legacy"] =
+      pipeline_seconds > 0.0 ? legacy_seconds / pipeline_seconds : 0.0;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(result.trace.size()));
+}
+BENCHMARK(BM_AnalysisPipelineFullReport)->Unit(benchmark::kMillisecond);
 
 void BM_RunningStats(benchmark::State& state) {
   util::Rng rng(3);

@@ -2,8 +2,11 @@
 // the paper (measured vs published) and exports figure data as CSV.
 //
 //   $ ./fleet_report [output_dir] [days] [seed] [scenario.ini]
-//                    [--metrics-out m.prom] [--trace-out t.json]
-//                    [--events-out e.jsonl]
+//                    [--workers N] [--metrics-out m.prom]
+//                    [--trace-out t.json] [--events-out e.jsonl]
+//
+// --workers bounds the analysis-pipeline sweep (0 = all cores); the
+// report is bitwise identical for any worker count.
 //
 // --metrics-out wires the collector into the obs default registry and
 // writes a Prometheus text file plus a campaign health report (response
@@ -109,6 +112,7 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
   std::string events_out;
+  std::size_t workers = 0;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -126,6 +130,8 @@ int main(int argc, char** argv) {
       trace_out = v;
     } else if (const char* v = flag_value("--events-out")) {
       events_out = v;
+    } else if (const char* v = flag_value("--workers")) {
+      workers = static_cast<std::size_t>(std::atoll(v));
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag " << arg << '\n';
       return 1;
@@ -177,7 +183,10 @@ int main(int argc, char** argv) {
   }
 
   const auto result = core::Experiment::Run(config);
-  const core::Report report(result);
+  core::ReportOptions report_options;
+  report_options.workers = workers;
+  if (!metrics_out.empty()) report_options.metrics = &obs::DefaultRegistry();
+  const core::Report report(result, report_options);
 
   std::cout << report.FullReport() << '\n';
 
@@ -195,6 +204,23 @@ int main(int argc, char** argv) {
             << result.ground_truth.short_cycles << " short cycles), "
             << result.ground_truth.TotalLogins() << " logins ("
             << result.ground_truth.forgotten_sessions << " forgotten)\n";
+
+  const auto& pipeline = report.pipeline_stats();
+  std::cout << "analysis pipeline: " << pipeline.machines << " machines in "
+            << pipeline.chunks << " chunks on " << pipeline.workers
+            << " workers; sweep "
+            << util::FormatFixed(pipeline.sweep_seconds * 1e3, 1)
+            << " ms, merge+finalize "
+            << util::FormatFixed(pipeline.merge_seconds * 1e3, 1) << " ms ("
+            << report.derived().interval_count() << " intervals, "
+            << report.derived().sessions().size()
+            << " sessions derived once)\n";
+  for (const auto& pass : pipeline.passes) {
+    std::cout << "  pass " << pass.name << ": accumulate "
+              << util::FormatFixed(pass.accumulate_seconds * 1e3, 1)
+              << " ms (cpu), finalize "
+              << util::FormatFixed(pass.finalize_seconds * 1e3, 1) << " ms\n";
+  }
 
   if (const auto err = report.WriteCsvFiles(out_dir); !err.empty()) {
     std::cerr << "CSV export failed: " << err << '\n';

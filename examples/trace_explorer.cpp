@@ -3,17 +3,21 @@
 // collection. Reads the compact binary format (.lmtr) written by
 // fleet_report, or generates a fresh trace when given no file.
 //
+// Intervals and interactive spans are derived once into a
+// trace::DerivedTrace and every table below reads from that shared
+// derivation; Table-2 aggregates come from a one-pass AnalysisPipeline.
+//
 //   $ ./trace_explorer                 # simulate 7 days, then explore
 //   $ ./trace_explorer trace.lmtr      # explore a saved trace
 #include <algorithm>
 #include <iostream>
 #include <map>
 
-#include "labmon/analysis/aggregate.hpp"
-#include "labmon/analysis/availability.hpp"
+#include "labmon/analysis/passes.hpp"
+#include "labmon/analysis/pipeline.hpp"
 #include "labmon/core/experiment.hpp"
 #include "labmon/trace/binary_io.hpp"
-#include "labmon/trace/sessions.hpp"
+#include "labmon/trace/derived_trace.hpp"
 #include "labmon/util/strings.hpp"
 #include "labmon/util/table.hpp"
 
@@ -39,18 +43,26 @@ int main(int argc, char** argv) {
     store = std::move(result.trace);
   }
 
-  // Headline aggregates.
-  const auto table2 = analysis::ComputeTable2(store);
+  // Derive intervals/sessions/spans exactly once; everything below reads
+  // from this.
+  const trace::DerivedTrace derived(store);
+
+  // Headline aggregates through the pipeline.
+  analysis::AnalysisPipeline pipeline;
+  auto& aggregate = pipeline.Emplace<analysis::AggregatePass>();
+  pipeline.Run(derived);
+  const auto& table2 = aggregate.result();
   std::cout << "samples: " << util::FormatWithThousands(
                    static_cast<std::int64_t>(store.size()))
             << " over " << store.iterations().size() << " iterations, "
-            << store.machine_count() << " machines\n";
+            << store.machine_count() << " machines ("
+            << derived.interval_count() << " intervals derived)\n";
   std::cout << "fleet CPU idleness: "
             << util::FormatFixed(table2.both.cpu_idle_pct, 2) << "%, RAM "
             << util::FormatFixed(table2.both.ram_load_pct, 1) << "%\n\n";
 
-  // Busiest (least idle) machines: one linear interval pass keyed by
-  // machine.
+  // Busiest (least idle) machines: one linear pass over the shared
+  // intervals keyed by machine.
   struct MachineLoad {
     std::size_t machine;
     double idle;
@@ -58,10 +70,11 @@ int main(int argc, char** argv) {
   };
   std::vector<double> idle_sum(store.machine_count(), 0.0);
   std::vector<std::size_t> idle_n(store.machine_count(), 0);
-  trace::ForEachInterval(store, {}, [&](const trace::SampleInterval& i) {
-    idle_sum[i.machine] += i.cpu_idle_pct;
-    ++idle_n[i.machine];
-  });
+  const auto& iv = derived.interval_columns();
+  for (std::size_t i = 0; i < derived.interval_count(); ++i) {
+    idle_sum[iv.machine[i]] += iv.cpu_idle_pct[i];
+    ++idle_n[iv.machine[i]];
+  }
   std::vector<MachineLoad> loads;
   for (std::size_t m = 0; m < store.machine_count(); ++m) {
     if (idle_n[m] == 0) continue;
@@ -81,7 +94,9 @@ int main(int argc, char** argv) {
   std::cout << busiest.Render() << '\n';
 
   // Longest interactive spans (the forgotten-login suspects).
-  auto spans = trace::ReconstructInteractiveSpans(store);
+  const auto all_spans = derived.interactive_spans();
+  std::vector<trace::InteractiveSpan> spans(all_spans.begin(),
+                                            all_spans.end());
   std::sort(spans.begin(), spans.end(), [](const auto& a, const auto& b) {
     return a.ObservedSeconds() > b.ObservedSeconds();
   });
@@ -96,10 +111,10 @@ int main(int argc, char** argv) {
 
   // Heaviest network consumers by received volume.
   std::map<std::uint32_t, double> recv_by_machine;
-  trace::ForEachInterval(store, {}, [&](const trace::SampleInterval& i) {
-    recv_by_machine[i.machine] +=
-        i.recv_bps * static_cast<double>(i.Seconds());
-  });
+  for (std::size_t i = 0; i < derived.interval_count(); ++i) {
+    recv_by_machine[iv.machine[i]] +=
+        iv.recv_bps[i] * static_cast<double>(iv.end_t[i] - iv.start_t[i]);
+  }
   std::vector<std::pair<double, std::uint32_t>> top_recv;
   for (const auto& [machine, bytes] : recv_by_machine) {
     top_recv.emplace_back(bytes, machine);

@@ -1,0 +1,255 @@
+// The paper's eight analyses as single-sweep pipeline passes.
+//
+// Each pass produces the same result struct as its legacy serial
+// Compute* counterpart (which remains available as the reference
+// implementation); the golden tests in tests/analysis assert parity.
+// After AnalysisPipeline::Run the result is read through the typed
+// reference Emplace() returned.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "labmon/analysis/aggregate.hpp"
+#include "labmon/analysis/availability.hpp"
+#include "labmon/analysis/capacity.hpp"
+#include "labmon/analysis/equivalence.hpp"
+#include "labmon/analysis/per_lab.hpp"
+#include "labmon/analysis/pipeline.hpp"
+#include "labmon/analysis/session_hours.hpp"
+#include "labmon/analysis/stability.hpp"
+#include "labmon/analysis/weekly.hpp"
+
+namespace labmon::analysis {
+
+/// Table 2 — per-login-class aggregation (ComputeTable2).
+class AggregatePass final : public AnalysisPass {
+ public:
+  explicit AggregatePass(trace::IntervalOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] std::string_view name() const override { return "table2"; }
+  [[nodiscard]] std::unique_ptr<State> MakeState(
+      const PassContext& ctx) const override;
+  void AccumulateMachine(const PassContext& ctx, std::size_t machine,
+                         State& state) const override;
+  void MergeState(State& into, State& from) const override;
+  void Finalize(const PassContext& ctx, State& merged) override;
+
+  [[nodiscard]] const Table2Result& result() const noexcept {
+    return result_;
+  }
+
+ private:
+  struct Impl;
+  trace::IntervalOptions options_;
+  Table2Result result_;
+};
+
+/// Figures 3 and 4 — availability series, uptime ranking, session lengths.
+struct AvailabilityResult {
+  AvailabilitySeries series;
+  UptimeRanking ranking;
+  SessionLengthDistribution session_lengths{stats::Histogram(0.0, 96.0, 48)};
+};
+
+class AvailabilityPass final : public AnalysisPass {
+ public:
+  explicit AvailabilityPass(
+      std::int64_t forgotten_threshold_s = trace::kForgottenThresholdSeconds)
+      : forgotten_threshold_s_(forgotten_threshold_s) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "availability";
+  }
+  [[nodiscard]] std::unique_ptr<State> MakeState(
+      const PassContext& ctx) const override;
+  void AccumulateMachine(const PassContext& ctx, std::size_t machine,
+                         State& state) const override;
+  void MergeState(State& into, State& from) const override;
+  void Finalize(const PassContext& ctx, State& merged) override;
+
+  [[nodiscard]] const AvailabilityResult& result() const noexcept {
+    return result_;
+  }
+
+ private:
+  struct Impl;
+  std::int64_t forgotten_threshold_s_;
+  AvailabilityResult result_;
+};
+
+/// Per-lab usage table plus fleet resource headroom.
+struct PerLabResult {
+  std::vector<LabUsage> usage;  ///< per lab, fleet row last
+  ResourceHeadroom headroom;
+};
+
+class PerLabPass final : public AnalysisPass {
+ public:
+  explicit PerLabPass(
+      std::vector<LabKey> labs,
+      std::int64_t forgotten_threshold_s = trace::kForgottenThresholdSeconds)
+      : labs_(std::move(labs)),
+        forgotten_threshold_s_(forgotten_threshold_s) {}
+
+  [[nodiscard]] std::string_view name() const override { return "per_lab"; }
+  [[nodiscard]] std::unique_ptr<State> MakeState(
+      const PassContext& ctx) const override;
+  void AccumulateMachine(const PassContext& ctx, std::size_t machine,
+                         State& state) const override;
+  void MergeState(State& into, State& from) const override;
+  void Finalize(const PassContext& ctx, State& merged) override;
+
+  [[nodiscard]] const PerLabResult& result() const noexcept {
+    return result_;
+  }
+
+ private:
+  struct Impl;
+  [[nodiscard]] std::size_t LabOf(std::size_t machine) const noexcept;
+  std::vector<LabKey> labs_;
+  std::int64_t forgotten_threshold_s_;
+  PerLabResult result_;
+};
+
+/// Figure 2 — idleness by relative session hour (ComputeSessionHourProfile).
+class SessionHoursPass final : public AnalysisPass {
+ public:
+  explicit SessionHoursPass(int max_hours = 24) : max_hours_(max_hours) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "session_hours";
+  }
+  [[nodiscard]] std::unique_ptr<State> MakeState(
+      const PassContext& ctx) const override;
+  void AccumulateMachine(const PassContext& ctx, std::size_t machine,
+                         State& state) const override;
+  void MergeState(State& into, State& from) const override;
+  void Finalize(const PassContext& ctx, State& merged) override;
+
+  [[nodiscard]] const SessionHourProfile& result() const noexcept {
+    return result_;
+  }
+
+ private:
+  struct Impl;
+  int max_hours_;
+  SessionHourProfile result_;
+};
+
+/// Figure 5 — weekly usage profiles (ComputeWeeklyProfiles).
+class WeeklyPass final : public AnalysisPass {
+ public:
+  explicit WeeklyPass(int bin_minutes = 15) : bin_minutes_(bin_minutes) {}
+
+  [[nodiscard]] std::string_view name() const override { return "weekly"; }
+  [[nodiscard]] std::unique_ptr<State> MakeState(
+      const PassContext& ctx) const override;
+  void AccumulateMachine(const PassContext& ctx, std::size_t machine,
+                         State& state) const override;
+  void MergeState(State& into, State& from) const override;
+  void Finalize(const PassContext& ctx, State& merged) override;
+
+  [[nodiscard]] const WeeklyProfiles& result() const noexcept {
+    return result_;
+  }
+
+ private:
+  struct Impl;
+  int bin_minutes_;
+  WeeklyProfiles result_{stats::WeeklyProfile(15), stats::WeeklyProfile(15),
+                         stats::WeeklyProfile(15), stats::WeeklyProfile(15),
+                         stats::WeeklyProfile(15), 0.0, {}, 0.0, 0.0};
+};
+
+/// Figure 6 — cluster-equivalence ratio (ComputeEquivalence).
+class EquivalencePass final : public AnalysisPass {
+ public:
+  explicit EquivalencePass(
+      std::vector<double> perf_index, int bin_minutes = 15,
+      std::int64_t forgotten_threshold_s = trace::kForgottenThresholdSeconds)
+      : perf_index_(std::move(perf_index)),
+        bin_minutes_(bin_minutes),
+        forgotten_threshold_s_(forgotten_threshold_s) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "equivalence";
+  }
+  [[nodiscard]] std::unique_ptr<State> MakeState(
+      const PassContext& ctx) const override;
+  void AccumulateMachine(const PassContext& ctx, std::size_t machine,
+                         State& state) const override;
+  void MergeState(State& into, State& from) const override;
+  void Finalize(const PassContext& ctx, State& merged) override;
+
+  [[nodiscard]] const EquivalenceResult& result() const noexcept {
+    return result_;
+  }
+
+ private:
+  struct Impl;
+  std::vector<double> perf_index_;
+  int bin_minutes_;
+  std::int64_t forgotten_threshold_s_;
+  EquivalenceResult result_{stats::WeeklyProfile(15), stats::WeeklyProfile(15),
+                            stats::WeeklyProfile(15)};
+};
+
+/// §5.2 — machine-session stats and SMART ground truth (ComputeSessionStats
+/// + ComputeSmartStats; the session count feeds the SMART excess figure).
+struct StabilityResult {
+  SessionStats sessions;
+  SmartStats smart;
+};
+
+class StabilityPass final : public AnalysisPass {
+ public:
+  explicit StabilityPass(int experiment_days)
+      : experiment_days_(experiment_days) {}
+
+  [[nodiscard]] std::string_view name() const override { return "stability"; }
+  [[nodiscard]] std::unique_ptr<State> MakeState(
+      const PassContext& ctx) const override;
+  void AccumulateMachine(const PassContext& ctx, std::size_t machine,
+                         State& state) const override;
+  void MergeState(State& into, State& from) const override;
+  void Finalize(const PassContext& ctx, State& merged) override;
+
+  [[nodiscard]] const StabilityResult& result() const noexcept {
+    return result_;
+  }
+
+ private:
+  struct Impl;
+  int experiment_days_;
+  StabilityResult result_;
+};
+
+/// §6 — harvestable RAM/disk capacity (ComputeHarvestableCapacity).
+class CapacityPass final : public AnalysisPass {
+ public:
+  explicit CapacityPass(CapacityOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] std::string_view name() const override { return "capacity"; }
+  [[nodiscard]] std::unique_ptr<State> MakeState(
+      const PassContext& ctx) const override;
+  void AccumulateMachine(const PassContext& ctx, std::size_t machine,
+                         State& state) const override;
+  void MergeState(State& into, State& from) const override;
+  void Finalize(const PassContext& ctx, State& merged) override;
+
+  [[nodiscard]] const CapacityResult& result() const noexcept {
+    return result_;
+  }
+  [[nodiscard]] const CapacityOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  struct Impl;
+  CapacityOptions options_;
+  CapacityResult result_;
+};
+
+}  // namespace labmon::analysis

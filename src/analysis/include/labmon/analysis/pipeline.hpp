@@ -1,0 +1,135 @@
+// AnalysisPipeline — one parallel sweep over the trace feeding every
+// registered analysis pass.
+//
+// The paper's report runs eight analyses; each used to re-walk the whole
+// trace (and re-derive intervals/sessions) on its own. The pipeline shards
+// the fleet's machines into chunks, and within a chunk feeds one machine's
+// (cache-hot) samples, intervals, and sessions to *all* passes before
+// moving on — every analysis rides the same sweep.
+//
+// Determinism: the chunk grid is fixed by `machines_per_chunk` and does
+// NOT depend on the worker count; per-chunk states are merged in ascending
+// chunk order on the calling thread. Result: bitwise-identical output for
+// any worker count (only the assignment of chunks to threads varies).
+// Versus the serial legacy Compute* functions, integer results are exactly
+// equal; floating-point accumulations associate differently (machine-major
+// chunked merges vs append-order streams), so doubles agree to roundoff
+// (~1e-9 relative), which the golden tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "labmon/obs/registry.hpp"
+#include "labmon/trace/derived_trace.hpp"
+#include "labmon/trace/trace_store.hpp"
+
+namespace labmon::analysis {
+
+/// Everything a pass may read during the sweep. Immutable and shared by
+/// all worker threads.
+struct PassContext {
+  const trace::TraceStore& trace;
+  const trace::DerivedTrace& derived;
+};
+
+/// One analysis in the single-sweep pipeline.
+///
+/// Lifecycle per Run(): MakeState() once per chunk (on the chunk's worker
+/// thread) -> AccumulateMachine() for each machine of the chunk ->
+/// MergeState() into a fresh state in ascending chunk order (caller
+/// thread) -> Finalize() computes and stores the pass result.
+///
+/// AccumulateMachine must only mutate `state` (the pass itself is shared
+/// across threads and must stay const during the sweep).
+class AnalysisPass {
+ public:
+  /// Per-chunk accumulator; concrete passes subclass this.
+  class State {
+   public:
+    virtual ~State() = default;
+  };
+
+  virtual ~AnalysisPass() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<State> MakeState(
+      const PassContext& ctx) const = 0;
+  virtual void AccumulateMachine(const PassContext& ctx, std::size_t machine,
+                                 State& state) const = 0;
+  /// Folds `from` into `into`. Called in ascending chunk order; merging
+  /// into a freshly-made state must be value-preserving.
+  virtual void MergeState(State& into, State& from) const = 0;
+  /// Computes the pass result from the fully-merged state.
+  virtual void Finalize(const PassContext& ctx, State& merged) = 0;
+};
+
+struct PipelineOptions {
+  /// Worker threads for the sweep (0 = hardware concurrency).
+  std::size_t workers = 0;
+  /// Machines per chunk. Fixes the reduction grid — changing it changes
+  /// floating-point association (worker count does not).
+  std::size_t machines_per_chunk = 8;
+  /// Optional metrics sink (pass timings, sweep counters). Null = none.
+  obs::Registry* metrics = nullptr;
+};
+
+/// Timings and shape of one Run() (wall/CPU seconds from steady_clock).
+struct PipelineRunStats {
+  struct PassTiming {
+    std::string name;
+    /// CPU-seconds of AccumulateMachine summed over all chunks (can exceed
+    /// wall time when the sweep runs on several workers).
+    double accumulate_seconds = 0.0;
+    /// Wall-seconds of the serial merge + finalize of this pass.
+    double finalize_seconds = 0.0;
+  };
+
+  std::size_t machines = 0;
+  std::size_t chunks = 0;
+  std::size_t workers = 0;   ///< resolved worker count used for the sweep
+  double sweep_seconds = 0.0;   ///< wall time of the parallel sweep
+  double merge_seconds = 0.0;   ///< wall time of all merges + finalizes
+  std::vector<PassTiming> passes;
+};
+
+/// Owns a set of passes and runs them in a single sweep.
+class AnalysisPipeline {
+ public:
+  explicit AnalysisPipeline(PipelineOptions options = {})
+      : options_(options) {}
+
+  /// Registers a pass; the pipeline takes ownership. Returns the pass for
+  /// chaining/reference keeping.
+  AnalysisPass& Add(std::unique_ptr<AnalysisPass> pass);
+
+  /// Constructs a pass in place and returns a typed reference (valid for
+  /// the pipeline's lifetime) through which its result is read after Run.
+  template <typename PassT, typename... Args>
+  PassT& Emplace(Args&&... args) {
+    auto pass = std::make_unique<PassT>(std::forward<Args>(args)...);
+    PassT& ref = *pass;
+    Add(std::move(pass));
+    return ref;
+  }
+
+  [[nodiscard]] std::size_t pass_count() const noexcept {
+    return passes_.size();
+  }
+  [[nodiscard]] const PipelineOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Runs every registered pass over `derived` in one sweep. Pass results
+  /// are stored in the passes themselves; returns the run's timings.
+  PipelineRunStats Run(const trace::DerivedTrace& derived);
+
+ private:
+  PipelineOptions options_;
+  std::vector<std::unique_ptr<AnalysisPass>> passes_;
+};
+
+}  // namespace labmon::analysis

@@ -1,0 +1,860 @@
+#include "labmon/analysis/passes.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "labmon/stats/running_stats.hpp"
+
+namespace labmon::analysis {
+
+namespace {
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double idx = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- table2
+
+struct AggregatePass::Impl final : AnalysisPass::State {
+  struct Acc {
+    std::uint64_t samples = 0;
+    stats::RunningStats cpu_idle;
+    stats::RunningStats ram;
+    stats::RunningStats swap;
+    stats::RunningStats disk_used_gb;
+    stats::RunningStats sent_bps;
+    stats::RunningStats recv_bps;
+
+    void Merge(const Acc& o) {
+      samples += o.samples;
+      cpu_idle.Merge(o.cpu_idle);
+      ram.Merge(o.ram);
+      swap.Merge(o.swap);
+      disk_used_gb.Merge(o.disk_used_gb);
+      sent_bps.Merge(o.sent_bps);
+      recv_bps.Merge(o.recv_bps);
+    }
+    void Fill(Table2Column& col, std::uint64_t total_attempts) const {
+      col.samples = samples;
+      col.uptime_pct = total_attempts
+                           ? 100.0 * static_cast<double>(samples) /
+                                 static_cast<double>(total_attempts)
+                           : 0.0;
+      col.cpu_idle_pct = cpu_idle.mean();
+      col.ram_load_pct = ram.mean();
+      col.swap_load_pct = swap.mean();
+      col.disk_used_gb = disk_used_gb.mean();
+      col.sent_bps = sent_bps.mean();
+      col.recv_bps = recv_bps.mean();
+    }
+  };
+
+  Acc no_login;
+  Acc with_login;
+  std::uint64_t raw_login_samples = 0;
+  std::uint64_t reclassified_samples = 0;
+};
+
+std::unique_ptr<AnalysisPass::State> AggregatePass::MakeState(
+    const PassContext&) const {
+  return std::make_unique<Impl>();
+}
+
+void AggregatePass::AccumulateMachine(const PassContext& ctx,
+                                      std::size_t machine,
+                                      State& state) const {
+  auto& st = static_cast<Impl&>(state);
+  const auto& c = ctx.trace.columns();
+  const std::int64_t threshold = options_.forgotten_threshold_s;
+
+  // Per-machine accumulators live in non-escaping locals so the Welford
+  // state stays in registers across the tight loops, merging into the
+  // chunk state once per machine. Routing every sample through a
+  // class-selected reference into the chunk state instead forces each
+  // update through memory — several times slower over the full trace.
+  std::uint64_t raw_login = 0;
+  std::uint64_t reclassified = 0;
+  std::uint64_t no_n = 0;
+  std::uint64_t with_n = 0;
+  stats::RunningStats no_ram, no_swap, no_disk;
+  stats::RunningStats with_ram, with_swap, with_disk;
+  for (const std::uint32_t idx : ctx.trace.MachineSamples(machine)) {
+    const auto cls = ctx.derived.SampleClass(idx, threshold);
+    if (c.has_session[idx]) ++raw_login;
+    if (cls == trace::LoginClass::kForgotten) ++reclassified;
+    const double ram = c.mem_load_pct[idx];
+    const double swap = c.swap_load_pct[idx];
+    const double disk = static_cast<double>(ctx.trace.DiskUsedBytes(idx)) / 1e9;
+    // Forgotten samples count as non-occupied (§4.2); the "both" column is
+    // the merge of the two class accumulators, built in Finalize.
+    if (cls == trace::LoginClass::kWithLogin) {
+      ++with_n;
+      with_ram.Add(ram);
+      with_swap.Add(swap);
+      with_disk.Add(disk);
+    } else {
+      ++no_n;
+      no_ram.Add(ram);
+      no_swap.Add(swap);
+      no_disk.Add(disk);
+    }
+  }
+
+  stats::RunningStats no_cpu, no_sent, no_recv;
+  stats::RunningStats with_cpu, with_sent, with_recv;
+  const auto& iv = ctx.derived.interval_columns();
+  const auto range = ctx.derived.MachineIntervalRange(machine);
+  for (std::size_t i = range.begin; i < range.end; ++i) {
+    const auto cls = ctx.derived.IntervalClassAt(i, threshold);
+    if (cls == trace::LoginClass::kWithLogin) {
+      with_cpu.Add(iv.cpu_idle_pct[i]);
+      with_sent.Add(iv.sent_bps[i]);
+      with_recv.Add(iv.recv_bps[i]);
+    } else {
+      no_cpu.Add(iv.cpu_idle_pct[i]);
+      no_sent.Add(iv.sent_bps[i]);
+      no_recv.Add(iv.recv_bps[i]);
+    }
+  }
+
+  st.raw_login_samples += raw_login;
+  st.reclassified_samples += reclassified;
+  st.no_login.samples += no_n;
+  st.no_login.ram.Merge(no_ram);
+  st.no_login.swap.Merge(no_swap);
+  st.no_login.disk_used_gb.Merge(no_disk);
+  st.no_login.cpu_idle.Merge(no_cpu);
+  st.no_login.sent_bps.Merge(no_sent);
+  st.no_login.recv_bps.Merge(no_recv);
+  st.with_login.samples += with_n;
+  st.with_login.ram.Merge(with_ram);
+  st.with_login.swap.Merge(with_swap);
+  st.with_login.disk_used_gb.Merge(with_disk);
+  st.with_login.cpu_idle.Merge(with_cpu);
+  st.with_login.sent_bps.Merge(with_sent);
+  st.with_login.recv_bps.Merge(with_recv);
+}
+
+void AggregatePass::MergeState(State& into, State& from) const {
+  auto& a = static_cast<Impl&>(into);
+  auto& b = static_cast<Impl&>(from);
+  a.no_login.Merge(b.no_login);
+  a.with_login.Merge(b.with_login);
+  a.raw_login_samples += b.raw_login_samples;
+  a.reclassified_samples += b.reclassified_samples;
+}
+
+void AggregatePass::Finalize(const PassContext& ctx, State& merged) {
+  auto& st = static_cast<Impl&>(merged);
+  result_ = Table2Result{};
+  result_.total_attempts = ctx.trace.TotalAttempts();
+  result_.iterations = ctx.trace.iterations().size();
+  result_.raw_login_samples = st.raw_login_samples;
+  result_.reclassified_samples = st.reclassified_samples;
+  st.no_login.Fill(result_.no_login, result_.total_attempts);
+  st.with_login.Fill(result_.with_login, result_.total_attempts);
+  Impl::Acc both = st.no_login;
+  both.Merge(st.with_login);
+  both.Fill(result_.both, result_.total_attempts);
+}
+
+// ---------------------------------------------------------- availability
+
+struct AvailabilityPass::Impl final : AnalysisPass::State {
+  std::vector<std::uint32_t> on;    ///< responding machines per iteration
+  std::vector<std::uint32_t> free;  ///< ... without an effective session
+  stats::Histogram histogram{0.0, 96.0, 48};
+  stats::RunningStats lengths;
+  double uptime_total_h = 0.0;
+  double uptime_within_h = 0.0;
+  std::uint64_t sessions_within = 0;
+  std::uint64_t total_sessions = 0;
+};
+
+std::unique_ptr<AnalysisPass::State> AvailabilityPass::MakeState(
+    const PassContext& ctx) const {
+  auto state = std::make_unique<Impl>();
+  state->on.assign(ctx.trace.iterations().size(), 0);
+  state->free.assign(ctx.trace.iterations().size(), 0);
+  return state;
+}
+
+void AvailabilityPass::AccumulateMachine(const PassContext& ctx,
+                                         std::size_t machine,
+                                         State& state) const {
+  auto& st = static_cast<Impl&>(state);
+  const auto& c = ctx.trace.columns();
+  for (const std::uint32_t idx : ctx.trace.MachineSamples(machine)) {
+    const std::uint32_t it = c.iteration[idx];
+    if (it >= st.on.size()) continue;
+    ++st.on[it];
+    if (ctx.derived.SampleClass(idx, forgotten_threshold_s_) !=
+        trace::LoginClass::kWithLogin) {
+      ++st.free[it];
+    }
+  }
+  for (const auto& session : ctx.derived.MachineSessions(machine)) {
+    const double hours = static_cast<double>(session.last_uptime_s) / 3600.0;
+    st.histogram.Add(hours);
+    st.lengths.Add(hours);
+    st.uptime_total_h += hours;
+    ++st.total_sessions;
+    if (hours <= 96.0) {
+      ++st.sessions_within;
+      st.uptime_within_h += hours;
+    }
+  }
+}
+
+void AvailabilityPass::MergeState(State& into, State& from) const {
+  auto& a = static_cast<Impl&>(into);
+  auto& b = static_cast<Impl&>(from);
+  if (a.on.size() < b.on.size()) {
+    a.on.resize(b.on.size(), 0);
+    a.free.resize(b.free.size(), 0);
+  }
+  for (std::size_t i = 0; i < b.on.size(); ++i) {
+    a.on[i] += b.on[i];
+    a.free[i] += b.free[i];
+  }
+  a.histogram.Merge(b.histogram);
+  a.lengths.Merge(b.lengths);
+  a.uptime_total_h += b.uptime_total_h;
+  a.uptime_within_h += b.uptime_within_h;
+  a.sessions_within += b.sessions_within;
+  a.total_sessions += b.total_sessions;
+}
+
+void AvailabilityPass::Finalize(const PassContext& ctx, State& merged) {
+  auto& st = static_cast<Impl&>(merged);
+  result_ = AvailabilityResult{};
+  for (std::size_t i = 0; i < ctx.trace.iterations().size(); ++i) {
+    const auto t = ctx.trace.iterations()[i].start_t;
+    result_.series.powered_on.Append(t, st.on[i]);
+    result_.series.user_free.Append(t, st.free[i]);
+  }
+  result_.series.mean_powered_on = result_.series.powered_on.Mean();
+  result_.series.mean_user_free = result_.series.user_free.Mean();
+
+  // Ranking needs only the per-machine response counts the store indexes —
+  // no trace walk, so it stays in finalize (identical to the legacy code).
+  result_.ranking = ComputeUptimeRanking(ctx.trace);
+
+  auto& dist = result_.session_lengths;
+  dist.histogram = st.histogram;
+  dist.total_sessions = st.total_sessions;
+  dist.fraction_within_96h =
+      st.total_sessions == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(st.sessions_within) /
+                static_cast<double>(st.total_sessions);
+  dist.uptime_fraction_within_96h =
+      st.uptime_total_h > 0.0
+          ? 100.0 * st.uptime_within_h / st.uptime_total_h
+          : 0.0;
+  dist.mean_hours = st.lengths.mean();
+  dist.stddev_hours = st.lengths.stddev();
+}
+
+// --------------------------------------------------------------- per_lab
+
+struct PerLabPass::Impl final : AnalysisPass::State {
+  struct LabAcc {
+    std::uint64_t samples = 0;
+    std::uint64_t occupied = 0;
+    stats::RunningStats idle;
+    stats::RunningStats ram;
+    stats::RunningStats free_disk_gb;
+
+    void Merge(const LabAcc& o) {
+      samples += o.samples;
+      occupied += o.occupied;
+      idle.Merge(o.idle);
+      ram.Merge(o.ram);
+      free_disk_gb.Merge(o.free_disk_gb);
+    }
+  };
+  struct ClassAcc {
+    stats::RunningStats pct;
+    stats::RunningStats mb;
+  };
+
+  /// Per-lab accumulators plus a slot for machines outside every lab
+  /// range; the fleet row and the headroom figures are merges of these,
+  /// built in Finalize (one accumulation per sample, not two).
+  std::vector<LabAcc> labs;
+  std::map<int, ClassAcc> ram_classes;
+};
+
+std::size_t PerLabPass::LabOf(std::size_t machine) const noexcept {
+  for (std::size_t l = 0; l < labs_.size(); ++l) {
+    if (machine >= labs_[l].first_machine &&
+        machine < labs_[l].first_machine + labs_[l].machine_count) {
+      return l;
+    }
+  }
+  return labs_.size();
+}
+
+std::unique_ptr<AnalysisPass::State> PerLabPass::MakeState(
+    const PassContext&) const {
+  auto state = std::make_unique<Impl>();
+  state->labs.resize(labs_.size() + 1);
+  return state;
+}
+
+void PerLabPass::AccumulateMachine(const PassContext& ctx,
+                                   std::size_t machine, State& state) const {
+  auto& st = static_cast<Impl&>(state);
+  const auto& c = ctx.trace.columns();
+  const std::int64_t threshold = forgotten_threshold_s_;
+
+  // Same local-accumulator pattern as AggregatePass: a machine belongs to
+  // exactly one lab and (in practice) one installed-RAM class, so the
+  // whole walk accumulates into registers and merges once at the end.
+  std::uint64_t samples = 0;
+  std::uint64_t occupied = 0;
+  stats::RunningStats ram, free_disk;
+  stats::RunningStats class_pct, class_mb;
+  int ram_class_mb = -1;
+  for (const std::uint32_t idx : ctx.trace.MachineSamples(machine)) {
+    ++samples;
+    if (ctx.derived.SampleClass(idx, threshold) ==
+        trace::LoginClass::kWithLogin) {
+      ++occupied;
+    }
+    const double load = c.mem_load_pct[idx];
+    ram.Add(load);
+    free_disk.Add(static_cast<double>(c.disk_free_b[idx]) / 1e9);
+    if (c.ram_mb[idx] > 0) {
+      if (c.ram_mb[idx] != ram_class_mb) {
+        if (ram_class_mb > 0) {  // rare: installed RAM changed mid-trace
+          auto& flushed = st.ram_classes[ram_class_mb];
+          flushed.pct.Merge(class_pct);
+          flushed.mb.Merge(class_mb);
+          class_pct = {};
+          class_mb = {};
+        }
+        ram_class_mb = c.ram_mb[idx];
+      }
+      class_pct.Add(100.0 - load);
+      class_mb.Add(ctx.trace.FreeRamMb(idx));
+    }
+  }
+
+  stats::RunningStats idle;
+  const auto& iv = ctx.derived.interval_columns();
+  const auto range = ctx.derived.MachineIntervalRange(machine);
+  for (std::size_t i = range.begin; i < range.end; ++i) {
+    idle.Add(iv.cpu_idle_pct[i]);
+  }
+
+  auto& acc = st.labs[LabOf(machine)];
+  acc.samples += samples;
+  acc.occupied += occupied;
+  acc.ram.Merge(ram);
+  acc.free_disk_gb.Merge(free_disk);
+  acc.idle.Merge(idle);
+  if (ram_class_mb > 0) {
+    auto& cls = st.ram_classes[ram_class_mb];
+    cls.pct.Merge(class_pct);
+    cls.mb.Merge(class_mb);
+  }
+}
+
+void PerLabPass::MergeState(State& into, State& from) const {
+  auto& a = static_cast<Impl&>(into);
+  auto& b = static_cast<Impl&>(from);
+  if (a.labs.size() < b.labs.size()) a.labs.resize(b.labs.size());
+  for (std::size_t l = 0; l < b.labs.size(); ++l) a.labs[l].Merge(b.labs[l]);
+  for (const auto& [ram_mb, acc] : b.ram_classes) {
+    auto& mine = a.ram_classes[ram_mb];
+    mine.pct.Merge(acc.pct);
+    mine.mb.Merge(acc.mb);
+  }
+}
+
+void PerLabPass::Finalize(const PassContext& ctx, State& merged) {
+  auto& st = static_cast<Impl&>(merged);
+  result_ = PerLabResult{};
+
+  const double iterations =
+      static_cast<double>(ctx.trace.iterations().size());
+  // Fleet = merge of every lab accumulator (plus the outside-any-lab slot).
+  Impl::LabAcc fleet;
+  for (const auto& acc : st.labs) fleet.Merge(acc);
+  result_.usage.reserve(labs_.size() + 1);
+  for (std::size_t l = 0; l <= labs_.size(); ++l) {
+    LabUsage usage;
+    if (l < labs_.size()) {
+      usage.name = labs_[l].name;
+      usage.machines = labs_[l].machine_count;
+    } else {
+      usage.name = "Fleet";
+      usage.machines = ctx.trace.machine_count();
+    }
+    const auto& acc = l < labs_.size() ? st.labs[l] : fleet;
+    usage.samples = acc.samples;
+    const double attempts = iterations * static_cast<double>(usage.machines);
+    usage.uptime_pct =
+        attempts > 0.0
+            ? 100.0 * static_cast<double>(acc.samples) / attempts
+            : 0.0;
+    usage.occupied_pct =
+        attempts > 0.0
+            ? 100.0 * static_cast<double>(acc.occupied) / attempts
+            : 0.0;
+    usage.cpu_idle_pct = acc.idle.mean();
+    usage.ram_load_pct = acc.ram.mean();
+    usage.free_disk_gb = acc.free_disk_gb.mean();
+    result_.usage.push_back(std::move(usage));
+  }
+
+  auto& h = result_.headroom;
+  h.cpu_idle_pct = fleet.idle.mean();
+  h.unused_ram_pct = fleet.ram.count() > 0 ? 100.0 - fleet.ram.mean() : 0.0;
+  h.free_disk_gb_per_machine = fleet.free_disk_gb.mean();
+  h.free_disk_tb_fleet = fleet.free_disk_gb.mean() *
+                         static_cast<double>(ctx.trace.machine_count()) /
+                         1024.0;
+  // Exact when the trace carries installed-RAM sizes; otherwise fall back
+  // to the paper's fleet mean of 340.8 MB/machine (Table 1).
+  stats::RunningStats free_ram_mb;
+  for (const auto& [ram_mb, acc] : st.ram_classes) free_ram_mb.Merge(acc.mb);
+  const double mean_free_mb = free_ram_mb.count() > 0
+                                  ? free_ram_mb.mean()
+                                  : h.unused_ram_pct / 100.0 * 340.8;
+  h.unused_ram_gb_fleet = mean_free_mb *
+                          static_cast<double>(ctx.trace.machine_count()) /
+                          1024.0;
+  for (const auto& [ram_mb, acc] : st.ram_classes) {
+    MemoryClassHeadroom cls;
+    cls.ram_mb = ram_mb;
+    cls.samples = static_cast<std::uint64_t>(acc.pct.count());
+    cls.unused_pct = acc.pct.mean();
+    cls.free_mb = acc.mb.mean();
+    h.by_ram_class.push_back(cls);
+  }
+}
+
+// --------------------------------------------------------- session_hours
+
+struct SessionHoursPass::Impl final : AnalysisPass::State {
+  std::vector<stats::RunningStats> bins;
+};
+
+std::unique_ptr<AnalysisPass::State> SessionHoursPass::MakeState(
+    const PassContext&) const {
+  auto state = std::make_unique<Impl>();
+  state->bins.resize(static_cast<std::size_t>(max_hours_) + 1);
+  return state;
+}
+
+void SessionHoursPass::AccumulateMachine(const PassContext& ctx,
+                                         std::size_t machine,
+                                         State& state) const {
+  auto& st = static_cast<Impl&>(state);
+  const auto& c = ctx.trace.columns();
+  // Figure 2 is computed on raw login samples — no threshold filtering
+  // (this analysis is what *establishes* the threshold), so only the
+  // closing sample's session presence matters, not the interval class.
+  // Session hours grow monotonically within a login, so consecutive
+  // intervals land in the same bin; a one-bin local accumulator keeps the
+  // hot Welford state in registers and flushes on bin changes.
+  stats::RunningStats local;
+  std::size_t local_bin = 0;
+  const auto& iv = ctx.derived.interval_columns();
+  const auto range = ctx.derived.MachineIntervalRange(machine);
+  for (std::size_t i = range.begin; i < range.end; ++i) {
+    const std::uint32_t closing = iv.end_index[i];
+    if (!c.has_session[closing]) continue;
+    const auto hour = ctx.trace.SessionSeconds(closing) / 3600;
+    const auto bin = static_cast<std::size_t>(
+        std::min<std::int64_t>(hour, max_hours_));
+    if (bin != local_bin) {
+      st.bins[local_bin].Merge(local);
+      local = {};
+      local_bin = bin;
+    }
+    local.Add(iv.cpu_idle_pct[i]);
+  }
+  st.bins[local_bin].Merge(local);
+}
+
+void SessionHoursPass::MergeState(State& into, State& from) const {
+  auto& a = static_cast<Impl&>(into);
+  auto& b = static_cast<Impl&>(from);
+  for (std::size_t i = 0; i < a.bins.size(); ++i) a.bins[i].Merge(b.bins[i]);
+}
+
+void SessionHoursPass::Finalize(const PassContext&, State& merged) {
+  auto& st = static_cast<Impl&>(merged);
+  result_ = SessionHourProfile{};
+  result_.bins.reserve(st.bins.size());
+  for (std::size_t h = 0; h < st.bins.size(); ++h) {
+    SessionHourBin bin;
+    bin.hour = static_cast<int>(h);
+    bin.samples = static_cast<std::uint64_t>(st.bins[h].count());
+    bin.mean_cpu_idle_pct = st.bins[h].mean();
+    result_.bins.push_back(bin);
+    if (result_.first_bin_above_99 < 0 && bin.samples > 0 &&
+        bin.mean_cpu_idle_pct >= 99.0) {
+      result_.first_bin_above_99 = bin.hour;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- weekly
+
+struct WeeklyPass::Impl final : AnalysisPass::State {
+  explicit Impl(int bin_minutes)
+      : cpu_idle(bin_minutes),
+        ram(bin_minutes),
+        swap(bin_minutes),
+        sent(bin_minutes),
+        recv(bin_minutes) {}
+  stats::WeeklyProfile cpu_idle;
+  stats::WeeklyProfile ram;
+  stats::WeeklyProfile swap;
+  stats::WeeklyProfile sent;
+  stats::WeeklyProfile recv;
+};
+
+std::unique_ptr<AnalysisPass::State> WeeklyPass::MakeState(
+    const PassContext&) const {
+  return std::make_unique<Impl>(bin_minutes_);
+}
+
+void WeeklyPass::AccumulateMachine(const PassContext& ctx,
+                                   std::size_t machine, State& state) const {
+  auto& st = static_cast<Impl&>(state);
+  const auto& c = ctx.trace.columns();
+  // A machine's consecutive samples are almost always exactly one bin
+  // width apart, and stepping t by the bin width moves the week-folded
+  // bin to its successor (mod week) regardless of alignment — so the bin
+  // index is tracked incrementally, keeping the 64-bit modulo and
+  // divisions of BinOf off the hot path.
+  const std::size_t bin_count = st.ram.bin_count();
+  const std::int64_t bin_seconds =
+      static_cast<std::int64_t>(st.ram.bin_minutes()) *
+      util::kSecondsPerMinute;
+  std::int64_t prev_t = -2 * bin_seconds;  // never one bin before t >= 0
+  std::size_t bin = 0;
+  for (const std::uint32_t idx : ctx.trace.MachineSamples(machine)) {
+    const std::int64_t t = c.t[idx];
+    if (t - prev_t == bin_seconds) {
+      if (++bin == bin_count) bin = 0;
+    } else {
+      bin = st.ram.BinOf(t);
+    }
+    prev_t = t;
+    st.ram.AddAt(bin, c.mem_load_pct[idx]);
+    st.swap.AddAt(bin, c.swap_load_pct[idx]);
+  }
+  prev_t = -2 * bin_seconds;
+  bin = 0;
+  const auto& iv = ctx.derived.interval_columns();
+  const auto range = ctx.derived.MachineIntervalRange(machine);
+  for (std::size_t i = range.begin; i < range.end; ++i) {
+    const std::int64_t t = iv.end_t[i];
+    if (t - prev_t == bin_seconds) {
+      if (++bin == bin_count) bin = 0;
+    } else {
+      bin = st.cpu_idle.BinOf(t);
+    }
+    prev_t = t;
+    st.cpu_idle.AddAt(bin, iv.cpu_idle_pct[i]);
+    st.sent.AddAt(bin, iv.sent_bps[i]);
+    st.recv.AddAt(bin, iv.recv_bps[i]);
+  }
+}
+
+void WeeklyPass::MergeState(State& into, State& from) const {
+  auto& a = static_cast<Impl&>(into);
+  auto& b = static_cast<Impl&>(from);
+  a.cpu_idle.Merge(b.cpu_idle);
+  a.ram.Merge(b.ram);
+  a.swap.Merge(b.swap);
+  a.sent.Merge(b.sent);
+  a.recv.Merge(b.recv);
+}
+
+void WeeklyPass::Finalize(const PassContext&, State& merged) {
+  auto& st = static_cast<Impl&>(merged);
+  result_ = WeeklyProfiles{std::move(st.cpu_idle), std::move(st.ram),
+                           std::move(st.swap),     std::move(st.sent),
+                           std::move(st.recv),     0.0,
+                           {},                     0.0,
+                           0.0};
+  result_.min_cpu_idle_pct = result_.cpu_idle_pct.MinBinMean();
+  const auto argmin = result_.cpu_idle_pct.ArgMinBin();
+  if (argmin != static_cast<std::size_t>(-1)) {
+    result_.min_cpu_idle_when = result_.cpu_idle_pct.BinLabel(argmin);
+  }
+  result_.min_ram_load_pct = result_.ram_load_pct.MinBinMean();
+  // The 04:00–08:00 closed window, averaged over Tue–Fri mornings
+  // (Monday's 04–08 follows the closed Sunday so machines are mostly off).
+  double closed_sum = 0.0;
+  int closed_n = 0;
+  for (int day = 1; day <= 4; ++day) {  // Tue..Fri
+    const int lo = day * 24 * 60 + 4 * 60;
+    const int hi = day * 24 * 60 + 8 * 60;
+    const double v = result_.cpu_idle_pct.MeanOverWindow(lo, hi);
+    if (v > 0.0) {
+      closed_sum += v;
+      ++closed_n;
+    }
+  }
+  result_.closed_hours_cpu_idle = closed_n ? closed_sum / closed_n : 0.0;
+}
+
+// ----------------------------------------------------------- equivalence
+
+struct EquivalencePass::Impl final : AnalysisPass::State {
+  std::vector<double> occupied_sum;  ///< per iteration, perf-weighted
+  std::vector<double> free_sum;
+};
+
+std::unique_ptr<AnalysisPass::State> EquivalencePass::MakeState(
+    const PassContext& ctx) const {
+  auto state = std::make_unique<Impl>();
+  state->occupied_sum.assign(ctx.trace.iterations().size(), 0.0);
+  state->free_sum.assign(ctx.trace.iterations().size(), 0.0);
+  return state;
+}
+
+void EquivalencePass::AccumulateMachine(const PassContext& ctx,
+                                        std::size_t machine,
+                                        State& state) const {
+  auto& st = static_cast<Impl&>(state);
+  if (machine >= perf_index_.size()) return;
+  const auto& c = ctx.trace.columns();
+  const auto& iv = ctx.derived.interval_columns();
+  const auto range = ctx.derived.MachineIntervalRange(machine);
+  const double perf = perf_index_[machine];
+  for (std::size_t i = range.begin; i < range.end; ++i) {
+    const std::uint32_t it = c.iteration[iv.end_index[i]];
+    if (it >= st.occupied_sum.size()) continue;
+    const double contribution = iv.cpu_idle_pct[i] / 100.0 * perf;
+    if (ctx.derived.IntervalClassAt(i, forgotten_threshold_s_) ==
+        trace::LoginClass::kWithLogin) {
+      st.occupied_sum[it] += contribution;
+    } else {
+      st.free_sum[it] += contribution;
+    }
+  }
+}
+
+void EquivalencePass::MergeState(State& into, State& from) const {
+  auto& a = static_cast<Impl&>(into);
+  auto& b = static_cast<Impl&>(from);
+  if (a.occupied_sum.size() < b.occupied_sum.size()) {
+    a.occupied_sum.resize(b.occupied_sum.size(), 0.0);
+    a.free_sum.resize(b.free_sum.size(), 0.0);
+  }
+  for (std::size_t i = 0; i < b.occupied_sum.size(); ++i) {
+    a.occupied_sum[i] += b.occupied_sum[i];
+    a.free_sum[i] += b.free_sum[i];
+  }
+}
+
+void EquivalencePass::Finalize(const PassContext& ctx, State& merged) {
+  auto& st = static_cast<Impl&>(merged);
+  assert(perf_index_.size() >= ctx.trace.machine_count());
+  double fleet_perf = 0.0;
+  for (std::size_t m = 0; m < ctx.trace.machine_count(); ++m) {
+    fleet_perf += perf_index_[m];
+  }
+
+  result_ = EquivalenceResult{stats::WeeklyProfile(bin_minutes_),
+                              stats::WeeklyProfile(bin_minutes_),
+                              stats::WeeklyProfile(bin_minutes_)};
+  if (fleet_perf <= 0.0 || ctx.trace.iterations().empty()) return;
+
+  stats::RunningStats occupied_mean;
+  stats::RunningStats free_mean;
+  for (std::size_t it = 0; it < ctx.trace.iterations().size(); ++it) {
+    const auto t = ctx.trace.iterations()[it].start_t;
+    const double occ = st.occupied_sum[it] / fleet_perf;
+    const double fre = st.free_sum[it] / fleet_perf;
+    result_.weekly_occupied.Add(t, occ);
+    result_.weekly_free.Add(t, fre);
+    result_.weekly_total.Add(t, occ + fre);
+    occupied_mean.Add(occ);
+    free_mean.Add(fre);
+  }
+  result_.mean_occupied = occupied_mean.mean();
+  result_.mean_free = free_mean.mean();
+  result_.mean_total = result_.mean_occupied + result_.mean_free;
+}
+
+// ------------------------------------------------------------- stability
+
+struct StabilityPass::Impl final : AnalysisPass::State {
+  stats::RunningStats lengths;  ///< session lengths in hours
+  std::uint64_t session_count = 0;
+  stats::RunningStats per_machine_cycles;
+  stats::RunningStats experiment_ratio;
+  stats::RunningStats life_ratio;
+  std::uint64_t total_cycles = 0;
+};
+
+std::unique_ptr<AnalysisPass::State> StabilityPass::MakeState(
+    const PassContext&) const {
+  return std::make_unique<Impl>();
+}
+
+void StabilityPass::AccumulateMachine(const PassContext& ctx,
+                                      std::size_t machine,
+                                      State& state) const {
+  auto& st = static_cast<Impl&>(state);
+  for (const auto& session : ctx.derived.MachineSessions(machine)) {
+    st.lengths.Add(static_cast<double>(session.last_uptime_s) / 3600.0);
+    ++st.session_count;
+  }
+
+  const auto indices = ctx.trace.MachineSamples(machine);
+  if (indices.empty()) return;
+  const auto& c = ctx.trace.columns();
+  const std::uint32_t first = indices.front();
+  const std::uint32_t last = indices.back();
+  // Cycles accumulated during the monitoring window. The first sample's
+  // counter already includes the boot that made the machine reachable, so
+  // the difference undercounts by the pre-first-sample boots — the same
+  // bias the real methodology has.
+  const std::uint64_t cycles =
+      c.smart_power_cycles[last] - c.smart_power_cycles[first];
+  const std::uint64_t hours =
+      c.smart_power_on_hours[last] - c.smart_power_on_hours[first];
+  st.total_cycles += cycles;
+  st.per_machine_cycles.Add(static_cast<double>(cycles));
+  if (cycles > 0) {
+    st.experiment_ratio.Add(static_cast<double>(hours) /
+                            static_cast<double>(cycles));
+  }
+  // Whole-life ratio from the absolute counters of the last sample.
+  if (c.smart_power_cycles[last] > 0) {
+    st.life_ratio.Add(static_cast<double>(c.smart_power_on_hours[last]) /
+                      static_cast<double>(c.smart_power_cycles[last]));
+  }
+}
+
+void StabilityPass::MergeState(State& into, State& from) const {
+  auto& a = static_cast<Impl&>(into);
+  auto& b = static_cast<Impl&>(from);
+  a.lengths.Merge(b.lengths);
+  a.session_count += b.session_count;
+  a.per_machine_cycles.Merge(b.per_machine_cycles);
+  a.experiment_ratio.Merge(b.experiment_ratio);
+  a.life_ratio.Merge(b.life_ratio);
+  a.total_cycles += b.total_cycles;
+}
+
+void StabilityPass::Finalize(const PassContext&, State& merged) {
+  auto& st = static_cast<Impl&>(merged);
+  result_ = StabilityResult{};
+  result_.sessions.session_count = st.session_count;
+  result_.sessions.mean_hours = st.lengths.mean();
+  result_.sessions.stddev_hours = st.lengths.stddev();
+
+  auto& smart = result_.smart;
+  smart.experiment_cycles = st.total_cycles;
+  smart.cycles_per_machine_mean = st.per_machine_cycles.mean();
+  smart.cycles_per_machine_stddev = st.per_machine_cycles.stddev();
+  smart.cycles_per_machine_day =
+      experiment_days_ > 0
+          ? st.per_machine_cycles.mean() / experiment_days_
+          : 0.0;
+  smart.cycle_excess_over_sessions_pct =
+      st.session_count > 0
+          ? 100.0 * (static_cast<double>(st.total_cycles) /
+                         static_cast<double>(st.session_count) -
+                     1.0)
+          : 0.0;
+  smart.experiment_hours_per_cycle_mean = st.experiment_ratio.mean();
+  smart.experiment_hours_per_cycle_stddev = st.experiment_ratio.stddev();
+  smart.life_hours_per_cycle_mean = st.life_ratio.mean();
+  smart.life_hours_per_cycle_stddev = st.life_ratio.stddev();
+}
+
+// -------------------------------------------------------------- capacity
+
+struct CapacityPass::Impl final : AnalysisPass::State {
+  std::vector<double> ram_mb_sum;   ///< per iteration
+  std::vector<double> disk_gb_sum;
+};
+
+std::unique_ptr<AnalysisPass::State> CapacityPass::MakeState(
+    const PassContext& ctx) const {
+  auto state = std::make_unique<Impl>();
+  state->ram_mb_sum.assign(ctx.trace.iterations().size(), 0.0);
+  state->disk_gb_sum.assign(ctx.trace.iterations().size(), 0.0);
+  return state;
+}
+
+void CapacityPass::AccumulateMachine(const PassContext& ctx,
+                                     std::size_t machine,
+                                     State& state) const {
+  auto& st = static_cast<Impl&>(state);
+  const auto& c = ctx.trace.columns();
+  for (const std::uint32_t idx : ctx.trace.MachineSamples(machine)) {
+    const std::uint32_t it = c.iteration[idx];
+    if (it >= st.ram_mb_sum.size()) continue;
+    st.ram_mb_sum[it] += ctx.trace.FreeRamMb(idx);
+    st.disk_gb_sum[it] += static_cast<double>(c.disk_free_b[idx]) / 1e9;
+  }
+}
+
+void CapacityPass::MergeState(State& into, State& from) const {
+  auto& a = static_cast<Impl&>(into);
+  auto& b = static_cast<Impl&>(from);
+  if (a.ram_mb_sum.size() < b.ram_mb_sum.size()) {
+    a.ram_mb_sum.resize(b.ram_mb_sum.size(), 0.0);
+    a.disk_gb_sum.resize(b.disk_gb_sum.size(), 0.0);
+  }
+  for (std::size_t i = 0; i < b.ram_mb_sum.size(); ++i) {
+    a.ram_mb_sum[i] += b.ram_mb_sum[i];
+    a.disk_gb_sum[i] += b.disk_gb_sum[i];
+  }
+}
+
+void CapacityPass::Finalize(const PassContext& ctx, State& merged) {
+  auto& st = static_cast<Impl&>(merged);
+  result_ = CapacityResult();
+  const std::size_t iterations = ctx.trace.iterations().size();
+  const double replication = std::max(1, options_.replication);
+  std::vector<double> ram_points;
+  std::vector<double> disk_points;
+  ram_points.reserve(iterations);
+  disk_points.reserve(iterations);
+  for (std::size_t i = 0; i < iterations; ++i) {
+    const auto t = ctx.trace.iterations()[i].start_t;
+    const double ram_gb = st.ram_mb_sum[i] / 1024.0 *
+                          options_.ram_donation_fraction / replication;
+    const double disk_tb = st.disk_gb_sum[i] / 1024.0 *
+                           options_.disk_donation_fraction / replication;
+    result_.ram_gb.Append(t, ram_gb);
+    result_.ram_gb_weekly.Add(t, ram_gb);
+    result_.disk_tb.Append(t, disk_tb);
+    ram_points.push_back(ram_gb);
+    disk_points.push_back(disk_tb);
+  }
+  result_.mean_ram_gb = result_.ram_gb.Mean();
+  result_.p10_ram_gb = Percentile(ram_points, 0.10);
+  result_.mean_disk_tb = result_.disk_tb.Mean();
+  result_.p10_disk_tb = Percentile(disk_points, 0.10);
+}
+
+}  // namespace labmon::analysis

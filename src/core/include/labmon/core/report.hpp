@@ -1,24 +1,33 @@
 // Report — runs every analysis of the paper on an ExperimentResult and
 // renders/exports them.
+//
+// All analyses run through analysis::AnalysisPipeline in one parallel
+// sweep over a trace::DerivedTrace, so intervals and sessions are derived
+// exactly once (the previous constructor reconstructed the session list
+// twice and every analysis re-derived its own intervals).
 #pragma once
 
 #include <string>
 
-#include "labmon/analysis/aggregate.hpp"
-#include "labmon/analysis/availability.hpp"
-#include "labmon/analysis/equivalence.hpp"
-#include "labmon/analysis/per_lab.hpp"
-#include "labmon/analysis/session_hours.hpp"
-#include "labmon/analysis/stability.hpp"
-#include "labmon/analysis/weekly.hpp"
+#include "labmon/analysis/passes.hpp"
+#include "labmon/analysis/pipeline.hpp"
 #include "labmon/core/experiment.hpp"
+#include "labmon/trace/derived_trace.hpp"
 
 namespace labmon::core {
+
+struct ReportOptions {
+  /// Worker threads for derivation and the analysis sweep
+  /// (0 = hardware concurrency). Results are identical for any value.
+  std::size_t workers = 0;
+  /// Optional metrics sink for derivation/pipeline instrumentation.
+  obs::Registry* metrics = nullptr;
+};
 
 class Report {
  public:
   /// Computes all analyses eagerly. The result must outlive the report.
-  explicit Report(const ExperimentResult& result);
+  explicit Report(const ExperimentResult& result, ReportOptions options = {});
 
   // Rendered artefacts (paper-vs-measured tables).
   [[nodiscard]] std::string Table1() const;  ///< machine inventory
@@ -74,6 +83,20 @@ class Report {
   [[nodiscard]] const analysis::ResourceHeadroom& headroom() const noexcept {
     return headroom_;
   }
+  [[nodiscard]] const analysis::CapacityResult& capacity() const noexcept {
+    return capacity_;
+  }
+
+  /// The shared derivation every analysis consumed (intervals, sessions,
+  /// interactive spans — computed exactly once).
+  [[nodiscard]] const trace::DerivedTrace& derived() const noexcept {
+    return derived_;
+  }
+  /// Timings/shape of the analysis sweep that produced this report.
+  [[nodiscard]] const analysis::PipelineRunStats& pipeline_stats()
+      const noexcept {
+    return pipeline_stats_;
+  }
 
   /// Writes figure data as CSV files into `directory` (created if needed).
   /// Returns an error message on failure, empty string on success.
@@ -81,10 +104,13 @@ class Report {
 
  private:
   const ExperimentResult* result_;
+  trace::DerivedTrace derived_;
+  analysis::PipelineRunStats pipeline_stats_;
   analysis::Table2Result table2_;
   analysis::AvailabilitySeries availability_;
   analysis::UptimeRanking ranking_;
-  analysis::SessionLengthDistribution session_lengths_;
+  analysis::SessionLengthDistribution session_lengths_{
+      stats::Histogram(0.0, 96.0, 48)};
   analysis::SessionStats session_stats_;
   analysis::SmartStats smart_stats_;
   analysis::SessionHourProfile session_hours_;
@@ -92,6 +118,7 @@ class Report {
   analysis::EquivalenceResult equivalence_;
   std::vector<analysis::LabUsage> per_lab_;
   analysis::ResourceHeadroom headroom_;
+  analysis::CapacityResult capacity_;
 };
 
 }  // namespace labmon::core

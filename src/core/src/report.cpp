@@ -10,33 +10,48 @@
 
 namespace labmon::core {
 
-Report::Report(const ExperimentResult& result)
+Report::Report(const ExperimentResult& result, ReportOptions options)
     : result_(&result),
-      table2_(analysis::ComputeTable2(result.trace)),
-      availability_(analysis::ComputeAvailabilitySeries(result.trace)),
-      ranking_(analysis::ComputeUptimeRanking(result.trace)),
-      session_lengths_(analysis::ComputeSessionLengthDistribution(
-          trace::ReconstructSessions(result.trace))),
-      session_stats_(analysis::ComputeSessionStats(
-          trace::ReconstructSessions(result.trace))),
-      smart_stats_(analysis::ComputeSmartStats(
-          result.trace, session_stats_.session_count, result.days)),
-      session_hours_(analysis::ComputeSessionHourProfile(result.trace)),
-      weekly_(analysis::ComputeWeeklyProfiles(result.trace)),
-      // §5.4 splits occupied/free by *raw* interactive presence (the
-      // forgotten-login reclassification is a Table-2 device; the
-      // equivalence figure charges any open session to "occupied").
-      equivalence_(analysis::ComputeEquivalence(
-          result.trace, result.perf_index, 15,
-          trace::kNoForgottenThreshold)),
-      headroom_(analysis::ComputeResourceHeadroom(result.trace)) {
+      derived_(result.trace,
+               trace::DerivedTraceOptions{
+                   {}, options.workers, options.metrics}) {
   std::vector<analysis::LabKey> keys;
   std::size_t first = 0;
   for (const auto& lab : result.labs) {
     keys.push_back(analysis::LabKey{lab.name, first, lab.machine_count});
     first += lab.machine_count;
   }
-  per_lab_ = analysis::ComputePerLabUsage(result.trace, keys);
+
+  // One sweep feeds every analysis; intervals and sessions come from the
+  // shared derivation above (computed exactly once).
+  analysis::AnalysisPipeline pipeline(
+      analysis::PipelineOptions{options.workers, 8, options.metrics});
+  auto& table2 = pipeline.Emplace<analysis::AggregatePass>();
+  auto& availability = pipeline.Emplace<analysis::AvailabilityPass>();
+  auto& session_hours = pipeline.Emplace<analysis::SessionHoursPass>();
+  auto& weekly = pipeline.Emplace<analysis::WeeklyPass>();
+  // §5.4 splits occupied/free by *raw* interactive presence (the
+  // forgotten-login reclassification is a Table-2 device; the
+  // equivalence figure charges any open session to "occupied").
+  auto& equivalence = pipeline.Emplace<analysis::EquivalencePass>(
+      result.perf_index, 15, trace::kNoForgottenThreshold);
+  auto& stability = pipeline.Emplace<analysis::StabilityPass>(result.days);
+  auto& per_lab = pipeline.Emplace<analysis::PerLabPass>(std::move(keys));
+  auto& capacity = pipeline.Emplace<analysis::CapacityPass>();
+  pipeline_stats_ = pipeline.Run(derived_);
+
+  table2_ = table2.result();
+  availability_ = availability.result().series;
+  ranking_ = availability.result().ranking;
+  session_lengths_ = availability.result().session_lengths;
+  session_stats_ = stability.result().sessions;
+  smart_stats_ = stability.result().smart;
+  session_hours_ = session_hours.result();
+  weekly_ = weekly.result();
+  equivalence_ = equivalence.result();
+  per_lab_ = per_lab.result().usage;
+  headroom_ = per_lab.result().headroom;
+  capacity_ = capacity.result();
 }
 
 std::string Report::Table1() const {

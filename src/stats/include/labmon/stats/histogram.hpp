@@ -2,6 +2,7 @@
 // and the relative-session-hour analysis (Fig 2).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -15,7 +16,26 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t bins);
 
   void Add(double value) noexcept { AddWeighted(value, 1.0); }
-  void AddWeighted(double value, double weight) noexcept;
+  void AddWeighted(double value, double weight) noexcept {
+    if (weight <= 0.0) return;
+    total_ += weight;
+    if (value < lo_) {
+      underflow_ += weight;
+      return;
+    }
+    if (value >= hi_) {
+      overflow_ += weight;
+      return;
+    }
+    auto idx = static_cast<std::size_t>((value - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1);  // guard FP edge at hi_
+    counts_[idx] += weight;
+  }
+
+  /// Merges another histogram with identical [lo, hi)/bins geometry into
+  /// this one (parallel reduction step). Bin sums are exact additions, so
+  /// merging into a fresh histogram reproduces the source bit-for-bit.
+  void Merge(const Histogram& other) noexcept;
 
   [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
   [[nodiscard]] double lo() const noexcept { return lo_; }

@@ -2,12 +2,16 @@
 // merging (so per-chunk accumulators from ParallelFor can be combined).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 
 namespace labmon::stats {
 
 /// Numerically stable streaming statistics accumulator.
+///
+/// Add/Merge are defined inline: analysis passes call them millions of
+/// times per sweep, and the call overhead is measurable at that rate.
 class RunningStats {
  public:
   /// Adds one observation with weight 1.
@@ -15,10 +19,35 @@ class RunningStats {
 
   /// Adds an observation with a non-negative weight (e.g. a time-interval
   /// length, so time-weighted averages fall out naturally).
-  void AddWeighted(double x, double weight) noexcept;
+  void AddWeighted(double x, double weight) noexcept {
+    if (weight <= 0.0) return;
+    ++count_;
+    const double new_weight = weight_ + weight;
+    const double delta = x - mean_;
+    const double r = delta * weight / new_weight;
+    mean_ += r;
+    m2_ += weight_ * delta * r;
+    weight_ = new_weight;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
 
   /// Merges another accumulator into this one (parallel reduction step).
-  void Merge(const RunningStats& other) noexcept;
+  void Merge(const RunningStats& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = weight_ + other.weight_;
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * other.weight_ / total;
+    m2_ += other.m2_ + delta * delta * weight_ * other.weight_ / total;
+    weight_ = total;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
 
   [[nodiscard]] std::int64_t count() const noexcept { return count_; }
   [[nodiscard]] double weight() const noexcept { return weight_; }

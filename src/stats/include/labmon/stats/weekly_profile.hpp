@@ -19,7 +19,19 @@ class WeeklyProfile {
   explicit WeeklyProfile(int bin_minutes = 15);
 
   /// Folds `t` into the week and accumulates `value` (optionally weighted).
-  void Add(util::SimTime t, double value, double weight = 1.0) noexcept;
+  void Add(util::SimTime t, double value, double weight = 1.0) noexcept {
+    bins_[BinOf(t)].AddWeighted(value, weight);
+  }
+
+  /// Accumulates into an already-computed bin (see BinOf). Lets callers
+  /// that feed several same-width profiles from one instant fold it once.
+  void AddAt(std::size_t bin, double value, double weight = 1.0) noexcept {
+    bins_[bin].AddWeighted(value, weight);
+  }
+
+  /// Merges another profile with the same bin width into this one
+  /// (bin-wise RunningStats::Merge; parallel reduction step).
+  void Merge(const WeeklyProfile& other) noexcept;
 
   [[nodiscard]] std::size_t bin_count() const noexcept { return bins_.size(); }
   [[nodiscard]] int bin_minutes() const noexcept { return bin_minutes_; }
@@ -31,7 +43,11 @@ class WeeklyProfile {
   }
 
   /// Bin index a given instant folds into.
-  [[nodiscard]] std::size_t BinOf(util::SimTime t) const noexcept;
+  [[nodiscard]] std::size_t BinOf(util::SimTime t) const noexcept {
+    const auto minute_of_week =
+        (t % util::kSecondsPerWeek) / util::kSecondsPerMinute;
+    return static_cast<std::size_t>(minute_of_week / bin_minutes_);
+  }
   /// Start minute-of-week of bin i.
   [[nodiscard]] int BinStartMinute(std::size_t i) const noexcept {
     return static_cast<int>(i) * bin_minutes_;

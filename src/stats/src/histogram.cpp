@@ -12,20 +12,16 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
   assert(hi > lo && bins > 0);
 }
 
-void Histogram::AddWeighted(double value, double weight) noexcept {
-  if (weight <= 0.0) return;
-  total_ += weight;
-  if (value < lo_) {
-    underflow_ += weight;
-    return;
+
+void Histogram::Merge(const Histogram& other) noexcept {
+  assert(lo_ == other.lo_ && hi_ == other.hi_ &&
+         counts_.size() == other.counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
   }
-  if (value >= hi_) {
-    overflow_ += weight;
-    return;
-  }
-  auto idx = static_cast<std::size_t>((value - lo_) / width_);
-  idx = std::min(idx, counts_.size() - 1);  // guard FP edge at hi_
-  counts_[idx] += weight;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
 }
 
 double Histogram::Fraction(std::size_t i) const noexcept {

@@ -1,38 +1,8 @@
 #include "labmon/stats/running_stats.hpp"
 
-#include <algorithm>
 #include <cmath>
 
 namespace labmon::stats {
-
-void RunningStats::AddWeighted(double x, double weight) noexcept {
-  if (weight <= 0.0) return;
-  ++count_;
-  const double new_weight = weight_ + weight;
-  const double delta = x - mean_;
-  const double r = delta * weight / new_weight;
-  mean_ += r;
-  m2_ += weight_ * delta * r;
-  weight_ = new_weight;
-  min_ = std::min(min_, x);
-  max_ = std::max(max_, x);
-}
-
-void RunningStats::Merge(const RunningStats& other) noexcept {
-  if (other.count_ == 0) return;
-  if (count_ == 0) {
-    *this = other;
-    return;
-  }
-  const double total = weight_ + other.weight_;
-  const double delta = other.mean_ - mean_;
-  mean_ += delta * other.weight_ / total;
-  m2_ += other.m2_ + delta * delta * weight_ * other.weight_ / total;
-  weight_ = total;
-  count_ += other.count_;
-  min_ = std::min(min_, other.min_);
-  max_ = std::max(max_, other.max_);
-}
 
 double RunningStats::variance() const noexcept {
   if (weight_ <= 0.0) return 0.0;

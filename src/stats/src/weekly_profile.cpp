@@ -15,18 +15,15 @@ WeeklyProfile::WeeklyProfile(int bin_minutes) : bin_minutes_(bin_minutes) {
   bins_.resize(static_cast<std::size_t>(kMinutesPerWeek / bin_minutes));
 }
 
-void WeeklyProfile::Add(util::SimTime t, double value, double weight) noexcept {
-  bins_[BinOf(t)].AddWeighted(value, weight);
+void WeeklyProfile::Merge(const WeeklyProfile& other) noexcept {
+  assert(bin_minutes_ == other.bin_minutes_);
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    bins_[i].Merge(other.bins_[i]);
+  }
 }
 
 double WeeklyProfile::Mean(std::size_t i) const noexcept {
   return bins_[i].mean();
-}
-
-std::size_t WeeklyProfile::BinOf(util::SimTime t) const noexcept {
-  const auto minute_of_week =
-      (t % util::kSecondsPerWeek) / util::kSecondsPerMinute;
-  return static_cast<std::size_t>(minute_of_week / bin_minutes_);
 }
 
 std::string WeeklyProfile::BinLabel(std::size_t i) const {

@@ -1,0 +1,217 @@
+// DerivedTrace — intervals, machine sessions, and interactive spans
+// computed from a collected TraceStore exactly once.
+//
+// Every analysis in the paper consumes one or more of these derivations;
+// before this class each analysis re-derived what it needed (core::Report
+// reconstructed the session list twice). A DerivedTrace derives them
+// eagerly at construction — machine-major, serially or in parallel with
+// bit-identical results — and is immutable afterwards, so it can be
+// shared freely across analysis threads. Intervals are stored as columns
+// (IntervalColumns) so each analysis streams only the fields it reads.
+//
+// Interval *geometry* (endpoints, idleness, rates) is independent of the
+// forgotten-login threshold; only the classification depends on it. The
+// stored `login_class` is baked at the construction threshold, and
+// IntervalClass() re-classifies under any other threshold from the
+// endpoint sample indices (used by the §5.4 equivalence analysis, which
+// splits on raw presence, and the session-hours profile).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "labmon/obs/registry.hpp"
+#include "labmon/trace/intervals.hpp"
+#include "labmon/trace/sessions.hpp"
+#include "labmon/trace/trace_store.hpp"
+#include "labmon/util/raw_buffer.hpp"
+
+namespace labmon::trace {
+
+struct DerivedTraceOptions {
+  IntervalOptions intervals;
+  /// Worker threads for derivation (0 = hardware concurrency).
+  std::size_t workers = 0;
+  /// Optional metrics sink for derivation counters (null = none).
+  obs::Registry* metrics = nullptr;
+};
+
+/// Columnar (SoA) interval storage, machine-major then time-ordered —
+/// the same layout rationale as TraceStore::Columns: every analysis
+/// touches only the fields it needs, so a sweep streams a few tight
+/// arrays instead of pulling each 64-byte SampleInterval record through
+/// the cache for one or two of its fields.
+struct IntervalColumns {
+  IntervalColumns() = default;
+  explicit IntervalColumns(std::size_t n)
+      : machine(n),
+        start_index(n),
+        end_index(n),
+        start_t(n),
+        end_t(n),
+        cpu_idle_pct(n),
+        sent_bps(n),
+        recv_bps(n),
+        login_class(n) {}
+
+  util::RawBuffer<std::uint32_t> machine;
+  util::RawBuffer<std::uint32_t> start_index;  ///< opening sample index
+  util::RawBuffer<std::uint32_t> end_index;    ///< closing sample index
+  util::RawBuffer<std::int64_t> start_t;
+  util::RawBuffer<std::int64_t> end_t;
+  util::RawBuffer<double> cpu_idle_pct;
+  util::RawBuffer<double> sent_bps;
+  util::RawBuffer<double> recv_bps;
+  util::RawBuffer<std::uint8_t> login_class;  ///< at derivation threshold
+
+  [[nodiscard]] std::size_t size() const noexcept { return end_t.size(); }
+};
+
+/// Half-open index range into the interval columns (one machine's slice).
+struct IntervalRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+  [[nodiscard]] bool empty() const noexcept { return begin == end; }
+};
+
+class DerivedTrace {
+ public:
+  /// Derives everything eagerly. `trace` must outlive the DerivedTrace and
+  /// must not be appended to afterwards.
+  explicit DerivedTrace(const TraceStore& trace,
+                        const DerivedTraceOptions& options = {});
+
+  [[nodiscard]] const TraceStore& trace() const noexcept { return *trace_; }
+  [[nodiscard]] const IntervalOptions& interval_options() const noexcept {
+    return options_.intervals;
+  }
+
+  /// Columnar view of all intervals, machine-major then time-ordered
+  /// (field-for-field identical to DeriveIntervals on the same store).
+  [[nodiscard]] const IntervalColumns& interval_columns() const noexcept {
+    return interval_columns_;
+  }
+  [[nodiscard]] std::size_t interval_count() const noexcept {
+    return interval_columns_.size();
+  }
+  /// Index range of one machine's intervals within the columns.
+  [[nodiscard]] IntervalRange MachineIntervalRange(
+      std::size_t machine) const noexcept {
+    if (machine + 1 >= interval_offsets_.size()) return {};
+    return {interval_offsets_[machine], interval_offsets_[machine + 1]};
+  }
+  /// Gathers interval `i` back into record form (convenience for callers
+  /// that want whole records; sweeps should read the columns directly).
+  [[nodiscard]] SampleInterval Interval(std::size_t i) const noexcept {
+    SampleInterval interval;
+    interval.machine = interval_columns_.machine[i];
+    interval.start_index = interval_columns_.start_index[i];
+    interval.end_index = interval_columns_.end_index[i];
+    interval.start_t = interval_columns_.start_t[i];
+    interval.end_t = interval_columns_.end_t[i];
+    interval.cpu_idle_pct = interval_columns_.cpu_idle_pct[i];
+    interval.sent_bps = interval_columns_.sent_bps[i];
+    interval.recv_bps = interval_columns_.recv_bps[i];
+    interval.login_class =
+        static_cast<LoginClass>(interval_columns_.login_class[i]);
+    return interval;
+  }
+
+  /// All machine sessions, ordered by (machine, boot time) — identical to
+  /// ReconstructSessions on the same store.
+  [[nodiscard]] std::span<const MachineSession> sessions() const noexcept {
+    return sessions_;
+  }
+  [[nodiscard]] std::span<const MachineSession> MachineSessions(
+      std::size_t machine) const noexcept {
+    return Slice(std::span<const MachineSession>(sessions_), session_offsets_,
+                 machine);
+  }
+
+  /// All interactive login spans — identical to
+  /// ReconstructInteractiveSpans on the same store.
+  [[nodiscard]] std::span<const InteractiveSpan> interactive_spans()
+      const noexcept {
+    return spans_;
+  }
+  [[nodiscard]] std::span<const InteractiveSpan> MachineInteractiveSpans(
+      std::size_t machine) const noexcept {
+    return Slice(std::span<const InteractiveSpan>(spans_), span_offsets_,
+                 machine);
+  }
+
+  /// Classification of sample i under an arbitrary threshold. The class at
+  /// the derivation threshold is baked into a byte column during the
+  /// derivation scan, so the common case is a single load instead of
+  /// re-deriving from three session columns. Other thresholds still
+  /// resolve from the byte when ordering decides the answer: a session
+  /// is present or absent regardless of threshold, shorter-than-baked
+  /// stays kWithLogin under any larger threshold (including the
+  /// kNoForgottenThreshold sentinel), longer-than-baked stays kForgotten
+  /// under any smaller one.
+  [[nodiscard]] LoginClass SampleClass(std::size_t i,
+                                       std::int64_t threshold_s) const noexcept {
+    const auto baked = static_cast<LoginClass>(sample_classes_[i]);
+    if (baked == LoginClass::kNoLogin) return baked;
+    const std::int64_t baked_threshold =
+        options_.intervals.forgotten_threshold_s;
+    if (baked == LoginClass::kWithLogin
+            ? threshold_s >= baked_threshold
+            : threshold_s <= baked_threshold) {
+      return baked;
+    }
+    return trace_->Classify(i, threshold_s);
+  }
+
+  /// Classification of an interval under an arbitrary threshold. Returns
+  /// the baked class when the threshold matches the derivation options.
+  [[nodiscard]] LoginClass IntervalClass(
+      const SampleInterval& interval, std::int64_t threshold_s) const noexcept {
+    if (threshold_s == options_.intervals.forgotten_threshold_s) {
+      return interval.login_class;
+    }
+    return ClassifyInterval(*trace_, interval.start_index, interval.end_index,
+                            threshold_s);
+  }
+
+  /// IntervalClass by column index: a single byte load at the derivation
+  /// threshold, endpoint re-classification (through the baked sample
+  /// bytes, same "either endpoint occupied" rule as ClassifyInterval)
+  /// otherwise.
+  [[nodiscard]] LoginClass IntervalClassAt(
+      std::size_t i, std::int64_t threshold_s) const noexcept {
+    if (threshold_s == options_.intervals.forgotten_threshold_s) {
+      return static_cast<LoginClass>(interval_columns_.login_class[i]);
+    }
+    const auto class_b =
+        SampleClass(interval_columns_.end_index[i], threshold_s);
+    if (class_b == LoginClass::kWithLogin) return class_b;
+    const auto class_a =
+        SampleClass(interval_columns_.start_index[i], threshold_s);
+    return class_a == LoginClass::kWithLogin ? class_a : class_b;
+  }
+
+ private:
+  template <typename T>
+  [[nodiscard]] static std::span<const T> Slice(
+      std::span<const T> flat, const std::vector<std::size_t>& offsets,
+      std::size_t machine) noexcept {
+    if (machine + 1 >= offsets.size()) return {};
+    return flat.subspan(offsets[machine],
+                        offsets[machine + 1] - offsets[machine]);
+  }
+
+  const TraceStore* trace_;
+  DerivedTraceOptions options_;
+  std::vector<std::uint8_t> sample_classes_;  ///< LoginClass at derivation thr.
+  IntervalColumns interval_columns_;
+  std::vector<std::size_t> interval_offsets_;  ///< machine_count()+1 fenceposts
+  std::vector<MachineSession> sessions_;
+  std::vector<std::size_t> session_offsets_;
+  std::vector<InteractiveSpan> spans_;
+  std::vector<std::size_t> span_offsets_;
+};
+
+}  // namespace labmon::trace

@@ -2,10 +2,17 @@
 // idle-thread time and NIC byte totals since boot precisely so that two
 // consecutive samples of one boot epoch yield the average CPU idleness and
 // network rates over the interval between them.
+//
+// ForEachInterval is a template over the callback so the ~10^6-interval
+// hot loop inlines the visitor instead of paying a std::function indirect
+// call per interval; it reads the columnar store directly. Prefer
+// trace::DerivedTrace when several analyses need the intervals — it
+// derives them exactly once.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
+#include <utility>
 #include <vector>
 
 #include "labmon/trace/trace_store.hpp"
@@ -15,13 +22,14 @@ namespace labmon::trace {
 /// One derived interval between two consecutive samples of a boot epoch.
 struct SampleInterval {
   std::uint32_t machine = 0;
+  std::uint32_t start_index = 0;  ///< index of the opening sample
   std::uint32_t end_index = 0;    ///< index of the closing sample
   std::int64_t start_t = 0;
   std::int64_t end_t = 0;
   double cpu_idle_pct = 0.0;      ///< average idleness over the interval
   double sent_bps = 0.0;
   double recv_bps = 0.0;
-  LoginClass login_class = LoginClass::kNoLogin;  ///< of the closing sample
+  LoginClass login_class = LoginClass::kNoLogin;  ///< at derivation threshold
 
   [[nodiscard]] std::int64_t Seconds() const noexcept {
     return end_t - start_t;
@@ -37,13 +45,107 @@ struct IntervalOptions {
   std::int64_t max_interval_s = 2 * 3600;
 };
 
+/// Classifies the interval between samples `a` and `b` (column indices)
+/// under the paper's rule: the interval counts as "with login" when
+/// *either* endpoint shows an occupied machine — a session covering most
+/// of the interval but ending just before the closing sample still spent
+/// its traffic and CPU inside it.
+[[nodiscard]] inline LoginClass ClassifyInterval(
+    const TraceStore& trace, std::size_t a, std::size_t b,
+    std::int64_t threshold_s) noexcept {
+  const LoginClass class_b = trace.Classify(b, threshold_s);
+  if (class_b == LoginClass::kWithLogin) return class_b;
+  const LoginClass class_a = trace.Classify(a, threshold_s);
+  return class_a == LoginClass::kWithLogin ? class_a : class_b;
+}
+
+namespace detail {
+
+/// Evaluates the interval between the consecutive same-machine samples at
+/// column indices `ia` < `ib`; invokes `fn` when the pair forms a valid
+/// interval. `classify(ia, ib)` supplies the login class so callers that
+/// have the per-sample classes baked into a byte column (DerivedTrace)
+/// can skip re-deriving them from the session columns — the bytes hold
+/// exactly what Classify returns, so the emitted intervals stay
+/// bit-identical across callers.
+template <typename Classify, typename Fn>
+inline void EmitIntervalClassified(const TraceStore::Columns& c,
+                                   std::uint32_t machine, std::uint32_t ia,
+                                   std::uint32_t ib,
+                                   const IntervalOptions& options,
+                                   Classify&& classify, Fn&& fn) {
+  if (c.boot_time[ia] != c.boot_time[ib]) return;  // reboot in between
+  if (c.uptime_s[ib] <= c.uptime_s[ia]) return;    // same-boot sanity
+  const std::int64_t dt = c.t[ib] - c.t[ia];
+  if (dt <= 0 || dt > options.max_interval_s) return;
+
+  SampleInterval interval;
+  interval.machine = machine;
+  interval.start_index = ia;
+  interval.end_index = ib;
+  interval.start_t = c.t[ia];
+  interval.end_t = c.t[ib];
+  interval.cpu_idle_pct = std::clamp(
+      (c.cpu_idle_s[ib] - c.cpu_idle_s[ia]) / static_cast<double>(dt) * 100.0,
+      0.0, 100.0);
+  // NIC counters reset at boot and only grow within an epoch; guard
+  // against decreasing totals anyway (counter wrap on real hardware).
+  interval.sent_bps =
+      c.net_sent_b[ib] >= c.net_sent_b[ia]
+          ? static_cast<double>(c.net_sent_b[ib] - c.net_sent_b[ia]) /
+                static_cast<double>(dt)
+          : 0.0;
+  interval.recv_bps =
+      c.net_recv_b[ib] >= c.net_recv_b[ia]
+          ? static_cast<double>(c.net_recv_b[ib] - c.net_recv_b[ia]) /
+                static_cast<double>(dt)
+          : 0.0;
+  interval.login_class = classify(ia, ib);
+  fn(interval);
+}
+
+/// EmitIntervalClassified with the default classifier (re-derives the
+/// endpoint classes from the session columns).
+template <typename Fn>
+inline void EmitInterval(const TraceStore& trace, const TraceStore::Columns& c,
+                         std::uint32_t machine, std::uint32_t ia,
+                         std::uint32_t ib, const IntervalOptions& options,
+                         Fn&& fn) {
+  EmitIntervalClassified(
+      c, machine, ia, ib, options,
+      [&](std::uint32_t a, std::uint32_t b) {
+        return ClassifyInterval(trace, a, b, options.forgotten_threshold_s);
+      },
+      std::forward<Fn>(fn));
+}
+
+}  // namespace detail
+
+/// Derives the intervals of one machine, invoking `fn` per interval in
+/// time order. Template: the callback inlines into the column scan.
+template <typename Fn>
+void ForEachMachineInterval(const TraceStore& trace, std::size_t machine,
+                            const IntervalOptions& options, Fn&& fn) {
+  const TraceStore::Columns& c = trace.columns();
+  const auto indices = trace.MachineSamples(machine);
+  for (std::size_t k = 1; k < indices.size(); ++k) {
+    detail::EmitInterval(trace, c, static_cast<std::uint32_t>(machine),
+                         indices[k - 1], indices[k], options, fn);
+  }
+}
+
+/// Streaming variant over all machines: invokes `fn` per interval without
+/// materialising the vector (the 77-day trace has ~10^6 of them).
+template <typename Fn>
+void ForEachInterval(const TraceStore& trace, const IntervalOptions& options,
+                     Fn&& fn) {
+  for (std::size_t m = 0; m < trace.machine_count(); ++m) {
+    ForEachMachineInterval(trace, m, options, fn);
+  }
+}
+
 /// Derives all intervals (per machine, consecutive same-boot samples).
 [[nodiscard]] std::vector<SampleInterval> DeriveIntervals(
     const TraceStore& trace, const IntervalOptions& options = {});
-
-/// Streaming variant: invokes `fn` per interval without materialising the
-/// vector (the 77-day trace has ~10^6 of them).
-void ForEachInterval(const TraceStore& trace, const IntervalOptions& options,
-                     const std::function<void(const SampleInterval&)>& fn);
 
 }  // namespace labmon::trace

@@ -28,6 +28,11 @@ struct MachineSession {
 [[nodiscard]] std::vector<MachineSession> ReconstructSessions(
     const TraceStore& trace);
 
+/// Appends machine `m`'s sessions to `out` in time order (the per-machine
+/// building block ReconstructSessions and DerivedTrace share).
+void AppendMachineSessions(const TraceStore& trace, std::size_t machine,
+                           std::vector<MachineSession>& out);
+
 /// One observed interactive login span (per machine+logon instant).
 struct InteractiveSpan {
   std::uint32_t machine = 0;
@@ -44,5 +49,10 @@ struct InteractiveSpan {
 /// All interactive spans observed in the trace.
 [[nodiscard]] std::vector<InteractiveSpan> ReconstructInteractiveSpans(
     const TraceStore& trace);
+
+/// Appends machine `m`'s interactive spans to `out` in time order.
+void AppendMachineInteractiveSpans(const TraceStore& trace,
+                                   std::size_t machine,
+                                   std::vector<InteractiveSpan>& out);
 
 }  // namespace labmon::trace

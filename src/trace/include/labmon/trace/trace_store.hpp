@@ -4,11 +4,27 @@
 // per-iteration metadata, so attempt counts and response rates are exact
 // without storing a row per timeout. Supports CSV round-trip for
 // persistence and external analysis.
+//
+// Storage is columnar (structure-of-arrays): each probe field lives in its
+// own contiguous vector, so an analysis pass that touches two or three
+// fields of 10^5..10^6 samples streams only those columns through the
+// cache instead of 100+-byte rows. User names are interned into a string
+// table and referenced by id. The row-oriented API (`samples()`,
+// `Sample(i)`) is preserved as a gather layer for convenience and
+// compatibility; hot paths should read `columns()` directly.
+//
+// The per-machine sample index is maintained eagerly on Append. Reads
+// (`MachineSamples`, `ResponsesPerMachine`, `columns()`) never mutate the
+// store, so a fully-collected trace is safe to share across analysis
+// threads without synchronisation. (The previous lazy `EnsureIndex`
+// rebuild was a data race when first touched under util::ParallelFor.)
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "labmon/trace/sample_record.hpp"
@@ -27,13 +43,40 @@ struct IterationInfo {
 
 class TraceStore {
  public:
+  /// Sentinel user id of samples without an interactive session.
+  static constexpr std::uint32_t kNoUser = 0xffffffffu;
+
+  /// The columnar sample storage, one vector per probe field, all of
+  /// length size(). Append order (chronological, iteration-major).
+  struct Columns {
+    std::vector<std::uint32_t> machine;
+    std::vector<std::uint32_t> iteration;
+    std::vector<std::int64_t> t;
+    std::vector<std::int64_t> boot_time;
+    std::vector<std::int64_t> uptime_s;
+    std::vector<double> cpu_idle_s;
+    std::vector<std::uint16_t> ram_mb;
+    std::vector<std::uint8_t> mem_load_pct;
+    std::vector<std::uint8_t> swap_load_pct;
+    std::vector<std::uint64_t> disk_total_b;
+    std::vector<std::uint64_t> disk_free_b;
+    std::vector<std::uint64_t> smart_power_on_hours;
+    std::vector<std::uint64_t> smart_power_cycles;
+    std::vector<std::uint64_t> net_sent_b;
+    std::vector<std::uint64_t> net_recv_b;
+    std::vector<std::uint8_t> has_session;    ///< 0/1 flag column
+    std::vector<std::int64_t> session_logon;  ///< 0 when no session
+    std::vector<std::uint32_t> user_id;       ///< kNoUser when no session
+  };
+
   explicit TraceStore(std::size_t machine_count = 0)
       : machine_count_(machine_count) {}
 
-  void Reserve(std::size_t samples) { samples_.reserve(samples); }
+  void Reserve(std::size_t samples);
 
   /// Appends a successful sample (must be time-ordered per machine).
-  void Append(SampleRecord record);
+  /// Not thread-safe: collection is single-writer by design.
+  void Append(const SampleRecord& record);
   /// Appends iteration metadata (in iteration order).
   void AppendIteration(IterationInfo info);
 
@@ -42,18 +85,117 @@ class TraceStore {
   }
   void set_machine_count(std::size_t n) noexcept { machine_count_ = n; }
 
-  [[nodiscard]] std::span<const SampleRecord> samples() const noexcept {
-    return samples_;
+  [[nodiscard]] std::size_t size() const noexcept {
+    return columns_.t.size();
   }
+  [[nodiscard]] const Columns& columns() const noexcept { return columns_; }
   [[nodiscard]] std::span<const IterationInfo> iterations() const noexcept {
     return iterations_;
   }
-  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
   [[nodiscard]] std::uint64_t TotalAttempts() const noexcept;
 
-  /// Indices of one machine's samples, in time order.
+  /// Gathers sample i back into a row (copies the interned user string).
+  [[nodiscard]] SampleRecord Sample(std::size_t i) const;
+
+  /// Interned user name of sample i ("" when no session).
+  [[nodiscard]] std::string_view UserOf(std::size_t i) const noexcept;
+  /// The interned user string table (index = user id).
+  [[nodiscard]] std::span<const std::string> users() const noexcept {
+    return users_;
+  }
+
+  // --- Column-based per-sample helpers (mirror SampleRecord's methods) ---
+
+  /// Session age of sample i at probe time (0 when no session).
+  [[nodiscard]] std::int64_t SessionSeconds(std::size_t i) const noexcept {
+    return columns_.has_session[i] ? columns_.t[i] - columns_.session_logon[i]
+                                   : 0;
+  }
+  /// Login-state classification of sample i (paper's 10-hour rule).
+  [[nodiscard]] LoginClass Classify(
+      std::size_t i,
+      std::int64_t threshold_s = kForgottenThresholdSeconds) const noexcept {
+    if (!columns_.has_session[i]) return LoginClass::kNoLogin;
+    return SessionSeconds(i) >= threshold_s ? LoginClass::kForgotten
+                                            : LoginClass::kWithLogin;
+  }
+  [[nodiscard]] bool CountsAsOccupied(
+      std::size_t i,
+      std::int64_t threshold_s = kForgottenThresholdSeconds) const noexcept {
+    return Classify(i, threshold_s) == LoginClass::kWithLogin;
+  }
+  [[nodiscard]] std::uint64_t DiskUsedBytes(std::size_t i) const noexcept {
+    return columns_.disk_total_b[i] - columns_.disk_free_b[i];
+  }
+  [[nodiscard]] double FreeRamMb(std::size_t i) const noexcept {
+    return columns_.ram_mb[i] * (100.0 - columns_.mem_load_pct[i]) / 100.0;
+  }
+
+  /// Row-compat view over the columnar store: iterable, indexable, yields
+  /// gathered SampleRecord values. Convenience/IO path — analysis hot
+  /// loops should read columns() instead.
+  class RowRange {
+   public:
+    class Iterator {
+     public:
+      using iterator_category = std::input_iterator_tag;
+      using value_type = SampleRecord;
+      using difference_type = std::ptrdiff_t;
+      using pointer = const SampleRecord*;
+      using reference = SampleRecord;
+
+      Iterator(const TraceStore* store, std::size_t i)
+          : store_(store), i_(i) {}
+      [[nodiscard]] SampleRecord operator*() const {
+        return store_->Sample(i_);
+      }
+      Iterator& operator++() {
+        ++i_;
+        return *this;
+      }
+      Iterator operator++(int) {
+        Iterator copy = *this;
+        ++i_;
+        return copy;
+      }
+      [[nodiscard]] bool operator==(const Iterator& other) const noexcept {
+        return i_ == other.i_;
+      }
+      [[nodiscard]] bool operator!=(const Iterator& other) const noexcept {
+        return i_ != other.i_;
+      }
+
+     private:
+      const TraceStore* store_;
+      std::size_t i_;
+    };
+
+    [[nodiscard]] std::size_t size() const noexcept { return store_->size(); }
+    [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+    [[nodiscard]] SampleRecord operator[](std::size_t i) const {
+      return store_->Sample(i);
+    }
+    [[nodiscard]] Iterator begin() const noexcept {
+      return Iterator(store_, 0);
+    }
+    [[nodiscard]] Iterator end() const noexcept {
+      return Iterator(store_, store_->size());
+    }
+
+   private:
+    friend class TraceStore;
+    explicit RowRange(const TraceStore* store) : store_(store) {}
+    const TraceStore* store_;
+  };
+
+  /// Row view of all samples (gathered on access).
+  [[nodiscard]] RowRange samples() const noexcept { return RowRange(this); }
+
+  /// Indices of one machine's samples, in time order. The index is built
+  /// eagerly on Append, so this is a pure read (thread-safe on an
+  /// immutable store).
   [[nodiscard]] std::span<const std::uint32_t> MachineSamples(
-      std::size_t machine) const;
+      std::size_t machine) const noexcept;
 
   /// Per-machine response (success) counts.
   [[nodiscard]] std::vector<std::uint32_t> ResponsesPerMachine() const;
@@ -69,13 +211,14 @@ class TraceStore {
       std::size_t machine_count);
 
  private:
-  void EnsureIndex() const;
+  [[nodiscard]] std::uint32_t InternUser(const std::string& user);
 
   std::size_t machine_count_;
-  std::vector<SampleRecord> samples_;
+  Columns columns_;
   std::vector<IterationInfo> iterations_;
-  mutable std::vector<std::vector<std::uint32_t>> per_machine_;  ///< lazy
-  mutable bool index_dirty_ = true;
+  std::vector<std::string> users_;
+  std::unordered_map<std::string, std::uint32_t> user_ids_;
+  std::vector<std::vector<std::uint32_t>> per_machine_;  ///< eager index
 };
 
 }  // namespace labmon::trace

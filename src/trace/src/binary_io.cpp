@@ -1,6 +1,6 @@
 #include "labmon/trace/binary_io.hpp"
 
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "labmon/obs/registry.hpp"
@@ -64,27 +64,22 @@ std::string SerializeTrace(const TraceStore& store) {
   out.reserve(store.size() * 24 + 64);
   out.append(kMagic, kMagicLen);
 
-  // User string table.
-  std::unordered_map<std::string, std::uint64_t> user_ids;
-  std::vector<const std::string*> users;
-  for (const auto& s : store.samples()) {
-    if (!s.has_session) continue;
-    if (user_ids.emplace(s.user, users.size()).second) {
-      users.push_back(&s.user);
-    }
-  }
+  // User string table — the store's interned table, which is already in
+  // first-appearance order.
+  const std::span<const std::string> users = store.users();
 
   util::PutVarint(out, store.machine_count());
   util::PutVarint(out, store.size());
   util::PutVarint(out, store.iterations().size());
   util::PutVarint(out, users.size());
-  for (const auto* user : users) {
-    util::PutVarint(out, user->size());
-    out.append(*user);
+  for (const std::string& user : users) {
+    util::PutVarint(out, user.size());
+    out.append(user);
   }
 
   std::vector<Previous> prev(store.machine_count());
-  for (const auto& s : store.samples()) {
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    const SampleRecord s = store.Sample(i);
     if (s.machine >= prev.size()) prev.resize(s.machine + 1);
     Previous& p = prev[s.machine];
     util::PutVarint(out, s.machine);
@@ -113,7 +108,7 @@ std::string SerializeTrace(const TraceStore& store) {
     util::PutSignedVarint(out,
                           static_cast<std::int64_t>(s.net_recv_b) - p.recv);
     if (s.has_session) {
-      util::PutVarint(out, 1 + user_ids[s.user]);
+      util::PutVarint(out, 1 + store.columns().user_id[i]);
       util::PutSignedVarint(out, s.session_logon - p.logon);
       p.logon = s.session_logon;
     } else {

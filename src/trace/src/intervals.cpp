@@ -1,58 +1,6 @@
 #include "labmon/trace/intervals.hpp"
 
-#include <algorithm>
-
 namespace labmon::trace {
-
-void ForEachInterval(const TraceStore& trace, const IntervalOptions& options,
-                     const std::function<void(const SampleInterval&)>& fn) {
-  for (std::size_t m = 0; m < trace.machine_count(); ++m) {
-    const auto indices = trace.MachineSamples(m);
-    for (std::size_t k = 1; k < indices.size(); ++k) {
-      const SampleRecord& a = trace.samples()[indices[k - 1]];
-      const SampleRecord& b = trace.samples()[indices[k]];
-      if (a.boot_time != b.boot_time) continue;  // reboot between samples
-      if (b.uptime_s <= a.uptime_s) continue;    // same-boot sanity
-      const std::int64_t dt = b.t - a.t;
-      if (dt <= 0 || dt > options.max_interval_s) continue;
-
-      SampleInterval interval;
-      interval.machine = static_cast<std::uint32_t>(m);
-      interval.end_index = indices[k];
-      interval.start_t = a.t;
-      interval.end_t = b.t;
-      interval.cpu_idle_pct = std::clamp(
-          (b.cpu_idle_s - a.cpu_idle_s) / static_cast<double>(dt) * 100.0,
-          0.0, 100.0);
-      // NIC counters reset at boot and only grow within an epoch; guard
-      // against decreasing totals anyway (counter wrap on real hardware).
-      interval.sent_bps =
-          b.net_sent_b >= a.net_sent_b
-              ? static_cast<double>(b.net_sent_b - a.net_sent_b) /
-                    static_cast<double>(dt)
-              : 0.0;
-      interval.recv_bps =
-          b.net_recv_b >= a.net_recv_b
-              ? static_cast<double>(b.net_recv_b - a.net_recv_b) /
-                    static_cast<double>(dt)
-              : 0.0;
-      // Attribute the interval to "with login" when *either* endpoint shows
-      // an occupied machine: a session covering most of the interval but
-      // ending just before the closing sample still spent its traffic and
-      // CPU inside this interval.
-      const auto class_b = b.Classify(options.forgotten_threshold_s);
-      if (class_b == LoginClass::kWithLogin) {
-        interval.login_class = class_b;
-      } else {
-        const auto class_a = a.Classify(options.forgotten_threshold_s);
-        interval.login_class = class_a == LoginClass::kWithLogin
-                                   ? class_a
-                                   : class_b;
-      }
-      fn(interval);
-    }
-  }
-}
 
 std::vector<SampleInterval> DeriveIntervals(const TraceStore& trace,
                                             const IntervalOptions& options) {

@@ -2,70 +2,77 @@
 
 namespace labmon::trace {
 
+void AppendMachineSessions(const TraceStore& trace, std::size_t machine,
+                           std::vector<MachineSession>& out) {
+  const TraceStore::Columns& c = trace.columns();
+  const MachineSession* open = nullptr;
+  for (const std::uint32_t idx : trace.MachineSamples(machine)) {
+    // A new boot epoch: first sample, boot time changed, or uptime went
+    // backwards (boot-time equality is the robust signal; uptime
+    // regression catches clock quirks).
+    const bool new_session = open == nullptr ||
+                             c.boot_time[idx] != open->boot_time ||
+                             c.uptime_s[idx] < open->last_uptime_s;
+    if (new_session) {
+      MachineSession session;
+      session.machine = static_cast<std::uint32_t>(machine);
+      session.boot_time = c.boot_time[idx];
+      session.first_sample_t = c.t[idx];
+      session.last_sample_t = c.t[idx];
+      session.last_uptime_s = c.uptime_s[idx];
+      session.sample_count = 1;
+      out.push_back(session);
+    } else {
+      auto& session = out.back();
+      session.last_sample_t = c.t[idx];
+      session.last_uptime_s = c.uptime_s[idx];
+      ++session.sample_count;
+    }
+    open = &out.back();
+  }
+}
+
 std::vector<MachineSession> ReconstructSessions(const TraceStore& trace) {
   std::vector<MachineSession> sessions;
   for (std::size_t m = 0; m < trace.machine_count(); ++m) {
-    const auto indices = trace.MachineSamples(m);
-    const MachineSession* open = nullptr;
-    for (const std::uint32_t idx : indices) {
-      const SampleRecord& s = trace.samples()[idx];
-      // A new boot epoch: first sample, boot time changed, or uptime went
-      // backwards (boot-time equality is the robust signal; uptime
-      // regression catches clock quirks).
-      const bool new_session =
-          open == nullptr || s.boot_time != open->boot_time ||
-          s.uptime_s < open->last_uptime_s;
-      if (new_session) {
-        MachineSession session;
-        session.machine = static_cast<std::uint32_t>(m);
-        session.boot_time = s.boot_time;
-        session.first_sample_t = s.t;
-        session.last_sample_t = s.t;
-        session.last_uptime_s = s.uptime_s;
-        session.sample_count = 1;
-        sessions.push_back(session);
-        open = &sessions.back();
-      } else {
-        auto& session = sessions.back();
-        session.last_sample_t = s.t;
-        session.last_uptime_s = s.uptime_s;
-        ++session.sample_count;
-        open = &session;
-      }
-    }
+    AppendMachineSessions(trace, m, sessions);
   }
   return sessions;
+}
+
+void AppendMachineInteractiveSpans(const TraceStore& trace,
+                                   std::size_t machine,
+                                   std::vector<InteractiveSpan>& out) {
+  const TraceStore::Columns& c = trace.columns();
+  const InteractiveSpan* open = nullptr;
+  for (const std::uint32_t idx : trace.MachineSamples(machine)) {
+    if (!c.has_session[idx]) {
+      open = nullptr;
+      continue;
+    }
+    // Logon instants are exact (the probe reports session start), so a
+    // span is keyed by its logon time.
+    if (open == nullptr || c.session_logon[idx] != open->logon_time) {
+      InteractiveSpan span;
+      span.machine = static_cast<std::uint32_t>(machine);
+      span.logon_time = c.session_logon[idx];
+      span.last_sample_t = c.t[idx];
+      span.sample_count = 1;
+      out.push_back(span);
+    } else {
+      auto& span = out.back();
+      span.last_sample_t = c.t[idx];
+      ++span.sample_count;
+    }
+    open = &out.back();
+  }
 }
 
 std::vector<InteractiveSpan> ReconstructInteractiveSpans(
     const TraceStore& trace) {
   std::vector<InteractiveSpan> spans;
   for (std::size_t m = 0; m < trace.machine_count(); ++m) {
-    const auto indices = trace.MachineSamples(m);
-    const InteractiveSpan* open = nullptr;
-    for (const std::uint32_t idx : indices) {
-      const SampleRecord& s = trace.samples()[idx];
-      if (!s.has_session) {
-        open = nullptr;
-        continue;
-      }
-      // Logon instants are exact (the probe reports session start), so a
-      // span is keyed by its logon time.
-      if (open == nullptr || s.session_logon != open->logon_time) {
-        InteractiveSpan span;
-        span.machine = static_cast<std::uint32_t>(m);
-        span.logon_time = s.session_logon;
-        span.last_sample_t = s.t;
-        span.sample_count = 1;
-        spans.push_back(span);
-        open = &spans.back();
-      } else {
-        auto& span = spans.back();
-        span.last_sample_t = s.t;
-        ++span.sample_count;
-        open = &span;
-      }
-    }
+    AppendMachineInteractiveSpans(trace, m, spans);
   }
   return spans;
 }

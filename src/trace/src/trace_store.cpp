@@ -1,5 +1,6 @@
 #include "labmon/trace/trace_store.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "labmon/util/csv.hpp"
@@ -7,9 +8,61 @@
 
 namespace labmon::trace {
 
-void TraceStore::Append(SampleRecord record) {
-  samples_.push_back(std::move(record));
-  index_dirty_ = true;
+void TraceStore::Reserve(std::size_t samples) {
+  columns_.machine.reserve(samples);
+  columns_.iteration.reserve(samples);
+  columns_.t.reserve(samples);
+  columns_.boot_time.reserve(samples);
+  columns_.uptime_s.reserve(samples);
+  columns_.cpu_idle_s.reserve(samples);
+  columns_.ram_mb.reserve(samples);
+  columns_.mem_load_pct.reserve(samples);
+  columns_.swap_load_pct.reserve(samples);
+  columns_.disk_total_b.reserve(samples);
+  columns_.disk_free_b.reserve(samples);
+  columns_.smart_power_on_hours.reserve(samples);
+  columns_.smart_power_cycles.reserve(samples);
+  columns_.net_sent_b.reserve(samples);
+  columns_.net_recv_b.reserve(samples);
+  columns_.has_session.reserve(samples);
+  columns_.session_logon.reserve(samples);
+  columns_.user_id.reserve(samples);
+}
+
+std::uint32_t TraceStore::InternUser(const std::string& user) {
+  const auto [it, inserted] =
+      user_ids_.emplace(user, static_cast<std::uint32_t>(users_.size()));
+  if (inserted) users_.push_back(user);
+  return it->second;
+}
+
+void TraceStore::Append(const SampleRecord& record) {
+  const auto index = static_cast<std::uint32_t>(size());
+  columns_.machine.push_back(record.machine);
+  columns_.iteration.push_back(record.iteration);
+  columns_.t.push_back(record.t);
+  columns_.boot_time.push_back(record.boot_time);
+  columns_.uptime_s.push_back(record.uptime_s);
+  columns_.cpu_idle_s.push_back(record.cpu_idle_s);
+  columns_.ram_mb.push_back(record.ram_mb);
+  columns_.mem_load_pct.push_back(record.mem_load_pct);
+  columns_.swap_load_pct.push_back(record.swap_load_pct);
+  columns_.disk_total_b.push_back(record.disk_total_b);
+  columns_.disk_free_b.push_back(record.disk_free_b);
+  columns_.smart_power_on_hours.push_back(record.smart_power_on_hours);
+  columns_.smart_power_cycles.push_back(record.smart_power_cycles);
+  columns_.net_sent_b.push_back(record.net_sent_b);
+  columns_.net_recv_b.push_back(record.net_recv_b);
+  columns_.has_session.push_back(record.has_session ? 1 : 0);
+  columns_.session_logon.push_back(record.has_session ? record.session_logon
+                                                      : 0);
+  columns_.user_id.push_back(record.has_session ? InternUser(record.user)
+                                                : kNoUser);
+  if (record.machine >= per_machine_.size()) {
+    per_machine_.resize(
+        std::max<std::size_t>(record.machine + 1, machine_count_));
+  }
+  per_machine_[record.machine].push_back(index);
 }
 
 void TraceStore::AppendIteration(IterationInfo info) {
@@ -22,27 +75,45 @@ std::uint64_t TraceStore::TotalAttempts() const noexcept {
   return total;
 }
 
-void TraceStore::EnsureIndex() const {
-  if (!index_dirty_) return;
-  per_machine_.assign(machine_count_, {});
-  for (std::uint32_t i = 0; i < samples_.size(); ++i) {
-    const auto m = samples_[i].machine;
-    if (m >= per_machine_.size()) per_machine_.resize(m + 1);
-    per_machine_[m].push_back(i);
+SampleRecord TraceStore::Sample(std::size_t i) const {
+  SampleRecord s;
+  s.machine = columns_.machine[i];
+  s.iteration = columns_.iteration[i];
+  s.t = columns_.t[i];
+  s.boot_time = columns_.boot_time[i];
+  s.uptime_s = columns_.uptime_s[i];
+  s.cpu_idle_s = columns_.cpu_idle_s[i];
+  s.ram_mb = columns_.ram_mb[i];
+  s.mem_load_pct = columns_.mem_load_pct[i];
+  s.swap_load_pct = columns_.swap_load_pct[i];
+  s.disk_total_b = columns_.disk_total_b[i];
+  s.disk_free_b = columns_.disk_free_b[i];
+  s.smart_power_on_hours = columns_.smart_power_on_hours[i];
+  s.smart_power_cycles = columns_.smart_power_cycles[i];
+  s.net_sent_b = columns_.net_sent_b[i];
+  s.net_recv_b = columns_.net_recv_b[i];
+  s.has_session = columns_.has_session[i] != 0;
+  if (s.has_session) {
+    s.session_logon = columns_.session_logon[i];
+    s.user = users_[columns_.user_id[i]];
   }
-  index_dirty_ = false;
+  return s;
+}
+
+std::string_view TraceStore::UserOf(std::size_t i) const noexcept {
+  const std::uint32_t id = columns_.user_id[i];
+  return id == kNoUser ? std::string_view{} : std::string_view(users_[id]);
 }
 
 std::span<const std::uint32_t> TraceStore::MachineSamples(
-    std::size_t machine) const {
-  EnsureIndex();
+    std::size_t machine) const noexcept {
   if (machine >= per_machine_.size()) return {};
   return per_machine_[machine];
 }
 
 std::vector<std::uint32_t> TraceStore::ResponsesPerMachine() const {
-  EnsureIndex();
-  std::vector<std::uint32_t> counts(per_machine_.size(), 0);
+  std::vector<std::uint32_t> counts(
+      std::max(machine_count_, per_machine_.size()), 0);
   for (std::size_t m = 0; m < per_machine_.size(); ++m) {
     counts[m] = static_cast<std::uint32_t>(per_machine_[m].size());
   }
@@ -56,17 +127,20 @@ std::string TraceStore::SamplesToCsv() const {
         "ram_mb", "mem_load_pct", "swap_load_pct", "disk_total_b", "disk_free_b",
         "smart_poh", "smart_cycles", "net_sent_b", "net_recv_b", "user",
         "session_logon");
-  for (const auto& s : samples_) {
-    w.Row(std::to_string(s.machine), std::to_string(s.iteration),
-          std::to_string(s.t), std::to_string(s.boot_time),
-          std::to_string(s.uptime_s), util::FormatFixed(s.cpu_idle_s, 2),
-          std::to_string(s.ram_mb), std::to_string(s.mem_load_pct),
-          std::to_string(s.swap_load_pct),
-          std::to_string(s.disk_total_b), std::to_string(s.disk_free_b),
-          std::to_string(s.smart_power_on_hours),
-          std::to_string(s.smart_power_cycles), std::to_string(s.net_sent_b),
-          std::to_string(s.net_recv_b), s.has_session ? s.user : "",
-          s.has_session ? std::to_string(s.session_logon) : "");
+  const Columns& c = columns_;
+  for (std::size_t i = 0; i < size(); ++i) {
+    const bool session = c.has_session[i] != 0;
+    w.Row(std::to_string(c.machine[i]), std::to_string(c.iteration[i]),
+          std::to_string(c.t[i]), std::to_string(c.boot_time[i]),
+          std::to_string(c.uptime_s[i]), util::FormatFixed(c.cpu_idle_s[i], 2),
+          std::to_string(c.ram_mb[i]), std::to_string(c.mem_load_pct[i]),
+          std::to_string(c.swap_load_pct[i]),
+          std::to_string(c.disk_total_b[i]), std::to_string(c.disk_free_b[i]),
+          std::to_string(c.smart_power_on_hours[i]),
+          std::to_string(c.smart_power_cycles[i]),
+          std::to_string(c.net_sent_b[i]), std::to_string(c.net_recv_b[i]),
+          session ? std::string(UserOf(i)) : "",
+          session ? std::to_string(c.session_logon[i]) : "");
   }
   return oss.str();
 }
@@ -120,7 +194,7 @@ util::Result<TraceStore> TraceStore::FromCsv(const std::string& samples_csv,
       s.user = row[15];
       s.session_logon = i64(16);
     }
-    store.Append(std::move(s));
+    store.Append(s);
   }
   for (const auto& row : iter_doc.value().rows) {
     if (row.size() < 5) return R::Err("short iteration row");

@@ -1,0 +1,49 @@
+// FunctionRef — a non-owning, trivially-copyable reference to a callable
+// (the C++26 std::function_ref shape). Used on synchronous hot paths where
+// std::function's type erasure would cost an allocation and an opaque
+// indirect call: parallel loops, interval scans, per-sample visitors.
+//
+// The referenced callable must outlive the FunctionRef; this is only safe
+// for "call me back before I return" APIs, which is exactly what the
+// parallel helpers and trace scans are.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace labmon::util {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like
+  // std::function_ref — lambdas bind at call sites without ceremony.
+  FunctionRef(F&& f) noexcept
+      : object_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* object, Args... args) -> R {
+          return std::invoke(
+              *static_cast<std::add_pointer_t<std::remove_reference_t<F>>>(
+                  object),
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(object_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* object_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace labmon::util

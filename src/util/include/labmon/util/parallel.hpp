@@ -6,7 +6,8 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
+
+#include "labmon/util/function_ref.hpp"
 
 namespace labmon::util {
 
@@ -17,14 +18,15 @@ namespace labmon::util {
 /// Runs body(i) for i in [0, count) across `workers` threads with static
 /// block scheduling. Runs inline when count is small or workers <= 1.
 /// The first exception thrown by any invocation is rethrown on the caller.
-void ParallelFor(std::size_t count, const std::function<void(std::size_t)>& body,
+/// The body is taken by non-owning reference (no std::function allocation).
+void ParallelFor(std::size_t count, FunctionRef<void(std::size_t)> body,
                  std::size_t workers = 0);
 
 /// Chunked variant: body(begin, end) over disjoint ranges covering
 /// [0, count). Lets callers keep per-chunk accumulators without sharing.
 void ParallelForChunked(
     std::size_t count,
-    const std::function<void(std::size_t begin, std::size_t end)>& body,
+    FunctionRef<void(std::size_t begin, std::size_t end)> body,
     std::size_t workers = 0);
 
 }  // namespace labmon::util

@@ -15,7 +15,7 @@ std::size_t DefaultWorkerCount() noexcept {
 
 void ParallelForChunked(
     std::size_t count,
-    const std::function<void(std::size_t, std::size_t)>& body,
+    FunctionRef<void(std::size_t, std::size_t)> body,
     std::size_t workers) {
   if (workers == 0) workers = DefaultWorkerCount();
   workers = std::min(workers, count);
@@ -48,8 +48,7 @@ void ParallelForChunked(
   if (first_error) std::rethrow_exception(first_error);
 }
 
-void ParallelFor(std::size_t count,
-                 const std::function<void(std::size_t)>& body,
+void ParallelFor(std::size_t count, FunctionRef<void(std::size_t)> body,
                  std::size_t workers) {
   ParallelForChunked(
       count,

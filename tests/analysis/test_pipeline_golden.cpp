@@ -1,0 +1,315 @@
+// Golden equivalence: the single-sweep pipeline passes must reproduce the
+// legacy serial Compute* results on a seed-scenario trace. Integer fields
+// are exact; floating aggregates agree to 1e-9 relative (the chunk merge
+// reassociates Welford updates); rendered tables are string-identical; and
+// the whole report is bit-identical for 1 vs 4 workers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "labmon/analysis/passes.hpp"
+#include "labmon/analysis/pipeline.hpp"
+#include "labmon/core/experiment.hpp"
+#include "labmon/core/report.hpp"
+#include "labmon/trace/derived_trace.hpp"
+#include "labmon/trace/sessions.hpp"
+
+namespace labmon::analysis {
+namespace {
+
+const core::ExperimentResult& GoldenResult() {
+  static const core::ExperimentResult result = [] {
+    core::ExperimentConfig config;
+    config.campus.days = 5;
+    config.campus.seed = 20050201;
+    return core::Experiment::Run(config);
+  }();
+  return result;
+}
+
+std::vector<LabKey> GoldenLabs() {
+  std::vector<LabKey> keys;
+  std::size_t first = 0;
+  for (const auto& lab : GoldenResult().labs) {
+    keys.push_back(LabKey{lab.name, first, lab.machine_count});
+    first += lab.machine_count;
+  }
+  return keys;
+}
+
+void ExpectClose(double actual, double expected) {
+  EXPECT_NEAR(actual, expected,
+              1e-9 * std::max(1.0, std::abs(expected)));
+}
+
+void ExpectSameColumn(const Table2Column& a, const Table2Column& b) {
+  EXPECT_EQ(a.samples, b.samples);
+  ExpectClose(a.uptime_pct, b.uptime_pct);
+  ExpectClose(a.cpu_idle_pct, b.cpu_idle_pct);
+  ExpectClose(a.ram_load_pct, b.ram_load_pct);
+  ExpectClose(a.swap_load_pct, b.swap_load_pct);
+  ExpectClose(a.disk_used_gb, b.disk_used_gb);
+  ExpectClose(a.sent_bps, b.sent_bps);
+  ExpectClose(a.recv_bps, b.recv_bps);
+}
+
+void ExpectSameWeekly(const stats::WeeklyProfile& a,
+                      const stats::WeeklyProfile& b) {
+  ASSERT_EQ(a.bin_count(), b.bin_count());
+  for (std::size_t i = 0; i < a.bin_count(); ++i) {
+    EXPECT_EQ(a.Bin(i).count(), b.Bin(i).count());
+    ExpectClose(a.Mean(i), b.Mean(i));
+  }
+}
+
+/// Runs all eight passes through one pipeline over a shared derivation.
+struct PipelineRun {
+  explicit PipelineRun(std::size_t workers)
+      : derived(GoldenResult().trace,
+                trace::DerivedTraceOptions{{}, workers, nullptr}),
+        pipeline(PipelineOptions{workers, 8, nullptr}),
+        table2(pipeline.Emplace<AggregatePass>()),
+        availability(pipeline.Emplace<AvailabilityPass>()),
+        session_hours(pipeline.Emplace<SessionHoursPass>()),
+        weekly(pipeline.Emplace<WeeklyPass>()),
+        equivalence(pipeline.Emplace<EquivalencePass>(
+            GoldenResult().perf_index, 15, trace::kNoForgottenThreshold)),
+        stability(pipeline.Emplace<StabilityPass>(GoldenResult().days)),
+        per_lab(pipeline.Emplace<PerLabPass>(GoldenLabs())),
+        capacity(pipeline.Emplace<CapacityPass>()) {
+    pipeline.Run(derived);
+  }
+
+  trace::DerivedTrace derived;
+  AnalysisPipeline pipeline;
+  AggregatePass& table2;
+  AvailabilityPass& availability;
+  SessionHoursPass& session_hours;
+  WeeklyPass& weekly;
+  EquivalencePass& equivalence;
+  StabilityPass& stability;
+  PerLabPass& per_lab;
+  CapacityPass& capacity;
+};
+
+const PipelineRun& Run1() {
+  static const PipelineRun run(1);
+  return run;
+}
+
+TEST(PipelineGoldenTest, Table2MatchesLegacy) {
+  const auto legacy = ComputeTable2(GoldenResult().trace);
+  const auto& ours = Run1().table2.result();
+  EXPECT_EQ(ours.total_attempts, legacy.total_attempts);
+  EXPECT_EQ(ours.iterations, legacy.iterations);
+  EXPECT_EQ(ours.raw_login_samples, legacy.raw_login_samples);
+  EXPECT_EQ(ours.reclassified_samples, legacy.reclassified_samples);
+  ExpectSameColumn(ours.no_login, legacy.no_login);
+  ExpectSameColumn(ours.with_login, legacy.with_login);
+  ExpectSameColumn(ours.both, legacy.both);
+  // The user-facing rendering (fixed precision) is string-identical.
+  EXPECT_EQ(RenderTable2(ours, true), RenderTable2(legacy, true));
+}
+
+TEST(PipelineGoldenTest, AvailabilityMatchesLegacy) {
+  const auto& trace = GoldenResult().trace;
+  const auto legacy_series = ComputeAvailabilitySeries(trace);
+  const auto legacy_ranking = ComputeUptimeRanking(trace);
+  const auto legacy_lengths =
+      ComputeSessionLengthDistribution(trace::ReconstructSessions(trace));
+  const auto& ours = Run1().availability.result();
+
+  // Per-iteration counts are integer sums — exact.
+  ASSERT_EQ(ours.series.powered_on.size(), legacy_series.powered_on.size());
+  for (std::size_t i = 0; i < legacy_series.powered_on.size(); ++i) {
+    EXPECT_EQ(ours.series.powered_on[i].t, legacy_series.powered_on[i].t);
+    EXPECT_EQ(ours.series.powered_on[i].value,
+              legacy_series.powered_on[i].value);
+    EXPECT_EQ(ours.series.user_free[i].value,
+              legacy_series.user_free[i].value);
+  }
+  ExpectClose(ours.series.mean_powered_on, legacy_series.mean_powered_on);
+  ExpectClose(ours.series.mean_user_free, legacy_series.mean_user_free);
+
+  ASSERT_EQ(ours.ranking.entries.size(), legacy_ranking.entries.size());
+  for (std::size_t i = 0; i < legacy_ranking.entries.size(); ++i) {
+    EXPECT_EQ(ours.ranking.entries[i].machine,
+              legacy_ranking.entries[i].machine);
+    EXPECT_EQ(ours.ranking.entries[i].uptime_ratio,
+              legacy_ranking.entries[i].uptime_ratio);
+  }
+  EXPECT_EQ(ours.ranking.machines_above_half,
+            legacy_ranking.machines_above_half);
+
+  ASSERT_EQ(ours.session_lengths.histogram.bin_count(),
+            legacy_lengths.histogram.bin_count());
+  for (std::size_t i = 0; i < legacy_lengths.histogram.bin_count(); ++i) {
+    EXPECT_EQ(ours.session_lengths.histogram.count(i),
+              legacy_lengths.histogram.count(i));
+  }
+  ExpectClose(ours.session_lengths.fraction_within_96h,
+              legacy_lengths.fraction_within_96h);
+  ExpectClose(ours.session_lengths.uptime_fraction_within_96h,
+              legacy_lengths.uptime_fraction_within_96h);
+}
+
+TEST(PipelineGoldenTest, SessionHoursMatchLegacy) {
+  const auto legacy = ComputeSessionHourProfile(GoldenResult().trace);
+  const auto& ours = Run1().session_hours.result();
+  ASSERT_EQ(ours.bins.size(), legacy.bins.size());
+  for (std::size_t i = 0; i < legacy.bins.size(); ++i) {
+    EXPECT_EQ(ours.bins[i].hour, legacy.bins[i].hour);
+    EXPECT_EQ(ours.bins[i].samples, legacy.bins[i].samples);
+    ExpectClose(ours.bins[i].mean_cpu_idle_pct,
+                legacy.bins[i].mean_cpu_idle_pct);
+  }
+  EXPECT_EQ(RenderSessionHourProfile(ours),
+            RenderSessionHourProfile(legacy));
+}
+
+TEST(PipelineGoldenTest, WeeklyMatchesLegacy) {
+  const auto legacy = ComputeWeeklyProfiles(GoldenResult().trace);
+  const auto& ours = Run1().weekly.result();
+  ExpectSameWeekly(ours.cpu_idle_pct, legacy.cpu_idle_pct);
+  ExpectSameWeekly(ours.ram_load_pct, legacy.ram_load_pct);
+  ExpectSameWeekly(ours.swap_load_pct, legacy.swap_load_pct);
+  ExpectSameWeekly(ours.sent_bps, legacy.sent_bps);
+  ExpectSameWeekly(ours.recv_bps, legacy.recv_bps);
+  ExpectClose(ours.min_cpu_idle_pct, legacy.min_cpu_idle_pct);
+  EXPECT_EQ(ours.min_cpu_idle_when, legacy.min_cpu_idle_when);
+  ExpectClose(ours.closed_hours_cpu_idle, legacy.closed_hours_cpu_idle);
+}
+
+TEST(PipelineGoldenTest, EquivalenceMatchesLegacy) {
+  const auto legacy =
+      ComputeEquivalence(GoldenResult().trace, GoldenResult().perf_index, 15,
+                         trace::kNoForgottenThreshold);
+  const auto& ours = Run1().equivalence.result();
+  ExpectSameWeekly(ours.weekly_total, legacy.weekly_total);
+  ExpectSameWeekly(ours.weekly_occupied, legacy.weekly_occupied);
+  ExpectSameWeekly(ours.weekly_free, legacy.weekly_free);
+  ExpectClose(ours.mean_occupied, legacy.mean_occupied);
+  ExpectClose(ours.mean_free, legacy.mean_free);
+  ExpectClose(ours.mean_total, legacy.mean_total);
+}
+
+TEST(PipelineGoldenTest, StabilityMatchesLegacy) {
+  const auto& trace = GoldenResult().trace;
+  const auto sessions = trace::ReconstructSessions(trace);
+  const auto legacy_sessions = ComputeSessionStats(sessions);
+  const auto legacy_smart = ComputeSmartStats(
+      trace, legacy_sessions.session_count, GoldenResult().days);
+  const auto& ours = Run1().stability.result();
+  EXPECT_EQ(ours.sessions.session_count, legacy_sessions.session_count);
+  ExpectClose(ours.sessions.mean_hours, legacy_sessions.mean_hours);
+  ExpectClose(ours.sessions.stddev_hours, legacy_sessions.stddev_hours);
+  EXPECT_EQ(ours.smart.experiment_cycles, legacy_smart.experiment_cycles);
+  ExpectClose(ours.smart.cycles_per_machine_mean,
+              legacy_smart.cycles_per_machine_mean);
+  ExpectClose(ours.smart.cycles_per_machine_day,
+              legacy_smart.cycles_per_machine_day);
+  ExpectClose(ours.smart.cycle_excess_over_sessions_pct,
+              legacy_smart.cycle_excess_over_sessions_pct);
+  ExpectClose(ours.smart.life_hours_per_cycle_mean,
+              legacy_smart.life_hours_per_cycle_mean);
+  EXPECT_EQ(RenderStability(ours.sessions, ours.smart),
+            RenderStability(legacy_sessions, legacy_smart));
+}
+
+TEST(PipelineGoldenTest, PerLabMatchesLegacy) {
+  const auto& trace = GoldenResult().trace;
+  const auto legacy_usage = ComputePerLabUsage(trace, GoldenLabs());
+  const auto legacy_headroom = ComputeResourceHeadroom(trace);
+  const auto& ours = Run1().per_lab.result();
+
+  ASSERT_EQ(ours.usage.size(), legacy_usage.size());
+  for (std::size_t l = 0; l < legacy_usage.size(); ++l) {
+    EXPECT_EQ(ours.usage[l].name, legacy_usage[l].name);
+    EXPECT_EQ(ours.usage[l].machines, legacy_usage[l].machines);
+    EXPECT_EQ(ours.usage[l].samples, legacy_usage[l].samples);
+    ExpectClose(ours.usage[l].uptime_pct, legacy_usage[l].uptime_pct);
+    ExpectClose(ours.usage[l].occupied_pct, legacy_usage[l].occupied_pct);
+    ExpectClose(ours.usage[l].cpu_idle_pct, legacy_usage[l].cpu_idle_pct);
+    ExpectClose(ours.usage[l].ram_load_pct, legacy_usage[l].ram_load_pct);
+    ExpectClose(ours.usage[l].free_disk_gb, legacy_usage[l].free_disk_gb);
+  }
+  ExpectClose(ours.headroom.cpu_idle_pct, legacy_headroom.cpu_idle_pct);
+  ExpectClose(ours.headroom.unused_ram_pct, legacy_headroom.unused_ram_pct);
+  ExpectClose(ours.headroom.unused_ram_gb_fleet,
+              legacy_headroom.unused_ram_gb_fleet);
+  ExpectClose(ours.headroom.free_disk_gb_per_machine,
+              legacy_headroom.free_disk_gb_per_machine);
+  ExpectClose(ours.headroom.free_disk_tb_fleet,
+              legacy_headroom.free_disk_tb_fleet);
+  ASSERT_EQ(ours.headroom.by_ram_class.size(),
+            legacy_headroom.by_ram_class.size());
+  for (std::size_t i = 0; i < legacy_headroom.by_ram_class.size(); ++i) {
+    EXPECT_EQ(ours.headroom.by_ram_class[i].ram_mb,
+              legacy_headroom.by_ram_class[i].ram_mb);
+    EXPECT_EQ(ours.headroom.by_ram_class[i].samples,
+              legacy_headroom.by_ram_class[i].samples);
+    ExpectClose(ours.headroom.by_ram_class[i].unused_pct,
+                legacy_headroom.by_ram_class[i].unused_pct);
+    ExpectClose(ours.headroom.by_ram_class[i].free_mb,
+                legacy_headroom.by_ram_class[i].free_mb);
+  }
+}
+
+TEST(PipelineGoldenTest, CapacityMatchesLegacy) {
+  const auto legacy = ComputeHarvestableCapacity(GoldenResult().trace);
+  const auto& ours = Run1().capacity.result();
+  ASSERT_EQ(ours.ram_gb.size(), legacy.ram_gb.size());
+  for (std::size_t i = 0; i < legacy.ram_gb.size(); ++i) {
+    EXPECT_EQ(ours.ram_gb[i].t, legacy.ram_gb[i].t);
+    ExpectClose(ours.ram_gb[i].value, legacy.ram_gb[i].value);
+    ExpectClose(ours.disk_tb[i].value, legacy.disk_tb[i].value);
+  }
+  ExpectClose(ours.mean_ram_gb, legacy.mean_ram_gb);
+  ExpectClose(ours.p10_ram_gb, legacy.p10_ram_gb);
+  ExpectClose(ours.mean_disk_tb, legacy.mean_disk_tb);
+  ExpectClose(ours.p10_disk_tb, legacy.p10_disk_tb);
+}
+
+TEST(PipelineGoldenTest, WorkerCountIsBitInvisible) {
+  const PipelineRun run4(4);
+  const auto& a = Run1();
+
+  // Table 2: full struct is trivially comparable field-by-field; doubles
+  // must be bitwise equal, not just close.
+  const auto& t1 = a.table2.result();
+  const auto& t4 = run4.table2.result();
+  EXPECT_EQ(t1.both.samples, t4.both.samples);
+  EXPECT_EQ(t1.both.cpu_idle_pct, t4.both.cpu_idle_pct);
+  EXPECT_EQ(t1.both.sent_bps, t4.both.sent_bps);
+  EXPECT_EQ(t1.no_login.cpu_idle_pct, t4.no_login.cpu_idle_pct);
+  EXPECT_EQ(t1.with_login.ram_load_pct, t4.with_login.ram_load_pct);
+
+  const auto& w1 = a.weekly.result();
+  const auto& w4 = run4.weekly.result();
+  for (std::size_t i = 0; i < w1.cpu_idle_pct.bin_count(); ++i) {
+    EXPECT_EQ(w1.cpu_idle_pct.Mean(i), w4.cpu_idle_pct.Mean(i));
+    EXPECT_EQ(w1.sent_bps.Mean(i), w4.sent_bps.Mean(i));
+  }
+
+  EXPECT_EQ(a.equivalence.result().mean_total,
+            run4.equivalence.result().mean_total);
+  EXPECT_EQ(a.stability.result().sessions.mean_hours,
+            run4.stability.result().sessions.mean_hours);
+  EXPECT_EQ(a.capacity.result().p10_ram_gb, run4.capacity.result().p10_ram_gb);
+  EXPECT_EQ(a.per_lab.result().headroom.unused_ram_gb_fleet,
+            run4.per_lab.result().headroom.unused_ram_gb_fleet);
+}
+
+TEST(PipelineGoldenTest, ReportIsIdenticalAcrossWorkerCounts) {
+  core::ReportOptions one;
+  one.workers = 1;
+  core::ReportOptions four;
+  four.workers = 4;
+  const core::Report report1(GoldenResult(), one);
+  const core::Report report4(GoldenResult(), four);
+  EXPECT_EQ(report1.FullReport(), report4.FullReport());
+}
+
+}  // namespace
+}  // namespace labmon::analysis

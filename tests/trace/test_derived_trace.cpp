@@ -1,0 +1,175 @@
+// DerivedTrace must be an exact drop-in for the serial helpers: same
+// intervals as DeriveIntervals, same sessions/spans as the Reconstruct*
+// functions, bit-identical for any worker count (the serial constructor
+// takes a fused single-scan path, the parallel one a per-machine walk —
+// these tests pin both to the same output).
+#include "labmon/trace/derived_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "labmon/core/experiment.hpp"
+#include "labmon/trace/intervals.hpp"
+#include "labmon/trace/sessions.hpp"
+
+namespace labmon::trace {
+namespace {
+
+const TraceStore& TestTrace() {
+  static const core::ExperimentResult result = [] {
+    core::ExperimentConfig config;
+    config.campus.days = 3;
+    return core::Experiment::Run(config);
+  }();
+  return result.trace;
+}
+
+void ExpectSameInterval(const SampleInterval& a, const SampleInterval& b) {
+  EXPECT_EQ(a.machine, b.machine);
+  EXPECT_EQ(a.start_index, b.start_index);
+  EXPECT_EQ(a.end_index, b.end_index);
+  EXPECT_EQ(a.start_t, b.start_t);
+  EXPECT_EQ(a.end_t, b.end_t);
+  EXPECT_EQ(a.cpu_idle_pct, b.cpu_idle_pct);  // bitwise: same float ops
+  EXPECT_EQ(a.sent_bps, b.sent_bps);
+  EXPECT_EQ(a.recv_bps, b.recv_bps);
+  EXPECT_EQ(a.login_class, b.login_class);
+}
+
+void ExpectSameSession(const MachineSession& a, const MachineSession& b) {
+  EXPECT_EQ(a.machine, b.machine);
+  EXPECT_EQ(a.boot_time, b.boot_time);
+  EXPECT_EQ(a.first_sample_t, b.first_sample_t);
+  EXPECT_EQ(a.last_sample_t, b.last_sample_t);
+  EXPECT_EQ(a.last_uptime_s, b.last_uptime_s);
+  EXPECT_EQ(a.sample_count, b.sample_count);
+}
+
+void ExpectSameSpan(const InteractiveSpan& a, const InteractiveSpan& b) {
+  EXPECT_EQ(a.machine, b.machine);
+  EXPECT_EQ(a.logon_time, b.logon_time);
+  EXPECT_EQ(a.last_sample_t, b.last_sample_t);
+  EXPECT_EQ(a.sample_count, b.sample_count);
+}
+
+TEST(DerivedTraceTest, IntervalsMatchSerialDerivation) {
+  const auto& trace = TestTrace();
+  const DerivedTrace derived(trace, DerivedTraceOptions{{}, 1, nullptr});
+  const auto serial = DeriveIntervals(trace);
+  ASSERT_EQ(derived.interval_count(), serial.size());
+  ASSERT_GT(serial.size(), 0u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ExpectSameInterval(derived.Interval(i), serial[i]);
+  }
+}
+
+TEST(DerivedTraceTest, SessionsMatchReconstructSessions) {
+  const auto& trace = TestTrace();
+  const DerivedTrace derived(trace, DerivedTraceOptions{{}, 1, nullptr});
+  const auto serial = ReconstructSessions(trace);
+  ASSERT_EQ(derived.sessions().size(), serial.size());
+  ASSERT_GT(serial.size(), 0u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ExpectSameSession(derived.sessions()[i], serial[i]);
+  }
+}
+
+TEST(DerivedTraceTest, SpansMatchReconstructInteractiveSpans) {
+  const auto& trace = TestTrace();
+  const DerivedTrace derived(trace, DerivedTraceOptions{{}, 1, nullptr});
+  const auto serial = ReconstructInteractiveSpans(trace);
+  ASSERT_EQ(derived.interactive_spans().size(), serial.size());
+  ASSERT_GT(serial.size(), 0u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ExpectSameSpan(derived.interactive_spans()[i], serial[i]);
+  }
+}
+
+TEST(DerivedTraceTest, WorkerCountDoesNotChangeAnything) {
+  const auto& trace = TestTrace();
+  const DerivedTrace serial(trace, DerivedTraceOptions{{}, 1, nullptr});
+  const DerivedTrace parallel(trace, DerivedTraceOptions{{}, 4, nullptr});
+  ASSERT_EQ(serial.interval_count(), parallel.interval_count());
+  for (std::size_t i = 0; i < serial.interval_count(); ++i) {
+    ExpectSameInterval(serial.Interval(i), parallel.Interval(i));
+  }
+  ASSERT_EQ(serial.sessions().size(), parallel.sessions().size());
+  for (std::size_t i = 0; i < serial.sessions().size(); ++i) {
+    ExpectSameSession(serial.sessions()[i], parallel.sessions()[i]);
+  }
+  ASSERT_EQ(serial.interactive_spans().size(),
+            parallel.interactive_spans().size());
+  for (std::size_t i = 0; i < serial.interactive_spans().size(); ++i) {
+    ExpectSameSpan(serial.interactive_spans()[i],
+                   parallel.interactive_spans()[i]);
+  }
+}
+
+TEST(DerivedTraceTest, MachineSlicesPartitionTheFlatVectors) {
+  const auto& trace = TestTrace();
+  const DerivedTrace derived(trace);
+  std::size_t interval_total = 0;
+  std::size_t session_total = 0;
+  std::size_t span_total = 0;
+  for (std::size_t m = 0; m < trace.machine_count(); ++m) {
+    // Ranges are consecutive fenceposts into the machine-major columns.
+    const auto range = derived.MachineIntervalRange(m);
+    EXPECT_EQ(range.begin, interval_total);
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      EXPECT_EQ(derived.interval_columns().machine[i], m);
+    }
+    interval_total += range.size();
+    for (const auto& session : derived.MachineSessions(m)) {
+      EXPECT_EQ(session.machine, m);
+    }
+    session_total += derived.MachineSessions(m).size();
+    for (const auto& span : derived.MachineInteractiveSpans(m)) {
+      EXPECT_EQ(span.machine, m);
+    }
+    span_total += derived.MachineInteractiveSpans(m).size();
+  }
+  EXPECT_EQ(interval_total, derived.interval_count());
+  EXPECT_EQ(session_total, derived.sessions().size());
+  EXPECT_EQ(span_total, derived.interactive_spans().size());
+}
+
+TEST(DerivedTraceTest, IntervalClassMatchesBakedClassAtDerivationThreshold) {
+  const auto& trace = TestTrace();
+  const DerivedTrace derived(trace);
+  const auto threshold = derived.interval_options().forgotten_threshold_s;
+  for (std::size_t i = 0; i < derived.interval_count(); ++i) {
+    const auto interval = derived.Interval(i);
+    EXPECT_EQ(derived.IntervalClassAt(i, threshold), interval.login_class);
+    EXPECT_EQ(derived.IntervalClass(interval, threshold),
+              interval.login_class);
+  }
+}
+
+TEST(DerivedTraceTest, IntervalClassRecomputesForOtherThresholds) {
+  const auto& trace = TestTrace();
+  const DerivedTrace derived(trace);
+  bool saw_difference = false;
+  for (std::size_t i = 0; i < derived.interval_count(); ++i) {
+    const auto interval = derived.Interval(i);
+    const auto relaxed = derived.IntervalClassAt(i, kNoForgottenThreshold);
+    EXPECT_EQ(relaxed, derived.IntervalClass(interval, kNoForgottenThreshold));
+    EXPECT_EQ(relaxed,
+              ClassifyInterval(trace, interval.start_index,
+                               interval.end_index, kNoForgottenThreshold));
+    if (relaxed != interval.login_class) saw_difference = true;
+  }
+  // The 3-day campus produces at least one forgotten login, so the
+  // threshold genuinely matters for some interval.
+  EXPECT_TRUE(saw_difference);
+}
+
+TEST(DerivedTraceTest, EmptyTraceDerivesEmpty) {
+  const TraceStore store(4);
+  const DerivedTrace derived(store);
+  EXPECT_EQ(derived.interval_count(), 0u);
+  EXPECT_TRUE(derived.sessions().empty());
+  EXPECT_TRUE(derived.interactive_spans().empty());
+  EXPECT_TRUE(derived.MachineIntervalRange(2).empty());
+}
+
+}  // namespace
+}  // namespace labmon::trace

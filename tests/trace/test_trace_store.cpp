@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
+#include "labmon/util/parallel.hpp"
+
 namespace labmon::trace {
 namespace {
 
@@ -148,7 +152,140 @@ TEST(TraceStoreTest, IndexRebuiltAfterAppend) {
   store.Append(MakeTestRecord(0, 0, 900));
   EXPECT_EQ(store.MachineSamples(0).size(), 1u);
   store.Append(MakeTestRecord(0, 1, 1800));
-  EXPECT_EQ(store.MachineSamples(0).size(), 2u);  // lazily refreshed
+  EXPECT_EQ(store.MachineSamples(0).size(), 2u);  // eagerly maintained
+}
+
+TEST(TraceStoreTest, ColumnsMatchAppendedRecords) {
+  TraceStore store(3);
+  const SampleRecord plain = MakeTestRecord(1, 0, 900);
+  const SampleRecord logged = MakeTestRecord(2, 0, 910, /*session=*/true);
+  store.Append(plain);
+  store.Append(logged);
+
+  const TraceStore::Columns& c = store.columns();
+  ASSERT_EQ(c.t.size(), 2u);
+  EXPECT_EQ(c.machine[0], plain.machine);
+  EXPECT_EQ(c.iteration[0], plain.iteration);
+  EXPECT_EQ(c.t[0], plain.t);
+  EXPECT_EQ(c.boot_time[0], plain.boot_time);
+  EXPECT_EQ(c.uptime_s[0], plain.uptime_s);
+  EXPECT_EQ(c.cpu_idle_s[0], plain.cpu_idle_s);
+  EXPECT_EQ(c.mem_load_pct[0], plain.mem_load_pct);
+  EXPECT_EQ(c.swap_load_pct[0], plain.swap_load_pct);
+  EXPECT_EQ(c.disk_total_b[0], plain.disk_total_b);
+  EXPECT_EQ(c.disk_free_b[0], plain.disk_free_b);
+  EXPECT_EQ(c.smart_power_on_hours[0], plain.smart_power_on_hours);
+  EXPECT_EQ(c.smart_power_cycles[0], plain.smart_power_cycles);
+  EXPECT_EQ(c.net_sent_b[0], plain.net_sent_b);
+  EXPECT_EQ(c.net_recv_b[0], plain.net_recv_b);
+  EXPECT_EQ(c.has_session[0], 0);
+  EXPECT_EQ(c.session_logon[0], 0);
+  EXPECT_EQ(c.user_id[0], TraceStore::kNoUser);
+  EXPECT_EQ(c.has_session[1], 1);
+  EXPECT_EQ(c.session_logon[1], logged.session_logon);
+  EXPECT_NE(c.user_id[1], TraceStore::kNoUser);
+}
+
+TEST(TraceStoreTest, UserInterningSharesIds) {
+  TraceStore store(2);
+  SampleRecord a = MakeTestRecord(0, 0, 900, /*session=*/true);
+  SampleRecord b = MakeTestRecord(1, 0, 910, /*session=*/true);
+  b.user = "b000007";
+  SampleRecord c = MakeTestRecord(0, 1, 1800, /*session=*/true);  // same user as a
+  store.Append(a);
+  store.Append(b);
+  store.Append(c);
+  store.Append(MakeTestRecord(1, 1, 1810));  // no session
+
+  ASSERT_EQ(store.users().size(), 2u);  // two distinct names interned once
+  EXPECT_EQ(store.columns().user_id[0], store.columns().user_id[2]);
+  EXPECT_NE(store.columns().user_id[0], store.columns().user_id[1]);
+  EXPECT_EQ(store.UserOf(0), "a000042");
+  EXPECT_EQ(store.UserOf(1), "b000007");
+  EXPECT_EQ(store.UserOf(2), "a000042");
+  EXPECT_EQ(store.UserOf(3), "");
+  EXPECT_EQ(store.columns().user_id[3], TraceStore::kNoUser);
+}
+
+TEST(TraceStoreTest, RowViewGathersColumns) {
+  TraceStore store(2);
+  const SampleRecord original = MakeTestRecord(1, 3, 2700, /*session=*/true);
+  store.Append(MakeTestRecord(0, 3, 2690));
+  store.Append(original);
+
+  // operator[], Sample() and iteration all gather the same row.
+  const SampleRecord via_index = store.samples()[1];
+  EXPECT_EQ(via_index.machine, original.machine);
+  EXPECT_EQ(via_index.t, original.t);
+  EXPECT_EQ(via_index.user, original.user);
+  EXPECT_EQ(via_index.session_logon, original.session_logon);
+
+  std::size_t rows = 0;
+  for (const SampleRecord& r : store.samples()) {
+    EXPECT_EQ(r.t, store.columns().t[rows]);
+    EXPECT_EQ(r.machine, store.columns().machine[rows]);
+    ++rows;
+  }
+  EXPECT_EQ(rows, store.size());
+}
+
+TEST(TraceStoreTest, ColumnHelpersMatchRecordHelpers) {
+  TraceStore store(2);
+  SampleRecord fresh = MakeTestRecord(0, 0, 100000, /*session=*/true);
+  fresh.session_logon = fresh.t - 3600;
+  SampleRecord forgotten = MakeTestRecord(1, 0, 100010, /*session=*/true);
+  forgotten.session_logon = forgotten.t - 11 * 3600;
+  store.Append(fresh);
+  store.Append(forgotten);
+  store.Append(MakeTestRecord(0, 1, 100900));
+
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    const SampleRecord row = store.Sample(i);
+    EXPECT_EQ(store.SessionSeconds(i), row.SessionSeconds());
+    EXPECT_EQ(store.Classify(i), row.Classify());
+    EXPECT_EQ(store.Classify(i, kNoForgottenThreshold),
+              row.Classify(kNoForgottenThreshold));
+    EXPECT_EQ(store.CountsAsOccupied(i), row.CountsAsOccupied());
+    EXPECT_EQ(store.DiskUsedBytes(i), row.DiskUsedBytes());
+  }
+}
+
+// Regression: the per-machine index used to be built lazily on the first
+// MachineSamples() call, which raced when the first reader was a
+// util::ParallelFor worker pool. The index is now built eagerly on Append;
+// concurrent first reads on a freshly built store must agree and not crash
+// (run under TSan in CI).
+TEST(TraceStoreTest, ConcurrentFirstReadsAreSafe) {
+  constexpr std::size_t kMachines = 32;
+  constexpr std::size_t kIterations = 50;
+  TraceStore store(kMachines);
+  for (std::size_t s = 0; s < kIterations; ++s) {
+    for (std::size_t m = 0; m < kMachines; ++m) {
+      if ((s + m) % 7 == 0) continue;  // holes: machines miss iterations
+      store.Append(MakeTestRecord(static_cast<std::uint32_t>(m),
+                                  static_cast<std::uint32_t>(s),
+                                  static_cast<std::int64_t>(900 * (s + 1))));
+    }
+  }
+
+  std::atomic<std::uint64_t> total{0};
+  std::atomic<bool> ok{true};
+  util::ParallelFor(
+      kMachines,
+      [&](std::size_t m) {
+        const auto rows = store.MachineSamples(m);
+        total.fetch_add(rows.size(), std::memory_order_relaxed);
+        for (const std::uint32_t row : rows) {
+          if (store.columns().machine[row] != m) ok.store(false);
+        }
+        if (store.ResponsesPerMachine()[m] != rows.size()) ok.store(false);
+        if (!rows.empty() && store.Sample(rows[0]).machine != m) {
+          ok.store(false);
+        }
+      },
+      /*workers=*/8);
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(total.load(), store.size());
 }
 
 }  // namespace
