@@ -22,7 +22,7 @@ int main() {
     config.campus.days = days;
     config.collector.mode = mode;
     config.collector.workers = workers;
-    const auto result = core::Experiment::Run(config);
+    const auto result = bench::RunExperiment(config);
     table.AddRow({label, std::to_string(result.run_stats.iterations), nominal,
                   util::FormatFixed(result.run_stats.mean_iteration_s / 60.0, 2),
                   util::FormatFixed(result.run_stats.max_iteration_s / 60.0, 2),

@@ -20,7 +20,7 @@ int main() {
     auto config = bench::BenchConfig();
     config.campus.days = std::min(bench::BenchDays(), 21);
     config.collector.period = minutes * util::kSecondsPerMinute;
-    const auto result = core::Experiment::Run(config);
+    const auto result = bench::RunExperiment(config);
     const auto sessions = trace::ReconstructSessions(result.trace);
     const auto smart = analysis::ComputeSmartStats(
         result.trace, sessions.size(), config.campus.days);

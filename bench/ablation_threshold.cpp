@@ -12,7 +12,7 @@ int main() {
 
   auto config = bench::BenchConfig();
   config.campus.days = std::min(bench::BenchDays(), 28);
-  const auto result = core::Experiment::Run(config);
+  const auto result = bench::RunExperiment(config);
 
   util::AsciiTable table(
       "Table 2's occupied column under different thresholds (same trace)");

@@ -1,6 +1,10 @@
 // Shared plumbing for the reproduction benches: every bench runs the full
 // experiment (77 simulated days by default; override with LABMON_BENCH_DAYS)
 // and prints its table/figure as "measured vs paper".
+//
+// Snapshot reuse: set LABMON_SNAPSHOT_DIR to a directory and every bench
+// sharing a config replays one content-keyed snapshot instead of
+// re-simulating — the whole suite pays for one simulation.
 #pragma once
 
 #include <cstdlib>
@@ -10,6 +14,7 @@
 #include "labmon/core/experiment.hpp"
 #include "labmon/core/report.hpp"
 #include "labmon/obs/span.hpp"
+#include "labmon/util/strings.hpp"
 
 namespace labmon::bench {
 
@@ -23,24 +28,39 @@ class ScopedPhase {
   obs::Span span_;
 };
 
-/// Runs the experiment under a "bench.experiment" span.
+/// Snapshot directory shared by the bench suite ("" = snapshots disabled).
+inline std::string SnapshotDir() {
+  const char* env = std::getenv("LABMON_SNAPSHOT_DIR");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+/// Runs the experiment under a "bench.experiment" span, replaying a
+/// snapshot when LABMON_SNAPSHOT_DIR holds one for this config.
 inline core::ExperimentResult RunExperiment(
     const core::ExperimentConfig& config) {
   ScopedPhase phase("experiment");
-  return core::Experiment::Run(config);
+  return core::Experiment::RunCached(config, SnapshotDir());
 }
 
 inline int BenchDays() {
   if (const char* env = std::getenv("LABMON_BENCH_DAYS")) {
-    const int days = std::atoi(env);
-    if (days > 0) return days;
+    const auto days = util::ParseInt64(env);
+    if (days && *days > 0 && *days <= 10000) {
+      return static_cast<int>(*days);
+    }
+    std::cerr << "warning: ignoring malformed LABMON_BENCH_DAYS=\"" << env
+              << "\" (want an integer in [1, 10000]); using 77\n";
   }
   return 77;
 }
 
 inline std::uint64_t BenchSeed() {
   if (const char* env = std::getenv("LABMON_BENCH_SEED")) {
-    return static_cast<std::uint64_t>(std::atoll(env));
+    if (const auto seed = util::ParseInt64(env); seed && *seed >= 0) {
+      return static_cast<std::uint64_t>(*seed);
+    }
+    std::cerr << "warning: ignoring malformed LABMON_BENCH_SEED=\"" << env
+              << "\" (want a non-negative integer); using 20050201\n";
   }
   return 20050201;
 }

@@ -27,7 +27,7 @@ int main() {
     campus.days = days;
     core::ExperimentConfig config;
     config.campus = campus;
-    Row row{core::Experiment::Run(config), {}, {}};
+    Row row{bench::RunExperiment(config), {}, {}};
     row.ranking = analysis::ComputeUptimeRanking(row.result.trace);
     row.table2 = analysis::ComputeTable2(row.result.trace);
     return row;

@@ -5,7 +5,7 @@
 int main() {
   using namespace labmon;
   bench::Banner("Figure 2: interactive sessions by relative hour since logon");
-  const auto result = core::Experiment::Run(bench::BenchConfig());
+  const auto result = bench::RunExperiment(bench::BenchConfig());
   const core::Report report(result);
   std::cout << report.Figure2();
   return 0;

@@ -8,7 +8,7 @@
 int main() {
   using namespace labmon;
   bench::Banner("Figure 3: machines powered on / user-free over time");
-  const auto result = core::Experiment::Run(bench::BenchConfig());
+  const auto result = bench::RunExperiment(bench::BenchConfig());
   const core::Report report(result);
   std::cout << report.Figure3() << '\n';
 

@@ -5,7 +5,7 @@
 int main() {
   using namespace labmon;
   bench::Banner("Figure 4: uptime ratio / nines and session-length distribution");
-  const auto result = core::Experiment::Run(bench::BenchConfig());
+  const auto result = bench::RunExperiment(bench::BenchConfig());
   const core::Report report(result);
   std::cout << report.Figure4();
   return 0;

@@ -5,7 +5,7 @@
 int main() {
   using namespace labmon;
   bench::Banner("Figure 5: weekly distribution of resource usage");
-  const auto result = core::Experiment::Run(bench::BenchConfig());
+  const auto result = bench::RunExperiment(bench::BenchConfig());
   const core::Report report(result);
   std::cout << report.Figure5();
   return 0;

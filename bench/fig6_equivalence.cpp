@@ -5,7 +5,7 @@
 int main() {
   using namespace labmon;
   bench::Banner("Figure 6: weekly cluster-equivalence ratio (2:1 rule)");
-  const auto result = core::Experiment::Run(bench::BenchConfig());
+  const auto result = bench::RunExperiment(bench::BenchConfig());
   const core::Report report(result);
   std::cout << report.Figure6();
   return 0;

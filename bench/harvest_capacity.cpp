@@ -13,7 +13,7 @@ int main() {
   using namespace labmon;
   bench::Banner("Harvestable memory/disk capacity and availability volatility");
 
-  const auto result = core::Experiment::Run(bench::BenchConfig());
+  const auto result = bench::RunExperiment(bench::BenchConfig());
 
   util::AsciiTable table("Capacity by replication factor");
   table.SetHeader({"Replication", "Mean RAM (GB)", "p10 RAM (GB)",

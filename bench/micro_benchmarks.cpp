@@ -13,6 +13,7 @@
 #include "labmon/analysis/pipeline.hpp"
 #include "labmon/core/experiment.hpp"
 #include "labmon/ddc/w32_probe.hpp"
+#include "labmon/ddc/w32_probe_legacy.hpp"
 #include "labmon/nbench/nbench.hpp"
 #include "labmon/smart/attributes.hpp"
 #include "labmon/stats/running_stats.hpp"
@@ -58,12 +59,102 @@ void BM_ProbeParse(benchmark::State& state) {
   machine.Boot(0);
   machine.AdvanceTo(900);
   const std::string text = ddc::FormatW32ProbeOutput(machine);
+  ddc::W32Sample sample;
   for (auto _ : state) {
-    auto parsed = ddc::ParseW32ProbeOutput(text);
+    auto parsed = ddc::ParseW32ProbeOutput(text, &sample);
     benchmark::DoNotOptimize(parsed);
+    benchmark::DoNotOptimize(sample.uptime_s);
   }
 }
 BENCHMARK(BM_ProbeParse);
+
+void BM_ProbeFormatReuse(benchmark::State& state) {
+  // The collection hot path proper: append into a caller-owned buffer, no
+  // per-sample allocations once the buffer has grown.
+  auto machine = BenchMachine();
+  machine.Boot(0);
+  machine.Login("a000001", 10);
+  util::SimTime t = 0;
+  std::string buffer;
+  for (auto _ : state) {
+    t += 900;
+    machine.AdvanceTo(t);
+    buffer.clear();
+    ddc::FormatW32ProbeOutput(machine, buffer);
+    benchmark::DoNotOptimize(buffer.data());
+  }
+}
+BENCHMARK(BM_ProbeFormatReuse);
+
+void BM_ProbeFormatLegacy(benchmark::State& state) {
+  auto machine = BenchMachine();
+  machine.Boot(0);
+  machine.Login("a000001", 10);
+  util::SimTime t = 0;
+  for (auto _ : state) {
+    t += 900;
+    machine.AdvanceTo(t);
+    benchmark::DoNotOptimize(ddc::LegacyFormatW32ProbeOutput(machine));
+  }
+}
+BENCHMARK(BM_ProbeFormatLegacy);
+
+void BM_ProbeParseLegacy(benchmark::State& state) {
+  auto machine = BenchMachine();
+  machine.Boot(0);
+  machine.AdvanceTo(900);
+  const std::string text = ddc::FormatW32ProbeOutput(machine);
+  for (auto _ : state) {
+    auto parsed = ddc::LegacyParseW32ProbeOutput(text);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_ProbeParseLegacy);
+
+void BM_ProbeRoundtripPaired(benchmark::State& state) {
+  // Paired fast-vs-legacy format+parse round trip. Each iteration times
+  // both implementations back to back so machine-speed drift cancels out
+  // of the ratio; the acceptance bar is speedup_vs_legacy >= 3.
+  auto machine = BenchMachine();
+  machine.Boot(0);
+  machine.Login("a000001", 10);
+  util::SimTime t = 0;
+  double fast_seconds = 0.0;
+  double legacy_seconds = 0.0;
+  std::string buffer;
+  ddc::W32Sample scratch;
+  for (auto _ : state) {
+    t += 900;
+    machine.AdvanceTo(t);
+
+    const auto fast_start = std::chrono::steady_clock::now();
+    buffer.clear();
+    ddc::FormatW32ProbeOutput(machine, buffer);
+    auto fast_parsed = ddc::ParseW32ProbeOutput(buffer, &scratch);
+    benchmark::DoNotOptimize(fast_parsed);
+    benchmark::DoNotOptimize(scratch.uptime_s);
+    fast_seconds += std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - fast_start)
+                        .count();
+
+    state.PauseTiming();
+    const auto legacy_start = std::chrono::steady_clock::now();
+    const std::string legacy_text = ddc::LegacyFormatW32ProbeOutput(machine);
+    auto legacy_parsed = ddc::LegacyParseW32ProbeOutput(legacy_text);
+    benchmark::DoNotOptimize(legacy_parsed);
+    legacy_seconds += std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - legacy_start)
+                          .count();
+    state.ResumeTiming();
+  }
+  const auto rounds =
+      static_cast<double>(std::max<std::int64_t>(1, state.iterations()));
+  state.counters["legacy_roundtrip_us"] = 1e6 * legacy_seconds / rounds;
+  state.counters["fast_roundtrip_us"] = 1e6 * fast_seconds / rounds;
+  state.counters["speedup_vs_legacy"] =
+      fast_seconds > 0.0 ? legacy_seconds / fast_seconds : 0.0;
+}
+BENCHMARK(BM_ProbeRoundtripPaired);
 
 void BM_SmartEncodeDecode(benchmark::State& state) {
   smart::DiskSmart disk("WD-BENCH0001", 5000, 800);
@@ -120,7 +211,7 @@ BENCHMARK(BM_FullExperimentDay)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond);
 void BM_IntervalDerivation(benchmark::State& state) {
   core::ExperimentConfig config;
   config.campus.days = 3;
-  const auto result = core::Experiment::Run(config);
+  const auto result = bench::RunExperiment(config);
   for (auto _ : state) {
     std::size_t count = 0;
     trace::ForEachInterval(result.trace, {},
@@ -135,7 +226,7 @@ BENCHMARK(BM_IntervalDerivation)->Unit(benchmark::kMillisecond);
 void BM_Table2Aggregation(benchmark::State& state) {
   core::ExperimentConfig config;
   config.campus.days = 3;
-  const auto result = core::Experiment::Run(config);
+  const auto result = bench::RunExperiment(config);
   for (auto _ : state) {
     auto table2 = analysis::ComputeTable2(result.trace);
     benchmark::DoNotOptimize(table2.both.cpu_idle_pct);
@@ -151,7 +242,7 @@ BENCHMARK(BM_Table2Aggregation)->Unit(benchmark::kMillisecond);
 
 const core::ExperimentResult& AnalysisBenchResult() {
   static const core::ExperimentResult result =
-      core::Experiment::Run(bench::BenchConfig());
+      bench::RunExperiment(bench::BenchConfig());
   return result;
 }
 
@@ -282,7 +373,7 @@ BENCHMARK(BM_RunningStats);
 void BM_BinaryTraceSerialize(benchmark::State& state) {
   core::ExperimentConfig config;
   config.campus.days = 2;
-  const auto result = core::Experiment::Run(config);
+  const auto result = bench::RunExperiment(config);
   for (auto _ : state) {
     benchmark::DoNotOptimize(trace::SerializeTrace(result.trace));
   }
@@ -294,7 +385,7 @@ BENCHMARK(BM_BinaryTraceSerialize)->Unit(benchmark::kMillisecond);
 void BM_BinaryTraceDeserialize(benchmark::State& state) {
   core::ExperimentConfig config;
   config.campus.days = 2;
-  const auto result = core::Experiment::Run(config);
+  const auto result = bench::RunExperiment(config);
   const std::string bytes = trace::SerializeTrace(result.trace);
   for (auto _ : state) {
     auto restored = trace::DeserializeTrace(bytes);

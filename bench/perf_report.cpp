@@ -1,0 +1,174 @@
+// perf_report — end-to-end performance harness for the collection path.
+//
+// Times the pipeline phase by phase (experiment acquisition, trace
+// serialisation, analysis) and pairs the fast probe codec against the
+// frozen legacy one, then writes everything to BENCH_collect.json. With
+// LABMON_SNAPSHOT_DIR set, the second run replays the snapshot: the
+// "simulations" counter stays 0 and mode reports "snapshot" — which is
+// exactly what the CI smoke job asserts.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "labmon/analysis/aggregate.hpp"
+#include "labmon/ddc/w32_probe.hpp"
+#include "labmon/ddc/w32_probe_legacy.hpp"
+#include "labmon/obs/registry.hpp"
+#include "labmon/trace/binary_io.hpp"
+#include "labmon/util/csv.hpp"
+#include "labmon/util/rng.hpp"
+#include "labmon/winsim/paper_specs.hpp"
+#include "labmon/workload/driver.hpp"
+
+namespace {
+
+using namespace labmon;
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct RoundtripTiming {
+  double legacy_us = 0.0;
+  double fast_us = 0.0;
+  [[nodiscard]] double Speedup() const {
+    return fast_us > 0.0 ? legacy_us / fast_us : 0.0;
+  }
+};
+
+/// Paired fast-vs-legacy format+parse round trip over one simulated day of
+/// machine states (both codecs see the same states, interleaved, so CPU
+/// drift cancels out of the ratio).
+RoundtripTiming MeasureRoundtrip() {
+  util::Rng rng(20050201);
+  winsim::Fleet fleet = winsim::MakePaperFleet(rng);
+  workload::CampusConfig campus;
+  campus.days = 1;
+  workload::WorkloadDriver driver(fleet, campus);
+
+  RoundtripTiming timing;
+  std::string buffer;
+  ddc::W32Sample scratch;
+  constexpr int kRepeatsPerState = 20;
+  int states = 0;
+  for (util::SimTime t = 900; t <= campus.EndTime();
+       t += 30 * util::kSecondsPerMinute) {
+    driver.AdvanceTo(t);
+    auto& machine = fleet.machine(static_cast<std::size_t>(states) %
+                                  fleet.size());
+    if (!machine.powered_on()) continue;
+    ++states;
+
+    const auto fast_start = std::chrono::steady_clock::now();
+    for (int r = 0; r < kRepeatsPerState; ++r) {
+      buffer.clear();
+      ddc::FormatW32ProbeOutput(machine, buffer);
+      auto parsed = ddc::ParseW32ProbeOutput(buffer, &scratch);
+      if (!parsed.ok()) std::abort();  // codec must parse its own output
+    }
+    timing.fast_us += 1e6 * Seconds(fast_start);
+
+    const auto legacy_start = std::chrono::steady_clock::now();
+    for (int r = 0; r < kRepeatsPerState; ++r) {
+      const std::string text = ddc::LegacyFormatW32ProbeOutput(machine);
+      auto parsed = ddc::LegacyParseW32ProbeOutput(text);
+      if (!parsed.ok()) std::abort();
+    }
+    timing.legacy_us += 1e6 * Seconds(legacy_start);
+  }
+  const double rounds =
+      states > 0 ? static_cast<double>(states) * kRepeatsPerState : 1.0;
+  timing.fast_us /= rounds;
+  timing.legacy_us /= rounds;
+  return timing;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("perf_report: collection hot-path + snapshot timings");
+  auto& registry = obs::DefaultRegistry();
+  const auto counter = [&registry](const char* name,
+                                   obs::Labels labels = {}) {
+    return registry.GetCounter(name, "", std::move(labels)).value();
+  };
+
+  const auto config = bench::BenchConfig();
+  const std::string snapshot_dir = bench::SnapshotDir();
+
+  const auto experiment_start = std::chrono::steady_clock::now();
+  const auto result = bench::RunExperiment(config);
+  const double experiment_s = Seconds(experiment_start);
+
+  const std::uint64_t simulations =
+      counter("labmon_experiment_simulations_total");
+  const char* mode = simulations == 0 ? "snapshot" : "simulated";
+
+  const auto serialize_start = std::chrono::steady_clock::now();
+  const std::string trace_bytes = trace::SerializeTrace(result.trace);
+  const double serialize_s = Seconds(serialize_start);
+
+  const auto analyze_start = std::chrono::steady_clock::now();
+  const auto table2 = analysis::ComputeTable2(result.trace);
+  const double analyze_s = Seconds(analyze_start);
+
+  const auto roundtrip = MeasureRoundtrip();
+
+  char json[2048];
+  std::snprintf(
+      json, sizeof json,
+      "{\n"
+      "  \"bench\": \"perf_report\",\n"
+      "  \"days\": %d,\n"
+      "  \"samples\": %zu,\n"
+      "  \"mode\": \"%s\",\n"
+      "  \"snapshot_dir\": \"%s\",\n"
+      "  \"phases\": {\n"
+      "    \"experiment_s\": %.6f,\n"
+      "    \"serialize_s\": %.6f,\n"
+      "    \"analyze_s\": %.6f\n"
+      "  },\n"
+      "  \"counters\": {\n"
+      "    \"simulations\": %llu,\n"
+      "    \"snapshot_hits\": %llu,\n"
+      "    \"snapshot_misses\": %llu,\n"
+      "    \"snapshot_corrupt\": %llu,\n"
+      "    \"snapshot_stores\": %llu\n"
+      "  },\n"
+      "  \"probe_roundtrip\": {\n"
+      "    \"legacy_us\": %.4f,\n"
+      "    \"fast_us\": %.4f,\n"
+      "    \"speedup_vs_legacy\": %.2f\n"
+      "  },\n"
+      "  \"cpu_idle_pct\": %.2f\n"
+      "}\n",
+      result.days, result.trace.size(), mode, snapshot_dir.c_str(),
+      experiment_s, serialize_s, analyze_s,
+      static_cast<unsigned long long>(simulations),
+      static_cast<unsigned long long>(
+          counter("labmon_snapshot_loads_total", {{"result", "hit"}})),
+      static_cast<unsigned long long>(
+          counter("labmon_snapshot_loads_total", {{"result", "miss"}})),
+      static_cast<unsigned long long>(
+          counter("labmon_snapshot_loads_total", {{"result", "corrupt"}})),
+      static_cast<unsigned long long>(
+          counter("labmon_snapshot_stores_total")),
+      roundtrip.legacy_us, roundtrip.fast_us, roundtrip.Speedup(),
+      table2.both.cpu_idle_pct);
+
+  std::cout << json;
+  if (const auto written = util::WriteTextFile("BENCH_collect.json", json);
+      !written.ok()) {
+    std::cerr << "failed to write BENCH_collect.json: " << written.error()
+              << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote BENCH_collect.json (mode: " << mode
+            << ", probe round-trip speedup: " << roundtrip.Speedup()
+            << "x)\n";
+  return 0;
+}

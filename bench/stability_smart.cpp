@@ -6,7 +6,7 @@
 int main() {
   using namespace labmon;
   bench::Banner("Sections 5.2.1/5.2.2: machine sessions and SMART power cycles");
-  const auto result = core::Experiment::Run(bench::BenchConfig());
+  const auto result = bench::RunExperiment(bench::BenchConfig());
   const core::Report report(result);
   std::cout << report.Stability() << '\n';
   std::cout << "ground truth: " << result.ground_truth.boots << " boots, "

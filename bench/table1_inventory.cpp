@@ -8,7 +8,7 @@
 int main() {
   using namespace labmon;
   bench::Banner("Table 1: machine inventory + NBench indexes");
-  const auto result = core::Experiment::Run(bench::BenchConfig());
+  const auto result = bench::RunExperiment(bench::BenchConfig());
   const core::Report report(result);
   std::cout << report.Table1() << '\n';
 

@@ -134,9 +134,10 @@ int main() {
   DiskHealthSink sink;
   ddc::CoordinatorConfig config;
   config.period = util::kSecondsPerHour;  // custom cadence for a custom probe
-  ddc::Coordinator coordinator(
-      fleet, probe, config, sink,
-      [&driver](util::SimTime t) { driver.AdvanceTo(t); });
+  // The coordinator keeps a non-owning reference to the advance callback,
+  // so it must be a named local, not a temporary.
+  auto advance = [&driver](util::SimTime t) { driver.AdvanceTo(t); };
+  ddc::Coordinator coordinator(fleet, probe, config, sink, advance);
   const auto stats = coordinator.Run(0, campus.EndTime());
 
   std::cout << "iterations: " << stats.iterations << ", attempts "

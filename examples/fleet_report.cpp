@@ -2,8 +2,13 @@
 // the paper (measured vs published) and exports figure data as CSV.
 //
 //   $ ./fleet_report [output_dir] [days] [seed] [scenario.ini]
-//                    [--workers N] [--metrics-out m.prom]
+//                    [--workers N] [--snapshot-dir DIR]
+//                    [--metrics-out m.prom]
 //                    [--trace-out t.json] [--events-out e.jsonl]
+//
+// --snapshot-dir reuses a content-keyed experiment snapshot from DIR (and
+// writes one after simulating), so repeated reports on the same config
+// skip the simulation entirely. Defaults to $LABMON_SNAPSHOT_DIR.
 //
 // --workers bounds the analysis-pipeline sweep (0 = all cores); the
 // report is bitwise identical for any worker count.
@@ -112,6 +117,8 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
   std::string events_out;
+  std::string snapshot_dir;
+  if (const char* env = std::getenv("LABMON_SNAPSHOT_DIR")) snapshot_dir = env;
   std::size_t workers = 0;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -130,6 +137,8 @@ int main(int argc, char** argv) {
       trace_out = v;
     } else if (const char* v = flag_value("--events-out")) {
       events_out = v;
+    } else if (const char* v = flag_value("--snapshot-dir")) {
+      snapshot_dir = v;
     } else if (const char* v = flag_value("--workers")) {
       workers = static_cast<std::size_t>(std::atoll(v));
     } else if (arg.rfind("--", 0) == 0) {
@@ -182,7 +191,7 @@ int main(int argc, char** argv) {
     });
   }
 
-  const auto result = core::Experiment::Run(config);
+  const auto result = core::Experiment::RunCached(config, snapshot_dir);
   core::ReportOptions report_options;
   report_options.workers = workers;
   if (!metrics_out.empty()) report_options.metrics = &obs::DefaultRegistry();

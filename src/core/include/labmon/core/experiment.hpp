@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "labmon/ddc/coordinator.hpp"
@@ -25,6 +26,12 @@ struct ExperimentConfig {
   workload::CampusConfig campus;          ///< 77 days, 169 machines
   ddc::CoordinatorConfig collector;       ///< 15-min sequential probing
   winsim::PriorLifeModel prior_life;      ///< pre-experiment SMART history
+  /// Collect through the structured in-process fast path (probe fills a
+  /// W32Sample directly; the text codec is cross-checked on a deterministic
+  /// 1-in-N sampling). Output-invariant: the trace is bit-identical either
+  /// way (pinned by test_w32_probe_golden), so this is excluded from the
+  /// snapshot fingerprint.
+  bool structured_fast_path = true;
 };
 
 /// Static description of one lab for reporting (Table 1).
@@ -49,12 +56,24 @@ struct ExperimentResult {
   winsim::Fleet::Totals hardware;
   int days = 0;
   std::uint64_t parse_failures = 0;
+  /// Structured/text codec disagreements observed by the sink's 1-in-N
+  /// cross-check (must be zero).
+  std::uint64_t crosscheck_mismatches = 0;
 };
 
 class Experiment {
  public:
   /// Runs the full experiment (deterministic for a given config).
   [[nodiscard]] static ExperimentResult Run(const ExperimentConfig& config);
+
+  /// Snapshot-aware Run: looks for a content-keyed snapshot of this config
+  /// under `snapshot_dir` and replays it instead of simulating; on a miss
+  /// (or a corrupt/stale snapshot file, after a warning) it simulates and
+  /// atomically writes the snapshot for the next caller. An empty
+  /// `snapshot_dir` degrades to plain Run(). See core/snapshot.hpp for the
+  /// fingerprint and invalidation rules.
+  [[nodiscard]] static ExperimentResult RunCached(
+      const ExperimentConfig& config, const std::string& snapshot_dir);
 };
 
 }  // namespace labmon::core

@@ -1,6 +1,10 @@
 #include "labmon/core/experiment.hpp"
 
+#include <utility>
+
+#include "labmon/core/snapshot.hpp"
 #include "labmon/ddc/w32_probe.hpp"
+#include "labmon/obs/registry.hpp"
 #include "labmon/obs/span.hpp"
 #include "labmon/trace/sink.hpp"
 #include "labmon/util/log.hpp"
@@ -10,6 +14,10 @@
 namespace labmon::core {
 
 ExperimentResult Experiment::Run(const ExperimentConfig& config) {
+  obs::DefaultRegistry()
+      .GetCounter("labmon_experiment_simulations_total",
+                  "Full experiment simulations actually executed.")
+      .Increment();
   obs::Span run_span("experiment.run");
   run_span.SetSimRange(0, config.campus.EndTime());
   util::Rng rng(config.campus.seed);
@@ -28,9 +36,12 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config) {
 
   trace::TraceStoreSink sink(result.trace);
   ddc::W32Probe probe;
-  ddc::Coordinator coordinator(
-      fleet, probe, config.collector, sink,
-      [&driver](util::SimTime t) { driver.AdvanceTo(t); });
+  ddc::CoordinatorConfig collector = config.collector;
+  collector.structured_fast_path = config.structured_fast_path;
+  // Named local: the coordinator holds a FunctionRef to this callable for
+  // its whole lifetime, so it must outlive the coordinator.
+  auto advance = [&driver](util::SimTime t) { driver.AdvanceTo(t); };
+  ddc::Coordinator coordinator(fleet, probe, collector, sink, advance);
 
   util::log::Info("running " + std::to_string(config.campus.days) +
                   "-day experiment over " + std::to_string(fleet.size()) +
@@ -44,6 +55,12 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config) {
 
   result.ground_truth = driver.ground_truth();
   result.parse_failures = sink.parse_failures();
+  result.crosscheck_mismatches = sink.crosscheck_mismatches();
+  if (result.crosscheck_mismatches != 0) {
+    util::log::Warn(std::to_string(result.crosscheck_mismatches) +
+                    " structured/text cross-check mismatches — the fast-path "
+                    "codec diverged from the wire format");
+  }
   result.hardware = fleet.HardwareTotals();
   result.perf_index.reserve(fleet.size());
   for (std::size_t i = 0; i < fleet.size(); ++i) {
@@ -65,6 +82,51 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config) {
   util::log::Info("collected " + std::to_string(result.trace.size()) +
                   " samples in " +
                   std::to_string(result.run_stats.iterations) + " iterations");
+  return result;
+}
+
+ExperimentResult Experiment::RunCached(const ExperimentConfig& config,
+                                       const std::string& snapshot_dir) {
+  if (snapshot_dir.empty()) return Run(config);
+
+  auto& registry = obs::DefaultRegistry();
+  const auto load_counter = [&registry](const char* outcome) -> obs::Counter& {
+    return registry.GetCounter(
+        "labmon_snapshot_loads_total",
+        "Snapshot lookup outcomes (hit / miss / corrupt).",
+        {{"result", outcome}});
+  };
+
+  const std::uint64_t fingerprint = FingerprintConfig(config);
+  const SnapshotCache cache(snapshot_dir);
+  if (cache.Contains(fingerprint)) {
+    auto loaded = cache.Load(fingerprint);
+    if (loaded.ok()) {
+      load_counter("hit").Increment();
+      util::log::Info("replayed snapshot " + cache.PathFor(fingerprint) +
+                      " (" + std::to_string(loaded.value().trace.size()) +
+                      " samples, no simulation)");
+      return std::move(loaded).value();
+    }
+    // Existing but unusable file: corruption, truncation or a stale format.
+    // Warn, fall through to simulation and overwrite it.
+    load_counter("corrupt").Increment();
+    util::log::Warn("snapshot " + cache.PathFor(fingerprint) + " unusable (" +
+                    loaded.error() + "); re-simulating");
+  } else {
+    load_counter("miss").Increment();
+  }
+
+  ExperimentResult result = Run(config);
+  if (const auto stored = cache.Store(fingerprint, result); stored.ok()) {
+    registry
+        .GetCounter("labmon_snapshot_stores_total",
+                    "Snapshots written after a simulation.")
+        .Increment();
+    util::log::Info("stored snapshot " + cache.PathFor(fingerprint));
+  } else {
+    util::log::Warn("failed to store snapshot: " + stored.error());
+  }
   return result;
 }
 

@@ -1,0 +1,442 @@
+#include "labmon/core/snapshot.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "labmon/trace/binary_io.hpp"
+#include "labmon/util/csv.hpp"
+#include "labmon/util/varint.hpp"
+
+namespace labmon::core {
+
+namespace {
+
+constexpr char kMagic[] = "LMSS1";
+constexpr std::size_t kMagicLen = 5;
+
+// ---------------------------------------------------------------------------
+// Config fingerprint: FNV-1a over a canonical field stream. Every
+// behaviour-affecting field is mixed in explicit order; adding a config
+// field without mixing it here would alias configs, so keep this list in
+// sync with workload/config.hpp, CoordinatorConfig and PriorLifeModel.
+// ---------------------------------------------------------------------------
+class Fingerprinter {
+ public:
+  void Mix(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xff;
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  void MixInt(std::int64_t v) noexcept { Mix(static_cast<std::uint64_t>(v)); }
+  void MixDouble(double v) noexcept { Mix(std::bit_cast<std::uint64_t>(v)); }
+  void MixBool(bool v) noexcept { Mix(v ? 1 : 0); }
+
+  [[nodiscard]] std::uint64_t hash() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+};
+
+void MixCampus(Fingerprinter& fp, const workload::CampusConfig& c) {
+  fp.MixInt(c.days);
+  fp.Mix(c.seed);
+
+  fp.MixInt(c.hours.open_hour);
+  fp.MixInt(c.hours.weekday_close_hour);
+  fp.MixInt(c.hours.saturday_close_hour);
+  fp.MixBool(c.hours.sunday_open);
+
+  fp.MixDouble(c.timetable.weekday_slot_prob);
+  fp.MixDouble(c.timetable.saturday_slot_prob);
+  fp.MixDouble(c.timetable.popularity_skew);
+  fp.MixDouble(c.timetable.class_occupancy);
+  fp.MixDouble(c.timetable.keep_walkin_in_class);
+  fp.MixDouble(c.timetable.heavy_class_occupancy);
+  fp.MixInt(c.timetable.heavy_class_lab);
+  fp.MixInt(c.timetable.heavy_class_start_hour);
+  fp.MixInt(c.timetable.heavy_class_hours);
+
+  fp.MixDouble(c.arrivals.weekday_peak_per_hour);
+  fp.MixDouble(c.arrivals.morning_factor);
+  fp.MixDouble(c.arrivals.midday_factor);
+  fp.MixDouble(c.arrivals.afternoon_factor);
+  fp.MixDouble(c.arrivals.evening_factor);
+  fp.MixDouble(c.arrivals.night_factor);
+  fp.MixDouble(c.arrivals.saturday_factor);
+  fp.MixDouble(c.arrivals.popularity_bias);
+  fp.MixBool(c.arrivals.prefer_off_machines);
+  fp.MixDouble(c.arrivals.session_minutes_mean);
+  fp.MixDouble(c.arrivals.session_minutes_sigma);
+  fp.MixDouble(c.arrivals.session_minutes_cap);
+  fp.MixDouble(c.arrivals.long_stay_prob);
+  fp.MixDouble(c.arrivals.long_stay_hours_lo);
+  fp.MixDouble(c.arrivals.long_stay_hours_hi);
+
+  fp.MixDouble(c.activity.background_busy);
+  fp.MixDouble(c.activity.boot_busy);
+  fp.MixDouble(c.activity.boot_busy_seconds);
+  fp.MixDouble(c.activity.phase_minutes_mean);
+  fp.MixDouble(c.activity.light_prob);
+  fp.MixDouble(c.activity.light_busy_lo);
+  fp.MixDouble(c.activity.light_busy_hi);
+  fp.MixDouble(c.activity.medium_prob);
+  fp.MixDouble(c.activity.medium_busy_lo);
+  fp.MixDouble(c.activity.medium_busy_hi);
+  fp.MixDouble(c.activity.heavy_busy_lo);
+  fp.MixDouble(c.activity.heavy_busy_hi);
+  fp.MixDouble(c.activity.heavy_class_busy_lo);
+  fp.MixDouble(c.activity.heavy_class_busy_hi);
+  fp.MixDouble(c.activity.compute_server_fraction);
+  fp.MixDouble(c.activity.compute_server_busy_lo);
+  fp.MixDouble(c.activity.compute_server_busy_hi);
+
+  fp.MixDouble(c.memory.base_load_512mb);
+  fp.MixDouble(c.memory.base_load_256mb);
+  fp.MixDouble(c.memory.base_load_128mb);
+  fp.MixDouble(c.memory.base_jitter);
+  fp.MixDouble(c.memory.app_mb_mean);
+  fp.MixDouble(c.memory.app_mb_sigma);
+  fp.MixDouble(c.memory.swap_base_512mb);
+  fp.MixDouble(c.memory.swap_base_256mb);
+  fp.MixDouble(c.memory.swap_base_128mb);
+  fp.MixDouble(c.memory.swap_jitter);
+  fp.MixDouble(c.memory.swap_app_points_mean);
+
+  fp.MixDouble(c.disk.jitter_gb);
+  fp.MixDouble(c.disk.student_temp_mb_lo);
+  fp.MixDouble(c.disk.student_temp_mb_hi);
+  fp.MixDouble(c.disk.image_gb_large);
+  fp.MixDouble(c.disk.image_gb_medium);
+  fp.MixDouble(c.disk.image_gb_small);
+  fp.MixDouble(c.disk.image_gb_tiny);
+  fp.MixDouble(c.disk.image_gb_mini);
+
+  fp.MixDouble(c.network.background_sent_bps);
+  fp.MixDouble(c.network.background_recv_bps);
+  fp.MixDouble(c.network.background_jitter);
+  fp.MixDouble(c.network.active_recv_bps_mean);
+  fp.MixDouble(c.network.active_recv_bps_sigma);
+  fp.MixDouble(c.network.active_sent_ratio_lo);
+  fp.MixDouble(c.network.active_sent_ratio_hi);
+
+  fp.MixBool(c.power.sweeps_enabled);
+  fp.MixDouble(c.power.off_after_walkin);
+  fp.MixDouble(c.power.off_after_class);
+  fp.MixDouble(c.power.off_after_evening);
+  fp.MixInt(c.power.evening_hour);
+  fp.MixDouble(c.power.sweep_kill_floor);
+  fp.MixDouble(c.power.sweep_kill_scale);
+  fp.MixDouble(c.power.ghost_kill_multiplier);
+  fp.MixDouble(c.power.weekend_kill_floor);
+  fp.MixDouble(c.power.weekend_kill_scale);
+  fp.MixDouble(c.power.sticky_fraction);
+  fp.MixDouble(c.power.sticky_stay_on_lo);
+  fp.MixDouble(c.power.sticky_stay_on_hi);
+  fp.MixDouble(c.power.normal_stay_on_lo);
+  fp.MixDouble(c.power.normal_stay_on_hi);
+  fp.MixDouble(c.power.class_start_reboot_prob);
+  fp.MixDouble(c.power.short_cycles_per_day);
+  fp.MixDouble(c.power.short_cycle_minutes_lo);
+  fp.MixDouble(c.power.short_cycle_minutes_hi);
+
+  fp.MixDouble(c.forgotten.forget_prob_walkin);
+  fp.MixDouble(c.forgotten.forget_prob_class);
+  fp.MixDouble(c.forgotten.forget_prob_at_close);
+  fp.MixDouble(c.forgotten.abandon_tail_minutes);
+}
+
+void MixCollector(Fingerprinter& fp, const ddc::CoordinatorConfig& c) {
+  // metrics/tracer and the structured fast path are output-invariant and
+  // deliberately excluded.
+  fp.MixInt(c.period);
+  fp.MixInt(static_cast<int>(c.mode));
+  fp.MixInt(c.workers);
+  fp.MixDouble(c.exec_policy.success_latency_mean_s);
+  fp.MixDouble(c.exec_policy.success_latency_sigma_s);
+  fp.MixDouble(c.exec_policy.success_latency_min_s);
+  fp.MixDouble(c.exec_policy.offline_timeout_mean_s);
+  fp.MixDouble(c.exec_policy.offline_timeout_sigma_s);
+  fp.MixDouble(c.exec_policy.offline_timeout_min_s);
+  fp.MixDouble(c.exec_policy.transient_failure_prob);
+  fp.Mix(c.seed);
+}
+
+void MixPriorLife(Fingerprinter& fp, const winsim::PriorLifeModel& m) {
+  fp.MixDouble(m.min_age_years);
+  fp.MixDouble(m.max_age_years);
+  fp.MixDouble(m.hours_per_cycle_mean);
+  fp.MixDouble(m.hours_per_cycle_sigma);
+  fp.MixDouble(m.duty_cycle_mean);
+  fp.MixDouble(m.duty_cycle_sigma);
+}
+
+// ---------------------------------------------------------------------------
+// Sidecar codec helpers.
+// ---------------------------------------------------------------------------
+void PutF64(std::string& out, double v) {
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+  }
+}
+
+void PutString(std::string& out, const std::string& s) {
+  util::PutVarint(out, s.size());
+  out += s;
+}
+
+struct SidecarReader {
+  util::VarintReader reader;
+  bool failed = false;
+
+  explicit SidecarReader(const std::string& bytes, std::size_t offset)
+      : reader(std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(bytes.data()) + offset,
+            bytes.size() - offset)) {}
+
+  std::uint64_t U64() {
+    if (const auto v = reader.Read(); v && !failed) return *v;
+    failed = true;
+    return 0;
+  }
+  std::int64_t I64() {
+    if (const auto v = reader.ReadSigned(); v && !failed) return *v;
+    failed = true;
+    return 0;
+  }
+  double F64() {
+    const auto bytes = reader.ReadBytes(8);
+    if (!bytes || failed) {
+      failed = true;
+      return 0.0;
+    }
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, bytes->data(), 8);
+    return std::bit_cast<double>(bits);
+  }
+  std::string Str() {
+    const auto len = U64();
+    if (failed) return {};
+    auto bytes = reader.ReadBytes(static_cast<std::size_t>(len));
+    if (!bytes) {
+      failed = true;
+      return {};
+    }
+    return std::move(*bytes);
+  }
+};
+
+}  // namespace
+
+std::uint64_t FingerprintConfig(const ExperimentConfig& config) {
+  Fingerprinter fp;
+  fp.Mix(kSnapshotFormatVersion);
+  MixCampus(fp, config.campus);
+  MixCollector(fp, config.collector);
+  MixPriorLife(fp, config.prior_life);
+  return fp.hash();
+}
+
+std::string SerializeExperimentResult(const ExperimentResult& result,
+                                      std::uint64_t fingerprint) {
+  std::string out;
+  out.append(kMagic, kMagicLen);
+  util::PutVarint(out, kSnapshotFormatVersion);
+  util::PutVarint(out, fingerprint);
+
+  util::PutSignedVarint(out, result.days);
+  util::PutVarint(out, result.parse_failures);
+  util::PutVarint(out, result.crosscheck_mismatches);
+
+  const auto& rs = result.run_stats;
+  util::PutVarint(out, rs.iterations);
+  util::PutVarint(out, rs.attempts);
+  util::PutVarint(out, rs.successes);
+  util::PutVarint(out, rs.timeouts);
+  util::PutVarint(out, rs.errors);
+  PutF64(out, rs.total_span_s);
+  PutF64(out, rs.max_iteration_s);
+  PutF64(out, rs.mean_iteration_s);
+
+  const auto& gt = result.ground_truth;
+  util::PutVarint(out, gt.boots);
+  util::PutVarint(out, gt.shutdowns);
+  util::PutVarint(out, gt.reboots);
+  util::PutVarint(out, gt.short_cycles);
+  util::PutVarint(out, gt.class_logins);
+  util::PutVarint(out, gt.walkin_logins);
+  util::PutVarint(out, gt.forgotten_sessions);
+  util::PutVarint(out, gt.lost_arrivals);
+  util::PutVarint(out, gt.sweep_shutdowns);
+
+  PutF64(out, result.hardware.ram_gb);
+  PutF64(out, result.hardware.disk_tb);
+  PutF64(out, result.hardware.sum_int_index);
+  PutF64(out, result.hardware.sum_fp_index);
+
+  util::PutVarint(out, result.perf_index.size());
+  for (const double v : result.perf_index) PutF64(out, v);
+
+  util::PutVarint(out, result.labs.size());
+  for (const auto& lab : result.labs) {
+    PutString(out, lab.name);
+    util::PutVarint(out, lab.machine_count);
+    PutString(out, lab.cpu_model);
+    PutF64(out, lab.cpu_ghz);
+    util::PutSignedVarint(out, lab.ram_mb);
+    PutF64(out, lab.disk_gb);
+    PutF64(out, lab.int_index);
+    PutF64(out, lab.fp_index);
+  }
+
+  const std::string trace_bytes = trace::SerializeTrace(result.trace);
+  util::PutVarint(out, trace_bytes.size());
+  out += trace_bytes;
+  return out;
+}
+
+util::Result<ExperimentResult> DeserializeExperimentResult(
+    const std::string& bytes, std::uint64_t expected_fingerprint) {
+  using R = util::Result<ExperimentResult>;
+  if (bytes.size() < kMagicLen ||
+      std::memcmp(bytes.data(), kMagic, kMagicLen) != 0) {
+    return R::Err("not a labmon snapshot (bad magic)");
+  }
+  SidecarReader in(bytes, kMagicLen);
+
+  const std::uint64_t version = in.U64();
+  if (in.failed) return R::Err("truncated snapshot header");
+  if (version != kSnapshotFormatVersion) {
+    return R::Err("stale snapshot format (version " + std::to_string(version) +
+                  ", expected " + std::to_string(kSnapshotFormatVersion) + ")");
+  }
+  const std::uint64_t fingerprint = in.U64();
+  if (in.failed) return R::Err("truncated snapshot header");
+  if (fingerprint != expected_fingerprint) {
+    return R::Err("snapshot fingerprint mismatch (different config)");
+  }
+
+  ExperimentResult result;
+  result.days = static_cast<int>(in.I64());
+  result.parse_failures = in.U64();
+  result.crosscheck_mismatches = in.U64();
+
+  result.run_stats.iterations = in.U64();
+  result.run_stats.attempts = in.U64();
+  result.run_stats.successes = in.U64();
+  result.run_stats.timeouts = in.U64();
+  result.run_stats.errors = in.U64();
+  result.run_stats.total_span_s = in.F64();
+  result.run_stats.max_iteration_s = in.F64();
+  result.run_stats.mean_iteration_s = in.F64();
+
+  result.ground_truth.boots = in.U64();
+  result.ground_truth.shutdowns = in.U64();
+  result.ground_truth.reboots = in.U64();
+  result.ground_truth.short_cycles = in.U64();
+  result.ground_truth.class_logins = in.U64();
+  result.ground_truth.walkin_logins = in.U64();
+  result.ground_truth.forgotten_sessions = in.U64();
+  result.ground_truth.lost_arrivals = in.U64();
+  result.ground_truth.sweep_shutdowns = in.U64();
+
+  result.hardware.ram_gb = in.F64();
+  result.hardware.disk_tb = in.F64();
+  result.hardware.sum_int_index = in.F64();
+  result.hardware.sum_fp_index = in.F64();
+
+  const std::uint64_t perf_count = in.U64();
+  if (in.failed || perf_count > in.reader.remaining()) {
+    return R::Err("truncated snapshot sidecar");
+  }
+  result.perf_index.reserve(static_cast<std::size_t>(perf_count));
+  for (std::uint64_t i = 0; i < perf_count; ++i) {
+    result.perf_index.push_back(in.F64());
+  }
+
+  const std::uint64_t lab_count = in.U64();
+  if (in.failed || lab_count > in.reader.remaining()) {
+    return R::Err("truncated snapshot sidecar");
+  }
+  result.labs.reserve(static_cast<std::size_t>(lab_count));
+  for (std::uint64_t i = 0; i < lab_count; ++i) {
+    LabSummary lab;
+    lab.name = in.Str();
+    lab.machine_count = static_cast<std::size_t>(in.U64());
+    lab.cpu_model = in.Str();
+    lab.cpu_ghz = in.F64();
+    lab.ram_mb = static_cast<int>(in.I64());
+    lab.disk_gb = in.F64();
+    lab.int_index = in.F64();
+    lab.fp_index = in.F64();
+    result.labs.push_back(std::move(lab));
+  }
+  if (in.failed) return R::Err("truncated snapshot sidecar");
+
+  const std::uint64_t trace_len = in.U64();
+  if (in.failed || trace_len != in.reader.remaining()) {
+    return R::Err("truncated snapshot trace");
+  }
+  auto trace_bytes = in.reader.ReadBytes(static_cast<std::size_t>(trace_len));
+  if (!trace_bytes) return R::Err("truncated snapshot trace");
+  auto trace = trace::DeserializeTrace(*trace_bytes);
+  if (!trace.ok()) {
+    return R::Err("snapshot trace decode failed: " + trace.error());
+  }
+  result.trace = std::move(trace.value());
+  return result;
+}
+
+SnapshotCache::SnapshotCache(std::string directory)
+    : directory_(std::move(directory)) {}
+
+std::string SnapshotCache::PathFor(std::uint64_t fingerprint) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "%016llx.lmsnap",
+                static_cast<unsigned long long>(fingerprint));
+  return directory_ + "/" + name;
+}
+
+bool SnapshotCache::Contains(std::uint64_t fingerprint) const {
+  std::error_code ec;
+  return std::filesystem::exists(PathFor(fingerprint), ec);
+}
+
+util::Result<ExperimentResult> SnapshotCache::Load(
+    std::uint64_t fingerprint) const {
+  auto bytes = util::ReadTextFile(PathFor(fingerprint));
+  if (!bytes.ok()) {
+    return util::Result<ExperimentResult>::Err(bytes.error());
+  }
+  return DeserializeExperimentResult(bytes.value(), fingerprint);
+}
+
+util::Result<bool> SnapshotCache::Store(std::uint64_t fingerprint,
+                                        const ExperimentResult& result) const {
+  using R = util::Result<bool>;
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  if (ec) {
+    return R::Err("cannot create snapshot dir " + directory_ + ": " +
+                  ec.message());
+  }
+  const std::string path = PathFor(fingerprint);
+  const std::string tmp = path + ".tmp";
+  if (const auto written =
+          util::WriteTextFile(tmp, SerializeExperimentResult(result,
+                                                             fingerprint));
+      !written.ok()) {
+    return R::Err(written.error());
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return R::Err("cannot publish snapshot " + path + ": " + ec.message());
+  }
+  return true;
+}
+
+}  // namespace labmon::core

@@ -9,7 +9,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -17,6 +16,7 @@
 #include "labmon/ddc/executor.hpp"
 #include "labmon/ddc/probe.hpp"
 #include "labmon/obs/registry.hpp"
+#include "labmon/util/function_ref.hpp"
 #include "labmon/winsim/fleet.hpp"
 
 namespace labmon::ddc {
@@ -54,10 +54,11 @@ struct CampaignConfig {
 
 /// Runs `probe` once on every machine of the fleet, sweeping the pending
 /// set every `pass_period` until full coverage or the deadline. `advance`
-/// co-drives the behavioural simulation (may be empty).
+/// co-drives the behavioural simulation (may be null); it is only invoked
+/// during this call, so binding a temporary lambda at the call site is fine.
 [[nodiscard]] CampaignResult RunCampaign(
     winsim::Fleet& fleet, Probe& probe, const CampaignConfig& config,
     util::SimTime start,
-    const std::function<void(util::SimTime)>& advance = {});
+    util::FunctionRef<void(util::SimTime)> advance = {});
 
 }  // namespace labmon::ddc

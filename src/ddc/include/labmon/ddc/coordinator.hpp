@@ -12,14 +12,15 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "labmon/ddc/executor.hpp"
 #include "labmon/ddc/probe.hpp"
+#include "labmon/ddc/w32_probe.hpp"
 #include "labmon/obs/registry.hpp"
 #include "labmon/obs/span.hpp"
+#include "labmon/util/function_ref.hpp"
 #include "labmon/util/time.hpp"
 #include "labmon/winsim/fleet.hpp"
 
@@ -31,6 +32,11 @@ struct CollectedSample {
   std::uint64_t iteration = 0;
   util::SimTime attempt_time = 0;  ///< instant the execution started
   ExecOutcome outcome;
+  /// Structured fast path: when non-null, the probe filled this sample
+  /// in-process and `outcome.stdout_text` is empty except on cross-check
+  /// attempts (see CoordinatorConfig::structured_crosscheck_period). Points
+  /// at coordinator-owned scratch, valid only for the OnSample call.
+  const W32Sample* structured = nullptr;
 };
 
 /// Post-collect interface ("post-collecting code … executed at the
@@ -64,6 +70,15 @@ struct CoordinatorConfig {
   /// Tracer receiving "coordinator.iteration"/"executor.execute" spans.
   /// Null (or a disabled tracer) records nothing.
   obs::Tracer* tracer = nullptr;
+  /// In-process structured fast path: successful probes fill a W32Sample
+  /// directly instead of rendering stdout text that the sink re-parses.
+  /// Off by default — sinks that consume raw stdout (e.g. OutputArchive)
+  /// need the text; Experiment::Run opts in for its TraceStoreSink.
+  bool structured_fast_path = false;
+  /// With the fast path on, every Nth structured success ALSO renders the
+  /// text so the sink can cross-check codec fidelity (deterministic 1-in-N
+  /// sampling). 0 disables cross-checking.
+  std::uint32_t structured_crosscheck_period = 64;
 };
 
 /// Aggregate statistics of a monitoring run.
@@ -86,12 +101,18 @@ struct RunStats {
 
 class Coordinator {
  public:
-  /// `advance` is invoked with every execution instant before probing so a
-  /// co-simulated behaviour driver can bring the fleet up to date; pass an
-  /// empty function when driving a static fleet.
+  /// Hook bringing the co-simulated behaviour driver up to date before each
+  /// probe. A FunctionRef (not std::function): the coordinator never
+  /// outlives the driver, and the per-probe path should not pay for type
+  /// erasure that can allocate.
+  using AdvanceFn = util::FunctionRef<void(util::SimTime)>;
+
+  /// `advance` is invoked with every execution instant before probing;
+  /// pass the default (null) when driving a static fleet. The referenced
+  /// callable must outlive the coordinator — bind a named lambda, not a
+  /// temporary that dies at the end of the constructor expression.
   Coordinator(winsim::Fleet& fleet, Probe& probe, CoordinatorConfig config,
-              SampleSink& sink,
-              std::function<void(util::SimTime)> advance = {});
+              SampleSink& sink, AdvanceFn advance = {});
 
   /// Runs iterations from `start` until the iteration start would reach
   /// `end`. Returns run statistics. Tallies are per-run: calling Run()
@@ -114,20 +135,25 @@ class Coordinator {
                                                    util::SimTime start);
   void AdvanceTo(util::SimTime t);
   void Tally(std::size_t machine_index, const ExecOutcome& outcome) noexcept;
-  ExecOutcome ExecuteOne(std::size_t machine_index, util::SimTime t);
+  /// Runs one attempt; sets `*structured_filled` when the fast path
+  /// delivered the sample into `scratch_` instead of stdout text.
+  ExecOutcome ExecuteOne(std::size_t machine_index, util::SimTime t,
+                         bool* structured_filled);
   void BindInstruments();
 
   std::uint64_t attempts_ = 0;
   std::uint64_t successes_ = 0;
   std::uint64_t timeouts_ = 0;
   std::uint64_t errors_ = 0;
+  std::uint64_t structured_ok_ = 0;  ///< cross-check cadence counter
 
   winsim::Fleet& fleet_;
   Probe& probe_;
   CoordinatorConfig config_;
   SampleSink& sink_;
-  std::function<void(util::SimTime)> advance_;
+  AdvanceFn advance_;
   RemoteExecutor executor_;
+  W32Sample scratch_;  ///< reused structured-sample buffer
 
   std::vector<MachineInstruments> machine_metrics_;
   obs::Histogram* latency_hist_[3] = {nullptr, nullptr, nullptr};

@@ -51,6 +51,20 @@ class RemoteExecutor {
   [[nodiscard]] ExecOutcome Execute(Probe& probe, winsim::Machine& machine,
                                     util::SimTime t);
 
+  /// As Execute, but tries the probe's structured fast path first: on a
+  /// successful attempt against a probe that implements ExecuteInto,
+  /// `*structured_out` is filled, `*structured_filled` is set, and stdout
+  /// text is rendered only when `also_text` is set (the sink's fidelity
+  /// cross-check cadence). Transport behaviour and RNG draw order are
+  /// identical to Execute(), so a run is deterministic regardless of which
+  /// entry point collected it.
+  [[nodiscard]] ExecOutcome ExecuteStructured(Probe& probe,
+                                              winsim::Machine& machine,
+                                              util::SimTime t,
+                                              W32Sample* structured_out,
+                                              bool* structured_filled,
+                                              bool also_text);
+
   [[nodiscard]] const ExecPolicy& policy() const noexcept { return policy_; }
 
  private:

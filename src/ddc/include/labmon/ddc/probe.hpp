@@ -13,6 +13,8 @@
 
 namespace labmon::ddc {
 
+struct W32Sample;  // defined in w32_probe.hpp
+
 /// Interface of a remotely executed console probe.
 class Probe {
  public:
@@ -25,6 +27,20 @@ class Probe {
   /// The machine is powered on and already integrated to `t`.
   [[nodiscard]] virtual std::string Execute(winsim::Machine& machine,
                                             util::SimTime t) = 0;
+
+  /// Structured fast path: fills `out` with exactly what parsing Execute()'s
+  /// text would produce, without rendering any text. Returns false when the
+  /// probe has no structured surface (the default), in which case callers
+  /// fall back to Execute(). Only meaningful in-process — the real DDC could
+  /// only ship bytes over psexec, so this is an explicit fidelity-preserving
+  /// optimisation, cross-checked against the text codec by the sink.
+  [[nodiscard]] virtual bool ExecuteInto(winsim::Machine& machine,
+                                         util::SimTime t, W32Sample* out) {
+    (void)machine;
+    (void)t;
+    (void)out;
+    return false;
+  }
 };
 
 }  // namespace labmon::ddc

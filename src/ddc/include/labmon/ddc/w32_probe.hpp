@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "labmon/ddc/probe.hpp"
 #include "labmon/util/expected.hpp"
@@ -53,6 +54,11 @@ struct W32Sample {
   [[nodiscard]] std::int64_t SessionSeconds(std::int64_t t) const noexcept {
     return HasSession() ? t - session_logon_time : 0;
   }
+
+  /// Field-wise equality — the sink's structured/text cross-check compares
+  /// whole samples.
+  [[nodiscard]] friend bool operator==(const W32Sample&,
+                                       const W32Sample&) = default;
 };
 
 /// The probe itself.
@@ -63,13 +69,38 @@ class W32Probe final : public Probe {
   }
   [[nodiscard]] std::string Execute(winsim::Machine& machine,
                                     util::SimTime t) override;
+  [[nodiscard]] bool ExecuteInto(winsim::Machine& machine, util::SimTime t,
+                                 W32Sample* out) override;
 };
 
-/// Renders a machine's state as W32Probe stdout (what Execute emits).
+/// Renders a machine's state as W32Probe stdout (what Execute emits),
+/// appending to `out` without clearing it. With a caller-owned reused
+/// buffer this is allocation-free once the capacity is warm; the emitted
+/// bytes are pinned identical to the legacy ostringstream formatter by
+/// test_w32_probe_golden.
+void FormatW32ProbeOutput(const winsim::Machine& machine, std::string& out);
+
+/// Convenience overload returning a fresh string.
 [[nodiscard]] std::string FormatW32ProbeOutput(const winsim::Machine& machine);
 
+/// Structured fast path: fills `out` with exactly the sample that
+/// ParseW32ProbeOutput(FormatW32ProbeOutput(machine)) would produce — the
+/// double field is quantised through the same "%.2f" text rendering so the
+/// values are bit-identical, not merely close.
+void FillW32Sample(const winsim::Machine& machine, W32Sample* out);
+
 /// Parses W32Probe stdout; fails on missing/garbled mandatory fields.
+/// Single-pass line scanner: no allocations beyond the string fields of the
+/// result. Tolerates reordered lines, unknown keys and extra whitespace;
+/// the first occurrence of a duplicated key wins.
 [[nodiscard]] util::Result<W32Sample> ParseW32ProbeOutput(
-    const std::string& text);
+    std::string_view text);
+
+/// Same parse into a caller-owned sample, reusing its string capacity — the
+/// collect hot path passes a scratch sample so the steady-state parse is
+/// allocation-free. `out` is reset to fresh-sample defaults first; after a
+/// failed parse it is valid but unspecified.
+[[nodiscard]] util::Result<bool> ParseW32ProbeOutput(std::string_view text,
+                                                     W32Sample* out);
 
 }  // namespace labmon::ddc

@@ -1,0 +1,26 @@
+// Frozen pre-optimisation W32Probe codec.
+//
+// These are the original ostringstream formatter and keyed-lookup parser,
+// kept verbatim (only renamed) when the hot path was rewritten. They exist
+// as the golden reference: tests pin the fast codec byte-identical /
+// value-identical to these on every machine state the simulator produces,
+// and the paired micro-benchmark measures the speedup against them.
+//
+// Do not modify — any fix belongs in the live codec in w32_probe.hpp.
+#pragma once
+
+#include <string>
+
+#include "labmon/ddc/w32_probe.hpp"
+
+namespace labmon::ddc {
+
+/// The original ostringstream-based formatter.
+[[nodiscard]] std::string LegacyFormatW32ProbeOutput(
+    const winsim::Machine& machine);
+
+/// The original Split + keyed-lookup parser.
+[[nodiscard]] util::Result<W32Sample> LegacyParseW32ProbeOutput(
+    const std::string& text);
+
+}  // namespace labmon::ddc

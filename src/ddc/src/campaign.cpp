@@ -9,7 +9,7 @@ namespace labmon::ddc {
 
 CampaignResult RunCampaign(winsim::Fleet& fleet, Probe& probe,
                            const CampaignConfig& config, util::SimTime start,
-                           const std::function<void(util::SimTime)>& advance) {
+                           util::FunctionRef<void(util::SimTime)> advance) {
   CampaignResult result;
   result.outputs.assign(fleet.size(), std::nullopt);
 

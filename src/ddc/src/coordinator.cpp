@@ -21,12 +21,12 @@ const std::vector<double> kOverrunBounds = {0.0,   60.0,   120.0,
 
 Coordinator::Coordinator(winsim::Fleet& fleet, Probe& probe,
                          CoordinatorConfig config, SampleSink& sink,
-                         std::function<void(util::SimTime)> advance)
+                         AdvanceFn advance)
     : fleet_(fleet),
       probe_(probe),
       config_(config),
       sink_(sink),
-      advance_(std::move(advance)),
+      advance_(advance),
       executor_(config.exec_policy, config.seed) {
   // Resolve instruments once: the probe loop must only touch cached
   // atomics, never the registry mutex or label strings.
@@ -99,9 +99,24 @@ void Coordinator::Tally(std::size_t machine_index,
 }
 
 ExecOutcome Coordinator::ExecuteOne(std::size_t machine_index,
-                                    util::SimTime t) {
+                                    util::SimTime t,
+                                    bool* structured_filled) {
   obs::Span span("executor.execute", config_.tracer);
-  ExecOutcome outcome = executor_.Execute(probe_, fleet_.machine(machine_index), t);
+  *structured_filled = false;
+  ExecOutcome outcome;
+  if (config_.structured_fast_path) {
+    // Deterministic 1-in-N cadence: every Nth structured success also
+    // renders the text so the sink can verify the codecs still agree.
+    const bool also_text =
+        config_.structured_crosscheck_period != 0 &&
+        structured_ok_ % config_.structured_crosscheck_period == 0;
+    outcome = executor_.ExecuteStructured(probe_, fleet_.machine(machine_index),
+                                          t, &scratch_, structured_filled,
+                                          also_text);
+    if (*structured_filled) ++structured_ok_;
+  } else {
+    outcome = executor_.Execute(probe_, fleet_.machine(machine_index), t);
+  }
   if (span.active()) {
     span.SetSimRange(
         t, t + static_cast<util::SimTime>(std::llround(outcome.latency_s)));
@@ -113,6 +128,7 @@ RunStats Coordinator::Run(util::SimTime start, util::SimTime end) {
   // Tallies are per-run; without this a second Run() would fold the first
   // run's counts into its RunStats.
   attempts_ = successes_ = timeouts_ = errors_ = 0;
+  structured_ok_ = 0;
 
   RunStats stats;
   double iteration_s_sum = 0.0;
@@ -168,7 +184,9 @@ util::SimTime Coordinator::RunIterationSequential(std::uint64_t iteration,
     sample.machine_index = i;
     sample.iteration = iteration;
     sample.attempt_time = now;
-    sample.outcome = ExecuteOne(i, now);
+    bool structured = false;
+    sample.outcome = ExecuteOne(i, now, &structured);
+    if (structured) sample.structured = &scratch_;
     Tally(i, sample.outcome);
     sink_.OnSample(sample);
     now += static_cast<util::SimTime>(
@@ -197,7 +215,9 @@ util::SimTime Coordinator::RunIterationParallel(std::uint64_t iteration,
     sample.machine_index = i;
     sample.iteration = iteration;
     sample.attempt_time = free_at;
-    sample.outcome = ExecuteOne(i, free_at);
+    bool structured = false;
+    sample.outcome = ExecuteOne(i, free_at, &structured);
+    if (structured) sample.structured = &scratch_;
     Tally(i, sample.outcome);
     sink_.OnSample(sample);
     const util::SimTime done =

@@ -2,43 +2,80 @@
 
 #include <algorithm>
 
+#include "labmon/ddc/w32_probe.hpp"
+
 namespace labmon::ddc {
 
 RemoteExecutor::RemoteExecutor(ExecPolicy policy, std::uint64_t seed)
     : policy_(policy), rng_(seed) {}
 
+namespace {
+
+/// Fills everything but the probe payload; returns true when the attempt
+/// succeeded and the probe should actually run. One function so Execute and
+/// ExecuteStructured draw from the RNG identically.
+bool TransportAttempt(const ExecPolicy& policy, util::Rng& rng,
+                      const winsim::Machine& machine, ExecOutcome* outcome) {
+  if (!machine.powered_on()) {
+    outcome->status = ExecOutcome::Status::kTimeout;
+    outcome->latency_s = std::max(
+        policy.offline_timeout_min_s,
+        rng.Normal(policy.offline_timeout_mean_s,
+                   policy.offline_timeout_sigma_s));
+    outcome->exit_code = -1;
+    outcome->stderr_text = "psexec: could not connect to " +
+                           machine.spec().name + ": timeout";
+    return false;
+  }
+  if (rng.Bernoulli(policy.transient_failure_prob)) {
+    outcome->status = ExecOutcome::Status::kError;
+    outcome->latency_s = std::max(
+        policy.success_latency_min_s,
+        rng.Normal(policy.success_latency_mean_s,
+                   policy.success_latency_sigma_s));
+    outcome->exit_code = 2;
+    outcome->stderr_text =
+        "psexec: RPC server busy on " + machine.spec().name;
+    return false;
+  }
+  outcome->status = ExecOutcome::Status::kOk;
+  outcome->latency_s = std::max(
+      policy.success_latency_min_s,
+      rng.Normal(policy.success_latency_mean_s,
+                 policy.success_latency_sigma_s));
+  outcome->exit_code = 0;
+  return true;
+}
+
+}  // namespace
+
 ExecOutcome RemoteExecutor::Execute(Probe& probe, winsim::Machine& machine,
                                     util::SimTime t) {
   ExecOutcome outcome;
-  if (!machine.powered_on()) {
-    outcome.status = ExecOutcome::Status::kTimeout;
-    outcome.latency_s = std::max(
-        policy_.offline_timeout_min_s,
-        rng_.Normal(policy_.offline_timeout_mean_s,
-                    policy_.offline_timeout_sigma_s));
-    outcome.exit_code = -1;
-    outcome.stderr_text = "psexec: could not connect to " +
-                          machine.spec().name + ": timeout";
-    return outcome;
+  if (TransportAttempt(policy_, rng_, machine, &outcome)) {
+    outcome.stdout_text = probe.Execute(machine, t);
   }
-  if (rng_.Bernoulli(policy_.transient_failure_prob)) {
-    outcome.status = ExecOutcome::Status::kError;
-    outcome.latency_s = std::max(
-        policy_.success_latency_min_s,
-        rng_.Normal(policy_.success_latency_mean_s,
-                    policy_.success_latency_sigma_s));
-    outcome.exit_code = 2;
-    outcome.stderr_text =
-        "psexec: RPC server busy on " + machine.spec().name;
-    return outcome;
+  return outcome;
+}
+
+ExecOutcome RemoteExecutor::ExecuteStructured(Probe& probe,
+                                              winsim::Machine& machine,
+                                              util::SimTime t,
+                                              W32Sample* structured_out,
+                                              bool* structured_filled,
+                                              bool also_text) {
+  *structured_filled = false;
+  ExecOutcome outcome;
+  if (!TransportAttempt(policy_, rng_, machine, &outcome)) return outcome;
+  if (structured_out != nullptr &&
+      probe.ExecuteInto(machine, t, structured_out)) {
+    *structured_filled = true;
+    // The cross-check cadence keeps the text codec continuously verified
+    // against the structured surface without paying for it on every sample.
+    if (also_text) outcome.stdout_text = probe.Execute(machine, t);
+  } else {
+    outcome.stdout_text = probe.Execute(machine, t);
   }
-  outcome.status = ExecOutcome::Status::kOk;
-  outcome.latency_s = std::max(
-      policy_.success_latency_min_s,
-      rng_.Normal(policy_.success_latency_mean_s,
-                  policy_.success_latency_sigma_s));
-  outcome.exit_code = 0;
-  outcome.stdout_text = probe.Execute(machine, t);
   return outcome;
 }
 

@@ -1,9 +1,10 @@
 #include "labmon/ddc/w32_probe.hpp"
 
 #include <cmath>
-#include <sstream>
+#include <cstdio>
+#include <limits>
 #include <string_view>
-#include <vector>
+#include <type_traits>
 
 #include "labmon/smart/attributes.hpp"
 #include "labmon/winsim/win32.hpp"
@@ -11,208 +12,583 @@
 
 namespace labmon::ddc {
 
-std::string W32Probe::Execute(winsim::Machine& machine, util::SimTime t) {
-  machine.AdvanceTo(t);
-  return FormatW32ProbeOutput(machine);
-}
-
-std::string FormatW32ProbeOutput(const winsim::Machine& machine) {
-  // Everything dynamic is read through the Win32-style facade — the same
-  // API surface the real probe called on Windows 2000 (§3.1).
-  namespace win32 = winsim::win32;
-  const auto& spec = machine.spec();
-
-  win32::SYSTEM_TIMEOFDAY_INFORMATION tod;
-  (void)win32::NtQuerySystemInformation(machine, &tod);
-  win32::SYSTEM_PERFORMANCE_INFORMATION perf;
-  (void)win32::NtQuerySystemInformation(machine, &perf);
-  win32::MEMORYSTATUS mem;
-  win32::GlobalMemoryStatus(machine, &mem);
-  win32::ULARGE_INTEGER free_avail{};
-  win32::ULARGE_INTEGER total{};
-  win32::ULARGE_INTEGER total_free{};
-  (void)win32::GetDiskFreeSpaceExA(machine, &free_avail, &total, &total_free);
-  win32::MIB_IFROW nic;
-  (void)win32::GetIfEntry(machine, &nic);
-  const auto& disk = machine.DiskSmartData();
-
-  std::ostringstream out;
-  out << "W32PROBE 1.2\n";
-  out << "host: " << spec.name << '\n';
-  out << "os: " << spec.os << '\n';
-  out << "cpu: " << spec.cpu_model << " @ "
-      << static_cast<int>(std::lround(spec.cpu_ghz * 1000.0)) << " MHz\n";
-  out << "ram_mb: " << mem.dwTotalPhys / (1024 * 1024) << '\n';
-  out << "swap_mb: " << mem.dwTotalPageFile / (1024 * 1024) << '\n';
-  out << "mac0: " << spec.mac << '\n';
-  out << "disk0_serial: " << spec.disk_serial << '\n';
-  out << "disk0_total_b: " << total.QuadPart << '\n';
-
-  out << "boot_time: " << tod.BootTime << '\n';
-  out << "uptime_s: " << tod.CurrentTime - tod.BootTime << '\n';
-  // The idle-thread counter is reported in 100 ns units by the kernel.
-  out << "cpu_idle_s: "
-      << util::FormatFixed(static_cast<double>(perf.IdleProcessTime) / 1e7, 2)
-      << '\n';
-  // dwMemoryLoad is an integer percentage.
-  out << "mem_load_pct: " << mem.dwMemoryLoad << '\n';
-  const auto swap_used = mem.dwTotalPageFile - mem.dwAvailPageFile;
-  out << "swap_load_pct: "
-      << static_cast<int>(std::lround(
-             mem.dwTotalPageFile
-                 ? 100.0 * static_cast<double>(swap_used) /
-                       static_cast<double>(mem.dwTotalPageFile)
-                 : 0.0))
-      << '\n';
-  out << "disk0_free_b: " << total_free.QuadPart << '\n';
-  out << "smart_power_on_hours: " << disk.PowerOnHours() << '\n';
-  out << "smart_power_cycles: " << disk.PowerCycles() << '\n';
-  out << "net_sent_b: " << nic.OutOctets64 << '\n';
-  out << "net_recv_b: " << nic.InOctets64 << '\n';
-  std::string user;
-  win32::LONGLONG logon = 0;
-  if (win32::WTSQuerySessionInformation(machine, &user, &logon) ==
-      win32::TRUE_) {
-    out << "session: " << user << ' ' << logon << '\n';
-  } else {
-    out << "session: none\n";
-  }
-  return out.str();
-}
-
 namespace {
 
-/// Field accumulator with mandatory-key tracking.
-class FieldMap {
- public:
-  void Put(std::string_view key, std::string_view value) {
-    keys_.emplace_back(key);
-    values_.emplace_back(value);
+// Direct digit rendering — the collect loop formats ~20 numbers per sample
+// and ostream/locale machinery was the dominant cost of the old formatter.
+void AppendUint(std::string& out, std::uint64_t v) {
+  char buf[20];
+  char* p = buf + sizeof buf;
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  out.append(p, static_cast<std::size_t>(buf + sizeof buf - p));
+}
+
+void AppendInt(std::string& out, std::int64_t v) {
+  if (v < 0) {
+    out.push_back('-');
+    AppendUint(out, static_cast<std::uint64_t>(-(v + 1)) + 1);
+  } else {
+    AppendUint(out, static_cast<std::uint64_t>(v));
   }
-  [[nodiscard]] const std::string* Find(std::string_view key) const {
-    for (std::size_t i = 0; i < keys_.size(); ++i) {
-      if (keys_[i] == key) return &values_[i];
+}
+
+// Exact "%.2f" of `v` as integer hundredths, matching glibc printf bit for
+// bit: v*100 is exact in an extended long double (53 significand bits + 7
+// for the factor 100 fit in 64), so the floor and the halfway comparison
+// are exact, and ties round to even just like a correctly-rounded printf.
+// Returns false outside the envelope (negative, huge, no 64-bit extended
+// type) — callers then fall back to snprintf.
+[[nodiscard]] bool Fixed2Hundredths(double v, std::uint64_t* out) noexcept {
+  if (std::numeric_limits<long double>::digits < 60) return false;
+  if (!(v >= 0.0) || v >= 9.0e13) return false;  // keeps h exact as double
+  const long double scaled = static_cast<long double>(v) * 100.0L;
+  const long double whole = std::floor(scaled);
+  std::uint64_t h = static_cast<std::uint64_t>(whole);
+  const long double frac = scaled - whole;
+  if (frac > 0.5L || (frac == 0.5L && (h & 1))) ++h;
+  *out = h;
+  return true;
+}
+
+void AppendFixed2(std::string& out, double v) {
+  std::uint64_t h;
+  if (Fixed2Hundredths(v, &h)) {
+    AppendUint(out, h / 100);
+    out.push_back('.');
+    out.push_back(static_cast<char>('0' + (h / 10) % 10));
+    out.push_back(static_cast<char>('0' + h % 10));
+    return;
+  }
+  char buf[64];
+  const int n = std::snprintf(buf, sizeof buf, "%.2f", v);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+// Decimal int64 parse for the hot parser: the general util::ParseInt64
+// funnels through strtoll (locale machinery + errno TLS + a buffer copy)
+// and dominated the per-sample parse cost at ~15 calls each. Input is
+// already trimmed; grammar matches strtoll base-10 on trimmed text:
+// optional sign, one-plus digits, whole string, overflow rejected.
+[[nodiscard]] std::optional<std::int64_t> ParseDecInt64(
+    std::string_view text) noexcept {
+  std::size_t i = 0;
+  bool negative = false;
+  if (!text.empty() && (text[0] == '+' || text[0] == '-')) {
+    negative = text[0] == '-';
+    i = 1;
+  }
+  if (i == text.size()) return std::nullopt;
+  const std::uint64_t limit = negative ? (1ull << 63) : (1ull << 63) - 1;
+  std::uint64_t magnitude = 0;
+  for (; i < text.size(); ++i) {
+    const unsigned digit = static_cast<unsigned char>(text[i]) - '0';
+    if (digit > 9) return std::nullopt;
+    if (magnitude > (limit - digit) / 10) return std::nullopt;
+    magnitude = magnitude * 10 + digit;
+  }
+  return negative ? -static_cast<std::int64_t>(magnitude - 1) - 1
+                  : static_cast<std::int64_t>(magnitude);
+}
+
+// cpu_idle_s parse. The wire always renders "%.2f", so the common shape is
+// digits '.' two digits: accumulate it as integer hundredths and divide by
+// 100.0 — both that division and strtod produce the double nearest to the
+// same decimal value, so the bits are identical (hundredths stay well under
+// 2^53, hence exact). Anything else falls back to the general strtod path.
+[[nodiscard]] std::optional<double> ParseIdleSeconds(
+    std::string_view text) noexcept {
+  const auto dot = text.find('.');
+  if (dot != std::string_view::npos && dot >= 1 && dot <= 13 &&
+      dot + 3 == text.size()) {
+    std::uint64_t hundredths = 0;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      if (i == dot) continue;
+      const unsigned digit = static_cast<unsigned char>(text[i]) - '0';
+      if (digit > 9) return util::ParseDouble(text);
+      hundredths = hundredths * 10 + digit;
     }
-    return nullptr;
+    return static_cast<double>(hundredths) / 100.0;
+  }
+  return util::ParseDouble(text);
+}
+
+/// One facade sweep shared by the text formatter and the structured fill so
+/// both read the machine through the identical Win32 surface.
+struct ProbeReadout {
+  winsim::win32::SYSTEM_TIMEOFDAY_INFORMATION tod;
+  winsim::win32::SYSTEM_PERFORMANCE_INFORMATION perf;
+  winsim::win32::MEMORYSTATUS mem;
+  winsim::win32::ULARGE_INTEGER total{};
+  winsim::win32::ULARGE_INTEGER total_free{};
+  winsim::win32::MIB_IFROW nic;
+  std::uint64_t smart_hours = 0;
+  std::uint64_t smart_cycles = 0;
+  std::string session_user;
+  winsim::win32::LONGLONG session_logon = 0;
+  bool has_session = false;
+
+  explicit ProbeReadout(const winsim::Machine& machine) {
+    namespace win32 = winsim::win32;
+    (void)win32::NtQuerySystemInformation(machine, &tod);
+    (void)win32::NtQuerySystemInformation(machine, &perf);
+    win32::GlobalMemoryStatus(machine, &mem);
+    win32::ULARGE_INTEGER free_avail{};
+    (void)win32::GetDiskFreeSpaceExA(machine, &free_avail, &total,
+                                     &total_free);
+    (void)win32::GetIfEntry(machine, &nic);
+    const auto& disk = machine.DiskSmartData();
+    smart_hours = disk.PowerOnHours();
+    smart_cycles = disk.PowerCycles();
+    has_session = win32::WTSQuerySessionInformation(
+                      machine, &session_user, &session_logon) == win32::TRUE_;
   }
 
- private:
-  std::vector<std::string> keys_;
-  std::vector<std::string> values_;
+  [[nodiscard]] int SwapLoadPct() const noexcept {
+    const auto swap_used = mem.dwTotalPageFile - mem.dwAvailPageFile;
+    return static_cast<int>(std::lround(
+        mem.dwTotalPageFile
+            ? 100.0 * static_cast<double>(swap_used) /
+                  static_cast<double>(mem.dwTotalPageFile)
+            : 0.0));
+  }
 };
 
 }  // namespace
 
-util::Result<W32Sample> ParseW32ProbeOutput(const std::string& text) {
-  using R = util::Result<W32Sample>;
-  const auto lines = util::Split(text, '\n');
-  if (lines.empty() || util::Trim(lines.front()) != "W32PROBE 1.2") {
-    return R::Err("missing W32PROBE banner");
+std::string W32Probe::Execute(winsim::Machine& machine, util::SimTime t) {
+  machine.AdvanceTo(t);
+  std::string out;
+  out.reserve(512);
+  FormatW32ProbeOutput(machine, out);
+  return out;
+}
+
+bool W32Probe::ExecuteInto(winsim::Machine& machine, util::SimTime t,
+                           W32Sample* out) {
+  machine.AdvanceTo(t);
+  FillW32Sample(machine, out);
+  return true;
+}
+
+void FormatW32ProbeOutput(const winsim::Machine& machine, std::string& out) {
+  // Everything dynamic is read through the Win32-style facade — the same
+  // API surface the real probe called on Windows 2000 (§3.1).
+  const auto& spec = machine.spec();
+  const ProbeReadout r(machine);
+
+  out += "W32PROBE 1.2\nhost: ";
+  out += spec.name;
+  out += "\nos: ";
+  out += spec.os;
+  out += "\ncpu: ";
+  out += spec.cpu_model;
+  out += " @ ";
+  AppendInt(out, std::lround(spec.cpu_ghz * 1000.0));
+  out += " MHz\nram_mb: ";
+  AppendUint(out, r.mem.dwTotalPhys / (1024 * 1024));
+  out += "\nswap_mb: ";
+  AppendUint(out, r.mem.dwTotalPageFile / (1024 * 1024));
+  out += "\nmac0: ";
+  out += spec.mac;
+  out += "\ndisk0_serial: ";
+  out += spec.disk_serial;
+  out += "\ndisk0_total_b: ";
+  AppendUint(out, r.total.QuadPart);
+  out += "\nboot_time: ";
+  AppendInt(out, r.tod.BootTime);
+  out += "\nuptime_s: ";
+  AppendInt(out, r.tod.CurrentTime - r.tod.BootTime);
+  // The idle-thread counter is reported in 100 ns units by the kernel.
+  out += "\ncpu_idle_s: ";
+  AppendFixed2(out, static_cast<double>(r.perf.IdleProcessTime) / 1e7);
+  // dwMemoryLoad is an integer percentage.
+  out += "\nmem_load_pct: ";
+  AppendUint(out, r.mem.dwMemoryLoad);
+  out += "\nswap_load_pct: ";
+  AppendInt(out, r.SwapLoadPct());
+  out += "\ndisk0_free_b: ";
+  AppendUint(out, r.total_free.QuadPart);
+  out += "\nsmart_power_on_hours: ";
+  AppendUint(out, r.smart_hours);
+  out += "\nsmart_power_cycles: ";
+  AppendUint(out, r.smart_cycles);
+  out += "\nnet_sent_b: ";
+  AppendUint(out, r.nic.OutOctets64);
+  out += "\nnet_recv_b: ";
+  AppendUint(out, r.nic.InOctets64);
+  if (r.has_session) {
+    out += "\nsession: ";
+    out += r.session_user;
+    out.push_back(' ');
+    AppendInt(out, r.session_logon);
+    out.push_back('\n');
+  } else {
+    out += "\nsession: none\n";
   }
-  FieldMap fields;
-  for (std::size_t i = 1; i < lines.size(); ++i) {
-    const std::string_view line = util::Trim(lines[i]);
+}
+
+std::string FormatW32ProbeOutput(const winsim::Machine& machine) {
+  std::string out;
+  out.reserve(512);
+  FormatW32ProbeOutput(machine, out);
+  return out;
+}
+
+void FillW32Sample(const winsim::Machine& machine, W32Sample* s) {
+  const auto& spec = machine.spec();
+  const ProbeReadout r(machine);
+
+  s->host = spec.name;
+  s->os = spec.os;
+  s->cpu_model = spec.cpu_model;
+  s->cpu_mhz = static_cast<int>(std::lround(spec.cpu_ghz * 1000.0));
+  s->ram_mb = static_cast<int>(r.mem.dwTotalPhys / (1024 * 1024));
+  s->swap_mb = static_cast<int>(r.mem.dwTotalPageFile / (1024 * 1024));
+  s->disk_serial = spec.disk_serial;
+  s->disk_total_b = r.total.QuadPart;
+  s->mac = spec.mac;
+  s->boot_time = r.tod.BootTime;
+  s->uptime_s = r.tod.CurrentTime - r.tod.BootTime;
+  // Quantise the one double through the same exact "%.2f" hundredths the
+  // text codec renders, so a structured sample is bit-identical to parsing
+  // the formatted text — not merely close.
+  const double idle_raw = static_cast<double>(r.perf.IdleProcessTime) / 1e7;
+  std::uint64_t idle_h;
+  if (Fixed2Hundredths(idle_raw, &idle_h)) {
+    // Same double ParseIdleSeconds reconstructs from the printed digits.
+    s->cpu_idle_s = static_cast<double>(idle_h) / 100.0;
+  } else {
+    char idle[64];
+    const int idle_len = std::snprintf(idle, sizeof idle, "%.2f", idle_raw);
+    s->cpu_idle_s =
+        idle_len > 0
+            ? ParseIdleSeconds({idle, static_cast<std::size_t>(idle_len)})
+                  .value_or(0.0)
+            : 0.0;
+  }
+  s->mem_load_pct = static_cast<int>(r.mem.dwMemoryLoad);
+  s->swap_load_pct = r.SwapLoadPct();
+  s->disk_free_b = r.total_free.QuadPart;
+  s->smart_power_on_hours = r.smart_hours;
+  s->smart_power_cycles = r.smart_cycles;
+  s->net_sent_b = r.nic.OutOctets64;
+  s->net_recv_b = r.nic.InOctets64;
+  if (r.has_session) {
+    s->session_user = r.session_user;
+    s->session_logon_time = r.session_logon;
+  } else {
+    s->session_user.reset();
+    s->session_logon_time = 0;
+  }
+}
+
+namespace {
+
+// Keys in the exact order the formatter emits them. The parser predicts the
+// next key from this table, so well-formed probe output resolves each line
+// with a single comparison; reordered or foreign lines fall back to a full
+// lookup with the same tolerance as the legacy parser.
+enum KeyId : int {
+  kIdHost = 0,
+  kIdOs,
+  kIdCpu,
+  kIdRamMb,
+  kIdSwapMb,
+  kIdMac,
+  kIdDiskSerial,
+  kIdDiskTotal,
+  kIdBootTime,
+  kIdUptime,
+  kIdCpuIdle,
+  kIdMemLoad,
+  kIdSwapLoad,
+  kIdDiskFree,
+  kIdSmartHours,
+  kIdSmartCycles,
+  kIdNetSent,
+  kIdNetRecv,
+  kIdSession,
+  kIdCount,
+};
+
+constexpr std::string_view kWireKeys[kIdCount] = {
+    "host",          "os",
+    "cpu",           "ram_mb",
+    "swap_mb",       "mac0",
+    "disk0_serial",  "disk0_total_b",
+    "boot_time",     "uptime_s",
+    "cpu_idle_s",    "mem_load_pct",
+    "swap_load_pct", "disk0_free_b",
+    "smart_power_on_hours", "smart_power_cycles",
+    "net_sent_b",    "net_recv_b",
+    "session"};
+
+[[nodiscard]] int LookupKeyId(std::string_view key) noexcept {
+  for (int id = 0; id < kIdCount; ++id) {
+    if (key == kWireKeys[id]) return id;
+  }
+  return -1;
+}
+
+}  // namespace
+
+util::Result<bool> ParseW32ProbeOutput(std::string_view text, W32Sample* out) {
+  using R = util::Result<bool>;
+  W32Sample& s = *out;
+
+  // Reset to fresh-sample defaults while keeping the string capacity, so a
+  // reused scratch sample makes the steady-state parse allocation-free.
+  s.host.clear();
+  s.os.clear();
+  s.cpu_model.clear();
+  s.cpu_mhz = 0;
+  s.ram_mb = 0;
+  s.swap_mb = 0;
+  s.disk_serial.clear();
+  s.disk_total_b = 0;
+  s.mac.clear();
+  s.boot_time = 0;
+  s.uptime_s = 0;
+  s.cpu_idle_s = 0.0;
+  s.mem_load_pct = 0;
+  s.swap_load_pct = 0;
+  s.disk_free_b = 0;
+  s.smart_power_on_hours = 0;
+  s.smart_power_cycles = 0;
+  s.net_sent_b = 0;
+  s.net_recv_b = 0;
+  s.session_user.reset();
+  s.session_logon_time = 0;
+
+  // Presence bits; mandatory-field validation after the scan reproduces the
+  // legacy parser's error order.
+  enum : std::uint32_t {
+    kHost = 1u << 0,
+    kOs = 1u << 1,
+    kCpu = 1u << 2,
+    kMac = 1u << 3,
+    kDiskSerial = 1u << 4,
+    kRamMb = 1u << 5,
+    kSwapMb = 1u << 6,
+    kBootTime = 1u << 7,
+    kUptime = 1u << 8,
+    kCpuIdle = 1u << 9,
+    kMemLoad = 1u << 10,
+    kSwapLoad = 1u << 11,
+    kDiskTotal = 1u << 12,
+    kDiskFree = 1u << 13,
+    kSmartHours = 1u << 14,
+    kSmartCycles = 1u << 15,
+    kNetSent = 1u << 16,
+    kNetRecv = 1u << 17,
+    kSession = 1u << 18,
+  };
+  std::uint32_t seen = 0;
+
+  const auto garbled = [](std::string_view key) {
+    return R::Err("missing/garbled field: " + std::string(key));
+  };
+  // Duplicated keys: the first occurrence wins, later ones are ignored
+  // entirely (even if garbled) — the legacy FieldMap behaviour.
+  const auto take_int = [&](std::uint32_t bit, std::string_view value,
+                            auto* out) -> bool {
+    if (seen & bit) return true;
+    const auto parsed = ParseDecInt64(value);
+    if (!parsed) return false;
+    *out = static_cast<std::remove_reference_t<decltype(*out)>>(*parsed);
+    seen |= bit;
+    return true;
+  };
+  const auto take_u64 = [&](std::uint32_t bit, std::string_view value,
+                            std::uint64_t* out) -> bool {
+    if (seen & bit) return true;
+    const auto parsed = ParseDecInt64(value);
+    if (!parsed || *parsed < 0) return false;
+    *out = static_cast<std::uint64_t>(*parsed);
+    seen |= bit;
+    return true;
+  };
+
+  std::size_t pos = 0;
+  bool banner_checked = false;
+  int next_key = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::size_t end = nl == std::string_view::npos ? text.size() : nl;
+    const std::string_view line = util::Trim(text.substr(pos, end - pos));
+    pos = end + 1;
+
+    if (!banner_checked) {
+      if (line != "W32PROBE 1.2") return R::Err("missing W32PROBE banner");
+      banner_checked = true;
+      continue;
+    }
     if (line.empty()) continue;
     const auto colon = line.find(':');
     if (colon == std::string_view::npos) {
       return R::Err("malformed line: " + std::string(line));
     }
-    fields.Put(util::Trim(line.substr(0, colon)),
-               util::Trim(line.substr(colon + 1)));
+    const std::string_view key = util::Trim(line.substr(0, colon));
+    const std::string_view value = util::Trim(line.substr(colon + 1));
+
+    int id;
+    if (next_key < kIdCount && key == kWireKeys[next_key]) {
+      id = next_key++;
+    } else {
+      id = LookupKeyId(key);
+      if (id >= 0) next_key = id + 1;
+    }
+
+    switch (id) {
+      case kIdHost:
+        if (!(seen & kHost)) {
+          s.host.assign(value);
+          seen |= kHost;
+        }
+        break;
+      case kIdOs:
+        if (!(seen & kOs)) {
+          s.os.assign(value);
+          seen |= kOs;
+        }
+        break;
+      case kIdCpu:
+        if (!(seen & kCpu)) {
+          seen |= kCpu;
+          s.cpu_model.assign(value);
+          const auto at = value.find('@');
+          if (at != std::string_view::npos) {
+            s.cpu_model.assign(util::Trim(value.substr(0, at)));
+            const std::string_view mhz_text = value.substr(at + 1);
+            const auto mhz_end = mhz_text.find("MHz");
+            if (const auto mhz =
+                    ParseDecInt64(util::Trim(mhz_text.substr(0, mhz_end)))) {
+              s.cpu_mhz = static_cast<int>(*mhz);
+            }
+          }
+        }
+        break;
+      case kIdMac:
+        if (!(seen & kMac)) {
+          s.mac.assign(value);
+          seen |= kMac;
+        }
+        break;
+      case kIdDiskSerial:
+        if (!(seen & kDiskSerial)) {
+          s.disk_serial.assign(value);
+          seen |= kDiskSerial;
+        }
+        break;
+      case kIdRamMb:
+        if (!take_int(kRamMb, value, &s.ram_mb)) return garbled("ram_mb");
+        break;
+      case kIdSwapMb:
+        if (!take_int(kSwapMb, value, &s.swap_mb)) return garbled("swap_mb");
+        break;
+      case kIdBootTime:
+        if (!take_int(kBootTime, value, &s.boot_time)) {
+          return garbled("boot_time");
+        }
+        break;
+      case kIdUptime:
+        if (!take_int(kUptime, value, &s.uptime_s)) return garbled("uptime_s");
+        break;
+      case kIdCpuIdle:
+        if (!(seen & kCpuIdle)) {
+          const auto idle = ParseIdleSeconds(value);
+          if (!idle) return R::Err("garbled field: cpu_idle_s");
+          s.cpu_idle_s = *idle;
+          seen |= kCpuIdle;
+        }
+        break;
+      case kIdMemLoad:
+        if (!take_int(kMemLoad, value, &s.mem_load_pct)) {
+          return garbled("mem_load_pct");
+        }
+        break;
+      case kIdSwapLoad:
+        if (!take_int(kSwapLoad, value, &s.swap_load_pct)) {
+          return garbled("swap_load_pct");
+        }
+        break;
+      case kIdDiskTotal:
+        if (!take_u64(kDiskTotal, value, &s.disk_total_b)) {
+          return garbled("disk0_total_b");
+        }
+        break;
+      case kIdDiskFree:
+        if (!take_u64(kDiskFree, value, &s.disk_free_b)) {
+          return garbled("disk0_free_b");
+        }
+        break;
+      case kIdSmartHours:
+        if (!take_u64(kSmartHours, value, &s.smart_power_on_hours)) {
+          return garbled("smart_power_on_hours");
+        }
+        break;
+      case kIdSmartCycles:
+        if (!take_u64(kSmartCycles, value, &s.smart_power_cycles)) {
+          return garbled("smart_power_cycles");
+        }
+        break;
+      case kIdNetSent:
+        if (!take_u64(kNetSent, value, &s.net_sent_b)) {
+          return garbled("net_sent_b");
+        }
+        break;
+      case kIdNetRecv:
+        if (!take_u64(kNetRecv, value, &s.net_recv_b)) {
+          return garbled("net_recv_b");
+        }
+        break;
+      case kIdSession:
+        if (!(seen & kSession)) {
+          seen |= kSession;
+          if (value != "none") {
+            const auto space = value.find(' ');
+            if (space == std::string_view::npos ||
+                value.find(' ', space + 1) != std::string_view::npos) {
+              return R::Err("garbled session field");
+            }
+            const auto logon = ParseDecInt64(value.substr(space + 1));
+            if (!logon) return R::Err("garbled session logon time");
+            s.session_user.emplace(value.substr(0, space));
+            s.session_logon_time = *logon;
+          }
+        }
+        break;
+      default:
+        // Unknown keys are tolerated, exactly like the legacy parser.
+        break;
+    }
   }
 
+  if (!(seen & kHost)) return R::Err("missing field: host");
+  if (!(seen & kRamMb)) return garbled("ram_mb");
+  if (!(seen & kSwapMb)) return garbled("swap_mb");
+  if (!(seen & kBootTime)) return garbled("boot_time");
+  if (!(seen & kUptime)) return garbled("uptime_s");
+  if (!(seen & kCpuIdle)) return R::Err("missing field: cpu_idle_s");
+  if (!(seen & kMemLoad)) return garbled("mem_load_pct");
+  if (!(seen & kSwapLoad)) return garbled("swap_load_pct");
+  if (!(seen & kDiskTotal)) return garbled("disk0_total_b");
+  if (!(seen & kDiskFree)) return garbled("disk0_free_b");
+  if (!(seen & kSmartHours)) return garbled("smart_power_on_hours");
+  if (!(seen & kSmartCycles)) return garbled("smart_power_cycles");
+  if (!(seen & kNetSent)) return garbled("net_sent_b");
+  if (!(seen & kNetRecv)) return garbled("net_recv_b");
+  if (!(seen & kSession)) return R::Err("missing field: session");
+  return true;
+}
+
+util::Result<W32Sample> ParseW32ProbeOutput(std::string_view text) {
   W32Sample s;
-  const auto need = [&](const char* key) -> const std::string* {
-    return fields.Find(key);
-  };
-  const auto need_i64 = [&](const char* key,
-                            std::int64_t& out) -> const char* {
-    const std::string* v = need(key);
-    if (!v) return key;
-    const auto parsed = util::ParseInt64(*v);
-    if (!parsed) return key;
-    out = *parsed;
-    return nullptr;
-  };
-  const auto need_u64 = [&](const char* key,
-                            std::uint64_t& out) -> const char* {
-    std::int64_t tmp = 0;
-    const char* err = need_i64(key, tmp);
-    if (err || tmp < 0) return key;
-    out = static_cast<std::uint64_t>(tmp);
-    return nullptr;
-  };
-
-  const std::string* host = need("host");
-  if (!host) return R::Err("missing field: host");
-  s.host = *host;
-  if (const std::string* os = need("os")) s.os = *os;
-  if (const std::string* cpu = need("cpu")) {
-    s.cpu_model = *cpu;
-    const auto at = cpu->find('@');
-    if (at != std::string::npos) {
-      s.cpu_model = std::string(util::Trim(cpu->substr(0, at)));
-      const auto mhz_text = cpu->substr(at + 1);
-      const auto mhz_end = mhz_text.find("MHz");
-      if (const auto mhz = util::ParseInt64(
-              util::Trim(mhz_text.substr(0, mhz_end)))) {
-        s.cpu_mhz = static_cast<int>(*mhz);
-      }
-    }
-  }
-  if (const std::string* v = need("mac0")) s.mac = *v;
-  if (const std::string* v = need("disk0_serial")) s.disk_serial = *v;
-
-  std::int64_t tmp = 0;
-  for (const char* key : {"ram_mb", "swap_mb"}) {
-    if (const char* err = need_i64(key, tmp)) {
-      return R::Err(std::string("missing/garbled field: ") + err);
-    }
-    if (std::string_view(key) == "ram_mb") s.ram_mb = static_cast<int>(tmp);
-    if (std::string_view(key) == "swap_mb") s.swap_mb = static_cast<int>(tmp);
-  }
-
-  if (const char* err = need_i64("boot_time", s.boot_time)) {
-    return R::Err(std::string("missing/garbled field: ") + err);
-  }
-  if (const char* err = need_i64("uptime_s", s.uptime_s)) {
-    return R::Err(std::string("missing/garbled field: ") + err);
-  }
-  const std::string* idle = need("cpu_idle_s");
-  if (!idle) return R::Err("missing field: cpu_idle_s");
-  const auto idle_parsed = util::ParseDouble(*idle);
-  if (!idle_parsed) return R::Err("garbled field: cpu_idle_s");
-  s.cpu_idle_s = *idle_parsed;
-
-  if (const char* err = need_i64("mem_load_pct", tmp)) {
-    return R::Err(std::string("missing/garbled field: ") + err);
-  }
-  s.mem_load_pct = static_cast<int>(tmp);
-  if (const char* err = need_i64("swap_load_pct", tmp)) {
-    return R::Err(std::string("missing/garbled field: ") + err);
-  }
-  s.swap_load_pct = static_cast<int>(tmp);
-
-  for (const char* err :
-       {need_u64("disk0_total_b", s.disk_total_b),
-        need_u64("disk0_free_b", s.disk_free_b),
-        need_u64("smart_power_on_hours", s.smart_power_on_hours),
-        need_u64("smart_power_cycles", s.smart_power_cycles),
-        need_u64("net_sent_b", s.net_sent_b),
-        need_u64("net_recv_b", s.net_recv_b)}) {
-    if (err) return R::Err(std::string("missing/garbled field: ") + err);
-  }
-
-  const std::string* session = need("session");
-  if (!session) return R::Err("missing field: session");
-  if (*session != "none") {
-    const auto parts = util::Split(*session, ' ');
-    if (parts.size() != 2) return R::Err("garbled session field");
-    const auto logon = util::ParseInt64(parts[1]);
-    if (!logon) return R::Err("garbled session logon time");
-    s.session_user = parts[0];
-    s.session_logon_time = *logon;
-  }
+  const auto parsed = ParseW32ProbeOutput(text, &s);
+  if (!parsed.ok()) return util::Result<W32Sample>::Err(parsed.error());
   return s;
 }
 

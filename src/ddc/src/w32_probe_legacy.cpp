@@ -1,0 +1,216 @@
+// Frozen copy of the pre-optimisation W32Probe codec (see header). The code
+// below is the original implementation verbatim, with the functions renamed.
+#include "labmon/ddc/w32_probe_legacy.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "labmon/smart/attributes.hpp"
+#include "labmon/winsim/win32.hpp"
+#include "labmon/util/strings.hpp"
+
+namespace labmon::ddc {
+
+std::string LegacyFormatW32ProbeOutput(const winsim::Machine& machine) {
+  // Everything dynamic is read through the Win32-style facade — the same
+  // API surface the real probe called on Windows 2000 (§3.1).
+  namespace win32 = winsim::win32;
+  const auto& spec = machine.spec();
+
+  win32::SYSTEM_TIMEOFDAY_INFORMATION tod;
+  (void)win32::NtQuerySystemInformation(machine, &tod);
+  win32::SYSTEM_PERFORMANCE_INFORMATION perf;
+  (void)win32::NtQuerySystemInformation(machine, &perf);
+  win32::MEMORYSTATUS mem;
+  win32::GlobalMemoryStatus(machine, &mem);
+  win32::ULARGE_INTEGER free_avail{};
+  win32::ULARGE_INTEGER total{};
+  win32::ULARGE_INTEGER total_free{};
+  (void)win32::GetDiskFreeSpaceExA(machine, &free_avail, &total, &total_free);
+  win32::MIB_IFROW nic;
+  (void)win32::GetIfEntry(machine, &nic);
+  const auto& disk = machine.DiskSmartData();
+
+  std::ostringstream out;
+  out << "W32PROBE 1.2\n";
+  out << "host: " << spec.name << '\n';
+  out << "os: " << spec.os << '\n';
+  out << "cpu: " << spec.cpu_model << " @ "
+      << static_cast<int>(std::lround(spec.cpu_ghz * 1000.0)) << " MHz\n";
+  out << "ram_mb: " << mem.dwTotalPhys / (1024 * 1024) << '\n';
+  out << "swap_mb: " << mem.dwTotalPageFile / (1024 * 1024) << '\n';
+  out << "mac0: " << spec.mac << '\n';
+  out << "disk0_serial: " << spec.disk_serial << '\n';
+  out << "disk0_total_b: " << total.QuadPart << '\n';
+
+  out << "boot_time: " << tod.BootTime << '\n';
+  out << "uptime_s: " << tod.CurrentTime - tod.BootTime << '\n';
+  // The idle-thread counter is reported in 100 ns units by the kernel.
+  out << "cpu_idle_s: "
+      << util::FormatFixed(static_cast<double>(perf.IdleProcessTime) / 1e7, 2)
+      << '\n';
+  // dwMemoryLoad is an integer percentage.
+  out << "mem_load_pct: " << mem.dwMemoryLoad << '\n';
+  const auto swap_used = mem.dwTotalPageFile - mem.dwAvailPageFile;
+  out << "swap_load_pct: "
+      << static_cast<int>(std::lround(
+             mem.dwTotalPageFile
+                 ? 100.0 * static_cast<double>(swap_used) /
+                       static_cast<double>(mem.dwTotalPageFile)
+                 : 0.0))
+      << '\n';
+  out << "disk0_free_b: " << total_free.QuadPart << '\n';
+  out << "smart_power_on_hours: " << disk.PowerOnHours() << '\n';
+  out << "smart_power_cycles: " << disk.PowerCycles() << '\n';
+  out << "net_sent_b: " << nic.OutOctets64 << '\n';
+  out << "net_recv_b: " << nic.InOctets64 << '\n';
+  std::string user;
+  win32::LONGLONG logon = 0;
+  if (win32::WTSQuerySessionInformation(machine, &user, &logon) ==
+      win32::TRUE_) {
+    out << "session: " << user << ' ' << logon << '\n';
+  } else {
+    out << "session: none\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+/// Field accumulator with mandatory-key tracking.
+class FieldMap {
+ public:
+  void Put(std::string_view key, std::string_view value) {
+    keys_.emplace_back(key);
+    values_.emplace_back(value);
+  }
+  [[nodiscard]] const std::string* Find(std::string_view key) const {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] == key) return &values_[i];
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<std::string> keys_;
+  std::vector<std::string> values_;
+};
+
+}  // namespace
+
+util::Result<W32Sample> LegacyParseW32ProbeOutput(const std::string& text) {
+  using R = util::Result<W32Sample>;
+  const auto lines = util::Split(text, '\n');
+  if (lines.empty() || util::Trim(lines.front()) != "W32PROBE 1.2") {
+    return R::Err("missing W32PROBE banner");
+  }
+  FieldMap fields;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view line = util::Trim(lines[i]);
+    if (line.empty()) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return R::Err("malformed line: " + std::string(line));
+    }
+    fields.Put(util::Trim(line.substr(0, colon)),
+               util::Trim(line.substr(colon + 1)));
+  }
+
+  W32Sample s;
+  const auto need = [&](const char* key) -> const std::string* {
+    return fields.Find(key);
+  };
+  const auto need_i64 = [&](const char* key,
+                            std::int64_t& out) -> const char* {
+    const std::string* v = need(key);
+    if (!v) return key;
+    const auto parsed = util::ParseInt64(*v);
+    if (!parsed) return key;
+    out = *parsed;
+    return nullptr;
+  };
+  const auto need_u64 = [&](const char* key,
+                            std::uint64_t& out) -> const char* {
+    std::int64_t tmp = 0;
+    const char* err = need_i64(key, tmp);
+    if (err || tmp < 0) return key;
+    out = static_cast<std::uint64_t>(tmp);
+    return nullptr;
+  };
+
+  const std::string* host = need("host");
+  if (!host) return R::Err("missing field: host");
+  s.host = *host;
+  if (const std::string* os = need("os")) s.os = *os;
+  if (const std::string* cpu = need("cpu")) {
+    s.cpu_model = *cpu;
+    const auto at = cpu->find('@');
+    if (at != std::string::npos) {
+      s.cpu_model = std::string(util::Trim(cpu->substr(0, at)));
+      const auto mhz_text = cpu->substr(at + 1);
+      const auto mhz_end = mhz_text.find("MHz");
+      if (const auto mhz = util::ParseInt64(
+              util::Trim(mhz_text.substr(0, mhz_end)))) {
+        s.cpu_mhz = static_cast<int>(*mhz);
+      }
+    }
+  }
+  if (const std::string* v = need("mac0")) s.mac = *v;
+  if (const std::string* v = need("disk0_serial")) s.disk_serial = *v;
+
+  std::int64_t tmp = 0;
+  for (const char* key : {"ram_mb", "swap_mb"}) {
+    if (const char* err = need_i64(key, tmp)) {
+      return R::Err(std::string("missing/garbled field: ") + err);
+    }
+    if (std::string_view(key) == "ram_mb") s.ram_mb = static_cast<int>(tmp);
+    if (std::string_view(key) == "swap_mb") s.swap_mb = static_cast<int>(tmp);
+  }
+
+  if (const char* err = need_i64("boot_time", s.boot_time)) {
+    return R::Err(std::string("missing/garbled field: ") + err);
+  }
+  if (const char* err = need_i64("uptime_s", s.uptime_s)) {
+    return R::Err(std::string("missing/garbled field: ") + err);
+  }
+  const std::string* idle = need("cpu_idle_s");
+  if (!idle) return R::Err("missing field: cpu_idle_s");
+  const auto idle_parsed = util::ParseDouble(*idle);
+  if (!idle_parsed) return R::Err("garbled field: cpu_idle_s");
+  s.cpu_idle_s = *idle_parsed;
+
+  if (const char* err = need_i64("mem_load_pct", tmp)) {
+    return R::Err(std::string("missing/garbled field: ") + err);
+  }
+  s.mem_load_pct = static_cast<int>(tmp);
+  if (const char* err = need_i64("swap_load_pct", tmp)) {
+    return R::Err(std::string("missing/garbled field: ") + err);
+  }
+  s.swap_load_pct = static_cast<int>(tmp);
+
+  for (const char* err :
+       {need_u64("disk0_total_b", s.disk_total_b),
+        need_u64("disk0_free_b", s.disk_free_b),
+        need_u64("smart_power_on_hours", s.smart_power_on_hours),
+        need_u64("smart_power_cycles", s.smart_power_cycles),
+        need_u64("net_sent_b", s.net_sent_b),
+        need_u64("net_recv_b", s.net_recv_b)}) {
+    if (err) return R::Err(std::string("missing/garbled field: ") + err);
+  }
+
+  const std::string* session = need("session");
+  if (!session) return R::Err("missing field: session");
+  if (*session != "none") {
+    const auto parts = util::Split(*session, ' ');
+    if (parts.size() != 2) return R::Err("garbled session field");
+    const auto logon = util::ParseInt64(parts[1]);
+    if (!logon) return R::Err("garbled session logon time");
+    s.session_user = parts[0];
+    s.session_logon_time = *logon;
+  }
+  return s;
+}
+
+}  // namespace labmon::ddc

@@ -22,10 +22,25 @@ class TraceStoreSink final : public ddc::SampleSink {
   [[nodiscard]] std::uint64_t parse_failures() const noexcept {
     return parse_failures_;
   }
+  /// Structured fast-path samples whose cross-check text parse disagreed
+  /// with the structured values. Must stay zero — any other value means the
+  /// two codecs diverged.
+  [[nodiscard]] std::uint64_t crosscheck_mismatches() const noexcept {
+    return crosscheck_mismatches_;
+  }
+  /// Cross-checks actually performed (structured samples carrying text).
+  [[nodiscard]] std::uint64_t crosschecks() const noexcept {
+    return crosschecks_;
+  }
 
  private:
   TraceStore* store_;
+  // Scratch sample for the text parse: reusing its string capacity keeps
+  // the per-sample post-collect parse allocation-free.
+  ddc::W32Sample parse_scratch_;
   std::uint64_t parse_failures_ = 0;
+  std::uint64_t crosscheck_mismatches_ = 0;
+  std::uint64_t crosschecks_ = 0;
   std::uint32_t iteration_attempts_ = 0;
   std::uint32_t iteration_successes_ = 0;
 };

@@ -8,16 +8,44 @@ namespace labmon::trace {
 void TraceStoreSink::OnSample(const ddc::CollectedSample& sample) {
   ++iteration_attempts_;
   if (!sample.outcome.ok()) return;
-  const auto parsed = ddc::ParseW32ProbeOutput(sample.outcome.stdout_text);
+  if (sample.structured != nullptr) {
+    // Structured fast path: the probe delivered the sample in-process. On
+    // cross-check attempts the text was rendered too — verify the codecs
+    // still agree before trusting the fast path.
+    if (!sample.outcome.stdout_text.empty()) {
+      ++crosschecks_;
+      const auto parsed =
+          ddc::ParseW32ProbeOutput(sample.outcome.stdout_text, &parse_scratch_);
+      if (!parsed.ok() || !(parse_scratch_ == *sample.structured)) {
+        ++crosscheck_mismatches_;
+        if (util::log::Enabled(util::log::Level::kWarn)) {
+          util::log::Warn(
+              "structured/text cross-check mismatch on " +
+              sample.structured->host +
+              (parsed.ok() ? "" : " (text parse: " + parsed.error() + ")"));
+        }
+      }
+    }
+    ++iteration_successes_;
+    store_->Append(
+        MakeRecord(static_cast<std::uint32_t>(sample.machine_index),
+                   static_cast<std::uint32_t>(sample.iteration),
+                   sample.attempt_time, *sample.structured));
+    return;
+  }
+  const auto parsed =
+      ddc::ParseW32ProbeOutput(sample.outcome.stdout_text, &parse_scratch_);
   if (!parsed.ok()) {
     ++parse_failures_;
-    util::log::Warn("post-collect parse failure: " + parsed.error());
+    if (util::log::Enabled(util::log::Level::kWarn)) {
+      util::log::Warn("post-collect parse failure: " + parsed.error());
+    }
     return;
   }
   ++iteration_successes_;
   store_->Append(MakeRecord(static_cast<std::uint32_t>(sample.machine_index),
                             static_cast<std::uint32_t>(sample.iteration),
-                            sample.attempt_time, parsed.value()));
+                            sample.attempt_time, parse_scratch_));
 }
 
 void TraceStoreSink::OnIterationEnd(std::uint64_t iteration,

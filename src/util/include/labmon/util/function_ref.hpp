@@ -21,6 +21,11 @@ class FunctionRef;
 template <typename R, typename... Args>
 class FunctionRef<R(Args...)> {
  public:
+  /// Null reference; calling it is undefined. Test with operator bool —
+  /// callback slots that are optional (e.g. the coordinator's advance hook)
+  /// need a "not set" state just like std::function's empty state.
+  FunctionRef() noexcept = default;
+
   template <typename F,
             typename = std::enable_if_t<
                 !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
@@ -41,9 +46,13 @@ class FunctionRef<R(Args...)> {
     return call_(object_, std::forward<Args>(args)...);
   }
 
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return call_ != nullptr;
+  }
+
  private:
-  void* object_;
-  R (*call_)(void*, Args...);
+  void* object_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
 };
 
 }  // namespace labmon::util

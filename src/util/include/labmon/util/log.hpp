@@ -27,6 +27,12 @@ void SetSink(Sink sink);
 /// global threshold.
 void Emit(Level level, std::string_view message);
 
+/// True when a message at `level` would be emitted. Hot paths use this to
+/// skip building the message string when logging is disabled.
+[[nodiscard]] inline bool Enabled(Level level) noexcept {
+  return static_cast<int>(level) >= static_cast<int>(GetLevel());
+}
+
 inline void Debug(std::string_view m) { Emit(Level::kDebug, m); }
 inline void Info(std::string_view m) { Emit(Level::kInfo, m); }
 inline void Warn(std::string_view m) { Emit(Level::kWarn, m); }

@@ -1,0 +1,204 @@
+// Snapshot layer: LMTR1 + sidecar round trip, fingerprint sensitivity, and
+// the corruption fallback of Experiment::RunCached.
+#include "labmon/core/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "labmon/core/experiment.hpp"
+#include "labmon/trace/binary_io.hpp"
+#include "labmon/util/csv.hpp"
+
+namespace labmon::core {
+namespace {
+
+ExperimentConfig ShortConfig(int days = 1, std::uint64_t seed = 20050201) {
+  ExperimentConfig config;
+  config.campus.days = days;
+  config.campus.seed = seed;
+  return config;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/labmon_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void ExpectResultsEqual(const ExperimentResult& a, const ExperimentResult& b) {
+  // TraceStore has no operator==; LMTR1 round-trips exactly, so identical
+  // serialisations mean identical stores.
+  EXPECT_EQ(trace::SerializeTrace(a.trace), trace::SerializeTrace(b.trace));
+  EXPECT_EQ(a.days, b.days);
+  EXPECT_EQ(a.parse_failures, b.parse_failures);
+  EXPECT_EQ(a.crosscheck_mismatches, b.crosscheck_mismatches);
+
+  EXPECT_EQ(a.run_stats.iterations, b.run_stats.iterations);
+  EXPECT_EQ(a.run_stats.attempts, b.run_stats.attempts);
+  EXPECT_EQ(a.run_stats.successes, b.run_stats.successes);
+  EXPECT_EQ(a.run_stats.timeouts, b.run_stats.timeouts);
+  EXPECT_EQ(a.run_stats.errors, b.run_stats.errors);
+  EXPECT_EQ(a.run_stats.total_span_s, b.run_stats.total_span_s);
+  EXPECT_EQ(a.run_stats.max_iteration_s, b.run_stats.max_iteration_s);
+  EXPECT_EQ(a.run_stats.mean_iteration_s, b.run_stats.mean_iteration_s);
+
+  EXPECT_EQ(a.ground_truth.boots, b.ground_truth.boots);
+  EXPECT_EQ(a.ground_truth.shutdowns, b.ground_truth.shutdowns);
+  EXPECT_EQ(a.ground_truth.reboots, b.ground_truth.reboots);
+  EXPECT_EQ(a.ground_truth.short_cycles, b.ground_truth.short_cycles);
+  EXPECT_EQ(a.ground_truth.class_logins, b.ground_truth.class_logins);
+  EXPECT_EQ(a.ground_truth.walkin_logins, b.ground_truth.walkin_logins);
+  EXPECT_EQ(a.ground_truth.forgotten_sessions, b.ground_truth.forgotten_sessions);
+  EXPECT_EQ(a.ground_truth.lost_arrivals, b.ground_truth.lost_arrivals);
+  EXPECT_EQ(a.ground_truth.sweep_shutdowns, b.ground_truth.sweep_shutdowns);
+
+  EXPECT_EQ(a.hardware.ram_gb, b.hardware.ram_gb);
+  EXPECT_EQ(a.hardware.disk_tb, b.hardware.disk_tb);
+  EXPECT_EQ(a.hardware.sum_int_index, b.hardware.sum_int_index);
+  EXPECT_EQ(a.hardware.sum_fp_index, b.hardware.sum_fp_index);
+
+  EXPECT_EQ(a.perf_index, b.perf_index);
+  ASSERT_EQ(a.labs.size(), b.labs.size());
+  for (std::size_t i = 0; i < a.labs.size(); ++i) {
+    EXPECT_EQ(a.labs[i].name, b.labs[i].name);
+    EXPECT_EQ(a.labs[i].machine_count, b.labs[i].machine_count);
+    EXPECT_EQ(a.labs[i].cpu_model, b.labs[i].cpu_model);
+    EXPECT_EQ(a.labs[i].cpu_ghz, b.labs[i].cpu_ghz);
+    EXPECT_EQ(a.labs[i].ram_mb, b.labs[i].ram_mb);
+    EXPECT_EQ(a.labs[i].disk_gb, b.labs[i].disk_gb);
+    EXPECT_EQ(a.labs[i].int_index, b.labs[i].int_index);
+    EXPECT_EQ(a.labs[i].fp_index, b.labs[i].fp_index);
+  }
+}
+
+TEST(SnapshotTest, SerializeDeserializeRoundTripsBitIdentically) {
+  const auto config = ShortConfig();
+  const auto result = Experiment::Run(config);
+  const auto fingerprint = FingerprintConfig(config);
+
+  const std::string bytes = SerializeExperimentResult(result, fingerprint);
+  const auto restored = DeserializeExperimentResult(bytes, fingerprint);
+  ASSERT_TRUE(restored.ok()) << restored.error();
+  ExpectResultsEqual(result, restored.value());
+}
+
+TEST(SnapshotTest, FingerprintCoversBehaviourAffectingFields) {
+  const auto base = FingerprintConfig(ShortConfig());
+  EXPECT_EQ(base, FingerprintConfig(ShortConfig()));
+  EXPECT_NE(base, FingerprintConfig(ShortConfig(2)));
+  EXPECT_NE(base, FingerprintConfig(ShortConfig(1, 7)));
+
+  auto policy = ShortConfig();
+  policy.collector.exec_policy.transient_failure_prob = 0.5;
+  EXPECT_NE(base, FingerprintConfig(policy));
+
+  auto campus = ShortConfig();
+  campus.campus.power.sweeps_enabled = false;
+  EXPECT_NE(base, FingerprintConfig(campus));
+
+  // The structured fast path is output-invariant and excluded on purpose.
+  auto fast = ShortConfig();
+  fast.structured_fast_path = !fast.structured_fast_path;
+  EXPECT_EQ(base, FingerprintConfig(fast));
+}
+
+TEST(SnapshotTest, DeserializeRejectsForeignFingerprint) {
+  const auto config = ShortConfig();
+  const auto result = Experiment::Run(config);
+  const auto fingerprint = FingerprintConfig(config);
+  const std::string bytes = SerializeExperimentResult(result, fingerprint);
+  EXPECT_FALSE(DeserializeExperimentResult(bytes, fingerprint + 1).ok());
+}
+
+TEST(SnapshotTest, DeserializeRejectsBadMagicAndTruncation) {
+  const auto config = ShortConfig();
+  const auto result = Experiment::Run(config);
+  const auto fingerprint = FingerprintConfig(config);
+  const std::string bytes = SerializeExperimentResult(result, fingerprint);
+
+  EXPECT_FALSE(DeserializeExperimentResult("", fingerprint).ok());
+  EXPECT_FALSE(DeserializeExperimentResult("LMTR1" + bytes.substr(5),
+                                           fingerprint)
+                   .ok());
+  // Every truncation point along a sampled prefix grid must fail cleanly.
+  for (std::size_t len = 0; len < bytes.size();
+       len += 1 + bytes.size() / 64) {
+    EXPECT_FALSE(
+        DeserializeExperimentResult(bytes.substr(0, len), fingerprint).ok())
+        << "prefix of " << len << " bytes parsed";
+  }
+  // Trailing garbage is corruption too.
+  EXPECT_FALSE(DeserializeExperimentResult(bytes + "x", fingerprint).ok());
+}
+
+TEST(SnapshotCacheTest, StoreThenLoadReplays) {
+  const auto config = ShortConfig();
+  const auto result = Experiment::Run(config);
+  const auto fingerprint = FingerprintConfig(config);
+  const SnapshotCache cache(FreshDir("snapshot_store"));
+
+  EXPECT_FALSE(cache.Contains(fingerprint));
+  const auto stored = cache.Store(fingerprint, result);
+  ASSERT_TRUE(stored.ok()) << stored.error();
+  EXPECT_TRUE(cache.Contains(fingerprint));
+  // No stray temp file left behind after the atomic rename.
+  EXPECT_FALSE(std::filesystem::exists(cache.PathFor(fingerprint) + ".tmp"));
+
+  const auto loaded = cache.Load(fingerprint);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  ExpectResultsEqual(result, loaded.value());
+}
+
+TEST(RunCachedTest, EmptyDirDegradesToPlainRun) {
+  const auto config = ShortConfig();
+  ExpectResultsEqual(Experiment::Run(config),
+                     Experiment::RunCached(config, ""));
+}
+
+TEST(RunCachedTest, SecondRunReplaysTheSnapshot) {
+  const auto config = ShortConfig();
+  const std::string dir = FreshDir("snapshot_warm");
+
+  const auto first = Experiment::RunCached(config, dir);
+  const SnapshotCache cache(dir);
+  ASSERT_TRUE(cache.Contains(FingerprintConfig(config)));
+
+  const auto second = Experiment::RunCached(config, dir);
+  ExpectResultsEqual(first, second);
+
+  // A different config misses the first snapshot and writes its own file.
+  const auto other = Experiment::RunCached(ShortConfig(1, 7), dir);
+  EXPECT_TRUE(cache.Contains(FingerprintConfig(ShortConfig(1, 7))));
+  EXPECT_NE(trace::SerializeTrace(other.trace),
+            trace::SerializeTrace(first.trace));
+}
+
+TEST(RunCachedTest, CorruptSnapshotFallsBackToSimulationAndHeals) {
+  const auto config = ShortConfig();
+  const std::string dir = FreshDir("snapshot_corrupt");
+
+  const auto first = Experiment::RunCached(config, dir);
+  const SnapshotCache cache(dir);
+  const auto fingerprint = FingerprintConfig(config);
+  const std::string path = cache.PathFor(fingerprint);
+
+  // Truncate the file to half: Load must fail, RunCached must re-simulate.
+  const auto bytes = util::ReadTextFile(path);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(
+      util::WriteTextFile(path, bytes.value().substr(0, bytes.value().size() / 2))
+          .ok());
+  EXPECT_FALSE(cache.Load(fingerprint).ok());
+
+  const auto recovered = Experiment::RunCached(config, dir);
+  ExpectResultsEqual(first, recovered);
+
+  // ...and the snapshot was atomically rewritten: loads cleanly again.
+  const auto healed = cache.Load(fingerprint);
+  ASSERT_TRUE(healed.ok()) << healed.error();
+  ExpectResultsEqual(first, healed.value());
+}
+
+}  // namespace
+}  // namespace labmon::core

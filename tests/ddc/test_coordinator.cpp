@@ -121,8 +121,8 @@ TEST(CoordinatorTest, AdvanceCallbackInvokedBeforeEveryProbe) {
   W32Probe probe;
   CoordinatorConfig config;
   std::vector<util::SimTime> advances;
-  Coordinator coordinator(fleet, probe, config, sink,
-                          [&](util::SimTime t) { advances.push_back(t); });
+  auto advance = [&](util::SimTime t) { advances.push_back(t); };
+  Coordinator coordinator(fleet, probe, config, sink, advance);
   (void)coordinator.Run(0, config.period);
   ASSERT_EQ(advances.size(), 3u);
   EXPECT_TRUE(std::is_sorted(advances.begin(), advances.end()));
@@ -160,8 +160,8 @@ TEST(CoordinatorTest, ParallelModeStillProbesAllMachines) {
   config.workers = 4;
   config.exec_policy.transient_failure_prob = 0.0;
   std::vector<util::SimTime> advances;
-  Coordinator coordinator(fleet, probe, config, sink,
-                          [&](util::SimTime t) { advances.push_back(t); });
+  auto advance = [&](util::SimTime t) { advances.push_back(t); };
+  Coordinator coordinator(fleet, probe, config, sink, advance);
   const auto stats = coordinator.Run(0, config.period);
   EXPECT_EQ(stats.successes, 12u);
   EXPECT_TRUE(std::is_sorted(advances.begin(), advances.end()))

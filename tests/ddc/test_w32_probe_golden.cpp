@@ -1,0 +1,97 @@
+// Golden equivalence of the rewritten probe codec against the frozen
+// legacy implementation, over real simulator-produced machine states:
+//  * fast formatter emits byte-identical wire text,
+//  * fast parser extracts value-identical samples,
+//  * FillW32Sample equals parse(format()) bit for bit (including the
+//    "%.2f"-quantised cpu_idle_s),
+//  * a full experiment collected through the structured fast path yields a
+//    bit-identical trace to the text path, with zero cross-check mismatches.
+#include "labmon/ddc/w32_probe.hpp"
+#include "labmon/ddc/w32_probe_legacy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "labmon/core/experiment.hpp"
+#include "labmon/trace/binary_io.hpp"
+#include "labmon/util/rng.hpp"
+#include "labmon/winsim/paper_specs.hpp"
+#include "labmon/workload/driver.hpp"
+
+namespace labmon::ddc {
+namespace {
+
+/// Walks one simulated day of the full paper campus, handing every powered-on
+/// machine state (sessions, idle machines, freshly booted ones) to `check`.
+template <typename Fn>
+void ForEachSimulatedState(Fn&& check) {
+  util::Rng rng(20050201);
+  winsim::Fleet fleet = winsim::MakePaperFleet(rng);
+  workload::CampusConfig campus;
+  campus.days = 1;
+  workload::WorkloadDriver driver(fleet, campus);
+
+  std::size_t states = 0;
+  for (util::SimTime t = 900; t <= campus.EndTime();
+       t += 15 * util::kSecondsPerMinute) {
+    driver.AdvanceTo(t);
+    for (std::size_t m = 0; m < fleet.size(); m += 7) {
+      auto& machine = fleet.machine(m);
+      if (!machine.powered_on()) continue;
+      ++states;
+      check(machine);
+    }
+  }
+  ASSERT_GT(states, 500u) << "simulation produced too few states to pin";
+}
+
+TEST(W32ProbeGoldenTest, FastFormatterIsByteIdenticalToLegacy) {
+  std::string fast;
+  ForEachSimulatedState([&](const winsim::Machine& machine) {
+    fast.clear();
+    FormatW32ProbeOutput(machine, fast);
+    ASSERT_EQ(fast, LegacyFormatW32ProbeOutput(machine));
+  });
+}
+
+TEST(W32ProbeGoldenTest, FastParserMatchesLegacyParser) {
+  ForEachSimulatedState([&](const winsim::Machine& machine) {
+    const std::string text = FormatW32ProbeOutput(machine);
+    const auto fast = ParseW32ProbeOutput(text);
+    const auto legacy = LegacyParseW32ProbeOutput(text);
+    ASSERT_TRUE(fast.ok()) << fast.error();
+    ASSERT_TRUE(legacy.ok()) << legacy.error();
+    ASSERT_TRUE(fast.value() == legacy.value()) << "on:\n" << text;
+  });
+}
+
+TEST(W32ProbeGoldenTest, FillW32SampleEqualsParseOfFormat) {
+  ForEachSimulatedState([&](const winsim::Machine& machine) {
+    W32Sample structured;
+    FillW32Sample(machine, &structured);
+    const auto parsed = ParseW32ProbeOutput(FormatW32ProbeOutput(machine));
+    ASSERT_TRUE(parsed.ok()) << parsed.error();
+    ASSERT_TRUE(structured == parsed.value())
+        << "structured probe diverged from the wire codec on "
+        << structured.host;
+  });
+}
+
+TEST(W32ProbeGoldenTest, StructuredExperimentTraceIsBitIdenticalToText) {
+  core::ExperimentConfig text_config;
+  text_config.campus.days = 2;
+  text_config.structured_fast_path = false;
+  core::ExperimentConfig fast_config = text_config;
+  fast_config.structured_fast_path = true;
+
+  const auto text_result = core::Experiment::Run(text_config);
+  const auto fast_result = core::Experiment::Run(fast_config);
+
+  EXPECT_EQ(trace::SerializeTrace(text_result.trace),
+            trace::SerializeTrace(fast_result.trace));
+  EXPECT_EQ(text_result.run_stats.successes, fast_result.run_stats.successes);
+  EXPECT_EQ(fast_result.parse_failures, 0u);
+  EXPECT_EQ(fast_result.crosscheck_mismatches, 0u);
+}
+
+}  // namespace
+}  // namespace labmon::ddc
