@@ -420,7 +420,9 @@ BENCHMARK(BM_NBenchKernel)->DenseRange(0, 9)->Unit(benchmark::kMicrosecond);
 // Run() and the loop itself only touches cached atomic counters.
 class NullSink final : public ddc::SampleSink {
  public:
-  void OnSample(const ddc::CollectedSample&) override {}
+  ddc::SampleVerdict OnSample(const ddc::CollectedSample&) override {
+    return ddc::SampleVerdict::kAccepted;
+  }
 };
 
 winsim::Fleet MetricsBenchFleet() {

@@ -13,10 +13,13 @@
 
 #include "bench_common.hpp"
 #include "labmon/analysis/aggregate.hpp"
+#include "labmon/ddc/coordinator.hpp"
 #include "labmon/ddc/w32_probe.hpp"
 #include "labmon/ddc/w32_probe_legacy.hpp"
+#include "labmon/faultsim/fault_injector.hpp"
 #include "labmon/obs/registry.hpp"
 #include "labmon/trace/binary_io.hpp"
+#include "labmon/trace/sink.hpp"
 #include "labmon/util/csv.hpp"
 #include "labmon/util/rng.hpp"
 #include "labmon/winsim/paper_specs.hpp"
@@ -87,6 +90,66 @@ RoundtripTiming MeasureRoundtrip() {
   return timing;
 }
 
+struct ChaosTiming {
+  double baseline_s = 0.0;
+  double faulted_s = 0.0;
+  ddc::RunStats faulted;
+  [[nodiscard]] double Overhead() const {
+    return baseline_s > 0.0 ? faulted_s / baseline_s - 1.0 : 0.0;
+  }
+};
+
+/// Retry overhead on the collection hot path: the same all-booted lab is
+/// collected plain and under a blip/corruption plan with bounded retries.
+/// The delta is the wall-clock price of the retry loop + fault hooks, the
+/// stats show what the retries bought back.
+ChaosTiming MeasureChaos() {
+  constexpr std::size_t kMachines = 40;
+  constexpr std::uint64_t kIterations = 24;
+  const std::vector<winsim::LabSpec> labs{
+      {"CHAOS", kMachines, "Pentium 4", 2.4, 512, 74.5, 30.5, 33.1}};
+  ChaosTiming timing;
+
+  const auto run = [&](faultsim::FaultInjector* injector,
+                       ddc::RetryPolicy retry) {
+    util::Rng rng(20050201);
+    winsim::Fleet fleet(labs, winsim::PriorLifeModel{}, rng);
+    for (std::size_t i = 0; i < fleet.size(); ++i) fleet.machine(i).Boot(0);
+    trace::TraceStore store;
+    store.set_machine_count(fleet.size());
+    trace::TraceStoreSink sink(store);
+    ddc::W32Probe probe;
+    ddc::CoordinatorConfig config;
+    config.retry = retry;
+    if (injector) {
+      injector->BindFleet(fleet);
+      config.faults = injector;
+    }
+    ddc::Coordinator coordinator(fleet, probe, config, sink);
+    const auto start = std::chrono::steady_clock::now();
+    const auto stats =
+        coordinator.Run(0, static_cast<util::SimTime>(kIterations) *
+                               config.period);
+    return std::pair{Seconds(start), stats};
+  };
+
+  const auto [baseline_s, baseline] = run(nullptr, ddc::RetryPolicy{});
+  timing.baseline_s = baseline_s;
+  (void)baseline;
+
+  faultsim::FaultPlan plan;
+  plan.enabled = true;
+  plan.stochastic.transient_error_prob = 0.05;
+  plan.stochastic.wire_corruption_prob = 0.01;
+  faultsim::FaultInjector injector(plan);
+  ddc::RetryPolicy retry;
+  retry.max_attempts = 4;
+  const auto [faulted_s, faulted] = run(&injector, retry);
+  timing.faulted_s = faulted_s;
+  timing.faulted = faulted;
+  return timing;
+}
+
 }  // namespace
 
 int main() {
@@ -117,8 +180,9 @@ int main() {
   const double analyze_s = Seconds(analyze_start);
 
   const auto roundtrip = MeasureRoundtrip();
+  const auto chaos = MeasureChaos();
 
-  char json[2048];
+  char json[3072];
   std::snprintf(
       json, sizeof json,
       "{\n"
@@ -144,6 +208,17 @@ int main() {
       "    \"fast_us\": %.4f,\n"
       "    \"speedup_vs_legacy\": %.2f\n"
       "  },\n"
+      "  \"chaos\": {\n"
+      "    \"baseline_s\": %.6f,\n"
+      "    \"faulted_s\": %.6f,\n"
+      "    \"retry_overhead_frac\": %.4f,\n"
+      "    \"faults_injected\": %llu,\n"
+      "    \"retry_attempts\": %llu,\n"
+      "    \"recovered_after_retry\": %llu,\n"
+      "    \"recovery_rate\": %.4f,\n"
+      "    \"missing\": %llu,\n"
+      "    \"corrupt\": %llu\n"
+      "  },\n"
       "  \"cpu_idle_pct\": %.2f\n"
       "}\n",
       result.days, result.trace.size(), mode, snapshot_dir.c_str(),
@@ -158,6 +233,13 @@ int main() {
       static_cast<unsigned long long>(
           counter("labmon_snapshot_stores_total")),
       roundtrip.legacy_us, roundtrip.fast_us, roundtrip.Speedup(),
+      chaos.baseline_s, chaos.faulted_s, chaos.Overhead(),
+      static_cast<unsigned long long>(chaos.faulted.faults_injected),
+      static_cast<unsigned long long>(chaos.faulted.retry_attempts),
+      static_cast<unsigned long long>(chaos.faulted.recovered_after_retry),
+      chaos.faulted.RetryRecoveryRate(),
+      static_cast<unsigned long long>(chaos.faulted.missing),
+      static_cast<unsigned long long>(chaos.faulted.corrupt),
       table2.both.cpu_idle_pct);
 
   std::cout << json;
@@ -169,6 +251,7 @@ int main() {
   }
   std::cout << "\nwrote BENCH_collect.json (mode: " << mode
             << ", probe round-trip speedup: " << roundtrip.Speedup()
-            << "x)\n";
+            << "x, chaos retry recovery: "
+            << 100.0 * chaos.faulted.RetryRecoveryRate() << "%)\n";
   return 0;
 }

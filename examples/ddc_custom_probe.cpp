@@ -45,16 +45,16 @@ class DiskHealthProbe final : public ddc::Probe {
 /// Post-collect code: decode the hex block, verify, aggregate.
 class DiskHealthSink final : public ddc::SampleSink {
  public:
-  void OnSample(const ddc::CollectedSample& sample) override {
+  ddc::SampleVerdict OnSample(const ddc::CollectedSample& sample) override {
     if (!sample.outcome.ok()) {
       ++unreachable_;
-      return;
+      return ddc::SampleVerdict::kAccepted;
     }
     const auto& text = sample.outcome.stdout_text;
     const auto pos = text.find("smart_block: ");
     if (pos == std::string::npos) {
       ++rejected_;
-      return;
+      return ddc::SampleVerdict::kRejected;
     }
     const auto hex_view =
         util::Trim(std::string_view(text).substr(pos + 13));
@@ -65,14 +65,14 @@ class DiskHealthSink final : public ddc::SampleSink {
       const auto lo = HexDigit(hex_view[i + 1]);
       if (hi < 0 || lo < 0) {
         ++rejected_;
-        return;
+        return ddc::SampleVerdict::kRejected;
       }
       block.push_back(static_cast<std::uint8_t>(hi * 16 + lo));
     }
     const auto table = smart::AttributeTable::Decode(block);
     if (!table.ok()) {
       ++rejected_;
-      return;
+      return ddc::SampleVerdict::kRejected;
     }
     ++decoded_;
     const auto hours = table.value().RawOf(smart::AttributeId::kPowerOnHours);
@@ -84,6 +84,7 @@ class DiskHealthSink final : public ddc::SampleSink {
       ratio_sum_ += static_cast<double>(hours) / static_cast<double>(cycles);
       ++ratio_count_;
     }
+    return ddc::SampleVerdict::kAccepted;
   }
 
   void Report() const {

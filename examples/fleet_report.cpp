@@ -3,8 +3,15 @@
 //
 //   $ ./fleet_report [output_dir] [days] [seed] [scenario.ini]
 //                    [--workers N] [--snapshot-dir DIR]
+//                    [--fault-plan plan.ini] [--retry N]
 //                    [--metrics-out m.prom]
 //                    [--trace-out t.json] [--events-out e.jsonl]
+//
+// --fault-plan loads a labmon::faultsim scenario (crashes, lab outages,
+// wire corruption, ...) injected at the transport boundary; --retry N
+// bounds collection retries per machine per iteration (default 1 = no
+// retries). Without either flag the run is bit-identical to a build
+// without the fault layer.
 //
 // --snapshot-dir reuses a content-keyed experiment snapshot from DIR (and
 // writes one after simulating), so repeated reports on the same config
@@ -30,6 +37,7 @@
 
 #include "labmon/core/experiment.hpp"
 #include "labmon/core/report.hpp"
+#include "labmon/faultsim/fault_plan.hpp"
 #include "labmon/obs/exporters.hpp"
 #include "labmon/trace/binary_io.hpp"
 #include "labmon/workload/config_io.hpp"
@@ -118,6 +126,8 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string events_out;
   std::string snapshot_dir;
+  std::string fault_plan_path;
+  int retry_attempts = 0;
   if (const char* env = std::getenv("LABMON_SNAPSHOT_DIR")) snapshot_dir = env;
   std::size_t workers = 0;
   std::vector<std::string> positional;
@@ -141,6 +151,10 @@ int main(int argc, char** argv) {
       snapshot_dir = v;
     } else if (const char* v = flag_value("--workers")) {
       workers = static_cast<std::size_t>(std::atoll(v));
+    } else if (const char* v = flag_value("--fault-plan")) {
+      fault_plan_path = v;
+    } else if (const char* v = flag_value("--retry")) {
+      retry_attempts = std::atoi(v);
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag " << arg << '\n';
       return 1;
@@ -165,6 +179,16 @@ int main(int argc, char** argv) {
     config.campus = loaded.value();
     std::cout << "scenario overrides loaded from " << positional[3] << "\n";
   }
+  if (!fault_plan_path.empty()) {
+    auto plan = faultsim::LoadFaultPlan(fault_plan_path);
+    if (!plan.ok()) {
+      std::cerr << "fault plan error: " << plan.error() << '\n';
+      return 1;
+    }
+    config.fault_plan = plan.value();
+    std::cout << "fault plan loaded from " << fault_plan_path << "\n";
+  }
+  if (retry_attempts > 0) config.collector.retry.max_attempts = retry_attempts;
 
   // Observability wiring: metrics registry, span tracer, JSONL log capture.
   if (!metrics_out.empty()) {
@@ -209,6 +233,17 @@ int main(int argc, char** argv) {
   std::cout << "mean iteration: "
             << util::FormatFixed(result.run_stats.mean_iteration_s / 60.0, 2)
             << " min (paper: 16.1 = 110880/6883)\n";
+  if (config.fault_plan.Active() || config.collector.retry.enabled()) {
+    const auto& stats = result.run_stats;
+    std::cout << "fault/retry: " << stats.faults_injected
+              << " faults injected, " << stats.retry_attempts
+              << " retry attempts over " << stats.retried_collections
+              << " collections, " << stats.recovered_after_retry
+              << " recovered ("
+              << util::FormatFixed(100.0 * stats.RetryRecoveryRate(), 1)
+              << "%), " << stats.missing << " missing, " << stats.corrupt
+              << " corrupt\n";
+  }
   std::cout << "ground truth: " << result.ground_truth.boots << " boots ("
             << result.ground_truth.short_cycles << " short cycles), "
             << result.ground_truth.TotalLogins() << " logins ("

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "labmon/ddc/coordinator.hpp"
+#include "labmon/faultsim/fault_plan.hpp"
 #include "labmon/trace/trace_store.hpp"
 #include "labmon/winsim/fleet.hpp"
 #include "labmon/workload/config.hpp"
@@ -26,6 +27,11 @@ struct ExperimentConfig {
   workload::CampusConfig campus;          ///< 77 days, 169 machines
   ddc::CoordinatorConfig collector;       ///< 15-min sequential probing
   winsim::PriorLifeModel prior_life;      ///< pre-experiment SMART history
+  /// Fault scenario injected at the transport boundary (labmon::faultsim).
+  /// Inert by default: a disabled/empty plan leaves the collected trace
+  /// bit-identical to a build without the fault layer. Part of the snapshot
+  /// fingerprint — faulted and clean runs never share a cache entry.
+  faultsim::FaultPlan fault_plan;
   /// Collect through the structured in-process fast path (probe fills a
   /// W32Sample directly; the text codec is cross-checked on a deterministic
   /// 1-in-N sampling). Output-invariant: the trace is bit-identical either

@@ -16,10 +16,13 @@
 // never silently reused.
 //
 // Invalidation rules: a snapshot is replayed only when magic, format
-// version and fingerprint all match. Anything else — missing file, short
-// file, codec error, foreign fingerprint — is a miss; RunCached warns (for
-// real corruption), re-simulates, and atomically rewrites (write to a
-// temp file, then rename).
+// version, fingerprint and the payload checksum all match. Anything else —
+// missing file, short file, flipped byte, codec error, foreign
+// fingerprint — is a miss; RunCached warns (for real corruption),
+// re-simulates, and atomically rewrites (write to a temp file, then
+// rename). The checksum (FNV-1a over every payload byte) makes single
+// bit-flips anywhere in the stored file detectable, not just ones that
+// happen to break a varint.
 #pragma once
 
 #include <cstdint>
@@ -32,7 +35,8 @@ namespace labmon::core {
 
 /// Bump on any layout change to the sidecar or the embedded trace codec —
 /// old snapshot files then miss and are rewritten.
-inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+/// v2: payload checksum in the header; retry/fault fields in RunStats.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
 
 /// Content key of a config: hash of every behaviour-affecting field plus
 /// the snapshot format version.

@@ -4,6 +4,7 @@
 
 #include "labmon/core/snapshot.hpp"
 #include "labmon/ddc/w32_probe.hpp"
+#include "labmon/faultsim/fault_injector.hpp"
 #include "labmon/obs/registry.hpp"
 #include "labmon/obs/span.hpp"
 #include "labmon/trace/sink.hpp"
@@ -38,6 +39,14 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config) {
   ddc::W32Probe probe;
   ddc::CoordinatorConfig collector = config.collector;
   collector.structured_fast_path = config.structured_fast_path;
+  // The fault injector lives on this frame for the coordinator's lifetime;
+  // an inactive plan keeps the transport path (and the trace) untouched.
+  faultsim::FaultInjector injector(config.fault_plan,
+                                   collector.metrics);
+  if (injector.active()) {
+    injector.BindFleet(fleet);
+    collector.faults = &injector;
+  }
   // Named local: the coordinator holds a FunctionRef to this callable for
   // its whole lifetime, so it must outlive the coordinator.
   auto advance = [&driver](util::SimTime t) { driver.AdvanceTo(t); };

@@ -33,6 +33,10 @@ class Fingerprinter {
   void MixInt(std::int64_t v) noexcept { Mix(static_cast<std::uint64_t>(v)); }
   void MixDouble(double v) noexcept { Mix(std::bit_cast<std::uint64_t>(v)); }
   void MixBool(bool v) noexcept { Mix(v ? 1 : 0); }
+  void MixString(const std::string& s) noexcept {
+    Mix(s.size());
+    for (const char c : s) Mix(static_cast<unsigned char>(c));
+  }
 
   [[nodiscard]] std::uint64_t hash() const noexcept { return hash_; }
 
@@ -161,7 +165,59 @@ void MixCollector(Fingerprinter& fp, const ddc::CoordinatorConfig& c) {
   fp.MixDouble(c.exec_policy.offline_timeout_sigma_s);
   fp.MixDouble(c.exec_policy.offline_timeout_min_s);
   fp.MixDouble(c.exec_policy.transient_failure_prob);
+  fp.MixInt(c.retry.max_attempts);
+  fp.MixDouble(c.retry.backoff_initial_s);
+  fp.MixDouble(c.retry.backoff_multiplier);
+  fp.MixDouble(c.retry.backoff_max_s);
+  fp.MixDouble(c.retry.jitter_fraction);
+  fp.MixDouble(c.retry.iteration_budget_s);
+  fp.MixBool(c.retry.retry_timeouts);
+  fp.MixBool(c.retry.retry_rejects);
   fp.Mix(c.seed);
+}
+
+void MixFaultPlan(Fingerprinter& fp, const faultsim::FaultPlan& p) {
+  // An inert plan still mixes its (default) fields, which is fine: every
+  // zero-fault config mixes the same constants. Any scenario or knob edit
+  // keys a different snapshot, so faulted runs never alias clean ones.
+  fp.MixBool(p.enabled);
+  fp.Mix(p.seed);
+  fp.MixDouble(p.timeout_latency_mean_s);
+  fp.MixDouble(p.timeout_latency_sigma_s);
+  fp.MixDouble(p.timeout_latency_min_s);
+  fp.MixDouble(p.error_latency_mean_s);
+  fp.MixDouble(p.error_latency_sigma_s);
+  fp.MixDouble(p.error_latency_min_s);
+  const auto& s = p.stochastic;
+  fp.MixDouble(s.transient_error_prob);
+  fp.MixDouble(s.hang_prob);
+  fp.MixDouble(s.hang_seconds_mean);
+  fp.MixDouble(s.hang_seconds_sigma);
+  fp.MixDouble(s.straggler_prob);
+  fp.MixDouble(s.straggler_multiplier_lo);
+  fp.MixDouble(s.straggler_multiplier_hi);
+  fp.MixDouble(s.wire_truncation_prob);
+  fp.MixDouble(s.wire_corruption_prob);
+  fp.MixInt(s.wire_corruption_max_bytes);
+  fp.MixDouble(s.nic_reset_prob);
+  fp.MixDouble(s.archive_write_failure_prob);
+  fp.Mix(p.outages.size());
+  for (const auto& o : p.outages) {
+    fp.MixString(o.lab);
+    fp.MixInt(o.start);
+    fp.MixInt(o.end);
+  }
+  fp.Mix(p.crashes.size());
+  for (const auto& c : p.crashes) {
+    fp.Mix(c.machine);
+    fp.MixInt(c.at);
+    fp.MixInt(c.down_seconds);
+  }
+  fp.Mix(p.nic_resets.size());
+  for (const auto& n : p.nic_resets) {
+    fp.Mix(n.machine);
+    fp.MixInt(n.at);
+  }
 }
 
 void MixPriorLife(Fingerprinter& fp, const winsim::PriorLifeModel& m) {
@@ -176,11 +232,25 @@ void MixPriorLife(Fingerprinter& fp, const winsim::PriorLifeModel& m) {
 // ---------------------------------------------------------------------------
 // Sidecar codec helpers.
 // ---------------------------------------------------------------------------
-void PutF64(std::string& out, double v) {
-  const auto bits = std::bit_cast<std::uint64_t>(v);
+void PutU64(std::string& out, std::uint64_t bits) {
   for (int i = 0; i < 8; ++i) {
     out.push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
   }
+}
+
+void PutF64(std::string& out, double v) {
+  PutU64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// FNV-1a over raw bytes — the payload checksum. Any flipped/cut byte in
+/// the stored payload changes it.
+std::uint64_t ChecksumBytes(const char* data, std::size_t size) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ull;
+  }
+  return h;
 }
 
 void PutString(std::string& out, const std::string& s) {
@@ -207,16 +277,17 @@ struct SidecarReader {
     failed = true;
     return 0;
   }
-  double F64() {
+  std::uint64_t RawU64() {
     const auto bytes = reader.ReadBytes(8);
     if (!bytes || failed) {
       failed = true;
-      return 0.0;
+      return 0;
     }
     std::uint64_t bits = 0;
     std::memcpy(&bits, bytes->data(), 8);
-    return std::bit_cast<double>(bits);
+    return bits;
   }
+  double F64() { return std::bit_cast<double>(RawU64()); }
   std::string Str() {
     const auto len = U64();
     if (failed) return {};
@@ -237,15 +308,14 @@ std::uint64_t FingerprintConfig(const ExperimentConfig& config) {
   MixCampus(fp, config.campus);
   MixCollector(fp, config.collector);
   MixPriorLife(fp, config.prior_life);
+  MixFaultPlan(fp, config.fault_plan);
   return fp.hash();
 }
 
 std::string SerializeExperimentResult(const ExperimentResult& result,
                                       std::uint64_t fingerprint) {
+  // Payload built separately so the header can carry its checksum.
   std::string out;
-  out.append(kMagic, kMagicLen);
-  util::PutVarint(out, kSnapshotFormatVersion);
-  util::PutVarint(out, fingerprint);
 
   util::PutSignedVarint(out, result.days);
   util::PutVarint(out, result.parse_failures);
@@ -257,6 +327,12 @@ std::string SerializeExperimentResult(const ExperimentResult& result,
   util::PutVarint(out, rs.successes);
   util::PutVarint(out, rs.timeouts);
   util::PutVarint(out, rs.errors);
+  util::PutVarint(out, rs.missing);
+  util::PutVarint(out, rs.corrupt);
+  util::PutVarint(out, rs.recovered_after_retry);
+  util::PutVarint(out, rs.retry_attempts);
+  util::PutVarint(out, rs.retried_collections);
+  util::PutVarint(out, rs.faults_injected);
   PutF64(out, rs.total_span_s);
   PutF64(out, rs.max_iteration_s);
   PutF64(out, rs.mean_iteration_s);
@@ -295,7 +371,15 @@ std::string SerializeExperimentResult(const ExperimentResult& result,
   const std::string trace_bytes = trace::SerializeTrace(result.trace);
   util::PutVarint(out, trace_bytes.size());
   out += trace_bytes;
-  return out;
+
+  std::string framed;
+  framed.reserve(out.size() + 32);
+  framed.append(kMagic, kMagicLen);
+  util::PutVarint(framed, kSnapshotFormatVersion);
+  util::PutVarint(framed, fingerprint);
+  PutU64(framed, ChecksumBytes(out.data(), out.size()));
+  framed += out;
+  return framed;
 }
 
 util::Result<ExperimentResult> DeserializeExperimentResult(
@@ -318,6 +402,13 @@ util::Result<ExperimentResult> DeserializeExperimentResult(
   if (fingerprint != expected_fingerprint) {
     return R::Err("snapshot fingerprint mismatch (different config)");
   }
+  const std::uint64_t stored_checksum = in.RawU64();
+  if (in.failed) return R::Err("truncated snapshot header");
+  const std::size_t payload_offset = kMagicLen + in.reader.position();
+  if (ChecksumBytes(bytes.data() + payload_offset,
+                    bytes.size() - payload_offset) != stored_checksum) {
+    return R::Err("snapshot payload checksum mismatch (corrupt file)");
+  }
 
   ExperimentResult result;
   result.days = static_cast<int>(in.I64());
@@ -329,6 +420,12 @@ util::Result<ExperimentResult> DeserializeExperimentResult(
   result.run_stats.successes = in.U64();
   result.run_stats.timeouts = in.U64();
   result.run_stats.errors = in.U64();
+  result.run_stats.missing = in.U64();
+  result.run_stats.corrupt = in.U64();
+  result.run_stats.recovered_after_retry = in.U64();
+  result.run_stats.retry_attempts = in.U64();
+  result.run_stats.retried_collections = in.U64();
+  result.run_stats.faults_injected = in.U64();
   result.run_stats.total_span_s = in.F64();
   result.run_stats.max_iteration_s = in.F64();
   result.run_stats.mean_iteration_s = in.F64();

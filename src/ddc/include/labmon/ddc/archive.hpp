@@ -17,6 +17,10 @@
 #include "labmon/ddc/coordinator.hpp"
 #include "labmon/util/expected.hpp"
 
+namespace labmon::faultsim {
+class FaultInjector;
+}  // namespace labmon::faultsim
+
 namespace labmon::ddc {
 
 /// A sink that persists every successful probe output to disk.
@@ -24,15 +28,19 @@ class OutputArchive final : public SampleSink {
  public:
   /// Creates/opens an archive rooted at `directory` for `machine_names`.
   /// The directory is created if missing; existing logs are appended to.
+  /// `faults` (optional, not owned) lets labmon::faultsim drop appends to
+  /// model coordinator-site IO failures; a dropped append is reported to
+  /// the coordinator as a rejected sample so retries can re-fetch it.
   [[nodiscard]] static util::Result<std::unique_ptr<OutputArchive>> Open(
       const std::string& directory,
-      const std::vector<std::string>& machine_names);
+      const std::vector<std::string>& machine_names,
+      faultsim::FaultInjector* faults = nullptr);
 
   ~OutputArchive() override;
   OutputArchive(const OutputArchive&) = delete;
   OutputArchive& operator=(const OutputArchive&) = delete;
 
-  void OnSample(const CollectedSample& sample) override;
+  SampleVerdict OnSample(const CollectedSample& sample) override;
   void OnIterationEnd(std::uint64_t iteration, util::SimTime start_time,
                       util::SimTime end_time) override;
 
@@ -45,13 +53,20 @@ class OutputArchive final : public SampleSink {
   [[nodiscard]] std::uint64_t entries_written() const noexcept {
     return entries_;
   }
+  /// Appends dropped by injected archive-write failures.
+  [[nodiscard]] std::uint64_t writes_failed() const noexcept {
+    return writes_failed_;
+  }
 
  private:
-  OutputArchive(std::string directory, std::vector<std::string> names);
+  OutputArchive(std::string directory, std::vector<std::string> names,
+                faultsim::FaultInjector* faults);
 
   std::string directory_;
   std::vector<std::string> machine_names_;
+  faultsim::FaultInjector* faults_ = nullptr;
   std::uint64_t entries_ = 0;
+  std::uint64_t writes_failed_ = 0;
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };

@@ -47,6 +47,9 @@ struct CampaignConfig {
   util::SimTime deadline = 14 * util::kSecondsPerDay;
   ExecPolicy exec_policy;
   std::uint64_t seed = 0xca3b41a7;
+  /// Optional fault injector (see labmon::faultsim); null or inactive keeps
+  /// the transport untouched. Not owned; must outlive the campaign run.
+  faultsim::FaultInjector* faults = nullptr;
   /// Injectable per-campaign registry: pass/attempt/completion counters and
   /// coverage gauge are reported here. Null disables instrumentation.
   obs::Registry* metrics = nullptr;

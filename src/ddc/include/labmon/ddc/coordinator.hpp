@@ -9,6 +9,13 @@
 //  * kParallelSimulated — a k-worker pool (simulated schedule, deterministic):
 //    the ablation benchmark uses it to show how parallel probing removes the
 //    overrun problem.
+//
+// Collection is retry-hardened: CollectOnce wraps each machine's attempt in
+// a bounded RetryPolicy loop (exponential backoff + jitter, capped by a
+// per-iteration wall-clock budget), so transient RPC blips and corrupt wire
+// payloads can be recovered within the iteration instead of leaving a hole
+// in the trace. Defaults keep the paper's single-attempt behaviour and a
+// bit-identical trace.
 #pragma once
 
 #include <cstdint>
@@ -21,8 +28,13 @@
 #include "labmon/obs/registry.hpp"
 #include "labmon/obs/span.hpp"
 #include "labmon/util/function_ref.hpp"
+#include "labmon/util/rng.hpp"
 #include "labmon/util/time.hpp"
 #include "labmon/winsim/fleet.hpp"
+
+namespace labmon::faultsim {
+class FaultInjector;
+}  // namespace labmon::faultsim
 
 namespace labmon::ddc {
 
@@ -31,6 +43,8 @@ struct CollectedSample {
   std::size_t machine_index = 0;
   std::uint64_t iteration = 0;
   util::SimTime attempt_time = 0;  ///< instant the execution started
+  std::uint32_t attempt_number = 1;  ///< 1-based within this collection
+  bool recovered = false;  ///< successful after at least one failed attempt
   ExecOutcome outcome;
   /// Structured fast path: when non-null, the probe filled this sample
   /// in-process and `outcome.stdout_text` is empty except on cross-check
@@ -39,12 +53,18 @@ struct CollectedSample {
   const W32Sample* structured = nullptr;
 };
 
+/// The sink's judgement of a delivered sample. kRejected means "the payload
+/// was unusable" (parse failure / corrupt wire bytes); the coordinator may
+/// retry such attempts under RetryPolicy::retry_rejects. Failed transport
+/// outcomes are kAccepted — there is nothing wrong with the *payload*.
+enum class SampleVerdict : std::uint8_t { kAccepted, kRejected };
+
 /// Post-collect interface ("post-collecting code … executed at the
 /// coordinator site, immediately after a successful remote execution").
 class SampleSink {
  public:
   virtual ~SampleSink() = default;
-  virtual void OnSample(const CollectedSample& sample) = 0;
+  virtual SampleVerdict OnSample(const CollectedSample& sample) = 0;
   /// Called when an iteration over all machines completes.
   virtual void OnIterationEnd(std::uint64_t iteration,
                               util::SimTime start_time,
@@ -62,7 +82,12 @@ struct CoordinatorConfig {
   Mode mode = Mode::kSequential;
   int workers = 8;  ///< parallel-simulated worker count
   ExecPolicy exec_policy;
+  /// Bounded retries per machine per iteration (default: one attempt).
+  RetryPolicy retry;
   std::uint64_t seed = 0xddc0ffee;
+  /// Optional fault injector (see labmon::faultsim). Null or inactive keeps
+  /// the transport path untouched. Not owned; must outlive the coordinator.
+  faultsim::FaultInjector* faults = nullptr;
   /// Metrics registry the run reports into (per-machine attempt/outcome
   /// counters, latency histograms, iteration-overrun gauges). Null opts the
   /// hot path out of instrumentation entirely.
@@ -88,6 +113,16 @@ struct RunStats {
   std::uint64_t successes = 0;
   std::uint64_t timeouts = 0;
   std::uint64_t errors = 0;
+  /// Graceful-degradation taxonomy (per machine-collection, not attempt):
+  /// a collection either yields an accepted sample, ends `missing`
+  /// (transport never succeeded) or ends `corrupt` (payload delivered but
+  /// rejected by the sink, retries exhausted).
+  std::uint64_t missing = 0;
+  std::uint64_t corrupt = 0;
+  std::uint64_t recovered_after_retry = 0;  ///< accepted on attempt > 1
+  std::uint64_t retry_attempts = 0;         ///< extra attempts beyond the first
+  std::uint64_t retried_collections = 0;    ///< collections that retried at all
+  std::uint64_t faults_injected = 0;        ///< injector activity during Run()
   double total_span_s = 0.0;         ///< last iteration end - start
   double max_iteration_s = 0.0;
   double mean_iteration_s = 0.0;
@@ -96,6 +131,13 @@ struct RunStats {
     return attempts ? static_cast<double>(successes) /
                           static_cast<double>(attempts)
                     : 0.0;
+  }
+  /// Fraction of retried collections that ended in an accepted sample.
+  [[nodiscard]] double RetryRecoveryRate() const noexcept {
+    return retried_collections
+               ? static_cast<double>(recovered_after_retry) /
+                     static_cast<double>(retried_collections)
+               : 0.0;
   }
 };
 
@@ -139,12 +181,25 @@ class Coordinator {
   /// delivered the sample into `scratch_` instead of stdout text.
   ExecOutcome ExecuteOne(std::size_t machine_index, util::SimTime t,
                          bool* structured_filled);
+  /// Collects machine `machine_index` for `iteration`: the attempt at
+  /// `start` plus any retries the policy and the iteration budget allow
+  /// (budget measured from `iteration_start`). Every attempt is delivered
+  /// to the sink. Returns the instant the collection finished.
+  [[nodiscard]] util::SimTime CollectOnce(std::size_t machine_index,
+                                          std::uint64_t iteration,
+                                          util::SimTime iteration_start,
+                                          util::SimTime start);
   void BindInstruments();
 
   std::uint64_t attempts_ = 0;
   std::uint64_t successes_ = 0;
   std::uint64_t timeouts_ = 0;
   std::uint64_t errors_ = 0;
+  std::uint64_t missing_ = 0;
+  std::uint64_t corrupt_ = 0;
+  std::uint64_t recovered_ = 0;
+  std::uint64_t retry_attempts_ = 0;
+  std::uint64_t retried_collections_ = 0;
   std::uint64_t structured_ok_ = 0;  ///< cross-check cadence counter
 
   winsim::Fleet& fleet_;
@@ -153,6 +208,9 @@ class Coordinator {
   SampleSink& sink_;
   AdvanceFn advance_;
   RemoteExecutor executor_;
+  /// Backoff jitter stream, separate from the transport RNG so enabling
+  /// retries never perturbs transport draws for non-retried attempts.
+  util::Rng retry_rng_;
   W32Sample scratch_;  ///< reused structured-sample buffer
 
   std::vector<MachineInstruments> machine_metrics_;
@@ -161,6 +219,11 @@ class Coordinator {
   obs::Histogram* overrun_hist_ = nullptr;
   obs::Gauge* overrun_gauge_ = nullptr;
   obs::Counter* iterations_counter_ = nullptr;
+  obs::Counter* retry_counter_ = nullptr;
+  obs::Counter* recovered_counter_ = nullptr;
+  obs::Counter* missing_counter_ = nullptr;
+  obs::Counter* corrupt_counter_ = nullptr;
+  obs::Histogram* backoff_hist_ = nullptr;
 };
 
 }  // namespace labmon::ddc

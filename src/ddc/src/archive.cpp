@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "labmon/faultsim/fault_injector.hpp"
 #include "labmon/util/csv.hpp"
 #include "labmon/util/strings.hpp"
 
@@ -25,9 +26,11 @@ struct OutputArchive::Impl {
 };
 
 OutputArchive::OutputArchive(std::string directory,
-                             std::vector<std::string> names)
+                             std::vector<std::string> names,
+                             faultsim::FaultInjector* faults)
     : directory_(std::move(directory)),
       machine_names_(std::move(names)),
+      faults_(faults),
       impl_(std::make_unique<Impl>()) {
   impl_->logs.resize(machine_names_.size());
 }
@@ -36,7 +39,8 @@ OutputArchive::~OutputArchive() { Close(); }
 
 util::Result<std::unique_ptr<OutputArchive>> OutputArchive::Open(
     const std::string& directory,
-    const std::vector<std::string>& machine_names) {
+    const std::vector<std::string>& machine_names,
+    faultsim::FaultInjector* faults) {
   using R = util::Result<std::unique_ptr<OutputArchive>>;
   std::error_code ec;
   std::filesystem::create_directories(directory, ec);
@@ -53,23 +57,30 @@ util::Result<std::unique_ptr<OutputArchive>> OutputArchive::Open(
   if (!written.ok()) return R::Err(written.error());
 
   return std::unique_ptr<OutputArchive>(
-      new OutputArchive(directory, machine_names));
+      new OutputArchive(directory, machine_names, faults));
 }
 
-void OutputArchive::OnSample(const CollectedSample& sample) {
-  if (!sample.outcome.ok()) return;
-  if (sample.machine_index >= impl_->logs.size()) return;
+SampleVerdict OutputArchive::OnSample(const CollectedSample& sample) {
+  if (!sample.outcome.ok()) return SampleVerdict::kAccepted;
+  if (sample.machine_index >= impl_->logs.size()) {
+    return SampleVerdict::kRejected;
+  }
+  if (faults_ != nullptr && faults_->FailArchiveWrite()) {
+    ++writes_failed_;
+    return SampleVerdict::kRejected;
+  }
   auto& log = impl_->logs[sample.machine_index];
   if (!log.is_open()) {
     log.open(LogPath(directory_, sample.machine_index),
              std::ios::app | std::ios::binary);
-    if (!log) return;
+    if (!log) return SampleVerdict::kRejected;
   }
   // Entry header: "@ <iteration> <t> <payload bytes>".
   log << "@ " << sample.iteration << ' ' << sample.attempt_time << ' '
       << sample.outcome.stdout_text.size() << '\n'
       << sample.outcome.stdout_text << '\n';
   ++entries_;
+  return SampleVerdict::kAccepted;
 }
 
 void OutputArchive::OnIterationEnd(std::uint64_t, util::SimTime,

@@ -13,7 +13,7 @@ CampaignResult RunCampaign(winsim::Fleet& fleet, Probe& probe,
   CampaignResult result;
   result.outputs.assign(fleet.size(), std::nullopt);
 
-  RemoteExecutor executor(config.exec_policy, config.seed);
+  RemoteExecutor executor(config.exec_policy, config.seed, config.faults);
   std::vector<std::size_t> pending(fleet.size());
   for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = i;
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <queue>
 
+#include "labmon/faultsim/fault_injector.hpp"
+
 namespace labmon::ddc {
 
 namespace {
@@ -17,6 +19,8 @@ const std::vector<double> kIterationBounds = {300.0,  600.0,  900.0,
 /// Overrun beyond the period, seconds (0-bucket = iteration fit the period).
 const std::vector<double> kOverrunBounds = {0.0,   60.0,   120.0,
                                             300.0, 600.0, 1800.0};
+/// Retry backoff delays, seconds.
+const std::vector<double> kBackoffBounds = {1.0, 2.0, 5.0, 10.0, 30.0, 60.0};
 }  // namespace
 
 Coordinator::Coordinator(winsim::Fleet& fleet, Probe& probe,
@@ -27,7 +31,11 @@ Coordinator::Coordinator(winsim::Fleet& fleet, Probe& probe,
       config_(config),
       sink_(sink),
       advance_(advance),
-      executor_(config.exec_policy, config.seed) {
+      executor_(config.exec_policy, config.seed, config.faults),
+      // Jitter gets its own stream (seed-derived) so enabling retries never
+      // perturbs the transport RNG for non-retried attempts.
+      retry_rng_(config.seed ^ 0x9e3779b97f4a7c15ULL) {
+  config_.retry = config.retry.Validated();
   // Resolve instruments once: the probe loop must only touch cached
   // atomics, never the registry mutex or label strings.
   if (config_.metrics) BindInstruments();
@@ -77,6 +85,20 @@ void Coordinator::BindInstruments() {
       "Overrun of the most recent iteration");
   iterations_counter_ = &registry.GetCounter(
       "labmon_ddc_iterations_total", "Completed coordinator iterations");
+  retry_counter_ = &registry.GetCounter(
+      "labmon_ddc_retry_attempts_total",
+      "Extra probe attempts made beyond the first, per machine collection");
+  recovered_counter_ = &registry.GetCounter(
+      "labmon_ddc_collection_outcomes_total",
+      "Terminal disposition of machine collections",
+      {{"result", "recovered_after_retry"}});
+  missing_counter_ = &registry.GetCounter(
+      "labmon_ddc_collection_outcomes_total", "", {{"result", "missing"}});
+  corrupt_counter_ = &registry.GetCounter(
+      "labmon_ddc_collection_outcomes_total", "", {{"result", "corrupt"}});
+  backoff_hist_ = &registry.GetHistogram(
+      "labmon_ddc_retry_backoff_seconds", kBackoffBounds,
+      "Backoff delay before each retry attempt");
 }
 
 void Coordinator::Tally(std::size_t machine_index,
@@ -124,11 +146,97 @@ ExecOutcome Coordinator::ExecuteOne(std::size_t machine_index,
   return outcome;
 }
 
+util::SimTime Coordinator::CollectOnce(std::size_t machine_index,
+                                       std::uint64_t iteration,
+                                       util::SimTime iteration_start,
+                                       util::SimTime start) {
+  const RetryPolicy& retry = config_.retry;
+  const double budget = retry.iteration_budget_s > 0.0
+                            ? retry.iteration_budget_s
+                            : static_cast<double>(config_.period);
+  util::SimTime now = start;
+  double next_backoff = retry.backoff_initial_s;
+  bool failed_before = false;
+  bool did_retry = false;
+  bool last_was_reject = false;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    // The behaviour driver is non-monotone-safe, so advancing again for a
+    // retry instant is fine; per-machine probe times stay monotone.
+    AdvanceTo(now);
+    CollectedSample sample;
+    sample.machine_index = machine_index;
+    sample.iteration = iteration;
+    sample.attempt_time = now;
+    sample.attempt_number = attempt;
+    bool structured = false;
+    sample.outcome = ExecuteOne(machine_index, now, &structured);
+    if (structured) sample.structured = &scratch_;
+    sample.recovered = sample.outcome.ok() && failed_before;
+    Tally(machine_index, sample.outcome);
+    const SampleVerdict verdict = sink_.OnSample(sample);
+    now += static_cast<util::SimTime>(std::llround(sample.outcome.latency_s));
+
+    const bool rejected =
+        sample.outcome.ok() && verdict == SampleVerdict::kRejected;
+    if (sample.outcome.ok() && !rejected) {
+      if (failed_before) {
+        ++recovered_;
+        if (recovered_counter_) recovered_counter_->Increment();
+      }
+      return now;
+    }
+    failed_before = true;
+    last_was_reject = rejected;
+
+    const bool retryable =
+        rejected ? retry.retry_rejects
+                 : (sample.outcome.status == ExecOutcome::Status::kError ||
+                    retry.retry_timeouts);
+    if (!retryable || attempt >= static_cast<std::uint32_t>(
+                                     retry.max_attempts)) {
+      break;
+    }
+    double delay = std::min(retry.backoff_max_s, next_backoff);
+    next_backoff = std::min(retry.backoff_max_s,
+                            next_backoff * retry.backoff_multiplier);
+    if (retry.jitter_fraction > 0.0) {
+      delay *= 1.0 + retry.jitter_fraction * (2.0 * retry_rng_.Uniform() - 1.0);
+    }
+    // Stay inside the iteration budget: the delay plus a conservative
+    // estimate of the next attempt (a full dead-host timeout) must fit.
+    const double elapsed = static_cast<double>(now - iteration_start);
+    if (elapsed + delay + executor_.policy().offline_timeout_mean_s > budget) {
+      break;
+    }
+    if (!did_retry) {
+      did_retry = true;
+      ++retried_collections_;
+    }
+    ++retry_attempts_;
+    if (retry_counter_) retry_counter_->Increment();
+    if (backoff_hist_) backoff_hist_->Observe(delay);
+    now += static_cast<util::SimTime>(std::llround(delay));
+  }
+  // Retries exhausted (or never allowed): classify the hole in the trace.
+  if (last_was_reject) {
+    ++corrupt_;
+    if (corrupt_counter_) corrupt_counter_->Increment();
+  } else {
+    ++missing_;
+    if (missing_counter_) missing_counter_->Increment();
+  }
+  return now;
+}
+
 RunStats Coordinator::Run(util::SimTime start, util::SimTime end) {
   // Tallies are per-run; without this a second Run() would fold the first
   // run's counts into its RunStats.
   attempts_ = successes_ = timeouts_ = errors_ = 0;
+  missing_ = corrupt_ = recovered_ = 0;
+  retry_attempts_ = retried_collections_ = 0;
   structured_ok_ = 0;
+  const std::uint64_t faults_before =
+      config_.faults ? config_.faults->injected_total() : 0;
 
   RunStats stats;
   double iteration_s_sum = 0.0;
@@ -172,6 +280,13 @@ RunStats Coordinator::Run(util::SimTime start, util::SimTime end) {
   stats.successes = successes_;
   stats.timeouts = timeouts_;
   stats.errors = errors_;
+  stats.missing = missing_;
+  stats.corrupt = corrupt_;
+  stats.recovered_after_retry = recovered_;
+  stats.retry_attempts = retry_attempts_;
+  stats.retried_collections = retried_collections_;
+  stats.faults_injected =
+      config_.faults ? config_.faults->injected_total() - faults_before : 0;
   return stats;
 }
 
@@ -179,18 +294,7 @@ util::SimTime Coordinator::RunIterationSequential(std::uint64_t iteration,
                                                   util::SimTime start) {
   util::SimTime now = start;
   for (std::size_t i = 0; i < fleet_.size(); ++i) {
-    AdvanceTo(now);
-    CollectedSample sample;
-    sample.machine_index = i;
-    sample.iteration = iteration;
-    sample.attempt_time = now;
-    bool structured = false;
-    sample.outcome = ExecuteOne(i, now, &structured);
-    if (structured) sample.structured = &scratch_;
-    Tally(i, sample.outcome);
-    sink_.OnSample(sample);
-    now += static_cast<util::SimTime>(
-        std::llround(sample.outcome.latency_s));
+    now = CollectOnce(i, iteration, start, now);
   }
   return std::max(now, start + 1);
 }
@@ -210,19 +314,7 @@ util::SimTime Coordinator::RunIterationParallel(std::uint64_t iteration,
   for (std::size_t i = 0; i < fleet_.size(); ++i) {
     auto [free_at, worker] = workers.top();
     workers.pop();
-    AdvanceTo(free_at);
-    CollectedSample sample;
-    sample.machine_index = i;
-    sample.iteration = iteration;
-    sample.attempt_time = free_at;
-    bool structured = false;
-    sample.outcome = ExecuteOne(i, free_at, &structured);
-    if (structured) sample.structured = &scratch_;
-    Tally(i, sample.outcome);
-    sink_.OnSample(sample);
-    const util::SimTime done =
-        free_at +
-        static_cast<util::SimTime>(std::llround(sample.outcome.latency_s));
+    const util::SimTime done = CollectOnce(i, iteration, start, free_at);
     latest = std::max(latest, done);
     workers.emplace(done, worker);
   }

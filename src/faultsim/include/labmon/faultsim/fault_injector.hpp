@@ -1,0 +1,114 @@
+// FaultInjector — executes a FaultPlan at the winsim::Machine /
+// ddc::RemoteExecutor boundary.
+//
+// The injector owns its own deterministic RNG stream (seeded from the
+// plan), so a null or inactive injector leaves the transport's RNG draws —
+// and therefore the collected trace — bit-identical to a build without the
+// fault layer. All decisions are drawn in a fixed per-attempt protocol
+// (transport fate → in-machine faults → wire faults), which makes a run
+// with a given plan + seed exactly reproducible.
+//
+// The injector is not thread-safe; the coordinator's parallel mode is a
+// simulated schedule on one thread, which is the only supported caller.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "labmon/faultsim/fault_plan.hpp"
+#include "labmon/obs/registry.hpp"
+#include "labmon/util/rng.hpp"
+#include "labmon/util/time.hpp"
+#include "labmon/winsim/fleet.hpp"
+
+namespace labmon::faultsim {
+
+/// Transport-level fate of one attempt, decided before the real transport
+/// model runs. kNone means "no injected transport fault — proceed".
+struct TransportFault {
+  enum class Kind : std::uint8_t { kNone, kTimeout, kError };
+  Kind kind = Kind::kNone;
+  FaultKind source = FaultKind::kLabOutage;  ///< meaningful when kind != kNone
+  double latency_s = 0.0;
+  const char* detail = "";  ///< stderr fragment for the outcome
+};
+
+/// Wire-level fate of one successful attempt.
+struct WireFault {
+  enum class Kind : std::uint8_t { kNone, kTruncate, kCorrupt };
+  Kind kind = Kind::kNone;
+  double latency_multiplier = 1.0;  ///< straggler spike (1.0 = none)
+};
+
+class FaultInjector {
+ public:
+  /// Builds an injector for `plan`. `metrics` (optional) receives
+  /// `labmon_faultsim_injected_total{kind=...}` counters.
+  explicit FaultInjector(FaultPlan plan, obs::Registry* metrics = nullptr);
+
+  /// Resolves scripted lab names against the fleet's lab directory so
+  /// lab-wide outages know their machine index ranges. Unknown lab names
+  /// are ignored (the scenario simply never fires). Call before collecting.
+  void BindFleet(const winsim::Fleet& fleet);
+
+  /// False for a disabled/empty plan: callers skip the whole protocol and
+  /// the transport path is untouched.
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  // --- per-attempt protocol (the executor calls these, in order) ---------
+
+  /// Step 1: transport fate of the attempt against `machine_index` at `t`.
+  /// Scripted crash/outage windows fire first, then stochastic hang and
+  /// transient-error draws.
+  [[nodiscard]] TransportFault OnAttempt(std::size_t machine_index,
+                                         util::SimTime t);
+
+  /// Step 2, after a successful transport connect and before the probe
+  /// reads the machine: in-machine faults (NIC counter resets).
+  void BeforeProbe(winsim::Machine& machine, util::SimTime t);
+
+  /// Step 3, after the probe ran: decides wire truncation/corruption and
+  /// straggler latency for this attempt. A non-kNone wire kind obliges the
+  /// caller to ship text (a corrupted wire has no structured form).
+  [[nodiscard]] WireFault PlanWire();
+
+  /// Applies a planned wire fault to the captured payload.
+  void ApplyWire(const WireFault& wire, std::string* payload);
+
+  // --- archive boundary ---------------------------------------------------
+
+  /// True when this archive append should be dropped (disk-full / IO error
+  /// at the coordinator site).
+  [[nodiscard]] bool FailArchiveWrite();
+
+  // --- introspection ------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t injected_total() const noexcept;
+  [[nodiscard]] std::uint64_t injected(FaultKind kind) const noexcept {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  struct ResolvedOutage {
+    std::size_t first = 0;
+    std::size_t count = 0;
+    util::SimTime start = 0;
+    util::SimTime end = 0;
+  };
+
+  void Count(FaultKind kind) noexcept;
+  [[nodiscard]] double TimeoutLatency() noexcept;
+  [[nodiscard]] double ErrorLatency() noexcept;
+
+  FaultPlan plan_;
+  bool active_ = false;
+  util::Rng rng_;
+  std::vector<ResolvedOutage> resolved_outages_;
+  std::array<std::uint64_t, kFaultKindCount> counts_{};
+  std::array<obs::Counter*, kFaultKindCount> counters_{};
+};
+
+}  // namespace labmon::faultsim

@@ -1,0 +1,137 @@
+// FaultPlan — the declarative description of everything that can go wrong.
+//
+// The paper's DDC only survived its 77 days because the fleet constantly
+// misbehaved: powered-off hosts, psexec timeouts, RPC blips, and iterations
+// that overran the 15-minute budget (6,883 logged vs 7,392 ideal). A
+// FaultPlan scripts that reality deterministically: correlated lab-wide
+// switch outages, machine crashes/hangs mid-iteration, NIC counter resets,
+// wire-level stdout truncation/corruption, straggler latency spikes,
+// archive write failures, and an extra stochastic RPC-blip rate — all
+// seeded, so the same plan + seed replays the same incident sequence
+// bit-for-bit. A default-constructed plan is inert: zero-fault runs stay
+// byte-identical to a build without the fault layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "labmon/util/expected.hpp"
+#include "labmon/util/rng.hpp"
+#include "labmon/util/time.hpp"
+
+namespace labmon::faultsim {
+
+/// Every fault family the injector can fire. Kind names label the
+/// `labmon_faultsim_injected_total` metric and the plan-file sections.
+enum class FaultKind : std::uint8_t {
+  kLabOutage = 0,        ///< scripted lab-wide switch outage (correlated timeouts)
+  kMachineCrash,         ///< scripted crash: host unreachable for a window
+  kMachineHang,          ///< stochastic hang: one long-latency timeout
+  kTransientError,       ///< stochastic extra RPC blip (error, short latency)
+  kNicCounterReset,      ///< since-boot NIC totals reset under the probe
+  kWireTruncation,       ///< probe stdout cut short on the wire
+  kWireCorruption,       ///< probe stdout bytes flipped on the wire
+  kStragglerLatency,     ///< successful attempt, multiplied latency
+  kArchiveWriteFailure,  ///< archive append lost at the coordinator
+};
+inline constexpr std::size_t kFaultKindCount = 9;
+
+/// Stable lowercase name of a fault kind ("lab_outage", ...).
+[[nodiscard]] const char* FaultKindName(FaultKind kind) noexcept;
+
+/// Scripted lab-wide switch outage: every probe against a machine of `lab`
+/// inside [start, end) times out, no matter the machine's power state.
+struct ScriptedOutage {
+  std::string lab;
+  util::SimTime start = 0;
+  util::SimTime end = 0;
+};
+
+/// Scripted machine crash/hang: the host stops answering at `at` and stays
+/// unreachable for `down_seconds` (someone eventually reboots it). The
+/// behavioural simulation is not touched — ground truth and observation
+/// diverge, exactly like a real crashed box the driver believes is up.
+struct ScriptedCrash {
+  std::size_t machine = 0;
+  util::SimTime at = 0;
+  util::SimTime down_seconds = 30 * util::kSecondsPerMinute;
+};
+
+/// Scripted NIC counter reset: the machine's since-boot byte totals drop to
+/// zero just before the probe at/after `at` reads them (driver reload /
+/// 32-bit counter wrap — the paper's probes saw both).
+struct ScriptedNicReset {
+  std::size_t machine = 0;
+  util::SimTime at = 0;
+};
+
+/// Per-attempt stochastic fault rates. All default to zero (inert).
+struct StochasticModel {
+  double transient_error_prob = 0.0;   ///< extra RPC-busy blips
+  double hang_prob = 0.0;              ///< attempt hangs, then times out
+  double hang_seconds_mean = 120.0;
+  double hang_seconds_sigma = 30.0;
+  double straggler_prob = 0.0;         ///< success with multiplied latency
+  double straggler_multiplier_lo = 4.0;
+  double straggler_multiplier_hi = 16.0;
+  double wire_truncation_prob = 0.0;   ///< stdout cut at a random offset
+  double wire_corruption_prob = 0.0;   ///< stdout bytes flipped
+  int wire_corruption_max_bytes = 4;   ///< flips per corrupted payload
+  double nic_reset_prob = 0.0;         ///< counter reset under the probe
+  double archive_write_failure_prob = 0.0;
+
+  [[nodiscard]] bool Any() const noexcept;
+};
+
+/// A complete, seedable fault scenario. Off by default.
+struct FaultPlan {
+  bool enabled = false;
+  std::uint64_t seed = 0xfa017ca5e;
+
+  /// Latency of injected unreachable-host timeouts (outage/crash windows);
+  /// defaults mirror ExecPolicy's dead-host connect timeouts.
+  double timeout_latency_mean_s = 8.0;
+  double timeout_latency_sigma_s = 2.0;
+  double timeout_latency_min_s = 3.0;
+  /// Latency of injected RPC blips; defaults mirror live-host latencies.
+  double error_latency_mean_s = 1.1;
+  double error_latency_sigma_s = 0.4;
+  double error_latency_min_s = 0.3;
+
+  StochasticModel stochastic;
+  std::vector<ScriptedOutage> outages;
+  std::vector<ScriptedCrash> crashes;
+  std::vector<ScriptedNicReset> nic_resets;
+
+  /// True when the plan can actually fire something. An injector built from
+  /// an inactive plan is a strict no-op (zero-fault bit-identity).
+  [[nodiscard]] bool Active() const noexcept;
+};
+
+/// Parses a fault plan from INI text. Sections:
+///   [plan]        enabled, seed, *_latency_* overrides
+///   [stochastic]  every StochasticModel field by name
+///   [outage.N]    lab, start, end                (N = any distinct suffix)
+///   [crash.N]     machine, at, down_seconds
+///   [nic_reset.N] machine, at
+/// Times accept plain seconds. Unknown keys fail the parse (typo safety).
+[[nodiscard]] util::Result<FaultPlan> ParseFaultPlan(const std::string& text);
+
+/// Reads and parses a fault plan file.
+[[nodiscard]] util::Result<FaultPlan> LoadFaultPlan(const std::string& path);
+
+// --- wire corruption model --------------------------------------------------
+// Shared with the probe fuzz suite so tests feed the parsers exactly the
+// bytes the injector would put on the wire.
+
+/// Truncates `payload` at a uniform offset in [0, size). Empty payloads are
+/// left alone. Draws exactly one value from `rng`.
+void TruncatePayload(util::Rng& rng, std::string* payload);
+
+/// Flips 1..max_bytes bytes of `payload` to uniform printable garbage
+/// (mirrors psexec capture corruption, which stayed in the text range).
+/// Empty payloads are left alone.
+void CorruptPayload(util::Rng& rng, int max_bytes, std::string* payload);
+
+}  // namespace labmon::faultsim

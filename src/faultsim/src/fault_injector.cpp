@@ -1,0 +1,180 @@
+#include "labmon/faultsim/fault_injector.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace labmon::faultsim {
+
+namespace {
+constexpr const char* kInjectedCounterName = "labmon_faultsim_injected_total";
+constexpr const char* kInjectedCounterHelp =
+    "Faults injected by labmon::faultsim, by kind.";
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, obs::Registry* metrics)
+    : plan_(std::move(plan)), active_(plan_.Active()), rng_(plan_.seed) {
+  if (metrics != nullptr && active_) {
+    for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+      counters_[k] = &metrics->GetCounter(
+          kInjectedCounterName, kInjectedCounterHelp,
+          {{"kind", FaultKindName(static_cast<FaultKind>(k))}});
+    }
+  }
+}
+
+void FaultInjector::BindFleet(const winsim::Fleet& fleet) {
+  resolved_outages_.clear();
+  for (const ScriptedOutage& outage : plan_.outages) {
+    for (const winsim::LabInfo& lab : fleet.labs()) {
+      if (lab.name == outage.lab) {
+        resolved_outages_.push_back(
+            {lab.first, lab.count, outage.start, outage.end});
+        break;
+      }
+    }
+  }
+}
+
+void FaultInjector::Count(FaultKind kind) noexcept {
+  const auto k = static_cast<std::size_t>(kind);
+  ++counts_[k];
+  if (counters_[k] != nullptr) counters_[k]->Increment();
+}
+
+double FaultInjector::TimeoutLatency() noexcept {
+  return std::max(plan_.timeout_latency_min_s,
+                  rng_.Normal(plan_.timeout_latency_mean_s,
+                              plan_.timeout_latency_sigma_s));
+}
+
+double FaultInjector::ErrorLatency() noexcept {
+  return std::max(plan_.error_latency_min_s,
+                  rng_.Normal(plan_.error_latency_mean_s,
+                              plan_.error_latency_sigma_s));
+}
+
+TransportFault FaultInjector::OnAttempt(std::size_t machine_index,
+                                        util::SimTime t) {
+  TransportFault fault;
+  if (!active_) return fault;
+
+  for (const ScriptedCrash& crash : plan_.crashes) {
+    if (machine_index == crash.machine && t >= crash.at &&
+        t < crash.at + crash.down_seconds) {
+      Count(FaultKind::kMachineCrash);
+      fault.kind = TransportFault::Kind::kTimeout;
+      fault.source = FaultKind::kMachineCrash;
+      fault.latency_s = TimeoutLatency();
+      fault.detail = "faultsim: host crashed";
+      return fault;
+    }
+  }
+  for (const ResolvedOutage& outage : resolved_outages_) {
+    if (machine_index >= outage.first &&
+        machine_index < outage.first + outage.count && t >= outage.start &&
+        t < outage.end) {
+      Count(FaultKind::kLabOutage);
+      fault.kind = TransportFault::Kind::kTimeout;
+      fault.source = FaultKind::kLabOutage;
+      fault.latency_s = TimeoutLatency();
+      fault.detail = "faultsim: lab switch outage";
+      return fault;
+    }
+  }
+  if (plan_.stochastic.hang_prob > 0.0 &&
+      rng_.Bernoulli(plan_.stochastic.hang_prob)) {
+    Count(FaultKind::kMachineHang);
+    fault.kind = TransportFault::Kind::kTimeout;
+    fault.source = FaultKind::kMachineHang;
+    fault.latency_s =
+        std::max(plan_.timeout_latency_min_s,
+                 rng_.Normal(plan_.stochastic.hang_seconds_mean,
+                             plan_.stochastic.hang_seconds_sigma));
+    fault.detail = "faultsim: probe hung";
+    return fault;
+  }
+  if (plan_.stochastic.transient_error_prob > 0.0 &&
+      rng_.Bernoulli(plan_.stochastic.transient_error_prob)) {
+    Count(FaultKind::kTransientError);
+    fault.kind = TransportFault::Kind::kError;
+    fault.source = FaultKind::kTransientError;
+    fault.latency_s = ErrorLatency();
+    fault.detail = "faultsim: RPC server busy";
+    return fault;
+  }
+  return fault;
+}
+
+void FaultInjector::BeforeProbe(winsim::Machine& machine, util::SimTime t) {
+  if (!active_ || !machine.powered_on()) return;
+  bool reset = false;
+  for (ScriptedNicReset& scripted : plan_.nic_resets) {
+    // `at` doubles as the fired flag: a reset that fired is disarmed by
+    // pushing it past any representable probe instant.
+    if (machine.id() == scripted.machine && t >= scripted.at) {
+      scripted.at = std::numeric_limits<util::SimTime>::max();
+      reset = true;
+    }
+  }
+  if (plan_.stochastic.nic_reset_prob > 0.0 &&
+      rng_.Bernoulli(plan_.stochastic.nic_reset_prob)) {
+    reset = true;
+  }
+  if (reset) {
+    Count(FaultKind::kNicCounterReset);
+    machine.ResetNetCounters();
+  }
+}
+
+WireFault FaultInjector::PlanWire() {
+  WireFault wire;
+  if (!active_) return wire;
+  const StochasticModel& m = plan_.stochastic;
+  if (m.wire_truncation_prob > 0.0 && rng_.Bernoulli(m.wire_truncation_prob)) {
+    wire.kind = WireFault::Kind::kTruncate;
+  } else if (m.wire_corruption_prob > 0.0 &&
+             rng_.Bernoulli(m.wire_corruption_prob)) {
+    wire.kind = WireFault::Kind::kCorrupt;
+  }
+  if (m.straggler_prob > 0.0 && rng_.Bernoulli(m.straggler_prob)) {
+    Count(FaultKind::kStragglerLatency);
+    wire.latency_multiplier =
+        rng_.Uniform(m.straggler_multiplier_lo, m.straggler_multiplier_hi);
+  }
+  return wire;
+}
+
+void FaultInjector::ApplyWire(const WireFault& wire, std::string* payload) {
+  switch (wire.kind) {
+    case WireFault::Kind::kNone:
+      break;
+    case WireFault::Kind::kTruncate:
+      Count(FaultKind::kWireTruncation);
+      TruncatePayload(rng_, payload);
+      break;
+    case WireFault::Kind::kCorrupt:
+      Count(FaultKind::kWireCorruption);
+      CorruptPayload(rng_, plan_.stochastic.wire_corruption_max_bytes,
+                     payload);
+      break;
+  }
+}
+
+bool FaultInjector::FailArchiveWrite() {
+  if (!active_ || plan_.stochastic.archive_write_failure_prob <= 0.0) {
+    return false;
+  }
+  if (rng_.Bernoulli(plan_.stochastic.archive_write_failure_prob)) {
+    Count(FaultKind::kArchiveWriteFailure);
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t FaultInjector::injected_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts_) total += c;
+  return total;
+}
+
+}  // namespace labmon::faultsim

@@ -1,0 +1,200 @@
+#include "labmon/faultsim/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "labmon/util/csv.hpp"
+#include "labmon/util/ini.hpp"
+
+namespace labmon::faultsim {
+
+const char* FaultKindName(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kLabOutage: return "lab_outage";
+    case FaultKind::kMachineCrash: return "machine_crash";
+    case FaultKind::kMachineHang: return "machine_hang";
+    case FaultKind::kTransientError: return "transient_error";
+    case FaultKind::kNicCounterReset: return "nic_reset";
+    case FaultKind::kWireTruncation: return "wire_truncation";
+    case FaultKind::kWireCorruption: return "wire_corruption";
+    case FaultKind::kStragglerLatency: return "straggler_latency";
+    case FaultKind::kArchiveWriteFailure: return "archive_write_failure";
+  }
+  return "unknown";
+}
+
+bool StochasticModel::Any() const noexcept {
+  return transient_error_prob > 0.0 || hang_prob > 0.0 ||
+         straggler_prob > 0.0 || wire_truncation_prob > 0.0 ||
+         wire_corruption_prob > 0.0 || nic_reset_prob > 0.0 ||
+         archive_write_failure_prob > 0.0;
+}
+
+bool FaultPlan::Active() const noexcept {
+  return enabled && (stochastic.Any() || !outages.empty() ||
+                     !crashes.empty() || !nic_resets.empty());
+}
+
+namespace {
+
+/// Scenario-section parser state: scripted entries are keyed by an
+/// arbitrary suffix ("outage.switch42.lab"), collected in document order.
+template <typename T>
+T& EntryFor(std::vector<std::string>& names, std::vector<T>& entries,
+            const std::string& name) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return entries[i];
+  }
+  names.push_back(name);
+  entries.emplace_back();
+  return entries.back();
+}
+
+}  // namespace
+
+util::Result<FaultPlan> ParseFaultPlan(const std::string& text) {
+  using R = util::Result<FaultPlan>;
+  auto ini = util::IniFile::Parse(text);
+  if (!ini.ok()) return R::Err(ini.error());
+  const util::IniFile& file = ini.value();
+
+  FaultPlan plan;
+  plan.enabled = true;  // a plan file exists to be used
+  std::vector<std::string> outage_names;
+  std::vector<std::string> crash_names;
+  std::vector<std::string> reset_names;
+
+  bool ok = true;
+  const auto f64 = [&](const std::string& key, double fallback) {
+    return file.GetDouble(key, fallback, &ok);
+  };
+  const auto i64 = [&](const std::string& key, std::int64_t fallback) {
+    return file.GetInt(key, fallback, &ok);
+  };
+
+  for (const std::string& key : file.keys()) {
+    const auto dot = key.find('.');
+    const std::string section = dot == std::string::npos ? "" : key.substr(0, dot);
+    ok = true;
+    if (section == "plan") {
+      const std::string field = key.substr(dot + 1);
+      if (field == "enabled") {
+        plan.enabled = file.GetBool(key, true, &ok);
+      } else if (field == "seed") {
+        plan.seed = static_cast<std::uint64_t>(i64(key, 0));
+      } else if (field == "timeout_latency_mean_s") {
+        plan.timeout_latency_mean_s = f64(key, plan.timeout_latency_mean_s);
+      } else if (field == "timeout_latency_sigma_s") {
+        plan.timeout_latency_sigma_s = f64(key, plan.timeout_latency_sigma_s);
+      } else if (field == "timeout_latency_min_s") {
+        plan.timeout_latency_min_s = f64(key, plan.timeout_latency_min_s);
+      } else if (field == "error_latency_mean_s") {
+        plan.error_latency_mean_s = f64(key, plan.error_latency_mean_s);
+      } else if (field == "error_latency_sigma_s") {
+        plan.error_latency_sigma_s = f64(key, plan.error_latency_sigma_s);
+      } else if (field == "error_latency_min_s") {
+        plan.error_latency_min_s = f64(key, plan.error_latency_min_s);
+      } else {
+        return R::Err("unknown fault-plan key: " + key);
+      }
+    } else if (section == "stochastic") {
+      const std::string field = key.substr(dot + 1);
+      StochasticModel& m = plan.stochastic;
+      if (field == "transient_error_prob") {
+        m.transient_error_prob = f64(key, 0.0);
+      } else if (field == "hang_prob") {
+        m.hang_prob = f64(key, 0.0);
+      } else if (field == "hang_seconds_mean") {
+        m.hang_seconds_mean = f64(key, m.hang_seconds_mean);
+      } else if (field == "hang_seconds_sigma") {
+        m.hang_seconds_sigma = f64(key, m.hang_seconds_sigma);
+      } else if (field == "straggler_prob") {
+        m.straggler_prob = f64(key, 0.0);
+      } else if (field == "straggler_multiplier_lo") {
+        m.straggler_multiplier_lo = f64(key, m.straggler_multiplier_lo);
+      } else if (field == "straggler_multiplier_hi") {
+        m.straggler_multiplier_hi = f64(key, m.straggler_multiplier_hi);
+      } else if (field == "wire_truncation_prob") {
+        m.wire_truncation_prob = f64(key, 0.0);
+      } else if (field == "wire_corruption_prob") {
+        m.wire_corruption_prob = f64(key, 0.0);
+      } else if (field == "wire_corruption_max_bytes") {
+        m.wire_corruption_max_bytes = static_cast<int>(i64(key, 4));
+      } else if (field == "nic_reset_prob") {
+        m.nic_reset_prob = f64(key, 0.0);
+      } else if (field == "archive_write_failure_prob") {
+        m.archive_write_failure_prob = f64(key, 0.0);
+      } else {
+        return R::Err("unknown fault-plan key: " + key);
+      }
+    } else if (section == "outage" || section == "crash" ||
+               section == "nic_reset") {
+      // "outage.<name>.<field>"
+      const auto last = key.rfind('.');
+      if (last == dot) return R::Err("scenario key needs a name: " + key);
+      const std::string name = key.substr(0, last);
+      const std::string field = key.substr(last + 1);
+      if (section == "outage") {
+        ScriptedOutage& o = EntryFor(outage_names, plan.outages, name);
+        if (field == "lab") {
+          if (const auto v = file.Get(key)) o.lab = *v;
+        } else if (field == "start") {
+          o.start = i64(key, 0);
+        } else if (field == "end") {
+          o.end = i64(key, 0);
+        } else {
+          return R::Err("unknown fault-plan key: " + key);
+        }
+      } else if (section == "crash") {
+        ScriptedCrash& c = EntryFor(crash_names, plan.crashes, name);
+        if (field == "machine") {
+          c.machine = static_cast<std::size_t>(i64(key, 0));
+        } else if (field == "at") {
+          c.at = i64(key, 0);
+        } else if (field == "down_seconds") {
+          c.down_seconds = i64(key, 0);
+        } else {
+          return R::Err("unknown fault-plan key: " + key);
+        }
+      } else {
+        ScriptedNicReset& n = EntryFor(reset_names, plan.nic_resets, name);
+        if (field == "machine") {
+          n.machine = static_cast<std::size_t>(i64(key, 0));
+        } else if (field == "at") {
+          n.at = i64(key, 0);
+        } else {
+          return R::Err("unknown fault-plan key: " + key);
+        }
+      }
+    } else {
+      return R::Err("unknown fault-plan key: " + key);
+    }
+    if (!ok) return R::Err("unparsable value for fault-plan key: " + key);
+  }
+  return plan;
+}
+
+util::Result<FaultPlan> LoadFaultPlan(const std::string& path) {
+  auto text = util::ReadTextFile(path);
+  if (!text.ok()) return util::Result<FaultPlan>::Err(text.error());
+  return ParseFaultPlan(text.value());
+}
+
+void TruncatePayload(util::Rng& rng, std::string* payload) {
+  if (payload->empty()) return;
+  const auto cut = static_cast<std::size_t>(
+      rng.UniformInt(0, static_cast<std::int64_t>(payload->size()) - 1));
+  payload->resize(cut);
+}
+
+void CorruptPayload(util::Rng& rng, int max_bytes, std::string* payload) {
+  if (payload->empty()) return;
+  const int flips =
+      static_cast<int>(rng.UniformInt(1, std::max(1, max_bytes)));
+  for (int k = 0; k < flips; ++k) {
+    const auto pos = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(payload->size()) - 1));
+    (*payload)[pos] = static_cast<char>(rng.UniformInt(1, 126));
+  }
+}
+
+}  // namespace labmon::faultsim

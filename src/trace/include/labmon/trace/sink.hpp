@@ -14,7 +14,7 @@ class TraceStoreSink final : public ddc::SampleSink {
  public:
   explicit TraceStoreSink(TraceStore& store) : store_(&store) {}
 
-  void OnSample(const ddc::CollectedSample& sample) override;
+  ddc::SampleVerdict OnSample(const ddc::CollectedSample& sample) override;
   void OnIterationEnd(std::uint64_t iteration, util::SimTime start_time,
                       util::SimTime end_time) override;
 

@@ -5,9 +5,9 @@
 
 namespace labmon::trace {
 
-void TraceStoreSink::OnSample(const ddc::CollectedSample& sample) {
+ddc::SampleVerdict TraceStoreSink::OnSample(const ddc::CollectedSample& sample) {
   ++iteration_attempts_;
-  if (!sample.outcome.ok()) return;
+  if (!sample.outcome.ok()) return ddc::SampleVerdict::kAccepted;
   if (sample.structured != nullptr) {
     // Structured fast path: the probe delivered the sample in-process. On
     // cross-check attempts the text was rendered too — verify the codecs
@@ -31,7 +31,7 @@ void TraceStoreSink::OnSample(const ddc::CollectedSample& sample) {
         MakeRecord(static_cast<std::uint32_t>(sample.machine_index),
                    static_cast<std::uint32_t>(sample.iteration),
                    sample.attempt_time, *sample.structured));
-    return;
+    return ddc::SampleVerdict::kAccepted;
   }
   const auto parsed =
       ddc::ParseW32ProbeOutput(sample.outcome.stdout_text, &parse_scratch_);
@@ -40,12 +40,13 @@ void TraceStoreSink::OnSample(const ddc::CollectedSample& sample) {
     if (util::log::Enabled(util::log::Level::kWarn)) {
       util::log::Warn("post-collect parse failure: " + parsed.error());
     }
-    return;
+    return ddc::SampleVerdict::kRejected;
   }
   ++iteration_successes_;
   store_->Append(MakeRecord(static_cast<std::uint32_t>(sample.machine_index),
                             static_cast<std::uint32_t>(sample.iteration),
                             sample.attempt_time, parse_scratch_));
+  return ddc::SampleVerdict::kAccepted;
 }
 
 void TraceStoreSink::OnIterationEnd(std::uint64_t iteration,

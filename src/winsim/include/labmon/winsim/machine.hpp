@@ -80,6 +80,9 @@ class Machine {
   void Login(std::string user, util::SimTime t);
   /// Closes the interactive session (no-op when none).
   void Logout();
+  /// Zeroes the since-boot NIC byte totals in place (driver reload or
+  /// 32-bit counter wrap); rates and everything else are untouched.
+  void ResetNetCounters();
 
   // --- observable surface (probe-side; machine must be powered on) -------
   [[nodiscard]] util::SimTime BootTime() const noexcept;

@@ -86,6 +86,12 @@ void Machine::Login(std::string user, util::SimTime t) {
 
 void Machine::Logout() { session_.reset(); }
 
+void Machine::ResetNetCounters() {
+  RequireOn();
+  net_sent_bytes_ = 0.0;
+  net_recv_bytes_ = 0.0;
+}
+
 util::SimTime Machine::BootTime() const noexcept {
   RequireOn();
   return boot_time_;

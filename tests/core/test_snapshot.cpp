@@ -7,8 +7,10 @@
 #include <filesystem>
 
 #include "labmon/core/experiment.hpp"
+#include "labmon/obs/registry.hpp"
 #include "labmon/trace/binary_io.hpp"
 #include "labmon/util/csv.hpp"
+#include "labmon/util/rng.hpp"
 
 namespace labmon::core {
 namespace {
@@ -103,6 +105,65 @@ TEST(SnapshotTest, FingerprintCoversBehaviourAffectingFields) {
   EXPECT_EQ(base, FingerprintConfig(fast));
 }
 
+TEST(SnapshotTest, FingerprintCoversRetryPolicyAndFaultPlan) {
+  const auto base = FingerprintConfig(ShortConfig());
+
+  auto retry = ShortConfig();
+  retry.collector.retry.max_attempts = 3;
+  EXPECT_NE(base, FingerprintConfig(retry));
+
+  auto budget = ShortConfig();
+  budget.collector.retry.iteration_budget_s = 120.0;
+  EXPECT_NE(base, FingerprintConfig(budget));
+
+  // An active fault plan keys a different snapshot: faulted and clean runs
+  // must never share a cache entry.
+  auto faulted = ShortConfig();
+  faulted.fault_plan.enabled = true;
+  faulted.fault_plan.stochastic.transient_error_prob = 0.01;
+  EXPECT_NE(base, FingerprintConfig(faulted));
+
+  auto seeded = faulted;
+  seeded.fault_plan.seed ^= 1;
+  EXPECT_NE(FingerprintConfig(faulted), FingerprintConfig(seeded));
+
+  auto scripted = ShortConfig();
+  scripted.fault_plan.enabled = true;
+  scripted.fault_plan.outages.push_back({"L03", 100, 200});
+  EXPECT_NE(base, FingerprintConfig(scripted));
+  auto other_lab = scripted;
+  other_lab.fault_plan.outages[0].lab = "L04";
+  EXPECT_NE(FingerprintConfig(scripted), FingerprintConfig(other_lab));
+}
+
+TEST(SnapshotTest, SingleBitFlipsAnywhereAreDetected) {
+  const auto config = ShortConfig();
+  const auto result = Experiment::Run(config);
+  const auto fingerprint = FingerprintConfig(config);
+  const std::string bytes = SerializeExperimentResult(result, fingerprint);
+
+  // Deterministically fuzzed offsets plus a coarse full-file grid: a
+  // corrupted snapshot must never deserialize — a wrong result replayed
+  // silently would poison every downstream analysis.
+  util::Rng rng(0x5eed);
+  std::vector<std::size_t> offsets;
+  for (int i = 0; i < 64; ++i) {
+    offsets.push_back(static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(bytes.size()) - 1)));
+  }
+  for (std::size_t pos = 0; pos < bytes.size();
+       pos += 1 + bytes.size() / 97) {
+    offsets.push_back(pos);
+  }
+  for (const std::size_t pos : offsets) {
+    std::string flipped = bytes;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x20);
+    ASSERT_NE(flipped, bytes);
+    EXPECT_FALSE(DeserializeExperimentResult(flipped, fingerprint).ok())
+        << "bit flip at offset " << pos << " went undetected";
+  }
+}
+
 TEST(SnapshotTest, DeserializeRejectsForeignFingerprint) {
   const auto config = ShortConfig();
   const auto result = Experiment::Run(config);
@@ -195,6 +256,44 @@ TEST(RunCachedTest, CorruptSnapshotFallsBackToSimulationAndHeals) {
   ExpectResultsEqual(first, recovered);
 
   // ...and the snapshot was atomically rewritten: loads cleanly again.
+  const auto healed = cache.Load(fingerprint);
+  ASSERT_TRUE(healed.ok()) << healed.error();
+  ExpectResultsEqual(first, healed.value());
+}
+
+TEST(RunCachedTest, BitFlippedSnapshotCountsCorruptAndHeals) {
+  const auto config = ShortConfig();
+  const std::string dir = FreshDir("snapshot_bitflip");
+
+  const auto first = Experiment::RunCached(config, dir);
+  const SnapshotCache cache(dir);
+  const auto fingerprint = FingerprintConfig(config);
+  const std::string path = cache.PathFor(fingerprint);
+
+  // Flip one payload byte in the stored file: the header still parses, only
+  // the checksum can catch it.
+  auto bytes = util::ReadTextFile(path);
+  ASSERT_TRUE(bytes.ok());
+  std::string mangled = bytes.value();
+  const std::size_t pos = mangled.size() / 2;
+  mangled[pos] = static_cast<char>(mangled[pos] ^ 0x01);
+  ASSERT_TRUE(util::WriteTextFile(path, mangled).ok());
+
+  const auto load = cache.Load(fingerprint);
+  ASSERT_FALSE(load.ok());
+  EXPECT_NE(load.error().find("checksum"), std::string::npos) << load.error();
+
+  auto& corrupt_counter = obs::DefaultRegistry().GetCounter(
+      "labmon_snapshot_loads_total",
+      "Snapshot lookup outcomes (hit / miss / corrupt).",
+      {{"result", "corrupt"}});
+  const auto corrupt_before = corrupt_counter.value();
+
+  const auto recovered = Experiment::RunCached(config, dir);
+  ExpectResultsEqual(first, recovered);
+  EXPECT_EQ(corrupt_counter.value(), corrupt_before + 1);
+
+  // The rewrite healed the file in place.
   const auto healed = cache.Load(fingerprint);
   ASSERT_TRUE(healed.ok()) << healed.error();
   ExpectResultsEqual(first, healed.value());

@@ -22,8 +22,10 @@ winsim::Fleet SmallFleet(std::size_t machines = 5) {
 /// Sink recording everything it sees.
 class RecordingSink : public SampleSink {
  public:
-  void OnSample(const CollectedSample& sample) override {
+  SampleVerdict OnSample(const CollectedSample& sample) override {
     samples.push_back(sample);
+    return verdicts.empty() ? SampleVerdict::kAccepted
+                            : verdicts[(samples.size() - 1) % verdicts.size()];
   }
   void OnIterationEnd(std::uint64_t iteration, util::SimTime start,
                       util::SimTime end) override {
@@ -32,6 +34,8 @@ class RecordingSink : public SampleSink {
   }
   std::vector<CollectedSample> samples;
   std::vector<std::pair<util::SimTime, util::SimTime>> iterations;
+  /// Scripted verdicts, cycled per sample; empty = accept everything.
+  std::vector<SampleVerdict> verdicts;
 };
 
 TEST(CoordinatorTest, ProbesEveryMachineEveryIteration) {
@@ -284,6 +288,232 @@ TEST(CoordinatorTest, ZeroSpanRunsNothing) {
   const auto stats = coordinator.Run(100, 100);
   EXPECT_EQ(stats.iterations, 0u);
   EXPECT_EQ(stats.attempts, 0u);
+}
+
+// --- retry-hardened collection ----------------------------------------------
+
+TEST(CoordinatorRetryTest, RejectedSampleIsRetriedAndRecovered) {
+  auto fleet = SmallFleet(1);
+  fleet.machine(0).Boot(0);
+  RecordingSink sink;
+  sink.verdicts = {SampleVerdict::kRejected, SampleVerdict::kAccepted};
+  W32Probe probe;
+  CoordinatorConfig config;
+  config.exec_policy.transient_failure_prob = 0.0;
+  config.retry.max_attempts = 2;
+  Coordinator coordinator(fleet, probe, config, sink);
+  const auto stats = coordinator.Run(0, 2 * config.period);
+
+  // Each iteration: first payload rejected, the retry accepted.
+  EXPECT_EQ(stats.iterations, 2u);
+  EXPECT_EQ(stats.attempts, 4u);
+  EXPECT_EQ(stats.retried_collections, 2u);
+  EXPECT_EQ(stats.retry_attempts, 2u);
+  EXPECT_EQ(stats.recovered_after_retry, 2u);
+  EXPECT_EQ(stats.corrupt, 0u);
+  EXPECT_EQ(stats.missing, 0u);
+  EXPECT_DOUBLE_EQ(stats.RetryRecoveryRate(), 1.0);
+
+  ASSERT_EQ(sink.samples.size(), 4u);
+  EXPECT_EQ(sink.samples[0].attempt_number, 1u);
+  EXPECT_FALSE(sink.samples[0].recovered);
+  EXPECT_EQ(sink.samples[1].attempt_number, 2u);
+  EXPECT_TRUE(sink.samples[1].recovered);
+  // The retry happens later in sim time (latency + backoff).
+  EXPECT_GT(sink.samples[1].attempt_time, sink.samples[0].attempt_time);
+}
+
+TEST(CoordinatorRetryTest, ExhaustedRejectsCountAsCorrupt) {
+  auto fleet = SmallFleet(1);
+  fleet.machine(0).Boot(0);
+  RecordingSink sink;
+  sink.verdicts = {SampleVerdict::kRejected};  // never acceptable
+  W32Probe probe;
+  CoordinatorConfig config;
+  config.exec_policy.transient_failure_prob = 0.0;
+  config.retry.max_attempts = 3;
+  Coordinator coordinator(fleet, probe, config, sink);
+  const auto stats = coordinator.Run(0, config.period);
+
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.corrupt, 1u);
+  EXPECT_EQ(stats.missing, 0u);
+  EXPECT_EQ(stats.recovered_after_retry, 0u);
+  EXPECT_EQ(stats.retried_collections, 1u);
+  EXPECT_EQ(stats.retry_attempts, 2u);
+}
+
+TEST(CoordinatorRetryTest, RejectsNotRetriedWhenPolicyForbids) {
+  auto fleet = SmallFleet(1);
+  fleet.machine(0).Boot(0);
+  RecordingSink sink;
+  sink.verdicts = {SampleVerdict::kRejected};
+  W32Probe probe;
+  CoordinatorConfig config;
+  config.exec_policy.transient_failure_prob = 0.0;
+  config.retry.max_attempts = 3;
+  config.retry.retry_rejects = false;
+  Coordinator coordinator(fleet, probe, config, sink);
+  const auto stats = coordinator.Run(0, config.period);
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.corrupt, 1u);
+}
+
+TEST(CoordinatorRetryTest, TimeoutsAreNotRetriedByDefault) {
+  auto fleet = SmallFleet(3);  // all machines off -> every attempt times out
+  RecordingSink sink;
+  W32Probe probe;
+  CoordinatorConfig config;
+  config.retry.max_attempts = 4;
+  Coordinator coordinator(fleet, probe, config, sink);
+  const auto stats = coordinator.Run(0, config.period);
+
+  // A powered-off host will not answer seconds later; no retries burned.
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.retry_attempts, 0u);
+  EXPECT_EQ(stats.missing, 3u);
+  EXPECT_EQ(stats.corrupt, 0u);
+}
+
+TEST(CoordinatorRetryTest, TimeoutsRetriedWhenOptedIn) {
+  auto fleet = SmallFleet(1);
+  RecordingSink sink;
+  W32Probe probe;
+  CoordinatorConfig config;
+  config.retry.max_attempts = 3;
+  config.retry.retry_timeouts = true;
+  Coordinator coordinator(fleet, probe, config, sink);
+  const auto stats = coordinator.Run(0, config.period);
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.missing, 1u);
+  EXPECT_EQ(stats.retried_collections, 1u);
+  EXPECT_EQ(stats.retry_attempts, 2u);
+}
+
+TEST(CoordinatorRetryTest, TransientErrorsAreRetriedAndRecovered) {
+  auto fleet = SmallFleet(4);
+  for (std::size_t i = 0; i < fleet.size(); ++i) fleet.machine(i).Boot(0);
+  RecordingSink sink;
+  W32Probe probe;
+  CoordinatorConfig config;
+  // High blip rate so retries demonstrably fire; each retry redraws, so
+  // most collections recover within three attempts.
+  config.exec_policy.transient_failure_prob = 0.3;
+  config.retry.max_attempts = 4;
+  Coordinator coordinator(fleet, probe, config, sink);
+  const auto stats = coordinator.Run(0, 20 * config.period);
+
+  EXPECT_GT(stats.errors, 0u);
+  EXPECT_GT(stats.retried_collections, 0u);
+  EXPECT_GT(stats.recovered_after_retry, 0u);
+  EXPECT_GE(stats.RetryRecoveryRate(), 0.8);
+  EXPECT_EQ(stats.corrupt, 0u);
+}
+
+TEST(CoordinatorRetryTest, IterationBudgetCapsRetries) {
+  auto fleet = SmallFleet(1);
+  fleet.machine(0).Boot(0);
+  RecordingSink sink;
+  sink.verdicts = {SampleVerdict::kRejected};  // would retry forever
+  W32Probe probe;
+  CoordinatorConfig config;
+  config.exec_policy.transient_failure_prob = 0.0;
+  config.retry.max_attempts = 50;
+  config.retry.iteration_budget_s = 25.0;
+  Coordinator coordinator(fleet, probe, config, sink);
+  const auto stats = coordinator.Run(0, config.period);
+
+  // Backoff doubles each round; the budget cuts the loop off long before
+  // max_attempts, and the iteration never grows past the period.
+  EXPECT_GE(stats.attempts, 2u);
+  EXPECT_LT(stats.attempts, 10u);
+  EXPECT_EQ(stats.corrupt, 1u);
+  EXPECT_LE(stats.max_iteration_s, static_cast<double>(config.period));
+}
+
+TEST(CoordinatorRetryTest, DefaultPolicyKeepsSingleAttemptBehaviour) {
+  // max_attempts = 1 must reproduce the paper's collection byte for byte:
+  // same samples, same timing, no retry machinery observable.
+  const auto run = [](int max_attempts) {
+    auto fleet = SmallFleet(5);
+    for (std::size_t i = 0; i < fleet.size(); i += 2) fleet.machine(i).Boot(0);
+    RecordingSink sink;
+    W32Probe probe;
+    CoordinatorConfig config;
+    config.exec_policy.transient_failure_prob = 0.0;
+    config.retry.max_attempts = max_attempts;
+    Coordinator coordinator(fleet, probe, config, sink);
+    (void)coordinator.Run(0, 4 * config.period);
+    std::vector<std::pair<util::SimTime, std::string>> log;
+    for (const auto& s : sink.samples) {
+      log.emplace_back(s.attempt_time, s.outcome.stdout_text);
+    }
+    return log;
+  };
+  // With nothing retryable (all failures are timeouts), enabling retries
+  // changes nothing at all.
+  EXPECT_EQ(run(1), run(3));
+}
+
+TEST(CoordinatorRetryTest, CrosscheckPeriodZeroDisablesCrosscheckCleanly) {
+  auto fleet = SmallFleet(3);
+  for (std::size_t i = 0; i < fleet.size(); ++i) fleet.machine(i).Boot(0);
+  RecordingSink sink;
+  W32Probe probe;
+  CoordinatorConfig config;
+  config.exec_policy.transient_failure_prob = 0.0;
+  config.structured_fast_path = true;
+  config.structured_crosscheck_period = 0;  // regression: must not div-by-zero
+  Coordinator coordinator(fleet, probe, config, sink);
+  const auto stats = coordinator.Run(0, 2 * config.period);
+  EXPECT_EQ(stats.successes, 6u);
+  for (const auto& sample : sink.samples) {
+    ASSERT_NE(sample.structured, nullptr);
+    EXPECT_TRUE(sample.outcome.stdout_text.empty())
+        << "no cross-check text should ever be rendered with period 0";
+  }
+}
+
+TEST(CoordinatorRetryTest, InvalidRetryPolicyIsClampedNotFatal) {
+  auto fleet = SmallFleet(2);
+  fleet.machine(0).Boot(0);
+  RecordingSink sink;
+  W32Probe probe;
+  CoordinatorConfig config;
+  config.retry.max_attempts = -5;
+  config.retry.backoff_initial_s = -1.0;
+  config.retry.backoff_multiplier = 0.0;
+  config.retry.jitter_fraction = 7.0;
+  config.retry.iteration_budget_s = -300.0;
+  Coordinator coordinator(fleet, probe, config, sink);
+  const auto stats = coordinator.Run(0, config.period);
+  EXPECT_EQ(stats.attempts, 2u);  // clamped to one attempt per machine
+  EXPECT_EQ(stats.retry_attempts, 0u);
+}
+
+TEST(CoordinatorRetryTest, RetryMetricsReportIntoTheRegistry) {
+  auto fleet = SmallFleet(1);
+  fleet.machine(0).Boot(0);
+  RecordingSink sink;
+  sink.verdicts = {SampleVerdict::kRejected, SampleVerdict::kAccepted};
+  W32Probe probe;
+  obs::Registry registry;
+  CoordinatorConfig config;
+  config.exec_policy.transient_failure_prob = 0.0;
+  config.retry.max_attempts = 2;
+  config.metrics = &registry;
+  Coordinator coordinator(fleet, probe, config, sink);
+  const auto stats = coordinator.Run(0, config.period);
+
+  EXPECT_EQ(registry
+                .GetCounter("labmon_ddc_retry_attempts_total", "")
+                .value(),
+            stats.retry_attempts);
+  EXPECT_EQ(registry
+                .GetCounter("labmon_ddc_collection_outcomes_total", "",
+                            {{"result", "recovered_after_retry"}})
+                .value(),
+            stats.recovered_after_retry);
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 
 #include "labmon/ddc/nbench_probe.hpp"
 #include "labmon/ddc/w32_probe.hpp"
+#include "labmon/ddc/w32_probe_legacy.hpp"
+#include "labmon/faultsim/fault_plan.hpp"
 #include "labmon/smart/disk_smart.hpp"
 #include "labmon/util/rng.hpp"
 #include "labmon/util/strings.hpp"
@@ -83,6 +85,39 @@ TEST_P(ProbeFuzzTest, LineShufflesStillParse) {
   ASSERT_TRUE(parsed.ok()) << parsed.error();
   EXPECT_EQ(parsed.value().host, "L05-PC09");
   EXPECT_EQ(parsed.value().uptime_s, 1800);
+}
+
+TEST_P(ProbeFuzzTest, FaultsimCorruptedWireBytesKeepLegacyParity) {
+  // Feed the parsers exactly the bytes the fault injector would put on the
+  // wire. Both codecs must survive every payload, and they must agree on
+  // whether it parses — otherwise faulted traces would differ between the
+  // fast and the frozen legacy pipeline.
+  const std::string reference = ReferenceOutput();
+  util::Rng rng(GetParam() ^ 0x317e);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string wire = reference;
+    faultsim::CorruptPayload(rng, 8, &wire);
+    const auto fast = ParseW32ProbeOutput(wire);
+    const auto legacy = LegacyParseW32ProbeOutput(wire);
+    EXPECT_EQ(fast.ok(), legacy.ok())
+        << "parsers disagree on corrupted payload (trial " << trial << ")";
+    if (!fast.ok()) {
+      EXPECT_FALSE(fast.error().empty());
+    }
+  }
+}
+
+TEST_P(ProbeFuzzTest, FaultsimTruncatedWireBytesKeepLegacyParity) {
+  const std::string reference = ReferenceOutput();
+  util::Rng rng(GetParam() ^ 0x7b0b);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string wire = reference;
+    faultsim::TruncatePayload(rng, &wire);
+    const auto fast = ParseW32ProbeOutput(wire);
+    const auto legacy = LegacyParseW32ProbeOutput(wire);
+    EXPECT_EQ(fast.ok(), legacy.ok())
+        << "parsers disagree on truncated payload (trial " << trial << ")";
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ProbeFuzzTest,

@@ -1,0 +1,265 @@
+// Chaos determinism suite — pins the two contracts the fault layer lives by:
+//
+//  1. Zero-fault bit-identity: with the default (inert) plan, the collected
+//     trace is byte-identical to a build without the fault layer. The
+//     pre-fault-layer reference hash below was recorded on the commit that
+//     introduced faultsim and must never drift.
+//  2. Faulted determinism: the same plan + seed replays the same incident
+//     sequence bit-for-bit, at any coordinator worker count, and the
+//     analysis pipeline is worker-count-invariant over a faulted trace too.
+//
+// The representative mixed plan (transient RPC blips + one lab-wide 30-min
+// switch outage + 1% wire corruption) also pins the retry coordinator's
+// recovery guarantees: >= 80% of transiently failed collections recover
+// within the iteration budget and no iteration exceeds the 15-min period.
+//
+// LABMON_CHAOS_SEED (env) reseeds the stochastic part of the mixed plan so
+// CI can sweep seeds without a rebuild; the contracts hold for any seed.
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "labmon/core/experiment.hpp"
+#include "labmon/core/report.hpp"
+#include "labmon/ddc/coordinator.hpp"
+#include "labmon/ddc/w32_probe.hpp"
+#include "labmon/faultsim/fault_injector.hpp"
+#include "labmon/trace/binary_io.hpp"
+#include "labmon/trace/sink.hpp"
+#include "labmon/winsim/fleet.hpp"
+
+namespace labmon {
+namespace {
+
+std::uint64_t Fnv1a(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t ChaosSeed() {
+  if (const char* env = std::getenv("LABMON_CHAOS_SEED")) {
+    if (const auto parsed = std::strtoull(env, nullptr, 10); parsed != 0) {
+      return parsed;
+    }
+  }
+  return 0xc4a05u;
+}
+
+/// The representative mixed plan from the acceptance criteria: stochastic
+/// RPC blips, 1% wire corruption, and one scripted lab-wide 30-minute
+/// switch outage over the paper fleet's L03.
+faultsim::FaultPlan MixedPlan() {
+  faultsim::FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = ChaosSeed();
+  plan.stochastic.transient_error_prob = 0.05;
+  plan.stochastic.wire_corruption_prob = 0.01;
+  plan.outages.push_back({"L03", 2 * 3600, 2 * 3600 + 30 * 60});
+  return plan;
+}
+
+void ExpectSameStats(const ddc::RunStats& a, const ddc::RunStats& b) {
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.errors, b.errors);
+  EXPECT_EQ(a.missing, b.missing);
+  EXPECT_EQ(a.corrupt, b.corrupt);
+  EXPECT_EQ(a.recovered_after_retry, b.recovered_after_retry);
+  EXPECT_EQ(a.retry_attempts, b.retry_attempts);
+  EXPECT_EQ(a.retried_collections, b.retried_collections);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_DOUBLE_EQ(a.max_iteration_s, b.max_iteration_s);
+  EXPECT_DOUBLE_EQ(a.mean_iteration_s, b.mean_iteration_s);
+}
+
+core::ExperimentConfig FaultedDayConfig() {
+  core::ExperimentConfig config;
+  config.campus.days = 1;
+  config.fault_plan = MixedPlan();
+  config.collector.retry.max_attempts = 3;
+  return config;
+}
+
+/// One faulted reference run, shared by the determinism and analysis tests.
+const core::ExperimentResult& FaultedDayResult() {
+  static const core::ExperimentResult result =
+      core::Experiment::Run(FaultedDayConfig());
+  return result;
+}
+
+// --- contract 1: zero-fault bit-identity ------------------------------------
+
+TEST(ChaosDeterminismTest, ZeroFaultRunMatchesPreFaultLayerReference) {
+  core::ExperimentConfig config;
+  config.campus.days = 1;
+  ASSERT_FALSE(config.fault_plan.Active());
+  ASSERT_FALSE(config.collector.retry.enabled());
+  const auto result = core::Experiment::Run(config);
+
+  // Reference values recorded before the fault layer / retry loop existed.
+  // Any drift here means the inert path is no longer bit-identical.
+  EXPECT_EQ(result.trace.size(), 5717u);
+  EXPECT_EQ(Fnv1a(trace::SerializeTrace(result.trace)),
+            0xccdbdf3f8d728375ull);
+  EXPECT_EQ(result.run_stats.iterations, 85u);
+  EXPECT_EQ(result.run_stats.attempts, 14365u);
+  EXPECT_EQ(result.run_stats.successes, 5717u);
+  EXPECT_EQ(result.run_stats.timeouts, 8626u);
+  EXPECT_EQ(result.run_stats.errors, 22u);
+
+  // The graceful-degradation tallies must stay untouched on the inert path.
+  EXPECT_EQ(result.run_stats.recovered_after_retry, 0u);
+  EXPECT_EQ(result.run_stats.retry_attempts, 0u);
+  EXPECT_EQ(result.run_stats.retried_collections, 0u);
+  EXPECT_EQ(result.run_stats.faults_injected, 0u);
+  // All failed collections are "missing" (no payloads are rejected here).
+  EXPECT_EQ(result.run_stats.corrupt, 0u);
+}
+
+TEST(ChaosDeterminismTest, DisabledPlanInjectorEqualsNullInjector) {
+  const auto collect = [](faultsim::FaultInjector* faults) {
+    std::vector<winsim::LabSpec> labs{
+        {"T01", 8, "Pentium 4", 2.4, 512, 74.5, 30.5, 33.1}};
+    util::Rng rng(3);
+    winsim::Fleet fleet(labs, winsim::PriorLifeModel{}, rng);
+    for (std::size_t i = 0; i < fleet.size(); i += 2) fleet.machine(i).Boot(0);
+    trace::TraceStore store;
+    store.set_machine_count(fleet.size());
+    trace::TraceStoreSink sink(store);
+    ddc::W32Probe probe;
+    ddc::CoordinatorConfig config;
+    config.faults = faults;
+    ddc::Coordinator coordinator(fleet, probe, config, sink);
+    (void)coordinator.Run(0, 8 * config.period);
+    return trace::SerializeTrace(store);
+  };
+
+  faultsim::FaultPlan disabled;
+  disabled.stochastic.transient_error_prob = 1.0;  // enabled == false wins
+  faultsim::FaultInjector injector(disabled);
+  ASSERT_FALSE(injector.active());
+  EXPECT_EQ(collect(nullptr), collect(&injector));
+}
+
+// --- contract 2: faulted determinism ----------------------------------------
+
+TEST(ChaosDeterminismTest, FaultedExperimentReplaysBitIdentically) {
+  const auto& first = FaultedDayResult();
+  const auto second = core::Experiment::Run(FaultedDayConfig());
+  EXPECT_EQ(trace::SerializeTrace(first.trace),
+            trace::SerializeTrace(second.trace));
+  ExpectSameStats(first.run_stats, second.run_stats);
+  EXPECT_GT(first.run_stats.faults_injected, 0u);
+}
+
+TEST(ChaosDeterminismTest, FaultedCoordinatorDeterministicAtAnyWorkerCount) {
+  const auto collect = [](int workers) {
+    std::vector<winsim::LabSpec> labs{
+        {"LA", 10, "Pentium 4", 2.4, 512, 74.5, 30.5, 33.1},
+        {"LB", 6, "Pentium III", 1.1, 256, 18.6, 22.3, 18.6}};
+    util::Rng rng(11);
+    winsim::Fleet fleet(labs, winsim::PriorLifeModel{}, rng);
+    for (std::size_t i = 0; i < fleet.size(); ++i) fleet.machine(i).Boot(0);
+
+    faultsim::FaultPlan plan;
+    plan.enabled = true;
+    plan.seed = ChaosSeed();
+    plan.stochastic.transient_error_prob = 0.1;
+    plan.stochastic.wire_corruption_prob = 0.02;
+    plan.outages.push_back({"LB", 1800, 3600});
+    faultsim::FaultInjector injector(plan);
+    injector.BindFleet(fleet);
+
+    trace::TraceStore store;
+    store.set_machine_count(fleet.size());
+    trace::TraceStoreSink sink(store);
+    ddc::W32Probe probe;
+    ddc::CoordinatorConfig config;
+    config.faults = &injector;
+    config.retry.max_attempts = 3;
+    if (workers > 0) {
+      config.mode = ddc::CoordinatorConfig::Mode::kParallelSimulated;
+      config.workers = workers;
+    }
+    ddc::Coordinator coordinator(fleet, probe, config, sink);
+    const auto stats = coordinator.Run(0, 8 * config.period);
+    return std::pair{trace::SerializeTrace(store), stats};
+  };
+
+  // Same seed + plan + worker count: bit-identical replay, including every
+  // retry/fault tally. Holds sequentially and at 1 and 4 workers.
+  for (const int workers : {0, 1, 4}) {
+    const auto [trace_a, stats_a] = collect(workers);
+    const auto [trace_b, stats_b] = collect(workers);
+    EXPECT_EQ(trace_a, trace_b) << "workers=" << workers;
+    ExpectSameStats(stats_a, stats_b);
+    EXPECT_GT(stats_a.faults_injected, 0u);
+  }
+}
+
+TEST(ChaosDeterminismTest, AnalysisOfFaultedTraceIsWorkerCountInvariant) {
+  const auto& result = FaultedDayResult();
+  core::ReportOptions one;
+  one.workers = 1;
+  core::ReportOptions four;
+  four.workers = 4;
+  const core::Report report_one(result, one);
+  const core::Report report_four(result, four);
+  EXPECT_EQ(report_one.FullReport(), report_four.FullReport());
+}
+
+// --- acceptance: the representative mixed plan recovers ---------------------
+
+TEST(ChaosDeterminismTest, MixedPlanRetryRecoveryMeetsAcceptanceBar) {
+  // All-booted two-lab fleet: every failure is injector-made, so the
+  // recovery accounting is exact.
+  std::vector<winsim::LabSpec> labs{
+      {"LA", 40, "Pentium 4", 2.4, 512, 74.5, 30.5, 33.1},
+      {"L03", 20, "Pentium 4", 2.6, 512, 55.8, 39.3, 36.7}};
+  util::Rng rng(5);
+  winsim::Fleet fleet(labs, winsim::PriorLifeModel{}, rng);
+  for (std::size_t i = 0; i < fleet.size(); ++i) fleet.machine(i).Boot(0);
+
+  faultsim::FaultPlan plan = MixedPlan();
+  plan.outages[0].start = 1800;  // the 30-min outage inside this short run
+  plan.outages[0].end = 1800 + 30 * 60;
+  faultsim::FaultInjector injector(plan);
+  injector.BindFleet(fleet);
+
+  trace::TraceStore store;
+  store.set_machine_count(fleet.size());
+  trace::TraceStoreSink sink(store);
+  ddc::W32Probe probe;
+  ddc::CoordinatorConfig config;
+  config.faults = &injector;
+  config.retry.max_attempts = 4;
+  ddc::Coordinator coordinator(fleet, probe, config, sink);
+  const auto stats = coordinator.Run(0, 16 * config.period);
+
+  EXPECT_GT(stats.faults_injected, 0u);
+  EXPECT_GT(injector.injected(faultsim::FaultKind::kLabOutage), 0u);
+  EXPECT_GT(injector.injected(faultsim::FaultKind::kTransientError), 0u);
+  EXPECT_GT(injector.injected(faultsim::FaultKind::kWireCorruption), 0u);
+
+  // Transiently failed collections must mostly be bought back by retries…
+  EXPECT_GT(stats.retried_collections, 0u);
+  EXPECT_GE(stats.RetryRecoveryRate(), 0.8)
+      << "recovered " << stats.recovered_after_retry << " of "
+      << stats.retried_collections << " retried collections";
+  // …without ever blowing the 15-minute sampling period.
+  EXPECT_LE(stats.max_iteration_s, 900.0);
+  // The outage window leaves holes the retry policy deliberately does not
+  // chase (a dead switch will not answer two seconds later).
+  EXPECT_GT(stats.missing, 0u);
+}
+
+}  // namespace
+}  // namespace labmon

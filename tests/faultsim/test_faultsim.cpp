@@ -1,0 +1,389 @@
+#include "labmon/faultsim/fault_injector.hpp"
+#include "labmon/faultsim/fault_plan.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "labmon/obs/registry.hpp"
+#include "labmon/winsim/fleet.hpp"
+
+namespace labmon::faultsim {
+namespace {
+
+winsim::Fleet TwoLabFleet() {
+  std::vector<winsim::LabSpec> labs{
+      {"LIII", 4, "Pentium III", 0.65, 128, 14.5, 23.3, 19.0},
+      {"LIV", 3, "Pentium 4", 2.4, 512, 74.5, 30.5, 33.1}};
+  util::Rng rng(7);
+  return winsim::Fleet(labs, winsim::PriorLifeModel{}, rng);
+}
+
+// --- plan parsing -----------------------------------------------------------
+
+TEST(FaultPlanTest, DefaultPlanIsInert) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.enabled);
+  EXPECT_FALSE(plan.stochastic.Any());
+  EXPECT_FALSE(plan.Active());
+  // Enabled but empty is still inactive: nothing could ever fire.
+  plan.enabled = true;
+  EXPECT_FALSE(plan.Active());
+}
+
+TEST(FaultPlanTest, ParsesEverySection) {
+  const std::string text = R"(
+[plan]
+seed = 42
+timeout_latency_mean_s = 9.5
+error_latency_min_s = 0.5
+
+[stochastic]
+transient_error_prob = 0.01
+wire_corruption_prob = 0.002
+wire_corruption_max_bytes = 7
+
+[outage.switch42]
+lab = LIII
+start = 3600
+end = 5400
+
+[crash.box3]
+machine = 3
+at = 7200
+down_seconds = 600
+
+[nic_reset.wrap]
+machine = 1
+at = 900
+)";
+  const auto parsed = ParseFaultPlan(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const FaultPlan& plan = parsed.value();
+  EXPECT_TRUE(plan.enabled);  // presence of a plan file implies enabled
+  EXPECT_TRUE(plan.Active());
+  EXPECT_EQ(plan.seed, 42u);
+  EXPECT_DOUBLE_EQ(plan.timeout_latency_mean_s, 9.5);
+  EXPECT_DOUBLE_EQ(plan.error_latency_min_s, 0.5);
+  EXPECT_DOUBLE_EQ(plan.stochastic.transient_error_prob, 0.01);
+  EXPECT_DOUBLE_EQ(plan.stochastic.wire_corruption_prob, 0.002);
+  EXPECT_EQ(plan.stochastic.wire_corruption_max_bytes, 7);
+  ASSERT_EQ(plan.outages.size(), 1u);
+  EXPECT_EQ(plan.outages[0].lab, "LIII");
+  EXPECT_EQ(plan.outages[0].start, 3600);
+  EXPECT_EQ(plan.outages[0].end, 5400);
+  ASSERT_EQ(plan.crashes.size(), 1u);
+  EXPECT_EQ(plan.crashes[0].machine, 3u);
+  EXPECT_EQ(plan.crashes[0].at, 7200);
+  EXPECT_EQ(plan.crashes[0].down_seconds, 600);
+  ASSERT_EQ(plan.nic_resets.size(), 1u);
+  EXPECT_EQ(plan.nic_resets[0].machine, 1u);
+  EXPECT_EQ(plan.nic_resets[0].at, 900);
+}
+
+TEST(FaultPlanTest, EnabledFalseOverridesFilePresence) {
+  const auto parsed = ParseFaultPlan(
+      "[plan]\nenabled = false\n[stochastic]\nhang_prob = 0.5\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_FALSE(parsed.value().enabled);
+  EXPECT_FALSE(parsed.value().Active());
+}
+
+TEST(FaultPlanTest, GroupsScenarioFieldsByNameSuffix) {
+  const auto parsed = ParseFaultPlan(R"(
+[outage.a]
+lab = L1
+start = 10
+[outage.b]
+lab = L2
+start = 20
+end = 30
+[outage.a]
+end = 15
+)");
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const auto& outages = parsed.value().outages;
+  ASSERT_EQ(outages.size(), 2u);
+  EXPECT_EQ(outages[0].lab, "L1");
+  EXPECT_EQ(outages[0].start, 10);
+  EXPECT_EQ(outages[0].end, 15);
+  EXPECT_EQ(outages[1].lab, "L2");
+}
+
+TEST(FaultPlanTest, RejectsUnknownKeys) {
+  EXPECT_FALSE(ParseFaultPlan("[plan]\nseeed = 1\n").ok());
+  EXPECT_FALSE(ParseFaultPlan("[stochastic]\nhangprob = 0.1\n").ok());
+  EXPECT_FALSE(ParseFaultPlan("[outage.x]\nlabb = L1\n").ok());
+  EXPECT_FALSE(ParseFaultPlan("[mystery]\nkey = 1\n").ok());
+}
+
+TEST(FaultPlanTest, RejectsUnparsableValues) {
+  EXPECT_FALSE(ParseFaultPlan("[plan]\nseed = banana\n").ok());
+  EXPECT_FALSE(
+      ParseFaultPlan("[stochastic]\ntransient_error_prob = often\n").ok());
+}
+
+// --- wire corruption model --------------------------------------------------
+
+TEST(WireModelTest, TruncateShortensAndDrawsOnce) {
+  util::Rng rng(1);
+  util::Rng twin(1);
+  std::string payload(64, 'x');
+  TruncatePayload(rng, &payload);
+  EXPECT_LT(payload.size(), 64u);
+  (void)twin.UniformInt(0, 63);
+  // Exactly one draw consumed: the streams stay in lockstep.
+  EXPECT_EQ(rng.UniformInt(0, 1000), twin.UniformInt(0, 1000));
+
+  std::string empty;
+  TruncatePayload(rng, &empty);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(WireModelTest, CorruptFlipsBoundedPrintableBytes) {
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    util::Rng rng(seed);
+    const std::string original(128, 'A');
+    std::string payload = original;
+    CorruptPayload(rng, 4, &payload);
+    ASSERT_EQ(payload.size(), original.size());
+    int flipped = 0;
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      if (payload[i] != original[i]) {
+        ++flipped;
+        EXPECT_GE(payload[i], 1);
+        EXPECT_LE(payload[i], 126);
+      }
+    }
+    // 1..4 flip positions drawn; overlapping draws or same-value flips can
+    // only lower the visible count.
+    EXPECT_LE(flipped, 4);
+  }
+}
+
+// --- injector protocol ------------------------------------------------------
+
+TEST(FaultInjectorTest, InactiveInjectorIsStrictNoOp) {
+  FaultPlan plan;  // disabled
+  plan.stochastic.transient_error_prob = 1.0;  // would fire if enabled
+  FaultInjector injector(plan);
+  EXPECT_FALSE(injector.active());
+  const auto fault = injector.OnAttempt(0, 0);
+  EXPECT_EQ(fault.kind, TransportFault::Kind::kNone);
+  EXPECT_EQ(injector.PlanWire().kind, WireFault::Kind::kNone);
+  EXPECT_FALSE(injector.FailArchiveWrite());
+  EXPECT_EQ(injector.injected_total(), 0u);
+}
+
+TEST(FaultInjectorTest, ScriptedCrashWindowTimesOut) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.crashes.push_back({2, 1000, 600});
+  FaultInjector injector(plan);
+  ASSERT_TRUE(injector.active());
+
+  EXPECT_EQ(injector.OnAttempt(2, 999).kind, TransportFault::Kind::kNone);
+  const auto hit = injector.OnAttempt(2, 1000);
+  EXPECT_EQ(hit.kind, TransportFault::Kind::kTimeout);
+  EXPECT_EQ(hit.source, FaultKind::kMachineCrash);
+  EXPECT_GE(hit.latency_s, plan.timeout_latency_min_s);
+  EXPECT_EQ(injector.OnAttempt(2, 1599).kind, TransportFault::Kind::kTimeout);
+  EXPECT_EQ(injector.OnAttempt(2, 1600).kind, TransportFault::Kind::kNone);
+  // A different machine never sees the crash.
+  EXPECT_EQ(injector.OnAttempt(1, 1200).kind, TransportFault::Kind::kNone);
+  EXPECT_EQ(injector.injected(FaultKind::kMachineCrash), 2u);
+}
+
+TEST(FaultInjectorTest, LabOutageCoversExactlyTheLabsMachines) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.outages.push_back({"LIV", 100, 200});
+  FaultInjector injector(plan);
+  const auto fleet = TwoLabFleet();
+  injector.BindFleet(fleet);
+
+  // LIII occupies indices 0..3, LIV 4..6.
+  EXPECT_EQ(injector.OnAttempt(3, 150).kind, TransportFault::Kind::kNone);
+  for (std::size_t i = 4; i < 7; ++i) {
+    const auto fault = injector.OnAttempt(i, 150);
+    EXPECT_EQ(fault.kind, TransportFault::Kind::kTimeout);
+    EXPECT_EQ(fault.source, FaultKind::kLabOutage);
+  }
+  EXPECT_EQ(injector.OnAttempt(5, 200).kind, TransportFault::Kind::kNone);
+  EXPECT_EQ(injector.injected(FaultKind::kLabOutage), 3u);
+}
+
+TEST(FaultInjectorTest, UnknownOutageLabNeverFires) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.outages.push_back({"NOPE", 0, 1000000});
+  FaultInjector injector(plan);
+  injector.BindFleet(TwoLabFleet());
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(injector.OnAttempt(i, 500).kind, TransportFault::Kind::kNone);
+  }
+  EXPECT_EQ(injector.injected_total(), 0u);
+}
+
+TEST(FaultInjectorTest, StochasticTransientErrorIsAnError) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.stochastic.transient_error_prob = 1.0;
+  FaultInjector injector(plan);
+  const auto fault = injector.OnAttempt(0, 0);
+  EXPECT_EQ(fault.kind, TransportFault::Kind::kError);
+  EXPECT_EQ(fault.source, FaultKind::kTransientError);
+  EXPECT_GE(fault.latency_s, plan.error_latency_min_s);
+}
+
+TEST(FaultInjectorTest, HangBeatsTransientAndTakesLong) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.stochastic.hang_prob = 1.0;
+  plan.stochastic.transient_error_prob = 1.0;
+  plan.stochastic.hang_seconds_mean = 300.0;
+  plan.stochastic.hang_seconds_sigma = 0.0;
+  FaultInjector injector(plan);
+  const auto fault = injector.OnAttempt(0, 0);
+  EXPECT_EQ(fault.kind, TransportFault::Kind::kTimeout);
+  EXPECT_EQ(fault.source, FaultKind::kMachineHang);
+  EXPECT_DOUBLE_EQ(fault.latency_s, 300.0);
+}
+
+TEST(FaultInjectorTest, ScriptedNicResetFiresOncePerScript) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.nic_resets.push_back({0, 1000});
+  FaultInjector injector(plan);
+  auto fleet = TwoLabFleet();
+  auto& machine = fleet.machine(0);
+  machine.Boot(0);
+  machine.SetNetRates(1000.0, 500.0);
+  machine.AdvanceTo(900);
+  ASSERT_GT(machine.Network().sent_bytes, 0u);
+
+  injector.BeforeProbe(machine, 900);  // before `at`: nothing happens
+  EXPECT_GT(machine.Network().sent_bytes, 0u);
+
+  machine.AdvanceTo(1100);
+  injector.BeforeProbe(machine, 1100);
+  EXPECT_EQ(machine.Network().sent_bytes, 0u);
+  EXPECT_EQ(machine.Network().recv_bytes, 0u);
+  EXPECT_EQ(injector.injected(FaultKind::kNicCounterReset), 1u);
+
+  // Counters accumulate again and the script never re-fires.
+  machine.AdvanceTo(2000);
+  const auto accumulated = machine.Network().sent_bytes;
+  ASSERT_GT(accumulated, 0u);
+  injector.BeforeProbe(machine, 2000);
+  EXPECT_EQ(machine.Network().sent_bytes, accumulated);
+  EXPECT_EQ(injector.injected(FaultKind::kNicCounterReset), 1u);
+}
+
+TEST(FaultInjectorTest, NicResetSkipsPoweredOffMachines) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.nic_resets.push_back({0, 0});
+  FaultInjector injector(plan);
+  auto fleet = TwoLabFleet();
+  auto& machine = fleet.machine(0);
+  ASSERT_FALSE(machine.powered_on());
+  injector.BeforeProbe(machine, 100);  // must not touch an off machine
+  EXPECT_EQ(injector.injected(FaultKind::kNicCounterReset), 0u);
+}
+
+TEST(FaultInjectorTest, WirePlanAndApplyMangleThePayload) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.stochastic.wire_truncation_prob = 1.0;
+  FaultInjector injector(plan);
+  const auto wire = injector.PlanWire();
+  EXPECT_EQ(wire.kind, WireFault::Kind::kTruncate);
+  std::string payload(100, 'y');
+  injector.ApplyWire(wire, &payload);
+  EXPECT_LT(payload.size(), 100u);
+  EXPECT_EQ(injector.injected(FaultKind::kWireTruncation), 1u);
+
+  FaultPlan corrupt_plan;
+  corrupt_plan.enabled = true;
+  corrupt_plan.stochastic.wire_corruption_prob = 1.0;
+  FaultInjector corruptor(corrupt_plan);
+  const auto corrupt_wire = corruptor.PlanWire();
+  EXPECT_EQ(corrupt_wire.kind, WireFault::Kind::kCorrupt);
+  const std::string original(100, 'y');
+  std::string mangled = original;
+  corruptor.ApplyWire(corrupt_wire, &mangled);
+  EXPECT_EQ(mangled.size(), original.size());
+  EXPECT_NE(mangled, original);
+  EXPECT_EQ(corruptor.injected(FaultKind::kWireCorruption), 1u);
+}
+
+TEST(FaultInjectorTest, StragglerMultipliesLatencyWithinBounds) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.stochastic.straggler_prob = 1.0;
+  plan.stochastic.straggler_multiplier_lo = 4.0;
+  plan.stochastic.straggler_multiplier_hi = 16.0;
+  FaultInjector injector(plan);
+  for (int i = 0; i < 50; ++i) {
+    const auto wire = injector.PlanWire();
+    EXPECT_EQ(wire.kind, WireFault::Kind::kNone);
+    EXPECT_GE(wire.latency_multiplier, 4.0);
+    EXPECT_LE(wire.latency_multiplier, 16.0);
+  }
+  EXPECT_EQ(injector.injected(FaultKind::kStragglerLatency), 50u);
+}
+
+TEST(FaultInjectorTest, ArchiveWriteFailureFollowsProbability) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.stochastic.archive_write_failure_prob = 1.0;
+  FaultInjector injector(plan);
+  EXPECT_TRUE(injector.FailArchiveWrite());
+  EXPECT_EQ(injector.injected(FaultKind::kArchiveWriteFailure), 1u);
+
+  FaultPlan never;
+  never.enabled = true;
+  never.stochastic.transient_error_prob = 0.5;  // active, but no archive prob
+  FaultInjector safe(never);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(safe.FailArchiveWrite());
+}
+
+TEST(FaultInjectorTest, SameSeedReplaysTheSameIncidentSequence) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = 123;
+  plan.stochastic.transient_error_prob = 0.3;
+  plan.stochastic.hang_prob = 0.1;
+  const auto run = [&plan] {
+    FaultInjector injector(plan);
+    std::vector<std::uint8_t> kinds;
+    for (int i = 0; i < 200; ++i) {
+      kinds.push_back(static_cast<std::uint8_t>(
+          injector.OnAttempt(static_cast<std::size_t>(i % 7), i * 10).kind));
+    }
+    return kinds;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FaultInjectorTest, ReportsIntoTheMetricsRegistry) {
+  obs::Registry registry;
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.crashes.push_back({0, 0, 100});
+  FaultInjector injector(plan, &registry);
+  (void)injector.OnAttempt(0, 50);
+  const auto count = registry
+                         .GetCounter("labmon_faultsim_injected_total", "",
+                                     {{"kind", "machine_crash"}})
+                         .value();
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(injector.injected_total(), 1u);
+}
+
+}  // namespace
+}  // namespace labmon::faultsim
