@@ -196,6 +196,30 @@ void BM_WorkloadSimulationDay(benchmark::State& state) {
 }
 BENCHMARK(BM_WorkloadSimulationDay)->Unit(benchmark::kMillisecond);
 
+void BM_WorkloadEventDispatch(benchmark::State& state) {
+  // Event-queue dispatch throughput of WorkloadDriver::AdvanceTo: one
+  // behavioural day stepped in 15-minute increments (the collector's view
+  // of the driver). items/s = dispatched events/s, the number the sharded
+  // engine multiplies by the shard count.
+  std::uint64_t dispatched = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    util::Rng rng(7);
+    winsim::Fleet fleet = winsim::MakePaperFleet(rng);
+    workload::CampusConfig config;
+    config.days = 1;
+    workload::WorkloadDriver driver(fleet, config);
+    state.ResumeTiming();
+    for (util::SimTime t = 900; t <= config.EndTime(); t += 900) {
+      driver.AdvanceTo(t);
+    }
+    dispatched += driver.dispatched_events();
+    benchmark::DoNotOptimize(driver.ground_truth().boots);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(dispatched));
+}
+BENCHMARK(BM_WorkloadEventDispatch)->Unit(benchmark::kMillisecond);
+
 void BM_FullExperimentDay(benchmark::State& state) {
   // Simulation + collection + post-collect parse, per simulated day.
   for (auto _ : state) {

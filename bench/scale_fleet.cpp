@@ -1,0 +1,163 @@
+// scale_fleet — sharded-engine scaling study on a multi-thousand-machine
+// campus.
+//
+// Replicates the 11 paper labs LABMON_SCALE_LABS times (default 12 =>
+// 2,028 machines), runs the full experiment at shard counts {1, 2, 4, 8}
+// and writes BENCH_scale.json: wall time, machine-samples/s, measured
+// speedup vs one shard, and the load-balance speedup bound for each count.
+//
+// Two numbers matter per shard count:
+//   * speedup            — measured wall-clock ratio vs shards=1. On a
+//     single-core container this is ~1.0 by physics; on an N-core host it
+//     approaches the bound below.
+//   * load_balance_bound — sum of per-shard work / max shard work, i.e.
+//     the speedup the partition would deliver given >= shards cores. This
+//     is hardware-independent, so it is the number CI pins.
+//
+// The bench also cross-checks determinism: the trace hash at every shard
+// count must equal the shards=1 hash (bit_identical in the JSON).
+//
+// LABMON_SCALE_DAYS bounds the simulated days (default 1: ~2k machines x
+// 96 iterations is already ~195k machine-samples per run).
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "labmon/obs/registry.hpp"
+#include "labmon/trace/binary_io.hpp"
+#include "labmon/util/csv.hpp"
+#include "labmon/util/strings.hpp"
+
+namespace {
+
+using namespace labmon;
+
+std::uint64_t Fnv1a(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+int EnvInt(const char* name, int fallback, int lo, int hi) {
+  if (const char* env = std::getenv(name)) {
+    const auto parsed = util::ParseInt64(env);
+    if (parsed && *parsed >= lo && *parsed <= hi) {
+      return static_cast<int>(*parsed);
+    }
+    std::cerr << "warning: ignoring malformed " << name << "=\"" << env
+              << "\" (want an integer in [" << lo << ", " << hi << "]); using "
+              << fallback << "\n";
+  }
+  return fallback;
+}
+
+struct ShardRun {
+  int shards = 0;
+  double wall_s = 0.0;
+  double samples_per_s = 0.0;        ///< collection attempts / wall second
+  double speedup = 0.0;              ///< vs the shards=1 run (measured)
+  double load_balance_bound = 0.0;   ///< sum shard work / max shard work
+  std::uint64_t trace_hash = 0;
+  std::uint64_t attempts = 0;
+};
+
+}  // namespace
+
+int main() {
+  const int scale_labs = EnvInt("LABMON_SCALE_LABS", 12, 1, 1024);
+  const int days = EnvInt("LABMON_SCALE_DAYS", 1, 1, 10000);
+  const std::size_t machines = 169u * static_cast<std::size_t>(scale_labs);
+
+  std::cout << std::string(72, '=') << '\n'
+            << "scale_fleet: sharded simulation scaling\n"
+            << "(" << machines << " machines = 169 x " << scale_labs
+            << " lab replicas, " << days << " simulated day(s))\n"
+            << std::string(72, '=') << "\n\n";
+
+  core::ExperimentConfig config;
+  config.campus.days = days;
+  config.campus.seed = bench::BenchSeed();
+  config.campus.scale_labs = scale_labs;
+
+  auto& imbalance = obs::DefaultRegistry().GetGauge(
+      "labmon_experiment_shard_imbalance_ratio");
+
+  std::vector<ShardRun> runs;
+  bool bit_identical = true;
+  for (const int shards : {1, 2, 4, 8}) {
+    config.shards = shards;
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = core::Experiment::Run(config);
+    ShardRun run;
+    run.shards = shards;
+    run.wall_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    run.attempts = result.run_stats.attempts;
+    run.samples_per_s =
+        run.wall_s > 0.0 ? static_cast<double>(run.attempts) / run.wall_s : 0.0;
+    run.speedup = runs.empty() ? 1.0 : runs.front().wall_s / run.wall_s;
+    // The gauge holds max/mean of the shard walls; sum/max = shards / it.
+    const double ratio = imbalance.value();
+    run.load_balance_bound = ratio > 0.0 ? shards / ratio : 1.0;
+    run.trace_hash = Fnv1a(trace::SerializeTrace(result.trace));
+    if (!runs.empty() && run.trace_hash != runs.front().trace_hash) {
+      bit_identical = false;
+    }
+    runs.push_back(run);
+
+    std::cout << "shards=" << shards << ": " << util::FormatFixed(run.wall_s, 3)
+              << " s, " << util::FormatFixed(run.samples_per_s, 0)
+              << " machine-samples/s, speedup "
+              << util::FormatFixed(run.speedup, 2) << "x (balance bound "
+              << util::FormatFixed(run.load_balance_bound, 2) << "x), hash "
+              << run.trace_hash << "\n";
+  }
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"scale_fleet\",\n"
+       << "  \"machines\": " << machines << ",\n"
+       << "  \"scale_labs\": " << scale_labs << ",\n"
+       << "  \"days\": " << days << ",\n"
+       << "  \"bit_identical\": " << (bit_identical ? "true" : "false")
+       << ",\n"
+       << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const ShardRun& run = runs[i];
+    json << "    {\n"
+         << "      \"shards\": " << run.shards << ",\n"
+         << "      \"wall_s\": " << util::FormatFixed(run.wall_s, 6) << ",\n"
+         << "      \"attempts\": " << run.attempts << ",\n"
+         << "      \"machine_samples_per_s\": "
+         << util::FormatFixed(run.samples_per_s, 1) << ",\n"
+         << "      \"speedup\": " << util::FormatFixed(run.speedup, 4) << ",\n"
+         << "      \"load_balance_speedup_bound\": "
+         << util::FormatFixed(run.load_balance_bound, 4) << ",\n"
+         << "      \"trace_hash\": " << run.trace_hash << "\n"
+         << "    }" << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  if (const auto written = util::WriteTextFile("BENCH_scale.json", json.str());
+      !written.ok()) {
+    std::cerr << "failed to write BENCH_scale.json: " << written.error()
+              << "\n";
+    return 1;
+  }
+  if (!bit_identical) {
+    std::cerr << "FAIL: trace hashes differ across shard counts\n";
+    return 1;
+  }
+  std::cout << "\nwrote BENCH_scale.json (bit-identical across shard counts; "
+            << "balance bound at 4 shards: "
+            << util::FormatFixed(runs[2].load_balance_bound, 2) << "x)\n";
+  return 0;
+}

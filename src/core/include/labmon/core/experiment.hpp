@@ -38,6 +38,14 @@ struct ExperimentConfig {
   /// way (pinned by test_w32_probe_golden), so this is excluded from the
   /// snapshot fingerprint.
   bool structured_fast_path = true;
+  /// Simulation shards (real threads). The fleet is partitioned by lab into
+  /// contiguous shards balanced by machine count; each shard runs its labs'
+  /// drivers, coordinators and fault injectors to completion and the
+  /// per-lab traces are merged deterministically. Output-invariant: every
+  /// shard count produces a bit-identical result (pinned by
+  /// test_sharded_determinism), so this is excluded from the snapshot
+  /// fingerprint. 0 = one shard per hardware thread (capped at lab count).
+  int shards = 0;
 };
 
 /// Static description of one lab for reporting (Table 1).

@@ -38,6 +38,14 @@ namespace labmon::core {
 /// v2: payload checksum in the header; retry/fault fields in RunStats.
 inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
 
+/// Version of the RNG draw protocol the simulation runs under. Mixed into
+/// the fingerprint: the same config produces a *different* trace when the
+/// draw protocol changes, so old snapshots must re-key exactly once per
+/// scheme change.
+/// v2: per-entity substreams (DeriveSeed) replacing the single serial
+/// stream — the sharded engine's determinism scheme.
+inline constexpr std::uint32_t kRngSchemeVersion = 2;
+
 /// Content key of a config: hash of every behaviour-affecting field plus
 /// the snapshot format version.
 [[nodiscard]] std::uint64_t FingerprintConfig(const ExperimentConfig& config);

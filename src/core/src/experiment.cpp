@@ -1,5 +1,7 @@
 #include "labmon/core/experiment.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "labmon/core/snapshot.hpp"
@@ -7,12 +9,92 @@
 #include "labmon/faultsim/fault_injector.hpp"
 #include "labmon/obs/registry.hpp"
 #include "labmon/obs/span.hpp"
+#include "labmon/trace/merge.hpp"
 #include "labmon/trace/sink.hpp"
 #include "labmon/util/log.hpp"
+#include "labmon/util/parallel.hpp"
 #include "labmon/util/strings.hpp"
 #include "labmon/winsim/paper_specs.hpp"
+#include "labmon/workload/profile.hpp"
 
 namespace labmon::core {
+
+namespace {
+
+/// A shard = a contiguous run of labs, [lab_begin, lab_end).
+struct Shard {
+  std::size_t lab_begin = 0;
+  std::size_t lab_end = 0;
+};
+
+/// Contiguous greedy partition of the labs into `shards` groups balanced by
+/// machine count. Every shard gets at least one lab (shards is pre-clamped
+/// to the lab count) and every lab is covered exactly once.
+std::vector<Shard> PartitionLabsByMachines(const winsim::Fleet& fleet,
+                                           std::size_t shards) {
+  const auto labs = fleet.labs();
+  std::size_t machines_left = fleet.size();
+  std::vector<Shard> out;
+  out.reserve(shards);
+  std::size_t lab = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t shards_left = shards - s;
+    const std::size_t target =
+        (machines_left + shards_left - 1) / shards_left;
+    Shard shard;
+    shard.lab_begin = lab;
+    std::size_t took = 0;
+    // Take labs up to the per-shard target, but always leave enough labs
+    // for the remaining shards.
+    while (lab < labs.size() &&
+           labs.size() - lab > shards_left - 1 &&
+           (took == 0 || took + labs[lab].count <= target)) {
+      took += labs[lab].count;
+      ++lab;
+    }
+    if (took == 0 && lab < labs.size()) {  // forced single lab
+      took = labs[lab].count;
+      ++lab;
+    }
+    shard.lab_end = lab;
+    machines_left -= took;
+    out.push_back(shard);
+  }
+  return out;
+}
+
+/// Trace capacity estimate per machine: ~96 aligned iterations per day,
+/// responses only while a machine is powered on. The response-rate guess is
+/// derived from the configured opening policy (fraction of the week the
+/// rooms are open) times the observed on-while-open share, instead of a
+/// hardcoded /2.
+std::size_t ReservePerMachine(const workload::CampusConfig& campus) {
+  const workload::OpeningHours& h = campus.hours;
+  const double weekday_open_h =
+      static_cast<double>((24 - h.open_hour) + h.weekday_close_hour);
+  const double saturday_open_h = static_cast<double>(
+      std::max(0, h.saturday_close_hour - h.open_hour));
+  const double sunday_open_h = h.sunday_open ? weekday_open_h : 0.0;
+  const double open_fraction =
+      (5.0 * weekday_open_h + saturday_open_h + sunday_open_h) / 168.0;
+  // ~3/4 of machines respond while the rooms are open (Fig 3), plus a small
+  // floor for the boxes left running overnight.
+  const double response_guess = std::min(1.0, open_fraction * 0.75 + 0.05);
+  return static_cast<std::size_t>(static_cast<double>(campus.days) * 96.0 *
+                                  response_guess) +
+         1;
+}
+
+/// What one shard produces; merged on the main thread afterwards.
+struct ShardOutput {
+  ddc::RunStats stats;             ///< attempt tallies summed over the labs
+  workload::GroundTruth truth;
+  std::uint64_t parse_failures = 0;
+  std::uint64_t crosscheck_mismatches = 0;
+  double wall_s = 0.0;             ///< real time the shard's thread spent
+};
+
+}  // namespace
 
 ExperimentResult Experiment::Run(const ExperimentConfig& config) {
   obs::DefaultRegistry()
@@ -24,47 +106,147 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config) {
   util::Rng rng(config.campus.seed);
   winsim::Fleet fleet = [&] {
     obs::Span build_span("experiment.build_fleet");
-    return winsim::MakePaperFleet(rng, config.prior_life);
+    return winsim::MakePaperFleet(rng, config.prior_life,
+                                  config.campus.scale_labs);
   }();
-  workload::WorkloadDriver driver(fleet, config.campus);
+
+  const std::size_t lab_count = fleet.lab_count();
+  const std::size_t shard_count = std::min(
+      lab_count, config.shards > 0 ? static_cast<std::size_t>(config.shards)
+                                   : util::DefaultWorkerCount());
+  const std::vector<Shard> shards =
+      PartitionLabsByMachines(fleet, std::max<std::size_t>(1, shard_count));
+
+  // Campus-global behavioural context, computed once and shared read-only
+  // by every shard (its draws come from dedicated substreams).
+  const workload::CampusProfile profile =
+      workload::CampusProfile::Build(fleet, config.campus);
 
   ExperimentResult result;
   result.days = config.campus.days;
-  result.trace.set_machine_count(fleet.size());
-  // ~96 iterations/day upper bound; reserve for the ~50% response rate.
-  result.trace.Reserve(static_cast<std::size_t>(config.campus.days) * 96 *
-                       fleet.size() / 2);
-
-  trace::TraceStoreSink sink(result.trace);
-  ddc::W32Probe probe;
-  ddc::CoordinatorConfig collector = config.collector;
-  collector.structured_fast_path = config.structured_fast_path;
-  // The fault injector lives on this frame for the coordinator's lifetime;
-  // an inactive plan keeps the transport path (and the trace) untouched.
-  faultsim::FaultInjector injector(config.fault_plan,
-                                   collector.metrics);
-  if (injector.active()) {
-    injector.BindFleet(fleet);
-    collector.faults = &injector;
-  }
-  // Named local: the coordinator holds a FunctionRef to this callable for
-  // its whole lifetime, so it must outlive the coordinator.
-  auto advance = [&driver](util::SimTime t) { driver.AdvanceTo(t); };
-  ddc::Coordinator coordinator(fleet, probe, collector, sink, advance);
+  const std::size_t reserve_per_machine = ReservePerMachine(config.campus);
 
   util::log::Info("running " + std::to_string(config.campus.days) +
                   "-day experiment over " + std::to_string(fleet.size()) +
-                  " machines");
+                  " machines (" + std::to_string(shards.size()) + " shards)");
+
+  // One trace per lab, merged below; one output per shard.
+  std::vector<trace::TraceStore> lab_traces(lab_count);
+  std::vector<ShardOutput> outputs(shards.size());
   {
     obs::Span collect_span("experiment.collect");
     collect_span.SetSimRange(0, config.campus.EndTime());
-    result.run_stats = coordinator.Run(0, config.campus.EndTime());
-    driver.FinishAt(config.campus.EndTime());
+    auto run_shard = [&](std::size_t s) {
+      const auto t0 = std::chrono::steady_clock::now();
+      obs::Span shard_span("experiment.shard");
+      shard_span.SetSimRange(0, config.campus.EndTime());
+      ShardOutput& out = outputs[s];
+      for (std::size_t lab = shards[s].lab_begin; lab < shards[s].lab_end;
+           ++lab) {
+        const winsim::LabInfo& info = fleet.labs()[lab];
+        workload::WorkloadDriver driver(fleet, config.campus, profile, lab,
+                                        lab + 1);
+        trace::TraceStore& store = lab_traces[lab];
+        store.set_machine_count(fleet.size());
+        store.Reserve(reserve_per_machine * info.count);
+        trace::TraceStoreSink sink(store);
+        ddc::W32Probe probe;
+        ddc::CoordinatorConfig collector = config.collector;
+        collector.structured_fast_path = config.structured_fast_path;
+        collector.first_machine = info.first;
+        collector.machine_count = info.count;
+        collector.aligned_schedule = true;
+        collector.seed = util::DeriveSeed(
+            config.collector.seed, util::seed_stream::kCollector, lab);
+        // Per-lab injector: a plan copy on the lab's own fault substream, so
+        // fault draws are independent of how labs are grouped into shards.
+        faultsim::FaultPlan plan = config.fault_plan;
+        plan.seed = util::DeriveSeed(config.fault_plan.seed,
+                                     util::seed_stream::kFaults, lab);
+        faultsim::FaultInjector injector(plan, collector.metrics);
+        if (injector.active()) {
+          injector.BindFleet(fleet);
+          collector.faults = &injector;
+        }
+        auto advance = [&driver](util::SimTime t) { driver.AdvanceTo(t); };
+        ddc::Coordinator coordinator(fleet, probe, collector, sink, advance);
+        const ddc::RunStats stats =
+            coordinator.Run(0, config.campus.EndTime());
+        driver.FinishAt(config.campus.EndTime());
+
+        out.stats.attempts += stats.attempts;
+        out.stats.successes += stats.successes;
+        out.stats.timeouts += stats.timeouts;
+        out.stats.errors += stats.errors;
+        out.stats.missing += stats.missing;
+        out.stats.corrupt += stats.corrupt;
+        out.stats.recovered_after_retry += stats.recovered_after_retry;
+        out.stats.retry_attempts += stats.retry_attempts;
+        out.stats.retried_collections += stats.retried_collections;
+        out.stats.faults_injected += stats.faults_injected;
+        out.truth += driver.ground_truth();
+        out.parse_failures += sink.parse_failures();
+        out.crosscheck_mismatches += sink.crosscheck_mismatches();
+      }
+      out.wall_s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    };
+    util::ParallelFor(shards.size(), run_shard, shards.size());
   }
 
-  result.ground_truth = driver.ground_truth();
-  result.parse_failures = sink.parse_failures();
-  result.crosscheck_mismatches = sink.crosscheck_mismatches();
+  // Shard-imbalance gauge: max shard wall time over the mean. 1.0 = perfect
+  // balance; large values mean one shard serialised the run.
+  {
+    double max_wall = 0.0;
+    double sum_wall = 0.0;
+    for (const ShardOutput& out : outputs) {
+      max_wall = std::max(max_wall, out.wall_s);
+      sum_wall += out.wall_s;
+    }
+    const double mean_wall = sum_wall / static_cast<double>(outputs.size());
+    obs::DefaultRegistry()
+        .GetGauge("labmon_experiment_shard_imbalance_ratio",
+                  "Max shard wall time / mean shard wall time of the last "
+                  "sharded run (1.0 = perfectly balanced).")
+        .Set(mean_wall > 0.0 ? max_wall / mean_wall : 1.0);
+  }
+
+  // Deterministic merge: iteration-major, (t, machine)-ordered. The result
+  // is the same for every shard count and thread schedule.
+  result.trace = trace::MergeTraces(lab_traces);
+  for (const ShardOutput& out : outputs) {
+    result.run_stats.attempts += out.stats.attempts;
+    result.run_stats.successes += out.stats.successes;
+    result.run_stats.timeouts += out.stats.timeouts;
+    result.run_stats.errors += out.stats.errors;
+    result.run_stats.missing += out.stats.missing;
+    result.run_stats.corrupt += out.stats.corrupt;
+    result.run_stats.recovered_after_retry += out.stats.recovered_after_retry;
+    result.run_stats.retry_attempts += out.stats.retry_attempts;
+    result.run_stats.retried_collections += out.stats.retried_collections;
+    result.run_stats.faults_injected += out.stats.faults_injected;
+    result.ground_truth += out.truth;
+    result.parse_failures += out.parse_failures;
+    result.crosscheck_mismatches += out.crosscheck_mismatches;
+  }
+  // Iteration aggregates from the merged (campus-wide) iteration records:
+  // an iteration spans the earliest lab start to the latest lab end.
+  {
+    double sum_s = 0.0;
+    for (const trace::IterationInfo& it : result.trace.iterations()) {
+      const double duration = static_cast<double>(it.end_t - it.start_t);
+      sum_s += duration;
+      result.run_stats.max_iteration_s =
+          std::max(result.run_stats.max_iteration_s, duration);
+    }
+    const std::size_t n = result.trace.iterations().size();
+    result.run_stats.iterations = n;
+    result.run_stats.mean_iteration_s =
+        n ? sum_s / static_cast<double>(n) : 0.0;
+    result.run_stats.total_span_s =
+        n ? static_cast<double>(result.trace.iterations().back().end_t) : 0.0;
+  }
   if (result.crosscheck_mismatches != 0) {
     util::log::Warn(std::to_string(result.crosscheck_mismatches) +
                     " structured/text cross-check mismatches — the fast-path "

@@ -47,6 +47,7 @@ class Fingerprinter {
 void MixCampus(Fingerprinter& fp, const workload::CampusConfig& c) {
   fp.MixInt(c.days);
   fp.Mix(c.seed);
+  fp.MixInt(c.scale_labs);
 
   fp.MixInt(c.hours.open_hour);
   fp.MixInt(c.hours.weekday_close_hour);
@@ -305,6 +306,10 @@ struct SidecarReader {
 std::uint64_t FingerprintConfig(const ExperimentConfig& config) {
   Fingerprinter fp;
   fp.Mix(kSnapshotFormatVersion);
+  // The RNG draw protocol determines the simulated trace as much as any
+  // config field; note ExperimentConfig::shards is deliberately NOT mixed —
+  // every shard count replays the same snapshot.
+  fp.Mix(kRngSchemeVersion);
   MixCampus(fp, config.campus);
   MixCollector(fp, config.collector);
   MixPriorLife(fp, config.prior_life);

@@ -81,6 +81,20 @@ struct CoordinatorConfig {
   enum class Mode : std::uint8_t { kSequential, kParallelSimulated };
   Mode mode = Mode::kSequential;
   int workers = 8;  ///< parallel-simulated worker count
+  /// Machine range this coordinator sweeps: [first_machine, first_machine +
+  /// machine_count). machine_count == 0 means the whole fleet. The sharded
+  /// experiment gives each lab its own coordinator over the lab's range.
+  std::size_t first_machine = 0;
+  std::size_t machine_count = 0;
+  /// Iteration scheduling. The paper's coordinator (false) starts the next
+  /// sweep at `max(start + period, end_of_sweep)` — an overrunning sweep
+  /// *skips* period boundaries, which is why the study completed 6,883 of a
+  /// possible 7,392 iterations. The aligned schedule (true) anchors sweep k
+  /// to boundary `start + k*period` and carries late sweeps without skipping,
+  /// so every range sweeps the same boundary grid — the property the sharded
+  /// engine needs to merge per-lab traces onto one campus-wide iteration
+  /// axis.
+  bool aligned_schedule = false;
   ExecPolicy exec_policy;
   /// Bounded retries per machine per iteration (default: one attempt).
   RetryPolicy retry;
@@ -206,6 +220,8 @@ class Coordinator {
   Probe& probe_;
   CoordinatorConfig config_;
   SampleSink& sink_;
+  std::size_t first_ = 0;  ///< resolved machine range [first_, end_)
+  std::size_t end_ = 0;
   AdvanceFn advance_;
   RemoteExecutor executor_;
   /// Backoff jitter stream, separate from the transport RNG so enabling

@@ -36,6 +36,10 @@ Coordinator::Coordinator(winsim::Fleet& fleet, Probe& probe,
       // perturbs the transport RNG for non-retried attempts.
       retry_rng_(config.seed ^ 0x9e3779b97f4a7c15ULL) {
   config_.retry = config.retry.Validated();
+  first_ = std::min(config_.first_machine, fleet_.size());
+  end_ = config_.machine_count == 0
+             ? fleet_.size()
+             : std::min(first_ + config_.machine_count, fleet_.size());
   // Resolve instruments once: the probe loop must only touch cached
   // atomics, never the registry mutex or label strings.
   if (config_.metrics) BindInstruments();
@@ -48,7 +52,7 @@ void Coordinator::AdvanceTo(util::SimTime t) {
 void Coordinator::BindInstruments() {
   obs::Registry& registry = *config_.metrics;
   machine_metrics_.resize(fleet_.size());
-  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+  for (std::size_t i = first_; i < end_; ++i) {
     const std::string& machine = fleet_.machine(i).spec().name;
     const std::string& lab = fleet_.labs()[fleet_.LabOf(i)].name;
     MachineInstruments& m = machine_metrics_[i];
@@ -240,8 +244,14 @@ RunStats Coordinator::Run(util::SimTime start, util::SimTime end) {
 
   RunStats stats;
   double iteration_s_sum = 0.0;
+  util::SimTime boundary = start;  ///< aligned mode: sweep k's anchor
   util::SimTime iteration_start = start;
-  while (iteration_start < end) {
+  while (config_.aligned_schedule ? boundary < end : iteration_start < end) {
+    if (config_.aligned_schedule) {
+      // Carry a late sweep, never skip a boundary: every range runs the
+      // same sweep count over [start, end).
+      iteration_start = std::max(boundary, iteration_start);
+    }
     util::SimTime iteration_end;
     {
       obs::Span span("coordinator.iteration", config_.tracer);
@@ -266,9 +276,15 @@ RunStats Coordinator::Run(util::SimTime start, util::SimTime end) {
     }
     ++stats.iterations;
     stats.total_span_s = static_cast<double>(iteration_end - start);
-    // Next attempt at the next period boundary — or immediately, when the
-    // iteration overran the period (the paper's 6,883 < 7,392 effect).
-    iteration_start = std::max(iteration_start + config_.period, iteration_end);
+    if (config_.aligned_schedule) {
+      boundary += config_.period;
+      iteration_start = iteration_end;
+    } else {
+      // Next attempt at the next period boundary — or immediately, when the
+      // iteration overran the period (the paper's 6,883 < 7,392 effect).
+      iteration_start =
+          std::max(iteration_start + config_.period, iteration_end);
+    }
   }
   stats.mean_iteration_s =
       stats.iterations ? iteration_s_sum / static_cast<double>(stats.iterations)
@@ -293,7 +309,7 @@ RunStats Coordinator::Run(util::SimTime start, util::SimTime end) {
 util::SimTime Coordinator::RunIterationSequential(std::uint64_t iteration,
                                                   util::SimTime start) {
   util::SimTime now = start;
-  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+  for (std::size_t i = first_; i < end_; ++i) {
     now = CollectOnce(i, iteration, start, now);
   }
   return std::max(now, start + 1);
@@ -311,7 +327,7 @@ util::SimTime Coordinator::RunIterationParallel(std::uint64_t iteration,
   for (int w = 0; w < k; ++w) workers.emplace(start, w);
 
   util::SimTime latest = start;
-  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+  for (std::size_t i = first_; i < end_; ++i) {
     auto [free_at, worker] = workers.top();
     workers.pop();
     const util::SimTime done = CollectOnce(i, iteration, start, free_at);

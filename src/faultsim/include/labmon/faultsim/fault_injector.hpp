@@ -8,8 +8,10 @@
 // (transport fate → in-machine faults → wire faults), which makes a run
 // with a given plan + seed exactly reproducible.
 //
-// The injector is not thread-safe; the coordinator's parallel mode is a
-// simulated schedule on one thread, which is the only supported caller.
+// The injector is not thread-safe. The coordinator's parallel mode is a
+// simulated schedule on one thread, and the sharded experiment gives every
+// lab its own injector (a plan copy re-seeded with the lab's kFaults
+// substream), so no injector instance is ever shared across threads.
 #pragma once
 
 #include <array>

@@ -1,0 +1,31 @@
+// Deterministic merge of per-shard traces into one campus-wide TraceStore.
+//
+// The sharded experiment collects each lab into its own store on its own
+// thread. Because every shard sweeps the same aligned iteration grid, the
+// per-lab stores carry the same iteration numbers; the merge zips them
+// iteration by iteration, ordering samples within an iteration by
+// (t, machine) — a total order, since a machine is probed at most once per
+// iteration. The output is byte-for-byte independent of the shard count and
+// of thread scheduling: it depends only on the per-lab sample sets, which
+// the RNG-substream scheme pins.
+#pragma once
+
+#include <span>
+
+#include "labmon/trace/trace_store.hpp"
+
+namespace labmon::trace {
+
+/// Merges per-shard stores (each covering a disjoint machine range, all
+/// sharing one aligned iteration grid) into a single store.
+///
+/// - Samples: iteration-major, (t, machine)-sorted within an iteration;
+///   users are re-interned in merge order, so user ids are deterministic.
+/// - IterationInfo: start = min of parts' starts, end = max of parts' ends,
+///   attempts/successes summed. Iterations beyond a part's range contribute
+///   nothing; the merged grid spans the longest part.
+/// `machine_count` of the result is taken from the first part (parts are
+/// built with the fleet-global machine count).
+[[nodiscard]] TraceStore MergeTraces(std::span<const TraceStore> parts);
+
+}  // namespace labmon::trace

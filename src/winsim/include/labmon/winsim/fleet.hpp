@@ -65,6 +65,10 @@ class Fleet {
   /// Integrates every machine up to `t`.
   void AdvanceAllTo(util::SimTime t);
 
+  /// Integrates machines [first, first+count) up to `t`. Shard drivers use
+  /// this so each shard only touches its own machines.
+  void AdvanceRangeTo(std::size_t first, std::size_t count, util::SimTime t);
+
   /// Aggregate hardware totals (paper §4.1: 56.62 GB RAM, 6.66 TB disk…).
   struct Totals {
     double ram_gb = 0.0;

@@ -11,8 +11,15 @@ namespace labmon::winsim {
 /// have 16 machines except L09 with 9; 169 machines total).
 [[nodiscard]] std::vector<LabSpec> PaperLabSpecs();
 
+/// Lab templates for a campus holding `scale_labs` replicas of the paper's
+/// 11 labs (169·K machines). Replica r >= 2 reuses the paper hardware under
+/// names like "L01_2"; scale_labs <= 1 is the paper itself.
+[[nodiscard]] std::vector<LabSpec> ScaledLabSpecs(int scale_labs);
+
 /// Builds the 169-machine fleet of the paper with prior-life SMART seeding.
+/// `scale_labs` > 1 replicates the campus (see ScaledLabSpecs).
 [[nodiscard]] Fleet MakePaperFleet(util::Rng& rng,
-                                   const PriorLifeModel& prior = {});
+                                   const PriorLifeModel& prior = {},
+                                   int scale_labs = 1);
 
 }  // namespace labmon::winsim

@@ -80,6 +80,13 @@ void Fleet::AdvanceAllTo(util::SimTime t) {
   for (Machine& m : machines_) m.AdvanceTo(t);
 }
 
+void Fleet::AdvanceRangeTo(std::size_t first, std::size_t count,
+                           util::SimTime t) {
+  for (std::size_t i = first; i < first + count; ++i) {
+    machines_[i].AdvanceTo(t);
+  }
+}
+
 Fleet::Totals Fleet::HardwareTotals() const noexcept {
   Totals totals;
   for (const Machine& m : machines_) {

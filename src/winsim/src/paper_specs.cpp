@@ -20,8 +20,24 @@ std::vector<LabSpec> PaperLabSpecs() {
   };
 }
 
-Fleet MakePaperFleet(util::Rng& rng, const PriorLifeModel& prior) {
-  const auto labs = PaperLabSpecs();
+std::vector<LabSpec> ScaledLabSpecs(int scale_labs) {
+  const auto base = PaperLabSpecs();
+  if (scale_labs <= 1) return base;
+  std::vector<LabSpec> labs;
+  labs.reserve(base.size() * static_cast<std::size_t>(scale_labs));
+  for (int r = 0; r < scale_labs; ++r) {
+    for (const LabSpec& lab : base) {
+      LabSpec copy = lab;
+      if (r > 0) copy.name = lab.name + "_" + std::to_string(r + 1);
+      labs.push_back(std::move(copy));
+    }
+  }
+  return labs;
+}
+
+Fleet MakePaperFleet(util::Rng& rng, const PriorLifeModel& prior,
+                     int scale_labs) {
+  const auto labs = ScaledLabSpecs(scale_labs);
   return Fleet(labs, prior, rng);
 }
 

@@ -211,6 +211,10 @@ struct ForgottenModel {
 struct CampusConfig {
   int days = 77;             ///< experiment length (starts on a Monday)
   std::uint64_t seed = 20050201;  ///< master seed (paper ran Jan–Apr 2005)
+  /// Lab-replication factor: the campus holds `scale_labs` copies of the 11
+  /// paper labs (169·K machines). The walk-in arrival peak scales with K so
+  /// every replica behaves like the paper campus; 1 = the paper itself.
+  int scale_labs = 1;
 
   OpeningHours hours;
   TimetableModel timetable;

@@ -6,9 +6,18 @@
 // coordinator co-simulates by calling `AdvanceTo(t)` before probing, so
 // machine state is always consistent with the behavioural history at every
 // sample instant.
+//
+// Sharding: a driver can cover the whole campus (the classic constructor)
+// or any contiguous lab range sharing a precomputed CampusProfile. Labs are
+// behaviourally closed systems — classes, arrivals, sweeps, short cycles and
+// sessions never cross a lab boundary — and every stochastic draw comes from
+// a per-lab or per-machine substream (util::DeriveSeed), so a lab's history
+// is bit-identical whether it is simulated alone, with its shard, or with
+// the whole campus.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <queue>
 #include <string>
 #include <vector>
@@ -17,6 +26,7 @@
 #include "labmon/util/time.hpp"
 #include "labmon/winsim/fleet.hpp"
 #include "labmon/workload/config.hpp"
+#include "labmon/workload/profile.hpp"
 #include "labmon/workload/timetable.hpp"
 
 namespace labmon::workload {
@@ -37,13 +47,33 @@ struct GroundTruth {
   [[nodiscard]] std::uint64_t TotalLogins() const noexcept {
     return class_logins + walkin_logins;
   }
+
+  GroundTruth& operator+=(const GroundTruth& other) noexcept {
+    boots += other.boots;
+    shutdowns += other.shutdowns;
+    reboots += other.reboots;
+    short_cycles += other.short_cycles;
+    class_logins += other.class_logins;
+    walkin_logins += other.walkin_logins;
+    forgotten_sessions += other.forgotten_sessions;
+    lost_arrivals += other.lost_arrivals;
+    sweep_shutdowns += other.sweep_shutdowns;
+    return *this;
+  }
 };
 
 class WorkloadDriver {
  public:
-  /// The fleet must outlive the driver. All machines must be powered off
-  /// and at time 0.
+  /// Whole-campus driver. The fleet must outlive the driver. All machines
+  /// must be powered off and at time 0. Builds its own CampusProfile.
   WorkloadDriver(winsim::Fleet& fleet, const CampusConfig& config);
+
+  /// Shard driver covering labs [lab_begin, lab_end). `profile` must cover
+  /// the whole fleet and outlive the driver; events, machine stepping and
+  /// ground truth are confined to the range's machines.
+  WorkloadDriver(winsim::Fleet& fleet, const CampusConfig& config,
+                 const CampusProfile& profile, std::size_t lab_begin,
+                 std::size_t lab_end);
 
   WorkloadDriver(const WorkloadDriver&) = delete;
   WorkloadDriver& operator=(const WorkloadDriver&) = delete;
@@ -51,16 +81,22 @@ class WorkloadDriver {
   /// Processes every behavioural event with timestamp <= t. Monotone.
   void AdvanceTo(util::SimTime t);
 
-  /// Advances to `t` and integrates every machine's counters to `t`
+  /// Advances to `t` and integrates the range's machine counters to `t`
   /// (call once at the end of the experiment).
   void FinishAt(util::SimTime t);
 
-  [[nodiscard]] const Timetable& timetable() const noexcept { return timetable_; }
+  [[nodiscard]] const Timetable& timetable() const noexcept {
+    return profile_->timetable;
+  }
   [[nodiscard]] const GroundTruth& ground_truth() const noexcept {
     return truth_;
   }
   [[nodiscard]] const CampusConfig& config() const noexcept { return config_; }
   [[nodiscard]] util::SimTime now() const noexcept { return now_; }
+  /// Behavioural events dispatched so far (micro-benchmark counter).
+  [[nodiscard]] std::uint64_t dispatched_events() const noexcept {
+    return dispatched_;
+  }
 
   /// Per-machine behavioural temperament (tests & ablations).
   [[nodiscard]] double StayOnTendency(std::size_t machine) const noexcept;
@@ -93,7 +129,7 @@ class WorkloadDriver {
     util::SimTime t = 0;
     std::uint64_t seq = 0;  ///< FIFO tie-break for determinism
     EventKind kind{};
-    std::uint32_t index = 0;     ///< lab or machine index
+    std::uint32_t index = 0;     ///< lab or machine index (fleet-global)
     std::uint64_t gen = 0;       ///< generation tag (stale-event filter)
     util::SimTime aux = 0;       ///< e.g. planned session end
     bool flag = false;           ///< e.g. cpu-heavy / weekend sweep
@@ -130,6 +166,15 @@ class WorkloadDriver {
     double arrival_weight = 1.0;     ///< share of campus walk-ins
   };
 
+  void Init(std::size_t lab_begin, std::size_t lab_end);
+
+  /// The event-time stream of the lab a machine belongs to. Every draw a
+  /// handler makes for machine `i` must come from here, so a lab's draw
+  /// sequence is independent of which other labs this driver covers.
+  [[nodiscard]] util::Rng& EventRng(std::size_t machine) noexcept {
+    return lab_rng_[fleet_.LabOf(machine)];
+  }
+
   // -- scheduling helpers --------------------------------------------------
   void Push(util::SimTime t, EventKind kind, std::uint32_t index,
             std::uint64_t gen = 0, util::SimTime aux = 0, bool flag = false);
@@ -159,21 +204,31 @@ class WorkloadDriver {
   void ForceLogout(std::size_t i, util::SimTime t);
   void ApplyIdleRates(std::size_t i);
   [[nodiscard]] double DiskImageGbFor(double disk_gb) const noexcept;
-  [[nodiscard]] double DrawPhaseBusy(bool heavy_session);
+  [[nodiscard]] double DrawPhaseBusy(util::Rng& rng, bool heavy_session);
   [[nodiscard]] double ForgetProb(SessKind kind) const noexcept;
   [[nodiscard]] double OffProb(SessKind kind) const noexcept;
 
   winsim::Fleet& fleet_;
   CampusConfig config_;
-  util::Rng rng_;
-  Timetable timetable_;
+  std::unique_ptr<CampusProfile> owned_profile_;  ///< whole-campus ctor only
+  const CampusProfile* profile_;
+  std::size_t lab_begin_ = 0;
+  std::size_t lab_end_ = 0;        ///< exclusive
+  std::size_t first_machine_ = 0;
+  std::size_t machine_end_ = 0;    ///< exclusive
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
   util::SimTime now_ = 0;
-  std::vector<MachineState> machines_;
-  std::vector<LabState> labs_;
+  /// Per-lab event-time streams, indexed by fleet-global lab id; only the
+  /// covered range is seeded (substream kLabEvents).
+  std::vector<util::Rng> lab_rng_;
+  std::vector<MachineState> machines_;   ///< fleet-global machine index
+  std::vector<LabState> labs_;           ///< fleet-global lab index
+  /// Per-lab login sequence for synthetic usernames ("a<lab><seq>"), so a
+  /// lab's user names do not depend on campus-wide login interleaving.
+  std::vector<std::uint64_t> next_student_;
   GroundTruth truth_;
-  std::uint64_t next_student_ = 1;
 };
 
 }  // namespace labmon::workload

@@ -1,0 +1,38 @@
+// CampusProfile — fleet-wide behavioural context shared by every
+// WorkloadDriver shard.
+//
+// Lab popularity, walk-in arrival weights and the weekly class timetable are
+// campus-global quantities: they depend on the whole fleet, not on any one
+// lab. The sharded engine computes them exactly once (from their own
+// deterministic substream) and hands a const reference to each per-lab
+// driver, so a lab's behaviour never depends on which shard simulates it.
+#pragma once
+
+#include <vector>
+
+#include "labmon/winsim/fleet.hpp"
+#include "labmon/workload/config.hpp"
+#include "labmon/workload/timetable.hpp"
+
+namespace labmon::workload {
+
+struct CampusProfile {
+  /// Per-lab popularity in [0,1] (NBench combined index, min-max normalised
+  /// over the whole campus).
+  std::vector<double> popularity;
+  /// Per-lab share of campus walk-ins; sums to 1 over all labs.
+  std::vector<double> arrival_weight;
+  /// The weekly class timetable for every lab on campus.
+  Timetable timetable;
+  /// Multiplier on ArrivalModel::weekday_peak_per_hour. Set to
+  /// CampusConfig::scale_labs so each lab replica sees the paper's demand
+  /// despite its arrival weight being normalised over the scaled campus.
+  double arrival_peak_scale = 1.0;
+
+  /// Builds the profile for a fleet. Deterministic in (fleet, config):
+  /// the timetable draws from substream (config.seed, kTimetable).
+  [[nodiscard]] static CampusProfile Build(const winsim::Fleet& fleet,
+                                           const CampusConfig& config);
+};
+
+}  // namespace labmon::workload

@@ -31,6 +31,7 @@ FieldMap BuildMap(CampusConfig& c) {
   };
 
   i("experiment.days", c.days);
+  i("experiment.scale_labs", c.scale_labs);
 
   i("hours.open_hour", c.hours.open_hour);
   i("hours.weekday_close_hour", c.hours.weekday_close_hour);
@@ -205,7 +206,9 @@ std::string SaveCampusConfig(const CampusConfig& config) {
   out << "# labmon scenario file\n";
   out << "[experiment]\ndays = " << config.days << "\nseed = " << config.seed
       << "\n";
-  std::string section;
+  // The manual header above already opened [experiment]; seed it into the
+  // section tracker so map-order keys (scale_labs) land under it.
+  std::string section = "experiment";
   const auto emit = [&](const std::string& key, const std::string& value) {
     const auto dot = key.find('.');
     const std::string sec = key.substr(0, dot);

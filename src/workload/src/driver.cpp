@@ -16,56 +16,79 @@ constexpr double kBootDelaySeconds = 75.0;  // POST + Win2000 startup
 }  // namespace
 
 WorkloadDriver::WorkloadDriver(winsim::Fleet& fleet, const CampusConfig& config)
-    : fleet_(fleet), config_(config), rng_(config.seed ^ 0x574b4c44ULL) {
-  // Lab popularity from the NBench combined index (min-max normalised).
-  labs_.resize(fleet_.lab_count());
-  double min_idx = 1e18, max_idx = -1e18;
-  std::vector<double> lab_index(fleet_.lab_count(), 0.0);
-  for (std::size_t l = 0; l < fleet_.lab_count(); ++l) {
-    const auto& info = fleet_.labs()[l];
-    lab_index[l] = fleet_.machine(info.first).spec().CombinedIndex();
-    min_idx = std::min(min_idx, lab_index[l]);
-    max_idx = std::max(max_idx, lab_index[l]);
-  }
-  double weight_sum = 0.0;
-  for (std::size_t l = 0; l < fleet_.lab_count(); ++l) {
-    const double pop = max_idx > min_idx
-                           ? (lab_index[l] - min_idx) / (max_idx - min_idx)
-                           : 0.5;
-    labs_[l].popularity = pop;
-    // Walk-in demand: popular labs attract disproportionally more students;
-    // small labs (L09) proportionally fewer.
-    const auto& info = fleet_.labs()[l];
-    const double bias = config_.arrivals.popularity_bias;
-    labs_[l].arrival_weight = ((1.0 - bias) + bias * pop) *
-                              (static_cast<double>(info.count) / 16.0);
-    weight_sum += labs_[l].arrival_weight;
-  }
-  for (auto& lab : labs_) lab.arrival_weight /= weight_sum;
+    : fleet_(fleet),
+      config_(config),
+      owned_profile_(std::make_unique<CampusProfile>(
+          CampusProfile::Build(fleet, config))),
+      profile_(owned_profile_.get()) {
+  Init(0, fleet_.lab_count());
+}
 
-  // Per-machine temperament and fixed disk image.
+WorkloadDriver::WorkloadDriver(winsim::Fleet& fleet, const CampusConfig& config,
+                               const CampusProfile& profile,
+                               std::size_t lab_begin, std::size_t lab_end)
+    : fleet_(fleet), config_(config), profile_(&profile) {
+  Init(lab_begin, lab_end);
+}
+
+void WorkloadDriver::Init(std::size_t lab_begin, std::size_t lab_end) {
+  lab_begin_ = lab_begin;
+  lab_end_ = lab_end;
+  const auto labs = fleet_.labs();
+  first_machine_ = labs[lab_begin_].first;
+  machine_end_ = labs[lab_end_ - 1].first + labs[lab_end_ - 1].count;
+
+  labs_.resize(fleet_.lab_count());
+  lab_rng_.resize(fleet_.lab_count());
+  next_student_.assign(fleet_.lab_count(), 1);
+  for (std::size_t l = 0; l < fleet_.lab_count(); ++l) {
+    labs_[l].popularity = profile_->popularity[l];
+    labs_[l].arrival_weight = profile_->arrival_weight[l];
+  }
+  for (std::size_t l = lab_begin_; l < lab_end_; ++l) {
+    lab_rng_[l] = util::Rng(
+        util::DeriveSeed(config_.seed, util::seed_stream::kLabEvents, l));
+  }
+
+  // Per-machine temperament, fixed disk image and short power cycles, all
+  // from the machine's own substream: the values depend only on the machine
+  // identity, never on which other machines this driver covers.
+  const SimTime end = config_.EndTime();
   machines_.resize(fleet_.size());
-  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+  for (std::size_t i = first_machine_; i < machine_end_; ++i) {
+    util::Rng mrng(
+        util::DeriveSeed(config_.seed, util::seed_stream::kMachineTraits, i));
     auto& st = machines_[i];
     const PowerModel& pm = config_.power;
-    st.stay_on = rng_.Bernoulli(pm.sticky_fraction)
-                     ? rng_.Uniform(pm.sticky_stay_on_lo, pm.sticky_stay_on_hi)
-                     : rng_.Uniform(pm.normal_stay_on_lo, pm.normal_stay_on_hi);
+    st.stay_on = mrng.Bernoulli(pm.sticky_fraction)
+                     ? mrng.Uniform(pm.sticky_stay_on_lo, pm.sticky_stay_on_hi)
+                     : mrng.Uniform(pm.normal_stay_on_lo, pm.normal_stay_on_hi);
     st.disk_image_gb = DiskImageGbFor(fleet_.machine(i).spec().disk_gb) +
-                       rng_.Normal(0.0, config_.disk.jitter_gb);
+                       mrng.Normal(0.0, config_.disk.jitter_gb);
     st.disk_image_gb = std::max(2.0, st.disk_image_gb);
     st.compute_server =
-        rng_.Bernoulli(config_.activity.compute_server_fraction);
-  }
+        mrng.Bernoulli(config_.activity.compute_server_fraction);
 
-  // Weekly timetable.
-  std::vector<double> popularity(fleet_.lab_count());
-  for (std::size_t l = 0; l < fleet_.lab_count(); ++l) {
-    popularity[l] = labs_[l].popularity;
+    // Short power cycles (invisible to 15-min sampling). Busy labs see more
+    // of them, and some machines are chronically power-cycled, which spreads
+    // the per-machine SMART cycle counts (the paper's sigma = 37).
+    const double lab_weight = labs_[fleet_.LabOf(i)].arrival_weight *
+                              static_cast<double>(labs_.size());
+    const double short_rate = config_.power.short_cycles_per_day * lab_weight *
+                              mrng.LogNormalMeanStd(1.0, 0.9);
+    for (int day = 0; day < config_.days; ++day) {
+      const int cycles = mrng.Poisson(short_rate);
+      for (int c = 0; c < cycles; ++c) {
+        // Place in the busy part of the day; the handler checks openness.
+        const SimTime t =
+            util::MakeTime(day, 8) +
+            mrng.UniformInt(0, 15 * util::kSecondsPerHour - 1);
+        if (t < end) {
+          Push(t, EventKind::kShortCycleStart, static_cast<std::uint32_t>(i));
+        }
+      }
+    }
   }
-  util::Rng tt_rng = rng_.Fork();
-  timetable_ = Timetable::Generate(config_.timetable, fleet_.lab_count(),
-                                   popularity, tt_rng);
 
   ScheduleCalendar();
 }
@@ -79,10 +102,11 @@ void WorkloadDriver::ScheduleCalendar() {
   const SimTime end = config_.EndTime();
   const int weeks = (config_.days + 6) / 7;
 
-  // Class blocks, instantiated weekly.
+  // Class blocks, instantiated weekly (only the covered labs' blocks).
   for (int w = 0; w < weeks; ++w) {
-    for (std::size_t b = 0; b < timetable_.blocks().size(); ++b) {
-      const ClassBlock& block = timetable_.blocks()[b];
+    for (std::size_t b = 0; b < profile_->timetable.blocks().size(); ++b) {
+      const ClassBlock& block = profile_->timetable.blocks()[b];
+      if (block.lab < lab_begin_ || block.lab >= lab_end_) continue;
       const SimTime start = block.StartInWeek(w);
       const SimTime stop = block.EndInWeek(w);
       if (start >= end) continue;
@@ -95,7 +119,7 @@ void WorkloadDriver::ScheduleCalendar() {
 
   // Hourly walk-in planners and closing sweeps.
   for (int day = 0; day < config_.days; ++day) {
-    for (std::size_t lab = 0; lab < labs_.size(); ++lab) {
+    for (std::size_t lab = lab_begin_; lab < lab_end_; ++lab) {
       for (int hour = 0; hour < 24; ++hour) {
         Push(util::MakeTime(day, hour), EventKind::kHourPlan,
              static_cast<std::uint32_t>(lab));
@@ -116,32 +140,6 @@ void WorkloadDriver::ScheduleCalendar() {
       }
     }
   }
-
-  // Short power cycles (invisible to 15-min sampling). Busy labs see more
-  // of them, and some machines are chronically power-cycled, which spreads
-  // the per-machine SMART cycle counts (the paper's sigma = 37).
-  util::Rng sc_rng = rng_.Fork();
-  std::vector<double> short_rate(fleet_.size());
-  for (std::size_t i = 0; i < fleet_.size(); ++i) {
-    const double lab_weight =
-        labs_[fleet_.LabOf(i)].arrival_weight * static_cast<double>(labs_.size());
-    short_rate[i] = config_.power.short_cycles_per_day * lab_weight *
-                    sc_rng.LogNormalMeanStd(1.0, 0.9);
-  }
-  for (int day = 0; day < config_.days; ++day) {
-    for (std::size_t i = 0; i < fleet_.size(); ++i) {
-      const int cycles = sc_rng.Poisson(short_rate[i]);
-      for (int c = 0; c < cycles; ++c) {
-        // Place in the busy part of the day; the handler checks openness.
-        const SimTime t =
-            util::MakeTime(day, 8) +
-            sc_rng.UniformInt(0, 15 * util::kSecondsPerHour - 1);
-        if (t < end) {
-          Push(t, EventKind::kShortCycleStart, static_cast<std::uint32_t>(i));
-        }
-      }
-    }
-  }
 }
 
 void WorkloadDriver::AdvanceTo(SimTime t) {
@@ -149,6 +147,7 @@ void WorkloadDriver::AdvanceTo(SimTime t) {
     const Event e = queue_.top();
     queue_.pop();
     now_ = std::max(now_, e.t);
+    ++dispatched_;
     Dispatch(e);
   }
   now_ = std::max(now_, t);
@@ -156,7 +155,7 @@ void WorkloadDriver::AdvanceTo(SimTime t) {
 
 void WorkloadDriver::FinishAt(SimTime t) {
   AdvanceTo(t);
-  fleet_.AdvanceAllTo(t);
+  fleet_.AdvanceRangeTo(first_machine_, machine_end_ - first_machine_, t);
 }
 
 double WorkloadDriver::StayOnTendency(std::size_t machine) const noexcept {
@@ -204,7 +203,8 @@ double WorkloadDriver::ArrivalRate(std::size_t lab, SimTime t) const noexcept {
     factor = m.night_factor;
   }
   if (c.dow == DayOfWeek::kSaturday) factor *= m.saturday_factor;
-  return m.weekday_peak_per_hour * factor * labs_[lab].arrival_weight;
+  return m.weekday_peak_per_hour * profile_->arrival_peak_scale * factor *
+         labs_[lab].arrival_weight;
 }
 
 // ---------------------------------------------------------------------------
@@ -231,6 +231,7 @@ void WorkloadDriver::Dispatch(const Event& e) {
 
 void WorkloadDriver::OnClassStart(const Event& e) {
   const std::size_t lab = e.index;
+  util::Rng& rng = lab_rng_[lab];
   labs_[lab].in_class = true;
   labs_[lab].heavy = e.flag;
   labs_[lab].class_end = e.aux;
@@ -245,14 +246,14 @@ void WorkloadDriver::OnClassStart(const Event& e) {
     if (m.powered_on() && m.Session().has_value()) {
       auto& st = machines_[i];
       if (st.sess != SessKind::kForgotten &&
-          rng_.Bernoulli(config_.timetable.keep_walkin_in_class)) {
+          rng.Bernoulli(config_.timetable.keep_walkin_in_class)) {
         seat_taken = true;
       } else {
         ForceLogout(i, e.t);
       }
     }
     if (m.powered_on() && !seat_taken &&
-        rng_.Bernoulli(config_.power.class_start_reboot_prob)) {
+        rng.Bernoulli(config_.power.class_start_reboot_prob)) {
       ShutdownMachine(i, e.t);
       BootMachine(i, e.t);
       ++truth_.reboots;
@@ -260,10 +261,10 @@ void WorkloadDriver::OnClassStart(const Event& e) {
     // Enrolled student sits down within the first minutes.
     const double occupancy = e.flag ? config_.timetable.heavy_class_occupancy
                                     : config_.timetable.class_occupancy;
-    if (!seat_taken && rng_.Bernoulli(occupancy)) {
-      const SimTime sit = e.t + rng_.UniformInt(0, 7 * 60);
+    if (!seat_taken && rng.Bernoulli(occupancy)) {
+      const SimTime sit = e.t + rng.UniformInt(0, 7 * 60);
       const SimTime planned_end =
-          e.aux + static_cast<SimTime>(rng_.Normal(-5.0 * 60.0, 5.0 * 60.0));
+          e.aux + static_cast<SimTime>(rng.Normal(-5.0 * 60.0, 5.0 * 60.0));
       Push(sit, EventKind::kSeatStart, static_cast<std::uint32_t>(i),
            machines_[i].session_gen, std::max(sit + 10 * 60, planned_end),
            e.flag);
@@ -288,9 +289,10 @@ void WorkloadDriver::OnSeatStart(const Event& e) {
 void WorkloadDriver::OnHourPlan(const Event& e) {
   const double rate = ArrivalRate(e.index, e.t);
   if (rate <= 0.0) return;
-  const int n = rng_.Poisson(rate);
+  util::Rng& rng = lab_rng_[e.index];
+  const int n = rng.Poisson(rate);
   for (int k = 0; k < n; ++k) {
-    Push(e.t + rng_.UniformInt(0, util::kSecondsPerHour - 1),
+    Push(e.t + rng.UniformInt(0, util::kSecondsPerHour - 1),
          EventKind::kArrival, e.index);
   }
 }
@@ -302,6 +304,7 @@ void WorkloadDriver::OnArrival(const Event& e) {
     ++truth_.lost_arrivals;
     return;
   }
+  util::Rng& rng = lab_rng_[lab];
   const auto& info = fleet_.labs()[lab];
   // Prefer a free powered-on machine; otherwise power one on; as a last
   // resort, take over a machine abandoned with a forgotten session.
@@ -320,18 +323,18 @@ void WorkloadDriver::OnArrival(const Event& e) {
   }
   const ArrivalModel& am = config_.arrivals;
   double minutes;
-  if (rng_.Bernoulli(am.long_stay_prob)) {
-    minutes = 60.0 * rng_.Uniform(am.long_stay_hours_lo, am.long_stay_hours_hi);
+  if (rng.Bernoulli(am.long_stay_prob)) {
+    minutes = 60.0 * rng.Uniform(am.long_stay_hours_lo, am.long_stay_hours_hi);
   } else {
     minutes = std::min(am.session_minutes_cap,
-                       rng_.LogNormalMeanStd(am.session_minutes_mean,
-                                             am.session_minutes_sigma));
+                       rng.LogNormalMeanStd(am.session_minutes_mean,
+                                            am.session_minutes_sigma));
   }
   const auto length = static_cast<SimTime>(
       std::max(120.0, minutes * static_cast<double>(util::kSecondsPerMinute)));
   if (config_.arrivals.prefer_off_machines && !off.empty()) {
     const std::size_t i = off[static_cast<std::size_t>(
-        rng_.UniformInt(0, static_cast<std::int64_t>(off.size()) - 1))];
+        rng.UniformInt(0, static_cast<std::int64_t>(off.size()) - 1))];
     fleet_.machine(i).AdvanceTo(e.t);
     BootMachine(i, e.t);
     Push(e.t + static_cast<SimTime>(kBootDelaySeconds),
@@ -339,12 +342,12 @@ void WorkloadDriver::OnArrival(const Event& e) {
          machines_[i].power_gen, e.t + length, false);
   } else if (!on_free.empty()) {
     const std::size_t i = on_free[static_cast<std::size_t>(
-        rng_.UniformInt(0, static_cast<std::int64_t>(on_free.size()) - 1))];
+        rng.UniformInt(0, static_cast<std::int64_t>(on_free.size()) - 1))];
     fleet_.machine(i).AdvanceTo(e.t);
     LoginMachine(i, e.t, SessKind::kWalkin, e.t + length, false);
   } else if (!off.empty()) {
     const std::size_t i = off[static_cast<std::size_t>(
-        rng_.UniformInt(0, static_cast<std::int64_t>(off.size()) - 1))];
+        rng.UniformInt(0, static_cast<std::int64_t>(off.size()) - 1))];
     fleet_.machine(i).AdvanceTo(e.t);
     BootMachine(i, e.t);
     Push(e.t + static_cast<SimTime>(kBootDelaySeconds),
@@ -352,7 +355,7 @@ void WorkloadDriver::OnArrival(const Event& e) {
          machines_[i].power_gen, e.t + length, false);
   } else if (!ghosts.empty()) {
     const std::size_t i = ghosts[static_cast<std::size_t>(
-        rng_.UniformInt(0, static_cast<std::int64_t>(ghosts.size()) - 1))];
+        rng.UniformInt(0, static_cast<std::int64_t>(ghosts.size()) - 1))];
     fleet_.machine(i).AdvanceTo(e.t);
     ForceLogout(i, e.t);  // the ghost session is finally logged off
     LoginMachine(i, e.t, SessKind::kWalkin, e.t + length, false);
@@ -378,14 +381,15 @@ void WorkloadDriver::OnSessionEnd(const Event& e) {
   if (!m.powered_on() || !m.Session().has_value()) return;
   m.AdvanceTo(e.t);
 
+  util::Rng& rng = EventRng(i);
   const SessKind kind = st.sess;
-  if (rng_.Bernoulli(ForgetProb(kind))) {
+  if (rng.Bernoulli(ForgetProb(kind))) {
     // The user walks away without logging out: the session persists, the
     // residual activity dies down after a short tail (§4.2, Figure 2).
     st.sess = SessKind::kForgotten;
     ++truth_.forgotten_sessions;
     const double tail_s =
-        rng_.Exponential(config_.forgotten.abandon_tail_minutes * 60.0);
+        rng.Exponential(config_.forgotten.abandon_tail_minutes * 60.0);
     Push(e.t + static_cast<SimTime>(std::max(30.0, tail_s)),
          EventKind::kAbandonSettle, static_cast<std::uint32_t>(i),
          st.session_gen);
@@ -401,7 +405,7 @@ void WorkloadDriver::OnSessionEnd(const Event& e) {
   const double off_prob =
       (evening ? config_.power.off_after_evening : OffProb(kind)) *
       (1.0 - machines_[i].stay_on);
-  if (rng_.Bernoulli(off_prob)) {
+  if (rng.Bernoulli(off_prob)) {
     ShutdownMachine(i, e.t);
   }
 }
@@ -415,30 +419,31 @@ void WorkloadDriver::OnActivityPhase(const Event& e) {
   if (st.sess == SessKind::kNone) return;
   m.AdvanceTo(e.t);
 
+  util::Rng& rng = EventRng(i);
   const ActivityModel& am = config_.activity;
   const NetworkModel& nm = config_.network;
-  const double busy = DrawPhaseBusy(st.heavy);
+  const double busy = DrawPhaseBusy(rng, st.heavy);
   m.SetCpuBusyFraction(am.background_busy + busy);
 
   double recv_bps;
   double sent_bps;
   if (st.heavy) {
     // The CPU-heavy practical computes locally; traffic stays modest.
-    recv_bps = rng_.Uniform(1500.0, 8000.0);
-    sent_bps = recv_bps * rng_.Uniform(0.2, 0.5);
+    recv_bps = rng.Uniform(1500.0, 8000.0);
+    sent_bps = recv_bps * rng.Uniform(0.2, 0.5);
   } else if (busy < 0.05) {
     // Reading/thinking: near-background traffic.
-    recv_bps = nm.background_recv_bps * rng_.Uniform(1.0, 4.0);
-    sent_bps = nm.background_sent_bps * rng_.Uniform(1.0, 3.0);
+    recv_bps = nm.background_recv_bps * rng.Uniform(1.0, 4.0);
+    sent_bps = nm.background_sent_bps * rng.Uniform(1.0, 3.0);
   } else {
-    recv_bps = rng_.LogNormalMeanStd(nm.active_recv_bps_mean,
-                                     nm.active_recv_bps_sigma);
+    recv_bps = rng.LogNormalMeanStd(nm.active_recv_bps_mean,
+                                    nm.active_recv_bps_sigma);
     sent_bps =
-        recv_bps * rng_.Uniform(nm.active_sent_ratio_lo, nm.active_sent_ratio_hi);
+        recv_bps * rng.Uniform(nm.active_sent_ratio_lo, nm.active_sent_ratio_hi);
   }
   m.SetNetRates(sent_bps, recv_bps);
 
-  const double phase_s = rng_.Exponential(am.phase_minutes_mean * 60.0);
+  const double phase_s = rng.Exponential(am.phase_minutes_mean * 60.0);
   Push(e.t + static_cast<SimTime>(std::max(20.0, phase_s)),
        EventKind::kActivityPhase, static_cast<std::uint32_t>(i),
        st.session_gen);
@@ -468,6 +473,7 @@ void WorkloadDriver::OnBootSettle(const Event& e) {
 
 void WorkloadDriver::OnSweep(const Event& e) {
   const std::size_t lab = e.index;
+  util::Rng& rng = lab_rng_[lab];
   const PowerModel& pm = config_.power;
   const double floor = e.flag ? pm.weekend_kill_floor : pm.sweep_kill_floor;
   const double scale = e.flag ? pm.weekend_kill_scale : pm.sweep_kill_scale;
@@ -482,7 +488,7 @@ void WorkloadDriver::OnSweep(const Event& e) {
     // that survives as long as the machine does). Staff powers machines
     // off, but does not log ghost sessions off machines it leaves running.
     if (m.Session().has_value() && st.sess != SessKind::kForgotten) {
-      if (rng_.Bernoulli(config_.forgotten.forget_prob_at_close)) {
+      if (rng.Bernoulli(config_.forgotten.forget_prob_at_close)) {
         st.sess = SessKind::kForgotten;
         ++st.session_gen;  // cancels pending session/activity events
         ++truth_.forgotten_sessions;
@@ -495,7 +501,7 @@ void WorkloadDriver::OnSweep(const Event& e) {
     if (st.sess == SessKind::kForgotten) {
       kill *= config_.power.ghost_kill_multiplier;
     }
-    if (rng_.Bernoulli(kill)) {
+    if (rng.Bernoulli(kill)) {
       ShutdownMachine(i, e.t);
       ++truth_.sweep_shutdowns;
     }
@@ -512,8 +518,9 @@ void WorkloadDriver::OnShortCycleStart(const Event& e) {
   m.AdvanceTo(e.t);
   BootMachine(i, e.t);
   ++truth_.short_cycles;
-  const double minutes = rng_.Uniform(config_.power.short_cycle_minutes_lo,
-                                      config_.power.short_cycle_minutes_hi);
+  util::Rng& rng = lab_rng_[lab];
+  const double minutes = rng.Uniform(config_.power.short_cycle_minutes_lo,
+                                     config_.power.short_cycle_minutes_hi);
   Push(e.t + static_cast<SimTime>(minutes * 60.0), EventKind::kShortCycleEnd,
        static_cast<std::uint32_t>(i), machines_[i].power_gen);
 }
@@ -534,6 +541,7 @@ void WorkloadDriver::OnShortCycleEnd(const Event& e) {
 void WorkloadDriver::BootMachine(std::size_t i, SimTime t) {
   auto& m = fleet_.machine(i);
   auto& st = machines_[i];
+  util::Rng& rng = EventRng(i);
   m.Boot(t);
   ++st.power_gen;
   ++truth_.boots;
@@ -552,9 +560,9 @@ void WorkloadDriver::BootMachine(std::size_t i, SimTime t) {
     base_mem = mm.base_load_128mb;
     base_swap = mm.swap_base_128mb;
   }
-  st.base_mem = std::clamp(base_mem + rng_.Normal(0.0, mm.base_jitter), 5.0, 95.0);
+  st.base_mem = std::clamp(base_mem + rng.Normal(0.0, mm.base_jitter), 5.0, 95.0);
   st.base_swap =
-      std::clamp(base_swap + rng_.Normal(0.0, mm.swap_jitter), 2.0, 90.0);
+      std::clamp(base_swap + rng.Normal(0.0, mm.swap_jitter), 2.0, 90.0);
   st.app_mem_points = 0.0;
   st.app_swap_points = 0.0;
   st.temp_disk_bytes = 0.0;
@@ -589,9 +597,14 @@ void WorkloadDriver::LoginMachine(std::size_t i, SimTime t, SessKind kind,
   auto& st = machines_[i];
   if (m.Session().has_value()) return;
 
-  char user[16];
-  std::snprintf(user, sizeof user, "a%06llu",
-                static_cast<unsigned long long>(next_student_++));
+  // Lab-scoped account names: the per-lab sequence keeps a lab's user ids
+  // independent of campus-wide login interleaving (shard invariance).
+  const std::size_t lab = fleet_.LabOf(i);
+  util::Rng& rng = lab_rng_[lab];
+  char user[32];
+  std::snprintf(user, sizeof user, "a%03llu%05llu",
+                static_cast<unsigned long long>(lab),
+                static_cast<unsigned long long>(next_student_[lab]++));
   m.Login(user, t);
   ++st.session_gen;
   st.sess = kind;
@@ -604,16 +617,16 @@ void WorkloadDriver::LoginMachine(std::size_t i, SimTime t, SessKind kind,
 
   const MemoryModel& mm = config_.memory;
   const double app_mb =
-      std::max(15.0, rng_.Normal(mm.app_mb_mean, mm.app_mb_sigma));
+      std::max(15.0, rng.Normal(mm.app_mb_mean, mm.app_mb_sigma));
   st.app_mem_points = app_mb / m.spec().ram_mb * 100.0;
   st.app_swap_points =
       mm.swap_app_points_mean * (256.0 / m.spec().ram_mb) *
-      rng_.Uniform(0.6, 1.4);
+      rng.Uniform(0.6, 1.4);
   m.SetMemLoadPercent(std::min(95.0, st.base_mem + st.app_mem_points));
   m.SetSwapLoadPercent(std::min(90.0, st.base_swap + st.app_swap_points));
 
-  st.temp_disk_bytes = rng_.Uniform(config_.disk.student_temp_mb_lo,
-                                    config_.disk.student_temp_mb_hi) *
+  st.temp_disk_bytes = rng.Uniform(config_.disk.student_temp_mb_lo,
+                                   config_.disk.student_temp_mb_hi) *
                        1e6;
   m.SetDiskUsedBytes(static_cast<std::uint64_t>(st.disk_image_gb * 1e9 +
                                                 st.temp_disk_bytes));
@@ -647,19 +660,20 @@ void WorkloadDriver::ForceLogout(std::size_t i, SimTime t) {
 
 void WorkloadDriver::ApplyIdleRates(std::size_t i) {
   auto& m = fleet_.machine(i);
+  util::Rng& rng = EventRng(i);
   const NetworkModel& nm = config_.network;
   if (machines_[i].compute_server) {
     // A compute box crunches whenever it is powered on ("some of the
     // machines presented a continuous 100% CPU usage", §5 / Bolosky).
-    m.SetCpuBusyFraction(rng_.Uniform(config_.activity.compute_server_busy_lo,
-                                      config_.activity.compute_server_busy_hi));
+    m.SetCpuBusyFraction(rng.Uniform(config_.activity.compute_server_busy_lo,
+                                     config_.activity.compute_server_busy_hi));
   } else {
     m.SetCpuBusyFraction(config_.activity.background_busy *
-                         rng_.Uniform(0.7, 1.5));
+                         rng.Uniform(0.7, 1.5));
   }
   m.SetNetRates(
-      nm.background_sent_bps * (1.0 + rng_.Normal(0.0, nm.background_jitter)),
-      nm.background_recv_bps * (1.0 + rng_.Normal(0.0, nm.background_jitter)));
+      nm.background_sent_bps * (1.0 + rng.Normal(0.0, nm.background_jitter)),
+      nm.background_recv_bps * (1.0 + rng.Normal(0.0, nm.background_jitter)));
 }
 
 double WorkloadDriver::DiskImageGbFor(double disk_gb) const noexcept {
@@ -671,19 +685,19 @@ double WorkloadDriver::DiskImageGbFor(double disk_gb) const noexcept {
   return dm.image_gb_mini;
 }
 
-double WorkloadDriver::DrawPhaseBusy(bool heavy_session) {
+double WorkloadDriver::DrawPhaseBusy(util::Rng& rng, bool heavy_session) {
   const ActivityModel& am = config_.activity;
   if (heavy_session) {
-    return rng_.Uniform(am.heavy_class_busy_lo, am.heavy_class_busy_hi);
+    return rng.Uniform(am.heavy_class_busy_lo, am.heavy_class_busy_hi);
   }
-  const double u = rng_.Uniform();
+  const double u = rng.Uniform();
   if (u < am.light_prob) {
-    return rng_.Uniform(am.light_busy_lo, am.light_busy_hi);
+    return rng.Uniform(am.light_busy_lo, am.light_busy_hi);
   }
   if (u < am.light_prob + am.medium_prob) {
-    return rng_.Uniform(am.medium_busy_lo, am.medium_busy_hi);
+    return rng.Uniform(am.medium_busy_lo, am.medium_busy_hi);
   }
-  return rng_.Uniform(am.heavy_busy_lo, am.heavy_busy_hi);
+  return rng.Uniform(am.heavy_busy_lo, am.heavy_busy_hi);
 }
 
 double WorkloadDriver::ForgetProb(SessKind kind) const noexcept {

@@ -1,0 +1,49 @@
+#include "labmon/workload/profile.hpp"
+
+#include <algorithm>
+
+#include "labmon/util/rng.hpp"
+
+namespace labmon::workload {
+
+CampusProfile CampusProfile::Build(const winsim::Fleet& fleet,
+                                   const CampusConfig& config) {
+  CampusProfile profile;
+  const std::size_t lab_count = fleet.lab_count();
+  profile.popularity.resize(lab_count);
+  profile.arrival_weight.resize(lab_count);
+  profile.arrival_peak_scale = static_cast<double>(std::max(1, config.scale_labs));
+
+  // Lab popularity from the NBench combined index (min-max normalised).
+  double min_idx = 1e18, max_idx = -1e18;
+  std::vector<double> lab_index(lab_count, 0.0);
+  for (std::size_t l = 0; l < lab_count; ++l) {
+    const auto& info = fleet.labs()[l];
+    lab_index[l] = fleet.machine(info.first).spec().CombinedIndex();
+    min_idx = std::min(min_idx, lab_index[l]);
+    max_idx = std::max(max_idx, lab_index[l]);
+  }
+  double weight_sum = 0.0;
+  for (std::size_t l = 0; l < lab_count; ++l) {
+    const double pop = max_idx > min_idx
+                           ? (lab_index[l] - min_idx) / (max_idx - min_idx)
+                           : 0.5;
+    profile.popularity[l] = pop;
+    // Walk-in demand: popular labs attract disproportionally more students;
+    // small labs (L09) proportionally fewer.
+    const auto& info = fleet.labs()[l];
+    const double bias = config.arrivals.popularity_bias;
+    profile.arrival_weight[l] = ((1.0 - bias) + bias * pop) *
+                                (static_cast<double>(info.count) / 16.0);
+    weight_sum += profile.arrival_weight[l];
+  }
+  for (double& w : profile.arrival_weight) w /= weight_sum;
+
+  util::Rng tt_rng(
+      util::DeriveSeed(config.seed, util::seed_stream::kTimetable));
+  profile.timetable = Timetable::Generate(config.timetable, lab_count,
+                                          profile.popularity, tt_rng);
+  return profile;
+}
+
+}  // namespace labmon::workload

@@ -74,6 +74,35 @@ TEST(ParallelForChunkedTest, SumReductionMatchesSerial) {
             static_cast<long long>(kN) * (kN - 1) / 2);
 }
 
+TEST(ParallelForChunkedTest, ZeroCountIsNoop) {
+  bool called = false;
+  ParallelForChunked(
+      0, [&](std::size_t, std::size_t) { called = true; }, 4);
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForChunkedTest, WorkersExceedingCountStillCover) {
+  std::vector<std::atomic<int>> hits(3);
+  ParallelForChunked(
+      3,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) ++hits[i];
+      },
+      64);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForChunkedTest, PropagatesException) {
+  EXPECT_THROW(
+      ParallelForChunked(
+          1000,
+          [](std::size_t begin, std::size_t) {
+            if (begin > 0) throw std::runtime_error("chunk boom");
+          },
+          4),
+      std::runtime_error);
+}
+
 TEST(ParallelForTest, DefaultWorkerCountPositive) {
   EXPECT_GE(DefaultWorkerCount(), 1u);
 }
