@@ -1,10 +1,17 @@
 // scale_fleet — sharded-engine scaling study on a multi-thousand-machine
-// campus.
+// campus, instrumented by labmon::obs::prof.
 //
 // Replicates the 11 paper labs LABMON_SCALE_LABS times (default 12 =>
-// 2,028 machines), runs the full experiment at shard counts {1, 2, 4, 8}
-// and writes BENCH_scale.json: wall time, machine-samples/s, measured
-// speedup vs one shard, and the load-balance speedup bound for each count.
+// 2,028 machines) and runs three sweeps:
+//
+//   1. Profiler overhead: the same shards=1 run with profiling off and on.
+//      The wall-time delta is the profiler's overhead (budget: <= 2%), and
+//      the trace hashes must match — profiling must never perturb output.
+//   2. Shard sweep {1, 2, 4, 8}: wall time, machine-samples/s, measured
+//      speedup vs one shard, the load-balance speedup bound, and the
+//      profiler's per-phase self-time/allocation breakdown per run.
+//   3. Fleet-size sweep LABMON_SCALE_SWEEP (default "1,8,48" lab
+//      replicas): how the per-phase profile shifts as the campus grows.
 //
 // Two numbers matter per shard count:
 //   * speedup            — measured wall-clock ratio vs shards=1. On a
@@ -14,20 +21,26 @@
 //     the speedup the partition would deliver given >= shards cores. This
 //     is hardware-independent, so it is the number CI pins.
 //
-// The bench also cross-checks determinism: the trace hash at every shard
-// count must equal the shards=1 hash (bit_identical in the JSON).
+// Output: BENCH_scale.json (sweeps), BENCH_prof.json (profiler report +
+// gate inputs; consumed by bench/prof_gate) and BENCH_prof_trace.json
+// (chrome://tracing timeline of the final profiled run).
 //
 // LABMON_SCALE_DAYS bounds the simulated days (default 1: ~2k machines x
 // 96 iterations is already ~195k machine-samples per run).
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "labmon/obs/exporters.hpp"
+#include "labmon/obs/prof.hpp"
 #include "labmon/obs/registry.hpp"
+#include "labmon/obs/span.hpp"
 #include "labmon/trace/binary_io.hpp"
 #include "labmon/util/csv.hpp"
 #include "labmon/util/strings.hpp"
@@ -58,14 +71,90 @@ int EnvInt(const char* name, int fallback, int lo, int hi) {
   return fallback;
 }
 
+std::vector<int> EnvIntList(const char* name, std::vector<int> fallback,
+                            int lo, int hi) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  std::vector<int> values;
+  for (const auto& field : util::Split(env, ',')) {
+    const auto parsed = util::ParseInt64(util::Trim(field));
+    if (!parsed || *parsed < lo || *parsed > hi) {
+      std::cerr << "warning: ignoring malformed " << name << "=\"" << env
+                << "\" (want comma-separated integers in [" << lo << ", "
+                << hi << "])\n";
+      return fallback;
+    }
+    values.push_back(static_cast<int>(*parsed));
+  }
+  return values.empty() ? fallback : values;
+}
+
+/// Per-phase self-wall/self-allocation totals of one profiled run.
+struct PhaseBreakdown {
+  double self_s[obs::prof::kPhaseCount] = {};
+  std::uint64_t alloc_bytes[obs::prof::kPhaseCount] = {};
+};
+
+PhaseBreakdown Breakdown(const obs::prof::Report& report) {
+  PhaseBreakdown b;
+  for (std::size_t p = 0; p < obs::prof::kPhaseCount; ++p) {
+    const auto phase = static_cast<obs::prof::Phase>(p);
+    b.self_s[p] = report.PhaseSelfSeconds(phase);
+    b.alloc_bytes[p] = report.PhaseAllocBytes(phase);
+  }
+  return b;
+}
+
+std::string BreakdownJson(const PhaseBreakdown& b, const std::string& indent) {
+  std::ostringstream json;
+  json << "{\n";
+  for (std::size_t p = 0; p < obs::prof::kPhaseCount; ++p) {
+    const auto phase = static_cast<obs::prof::Phase>(p);
+    json << indent << "  \"" << obs::prof::PhaseName(phase)
+         << "\": {\"self_s\": " << util::FormatFixed(b.self_s[p], 6)
+         << ", \"alloc_bytes\": " << b.alloc_bytes[p] << "}"
+         << (p + 1 < obs::prof::kPhaseCount ? "," : "") << "\n";
+  }
+  json << indent << "}";
+  return json.str();
+}
+
+struct TimedRun {
+  core::ExperimentResult result;
+  double wall_s = 0.0;
+  std::uint64_t trace_hash = 0;
+};
+
+TimedRun Run(const core::ExperimentConfig& config) {
+  TimedRun run;
+  const auto start = std::chrono::steady_clock::now();
+  run.result = core::Experiment::Run(config);
+  run.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  run.trace_hash = Fnv1a(trace::SerializeTrace(run.result.trace));
+  return run;
+}
+
 struct ShardRun {
   int shards = 0;
   double wall_s = 0.0;
   double samples_per_s = 0.0;        ///< collection attempts / wall second
   double speedup = 0.0;              ///< vs the shards=1 run (measured)
   double load_balance_bound = 0.0;   ///< sum shard work / max shard work
+  double critical_path_fraction = 0.0;
   std::uint64_t trace_hash = 0;
   std::uint64_t attempts = 0;
+  PhaseBreakdown phases;
+};
+
+struct ScaleRun {
+  int scale_labs = 0;
+  std::size_t machines = 0;
+  double wall_s = 0.0;
+  double samples_per_s = 0.0;
+  std::uint64_t attempts = 0;
+  PhaseBreakdown phases;
 };
 
 }  // namespace
@@ -73,12 +162,16 @@ struct ShardRun {
 int main() {
   const int scale_labs = EnvInt("LABMON_SCALE_LABS", 12, 1, 1024);
   const int days = EnvInt("LABMON_SCALE_DAYS", 1, 1, 10000);
+  const std::vector<int> scale_sweep =
+      EnvIntList("LABMON_SCALE_SWEEP", {1, 8, 48}, 1, 1024);
   const std::size_t machines = 169u * static_cast<std::size_t>(scale_labs);
+  const unsigned hw_threads = std::max(1u, std::thread::hardware_concurrency());
 
   std::cout << std::string(72, '=') << '\n'
-            << "scale_fleet: sharded simulation scaling\n"
+            << "scale_fleet: sharded simulation scaling (profiled)\n"
             << "(" << machines << " machines = 169 x " << scale_labs
-            << " lab replicas, " << days << " simulated day(s))\n"
+            << " lab replicas, " << days << " simulated day(s), "
+            << hw_threads << " hardware thread(s))\n"
             << std::string(72, '=') << "\n\n";
 
   core::ExperimentConfig config;
@@ -88,26 +181,65 @@ int main() {
 
   auto& imbalance = obs::DefaultRegistry().GetGauge(
       "labmon_experiment_shard_imbalance_ratio");
+  auto& critical_path = obs::DefaultRegistry().GetGauge(
+      "labmon_prof_critical_path_fraction");
 
+  // ---- 1. Profiler overhead: same run, profiling off then on. ----------
+  // min-of-3 each way: on shared/1-core hosts the scheduler noise on a
+  // ~100 ms run dwarfs the profiler's real cost, and min() is the robust
+  // estimator of the noise-free wall time.
+  config.shards = 1;
+  const TimedRun off_a = Run(config);
+  double off_wall = off_a.wall_s;
+  std::uint64_t off_hash = off_a.trace_hash;
+  for (int rep = 0; rep < 2; ++rep) {
+    off_wall = std::min(off_wall, Run(config).wall_s);
+  }
+
+  obs::prof::Enable();
+  const TimedRun on_a = Run(config);
+  double on_wall = on_a.wall_s;
+  bool hash_prof_invariant = on_a.trace_hash == off_hash;
+  for (int rep = 0; rep < 2; ++rep) {
+    obs::prof::Reset();
+    const TimedRun on_rep = Run(config);
+    on_wall = std::min(on_wall, on_rep.wall_s);
+    hash_prof_invariant = hash_prof_invariant && on_rep.trace_hash == off_hash;
+  }
+  const double overhead_pct =
+      off_wall > 0.0 ? 100.0 * (on_wall - off_wall) / off_wall : 0.0;
+
+  std::cout << "profiler overhead: off "
+            << util::FormatFixed(off_wall, 3) << " s, on "
+            << util::FormatFixed(on_wall, 3) << " s => "
+            << util::FormatFixed(overhead_pct, 2) << "% ("
+            << (hash_prof_invariant ? "trace hash unchanged"
+                                    : "TRACE HASH CHANGED")
+            << ")\n\n";
+
+  // ---- 2. Shard sweep at the default fleet size. -----------------------
   std::vector<ShardRun> runs;
   bool bit_identical = true;
+  obs::prof::Report last_report;
   for (const int shards : {1, 2, 4, 8}) {
     config.shards = shards;
-    const auto start = std::chrono::steady_clock::now();
-    const auto result = core::Experiment::Run(config);
+    obs::prof::Reset();
+    const TimedRun timed = Run(config);
+    last_report = obs::prof::Drain();
+
     ShardRun run;
     run.shards = shards;
-    run.wall_s = std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - start)
-                     .count();
-    run.attempts = result.run_stats.attempts;
+    run.wall_s = timed.wall_s;
+    run.attempts = timed.result.run_stats.attempts;
     run.samples_per_s =
         run.wall_s > 0.0 ? static_cast<double>(run.attempts) / run.wall_s : 0.0;
     run.speedup = runs.empty() ? 1.0 : runs.front().wall_s / run.wall_s;
     // The gauge holds max/mean of the shard walls; sum/max = shards / it.
     const double ratio = imbalance.value();
     run.load_balance_bound = ratio > 0.0 ? shards / ratio : 1.0;
-    run.trace_hash = Fnv1a(trace::SerializeTrace(result.trace));
+    run.critical_path_fraction = critical_path.value();
+    run.trace_hash = timed.trace_hash;
+    run.phases = Breakdown(last_report);
     if (!runs.empty() && run.trace_hash != runs.front().trace_hash) {
       bit_identical = false;
     }
@@ -117,16 +249,61 @@ int main() {
               << " s, " << util::FormatFixed(run.samples_per_s, 0)
               << " machine-samples/s, speedup "
               << util::FormatFixed(run.speedup, 2) << "x (balance bound "
-              << util::FormatFixed(run.load_balance_bound, 2) << "x), hash "
+              << util::FormatFixed(run.load_balance_bound, 2)
+              << "x, serial fraction "
+              << util::FormatFixed(run.critical_path_fraction, 3) << "), hash "
               << run.trace_hash << "\n";
+    std::cout << "  phases: simulate "
+              << util::FormatFixed(
+                     run.phases.self_s[static_cast<int>(
+                         obs::prof::Phase::kSimulate)], 3)
+              << " s, probe "
+              << util::FormatFixed(
+                     run.phases.self_s[static_cast<int>(
+                         obs::prof::Phase::kProbe)], 3)
+              << " s, merge "
+              << util::FormatFixed(
+                     run.phases.self_s[static_cast<int>(
+                         obs::prof::Phase::kMerge)], 3)
+              << " s\n";
   }
+  const bool prof_hash_stable = runs.front().trace_hash == off_a.trace_hash;
 
+  // ---- 3. Fleet-size sweep (shards=1). ---------------------------------
+  std::vector<ScaleRun> scale_runs;
+  for (const int k : scale_sweep) {
+    core::ExperimentConfig scaled = config;
+    scaled.shards = 1;
+    scaled.campus.scale_labs = k;
+    obs::prof::Reset();
+    const TimedRun timed = Run(scaled);
+    const obs::prof::Report report = obs::prof::Drain();
+
+    ScaleRun run;
+    run.scale_labs = k;
+    run.machines = 169u * static_cast<std::size_t>(k);
+    run.wall_s = timed.wall_s;
+    run.attempts = timed.result.run_stats.attempts;
+    run.samples_per_s =
+        run.wall_s > 0.0 ? static_cast<double>(run.attempts) / run.wall_s : 0.0;
+    run.phases = Breakdown(report);
+    scale_runs.push_back(run);
+
+    std::cout << "scale_labs=" << k << " (" << run.machines << " machines): "
+              << util::FormatFixed(run.wall_s, 3) << " s, "
+              << util::FormatFixed(run.samples_per_s, 0)
+              << " machine-samples/s\n";
+  }
+  obs::prof::Disable();
+
+  // ---- BENCH_scale.json ------------------------------------------------
   std::ostringstream json;
   json << "{\n"
        << "  \"bench\": \"scale_fleet\",\n"
        << "  \"machines\": " << machines << ",\n"
        << "  \"scale_labs\": " << scale_labs << ",\n"
        << "  \"days\": " << days << ",\n"
+       << "  \"hw_threads\": " << hw_threads << ",\n"
        << "  \"bit_identical\": " << (bit_identical ? "true" : "false")
        << ",\n"
        << "  \"runs\": [\n";
@@ -141,8 +318,25 @@ int main() {
          << "      \"speedup\": " << util::FormatFixed(run.speedup, 4) << ",\n"
          << "      \"load_balance_speedup_bound\": "
          << util::FormatFixed(run.load_balance_bound, 4) << ",\n"
-         << "      \"trace_hash\": " << run.trace_hash << "\n"
+         << "      \"critical_path_fraction\": "
+         << util::FormatFixed(run.critical_path_fraction, 4) << ",\n"
+         << "      \"trace_hash\": " << run.trace_hash << ",\n"
+         << "      \"phases\": " << BreakdownJson(run.phases, "      ") << "\n"
          << "    }" << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"scale_sweep\": [\n";
+  for (std::size_t i = 0; i < scale_runs.size(); ++i) {
+    const ScaleRun& run = scale_runs[i];
+    json << "    {\n"
+         << "      \"scale_labs\": " << run.scale_labs << ",\n"
+         << "      \"machines\": " << run.machines << ",\n"
+         << "      \"wall_s\": " << util::FormatFixed(run.wall_s, 6) << ",\n"
+         << "      \"attempts\": " << run.attempts << ",\n"
+         << "      \"machine_samples_per_s\": "
+         << util::FormatFixed(run.samples_per_s, 1) << ",\n"
+         << "      \"phases\": " << BreakdownJson(run.phases, "      ") << "\n"
+         << "    }" << (i + 1 < scale_runs.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
 
@@ -152,12 +346,66 @@ int main() {
               << "\n";
     return 1;
   }
+
+  // ---- BENCH_prof.json (prof_gate input) -------------------------------
+  const ShardRun& four = runs[2];
+  std::ostringstream prof_json;
+  prof_json << "{\n"
+            << "  \"bench\": \"scale_fleet\",\n"
+            << "  \"machines\": " << machines << ",\n"
+            << "  \"days\": " << days << ",\n"
+            << "  \"hw_threads\": " << hw_threads << ",\n"
+            << "  \"overhead_pct\": " << util::FormatFixed(overhead_pct, 3)
+            << ",\n"
+            << "  \"overhead_off_wall_s\": " << util::FormatFixed(off_wall, 6)
+            << ",\n"
+            << "  \"overhead_on_wall_s\": " << util::FormatFixed(on_wall, 6)
+            << ",\n"
+            << "  \"hash_prof_invariant\": "
+            << (hash_prof_invariant && prof_hash_stable ? "true" : "false")
+            << ",\n"
+            << "  \"bit_identical\": " << (bit_identical ? "true" : "false")
+            << ",\n"
+            << "  \"speedup_4\": " << util::FormatFixed(four.speedup, 4)
+            << ",\n"
+            << "  \"load_balance_bound_4\": "
+            << util::FormatFixed(four.load_balance_bound, 4) << ",\n"
+            << "  \"critical_path_fraction_4\": "
+            << util::FormatFixed(four.critical_path_fraction, 4) << ",\n"
+            << "  \"phases_4\": " << BreakdownJson(four.phases, "  ") << ",\n"
+            << "  \"prof\": " << obs::prof::ReportJson(last_report) << "\n"
+            << "}\n";
+  if (const auto written =
+          util::WriteTextFile("BENCH_prof.json", prof_json.str());
+      !written.ok()) {
+    std::cerr << "failed to write BENCH_prof.json: " << written.error()
+              << "\n";
+    return 1;
+  }
+
+  // ---- BENCH_prof_trace.json (chrome://tracing timeline) ---------------
+  {
+    obs::Tracer tracer(last_report.records.size() + 16);
+    obs::prof::AppendSpans(last_report, tracer);
+    std::ofstream trace_out("BENCH_prof_trace.json");
+    obs::WriteChromeTrace(tracer, trace_out);
+    if (!trace_out) {
+      std::cerr << "failed to write BENCH_prof_trace.json\n";
+      return 1;
+    }
+  }
+
   if (!bit_identical) {
     std::cerr << "FAIL: trace hashes differ across shard counts\n";
     return 1;
   }
-  std::cout << "\nwrote BENCH_scale.json (bit-identical across shard counts; "
+  if (!hash_prof_invariant || !prof_hash_stable) {
+    std::cerr << "FAIL: profiling changed the trace hash\n";
+    return 1;
+  }
+  std::cout << "\nwrote BENCH_scale.json, BENCH_prof.json, "
+            << "BENCH_prof_trace.json (bit-identical across shard counts; "
             << "balance bound at 4 shards: "
-            << util::FormatFixed(runs[2].load_balance_bound, 2) << "x)\n";
+            << util::FormatFixed(four.load_balance_bound, 2) << "x)\n";
   return 0;
 }

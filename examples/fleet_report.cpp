@@ -7,6 +7,7 @@
 //                    [--fault-plan plan.ini] [--retry N]
 //                    [--metrics-out m.prom]
 //                    [--trace-out t.json] [--events-out e.jsonl]
+//                    [--prof-out prof.json]
 //
 // --shards N runs the simulation over N real threads (0 = one per core,
 // default). Output-invariant: any shard count yields the bit-identical
@@ -32,8 +33,14 @@
 // effect made visible). --trace-out enables span tracing and writes a
 // Chrome trace_event JSON loadable in chrome://tracing / Perfetto.
 // --events-out writes the JSONL event stream (log lines + spans + metrics).
+//
+// --prof-out PATH enables the obs::prof profiler for the whole run and
+// writes the per-shard x per-phase wall/allocation report to PATH plus a
+// chrome://tracing timeline next to it (PATH with a "_trace.json" suffix).
+// Profiling never changes the collected trace (bit-identical on or off).
 #include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -46,6 +53,7 @@
 #include "labmon/core/report.hpp"
 #include "labmon/faultsim/fault_plan.hpp"
 #include "labmon/obs/exporters.hpp"
+#include "labmon/obs/prof.hpp"
 #include "labmon/trace/binary_io.hpp"
 #include "labmon/workload/config_io.hpp"
 #include "labmon/util/log.hpp"
@@ -132,6 +140,7 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
   std::string events_out;
+  std::string prof_out;
   std::string snapshot_dir;
   std::string fault_plan_path;
   int retry_attempts = 0;
@@ -156,6 +165,8 @@ int main(int argc, char** argv) {
       trace_out = v;
     } else if (const char* v = flag_value("--events-out")) {
       events_out = v;
+    } else if (const char* v = flag_value("--prof-out")) {
+      prof_out = v;
     } else if (const char* v = flag_value("--snapshot-dir")) {
       snapshot_dir = v;
     } else if (const char* v = flag_value("--workers")) {
@@ -179,6 +190,17 @@ int main(int argc, char** argv) {
   }
 
   const std::string out_dir = !positional.empty() ? positional[0] : "report_out";
+  // Create the output directory up front: exporter files (--events-out
+  // etc.) commonly point inside it and are opened before the CSV writer
+  // would otherwise create it.
+  {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec) {
+      std::cerr << "cannot create directory: " << out_dir << '\n';
+      return 1;
+    }
+  }
   core::ExperimentConfig config;
   if (positional.size() > 1) config.campus.days = std::atoi(positional[1].c_str());
   if (positional.size() > 2) {
@@ -231,6 +253,8 @@ int main(int argc, char** argv) {
       std::cerr << "[labmon] " << message << '\n';
     });
   }
+
+  if (!prof_out.empty()) obs::prof::Enable();
 
   const auto result = core::Experiment::RunCached(config, snapshot_dir);
   core::ReportOptions report_options;
@@ -314,6 +338,35 @@ int main(int argc, char** argv) {
               << " (open in chrome://tracing or ui.perfetto.dev; "
               << obs::DefaultTracer().size() << " spans, "
               << obs::DefaultTracer().dropped() << " dropped)\n";
+  }
+  if (!prof_out.empty()) {
+    const obs::prof::Report prof_report = obs::prof::Drain();
+    obs::prof::Disable();
+    if (!WriteFileOrComplain(prof_out, [&](std::ostream& out) {
+          out << obs::prof::ReportJson(prof_report) << '\n';
+        })) {
+      return 1;
+    }
+    // Timeline next to the report: prof.json -> prof_trace.json.
+    std::string prof_trace_path = prof_out;
+    if (const auto dot = prof_trace_path.rfind(".json");
+        dot != std::string::npos && dot == prof_trace_path.size() - 5) {
+      prof_trace_path.insert(dot, "_trace");
+    } else {
+      prof_trace_path += "_trace.json";
+    }
+    obs::Tracer prof_tracer(prof_report.records.size() + 16);
+    obs::prof::AppendSpans(prof_report, prof_tracer);
+    if (!WriteFileOrComplain(prof_trace_path, [&](std::ostream& out) {
+          obs::WriteChromeTrace(prof_tracer, out);
+        })) {
+      return 1;
+    }
+    std::cout << "profile written to " << prof_out << " ("
+              << prof_report.rows.size() << " shard-phase rows, "
+              << prof_report.records.size() << " timeline records, "
+              << prof_report.dropped_records
+              << " dropped), timeline to " << prof_trace_path << '\n';
   }
   if (events) {
     obs::WriteSpansJsonl(obs::DefaultTracer(), *events);

@@ -7,6 +7,7 @@
 #include "labmon/core/snapshot.hpp"
 #include "labmon/ddc/w32_probe.hpp"
 #include "labmon/faultsim/fault_injector.hpp"
+#include "labmon/obs/prof.hpp"
 #include "labmon/obs/registry.hpp"
 #include "labmon/obs/span.hpp"
 #include "labmon/trace/merge.hpp"
@@ -103,9 +104,11 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config) {
       .Increment();
   obs::Span run_span("experiment.run");
   run_span.SetSimRange(0, config.campus.EndTime());
+  const auto run_t0 = std::chrono::steady_clock::now();
   util::Rng rng(config.campus.seed);
   winsim::Fleet fleet = [&] {
     obs::Span build_span("experiment.build_fleet");
+    obs::prof::PhaseScope prof_scope(obs::prof::Phase::kBuildFleet);
     return winsim::MakePaperFleet(rng, config.prior_life,
                                   config.campus.scale_labs);
   }();
@@ -119,8 +122,10 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config) {
 
   // Campus-global behavioural context, computed once and shared read-only
   // by every shard (its draws come from dedicated substreams).
-  const workload::CampusProfile profile =
-      workload::CampusProfile::Build(fleet, config.campus);
+  const workload::CampusProfile profile = [&] {
+    obs::prof::PhaseScope prof_scope(obs::prof::Phase::kBuildFleet);
+    return workload::CampusProfile::Build(fleet, config.campus);
+  }();
 
   ExperimentResult result;
   result.days = config.campus.days;
@@ -133,6 +138,7 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config) {
   // One trace per lab, merged below; one output per shard.
   std::vector<trace::TraceStore> lab_traces(lab_count);
   std::vector<ShardOutput> outputs(shards.size());
+  const auto collect_t0 = std::chrono::steady_clock::now();
   {
     obs::Span collect_span("experiment.collect");
     collect_span.SetSimRange(0, config.campus.EndTime());
@@ -140,6 +146,8 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config) {
       const auto t0 = std::chrono::steady_clock::now();
       obs::Span shard_span("experiment.shard");
       shard_span.SetSimRange(0, config.campus.EndTime());
+      obs::prof::ShardScope prof_shard(static_cast<std::uint32_t>(s));
+      obs::prof::PhaseScope prof_collect(obs::prof::Phase::kCollect);
       ShardOutput& out = outputs[s];
       for (std::size_t lab = shards[s].lab_begin; lab < shards[s].lab_end;
            ++lab) {
@@ -168,7 +176,12 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config) {
           injector.BindFleet(fleet);
           collector.faults = &injector;
         }
-        auto advance = [&driver](util::SimTime t) { driver.AdvanceTo(t); };
+        auto advance = [&driver](util::SimTime t) {
+          // Hot path (one call per machine-sample): sampled, not timed
+          // in full, to stay inside the profiler's overhead budget.
+          obs::prof::SampledPhaseScope prof_scope(obs::prof::Phase::kSimulate);
+          driver.AdvanceTo(t);
+        };
         ddc::Coordinator coordinator(fleet, probe, collector, sink, advance);
         const ddc::RunStats stats =
             coordinator.Run(0, config.campus.EndTime());
@@ -194,6 +207,10 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config) {
     };
     util::ParallelFor(shards.size(), run_shard, shards.size());
   }
+  const double collect_wall_s = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() -
+                                    collect_t0)
+                                    .count();
 
   // Shard-imbalance gauge: max shard wall time over the mean. 1.0 = perfect
   // balance; large values mean one shard serialised the run.
@@ -270,6 +287,21 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config) {
     summary.fp_index = spec.fp_index;
     result.labs.push_back(std::move(summary));
   }
+  // Critical-path share: fraction of the run's wall time spent outside the
+  // sharded collect region (fleet build, merge, aggregation) — the serial
+  // work that caps any shard-count speedup (Amdahl). Exposed for the
+  // profiler report and the prof_gate bench comparator.
+  {
+    const double run_wall_s = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - run_t0)
+                                  .count();
+    const double serial_s = std::max(0.0, run_wall_s - collect_wall_s);
+    obs::DefaultRegistry()
+        .GetGauge("labmon_prof_critical_path_fraction",
+                  "Serial (non-sharded) share of the last experiment run's "
+                  "wall time: 0 = fully parallel, 1 = fully serial.")
+        .Set(run_wall_s > 0.0 ? serial_s / run_wall_s : 0.0);
+  }
   util::log::Info("collected " + std::to_string(result.trace.size()) +
                   " samples in " +
                   std::to_string(result.run_stats.iterations) + " iterations");
@@ -291,6 +323,7 @@ ExperimentResult Experiment::RunCached(const ExperimentConfig& config,
   const std::uint64_t fingerprint = FingerprintConfig(config);
   const SnapshotCache cache(snapshot_dir);
   if (cache.Contains(fingerprint)) {
+    obs::prof::PhaseScope prof_scope(obs::prof::Phase::kSnapshot);
     auto loaded = cache.Load(fingerprint);
     if (loaded.ok()) {
       load_counter("hit").Increment();
@@ -309,6 +342,7 @@ ExperimentResult Experiment::RunCached(const ExperimentConfig& config,
   }
 
   ExperimentResult result = Run(config);
+  obs::prof::PhaseScope store_scope(obs::prof::Phase::kSnapshot);
   if (const auto stored = cache.Store(fingerprint, result); stored.ok()) {
     registry
         .GetCounter("labmon_snapshot_stores_total",

@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <sstream>
 
+#include "labmon/obs/prof.hpp"
 #include "labmon/trace/sessions.hpp"
 #include "labmon/util/csv.hpp"
 #include "labmon/util/strings.hpp"
@@ -10,11 +11,23 @@
 
 namespace labmon::core {
 
+namespace {
+
+// Charges the shared interval/session derivation to the analysis phase
+// (it runs in the member-init list, before the constructor body's scope).
+trace::DerivedTrace BuildDerived(const ExperimentResult& result,
+                                 const ReportOptions& options) {
+  obs::prof::PhaseScope prof_scope(obs::prof::Phase::kAnalysis);
+  return trace::DerivedTrace(
+      result.trace,
+      trace::DerivedTraceOptions{{}, options.workers, options.metrics});
+}
+
+}  // namespace
+
 Report::Report(const ExperimentResult& result, ReportOptions options)
-    : result_(&result),
-      derived_(result.trace,
-               trace::DerivedTraceOptions{
-                   {}, options.workers, options.metrics}) {
+    : result_(&result), derived_(BuildDerived(result, options)) {
+  obs::prof::PhaseScope prof_scope(obs::prof::Phase::kAnalysis);
   std::vector<analysis::LabKey> keys;
   std::size_t first = 0;
   for (const auto& lab : result.labs) {
@@ -156,6 +169,7 @@ std::string Report::FullReport() const {
 }
 
 std::string Report::WriteCsvFiles(const std::string& directory) const {
+  obs::prof::PhaseScope prof_scope(obs::prof::Phase::kExport);
   namespace fs = std::filesystem;
   std::error_code ec;
   fs::create_directories(directory, ec);

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "labmon/faultsim/fault_injector.hpp"
+#include "labmon/obs/prof.hpp"
 
 namespace labmon::ddc {
 
@@ -128,6 +129,9 @@ ExecOutcome Coordinator::ExecuteOne(std::size_t machine_index,
                                     util::SimTime t,
                                     bool* structured_filled) {
   obs::Span span("executor.execute", config_.tracer);
+  // Hot path (one call per probe attempt): sampled, not timed in full,
+  // to stay inside the profiler's overhead budget.
+  obs::prof::SampledPhaseScope prof_scope(obs::prof::Phase::kProbe);
   *structured_filled = false;
   ExecOutcome outcome;
   if (config_.structured_fast_path) {

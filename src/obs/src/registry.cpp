@@ -124,11 +124,20 @@ std::vector<FamilySnapshot> Registry::Snapshot() const {
       HistogramPoint point;
       point.labels = labels;
       point.boundaries = histogram->boundaries();
+      // Writers bump bucket, count and sum as three relaxed atomics, so a
+      // concurrent snapshot can catch them mid-update. Read count first,
+      // buckets second: any Observe racing the snapshot then lands in the
+      // buckets but maybe not in count, so taking the larger of the two
+      // keeps the published invariant sum(buckets) == count (a torn read
+      // the other way would render a negative +Inf bucket).
+      point.count = histogram->count();
       point.buckets.reserve(histogram->bucket_count());
+      std::uint64_t bucket_total = 0;
       for (std::size_t i = 0; i < histogram->bucket_count(); ++i) {
         point.buckets.push_back(histogram->bucket(i));
+        bucket_total += point.buckets.back();
       }
-      point.count = histogram->count();
+      point.count = std::max(point.count, bucket_total);
       point.sum = histogram->sum();
       snap.histograms.push_back(std::move(point));
     }

@@ -80,6 +80,18 @@ class TraceStore {
   /// Appends iteration metadata (in iteration order).
   void AppendIteration(IterationInfo info);
 
+  /// Interns `user` exactly as Append does and returns its id — for bulk
+  /// columnar appends (MergeTraces) that translate source-store user ids
+  /// themselves instead of re-hashing the string per sample.
+  [[nodiscard]] std::uint32_t InternUserId(const std::string& user) {
+    return InternUser(user);
+  }
+  /// Columnar append of sample `i` of `src`, with `user_id` already
+  /// translated into *this* store's table (kNoUser = no session). Skips
+  /// the row gather + string re-intern of Append; the resulting store is
+  /// byte-identical to appending the gathered SampleRecord.
+  void AppendFrom(const Columns& src, std::size_t i, std::uint32_t user_id);
+
   [[nodiscard]] std::size_t machine_count() const noexcept {
     return machine_count_;
   }

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "labmon/obs/prof.hpp"
+
 namespace labmon::trace {
 
 TraceStore MergeTraces(std::span<const TraceStore> parts) {
+  obs::prof::PhaseScope prof_scope(obs::prof::Phase::kMerge);
   TraceStore merged(parts.empty() ? 0 : parts.front().machine_count());
   if (parts.empty()) return merged;
 
@@ -28,6 +31,17 @@ TraceStore MergeTraces(std::span<const TraceStore> parts) {
     std::size_t idx;
   };
   std::vector<Key> block;
+
+  // Lazily-built part-local → merged user-id translation. Merged ids are
+  // assigned at the first merged-order appearance of each user string,
+  // exactly as the old per-sample re-intern did, so serialised output
+  // (and hence trace hashes) stays bit-identical. After the first
+  // appearance the per-sample cost is one vector lookup instead of a
+  // string copy + hash.
+  std::vector<std::vector<std::uint32_t>> user_remap(parts.size());
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    user_remap[p].assign(parts[p].users().size(), TraceStore::kNoUser);
+  }
 
   for (std::size_t it = 0; it < max_iters; ++it) {
     block.clear();
@@ -62,7 +76,19 @@ TraceStore MergeTraces(std::span<const TraceStore> parts) {
     std::sort(block.begin(), block.end(), [](const Key& a, const Key& b) {
       return a.t != b.t ? a.t < b.t : a.machine < b.machine;
     });
-    for (const Key& k : block) merged.Append(parts[k.part].Sample(k.idx));
+    // Columnar append: no SampleRecord gather, no user-string re-intern.
+    for (const Key& k : block) {
+      const TraceStore::Columns& cols = parts[k.part].columns();
+      std::uint32_t uid = cols.user_id[k.idx];
+      if (uid != TraceStore::kNoUser) {
+        std::uint32_t& mapped = user_remap[k.part][uid];
+        if (mapped == TraceStore::kNoUser) {
+          mapped = merged.InternUserId(parts[k.part].users()[uid]);
+        }
+        uid = mapped;
+      }
+      merged.AppendFrom(cols, k.idx, uid);
+    }
     if (any) merged.AppendIteration(info);
   }
   return merged;

@@ -65,6 +65,35 @@ void TraceStore::Append(const SampleRecord& record) {
   per_machine_[record.machine].push_back(index);
 }
 
+void TraceStore::AppendFrom(const Columns& src, std::size_t i,
+                            std::uint32_t user_id) {
+  const auto index = static_cast<std::uint32_t>(size());
+  const std::uint32_t machine = src.machine[i];
+  columns_.machine.push_back(machine);
+  columns_.iteration.push_back(src.iteration[i]);
+  columns_.t.push_back(src.t[i]);
+  columns_.boot_time.push_back(src.boot_time[i]);
+  columns_.uptime_s.push_back(src.uptime_s[i]);
+  columns_.cpu_idle_s.push_back(src.cpu_idle_s[i]);
+  columns_.ram_mb.push_back(src.ram_mb[i]);
+  columns_.mem_load_pct.push_back(src.mem_load_pct[i]);
+  columns_.swap_load_pct.push_back(src.swap_load_pct[i]);
+  columns_.disk_total_b.push_back(src.disk_total_b[i]);
+  columns_.disk_free_b.push_back(src.disk_free_b[i]);
+  columns_.smart_power_on_hours.push_back(src.smart_power_on_hours[i]);
+  columns_.smart_power_cycles.push_back(src.smart_power_cycles[i]);
+  columns_.net_sent_b.push_back(src.net_sent_b[i]);
+  columns_.net_recv_b.push_back(src.net_recv_b[i]);
+  const bool session = src.has_session[i] != 0;
+  columns_.has_session.push_back(session ? 1 : 0);
+  columns_.session_logon.push_back(session ? src.session_logon[i] : 0);
+  columns_.user_id.push_back(session ? user_id : kNoUser);
+  if (machine >= per_machine_.size()) {
+    per_machine_.resize(std::max<std::size_t>(machine + 1, machine_count_));
+  }
+  per_machine_[machine].push_back(index);
+}
+
 void TraceStore::AppendIteration(IterationInfo info) {
   iterations_.push_back(info);
 }

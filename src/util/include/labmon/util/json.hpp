@@ -1,0 +1,106 @@
+// Minimal JSON reader for labmon's own machine-readable artifacts
+// (BENCH_*.json, prof reports). Full RFC 8259 value grammar — objects,
+// arrays, strings with escapes, numbers, booleans, null — parsed into a
+// simple owning tree. Not a streaming parser and not tuned for huge
+// documents; the consumers (bench/prof_gate, tests) read kilobyte files.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "labmon/util/expected.hpp"
+
+namespace labmon::util::json {
+
+class Value;
+using Array = std::vector<Value>;
+/// Ordered map keeps iteration deterministic for tests; transparent
+/// comparator lets lookups take string_view without allocating.
+using Object = std::map<std::string, Value, std::less<>>;
+
+class Value {
+ public:
+  enum class Type : std::uint8_t {
+    kNull, kBool, kNumber, kString, kArray, kObject
+  };
+
+  Value() = default;                      ///< null
+  explicit Value(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit Value(double n) : type_(Type::kNumber), number_(n) {}
+  explicit Value(std::string s)
+      : type_(Type::kString), string_(std::move(s)) {}
+  explicit Value(Array a)
+      : type_(Type::kArray), array_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o)
+      : type_(Type::kObject),
+        object_(std::make_shared<Object>(std::move(o))) {}
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return type_ == Type::kArray;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+
+  [[nodiscard]] bool AsBool(bool fallback = false) const noexcept {
+    return is_bool() ? bool_ : fallback;
+  }
+  [[nodiscard]] double AsNumber(double fallback = 0.0) const noexcept {
+    return is_number() ? number_ : fallback;
+  }
+  [[nodiscard]] const std::string& AsString() const noexcept {
+    static const std::string empty;
+    return is_string() ? string_ : empty;
+  }
+  [[nodiscard]] const Array& AsArray() const noexcept {
+    static const Array empty;
+    return is_array() ? *array_ : empty;
+  }
+  [[nodiscard]] const Object& AsObject() const noexcept {
+    static const Object empty;
+    return is_object() ? *object_ : empty;
+  }
+
+  /// Object member lookup; returns a null Value when absent or not an
+  /// object, so lookups chain without intermediate checks:
+  ///   doc["runs"][2]["speedup"].AsNumber()
+  [[nodiscard]] const Value& operator[](std::string_view key) const noexcept;
+  /// Array element lookup; null Value when out of range.
+  [[nodiscard]] const Value& operator[](std::size_t index) const noexcept;
+
+  /// Convenience: member `key` as a number, or `fallback` when missing.
+  [[nodiscard]] double Number(std::string_view key,
+                              double fallback = 0.0) const noexcept {
+    const Value& v = (*this)[key];
+    return v.is_number() ? v.number_ : fallback;
+  }
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  // shared_ptr keeps Value copyable/compact without recursive variant
+  // gymnastics; trees are read-only after parse.
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+/// Parses one JSON document (leading/trailing whitespace allowed; anything
+/// else after the value is an error). Errors carry byte offsets.
+[[nodiscard]] util::Result<Value> Parse(std::string_view text);
+
+}  // namespace labmon::util::json

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "labmon/util/function_ref.hpp"
 
@@ -14,6 +15,29 @@ namespace labmon::util {
 /// Number of workers ParallelFor will use by default (hardware concurrency,
 /// at least 1).
 [[nodiscard]] std::size_t DefaultWorkerCount() noexcept;
+
+/// Per-worker timing of one ParallelFor region (observer hook below).
+struct ParallelWorkerStats {
+  std::uint64_t start_delay_ns = 0;  ///< region entry -> worker body start
+  std::uint64_t busy_ns = 0;         ///< time inside the worker body
+};
+
+/// One multi-threaded ParallelFor/ParallelForChunked region. `workers`
+/// points at `worker_count` entries, valid only during the observer call.
+struct ParallelRegionStats {
+  std::size_t count = 0;    ///< items the region covered
+  std::uint64_t wall_ns = 0;  ///< region entry -> all workers joined
+  const ParallelWorkerStats* workers = nullptr;
+  std::size_t worker_count = 0;
+};
+
+/// Observer invoked after every region that actually spawned threads
+/// (inline runs are not reported). Install with null to remove. The
+/// profiler (labmon::obs::prof) uses this to surface queue-wait and
+/// barrier-wait; util itself stays observability-free. The pointer is a
+/// process-global; installing is thread-safe, the observer itself must be.
+using ParallelObserver = void (*)(const ParallelRegionStats&);
+void SetParallelObserver(ParallelObserver observer) noexcept;
 
 /// Runs body(i) for i in [0, count) across `workers` threads with static
 /// block scheduling. Runs inline when count is small or workers <= 1.

@@ -1,12 +1,31 @@
 #include "labmon/util/parallel.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace labmon::util {
+
+namespace {
+
+std::atomic<ParallelObserver> g_observer{nullptr};
+
+std::uint64_t NowNs() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void SetParallelObserver(ParallelObserver observer) noexcept {
+  g_observer.store(observer, std::memory_order_relaxed);
+}
 
 std::size_t DefaultWorkerCount() noexcept {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -25,8 +44,14 @@ void ParallelForChunked(
     return;
   }
 
+  const ParallelObserver observer =
+      g_observer.load(std::memory_order_relaxed);
+  const std::uint64_t region_t0 = observer != nullptr ? NowNs() : 0;
+  std::vector<ParallelWorkerStats> stats(observer != nullptr ? workers : 0);
+
   std::exception_ptr first_error;
   std::mutex error_mutex;
+  std::size_t spawned = 0;
   {
     std::vector<std::jthread> pool;
     pool.reserve(workers);
@@ -35,17 +60,31 @@ void ParallelForChunked(
       const std::size_t begin = w * chunk;
       const std::size_t end = std::min(count, begin + chunk);
       if (begin >= end) break;
-      pool.emplace_back([&, begin, end] {
+      ++spawned;
+      pool.emplace_back([&, w, begin, end] {
+        const std::uint64_t t_start = observer != nullptr ? NowNs() : 0;
         try {
           body(begin, end);
         } catch (...) {
           const std::lock_guard<std::mutex> lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
         }
+        if (observer != nullptr) {
+          stats[w].start_delay_ns = t_start - region_t0;
+          stats[w].busy_ns = NowNs() - t_start;
+        }
       });
     }
   }  // jthread joins here
   if (first_error) std::rethrow_exception(first_error);
+  if (observer != nullptr) {
+    ParallelRegionStats region;
+    region.count = count;
+    region.wall_ns = NowNs() - region_t0;
+    region.workers = stats.data();
+    region.worker_count = spawned;
+    observer(region);
+  }
 }
 
 void ParallelFor(std::size_t count, FunctionRef<void(std::size_t)> body,

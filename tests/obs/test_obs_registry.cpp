@@ -1,5 +1,7 @@
 #include "labmon/obs/registry.hpp"
 
+#include <atomic>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -117,6 +119,72 @@ TEST(ObsRegistryTest, ConcurrentIncrementsAreLossless) {
   for (auto& thread : threads) thread.join();
   EXPECT_EQ(counter.value(),
             static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// Snapshot hardening: scrapes racing instrument writes and new-series
+// registration must neither trip TSan nor publish torn histogram points
+// (bucket totals exceeding the point's count). Run under the TSan CI job.
+TEST(ObsRegistryTest, SnapshotUnderConcurrentUpdatesStaysConsistent) {
+  Registry registry;
+  Counter& counter = registry.GetCounter("race_total");
+  Gauge& gauge = registry.GetGauge("race_gauge");
+  Histogram& histogram = registry.GetHistogram("race_hist", {1.0, 2.0, 4.0});
+
+  std::atomic<bool> stop{false};
+  constexpr int kWriters = 3;
+  constexpr int kPerWriter = 20000;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        counter.Increment();
+        gauge.Set(static_cast<double>(i));
+        histogram.Observe(static_cast<double>(i % 6));
+        if (i % 4096 == 0) {
+          // Registration churn: new label sets force family-map inserts
+          // concurrent with Snapshot's iteration (both under the mutex).
+          registry.GetCounter("race_total", "",
+                              {{"writer", std::to_string(w)},
+                               {"i", std::to_string(i)}});
+        }
+      }
+    });
+  }
+
+  std::thread scraper([&] {
+    std::size_t scrapes = 0;
+    do {
+      const auto snapshot = registry.Snapshot();
+      for (const auto& family : snapshot) {
+        for (const auto& point : family.histograms) {
+          std::uint64_t bucket_total = 0;
+          for (const auto b : point.buckets) bucket_total += b;
+          EXPECT_EQ(bucket_total, point.count)
+              << "torn histogram point in scrape " << scrapes;
+        }
+      }
+      ++scrapes;
+    } while (!stop.load(std::memory_order_relaxed));
+  });
+  for (auto& thread : writers) thread.join();
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kWriters) * kPerWriter);
+  EXPECT_EQ(histogram.count(),
+            static_cast<std::uint64_t>(kWriters) * kPerWriter);
+  const auto final_snapshot = registry.Snapshot();
+  bool found = false;
+  for (const auto& family : final_snapshot) {
+    if (family.name != "race_hist") continue;
+    ASSERT_EQ(family.histograms.size(), 1u);
+    EXPECT_EQ(family.histograms[0].count,
+              static_cast<std::uint64_t>(kWriters) * kPerWriter);
+    found = true;
+  }
+  EXPECT_TRUE(found);
 }
 
 TEST(ObsRegistryTest, DefaultRegistryIsAStableSingleton) {

@@ -1,0 +1,104 @@
+#include "labmon/util/json.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace labmon::util::json {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(Parse("null").value().is_null());
+  EXPECT_TRUE(Parse("true").value().AsBool());
+  EXPECT_FALSE(Parse("false").value().AsBool(true));
+  EXPECT_DOUBLE_EQ(Parse("42").value().AsNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(Parse("-3.25e2").value().AsNumber(), -325.0);
+  EXPECT_EQ(Parse("\"hello\"").value().AsString(), "hello");
+}
+
+TEST(JsonTest, ParsesStringEscapes) {
+  const auto v = Parse(R"("a\"b\\c\n\tAé")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().AsString(), "a\"b\\c\n\tA\xc3\xa9");
+}
+
+TEST(JsonTest, ParsesNestedStructure) {
+  const auto doc = Parse(R"({
+    "bench": "scale_fleet",
+    "bit_identical": true,
+    "runs": [
+      {"shards": 1, "wall_s": 1.5},
+      {"shards": 4, "wall_s": 0.5, "phases": {"merge": {"self_s": 0.1}}}
+    ]
+  })");
+  ASSERT_TRUE(doc.ok()) << doc.error();
+  const Value& v = doc.value();
+  EXPECT_EQ(v["bench"].AsString(), "scale_fleet");
+  EXPECT_TRUE(v["bit_identical"].AsBool());
+  EXPECT_EQ(v["runs"].AsArray().size(), 2u);
+  EXPECT_DOUBLE_EQ(v["runs"][1]["wall_s"].AsNumber(), 0.5);
+  EXPECT_DOUBLE_EQ(v["runs"][1]["phases"]["merge"].Number("self_s"), 0.1);
+}
+
+TEST(JsonTest, MissingLookupsChainToNull) {
+  const auto doc = Parse(R"({"a": {"b": 1}})");
+  ASSERT_TRUE(doc.ok());
+  const Value& v = doc.value();
+  EXPECT_TRUE(v["nope"].is_null());
+  EXPECT_TRUE(v["nope"]["deeper"][3]["more"].is_null());
+  EXPECT_DOUBLE_EQ(v["nope"].Number("x", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(v["a"].Number("b"), 1.0);
+  // Index past the end of an array is null too.
+  EXPECT_TRUE(Parse("[1,2]").value()[5].is_null());
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("{\"a\":}").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("tru").ok());
+  EXPECT_FALSE(Parse("1 2").ok()) << "trailing content must be an error";
+  EXPECT_FALSE(Parse("{\"a\":1,}").ok());
+  EXPECT_FALSE(Parse("nan").ok());
+}
+
+TEST(JsonTest, ErrorsCarryByteOffsets) {
+  const auto r = Parse("{\"ok\": tru}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("offset"), std::string::npos) << r.error();
+}
+
+TEST(JsonTest, DepthLimitStopsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_FALSE(Parse(deep).ok()) << "nesting deeper than 64 must fail";
+  std::string ok_depth;
+  for (int i = 0; i < 30; ++i) ok_depth += '[';
+  for (int i = 0; i < 30; ++i) ok_depth += ']';
+  EXPECT_TRUE(Parse(ok_depth).ok());
+}
+
+TEST(JsonTest, RoundTripsProfGateInput) {
+  // The exact shape prof_gate consumes (abridged).
+  const auto doc = Parse(R"({
+    "hw_threads": 4,
+    "overhead_pct": 1.2,
+    "hash_prof_invariant": true,
+    "speedup_4": 1.91,
+    "load_balance_bound_4": 3.4,
+    "phases_4": {"merge": {"self_s": 0.012, "alloc_bytes": 1835834}}
+  })");
+  ASSERT_TRUE(doc.ok()) << doc.error();
+  const Value& v = doc.value();
+  EXPECT_DOUBLE_EQ(v.Number("hw_threads"), 4.0);
+  EXPECT_DOUBLE_EQ(v.Number("speedup_4"), 1.91);
+  EXPECT_TRUE(v["hash_prof_invariant"].AsBool(false));
+  EXPECT_DOUBLE_EQ(v["phases_4"]["merge"].Number("self_s"), 0.012);
+  EXPECT_DOUBLE_EQ(v["phases_4"]["merge"].Number("alloc_bytes"), 1835834.0);
+}
+
+}  // namespace
+}  // namespace labmon::util::json
