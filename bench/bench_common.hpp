@@ -7,9 +7,14 @@
 // re-simulating — the whole suite pays for one simulation.
 #pragma once
 
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "labmon/core/experiment.hpp"
 #include "labmon/core/report.hpp"
@@ -17,6 +22,25 @@
 #include "labmon/util/strings.hpp"
 
 namespace labmon::bench {
+
+/// Peak resident-set size of this process so far, in bytes (0 where the
+/// platform has no getrusage). This is the process-wide high-water mark —
+/// it only ever grows, so comparing two configurations needs one process
+/// per configuration (stream_fleet re-execs itself per mode for exactly
+/// this reason).
+inline std::uint64_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage = {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // already bytes
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;  // KiB
+#endif
+#else
+  return 0;
+#endif
+}
 
 /// RAII phase marker: wraps a bench phase ("run", "analyze", "render") in
 /// an obs span so traced bench runs show where the wall time went.

@@ -6,11 +6,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 
 #include "bench_common.hpp"
 #include "labmon/analysis/aggregate.hpp"
 #include "labmon/analysis/passes.hpp"
 #include "labmon/analysis/pipeline.hpp"
+#include "labmon/analysis/stream_fold.hpp"
 #include "labmon/core/experiment.hpp"
 #include "labmon/ddc/w32_probe.hpp"
 #include "labmon/ddc/w32_probe_legacy.hpp"
@@ -18,7 +20,9 @@
 #include "labmon/smart/attributes.hpp"
 #include "labmon/stats/running_stats.hpp"
 #include "labmon/trace/binary_io.hpp"
+#include "labmon/trace/block.hpp"
 #include "labmon/trace/intervals.hpp"
+#include "labmon/trace/segment.hpp"
 #include "labmon/util/rng.hpp"
 #include "labmon/winsim/paper_specs.hpp"
 #include "labmon/workload/driver.hpp"
@@ -379,6 +383,77 @@ void BM_AnalysisPipelineFullReport(benchmark::State& state) {
                           static_cast<std::int64_t>(result.trace.size()));
 }
 BENCHMARK(BM_AnalysisPipelineFullReport)->Unit(benchmark::kMillisecond);
+
+void BM_BlockFold(benchmark::State& state) {
+  // The streaming analysis fold over sealed blocks — the hot loop of a
+  // streamed campaign's merge+analysis phase. Folds the same trace the
+  // pipeline benchmarks analyse, block by block, through all eight
+  // passes (block size = the spill default).
+  core::ExperimentConfig config;
+  config.campus.days = 3;
+  const auto result = bench::RunExperiment(config);
+
+  analysis::StreamingAnalysisConfig fold_config;
+  fold_config.machine_count = result.trace.machine_count();
+  fold_config.perf_index = result.perf_index;
+  fold_config.labs = AnalysisBenchLabs(result);
+  fold_config.experiment_days = result.days;
+
+  for (auto _ : state) {
+    analysis::StreamingAnalysis fold(fold_config);
+    trace::StoreReader reader(result.trace);
+    while (const trace::TraceBlock* block = reader.Next()) {
+      fold.Accept(*block);
+    }
+    auto folded = fold.Finish(result.trace);
+    benchmark::DoNotOptimize(folded.table2.both.cpu_idle_pct);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(result.trace.size()));
+}
+BENCHMARK(BM_BlockFold)->Unit(benchmark::kMillisecond);
+
+void BM_SegmentRoundTrip(benchmark::State& state) {
+  // LMSG1 spill throughput: write the trace as one checksummed segment
+  // block, then stream it back (length-prefix walk + checksum verify +
+  // LMTR1 decode). bytes/s covers the full round trip.
+  core::ExperimentConfig config;
+  config.campus.days = 2;
+  const auto result = bench::RunExperiment(config);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "labmon_bm_segment.lmsg")
+          .string();
+
+  std::int64_t segment_bytes = 0;
+  for (auto _ : state) {
+    auto writer =
+        trace::SegmentWriter::Open(path, result.trace.machine_count());
+    if (!writer.ok() || !writer.value().Append(result.trace).ok() ||
+        !writer.value().Finish().ok()) {
+      state.SkipWithError("segment write failed");
+      break;
+    }
+    segment_bytes = static_cast<std::int64_t>(writer.value().bytes_written());
+
+    auto reader = trace::SegmentReader::Open(path);
+    std::size_t rows = 0;
+    if (reader.ok()) {
+      while (const trace::TraceBlock* block = reader.value().Next()) {
+        rows += block->size();
+      }
+    }
+    if (!reader.ok() || reader.value().failed() ||
+        rows != result.trace.size()) {
+      state.SkipWithError("segment read failed");
+      break;
+    }
+    benchmark::DoNotOptimize(rows);
+  }
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  state.SetBytesProcessed(state.iterations() * segment_bytes);
+}
+BENCHMARK(BM_SegmentRoundTrip)->Unit(benchmark::kMillisecond);
 
 void BM_RunningStats(benchmark::State& state) {
   util::Rng rng(3);

@@ -123,6 +123,7 @@ struct TimedRun {
   core::ExperimentResult result;
   double wall_s = 0.0;
   std::uint64_t trace_hash = 0;
+  std::uint64_t peak_rss_bytes = 0;
 };
 
 TimedRun Run(const core::ExperimentConfig& config) {
@@ -133,6 +134,7 @@ TimedRun Run(const core::ExperimentConfig& config) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   run.trace_hash = Fnv1a(trace::SerializeTrace(run.result.trace));
+  run.peak_rss_bytes = bench::PeakRssBytes();
   return run;
 }
 
@@ -145,6 +147,10 @@ struct ShardRun {
   double critical_path_fraction = 0.0;
   std::uint64_t trace_hash = 0;
   std::uint64_t attempts = 0;
+  /// Process-wide RSS high-water mark after this run. Monotone across
+  /// the sweep (one process runs all configurations), so only the growth
+  /// between consecutive runs is attributable to a configuration.
+  std::uint64_t peak_rss_bytes = 0;
   PhaseBreakdown phases;
 };
 
@@ -154,6 +160,7 @@ struct ScaleRun {
   double wall_s = 0.0;
   double samples_per_s = 0.0;
   std::uint64_t attempts = 0;
+  std::uint64_t peak_rss_bytes = 0;
   PhaseBreakdown phases;
 };
 
@@ -239,6 +246,7 @@ int main() {
     run.load_balance_bound = ratio > 0.0 ? shards / ratio : 1.0;
     run.critical_path_fraction = critical_path.value();
     run.trace_hash = timed.trace_hash;
+    run.peak_rss_bytes = timed.peak_rss_bytes;
     run.phases = Breakdown(last_report);
     if (!runs.empty() && run.trace_hash != runs.front().trace_hash) {
       bit_identical = false;
@@ -252,7 +260,11 @@ int main() {
               << util::FormatFixed(run.load_balance_bound, 2)
               << "x, serial fraction "
               << util::FormatFixed(run.critical_path_fraction, 3) << "), hash "
-              << run.trace_hash << "\n";
+              << run.trace_hash << ", peak rss "
+              << util::FormatFixed(
+                     static_cast<double>(run.peak_rss_bytes) / (1024.0 * 1024.0),
+                     1)
+              << " MiB\n";
     std::cout << "  phases: simulate "
               << util::FormatFixed(
                      run.phases.self_s[static_cast<int>(
@@ -286,6 +298,7 @@ int main() {
     run.attempts = timed.result.run_stats.attempts;
     run.samples_per_s =
         run.wall_s > 0.0 ? static_cast<double>(run.attempts) / run.wall_s : 0.0;
+    run.peak_rss_bytes = timed.peak_rss_bytes;
     run.phases = Breakdown(report);
     scale_runs.push_back(run);
 
@@ -304,6 +317,7 @@ int main() {
        << "  \"scale_labs\": " << scale_labs << ",\n"
        << "  \"days\": " << days << ",\n"
        << "  \"hw_threads\": " << hw_threads << ",\n"
+       << "  \"peak_rss_bytes\": " << bench::PeakRssBytes() << ",\n"
        << "  \"bit_identical\": " << (bit_identical ? "true" : "false")
        << ",\n"
        << "  \"runs\": [\n";
@@ -321,6 +335,7 @@ int main() {
          << "      \"critical_path_fraction\": "
          << util::FormatFixed(run.critical_path_fraction, 4) << ",\n"
          << "      \"trace_hash\": " << run.trace_hash << ",\n"
+         << "      \"peak_rss_bytes\": " << run.peak_rss_bytes << ",\n"
          << "      \"phases\": " << BreakdownJson(run.phases, "      ") << "\n"
          << "    }" << (i + 1 < runs.size() ? "," : "") << "\n";
   }
@@ -335,6 +350,7 @@ int main() {
          << "      \"attempts\": " << run.attempts << ",\n"
          << "      \"machine_samples_per_s\": "
          << util::FormatFixed(run.samples_per_s, 1) << ",\n"
+         << "      \"peak_rss_bytes\": " << run.peak_rss_bytes << ",\n"
          << "      \"phases\": " << BreakdownJson(run.phases, "      ") << "\n"
          << "    }" << (i + 1 < scale_runs.size() ? "," : "") << "\n";
   }

@@ -1,0 +1,228 @@
+// stream_fleet — streamed-vs-materialised campaign bench.
+//
+// Measures the streaming trace pipeline (core::StreamingExperiment with
+// spill-to-disk segments) against the materialised engine
+// (core::Experiment) on the same campus and seed:
+//
+//   * wall time and machine-samples/s per mode
+//   * peak RSS per mode — the streaming pipeline's whole point is that
+//     its footprint is bounded by block size + per-machine analysis
+//     state, not by the simulated horizon
+//   * the merged sample-stream hash, which must be identical between the
+//     streamed and the materialised run (bit-identical streaming)
+//
+// Peak RSS (getrusage ru_maxrss) is a process-wide high-water mark, so a
+// single process cannot measure two configurations. The parent therefore
+// re-execs itself once per mode (`stream_fleet --measure <mode> <out>`)
+// and each child reports its own numbers as a JSON fragment; the parent
+// assembles BENCH_stream.json, which bench/stream_gate checks in CI.
+//
+// Modes:
+//   materialized  Experiment::Run at LABMON_STREAM_DAYS (default 14),
+//                 sample-stream hash computed over the materialised store.
+//   streamed      StreamingExperiment::Run at the same horizon, spilling
+//                 per-lab LMSG1 segments to a scratch directory.
+//   streamed_2x   the streamed run at twice the horizon — its peak RSS
+//                 must stay flat vs `streamed` (O(block) memory claim).
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "labmon/core/streaming.hpp"
+#include "labmon/trace/block.hpp"
+#include "labmon/util/csv.hpp"
+#include "labmon/util/strings.hpp"
+
+namespace {
+
+using namespace labmon;
+
+int StreamDays() {
+  if (const char* env = std::getenv("LABMON_STREAM_DAYS")) {
+    const auto days = util::ParseInt64(env);
+    if (days && *days > 0 && *days <= 5000) {
+      return static_cast<int>(*days);
+    }
+    std::cerr << "warning: ignoring malformed LABMON_STREAM_DAYS=\"" << env
+              << "\" (want an integer in [1, 5000]); using 14\n";
+  }
+  return 14;
+}
+
+// The bench spills with smaller blocks than the 64k production default:
+// at bench horizons a whole lab fits in one 64k block, which would make
+// "O(block) memory" degenerate into "O(lab trace) memory" and tell us
+// nothing. 8k blocks force multiple seals per lab, so the RSS numbers
+// actually measure the bounded-footprint claim.
+std::size_t StreamBlockSamples() {
+  if (const char* env = std::getenv("LABMON_STREAM_BLOCK")) {
+    const auto block = util::ParseInt64(env);
+    if (block && *block >= 256 && *block <= 1 << 20) {
+      return static_cast<std::size_t>(*block);
+    }
+    std::cerr << "warning: ignoring malformed LABMON_STREAM_BLOCK=\"" << env
+              << "\" (want an integer in [256, 1048576]); using 8192\n";
+  }
+  return 8192;
+}
+
+std::string HexHash(std::uint64_t h) {
+  std::ostringstream hex;
+  hex << std::hex << h;
+  return hex.str();
+}
+
+core::ExperimentConfig StreamConfig(int days) {
+  core::ExperimentConfig config;
+  config.campus.days = days;
+  config.campus.seed = bench::BenchSeed();
+  return config;
+}
+
+/// One measurement in a child process; writes a JSON fragment to `out`.
+int Measure(const std::string& mode, const std::string& out_path) {
+  const int base_days = StreamDays();
+  const int days = mode == "streamed_2x" ? 2 * base_days : base_days;
+  const auto start = std::chrono::steady_clock::now();
+
+  std::uint64_t attempts = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t merged_blocks = 0;
+  std::uint64_t stream_hash = 0;
+
+  if (mode == "materialized") {
+    const auto result = core::Experiment::Run(StreamConfig(days));
+    attempts = result.run_stats.attempts;
+    samples = result.trace.size();
+    trace::StoreReader reader(result.trace);
+    stream_hash = trace::HashSampleStream(reader);
+  } else if (mode == "streamed" || mode == "streamed_2x") {
+    const std::filesystem::path spill =
+        std::filesystem::path("stream_fleet_spill") / mode;
+    std::error_code ec;
+    std::filesystem::remove_all(spill, ec);
+    core::StreamingOptions options;
+    options.block_samples = StreamBlockSamples();
+    options.spill_dir = spill.string();
+    const auto result =
+        core::StreamingExperiment::Run(StreamConfig(days), options);
+    if (!result.errors.empty()) {
+      for (const auto& error : result.errors) {
+        std::cerr << "stream error: " << error << "\n";
+      }
+      return 1;
+    }
+    attempts = result.run_stats.attempts;
+    samples = result.samples;
+    merged_blocks = result.merged_blocks;
+    stream_hash = result.stream_hash;
+    std::filesystem::remove_all(spill, ec);
+  } else {
+    std::cerr << "unknown mode \"" << mode << "\"\n";
+    return 2;
+  }
+
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const double samples_per_s =
+      wall_s > 0.0 ? static_cast<double>(attempts) / wall_s : 0.0;
+  const std::uint64_t peak_rss = bench::PeakRssBytes();
+
+  // The hash is emitted as a hex string: JSON numbers round-trip through
+  // doubles in the gate's parser and would silently lose low bits.
+  std::ostringstream json;
+  json << "{\n"
+       << "      \"mode\": \"" << mode << "\",\n"
+       << "      \"days\": " << days << ",\n"
+       << "      \"wall_s\": " << util::FormatFixed(wall_s, 6) << ",\n"
+       << "      \"attempts\": " << attempts << ",\n"
+       << "      \"samples\": " << samples << ",\n"
+       << "      \"machine_samples_per_s\": "
+       << util::FormatFixed(samples_per_s, 1) << ",\n"
+       << "      \"merged_blocks\": " << merged_blocks << ",\n"
+       << "      \"peak_rss_bytes\": " << peak_rss << ",\n"
+       << "      \"stream_hash\": \"" << HexHash(stream_hash) << "\"\n"
+       << "    }";
+  if (const auto written = util::WriteTextFile(out_path, json.str());
+      !written.ok()) {
+    std::cerr << "failed to write " << out_path << ": " << written.error()
+              << "\n";
+    return 1;
+  }
+
+  std::cout << mode << ": " << days << " day(s), "
+            << util::FormatFixed(wall_s, 3) << " s, "
+            << util::FormatFixed(samples_per_s, 0) << " machine-samples/s, "
+            << merged_blocks << " merged block(s), peak rss "
+            << util::FormatFixed(static_cast<double>(peak_rss) /
+                                     (1024.0 * 1024.0),
+                                 1)
+            << " MiB, stream hash " << HexHash(stream_hash) << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 4 && std::string(argv[1]) == "--measure") {
+    return Measure(argv[2], argv[3]);
+  }
+  if (argc != 1) {
+    std::cerr << "usage: stream_fleet\n"
+              << "       stream_fleet --measure <mode> <out.json>\n";
+    return 2;
+  }
+
+  const int days = StreamDays();
+  std::cout << std::string(72, '=') << '\n'
+            << "stream_fleet: streamed vs materialised campaign\n"
+            << "(169 machines, " << days << " simulated day(s), block size "
+            << StreamBlockSamples()
+            << " samples; one child process per mode for clean RSS)\n"
+            << std::string(72, '=') << "\n\n";
+
+  const std::string self = argv[0];
+  const char* modes[] = {"materialized", "streamed", "streamed_2x"};
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"stream_fleet\",\n"
+       << "  \"days\": " << days << ",\n"
+       << "  \"block_samples\": " << StreamBlockSamples() << ",\n"
+       << "  \"modes\": {\n";
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::string fragment =
+        std::string("stream_fleet_") + modes[i] + ".part.json";
+    const std::string command =
+        "\"" + self + "\" --measure " + modes[i] + " \"" + fragment + "\"";
+    if (std::system(command.c_str()) != 0) {
+      std::cerr << "FAIL: child \"" << command << "\" failed\n";
+      return 1;
+    }
+    const auto part = util::ReadTextFile(fragment);
+    if (!part.ok()) {
+      std::cerr << "failed to read " << fragment << ": " << part.error()
+                << "\n";
+      return 1;
+    }
+    std::error_code ec;
+    std::filesystem::remove(fragment, ec);
+    json << "    \"" << modes[i] << "\": " << part.value()
+         << (i + 1 < 3 ? "," : "") << "\n";
+  }
+  json << "  }\n}\n";
+
+  if (const auto written =
+          util::WriteTextFile("BENCH_stream.json", json.str());
+      !written.ok()) {
+    std::cerr << "failed to write BENCH_stream.json: " << written.error()
+              << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote BENCH_stream.json (run bench/stream_gate on it)\n";
+  return 0;
+}

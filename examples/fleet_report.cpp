@@ -5,9 +5,24 @@
 //                    [--workers N] [--snapshot-dir DIR]
 //                    [--shards N] [--scale-labs K]
 //                    [--fault-plan plan.ini] [--retry N]
+//                    [--stream] [--spill-dir DIR] [--resume]
+//                    [--block-samples N] [--anomaly-threshold Z]
 //                    [--metrics-out m.prom]
 //                    [--trace-out t.json] [--events-out e.jsonl]
 //                    [--prof-out prof.json]
+//
+// --stream runs the campaign through the streaming engine: collection
+// seals fixed-size trace blocks (--block-samples, default 65536) instead
+// of materialising the trace, the merge re-streams them and the analyses
+// fold incrementally — peak memory is O(block), independent of --days,
+// and the analysis output is bit-identical to the materialised engine.
+// --spill-dir DIR spills sealed blocks to per-lab checkpointed segments
+// in DIR; --resume reuses valid checkpoints found there (a campaign
+// killed mid-run restarts where it left off). --anomaly-threshold Z
+// enables online per-machine z-score anomaly detection (|z| >= Z on
+// memory load and CPU idle) and writes anomalies.jsonl into output_dir.
+// Streaming mode skips the CSV/trace exports (there is no materialised
+// trace to export).
 //
 // --shards N runs the simulation over N real threads (0 = one per core,
 // default). Output-invariant: any shard count yields the bit-identical
@@ -49,8 +64,17 @@
 #include <sstream>
 #include <vector>
 
+#include "labmon/analysis/aggregate.hpp"
+#include "labmon/analysis/availability.hpp"
+#include "labmon/analysis/capacity.hpp"
+#include "labmon/analysis/equivalence.hpp"
+#include "labmon/analysis/per_lab.hpp"
+#include "labmon/analysis/session_hours.hpp"
+#include "labmon/analysis/stability.hpp"
+#include "labmon/analysis/weekly.hpp"
 #include "labmon/core/experiment.hpp"
 #include "labmon/core/report.hpp"
+#include "labmon/core/streaming.hpp"
 #include "labmon/faultsim/fault_plan.hpp"
 #include "labmon/obs/exporters.hpp"
 #include "labmon/obs/prof.hpp"
@@ -146,6 +170,11 @@ int main(int argc, char** argv) {
   int retry_attempts = 0;
   int shards = 0;
   int scale_labs = 0;  // 0 = not passed; keep the scenario/default value
+  bool stream = false;
+  bool resume = false;
+  std::string spill_dir;
+  std::size_t block_samples = 0;  // 0 = engine default
+  double anomaly_threshold = 0.0;
   if (const char* env = std::getenv("LABMON_SNAPSHOT_DIR")) snapshot_dir = env;
   std::size_t workers = 0;
   std::vector<std::string> positional;
@@ -181,6 +210,16 @@ int main(int argc, char** argv) {
       shards = std::clamp(std::atoi(v), 0, 1024);
     } else if (const char* v = flag_value("--scale-labs")) {
       scale_labs = std::clamp(std::atoi(v), 1, 1024);
+    } else if (arg == "--stream") {
+      stream = true;
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (const char* v = flag_value("--spill-dir")) {
+      spill_dir = v;
+    } else if (const char* v = flag_value("--block-samples")) {
+      block_samples = static_cast<std::size_t>(std::atoll(v));
+    } else if (const char* v = flag_value("--anomaly-threshold")) {
+      anomaly_threshold = std::atof(v);
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag " << arg << '\n';
       return 1;
@@ -255,6 +294,110 @@ int main(int argc, char** argv) {
   }
 
   if (!prof_out.empty()) obs::prof::Enable();
+
+  if (stream) {
+    core::StreamingOptions streaming;
+    if (block_samples > 0) streaming.block_samples = block_samples;
+    streaming.spill_dir = spill_dir;
+    streaming.resume = resume;
+    streaming.anomaly_threshold = anomaly_threshold;
+    std::ofstream anomaly_file;
+    std::unique_ptr<obs::JsonlWriter> anomaly_writer;
+    const std::string anomalies_path = out_dir + "/anomalies.jsonl";
+    if (anomaly_threshold > 0.0) {
+      anomaly_file.open(anomalies_path, std::ios::binary);
+      if (!anomaly_file) {
+        std::cerr << "cannot open " << anomalies_path << " for writing\n";
+        return 1;
+      }
+      anomaly_writer = std::make_unique<obs::JsonlWriter>(anomaly_file);
+      streaming.anomaly_writer = anomaly_writer.get();
+    }
+
+    const auto streamed = core::StreamingExperiment::Run(config, streaming);
+    if (!streamed.errors.empty()) {
+      for (const auto& error : streamed.errors) {
+        std::cerr << "streaming error: " << error << '\n';
+      }
+      return 1;
+    }
+
+    const auto& a = streamed.analysis;
+    std::cout << analysis::RenderTable2(a.table2, true) << '\n';
+    std::cout << analysis::RenderSessionHourProfile(a.session_hours) << '\n';
+    std::cout << "mean powered-on machines: "
+              << util::FormatFixed(a.availability.series.mean_powered_on, 2)
+              << " (paper: 84.87), mean user-free: "
+              << util::FormatFixed(a.availability.series.mean_user_free, 2)
+              << " (paper: 57.29)\n\n";
+    std::cout << analysis::RenderUptimeRanking(a.availability.ranking, 10)
+              << '\n';
+    std::cout << analysis::RenderWeeklyProfiles(a.weekly) << '\n';
+    std::cout << analysis::RenderEquivalence(a.equivalence) << '\n';
+    std::cout << analysis::RenderStability(a.stability.sessions,
+                                           a.stability.smart)
+              << '\n';
+    std::cout << analysis::RenderPerLabUsage(a.per_lab.usage) << '\n';
+    std::cout << analysis::RenderResourceHeadroom(a.per_lab.headroom) << '\n';
+    std::cout << analysis::RenderCapacity(a.capacity, {}) << '\n';
+
+    std::cout << "--- streaming run summary ---\n";
+    std::cout << "iterations: " << streamed.run_stats.iterations
+              << ", attempts: " << streamed.run_stats.attempts
+              << ", samples: " << streamed.samples << " streamed through "
+              << streamed.merged_blocks << " merged blocks of <= "
+              << streaming.block_samples << '\n';
+    std::cout << "response rate: "
+              << util::FormatFixed(100.0 * streamed.run_stats.ResponseRate(),
+                                   1)
+              << "% (paper: 50.2%)\n";
+    std::cout << "stream hash: " << std::hex << streamed.stream_hash
+              << std::dec << " (bit-identical to the materialised engine)\n";
+    std::cout << "ground truth: " << streamed.ground_truth.boots
+              << " boots, " << streamed.ground_truth.TotalLogins()
+              << " logins ("
+              << streamed.ground_truth.forgotten_sessions << " forgotten)\n";
+    if (!spill_dir.empty()) {
+      std::cout << "spill: per-lab segments + checkpoints in " << spill_dir;
+      if (streamed.labs_resumed > 0) {
+        std::cout << " (" << streamed.labs_resumed << " labs resumed)";
+      }
+      std::cout << '\n';
+    }
+    if (anomaly_threshold > 0.0) {
+      std::cout << "anomalies: " << streamed.anomalies << " (|z| >= "
+                << util::FormatFixed(anomaly_threshold, 1) << " over "
+                << streamed.anomaly_observations
+                << " observations) written to " << anomalies_path << '\n';
+    }
+    if (!metrics_out.empty()) {
+      if (!WriteFileOrComplain(metrics_out, [](std::ostream& out) {
+            obs::WritePrometheus(obs::DefaultRegistry(), out);
+          })) {
+        return 1;
+      }
+      std::cout << '\n' << CampaignHealthReport(obs::DefaultRegistry());
+      std::cout << "metrics written to " << metrics_out << '\n';
+    }
+    if (!prof_out.empty()) {
+      const obs::prof::Report prof_report = obs::prof::Drain();
+      obs::prof::Disable();
+      if (!WriteFileOrComplain(prof_out, [&](std::ostream& out) {
+            out << obs::prof::ReportJson(prof_report) << '\n';
+          })) {
+        return 1;
+      }
+      std::cout << "profile written to " << prof_out << '\n';
+    }
+    if (events) {
+      obs::WriteSpansJsonl(obs::DefaultTracer(), *events);
+      obs::WriteMetricsJsonl(obs::DefaultRegistry(), *events);
+      util::log::SetSink({});
+      std::cout << "event stream written to " << events_out << " ("
+                << events->events() << " events)\n";
+    }
+    return 0;
+  }
 
   const auto result = core::Experiment::RunCached(config, snapshot_dir);
   core::ReportOptions report_options;

@@ -1,0 +1,66 @@
+// Online per-machine anomaly detection over the sample stream.
+//
+// Keeps one Welford accumulator per (machine, metric) and flags samples
+// whose z-score against the machine's own running distribution exceeds a
+// threshold — a lab machine suddenly pegged at 0 % CPU-idle or 100 % RAM
+// load stands out against its own history without any global model.
+// The z-score is computed against the statistics *before* the new value
+// is folded in, so a lone outlier cannot dilute its own score; a warmup
+// of `min_samples` observations suppresses flags while the baseline is
+// still forming. O(machines) state — streams over traces of any length.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "labmon/obs/jsonl.hpp"
+#include "labmon/stats/running_stats.hpp"
+#include "labmon/trace/block.hpp"
+#include "labmon/trace/intervals.hpp"
+
+namespace labmon::analysis {
+
+struct AnomalyOptions {
+  double threshold = 4.0;         ///< flag when |z| >= threshold
+  std::uint64_t min_samples = 32; ///< per-track warmup before flagging
+};
+
+/// Streaming z-score detector. Feed OnSample per trace sample (RAM load)
+/// and OnInterval per derived interval (CPU idleness); anomalies are
+/// counted and, when a writer is attached, emitted as JSONL records:
+///   {"type":"anomaly","t":...,"machine":...,"metric":"mem_load_pct",
+///    "value":...,"mean":...,"stddev":...,"z":...}
+class AnomalyDetector {
+ public:
+  AnomalyDetector(std::size_t machine_count, AnomalyOptions options = {},
+                  obs::JsonlWriter* writer = nullptr);
+
+  void OnSample(std::int64_t t, std::uint32_t machine, double mem_load_pct);
+  void OnInterval(std::int64_t t, std::uint32_t machine, double cpu_idle_pct);
+
+  [[nodiscard]] std::uint64_t anomalies() const noexcept { return anomalies_; }
+  [[nodiscard]] std::uint64_t observations() const noexcept {
+    return observations_;
+  }
+
+ private:
+  void Observe(std::int64_t t, std::uint32_t machine, const char* metric,
+               stats::RunningStats& track, double value);
+
+  AnomalyOptions options_;
+  obs::JsonlWriter* writer_;
+  std::vector<stats::RunningStats> mem_load_;
+  std::vector<stats::RunningStats> cpu_idle_;
+  std::uint64_t anomalies_ = 0;
+  std::uint64_t observations_ = 0;
+};
+
+/// Scans a block stream (e.g. a materialised trace behind a StoreReader):
+/// feeds every sample and every derived interval to `detector`. Returns
+/// the number of anomalies flagged during the scan.
+std::uint64_t ScanForAnomalies(trace::TraceReader& reader,
+                               std::size_t machine_count,
+                               AnomalyDetector& detector,
+                               const trace::IntervalOptions& intervals = {});
+
+}  // namespace labmon::analysis

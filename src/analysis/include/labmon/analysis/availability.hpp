@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,13 @@ struct UptimeRanking {
 
 [[nodiscard]] UptimeRanking ComputeUptimeRanking(
     const trace::TraceStore& trace);
+
+/// Counts-based overload: per-machine response counts plus the attempt
+/// count (= iterations). Lets the streaming fold build the ranking without
+/// a resident trace; the TraceStore overload delegates here.
+[[nodiscard]] UptimeRanking ComputeUptimeRanking(
+    std::span<const std::uint64_t> responses_per_machine,
+    std::size_t iteration_count);
 
 /// Figure 4-right: distribution of machine-session lengths.
 struct SessionLengthDistribution {

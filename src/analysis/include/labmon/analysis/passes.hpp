@@ -7,7 +7,9 @@
 // reference Emplace() returned.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "labmon/analysis/aggregate.hpp"
@@ -19,6 +21,9 @@
 #include "labmon/analysis/session_hours.hpp"
 #include "labmon/analysis/stability.hpp"
 #include "labmon/analysis/weekly.hpp"
+#include "labmon/stats/histogram.hpp"
+#include "labmon/stats/running_stats.hpp"
+#include "labmon/stats/weekly_profile.hpp"
 
 namespace labmon::analysis {
 
@@ -27,6 +32,53 @@ class AggregatePass final : public AnalysisPass {
  public:
   explicit AggregatePass(trace::IntervalOptions options = {})
       : options_(options) {}
+
+  /// Per-machine accumulator shared by the materialised sweep and the
+  /// streaming fold: both build one MachineAcc per machine from the same
+  /// event sequence and fold it with FoldMachine, so the two paths agree
+  /// bit-for-bit.
+  struct MachineAcc {
+    std::uint64_t raw_login = 0;
+    std::uint64_t reclassified = 0;
+    std::uint64_t no_n = 0;
+    std::uint64_t with_n = 0;
+    stats::RunningStats no_ram, no_swap, no_disk;
+    stats::RunningStats with_ram, with_swap, with_disk;
+    stats::RunningStats no_cpu, no_sent, no_recv;
+    stats::RunningStats with_cpu, with_sent, with_recv;
+
+    void AddSample(trace::LoginClass cls, bool has_session, double ram_load,
+                   double swap_load, double disk_used_gb) noexcept {
+      if (has_session) ++raw_login;
+      if (cls == trace::LoginClass::kForgotten) ++reclassified;
+      // Forgotten counts as non-occupied (the paper reclassifies it).
+      if (cls == trace::LoginClass::kWithLogin) {
+        ++with_n;
+        with_ram.Add(ram_load);
+        with_swap.Add(swap_load);
+        with_disk.Add(disk_used_gb);
+      } else {
+        ++no_n;
+        no_ram.Add(ram_load);
+        no_swap.Add(swap_load);
+        no_disk.Add(disk_used_gb);
+      }
+    }
+    void AddInterval(trace::LoginClass cls, double cpu_idle_pct,
+                     double sent_bps, double recv_bps) noexcept {
+      if (cls == trace::LoginClass::kWithLogin) {
+        with_cpu.Add(cpu_idle_pct);
+        with_sent.Add(sent_bps);
+        with_recv.Add(recv_bps);
+      } else {
+        no_cpu.Add(cpu_idle_pct);
+        no_sent.Add(sent_bps);
+        no_recv.Add(recv_bps);
+      }
+    }
+  };
+  void FoldMachine(std::size_t machine, const MachineAcc& acc,
+                   State& state) const;
 
   [[nodiscard]] std::string_view name() const override { return "table2"; }
   [[nodiscard]] std::unique_ptr<State> MakeState(
@@ -38,6 +90,9 @@ class AggregatePass final : public AnalysisPass {
 
   [[nodiscard]] const Table2Result& result() const noexcept {
     return result_;
+  }
+  [[nodiscard]] const trace::IntervalOptions& options() const noexcept {
+    return options_;
   }
 
  private:
@@ -58,6 +113,44 @@ class AvailabilityPass final : public AnalysisPass {
   explicit AvailabilityPass(
       std::int64_t forgotten_threshold_s = trace::kForgottenThresholdSeconds)
       : forgotten_threshold_s_(forgotten_threshold_s) {}
+
+  /// Per-machine session/response accumulator (see AggregatePass::MachineAcc
+  /// for the sharing rationale). The per-iteration powered-on/user-free
+  /// counts are integers and live in the state (materialised) or a global
+  /// vector (streaming) — integer adds commute, so both agree exactly.
+  struct MachineAcc {
+    std::uint64_t responses = 0;  ///< samples this machine contributed
+    stats::Histogram histogram{0.0, 96.0, 48};
+    stats::RunningStats lengths;
+    double uptime_total_h = 0.0;
+    double uptime_within_h = 0.0;
+    std::uint64_t sessions_within = 0;
+    std::uint64_t total_sessions = 0;
+
+    void AddSession(std::int64_t last_uptime_s) noexcept {
+      const double hours = static_cast<double>(last_uptime_s) / 3600.0;
+      histogram.Add(hours);
+      lengths.Add(hours);
+      uptime_total_h += hours;
+      ++total_sessions;
+      if (hours <= 96.0) {
+        ++sessions_within;
+        uptime_within_h += hours;
+      }
+    }
+  };
+  void FoldMachine(std::size_t machine, const MachineAcc& acc,
+                   State& state) const;
+  /// Adds externally-accumulated per-iteration powered-on / user-free
+  /// counts into a state (streaming fold installs its global vectors into
+  /// the merged total before Finalize).
+  static void AddIterationCounts(State& state,
+                                 std::span<const std::uint32_t> on,
+                                 std::span<const std::uint32_t> free);
+
+  [[nodiscard]] std::int64_t forgotten_threshold_s() const noexcept {
+    return forgotten_threshold_s_;
+  }
 
   [[nodiscard]] std::string_view name() const override {
     return "availability";
@@ -93,6 +186,46 @@ class PerLabPass final : public AnalysisPass {
       : labs_(std::move(labs)),
         forgotten_threshold_s_(forgotten_threshold_s) {}
 
+  /// Per-machine accumulator (see AggregatePass::MachineAcc). RAM-class
+  /// stats are kept as runs of consecutive same-size samples so a machine
+  /// whose reported module size changes mid-trace folds each run into the
+  /// right class, in time order, exactly as the materialised sweep does.
+  struct MachineAcc {
+    std::uint64_t samples = 0;
+    std::uint64_t occupied = 0;
+    stats::RunningStats ram;
+    stats::RunningStats free_disk;
+    stats::RunningStats idle;
+    struct ClassRun {
+      int ram_mb = 0;
+      stats::RunningStats pct;
+      stats::RunningStats mb;
+    };
+    std::vector<ClassRun> class_runs;
+
+    void AddSample(trace::LoginClass cls, double ram_load, double free_disk_gb,
+                   int ram_mb, double free_ram_mb) {
+      ++samples;
+      if (cls == trace::LoginClass::kWithLogin) ++occupied;
+      ram.Add(ram_load);
+      free_disk.Add(free_disk_gb);
+      if (ram_mb > 0) {
+        if (class_runs.empty() || class_runs.back().ram_mb != ram_mb) {
+          class_runs.push_back({ram_mb, {}, {}});
+        }
+        class_runs.back().pct.Add(100.0 - ram_load);
+        class_runs.back().mb.Add(free_ram_mb);
+      }
+    }
+    void AddInterval(double cpu_idle_pct) noexcept { idle.Add(cpu_idle_pct); }
+  };
+  void FoldMachine(std::size_t machine, const MachineAcc& acc,
+                   State& state) const;
+
+  [[nodiscard]] std::int64_t forgotten_threshold_s() const noexcept {
+    return forgotten_threshold_s_;
+  }
+
   [[nodiscard]] std::string_view name() const override { return "per_lab"; }
   [[nodiscard]] std::unique_ptr<State> MakeState(
       const PassContext& ctx) const override;
@@ -118,6 +251,30 @@ class SessionHoursPass final : public AnalysisPass {
  public:
   explicit SessionHoursPass(int max_hours = 24) : max_hours_(max_hours) {}
 
+  /// Per-machine relative-hour bins (see AggregatePass::MachineAcc).
+  /// Construct with `max_hours() + 1` bins; the last bin absorbs longer
+  /// sessions.
+  struct MachineAcc {
+    std::vector<stats::RunningStats> bins;
+
+    MachineAcc() = default;
+    explicit MachineAcc(std::size_t bin_count) : bins(bin_count) {}
+
+    /// `session_seconds` is the closing sample's session age; callers only
+    /// feed intervals whose closing sample carries a session.
+    void AddInterval(std::int64_t session_seconds,
+                     double cpu_idle_pct) noexcept {
+      const std::int64_t hour = session_seconds / 3600;
+      const auto bin = static_cast<std::size_t>(std::min<std::int64_t>(
+          hour, static_cast<std::int64_t>(bins.size()) - 1));
+      bins[bin].Add(cpu_idle_pct);
+    }
+  };
+  void FoldMachine(std::size_t machine, const MachineAcc& acc,
+                   State& state) const;
+
+  [[nodiscard]] int max_hours() const noexcept { return max_hours_; }
+
   [[nodiscard]] std::string_view name() const override {
     return "session_hours";
   }
@@ -142,6 +299,59 @@ class SessionHoursPass final : public AnalysisPass {
 class WeeklyPass final : public AnalysisPass {
  public:
   explicit WeeklyPass(int bin_minutes = 15) : bin_minutes_(bin_minutes) {}
+
+  /// Per-machine weekly profiles (see AggregatePass::MachineAcc). Holds
+  /// two independent bin cursors (samples, intervals) so consecutive
+  /// events one bin apart skip the modulo — both event feeds arrive in
+  /// time order per machine in either path, so the cursors are valid.
+  struct MachineAcc {
+    stats::WeeklyProfile cpu_idle, ram, swap, sent, recv;
+
+    explicit MachineAcc(int bin_minutes)
+        : cpu_idle(bin_minutes),
+          ram(bin_minutes),
+          swap(bin_minutes),
+          sent(bin_minutes),
+          recv(bin_minutes),
+          bin_seconds_(static_cast<std::int64_t>(bin_minutes) *
+                       util::kSecondsPerMinute),
+          sample_prev_t_(-2 * bin_seconds_),
+          interval_prev_t_(-2 * bin_seconds_) {}
+
+    void AddSample(std::int64_t t, double ram_load,
+                   double swap_load) noexcept {
+      sample_bin_ = NextBin(t, sample_prev_t_, sample_bin_);
+      sample_prev_t_ = t;
+      ram.AddAt(sample_bin_, ram_load);
+      swap.AddAt(sample_bin_, swap_load);
+    }
+    void AddInterval(std::int64_t end_t, double cpu_idle_pct, double sent_bps,
+                     double recv_bps) noexcept {
+      interval_bin_ = NextBin(end_t, interval_prev_t_, interval_bin_);
+      interval_prev_t_ = end_t;
+      cpu_idle.AddAt(interval_bin_, cpu_idle_pct);
+      sent.AddAt(interval_bin_, sent_bps);
+      recv.AddAt(interval_bin_, recv_bps);
+    }
+
+   private:
+    [[nodiscard]] std::size_t NextBin(std::int64_t t, std::int64_t prev_t,
+                                      std::size_t bin) const noexcept {
+      if (t - prev_t == bin_seconds_) {
+        return ++bin == ram.bin_count() ? 0 : bin;
+      }
+      return ram.BinOf(t);
+    }
+    std::int64_t bin_seconds_;
+    std::int64_t sample_prev_t_;
+    std::int64_t interval_prev_t_;
+    std::size_t sample_bin_ = 0;
+    std::size_t interval_bin_ = 0;
+  };
+  void FoldMachine(std::size_t machine, const MachineAcc& acc,
+                   State& state) const;
+
+  [[nodiscard]] int bin_minutes() const noexcept { return bin_minutes_; }
 
   [[nodiscard]] std::string_view name() const override { return "weekly"; }
   [[nodiscard]] std::unique_ptr<State> MakeState(
@@ -172,6 +382,26 @@ class EquivalencePass final : public AnalysisPass {
       : perf_index_(std::move(perf_index)),
         bin_minutes_(bin_minutes),
         forgotten_threshold_s_(forgotten_threshold_s) {}
+
+  /// True when the pass has a performance index for `machine`.
+  [[nodiscard]] bool TracksMachine(std::size_t machine) const noexcept {
+    return machine < perf_index_.size();
+  }
+  /// One interval's CET contribution — the single place the streamed and
+  /// materialised paths compute it, so the doubles match bit-for-bit.
+  [[nodiscard]] double Contribution(std::size_t machine,
+                                    double cpu_idle_pct) const noexcept {
+    return cpu_idle_pct / 100.0 * perf_index_[machine];
+  }
+  /// Adds externally-accumulated per-iteration occupied/free contribution
+  /// sums into a state (streaming fold installs its global vectors into
+  /// the merged total before Finalize).
+  static void AddIterationSums(State& state, std::span<const double> occupied,
+                               std::span<const double> free);
+
+  [[nodiscard]] std::int64_t forgotten_threshold_s() const noexcept {
+    return forgotten_threshold_s_;
+  }
 
   [[nodiscard]] std::string_view name() const override {
     return "equivalence";
@@ -208,6 +438,35 @@ class StabilityPass final : public AnalysisPass {
   explicit StabilityPass(int experiment_days)
       : experiment_days_(experiment_days) {}
 
+  /// Per-machine session lengths plus SMART first/last sample values (see
+  /// AggregatePass::MachineAcc).
+  struct MachineAcc {
+    stats::RunningStats lengths;
+    std::uint64_t session_count = 0;
+    bool has_samples = false;
+    std::uint64_t first_power_on_hours = 0;
+    std::uint64_t first_power_cycles = 0;
+    std::uint64_t last_power_on_hours = 0;
+    std::uint64_t last_power_cycles = 0;
+
+    void AddSession(std::int64_t last_uptime_s) noexcept {
+      lengths.Add(static_cast<double>(last_uptime_s) / 3600.0);
+      ++session_count;
+    }
+    void AddSample(std::uint64_t power_on_hours,
+                   std::uint64_t power_cycles) noexcept {
+      if (!has_samples) {
+        first_power_on_hours = power_on_hours;
+        first_power_cycles = power_cycles;
+        has_samples = true;
+      }
+      last_power_on_hours = power_on_hours;
+      last_power_cycles = power_cycles;
+    }
+  };
+  void FoldMachine(std::size_t machine, const MachineAcc& acc,
+                   State& state) const;
+
   [[nodiscard]] std::string_view name() const override { return "stability"; }
   [[nodiscard]] std::unique_ptr<State> MakeState(
       const PassContext& ctx) const override;
@@ -230,6 +489,12 @@ class StabilityPass final : public AnalysisPass {
 class CapacityPass final : public AnalysisPass {
  public:
   explicit CapacityPass(CapacityOptions options = {}) : options_(options) {}
+
+  /// Adds externally-accumulated per-iteration free-RAM (MB) and free-disk
+  /// (GB) sums into a state (streaming fold installs its global vectors
+  /// into the merged total before Finalize).
+  static void AddIterationSums(State& state, std::span<const double> ram_mb,
+                               std::span<const double> disk_gb);
 
   [[nodiscard]] std::string_view name() const override { return "capacity"; }
   [[nodiscard]] std::unique_ptr<State> MakeState(

@@ -1,0 +1,90 @@
+#include "labmon/analysis/anomaly.hpp"
+
+#include <cmath>
+
+namespace labmon::analysis {
+
+AnomalyDetector::AnomalyDetector(std::size_t machine_count,
+                                 AnomalyOptions options,
+                                 obs::JsonlWriter* writer)
+    : options_(options),
+      writer_(writer),
+      mem_load_(machine_count),
+      cpu_idle_(machine_count) {}
+
+void AnomalyDetector::OnSample(std::int64_t t, std::uint32_t machine,
+                               double mem_load_pct) {
+  if (machine >= mem_load_.size()) return;
+  Observe(t, machine, "mem_load_pct", mem_load_[machine], mem_load_pct);
+}
+
+void AnomalyDetector::OnInterval(std::int64_t t, std::uint32_t machine,
+                                 double cpu_idle_pct) {
+  if (machine >= cpu_idle_.size()) return;
+  Observe(t, machine, "cpu_idle_pct", cpu_idle_[machine], cpu_idle_pct);
+}
+
+void AnomalyDetector::Observe(std::int64_t t, std::uint32_t machine,
+                              const char* metric, stats::RunningStats& track,
+                              double value) {
+  ++observations_;
+  // Score against the pre-update statistics so the outlier itself does
+  // not widen the band it is judged by.
+  if (static_cast<std::uint64_t>(track.count()) >= options_.min_samples) {
+    const double stddev = track.stddev();
+    if (stddev > 0.0) {
+      const double z = (value - track.mean()) / stddev;
+      if (std::abs(z) >= options_.threshold) {
+        ++anomalies_;
+        if (writer_ != nullptr) {
+          writer_->Begin("anomaly")
+              .Field("t", t)
+              .Field("machine", static_cast<std::uint64_t>(machine))
+              .Field("metric", metric)
+              .Field("value", value)
+              .Field("mean", track.mean())
+              .Field("stddev", stddev)
+              .Field("z", z);
+          writer_->End();
+        }
+      }
+    }
+  }
+  track.Add(value);
+}
+
+std::uint64_t ScanForAnomalies(trace::TraceReader& reader,
+                               std::size_t machine_count,
+                               AnomalyDetector& detector,
+                               const trace::IntervalOptions& intervals) {
+  const std::uint64_t before = detector.anomalies();
+  struct Cursor {
+    trace::IntervalEndpoint prev;
+    bool has_prev = false;
+  };
+  std::vector<Cursor> cursors(machine_count);
+  while (const trace::TraceBlock* block = reader.Next()) {
+    const auto& c = block->cols;
+    for (std::size_t i = 0; i < block->size(); ++i) {
+      const std::uint32_t m = c.machine[i];
+      if (m >= cursors.size()) continue;
+      detector.OnSample(c.t[i], m, c.mem_load_pct[i]);
+      Cursor& cur = cursors[m];
+      const auto endpoint = trace::detail::LoadEndpoint(
+          c, static_cast<std::uint32_t>(i));
+      if (cur.has_prev) {
+        trace::detail::EmitIntervalFromEndpoints(
+            cur.prev, endpoint, m, intervals,
+            [] { return trace::LoginClass::kNoLogin; },
+            [&](const trace::SampleInterval& interval) {
+              detector.OnInterval(interval.end_t, m, interval.cpu_idle_pct);
+            });
+      }
+      cur.prev = endpoint;
+      cur.has_prev = true;
+    }
+  }
+  return detector.anomalies() - before;
+}
+
+}  // namespace labmon::analysis

@@ -34,17 +34,26 @@ AvailabilitySeries ComputeAvailabilitySeries(
 }
 
 UptimeRanking ComputeUptimeRanking(const trace::TraceStore& trace) {
+  const auto counts = trace.ResponsesPerMachine();
+  std::vector<std::uint64_t> responses(trace.machine_count(), 0);
+  for (std::size_t m = 0; m < responses.size() && m < counts.size(); ++m) {
+    responses[m] = counts[m];
+  }
+  return ComputeUptimeRanking(responses, trace.iterations().size());
+}
+
+UptimeRanking ComputeUptimeRanking(
+    std::span<const std::uint64_t> responses_per_machine,
+    std::size_t iteration_count) {
   obs::Span span("analysis.uptime_ranking");
   UptimeRanking ranking;
-  const auto responses = trace.ResponsesPerMachine();
   // Attempts per machine = iteration count (every iteration probes all).
-  const auto attempts = static_cast<double>(trace.iterations().size());
-  ranking.entries.reserve(trace.machine_count());
-  for (std::size_t m = 0; m < trace.machine_count(); ++m) {
+  const auto attempts = static_cast<double>(iteration_count);
+  ranking.entries.reserve(responses_per_machine.size());
+  for (std::size_t m = 0; m < responses_per_machine.size(); ++m) {
     UptimeRanking::Entry entry;
     entry.machine = static_cast<std::uint32_t>(m);
-    const double responded =
-        m < responses.size() ? static_cast<double>(responses[m]) : 0.0;
+    const auto responded = static_cast<double>(responses_per_machine[m]);
     entry.uptime_ratio = attempts > 0.0 ? responded / attempts : 0.0;
     entry.nines = stats::AvailabilityToNines(entry.uptime_ratio);
     ranking.entries.push_back(entry);

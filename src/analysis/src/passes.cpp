@@ -75,76 +75,49 @@ std::unique_ptr<AnalysisPass::State> AggregatePass::MakeState(
 void AggregatePass::AccumulateMachine(const PassContext& ctx,
                                       std::size_t machine,
                                       State& state) const {
-  auto& st = static_cast<Impl&>(state);
   const auto& c = ctx.trace.columns();
   const std::int64_t threshold = options_.forgotten_threshold_s;
 
-  // Per-machine accumulators live in non-escaping locals so the Welford
-  // state stays in registers across the tight loops, merging into the
-  // chunk state once per machine. Routing every sample through a
+  // The per-machine accumulator lives in a non-escaping local so the
+  // Welford state stays in registers across the tight loops, folding into
+  // the chunk state once per machine. Routing every sample through a
   // class-selected reference into the chunk state instead forces each
   // update through memory — several times slower over the full trace.
-  std::uint64_t raw_login = 0;
-  std::uint64_t reclassified = 0;
-  std::uint64_t no_n = 0;
-  std::uint64_t with_n = 0;
-  stats::RunningStats no_ram, no_swap, no_disk;
-  stats::RunningStats with_ram, with_swap, with_disk;
+  MachineAcc acc;
   for (const std::uint32_t idx : ctx.trace.MachineSamples(machine)) {
-    const auto cls = ctx.derived.SampleClass(idx, threshold);
-    if (c.has_session[idx]) ++raw_login;
-    if (cls == trace::LoginClass::kForgotten) ++reclassified;
-    const double ram = c.mem_load_pct[idx];
-    const double swap = c.swap_load_pct[idx];
-    const double disk = static_cast<double>(ctx.trace.DiskUsedBytes(idx)) / 1e9;
-    // Forgotten samples count as non-occupied (§4.2); the "both" column is
-    // the merge of the two class accumulators, built in Finalize.
-    if (cls == trace::LoginClass::kWithLogin) {
-      ++with_n;
-      with_ram.Add(ram);
-      with_swap.Add(swap);
-      with_disk.Add(disk);
-    } else {
-      ++no_n;
-      no_ram.Add(ram);
-      no_swap.Add(swap);
-      no_disk.Add(disk);
-    }
+    acc.AddSample(ctx.derived.SampleClass(idx, threshold),
+                  c.has_session[idx] != 0, c.mem_load_pct[idx],
+                  c.swap_load_pct[idx],
+                  static_cast<double>(ctx.trace.DiskUsedBytes(idx)) / 1e9);
   }
-
-  stats::RunningStats no_cpu, no_sent, no_recv;
-  stats::RunningStats with_cpu, with_sent, with_recv;
   const auto& iv = ctx.derived.interval_columns();
   const auto range = ctx.derived.MachineIntervalRange(machine);
   for (std::size_t i = range.begin; i < range.end; ++i) {
-    const auto cls = ctx.derived.IntervalClassAt(i, threshold);
-    if (cls == trace::LoginClass::kWithLogin) {
-      with_cpu.Add(iv.cpu_idle_pct[i]);
-      with_sent.Add(iv.sent_bps[i]);
-      with_recv.Add(iv.recv_bps[i]);
-    } else {
-      no_cpu.Add(iv.cpu_idle_pct[i]);
-      no_sent.Add(iv.sent_bps[i]);
-      no_recv.Add(iv.recv_bps[i]);
-    }
+    acc.AddInterval(ctx.derived.IntervalClassAt(i, threshold),
+                    iv.cpu_idle_pct[i], iv.sent_bps[i], iv.recv_bps[i]);
   }
+  FoldMachine(machine, acc, state);
+}
 
-  st.raw_login_samples += raw_login;
-  st.reclassified_samples += reclassified;
-  st.no_login.samples += no_n;
-  st.no_login.ram.Merge(no_ram);
-  st.no_login.swap.Merge(no_swap);
-  st.no_login.disk_used_gb.Merge(no_disk);
-  st.no_login.cpu_idle.Merge(no_cpu);
-  st.no_login.sent_bps.Merge(no_sent);
-  st.no_login.recv_bps.Merge(no_recv);
-  st.with_login.samples += with_n;
-  st.with_login.ram.Merge(with_ram);
-  st.with_login.swap.Merge(with_swap);
-  st.with_login.disk_used_gb.Merge(with_disk);
-  st.with_login.cpu_idle.Merge(with_cpu);
-  st.with_login.sent_bps.Merge(with_sent);
-  st.with_login.recv_bps.Merge(with_recv);
+void AggregatePass::FoldMachine(std::size_t /*machine*/, const MachineAcc& acc,
+                                State& state) const {
+  auto& st = static_cast<Impl&>(state);
+  st.raw_login_samples += acc.raw_login;
+  st.reclassified_samples += acc.reclassified;
+  st.no_login.samples += acc.no_n;
+  st.no_login.ram.Merge(acc.no_ram);
+  st.no_login.swap.Merge(acc.no_swap);
+  st.no_login.disk_used_gb.Merge(acc.no_disk);
+  st.no_login.cpu_idle.Merge(acc.no_cpu);
+  st.no_login.sent_bps.Merge(acc.no_sent);
+  st.no_login.recv_bps.Merge(acc.no_recv);
+  st.with_login.samples += acc.with_n;
+  st.with_login.ram.Merge(acc.with_ram);
+  st.with_login.swap.Merge(acc.with_swap);
+  st.with_login.disk_used_gb.Merge(acc.with_disk);
+  st.with_login.cpu_idle.Merge(acc.with_cpu);
+  st.with_login.sent_bps.Merge(acc.with_sent);
+  st.with_login.recv_bps.Merge(acc.with_recv);
 }
 
 void AggregatePass::MergeState(State& into, State& from) const {
@@ -175,6 +148,7 @@ void AggregatePass::Finalize(const PassContext& ctx, State& merged) {
 struct AvailabilityPass::Impl final : AnalysisPass::State {
   std::vector<std::uint32_t> on;    ///< responding machines per iteration
   std::vector<std::uint32_t> free;  ///< ... without an effective session
+  std::vector<std::uint64_t> responses;  ///< per machine, for the ranking
   stats::Histogram histogram{0.0, 96.0, 48};
   stats::RunningStats lengths;
   double uptime_total_h = 0.0;
@@ -188,6 +162,7 @@ std::unique_ptr<AnalysisPass::State> AvailabilityPass::MakeState(
   auto state = std::make_unique<Impl>();
   state->on.assign(ctx.trace.iterations().size(), 0);
   state->free.assign(ctx.trace.iterations().size(), 0);
+  state->responses.assign(ctx.trace.machine_count(), 0);
   return state;
 }
 
@@ -196,8 +171,10 @@ void AvailabilityPass::AccumulateMachine(const PassContext& ctx,
                                          State& state) const {
   auto& st = static_cast<Impl&>(state);
   const auto& c = ctx.trace.columns();
+  MachineAcc acc;
   for (const std::uint32_t idx : ctx.trace.MachineSamples(machine)) {
     const std::uint32_t it = c.iteration[idx];
+    ++acc.responses;
     if (it >= st.on.size()) continue;
     ++st.on[it];
     if (ctx.derived.SampleClass(idx, forgotten_threshold_s_) !=
@@ -206,16 +183,33 @@ void AvailabilityPass::AccumulateMachine(const PassContext& ctx,
     }
   }
   for (const auto& session : ctx.derived.MachineSessions(machine)) {
-    const double hours = static_cast<double>(session.last_uptime_s) / 3600.0;
-    st.histogram.Add(hours);
-    st.lengths.Add(hours);
-    st.uptime_total_h += hours;
-    ++st.total_sessions;
-    if (hours <= 96.0) {
-      ++st.sessions_within;
-      st.uptime_within_h += hours;
-    }
+    acc.AddSession(session.last_uptime_s);
   }
+  FoldMachine(machine, acc, state);
+}
+
+void AvailabilityPass::FoldMachine(std::size_t machine, const MachineAcc& acc,
+                                   State& state) const {
+  auto& st = static_cast<Impl&>(state);
+  if (machine < st.responses.size()) st.responses[machine] += acc.responses;
+  st.histogram.Merge(acc.histogram);
+  st.lengths.Merge(acc.lengths);
+  st.uptime_total_h += acc.uptime_total_h;
+  st.uptime_within_h += acc.uptime_within_h;
+  st.sessions_within += acc.sessions_within;
+  st.total_sessions += acc.total_sessions;
+}
+
+void AvailabilityPass::AddIterationCounts(State& state,
+                                          std::span<const std::uint32_t> on,
+                                          std::span<const std::uint32_t> free) {
+  auto& st = static_cast<Impl&>(state);
+  if (st.on.size() < on.size()) {
+    st.on.resize(on.size(), 0);
+    st.free.resize(free.size(), 0);
+  }
+  for (std::size_t i = 0; i < on.size(); ++i) st.on[i] += on[i];
+  for (std::size_t i = 0; i < free.size(); ++i) st.free[i] += free[i];
 }
 
 void AvailabilityPass::MergeState(State& into, State& from) const {
@@ -228,6 +222,12 @@ void AvailabilityPass::MergeState(State& into, State& from) const {
   for (std::size_t i = 0; i < b.on.size(); ++i) {
     a.on[i] += b.on[i];
     a.free[i] += b.free[i];
+  }
+  if (a.responses.size() < b.responses.size()) {
+    a.responses.resize(b.responses.size(), 0);
+  }
+  for (std::size_t i = 0; i < b.responses.size(); ++i) {
+    a.responses[i] += b.responses[i];
   }
   a.histogram.Merge(b.histogram);
   a.lengths.Merge(b.lengths);
@@ -248,9 +248,11 @@ void AvailabilityPass::Finalize(const PassContext& ctx, State& merged) {
   result_.series.mean_powered_on = result_.series.powered_on.Mean();
   result_.series.mean_user_free = result_.series.user_free.Mean();
 
-  // Ranking needs only the per-machine response counts the store indexes —
-  // no trace walk, so it stays in finalize (identical to the legacy code).
-  result_.ranking = ComputeUptimeRanking(ctx.trace);
+  // Ranking needs only the per-machine response counts the sweep gathered —
+  // no trace walk, so the streamed path (whose finalize context holds no
+  // samples) produces the identical ranking.
+  result_.ranking =
+      ComputeUptimeRanking(st.responses, ctx.trace.iterations().size());
 
   auto& dist = result_.session_lengths;
   dist.histogram = st.histogram;
@@ -317,60 +319,40 @@ std::unique_ptr<AnalysisPass::State> PerLabPass::MakeState(
 
 void PerLabPass::AccumulateMachine(const PassContext& ctx,
                                    std::size_t machine, State& state) const {
-  auto& st = static_cast<Impl&>(state);
   const auto& c = ctx.trace.columns();
   const std::int64_t threshold = forgotten_threshold_s_;
 
   // Same local-accumulator pattern as AggregatePass: a machine belongs to
   // exactly one lab and (in practice) one installed-RAM class, so the
-  // whole walk accumulates into registers and merges once at the end.
-  std::uint64_t samples = 0;
-  std::uint64_t occupied = 0;
-  stats::RunningStats ram, free_disk;
-  stats::RunningStats class_pct, class_mb;
-  int ram_class_mb = -1;
+  // whole walk accumulates into a register-resident acc and folds once at
+  // the end.
+  MachineAcc acc;
   for (const std::uint32_t idx : ctx.trace.MachineSamples(machine)) {
-    ++samples;
-    if (ctx.derived.SampleClass(idx, threshold) ==
-        trace::LoginClass::kWithLogin) {
-      ++occupied;
-    }
-    const double load = c.mem_load_pct[idx];
-    ram.Add(load);
-    free_disk.Add(static_cast<double>(c.disk_free_b[idx]) / 1e9);
-    if (c.ram_mb[idx] > 0) {
-      if (c.ram_mb[idx] != ram_class_mb) {
-        if (ram_class_mb > 0) {  // rare: installed RAM changed mid-trace
-          auto& flushed = st.ram_classes[ram_class_mb];
-          flushed.pct.Merge(class_pct);
-          flushed.mb.Merge(class_mb);
-          class_pct = {};
-          class_mb = {};
-        }
-        ram_class_mb = c.ram_mb[idx];
-      }
-      class_pct.Add(100.0 - load);
-      class_mb.Add(ctx.trace.FreeRamMb(idx));
-    }
+    acc.AddSample(ctx.derived.SampleClass(idx, threshold), c.mem_load_pct[idx],
+                  static_cast<double>(c.disk_free_b[idx]) / 1e9,
+                  c.ram_mb[idx], ctx.trace.FreeRamMb(idx));
   }
-
-  stats::RunningStats idle;
   const auto& iv = ctx.derived.interval_columns();
   const auto range = ctx.derived.MachineIntervalRange(machine);
   for (std::size_t i = range.begin; i < range.end; ++i) {
-    idle.Add(iv.cpu_idle_pct[i]);
+    acc.AddInterval(iv.cpu_idle_pct[i]);
   }
+  FoldMachine(machine, acc, state);
+}
 
-  auto& acc = st.labs[LabOf(machine)];
-  acc.samples += samples;
-  acc.occupied += occupied;
-  acc.ram.Merge(ram);
-  acc.free_disk_gb.Merge(free_disk);
-  acc.idle.Merge(idle);
-  if (ram_class_mb > 0) {
-    auto& cls = st.ram_classes[ram_class_mb];
-    cls.pct.Merge(class_pct);
-    cls.mb.Merge(class_mb);
+void PerLabPass::FoldMachine(std::size_t machine, const MachineAcc& acc,
+                             State& state) const {
+  auto& st = static_cast<Impl&>(state);
+  auto& lab = st.labs[LabOf(machine)];
+  lab.samples += acc.samples;
+  lab.occupied += acc.occupied;
+  lab.ram.Merge(acc.ram);
+  lab.free_disk_gb.Merge(acc.free_disk);
+  lab.idle.Merge(acc.idle);
+  for (const auto& run : acc.class_runs) {
+    auto& cls = st.ram_classes[run.ram_mb];
+    cls.pct.Merge(run.pct);
+    cls.mb.Merge(run.mb);
   }
 }
 
@@ -465,32 +447,26 @@ std::unique_ptr<AnalysisPass::State> SessionHoursPass::MakeState(
 void SessionHoursPass::AccumulateMachine(const PassContext& ctx,
                                          std::size_t machine,
                                          State& state) const {
-  auto& st = static_cast<Impl&>(state);
   const auto& c = ctx.trace.columns();
   // Figure 2 is computed on raw login samples — no threshold filtering
   // (this analysis is what *establishes* the threshold), so only the
   // closing sample's session presence matters, not the interval class.
-  // Session hours grow monotonically within a login, so consecutive
-  // intervals land in the same bin; a one-bin local accumulator keeps the
-  // hot Welford state in registers and flushes on bin changes.
-  stats::RunningStats local;
-  std::size_t local_bin = 0;
+  MachineAcc acc(static_cast<std::size_t>(max_hours_) + 1);
   const auto& iv = ctx.derived.interval_columns();
   const auto range = ctx.derived.MachineIntervalRange(machine);
   for (std::size_t i = range.begin; i < range.end; ++i) {
     const std::uint32_t closing = iv.end_index[i];
     if (!c.has_session[closing]) continue;
-    const auto hour = ctx.trace.SessionSeconds(closing) / 3600;
-    const auto bin = static_cast<std::size_t>(
-        std::min<std::int64_t>(hour, max_hours_));
-    if (bin != local_bin) {
-      st.bins[local_bin].Merge(local);
-      local = {};
-      local_bin = bin;
-    }
-    local.Add(iv.cpu_idle_pct[i]);
+    acc.AddInterval(ctx.trace.SessionSeconds(closing), iv.cpu_idle_pct[i]);
   }
-  st.bins[local_bin].Merge(local);
+  FoldMachine(machine, acc, state);
+}
+
+void SessionHoursPass::FoldMachine(std::size_t /*machine*/,
+                                   const MachineAcc& acc, State& state) const {
+  auto& st = static_cast<Impl&>(state);
+  const std::size_t n = std::min(st.bins.size(), acc.bins.size());
+  for (std::size_t b = 0; b < n; ++b) st.bins[b].Merge(acc.bins[b]);
 }
 
 void SessionHoursPass::MergeState(State& into, State& from) const {
@@ -539,46 +515,31 @@ std::unique_ptr<AnalysisPass::State> WeeklyPass::MakeState(
 
 void WeeklyPass::AccumulateMachine(const PassContext& ctx,
                                    std::size_t machine, State& state) const {
-  auto& st = static_cast<Impl&>(state);
   const auto& c = ctx.trace.columns();
-  // A machine's consecutive samples are almost always exactly one bin
-  // width apart, and stepping t by the bin width moves the week-folded
-  // bin to its successor (mod week) regardless of alignment — so the bin
-  // index is tracked incrementally, keeping the 64-bit modulo and
-  // divisions of BinOf off the hot path.
-  const std::size_t bin_count = st.ram.bin_count();
-  const std::int64_t bin_seconds =
-      static_cast<std::int64_t>(st.ram.bin_minutes()) *
-      util::kSecondsPerMinute;
-  std::int64_t prev_t = -2 * bin_seconds;  // never one bin before t >= 0
-  std::size_t bin = 0;
+  // The acc tracks the week-folded bin incrementally (a machine's
+  // consecutive events are almost always exactly one bin width apart),
+  // keeping the 64-bit modulo and divisions of BinOf off the hot path.
+  MachineAcc acc(bin_minutes_);
   for (const std::uint32_t idx : ctx.trace.MachineSamples(machine)) {
-    const std::int64_t t = c.t[idx];
-    if (t - prev_t == bin_seconds) {
-      if (++bin == bin_count) bin = 0;
-    } else {
-      bin = st.ram.BinOf(t);
-    }
-    prev_t = t;
-    st.ram.AddAt(bin, c.mem_load_pct[idx]);
-    st.swap.AddAt(bin, c.swap_load_pct[idx]);
+    acc.AddSample(c.t[idx], c.mem_load_pct[idx], c.swap_load_pct[idx]);
   }
-  prev_t = -2 * bin_seconds;
-  bin = 0;
   const auto& iv = ctx.derived.interval_columns();
   const auto range = ctx.derived.MachineIntervalRange(machine);
   for (std::size_t i = range.begin; i < range.end; ++i) {
-    const std::int64_t t = iv.end_t[i];
-    if (t - prev_t == bin_seconds) {
-      if (++bin == bin_count) bin = 0;
-    } else {
-      bin = st.cpu_idle.BinOf(t);
-    }
-    prev_t = t;
-    st.cpu_idle.AddAt(bin, iv.cpu_idle_pct[i]);
-    st.sent.AddAt(bin, iv.sent_bps[i]);
-    st.recv.AddAt(bin, iv.recv_bps[i]);
+    acc.AddInterval(iv.end_t[i], iv.cpu_idle_pct[i], iv.sent_bps[i],
+                    iv.recv_bps[i]);
   }
+  FoldMachine(machine, acc, state);
+}
+
+void WeeklyPass::FoldMachine(std::size_t /*machine*/, const MachineAcc& acc,
+                             State& state) const {
+  auto& st = static_cast<Impl&>(state);
+  st.cpu_idle.Merge(acc.cpu_idle);
+  st.ram.Merge(acc.ram);
+  st.swap.Merge(acc.swap);
+  st.sent.Merge(acc.sent);
+  st.recv.Merge(acc.recv);
 }
 
 void WeeklyPass::MergeState(State& into, State& from) const {
@@ -643,11 +604,10 @@ void EquivalencePass::AccumulateMachine(const PassContext& ctx,
   const auto& c = ctx.trace.columns();
   const auto& iv = ctx.derived.interval_columns();
   const auto range = ctx.derived.MachineIntervalRange(machine);
-  const double perf = perf_index_[machine];
   for (std::size_t i = range.begin; i < range.end; ++i) {
     const std::uint32_t it = c.iteration[iv.end_index[i]];
     if (it >= st.occupied_sum.size()) continue;
-    const double contribution = iv.cpu_idle_pct[i] / 100.0 * perf;
+    const double contribution = Contribution(machine, iv.cpu_idle_pct[i]);
     if (ctx.derived.IntervalClassAt(i, forgotten_threshold_s_) ==
         trace::LoginClass::kWithLogin) {
       st.occupied_sum[it] += contribution;
@@ -655,6 +615,20 @@ void EquivalencePass::AccumulateMachine(const PassContext& ctx,
       st.free_sum[it] += contribution;
     }
   }
+}
+
+void EquivalencePass::AddIterationSums(State& state,
+                                       std::span<const double> occupied,
+                                       std::span<const double> free) {
+  auto& st = static_cast<Impl&>(state);
+  if (st.occupied_sum.size() < occupied.size()) {
+    st.occupied_sum.resize(occupied.size(), 0.0);
+    st.free_sum.resize(free.size(), 0.0);
+  }
+  for (std::size_t i = 0; i < occupied.size(); ++i) {
+    st.occupied_sum[i] += occupied[i];
+  }
+  for (std::size_t i = 0; i < free.size(); ++i) st.free_sum[i] += free[i];
 }
 
 void EquivalencePass::MergeState(State& into, State& from) const {
@@ -719,25 +693,37 @@ std::unique_ptr<AnalysisPass::State> StabilityPass::MakeState(
 void StabilityPass::AccumulateMachine(const PassContext& ctx,
                                       std::size_t machine,
                                       State& state) const {
-  auto& st = static_cast<Impl&>(state);
+  MachineAcc acc;
   for (const auto& session : ctx.derived.MachineSessions(machine)) {
-    st.lengths.Add(static_cast<double>(session.last_uptime_s) / 3600.0);
-    ++st.session_count;
+    acc.AddSession(session.last_uptime_s);
   }
-
   const auto indices = ctx.trace.MachineSamples(machine);
-  if (indices.empty()) return;
-  const auto& c = ctx.trace.columns();
-  const std::uint32_t first = indices.front();
-  const std::uint32_t last = indices.back();
+  if (!indices.empty()) {
+    const auto& c = ctx.trace.columns();
+    // Only the first and last sample matter; feeding both gives the acc
+    // the same first/last values a full streamed walk would record.
+    acc.AddSample(c.smart_power_on_hours[indices.front()],
+                  c.smart_power_cycles[indices.front()]);
+    acc.AddSample(c.smart_power_on_hours[indices.back()],
+                  c.smart_power_cycles[indices.back()]);
+  }
+  FoldMachine(machine, acc, state);
+}
+
+void StabilityPass::FoldMachine(std::size_t /*machine*/, const MachineAcc& acc,
+                                State& state) const {
+  auto& st = static_cast<Impl&>(state);
+  st.lengths.Merge(acc.lengths);
+  st.session_count += acc.session_count;
+  if (!acc.has_samples) return;
   // Cycles accumulated during the monitoring window. The first sample's
   // counter already includes the boot that made the machine reachable, so
   // the difference undercounts by the pre-first-sample boots — the same
   // bias the real methodology has.
   const std::uint64_t cycles =
-      c.smart_power_cycles[last] - c.smart_power_cycles[first];
+      acc.last_power_cycles - acc.first_power_cycles;
   const std::uint64_t hours =
-      c.smart_power_on_hours[last] - c.smart_power_on_hours[first];
+      acc.last_power_on_hours - acc.first_power_on_hours;
   st.total_cycles += cycles;
   st.per_machine_cycles.Add(static_cast<double>(cycles));
   if (cycles > 0) {
@@ -745,9 +731,9 @@ void StabilityPass::AccumulateMachine(const PassContext& ctx,
                             static_cast<double>(cycles));
   }
   // Whole-life ratio from the absolute counters of the last sample.
-  if (c.smart_power_cycles[last] > 0) {
-    st.life_ratio.Add(static_cast<double>(c.smart_power_on_hours[last]) /
-                      static_cast<double>(c.smart_power_cycles[last]));
+  if (acc.last_power_cycles > 0) {
+    st.life_ratio.Add(static_cast<double>(acc.last_power_on_hours) /
+                      static_cast<double>(acc.last_power_cycles));
   }
 }
 
@@ -814,6 +800,22 @@ void CapacityPass::AccumulateMachine(const PassContext& ctx,
     if (it >= st.ram_mb_sum.size()) continue;
     st.ram_mb_sum[it] += ctx.trace.FreeRamMb(idx);
     st.disk_gb_sum[it] += static_cast<double>(c.disk_free_b[idx]) / 1e9;
+  }
+}
+
+void CapacityPass::AddIterationSums(State& state,
+                                    std::span<const double> ram_mb,
+                                    std::span<const double> disk_gb) {
+  auto& st = static_cast<Impl&>(state);
+  if (st.ram_mb_sum.size() < ram_mb.size()) {
+    st.ram_mb_sum.resize(ram_mb.size(), 0.0);
+    st.disk_gb_sum.resize(disk_gb.size(), 0.0);
+  }
+  for (std::size_t i = 0; i < ram_mb.size(); ++i) {
+    st.ram_mb_sum[i] += ram_mb[i];
+  }
+  for (std::size_t i = 0; i < disk_gb.size(); ++i) {
+    st.disk_gb_sum[i] += disk_gb[i];
   }
 }
 

@@ -1,0 +1,343 @@
+#include "labmon/analysis/stream_fold.hpp"
+
+#include <algorithm>
+
+#include "labmon/obs/prof.hpp"
+
+namespace labmon::analysis {
+
+namespace {
+
+/// TraceStore::Classify over loose values (the streamed sample's columns).
+[[nodiscard]] trace::LoginClass ClassifyValue(bool has_session,
+                                              std::int64_t session_s,
+                                              std::int64_t threshold_s) {
+  if (!has_session) return trace::LoginClass::kNoLogin;
+  return session_s >= threshold_s ? trace::LoginClass::kForgotten
+                                  : trace::LoginClass::kWithLogin;
+}
+
+/// trace::ClassifyInterval over endpoint classes: the closing sample
+/// decides, unless the opening one shows an occupied machine.
+[[nodiscard]] trace::LoginClass IntervalClass(trace::LoginClass a,
+                                              trace::LoginClass b) {
+  if (b == trace::LoginClass::kWithLogin) return b;
+  return a == trace::LoginClass::kWithLogin ? a : b;
+}
+
+}  // namespace
+
+/// Per-machine cursor + the per-pass accumulators the materialised sweep
+/// builds per machine. ~170 KB per machine (dominated by the five weekly
+/// profiles), i.e. O(machines), independent of trace length.
+struct StreamingAnalysis::MachineState {
+  explicit MachineState(const StreamingAnalysisConfig& cfg)
+      : hours(static_cast<std::size_t>(cfg.session_hours_max) + 1),
+        weekly(cfg.bin_minutes) {}
+
+  // Interval-emission cursor (previous sample of this machine).
+  trace::IntervalEndpoint prev;
+  bool has_prev = false;
+  trace::LoginClass prev_cls = trace::LoginClass::kNoLogin;
+  trace::LoginClass prev_cls_eq = trace::LoginClass::kNoLogin;
+
+  // Session state machine (mirrors trace::AppendMachineSessions).
+  bool session_open = false;
+  std::int64_t open_boot_time = 0;
+  std::int64_t open_last_uptime_s = 0;
+
+  AggregatePass::MachineAcc agg;
+  AvailabilityPass::MachineAcc avail;
+  SessionHoursPass::MachineAcc hours;
+  WeeklyPass::MachineAcc weekly;
+  StabilityPass::MachineAcc stab;
+  PerLabPass::MachineAcc lab;
+};
+
+StreamingAnalysis::StreamingAnalysis(StreamingAnalysisConfig config)
+    : config_(std::move(config)),
+      agg_pass_(config_.intervals),
+      avail_pass_(config_.intervals.forgotten_threshold_s),
+      hours_pass_(config_.session_hours_max),
+      weekly_pass_(config_.bin_minutes),
+      eq_pass_(config_.perf_index, config_.bin_minutes,
+               config_.equivalence_threshold_s),
+      stab_pass_(config_.experiment_days),
+      lab_pass_(config_.labs, config_.intervals.forgotten_threshold_s),
+      cap_pass_(config_.capacity) {
+  machines_.reserve(config_.machine_count);
+  for (std::size_t m = 0; m < config_.machine_count; ++m) {
+    machines_.emplace_back(config_);
+  }
+}
+
+StreamingAnalysis::~StreamingAnalysis() = default;
+
+void StreamingAnalysis::Accept(const trace::TraceBlock& block) {
+  const trace::TraceStore::Columns& c = block.cols;
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    const std::uint32_t m = c.machine[i];
+    if (m >= machines_.size()) continue;
+    const std::uint64_t it = c.iteration[i];
+    if (iteration_open_ && it != current_iteration_) CloseIteration();
+    current_iteration_ = it;
+    iteration_open_ = true;
+
+    MachineState& ms = machines_[m];
+    const std::int64_t t = c.t[i];
+    const std::int64_t boot = c.boot_time[i];
+    const std::int64_t uptime = c.uptime_s[i];
+    const bool has_session = c.has_session[i] != 0;
+    const std::int64_t session_s = has_session ? t - c.session_logon[i] : 0;
+    const trace::LoginClass cls = ClassifyValue(
+        has_session, session_s, config_.intervals.forgotten_threshold_s);
+    const trace::LoginClass cls_eq =
+        ClassifyValue(has_session, session_s, config_.equivalence_threshold_s);
+
+    // Session state machine: a changed boot epoch or shrinking uptime
+    // closes the open session and opens a new one.
+    if (!ms.session_open || boot != ms.open_boot_time ||
+        uptime < ms.open_last_uptime_s) {
+      if (ms.session_open) {
+        ms.avail.AddSession(ms.open_last_uptime_s);
+        ms.stab.AddSession(ms.open_last_uptime_s);
+      }
+      ms.session_open = true;
+      ms.open_boot_time = boot;
+    }
+    ms.open_last_uptime_s = uptime;
+
+    // Interval between this sample and the machine's previous one — the
+    // same emission core the materialised derivation uses.
+    const trace::IntervalEndpoint endpoint{t,
+                                           boot,
+                                           uptime,
+                                           c.cpu_idle_s[i],
+                                           c.net_sent_b[i],
+                                           c.net_recv_b[i]};
+    if (ms.has_prev) {
+      trace::detail::EmitIntervalFromEndpoints(
+          ms.prev, endpoint, m, config_.intervals,
+          [&] { return IntervalClass(ms.prev_cls, cls); },
+          [&](const trace::SampleInterval& iv) {
+            ms.agg.AddInterval(iv.login_class, iv.cpu_idle_pct, iv.sent_bps,
+                               iv.recv_bps);
+            if (has_session) ms.hours.AddInterval(session_s, iv.cpu_idle_pct);
+            ms.weekly.AddInterval(iv.end_t, iv.cpu_idle_pct, iv.sent_bps,
+                                  iv.recv_bps);
+            ms.lab.AddInterval(iv.cpu_idle_pct);
+            if (eq_pass_.TracksMachine(m)) {
+              eq_buffer_.push_back(
+                  {m,
+                   IntervalClass(ms.prev_cls_eq, cls_eq) ==
+                       trace::LoginClass::kWithLogin,
+                   eq_pass_.Contribution(m, iv.cpu_idle_pct)});
+            }
+            if (detector_ != nullptr) {
+              detector_->OnInterval(iv.end_t, m, iv.cpu_idle_pct);
+            }
+          });
+    }
+    ms.prev = endpoint;
+    ms.prev_cls = cls;
+    ms.prev_cls_eq = cls_eq;
+    ms.has_prev = true;
+
+    // Sample-fed accumulators. Formulas mirror the TraceStore helpers the
+    // materialised passes call (FreeRamMb, DiskUsedBytes).
+    ms.agg.AddSample(cls, has_session, c.mem_load_pct[i], c.swap_load_pct[i],
+                     static_cast<double>(c.disk_total_b[i] - c.disk_free_b[i]) /
+                         1e9);
+    ++ms.avail.responses;
+    if (on_.size() <= it) {
+      on_.resize(it + 1, 0);
+      free_.resize(it + 1, 0);
+    }
+    ++on_[it];
+    if (cls != trace::LoginClass::kWithLogin) ++free_[it];
+    ms.weekly.AddSample(t, c.mem_load_pct[i], c.swap_load_pct[i]);
+    ms.lab.AddSample(cls, c.mem_load_pct[i],
+                     static_cast<double>(c.disk_free_b[i]) / 1e9, c.ram_mb[i],
+                     c.ram_mb[i] * (100.0 - c.mem_load_pct[i]) / 100.0);
+    ms.stab.AddSample(c.smart_power_on_hours[i], c.smart_power_cycles[i]);
+    cap_buffer_.push_back(
+        {m, c.ram_mb[i] * (100.0 - c.mem_load_pct[i]) / 100.0,
+         static_cast<double>(c.disk_free_b[i]) / 1e9});
+    if (detector_ != nullptr) detector_->OnSample(t, m, c.mem_load_pct[i]);
+    ++samples_;
+  }
+}
+
+void StreamingAnalysis::CloseIteration() {
+  const std::uint64_t it = current_iteration_;
+  iteration_open_ = false;
+  if (eq_occupied_.size() <= it) {
+    eq_occupied_.resize(it + 1, 0.0);
+    eq_free_.resize(it + 1, 0.0);
+  }
+  if (cap_ram_mb_.size() <= it) {
+    cap_ram_mb_.resize(it + 1, 0.0);
+    cap_disk_gb_.resize(it + 1, 0.0);
+  }
+
+  // Replay the buffered contributions machine-sorted and chunk-grouped:
+  // each chunk's contributions sum into a zero-initialised partial in
+  // ascending machine order, and the partials add in ascending chunk
+  // order — the exact floating-point association of the materialised
+  // chunk sweep plus serial reduction. (A machine contributes at most one
+  // sample per iteration, so the sort order is total.)
+  const std::size_t per_chunk =
+      std::max<std::size_t>(1, config_.machines_per_chunk);
+
+  std::sort(eq_buffer_.begin(), eq_buffer_.end(),
+            [](const EqEntry& a, const EqEntry& b) {
+              return a.machine < b.machine;
+            });
+  for (std::size_t i = 0; i < eq_buffer_.size();) {
+    const std::size_t chunk = eq_buffer_[i].machine / per_chunk;
+    double occupied = 0.0;
+    double free = 0.0;
+    for (; i < eq_buffer_.size() && eq_buffer_[i].machine / per_chunk == chunk;
+         ++i) {
+      if (eq_buffer_[i].occupied) {
+        occupied += eq_buffer_[i].contribution;
+      } else {
+        free += eq_buffer_[i].contribution;
+      }
+    }
+    eq_occupied_[it] += occupied;
+    eq_free_[it] += free;
+  }
+  eq_buffer_.clear();
+
+  std::sort(cap_buffer_.begin(), cap_buffer_.end(),
+            [](const CapEntry& a, const CapEntry& b) {
+              return a.machine < b.machine;
+            });
+  for (std::size_t i = 0; i < cap_buffer_.size();) {
+    const std::size_t chunk = cap_buffer_[i].machine / per_chunk;
+    double ram_mb = 0.0;
+    double disk_gb = 0.0;
+    for (; i < cap_buffer_.size() &&
+           cap_buffer_[i].machine / per_chunk == chunk;
+         ++i) {
+      ram_mb += cap_buffer_[i].ram_mb;
+      disk_gb += cap_buffer_[i].disk_gb;
+    }
+    cap_ram_mb_[it] += ram_mb;
+    cap_disk_gb_[it] += disk_gb;
+  }
+  cap_buffer_.clear();
+}
+
+StreamingAnalysisResult StreamingAnalysis::Finish(
+    const trace::TraceStore& summary) {
+  obs::prof::PhaseScope prof_scope(obs::prof::Phase::kAnalysis);
+  if (iteration_open_) CloseIteration();
+  for (MachineState& ms : machines_) {
+    if (ms.session_open) {
+      ms.avail.AddSession(ms.open_last_uptime_s);
+      ms.stab.AddSession(ms.open_last_uptime_s);
+      ms.session_open = false;
+    }
+  }
+
+  // Per-iteration vectors sized exactly to the merged iteration metadata
+  // (samples beyond it are dropped, as the materialised sweep drops them).
+  const std::size_t iter_count = summary.iterations().size();
+  on_.resize(iter_count, 0);
+  free_.resize(iter_count, 0);
+  eq_occupied_.resize(iter_count, 0.0);
+  eq_free_.resize(iter_count, 0.0);
+  cap_ram_mb_.resize(iter_count, 0.0);
+  cap_disk_gb_.resize(iter_count, 0.0);
+
+  // The summary store holds no samples, so the derivation is empty; every
+  // Finalize only reads machine_count / iteration metadata through ctx.
+  const trace::DerivedTrace derived(
+      summary, trace::DerivedTraceOptions{config_.intervals});
+  const PassContext ctx{summary, derived};
+
+  // Replays AnalysisPipeline::Run's reduction: one state per chunk,
+  // machines folded ascending within the chunk, chunk states merged
+  // ascending into the total.
+  const std::size_t per_chunk =
+      std::max<std::size_t>(1, config_.machines_per_chunk);
+  const std::size_t machine_count = machines_.size();
+  const std::size_t chunks = (machine_count + per_chunk - 1) / per_chunk;
+  const auto reduce = [&](auto& pass, auto&& fold) {
+    auto total = pass.MakeState(ctx);
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+      auto state = pass.MakeState(ctx);
+      const std::size_t begin = chunk * per_chunk;
+      const std::size_t end = std::min(begin + per_chunk, machine_count);
+      for (std::size_t m = begin; m < end; ++m) fold(m, *state);
+      pass.MergeState(*total, *state);
+    }
+    return total;
+  };
+
+  StreamingAnalysisResult result;
+  {
+    auto total = reduce(agg_pass_, [&](std::size_t m, AnalysisPass::State& s) {
+      agg_pass_.FoldMachine(m, machines_[m].agg, s);
+    });
+    agg_pass_.Finalize(ctx, *total);
+    result.table2 = agg_pass_.result();
+  }
+  {
+    auto total =
+        reduce(avail_pass_, [&](std::size_t m, AnalysisPass::State& s) {
+          avail_pass_.FoldMachine(m, machines_[m].avail, s);
+        });
+    AvailabilityPass::AddIterationCounts(*total, on_, free_);
+    avail_pass_.Finalize(ctx, *total);
+    result.availability = avail_pass_.result();
+  }
+  {
+    auto total =
+        reduce(hours_pass_, [&](std::size_t m, AnalysisPass::State& s) {
+          hours_pass_.FoldMachine(m, machines_[m].hours, s);
+        });
+    hours_pass_.Finalize(ctx, *total);
+    result.session_hours = hours_pass_.result();
+  }
+  {
+    auto total =
+        reduce(weekly_pass_, [&](std::size_t m, AnalysisPass::State& s) {
+          weekly_pass_.FoldMachine(m, machines_[m].weekly, s);
+        });
+    weekly_pass_.Finalize(ctx, *total);
+    result.weekly = weekly_pass_.result();
+  }
+  {
+    auto total = eq_pass_.MakeState(ctx);
+    EquivalencePass::AddIterationSums(*total, eq_occupied_, eq_free_);
+    eq_pass_.Finalize(ctx, *total);
+    result.equivalence = eq_pass_.result();
+  }
+  {
+    auto total =
+        reduce(stab_pass_, [&](std::size_t m, AnalysisPass::State& s) {
+          stab_pass_.FoldMachine(m, machines_[m].stab, s);
+        });
+    stab_pass_.Finalize(ctx, *total);
+    result.stability = stab_pass_.result();
+  }
+  {
+    auto total = reduce(lab_pass_, [&](std::size_t m, AnalysisPass::State& s) {
+      lab_pass_.FoldMachine(m, machines_[m].lab, s);
+    });
+    lab_pass_.Finalize(ctx, *total);
+    result.per_lab = lab_pass_.result();
+  }
+  {
+    auto total = cap_pass_.MakeState(ctx);
+    CapacityPass::AddIterationSums(*total, cap_ram_mb_, cap_disk_gb_);
+    cap_pass_.Finalize(ctx, *total);
+    result.capacity = cap_pass_.result();
+  }
+  return result;
+}
+
+}  // namespace labmon::analysis

@@ -1,0 +1,87 @@
+// Streaming campaign engine — the full experiment in O(block) memory.
+//
+// StreamingExperiment::Run drives the same per-lab simulation as
+// Experiment::Run, but collection seals fixed-size, iteration-aligned
+// trace blocks as they fill instead of materialising each lab's trace:
+// blocks either stay in memory as a sealed block list or spill to disk as
+// LMSG1 segments (trace/segment.hpp). The merge phase then re-streams
+// every lab through trace::StreamMergeBlocks and folds the merged blocks
+// straight into analysis::StreamingAnalysis, so the campaign's peak
+// memory is bounded by block size + per-machine analysis state — it does
+// not grow with the simulated horizon. The analysis output is
+// bit-identical to Experiment::Run + the materialised pipeline (pinned by
+// tests/core/test_streaming_determinism).
+//
+// With spilling enabled every finished lab is also a checkpoint: its
+// segment plus a small sidecar (config fingerprint, per-lab run stats and
+// ground truth) written atomically after the segment is complete. A
+// killed campaign restarted with `resume = true` re-simulates only the
+// labs whose checkpoint is missing or invalid and re-streams the rest
+// from disk, reproducing the exact same result.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "labmon/analysis/stream_fold.hpp"
+#include "labmon/core/experiment.hpp"
+#include "labmon/obs/jsonl.hpp"
+#include "labmon/trace/block.hpp"
+
+namespace labmon::core {
+
+struct StreamingOptions {
+  /// Sealed-block capacity for collection spill and the merged stream.
+  std::size_t block_samples = trace::kDefaultBlockSamples;
+  /// Spill directory for per-lab segments + checkpoint sidecars; empty
+  /// keeps sealed blocks in memory (still O(block) during the merge, but
+  /// collection holds every sealed block).
+  std::string spill_dir;
+  /// Reuse valid per-lab checkpoints found in `spill_dir` instead of
+  /// re-simulating those labs (requires spilling).
+  bool resume = false;
+  /// Online anomaly detection: |z| threshold on per-machine memory load
+  /// and CPU idle deltas. 0 disables the detector.
+  double anomaly_threshold = 0.0;
+  /// Warm-up observations per machine-metric before scoring starts.
+  std::uint64_t anomaly_min_samples = 32;
+  /// Optional JSONL sink for anomaly records (not owned).
+  obs::JsonlWriter* anomaly_writer = nullptr;
+};
+
+/// Everything a streamed run produces. There is no materialised trace:
+/// `summary` holds machine count + merged iteration metadata only, and
+/// `stream_hash` fingerprints the merged sample sequence
+/// (trace::HashSampleStream over the merged blocks).
+struct StreamingExperimentResult {
+  trace::TraceStore summary;
+  analysis::StreamingAnalysisResult analysis;
+  ddc::RunStats run_stats;
+  workload::GroundTruth ground_truth;
+  std::vector<double> perf_index;
+  std::vector<LabSummary> labs;
+  winsim::Fleet::Totals hardware;
+  int days = 0;
+  std::uint64_t parse_failures = 0;
+  std::uint64_t crosscheck_mismatches = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t merged_blocks = 0;
+  std::uint64_t stream_hash = 0;
+  std::uint64_t anomalies = 0;
+  std::uint64_t anomaly_observations = 0;
+  std::size_t labs_resumed = 0;
+  /// Per-lab spill/merge IO failures (empty on a clean run).
+  std::vector<std::string> errors;
+};
+
+class StreamingExperiment {
+ public:
+  /// Runs collection + merge + incremental analysis end to end
+  /// (deterministic for a given config; independent of shard count,
+  /// block size and spill mode).
+  [[nodiscard]] static StreamingExperimentResult Run(
+      const ExperimentConfig& config, const StreamingOptions& options = {});
+};
+
+}  // namespace labmon::core

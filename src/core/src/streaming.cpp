@@ -1,0 +1,527 @@
+#include "labmon/core/streaming.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "labmon/core/snapshot.hpp"
+#include "labmon/ddc/w32_probe.hpp"
+#include "labmon/faultsim/fault_injector.hpp"
+#include "labmon/obs/prof.hpp"
+#include "labmon/obs/registry.hpp"
+#include "labmon/obs/span.hpp"
+#include "labmon/trace/segment.hpp"
+#include "labmon/trace/sink.hpp"
+#include "labmon/trace/stream_merge.hpp"
+#include "labmon/util/log.hpp"
+#include "labmon/util/parallel.hpp"
+#include "labmon/winsim/paper_specs.hpp"
+#include "labmon/workload/profile.hpp"
+
+namespace labmon::core {
+
+namespace {
+
+/// What one lab's collection contributes to the campaign totals — exactly
+/// the fields Experiment::Run sums per shard. This is also the sidecar
+/// payload: a resumed lab restores these without re-simulating.
+struct LabCheckpoint {
+  ddc::RunStats stats;
+  workload::GroundTruth truth;
+  std::uint64_t parse_failures = 0;
+  std::uint64_t crosscheck_mismatches = 0;
+  std::uint64_t blocks = 0;
+};
+
+constexpr char kSidecarMagic[] = "LMSGCK";
+constexpr std::uint64_t kSidecarVersion = 1;
+
+std::string LabFileStem(const std::string& dir, std::size_t lab) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "lab%04zu", lab);
+  return dir + "/" + name;
+}
+
+std::string SegmentPath(const std::string& dir, std::size_t lab) {
+  return LabFileStem(dir, lab) + ".lmsg";
+}
+
+std::string SidecarPath(const std::string& dir, std::size_t lab) {
+  return LabFileStem(dir, lab) + ".ck";
+}
+
+/// The sidecar is the checkpoint commit point: written (atomically, via
+/// temp file + rename) only after the lab's segment is complete, so a
+/// crash mid-lab leaves no sidecar and the lab is simply re-simulated.
+bool WriteSidecar(const std::string& path, std::uint64_t fingerprint,
+                  std::size_t lab, const LabCheckpoint& cp) {
+  std::ostringstream out;
+  out << kSidecarMagic << ' ' << kSidecarVersion << '\n';
+  out << "fingerprint " << fingerprint << '\n';
+  out << "lab " << lab << '\n';
+  out << "blocks " << cp.blocks << '\n';
+  out << "parse_failures " << cp.parse_failures << '\n';
+  out << "crosscheck_mismatches " << cp.crosscheck_mismatches << '\n';
+  const ddc::RunStats& s = cp.stats;
+  out << "stats " << s.attempts << ' ' << s.successes << ' ' << s.timeouts
+      << ' ' << s.errors << ' ' << s.missing << ' ' << s.corrupt << ' '
+      << s.recovered_after_retry << ' ' << s.retry_attempts << ' '
+      << s.retried_collections << ' ' << s.faults_injected << '\n';
+  const workload::GroundTruth& t = cp.truth;
+  out << "truth " << t.boots << ' ' << t.shutdowns << ' ' << t.reboots << ' '
+      << t.short_cycles << ' ' << t.class_logins << ' ' << t.walkin_logins
+      << ' ' << t.forgotten_sessions << ' ' << t.lost_arrivals << ' '
+      << t.sweep_shutdowns << '\n';
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) return false;
+    const std::string bytes = out.str();
+    file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    file.flush();
+    if (!file) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+/// Parses and validates a sidecar; false on any mismatch (wrong magic or
+/// version, foreign fingerprint, wrong lab index, truncation).
+bool LoadSidecar(const std::string& path, std::uint64_t fingerprint,
+                 std::size_t lab, LabCheckpoint& cp) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return false;
+  std::string magic;
+  std::uint64_t version = 0;
+  std::uint64_t stored_fingerprint = 0;
+  std::uint64_t stored_lab = 0;
+  std::string key;
+  if (!(file >> magic >> version) || magic != kSidecarMagic ||
+      version != kSidecarVersion) {
+    return false;
+  }
+  if (!(file >> key >> stored_fingerprint) || key != "fingerprint" ||
+      stored_fingerprint != fingerprint) {
+    return false;
+  }
+  if (!(file >> key >> stored_lab) || key != "lab" || stored_lab != lab) {
+    return false;
+  }
+  if (!(file >> key >> cp.blocks) || key != "blocks") return false;
+  if (!(file >> key >> cp.parse_failures) || key != "parse_failures") {
+    return false;
+  }
+  if (!(file >> key >> cp.crosscheck_mismatches) ||
+      key != "crosscheck_mismatches") {
+    return false;
+  }
+  ddc::RunStats& s = cp.stats;
+  if (!(file >> key >> s.attempts >> s.successes >> s.timeouts >> s.errors >>
+        s.missing >> s.corrupt >> s.recovered_after_retry >>
+        s.retry_attempts >> s.retried_collections >> s.faults_injected) ||
+      key != "stats") {
+    return false;
+  }
+  workload::GroundTruth& t = cp.truth;
+  if (!(file >> key >> t.boots >> t.shutdowns >> t.reboots >>
+        t.short_cycles >> t.class_logins >> t.walkin_logins >>
+        t.forgotten_sessions >> t.lost_arrivals >> t.sweep_shutdowns) ||
+      key != "truth") {
+    return false;
+  }
+  return true;
+}
+
+/// Wraps the post-collect sink: samples append to a small working store,
+/// and whenever an iteration completes with the store at or past the
+/// block budget the store is sealed — spilled as one segment block or
+/// moved into the in-memory block list — and cleared. Blocks are
+/// therefore always iteration-aligned and self-contained (block-local
+/// user table + the iteration rows they cover).
+class SpillingSink final : public ddc::SampleSink {
+ public:
+  SpillingSink(trace::TraceStore& store, std::size_t block_samples,
+               trace::SegmentWriter* writer,
+               std::vector<trace::TraceBlock>* blocks)
+      : inner_(store),
+        store_(&store),
+        block_samples_(std::max<std::size_t>(1, block_samples)),
+        writer_(writer),
+        blocks_(blocks) {}
+
+  ddc::SampleVerdict OnSample(const ddc::CollectedSample& sample) override {
+    return inner_.OnSample(sample);
+  }
+
+  void OnIterationEnd(std::uint64_t iteration, util::SimTime start_time,
+                      util::SimTime end_time) override {
+    inner_.OnIterationEnd(iteration, start_time, end_time);
+    if (store_->size() >= block_samples_) Seal();
+  }
+
+  /// Seals the trailing partial block; call once after the run.
+  void Flush() {
+    if (store_->size() > 0 || !store_->iterations().empty()) Seal();
+  }
+
+  [[nodiscard]] std::uint64_t blocks_sealed() const noexcept {
+    return blocks_sealed_;
+  }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  [[nodiscard]] const trace::TraceStoreSink& inner() const noexcept {
+    return inner_;
+  }
+
+ private:
+  void Seal() {
+    if (writer_ != nullptr) {
+      if (auto appended = writer_->Append(*store_);
+          !appended.ok() && error_.empty()) {
+        error_ = appended.error();
+      }
+    } else {
+      trace::TraceBlock block;
+      block.AssignFrom(*store_);
+      blocks_->push_back(std::move(block));
+    }
+    ++blocks_sealed_;
+    store_->ClearSamples();
+  }
+
+  trace::TraceStoreSink inner_;
+  trace::TraceStore* store_;
+  std::size_t block_samples_;
+  trace::SegmentWriter* writer_;
+  std::vector<trace::TraceBlock>* blocks_;
+  std::uint64_t blocks_sealed_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+StreamingExperimentResult StreamingExperiment::Run(
+    const ExperimentConfig& config, const StreamingOptions& options) {
+  obs::DefaultRegistry()
+      .GetCounter("labmon_streaming_runs_total",
+                  "Streaming campaign runs executed.")
+      .Increment();
+  obs::Span run_span("experiment.stream");
+  run_span.SetSimRange(0, config.campus.EndTime());
+
+  util::Rng rng(config.campus.seed);
+  winsim::Fleet fleet = [&] {
+    obs::Span build_span("experiment.build_fleet");
+    obs::prof::PhaseScope prof_scope(obs::prof::Phase::kBuildFleet);
+    return winsim::MakePaperFleet(rng, config.prior_life,
+                                  config.campus.scale_labs);
+  }();
+  const workload::CampusProfile profile = [&] {
+    obs::prof::PhaseScope prof_scope(obs::prof::Phase::kBuildFleet);
+    return workload::CampusProfile::Build(fleet, config.campus);
+  }();
+
+  const std::size_t lab_count = fleet.lab_count();
+  const std::size_t machine_count = fleet.size();
+  const bool spill = !options.spill_dir.empty();
+  const std::uint64_t fingerprint = FingerprintConfig(config);
+
+  StreamingExperimentResult result;
+  result.days = config.campus.days;
+  std::mutex error_mutex;
+  auto record_error = [&](std::string message) {
+    const std::scoped_lock lock(error_mutex);
+    result.errors.push_back(std::move(message));
+  };
+
+  if (spill) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.spill_dir, ec);
+    if (ec) {
+      result.errors.push_back("cannot create spill dir: " +
+                              options.spill_dir);
+      return result;
+    }
+  }
+
+  std::vector<LabCheckpoint> checkpoints(lab_count);
+  std::vector<char> resumed(lab_count, 0);
+  // In-memory mode keeps each lab's sealed blocks until the merge.
+  std::vector<std::vector<trace::TraceBlock>> lab_blocks(lab_count);
+
+  if (options.resume && spill) {
+    for (std::size_t lab = 0; lab < lab_count; ++lab) {
+      LabCheckpoint cp;
+      if (!LoadSidecar(SidecarPath(options.spill_dir, lab), fingerprint, lab,
+                       cp)) {
+        continue;
+      }
+      // The sidecar is only written after a complete segment, but guard
+      // against the segment being deleted or clobbered since.
+      auto reader = trace::SegmentReader::Open(
+          SegmentPath(options.spill_dir, lab));
+      if (!reader.ok() || reader.value().machine_count() != machine_count) {
+        continue;
+      }
+      checkpoints[lab] = cp;
+      resumed[lab] = 1;
+      ++result.labs_resumed;
+    }
+  }
+
+  const std::size_t workers = std::min(
+      lab_count, std::max<std::size_t>(
+                     1, config.shards > 0
+                            ? static_cast<std::size_t>(config.shards)
+                            : util::DefaultWorkerCount()));
+
+  util::log::Info("streaming " + std::to_string(config.campus.days) +
+                  "-day campaign over " + std::to_string(machine_count) +
+                  " machines (" + std::to_string(workers) + " workers, " +
+                  (spill ? "spill to " + options.spill_dir
+                         : std::string("in-memory blocks")) +
+                  (result.labs_resumed
+                       ? ", " + std::to_string(result.labs_resumed) +
+                             " labs resumed"
+                       : "") +
+                  ")");
+
+  {
+    obs::Span collect_span("experiment.stream_collect");
+    collect_span.SetSimRange(0, config.campus.EndTime());
+    auto run_lab = [&](std::size_t lab) {
+      if (resumed[lab]) return;
+      obs::prof::ShardScope prof_shard(static_cast<std::uint32_t>(lab));
+      obs::prof::PhaseScope prof_collect(obs::prof::Phase::kCollect);
+      const winsim::LabInfo& info = fleet.labs()[lab];
+      workload::WorkloadDriver driver(fleet, config.campus, profile, lab,
+                                      lab + 1);
+      trace::TraceStore store;
+      store.set_machine_count(machine_count);
+      // An iteration appends at most one sample per lab machine, and the
+      // store is cleared at the first iteration end past the budget.
+      store.Reserve(options.block_samples + info.count);
+
+      std::unique_ptr<trace::SegmentWriter> writer;
+      if (spill) {
+        auto opened = trace::SegmentWriter::Open(
+            SegmentPath(options.spill_dir, lab), machine_count);
+        if (!opened.ok()) {
+          record_error(opened.error());
+          return;
+        }
+        writer = std::make_unique<trace::SegmentWriter>(
+            std::move(opened).value());
+      }
+      SpillingSink sink(store, options.block_samples, writer.get(),
+                       &lab_blocks[lab]);
+
+      ddc::W32Probe probe;
+      ddc::CoordinatorConfig collector = config.collector;
+      collector.structured_fast_path = config.structured_fast_path;
+      collector.first_machine = info.first;
+      collector.machine_count = info.count;
+      collector.aligned_schedule = true;
+      collector.seed = util::DeriveSeed(config.collector.seed,
+                                        util::seed_stream::kCollector, lab);
+      faultsim::FaultPlan plan = config.fault_plan;
+      plan.seed = util::DeriveSeed(config.fault_plan.seed,
+                                   util::seed_stream::kFaults, lab);
+      faultsim::FaultInjector injector(plan, collector.metrics);
+      if (injector.active()) {
+        injector.BindFleet(fleet);
+        collector.faults = &injector;
+      }
+      auto advance = [&driver](util::SimTime t) {
+        obs::prof::SampledPhaseScope prof_scope(obs::prof::Phase::kSimulate);
+        driver.AdvanceTo(t);
+      };
+      ddc::Coordinator coordinator(fleet, probe, collector, sink, advance);
+      const ddc::RunStats stats = coordinator.Run(0, config.campus.EndTime());
+      driver.FinishAt(config.campus.EndTime());
+      sink.Flush();
+      if (!sink.error().empty()) {
+        record_error(sink.error());
+        return;
+      }
+
+      LabCheckpoint& cp = checkpoints[lab];
+      cp.stats.attempts = stats.attempts;
+      cp.stats.successes = stats.successes;
+      cp.stats.timeouts = stats.timeouts;
+      cp.stats.errors = stats.errors;
+      cp.stats.missing = stats.missing;
+      cp.stats.corrupt = stats.corrupt;
+      cp.stats.recovered_after_retry = stats.recovered_after_retry;
+      cp.stats.retry_attempts = stats.retry_attempts;
+      cp.stats.retried_collections = stats.retried_collections;
+      cp.stats.faults_injected = stats.faults_injected;
+      cp.truth = driver.ground_truth();
+      cp.parse_failures = sink.inner().parse_failures();
+      cp.crosscheck_mismatches = sink.inner().crosscheck_mismatches();
+      cp.blocks = sink.blocks_sealed();
+
+      if (spill) {
+        if (auto finished = writer->Finish(); !finished.ok()) {
+          record_error(finished.error());
+          return;
+        }
+        if (!WriteSidecar(SidecarPath(options.spill_dir, lab), fingerprint,
+                          lab, cp)) {
+          // A failed sidecar only costs a re-simulation on resume.
+          util::log::Warn("checkpoint sidecar write failed for lab " +
+                          std::to_string(lab));
+        }
+      }
+    };
+    util::ParallelFor(lab_count, run_lab, workers);
+  }
+  if (!result.errors.empty()) return result;
+
+  for (const LabCheckpoint& cp : checkpoints) {
+    result.run_stats.attempts += cp.stats.attempts;
+    result.run_stats.successes += cp.stats.successes;
+    result.run_stats.timeouts += cp.stats.timeouts;
+    result.run_stats.errors += cp.stats.errors;
+    result.run_stats.missing += cp.stats.missing;
+    result.run_stats.corrupt += cp.stats.corrupt;
+    result.run_stats.recovered_after_retry += cp.stats.recovered_after_retry;
+    result.run_stats.retry_attempts += cp.stats.retry_attempts;
+    result.run_stats.retried_collections += cp.stats.retried_collections;
+    result.run_stats.faults_injected += cp.stats.faults_injected;
+    result.ground_truth += cp.truth;
+    result.parse_failures += cp.parse_failures;
+    result.crosscheck_mismatches += cp.crosscheck_mismatches;
+  }
+  if (result.crosscheck_mismatches != 0) {
+    util::log::Warn(std::to_string(result.crosscheck_mismatches) +
+                    " structured/text cross-check mismatches — the fast-path "
+                    "codec diverged from the wire format");
+  }
+
+  result.hardware = fleet.HardwareTotals();
+  result.perf_index.reserve(machine_count);
+  for (std::size_t i = 0; i < machine_count; ++i) {
+    result.perf_index.push_back(fleet.machine(i).spec().CombinedIndex());
+  }
+  std::vector<analysis::LabKey> keys;
+  for (const auto& lab : fleet.labs()) {
+    const auto& spec = fleet.machine(lab.first).spec();
+    LabSummary summary;
+    summary.name = lab.name;
+    summary.machine_count = lab.count;
+    summary.cpu_model = spec.cpu_model;
+    summary.cpu_ghz = spec.cpu_ghz;
+    summary.ram_mb = spec.ram_mb;
+    summary.disk_gb = spec.disk_gb;
+    summary.int_index = spec.int_index;
+    summary.fp_index = spec.fp_index;
+    result.labs.push_back(std::move(summary));
+    keys.push_back(analysis::LabKey{lab.name, lab.first, lab.count});
+  }
+
+  // Merge + fold: re-stream every lab, merge iteration-major and fold the
+  // merged blocks into the incremental analysis as they seal. The stream
+  // hash fingerprints the merged sample sequence for determinism checks.
+  analysis::StreamingAnalysisConfig fold_config;
+  fold_config.machine_count = machine_count;
+  fold_config.perf_index = result.perf_index;
+  fold_config.labs = std::move(keys);
+  fold_config.experiment_days = config.campus.days;
+  analysis::StreamingAnalysis fold(std::move(fold_config));
+
+  std::unique_ptr<analysis::AnomalyDetector> detector;
+  if (options.anomaly_threshold > 0.0) {
+    analysis::AnomalyOptions anomaly_options;
+    anomaly_options.threshold = options.anomaly_threshold;
+    anomaly_options.min_samples = options.anomaly_min_samples;
+    detector = std::make_unique<analysis::AnomalyDetector>(
+        machine_count, anomaly_options, options.anomaly_writer);
+    fold.AttachAnomalyDetector(detector.get());
+  }
+
+  trace::StreamMergeResult merged;
+  std::uint64_t stream_hash = trace::kSampleStreamHashSeed;
+  {
+    obs::Span merge_span("experiment.stream_merge");
+    obs::prof::PhaseScope prof_merge(obs::prof::Phase::kMerge);
+    std::vector<trace::SegmentReader> segment_readers;
+    std::vector<trace::BlockVectorReader> block_readers;
+    std::vector<trace::TraceReader*> parts;
+    parts.reserve(lab_count);
+    if (spill) {
+      segment_readers.reserve(lab_count);
+      for (std::size_t lab = 0; lab < lab_count; ++lab) {
+        auto opened =
+            trace::SegmentReader::Open(SegmentPath(options.spill_dir, lab));
+        if (!opened.ok()) {
+          record_error(opened.error());
+          return result;
+        }
+        segment_readers.push_back(std::move(opened).value());
+      }
+      for (auto& reader : segment_readers) parts.push_back(&reader);
+    } else {
+      block_readers.reserve(lab_count);
+      for (std::size_t lab = 0; lab < lab_count; ++lab) {
+        block_readers.emplace_back(lab_blocks[lab]);
+      }
+      for (auto& reader : block_readers) parts.push_back(&reader);
+    }
+
+    merged = trace::StreamMergeBlocks(
+        parts, machine_count, options.block_samples,
+        [&](const trace::TraceBlock& block) {
+          stream_hash = trace::HashBlockSamples(stream_hash, block);
+          fold.Accept(block);
+        });
+    for (auto& reader : segment_readers) {
+      if (reader.failed()) record_error(reader.error());
+    }
+    if (!result.errors.empty()) return result;
+  }
+
+  result.summary = trace::TraceStore(machine_count);
+  for (const trace::IterationInfo& info : merged.iterations) {
+    result.summary.AppendIteration(info);
+  }
+  result.samples = merged.samples;
+  result.merged_blocks = merged.blocks;
+  result.stream_hash = stream_hash;
+
+  // Iteration aggregates, exactly as Experiment::Run computes them.
+  {
+    double sum_s = 0.0;
+    for (const trace::IterationInfo& it : result.summary.iterations()) {
+      const double duration = static_cast<double>(it.end_t - it.start_t);
+      sum_s += duration;
+      result.run_stats.max_iteration_s =
+          std::max(result.run_stats.max_iteration_s, duration);
+    }
+    const std::size_t n = result.summary.iterations().size();
+    result.run_stats.iterations = n;
+    result.run_stats.mean_iteration_s =
+        n ? sum_s / static_cast<double>(n) : 0.0;
+    result.run_stats.total_span_s =
+        n ? static_cast<double>(result.summary.iterations().back().end_t)
+          : 0.0;
+  }
+
+  result.analysis = fold.Finish(result.summary);
+  if (detector) {
+    result.anomalies = detector->anomalies();
+    result.anomaly_observations = detector->observations();
+  }
+
+  util::log::Info("streamed " + std::to_string(result.samples) +
+                  " samples in " + std::to_string(result.merged_blocks) +
+                  " merged blocks over " +
+                  std::to_string(result.run_stats.iterations) + " iterations");
+  return result;
+}
+
+}  // namespace labmon::core

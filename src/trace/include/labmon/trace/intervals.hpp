@@ -59,7 +59,66 @@ struct IntervalOptions {
   return class_a == LoginClass::kWithLogin ? class_a : class_b;
 }
 
+/// The per-sample fields interval emission reads — a value form of one
+/// endpoint, so stream folds that no longer hold the closing sample's
+/// column index (the previous block is gone) can still emit intervals
+/// through the exact same arithmetic as the materialised path.
+struct IntervalEndpoint {
+  std::int64_t t = 0;
+  std::int64_t boot_time = 0;
+  std::int64_t uptime_s = 0;
+  double cpu_idle_s = 0.0;
+  std::uint64_t net_sent_b = 0;
+  std::uint64_t net_recv_b = 0;
+};
+
 namespace detail {
+
+/// The one interval-emission core: evaluates the interval between two
+/// consecutive same-machine endpoints and invokes `fn` when the pair is
+/// valid. `classify()` supplies the login class lazily (only valid
+/// intervals pay for it). Both the index-based materialised path and the
+/// value-based streaming path funnel through this function, so the
+/// emitted doubles are bit-identical by construction. start/end_index are
+/// left at 0 — index-carrying callers fill them in their wrapper.
+template <typename Classify, typename Fn>
+inline void EmitIntervalFromEndpoints(const IntervalEndpoint& a,
+                                      const IntervalEndpoint& b,
+                                      std::uint32_t machine,
+                                      const IntervalOptions& options,
+                                      Classify&& classify, Fn&& fn) {
+  if (a.boot_time != b.boot_time) return;  // reboot in between
+  if (b.uptime_s <= a.uptime_s) return;    // same-boot sanity
+  const std::int64_t dt = b.t - a.t;
+  if (dt <= 0 || dt > options.max_interval_s) return;
+
+  SampleInterval interval;
+  interval.machine = machine;
+  interval.start_t = a.t;
+  interval.end_t = b.t;
+  interval.cpu_idle_pct = std::clamp(
+      (b.cpu_idle_s - a.cpu_idle_s) / static_cast<double>(dt) * 100.0, 0.0,
+      100.0);
+  // NIC counters reset at boot and only grow within an epoch; guard
+  // against decreasing totals anyway (counter wrap on real hardware).
+  interval.sent_bps = b.net_sent_b >= a.net_sent_b
+                          ? static_cast<double>(b.net_sent_b - a.net_sent_b) /
+                                static_cast<double>(dt)
+                          : 0.0;
+  interval.recv_bps = b.net_recv_b >= a.net_recv_b
+                          ? static_cast<double>(b.net_recv_b - a.net_recv_b) /
+                                static_cast<double>(dt)
+                          : 0.0;
+  interval.login_class = classify();
+  fn(interval);
+}
+
+/// Loads one endpoint's fields out of the columnar store.
+[[nodiscard]] inline IntervalEndpoint LoadEndpoint(
+    const TraceStore::Columns& c, std::uint32_t i) noexcept {
+  return IntervalEndpoint{c.t[i],          c.boot_time[i],  c.uptime_s[i],
+                          c.cpu_idle_s[i], c.net_sent_b[i], c.net_recv_b[i]};
+}
 
 /// Evaluates the interval between the consecutive same-machine samples at
 /// column indices `ia` < `ib`; invokes `fn` when the pair forms a valid
@@ -74,34 +133,14 @@ inline void EmitIntervalClassified(const TraceStore::Columns& c,
                                    std::uint32_t ib,
                                    const IntervalOptions& options,
                                    Classify&& classify, Fn&& fn) {
-  if (c.boot_time[ia] != c.boot_time[ib]) return;  // reboot in between
-  if (c.uptime_s[ib] <= c.uptime_s[ia]) return;    // same-boot sanity
-  const std::int64_t dt = c.t[ib] - c.t[ia];
-  if (dt <= 0 || dt > options.max_interval_s) return;
-
-  SampleInterval interval;
-  interval.machine = machine;
-  interval.start_index = ia;
-  interval.end_index = ib;
-  interval.start_t = c.t[ia];
-  interval.end_t = c.t[ib];
-  interval.cpu_idle_pct = std::clamp(
-      (c.cpu_idle_s[ib] - c.cpu_idle_s[ia]) / static_cast<double>(dt) * 100.0,
-      0.0, 100.0);
-  // NIC counters reset at boot and only grow within an epoch; guard
-  // against decreasing totals anyway (counter wrap on real hardware).
-  interval.sent_bps =
-      c.net_sent_b[ib] >= c.net_sent_b[ia]
-          ? static_cast<double>(c.net_sent_b[ib] - c.net_sent_b[ia]) /
-                static_cast<double>(dt)
-          : 0.0;
-  interval.recv_bps =
-      c.net_recv_b[ib] >= c.net_recv_b[ia]
-          ? static_cast<double>(c.net_recv_b[ib] - c.net_recv_b[ia]) /
-                static_cast<double>(dt)
-          : 0.0;
-  interval.login_class = classify(ia, ib);
-  fn(interval);
+  EmitIntervalFromEndpoints(
+      LoadEndpoint(c, ia), LoadEndpoint(c, ib), machine, options,
+      [&] { return classify(ia, ib); },
+      [&](SampleInterval interval) {
+        interval.start_index = ia;
+        interval.end_index = ib;
+        fn(interval);
+      });
 }
 
 /// EmitIntervalClassified with the default classifier (re-derives the

@@ -1,0 +1,95 @@
+// On-disk trace segments ("LMSG1") — the spill format of the streaming
+// pipeline.
+//
+// A segment is a header plus a sequence of length-prefixed, checksummed
+// blocks; each block payload is a complete LMTR1 trace (binary_io) holding
+// that block's samples, its *block-local* user table and the iteration
+// metadata the block covers. Blocks are therefore fully self-contained:
+// delta state never crosses a block boundary, so a partially-written
+// segment is readable up to its last complete block and a resumed
+// campaign can re-stream spilled labs without any sidecar decoder state.
+//
+// Layout:
+//   magic "LMSG1"
+//   varint version (1), varint machine_count
+//   per block: varint payload_len, payload (LMTR1 bytes),
+//              8-byte LE FNV-1a checksum of the payload
+//
+// Truncation anywhere inside a block, or a checksum/LMTR1 parse failure,
+// surfaces as a read error (never as silently-short data).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "labmon/trace/block.hpp"
+#include "labmon/util/expected.hpp"
+
+namespace labmon::trace {
+
+class SegmentWriter {
+ public:
+  /// Opens (truncates) `path` and writes the segment header.
+  [[nodiscard]] static util::Result<SegmentWriter> Open(
+      const std::string& path, std::size_t machine_count);
+
+  SegmentWriter(SegmentWriter&&) = default;
+  SegmentWriter& operator=(SegmentWriter&&) = default;
+
+  /// Appends one sealed block: `block_store` must hold the block's samples,
+  /// its own (block-local) user table and its iteration rows.
+  [[nodiscard]] util::Result<bool> Append(const TraceStore& block_store);
+
+  /// Flushes and closes; returns an error if any write failed.
+  [[nodiscard]] util::Result<bool> Finish();
+
+  [[nodiscard]] std::uint64_t blocks() const noexcept { return blocks_; }
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept {
+    return bytes_written_;
+  }
+
+ private:
+  SegmentWriter() = default;
+
+  std::ofstream out_;
+  std::string path_;
+  std::uint64_t blocks_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+/// Streams the blocks of a segment file back. A failed read (truncation,
+/// checksum mismatch, payload parse error) ends the stream with
+/// `failed()` true and a diagnostic in `error()` — callers must check
+/// after Next() returns nullptr.
+class SegmentReader final : public TraceReader {
+ public:
+  [[nodiscard]] static util::Result<SegmentReader> Open(
+      const std::string& path);
+
+  SegmentReader(SegmentReader&&) = default;
+  SegmentReader& operator=(SegmentReader&&) = default;
+
+  const TraceBlock* Next() override;
+  void Reset() override;
+
+  [[nodiscard]] bool failed() const noexcept { return !error_.empty(); }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  [[nodiscard]] std::size_t machine_count() const noexcept {
+    return machine_count_;
+  }
+
+ private:
+  SegmentReader() = default;
+
+  std::ifstream in_;
+  std::string path_;
+  std::size_t machine_count_ = 0;
+  std::uint64_t next_iteration_ = 0;
+  std::streampos first_block_pos_;
+  std::string error_;
+  std::string payload_;
+  TraceBlock scratch_;
+};
+
+}  // namespace labmon::trace

@@ -69,6 +69,33 @@ class TraceStore {
     std::vector<std::uint32_t> user_id;       ///< kNoUser when no session
   };
 
+  /// Visits every column of `Columns` as a member pointer, in the canonical
+  /// (wire/append) order. The single source of truth for "what columns
+  /// exist": Reserve, AppendFrom, the block/segment codecs and the stream
+  /// hash all iterate this list, so adding a column here updates every
+  /// column-generic path at once instead of hand-maintained copies.
+  template <typename Visitor>
+  static constexpr void ForEachColumn(Visitor&& v) {
+    v(&Columns::machine);
+    v(&Columns::iteration);
+    v(&Columns::t);
+    v(&Columns::boot_time);
+    v(&Columns::uptime_s);
+    v(&Columns::cpu_idle_s);
+    v(&Columns::ram_mb);
+    v(&Columns::mem_load_pct);
+    v(&Columns::swap_load_pct);
+    v(&Columns::disk_total_b);
+    v(&Columns::disk_free_b);
+    v(&Columns::smart_power_on_hours);
+    v(&Columns::smart_power_cycles);
+    v(&Columns::net_sent_b);
+    v(&Columns::net_recv_b);
+    v(&Columns::has_session);
+    v(&Columns::session_logon);
+    v(&Columns::user_id);
+  }
+
   explicit TraceStore(std::size_t machine_count = 0)
       : machine_count_(machine_count) {}
 
@@ -91,6 +118,12 @@ class TraceStore {
   /// the row gather + string re-intern of Append; the resulting store is
   /// byte-identical to appending the gathered SampleRecord.
   void AppendFrom(const Columns& src, std::size_t i, std::uint32_t user_id);
+
+  /// Drops all samples, iterations and interned users but keeps the
+  /// machine count — the spilling sink's "seal a block, start the next"
+  /// reset. Column capacity is retained so steady-state block collection
+  /// does not re-allocate.
+  void ClearSamples();
 
   [[nodiscard]] std::size_t machine_count() const noexcept {
     return machine_count_;

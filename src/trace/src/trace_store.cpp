@@ -9,24 +9,7 @@
 namespace labmon::trace {
 
 void TraceStore::Reserve(std::size_t samples) {
-  columns_.machine.reserve(samples);
-  columns_.iteration.reserve(samples);
-  columns_.t.reserve(samples);
-  columns_.boot_time.reserve(samples);
-  columns_.uptime_s.reserve(samples);
-  columns_.cpu_idle_s.reserve(samples);
-  columns_.ram_mb.reserve(samples);
-  columns_.mem_load_pct.reserve(samples);
-  columns_.swap_load_pct.reserve(samples);
-  columns_.disk_total_b.reserve(samples);
-  columns_.disk_free_b.reserve(samples);
-  columns_.smart_power_on_hours.reserve(samples);
-  columns_.smart_power_cycles.reserve(samples);
-  columns_.net_sent_b.reserve(samples);
-  columns_.net_recv_b.reserve(samples);
-  columns_.has_session.reserve(samples);
-  columns_.session_logon.reserve(samples);
-  columns_.user_id.reserve(samples);
+  ForEachColumn([&](auto member) { (columns_.*member).reserve(samples); });
 }
 
 std::uint32_t TraceStore::InternUser(const std::string& user) {
@@ -69,29 +52,24 @@ void TraceStore::AppendFrom(const Columns& src, std::size_t i,
                             std::uint32_t user_id) {
   const auto index = static_cast<std::uint32_t>(size());
   const std::uint32_t machine = src.machine[i];
-  columns_.machine.push_back(machine);
-  columns_.iteration.push_back(src.iteration[i]);
-  columns_.t.push_back(src.t[i]);
-  columns_.boot_time.push_back(src.boot_time[i]);
-  columns_.uptime_s.push_back(src.uptime_s[i]);
-  columns_.cpu_idle_s.push_back(src.cpu_idle_s[i]);
-  columns_.ram_mb.push_back(src.ram_mb[i]);
-  columns_.mem_load_pct.push_back(src.mem_load_pct[i]);
-  columns_.swap_load_pct.push_back(src.swap_load_pct[i]);
-  columns_.disk_total_b.push_back(src.disk_total_b[i]);
-  columns_.disk_free_b.push_back(src.disk_free_b[i]);
-  columns_.smart_power_on_hours.push_back(src.smart_power_on_hours[i]);
-  columns_.smart_power_cycles.push_back(src.smart_power_cycles[i]);
-  columns_.net_sent_b.push_back(src.net_sent_b[i]);
-  columns_.net_recv_b.push_back(src.net_recv_b[i]);
-  const bool session = src.has_session[i] != 0;
-  columns_.has_session.push_back(session ? 1 : 0);
-  columns_.session_logon.push_back(session ? src.session_logon[i] : 0);
-  columns_.user_id.push_back(session ? user_id : kNoUser);
+  // Generic column-to-column copy; only user_id needs the caller's
+  // translation (and a canonical kNoUser for session-free rows — source
+  // stores built through Append already hold canonical session_logon).
+  ForEachColumn(
+      [&](auto member) { (columns_.*member).push_back((src.*member)[i]); });
+  columns_.user_id.back() = src.has_session[i] != 0 ? user_id : kNoUser;
   if (machine >= per_machine_.size()) {
     per_machine_.resize(std::max<std::size_t>(machine + 1, machine_count_));
   }
   per_machine_[machine].push_back(index);
+}
+
+void TraceStore::ClearSamples() {
+  ForEachColumn([&](auto member) { (columns_.*member).clear(); });
+  iterations_.clear();
+  users_.clear();
+  user_ids_.clear();
+  for (auto& index : per_machine_) index.clear();
 }
 
 void TraceStore::AppendIteration(IterationInfo info) {

@@ -1,0 +1,108 @@
+#include "labmon/analysis/anomaly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "labmon/obs/jsonl.hpp"
+#include "labmon/trace/block.hpp"
+
+namespace labmon::analysis {
+namespace {
+
+TEST(AnomalyDetectorTest, WarmupSuppressesEarlyOutliers) {
+  AnomalyOptions options;
+  options.threshold = 3.0;
+  options.min_samples = 32;
+  AnomalyDetector detector(1, options);
+  // A wild first value must not fire: no baseline exists yet.
+  detector.OnSample(0, 0, 100.0);
+  for (int i = 1; i < 31; ++i) {
+    detector.OnSample(i * 900, 0, 40.0 + (i % 3));
+  }
+  EXPECT_EQ(detector.anomalies(), 0u);
+  EXPECT_EQ(detector.observations(), 31u);
+}
+
+TEST(AnomalyDetectorTest, SpikeAfterWarmupFires) {
+  AnomalyOptions options;
+  options.threshold = 4.0;
+  options.min_samples = 8;
+  AnomalyDetector detector(2, options);
+  for (int i = 0; i < 64; ++i) {
+    detector.OnSample(i * 900, 0, 40.0 + (i % 3));  // tight band around 41
+  }
+  EXPECT_EQ(detector.anomalies(), 0u);
+  detector.OnSample(64 * 900, 0, 99.0);  // far outside the band
+  EXPECT_EQ(detector.anomalies(), 1u);
+  // The other machine keeps its own baseline: same value, no history.
+  detector.OnSample(64 * 900, 1, 99.0);
+  EXPECT_EQ(detector.anomalies(), 1u);
+}
+
+TEST(AnomalyDetectorTest, ConstantSignalNeverFires) {
+  AnomalyDetector detector(1, {4.0, 8});
+  for (int i = 0; i < 100; ++i) {
+    detector.OnSample(i * 900, 0, 50.0);  // stddev stays zero
+  }
+  EXPECT_EQ(detector.anomalies(), 0u);
+}
+
+TEST(AnomalyDetectorTest, EmitsJsonlRecordWithAllFields) {
+  std::ostringstream out;
+  obs::JsonlWriter writer(out);
+  AnomalyOptions options;
+  options.threshold = 4.0;
+  options.min_samples = 8;
+  AnomalyDetector detector(1, options, &writer);
+  for (int i = 0; i < 32; ++i) {
+    detector.OnInterval(i * 900, 0, 90.0 + (i % 2));
+  }
+  detector.OnInterval(32 * 900, 0, 1.5);
+  ASSERT_EQ(detector.anomalies(), 1u);
+  const std::string line = out.str();
+  EXPECT_NE(line.find("\"type\":\"anomaly\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"metric\":\"cpu_idle_pct\""), std::string::npos);
+  EXPECT_NE(line.find("\"machine\":0"), std::string::npos);
+  EXPECT_NE(line.find("\"t\":28800"), std::string::npos);
+  EXPECT_NE(line.find("\"z\":"), std::string::npos);
+  EXPECT_NE(line.find("\"mean\":"), std::string::npos);
+  EXPECT_NE(line.find("\"stddev\":"), std::string::npos);
+  EXPECT_NE(line.find("\"value\":"), std::string::npos);
+}
+
+TEST(AnomalyDetectorTest, OutOfRangeMachineIgnored) {
+  AnomalyDetector detector(1, {4.0, 1});
+  detector.OnSample(0, 7, 50.0);
+  detector.OnInterval(0, 7, 50.0);
+  EXPECT_EQ(detector.observations(), 0u);
+}
+
+TEST(ScanForAnomaliesTest, SeesEverySampleAndDerivesIntervals) {
+  trace::TraceStore store(1);
+  for (int i = 0; i < 50; ++i) {
+    trace::SampleRecord r;
+    r.machine = 0;
+    r.iteration = static_cast<std::uint32_t>(i);
+    r.t = 900 * (i + 1);
+    r.boot_time = 100;
+    r.uptime_s = r.t - r.boot_time;
+    r.cpu_idle_s = 810.0 * (i + 1) + (i % 4);  // idle ~90%, slight jitter
+    // Memory load sits in a tight band, then spikes at the end — the
+    // detector must flag the spike.
+    r.mem_load_pct = (i < 49) ? 40 + (i % 2) : 97;
+    r.disk_total_b = 1000;
+    r.disk_free_b = 500;
+    store.Append(r);
+  }
+  AnomalyDetector detector(1, {4.0, 8});
+  trace::StoreReader reader(store, 16);
+  const std::uint64_t fired = ScanForAnomalies(reader, 1, detector);
+  // 50 samples + 49 derived intervals, every one observed exactly once.
+  EXPECT_EQ(detector.observations(), 99u);
+  EXPECT_GE(fired, 1u);
+}
+
+}  // namespace
+}  // namespace labmon::analysis

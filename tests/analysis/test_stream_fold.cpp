@@ -1,0 +1,280 @@
+// Streaming fold parity: StreamingAnalysis fed block-by-block must be
+// BIT-IDENTICAL (EXPECT_EQ on doubles, not near) to the materialised
+// AnalysisPipeline over the same merged trace — the acceptance bar for
+// the streaming pipeline. Blocks are cut at several sizes to prove block
+// boundaries cannot shift any result.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "labmon/analysis/passes.hpp"
+#include "labmon/analysis/pipeline.hpp"
+#include "labmon/analysis/stream_fold.hpp"
+#include "labmon/core/experiment.hpp"
+#include "labmon/trace/block.hpp"
+#include "labmon/trace/derived_trace.hpp"
+
+namespace labmon::analysis {
+namespace {
+
+const core::ExperimentResult& GoldenResult() {
+  static const core::ExperimentResult result = [] {
+    core::ExperimentConfig config;
+    config.campus.days = 3;
+    config.campus.seed = 20050201;
+    return core::Experiment::Run(config);
+  }();
+  return result;
+}
+
+std::vector<LabKey> GoldenLabs() {
+  std::vector<LabKey> keys;
+  std::size_t first = 0;
+  for (const auto& lab : GoldenResult().labs) {
+    keys.push_back(LabKey{lab.name, first, lab.machine_count});
+    first += lab.machine_count;
+  }
+  return keys;
+}
+
+/// The materialised pipeline with Report's wiring.
+struct MaterialisedRun {
+  MaterialisedRun()
+      : derived(GoldenResult().trace, trace::DerivedTraceOptions{}),
+        pipeline(PipelineOptions{1, 8, nullptr}),
+        table2(pipeline.Emplace<AggregatePass>()),
+        availability(pipeline.Emplace<AvailabilityPass>()),
+        session_hours(pipeline.Emplace<SessionHoursPass>()),
+        weekly(pipeline.Emplace<WeeklyPass>()),
+        equivalence(pipeline.Emplace<EquivalencePass>(
+            GoldenResult().perf_index, 15, trace::kNoForgottenThreshold)),
+        stability(pipeline.Emplace<StabilityPass>(GoldenResult().days)),
+        per_lab(pipeline.Emplace<PerLabPass>(GoldenLabs())),
+        capacity(pipeline.Emplace<CapacityPass>()) {
+    pipeline.Run(derived);
+  }
+
+  trace::DerivedTrace derived;
+  AnalysisPipeline pipeline;
+  AggregatePass& table2;
+  AvailabilityPass& availability;
+  SessionHoursPass& session_hours;
+  WeeklyPass& weekly;
+  EquivalencePass& equivalence;
+  StabilityPass& stability;
+  PerLabPass& per_lab;
+  CapacityPass& capacity;
+};
+
+const MaterialisedRun& Materialised() {
+  static const MaterialisedRun run;
+  return run;
+}
+
+StreamingAnalysisResult RunStreamed(std::size_t block_samples) {
+  const auto& trace = GoldenResult().trace;
+  StreamingAnalysisConfig config;
+  config.machine_count = trace.machine_count();
+  config.perf_index = GoldenResult().perf_index;
+  config.labs = GoldenLabs();
+  config.experiment_days = GoldenResult().days;
+  StreamingAnalysis fold(std::move(config));
+  trace::StoreReader reader(trace, block_samples);
+  while (const trace::TraceBlock* block = reader.Next()) {
+    fold.Accept(*block);
+  }
+  trace::TraceStore summary(trace.machine_count());
+  for (const auto& info : trace.iterations()) summary.AppendIteration(info);
+  return fold.Finish(summary);
+}
+
+void ExpectSameWeekly(const stats::WeeklyProfile& a,
+                      const stats::WeeklyProfile& b) {
+  ASSERT_EQ(a.bin_count(), b.bin_count());
+  for (std::size_t i = 0; i < a.bin_count(); ++i) {
+    EXPECT_EQ(a.Bin(i).count(), b.Bin(i).count());
+    EXPECT_EQ(a.Mean(i), b.Mean(i));  // bit-identical, not near
+  }
+}
+
+void ExpectSameColumn(const Table2Column& a, const Table2Column& b) {
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_EQ(a.uptime_pct, b.uptime_pct);
+  EXPECT_EQ(a.cpu_idle_pct, b.cpu_idle_pct);
+  EXPECT_EQ(a.ram_load_pct, b.ram_load_pct);
+  EXPECT_EQ(a.swap_load_pct, b.swap_load_pct);
+  EXPECT_EQ(a.disk_used_gb, b.disk_used_gb);
+  EXPECT_EQ(a.sent_bps, b.sent_bps);
+  EXPECT_EQ(a.recv_bps, b.recv_bps);
+}
+
+void ExpectResultMatchesMaterialised(const StreamingAnalysisResult& streamed) {
+  const auto& m = Materialised();
+
+  const auto& table2 = m.table2.result();
+  EXPECT_EQ(streamed.table2.total_attempts, table2.total_attempts);
+  EXPECT_EQ(streamed.table2.iterations, table2.iterations);
+  EXPECT_EQ(streamed.table2.raw_login_samples, table2.raw_login_samples);
+  EXPECT_EQ(streamed.table2.reclassified_samples,
+            table2.reclassified_samples);
+  ExpectSameColumn(streamed.table2.no_login, table2.no_login);
+  ExpectSameColumn(streamed.table2.with_login, table2.with_login);
+  ExpectSameColumn(streamed.table2.both, table2.both);
+
+  const auto& avail = m.availability.result();
+  ASSERT_EQ(streamed.availability.series.powered_on.size(),
+            avail.series.powered_on.size());
+  for (std::size_t i = 0; i < avail.series.powered_on.size(); ++i) {
+    EXPECT_EQ(streamed.availability.series.powered_on[i].t,
+              avail.series.powered_on[i].t);
+    EXPECT_EQ(streamed.availability.series.powered_on[i].value,
+              avail.series.powered_on[i].value);
+    EXPECT_EQ(streamed.availability.series.user_free[i].value,
+              avail.series.user_free[i].value);
+  }
+  EXPECT_EQ(streamed.availability.series.mean_powered_on,
+            avail.series.mean_powered_on);
+  EXPECT_EQ(streamed.availability.series.mean_user_free,
+            avail.series.mean_user_free);
+  ASSERT_EQ(streamed.availability.ranking.entries.size(),
+            avail.ranking.entries.size());
+  for (std::size_t i = 0; i < avail.ranking.entries.size(); ++i) {
+    EXPECT_EQ(streamed.availability.ranking.entries[i].machine,
+              avail.ranking.entries[i].machine);
+    EXPECT_EQ(streamed.availability.ranking.entries[i].uptime_ratio,
+              avail.ranking.entries[i].uptime_ratio);
+    EXPECT_EQ(streamed.availability.ranking.entries[i].nines,
+              avail.ranking.entries[i].nines);
+  }
+  ASSERT_EQ(streamed.availability.session_lengths.histogram.bin_count(),
+            avail.session_lengths.histogram.bin_count());
+  for (std::size_t i = 0; i < avail.session_lengths.histogram.bin_count();
+       ++i) {
+    EXPECT_EQ(streamed.availability.session_lengths.histogram.count(i),
+              avail.session_lengths.histogram.count(i));
+  }
+  EXPECT_EQ(streamed.availability.session_lengths.total_sessions,
+            avail.session_lengths.total_sessions);
+  EXPECT_EQ(streamed.availability.session_lengths.mean_hours,
+            avail.session_lengths.mean_hours);
+  EXPECT_EQ(streamed.availability.session_lengths.stddev_hours,
+            avail.session_lengths.stddev_hours);
+
+  const auto& hours = m.session_hours.result();
+  ASSERT_EQ(streamed.session_hours.bins.size(), hours.bins.size());
+  for (std::size_t i = 0; i < hours.bins.size(); ++i) {
+    EXPECT_EQ(streamed.session_hours.bins[i].samples, hours.bins[i].samples);
+    EXPECT_EQ(streamed.session_hours.bins[i].mean_cpu_idle_pct,
+              hours.bins[i].mean_cpu_idle_pct);
+  }
+  EXPECT_EQ(streamed.session_hours.first_bin_above_99,
+            hours.first_bin_above_99);
+
+  const auto& weekly = m.weekly.result();
+  ExpectSameWeekly(streamed.weekly.cpu_idle_pct, weekly.cpu_idle_pct);
+  ExpectSameWeekly(streamed.weekly.ram_load_pct, weekly.ram_load_pct);
+  ExpectSameWeekly(streamed.weekly.swap_load_pct, weekly.swap_load_pct);
+  ExpectSameWeekly(streamed.weekly.sent_bps, weekly.sent_bps);
+  ExpectSameWeekly(streamed.weekly.recv_bps, weekly.recv_bps);
+  EXPECT_EQ(streamed.weekly.min_cpu_idle_pct, weekly.min_cpu_idle_pct);
+  EXPECT_EQ(streamed.weekly.min_cpu_idle_when, weekly.min_cpu_idle_when);
+  EXPECT_EQ(streamed.weekly.closed_hours_cpu_idle,
+            weekly.closed_hours_cpu_idle);
+
+  const auto& eq = m.equivalence.result();
+  ExpectSameWeekly(streamed.equivalence.weekly_occupied, eq.weekly_occupied);
+  ExpectSameWeekly(streamed.equivalence.weekly_free, eq.weekly_free);
+  ExpectSameWeekly(streamed.equivalence.weekly_total, eq.weekly_total);
+  EXPECT_EQ(streamed.equivalence.mean_occupied, eq.mean_occupied);
+  EXPECT_EQ(streamed.equivalence.mean_free, eq.mean_free);
+  EXPECT_EQ(streamed.equivalence.mean_total, eq.mean_total);
+
+  const auto& stab = m.stability.result();
+  EXPECT_EQ(streamed.stability.sessions.session_count,
+            stab.sessions.session_count);
+  EXPECT_EQ(streamed.stability.sessions.mean_hours, stab.sessions.mean_hours);
+  EXPECT_EQ(streamed.stability.sessions.stddev_hours,
+            stab.sessions.stddev_hours);
+  EXPECT_EQ(streamed.stability.smart.experiment_cycles,
+            stab.smart.experiment_cycles);
+  EXPECT_EQ(streamed.stability.smart.cycles_per_machine_mean,
+            stab.smart.cycles_per_machine_mean);
+  EXPECT_EQ(streamed.stability.smart.experiment_hours_per_cycle_mean,
+            stab.smart.experiment_hours_per_cycle_mean);
+  EXPECT_EQ(streamed.stability.smart.life_hours_per_cycle_mean,
+            stab.smart.life_hours_per_cycle_mean);
+
+  const auto& per_lab = m.per_lab.result();
+  ASSERT_EQ(streamed.per_lab.usage.size(), per_lab.usage.size());
+  for (std::size_t i = 0; i < per_lab.usage.size(); ++i) {
+    EXPECT_EQ(streamed.per_lab.usage[i].name, per_lab.usage[i].name);
+    EXPECT_EQ(streamed.per_lab.usage[i].samples, per_lab.usage[i].samples);
+    EXPECT_EQ(streamed.per_lab.usage[i].uptime_pct,
+              per_lab.usage[i].uptime_pct);
+    EXPECT_EQ(streamed.per_lab.usage[i].occupied_pct,
+              per_lab.usage[i].occupied_pct);
+    EXPECT_EQ(streamed.per_lab.usage[i].cpu_idle_pct,
+              per_lab.usage[i].cpu_idle_pct);
+    EXPECT_EQ(streamed.per_lab.usage[i].ram_load_pct,
+              per_lab.usage[i].ram_load_pct);
+    EXPECT_EQ(streamed.per_lab.usage[i].free_disk_gb,
+              per_lab.usage[i].free_disk_gb);
+  }
+  EXPECT_EQ(streamed.per_lab.headroom.cpu_idle_pct,
+            per_lab.headroom.cpu_idle_pct);
+  EXPECT_EQ(streamed.per_lab.headroom.unused_ram_gb_fleet,
+            per_lab.headroom.unused_ram_gb_fleet);
+  ASSERT_EQ(streamed.per_lab.headroom.by_ram_class.size(),
+            per_lab.headroom.by_ram_class.size());
+  for (std::size_t i = 0; i < per_lab.headroom.by_ram_class.size(); ++i) {
+    EXPECT_EQ(streamed.per_lab.headroom.by_ram_class[i].ram_mb,
+              per_lab.headroom.by_ram_class[i].ram_mb);
+    EXPECT_EQ(streamed.per_lab.headroom.by_ram_class[i].samples,
+              per_lab.headroom.by_ram_class[i].samples);
+    EXPECT_EQ(streamed.per_lab.headroom.by_ram_class[i].unused_pct,
+              per_lab.headroom.by_ram_class[i].unused_pct);
+    EXPECT_EQ(streamed.per_lab.headroom.by_ram_class[i].free_mb,
+              per_lab.headroom.by_ram_class[i].free_mb);
+  }
+
+  const auto& cap = m.capacity.result();
+  ASSERT_EQ(streamed.capacity.ram_gb.size(), cap.ram_gb.size());
+  for (std::size_t i = 0; i < cap.ram_gb.size(); ++i) {
+    EXPECT_EQ(streamed.capacity.ram_gb[i].value, cap.ram_gb[i].value);
+    EXPECT_EQ(streamed.capacity.disk_tb[i].value, cap.disk_tb[i].value);
+  }
+  EXPECT_EQ(streamed.capacity.mean_ram_gb, cap.mean_ram_gb);
+  EXPECT_EQ(streamed.capacity.p10_ram_gb, cap.p10_ram_gb);
+  EXPECT_EQ(streamed.capacity.mean_disk_tb, cap.mean_disk_tb);
+  EXPECT_EQ(streamed.capacity.p10_disk_tb, cap.p10_disk_tb);
+}
+
+TEST(StreamFoldTest, BitIdenticalToMaterialisedPipeline) {
+  ExpectResultMatchesMaterialised(RunStreamed(65536));
+}
+
+TEST(StreamFoldTest, BlockBoundariesDoNotChangeResults) {
+  // Tiny blocks force machine histories and iterations to straddle many
+  // block boundaries.
+  ExpectResultMatchesMaterialised(RunStreamed(97));
+  ExpectResultMatchesMaterialised(RunStreamed(1));
+}
+
+TEST(StreamFoldTest, AnomalyDetectorSeesEverySampleOnce) {
+  const auto& trace = GoldenResult().trace;
+  StreamingAnalysisConfig config;
+  config.machine_count = trace.machine_count();
+  StreamingAnalysis fold(std::move(config));
+  AnomalyDetector detector(trace.machine_count(), AnomalyOptions{});
+  fold.AttachAnomalyDetector(&detector);
+  trace::StoreReader reader(trace, 4096);
+  while (const trace::TraceBlock* block = reader.Next()) fold.Accept(*block);
+  // Every sample observed once, plus one interval observation per derived
+  // interval (strictly fewer than samples).
+  EXPECT_GE(detector.observations(), trace.size());
+  EXPECT_LT(detector.observations(), 2 * trace.size());
+}
+
+}  // namespace
+}  // namespace labmon::analysis

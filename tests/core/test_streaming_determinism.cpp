@@ -1,0 +1,253 @@
+// Streaming-engine determinism suite — the streamed campaign's contract:
+// collection through sealed blocks (in memory or spilled to disk),
+// StreamMergeBlocks and the incremental analysis fold must reproduce the
+// materialised engine bit-for-bit, for any worker count and block size,
+// and a campaign killed mid-run must resume from its per-lab checkpoints
+// to the exact same result.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "labmon/analysis/stream_fold.hpp"
+#include "labmon/core/experiment.hpp"
+#include "labmon/core/streaming.hpp"
+#include "labmon/trace/block.hpp"
+
+namespace labmon {
+namespace {
+
+constexpr int kDays = 2;
+constexpr std::uint64_t kSeed = 20050201;
+
+core::ExperimentConfig GoldenConfig(int shards) {
+  core::ExperimentConfig config;
+  config.campus.days = kDays;
+  config.campus.seed = kSeed;
+  config.shards = shards;
+  return config;
+}
+
+/// The materialised engine's trace + its sample-stream hash, computed
+/// once and shared by every test below.
+const core::ExperimentResult& Materialised() {
+  static const core::ExperimentResult result =
+      core::Experiment::Run(GoldenConfig(1));
+  return result;
+}
+
+std::uint64_t MaterialisedHash() {
+  trace::StoreReader reader(Materialised().trace);
+  return trace::HashSampleStream(reader);
+}
+
+/// The fold over the materialised trace — already pinned bit-identical to
+/// the chunked AnalysisPipeline by test_stream_fold, so it serves as the
+/// analysis reference here.
+analysis::StreamingAnalysisResult MaterialisedAnalysis() {
+  const core::ExperimentResult& golden = Materialised();
+  analysis::StreamingAnalysisConfig config;
+  config.machine_count = golden.trace.machine_count();
+  config.perf_index = golden.perf_index;
+  std::size_t first = 0;
+  for (const auto& lab : golden.labs) {
+    config.labs.push_back(
+        analysis::LabKey{lab.name, first, lab.machine_count});
+    first += lab.machine_count;
+  }
+  config.experiment_days = golden.days;
+  analysis::StreamingAnalysis fold(std::move(config));
+  trace::StoreReader reader(golden.trace);
+  while (const trace::TraceBlock* block = reader.Next()) {
+    fold.Accept(*block);
+  }
+  trace::TraceStore summary(golden.trace.machine_count());
+  for (const auto& info : golden.trace.iterations()) {
+    summary.AppendIteration(info);
+  }
+  return fold.Finish(summary);
+}
+
+void ExpectAnalysisIdentical(const analysis::StreamingAnalysisResult& a,
+                             const analysis::StreamingAnalysisResult& b) {
+  // Bit-identical, not approximately equal: every comparison is EXPECT_EQ
+  // on the raw doubles.
+  const auto expect_column = [](const analysis::Table2Column& x,
+                                const analysis::Table2Column& y) {
+    EXPECT_EQ(x.samples, y.samples);
+    EXPECT_EQ(x.uptime_pct, y.uptime_pct);
+    EXPECT_EQ(x.cpu_idle_pct, y.cpu_idle_pct);
+    EXPECT_EQ(x.ram_load_pct, y.ram_load_pct);
+    EXPECT_EQ(x.swap_load_pct, y.swap_load_pct);
+    EXPECT_EQ(x.disk_used_gb, y.disk_used_gb);
+    EXPECT_EQ(x.sent_bps, y.sent_bps);
+    EXPECT_EQ(x.recv_bps, y.recv_bps);
+  };
+  expect_column(a.table2.no_login, b.table2.no_login);
+  expect_column(a.table2.with_login, b.table2.with_login);
+  expect_column(a.table2.both, b.table2.both);
+  EXPECT_EQ(a.table2.raw_login_samples, b.table2.raw_login_samples);
+  EXPECT_EQ(a.table2.reclassified_samples, b.table2.reclassified_samples);
+  EXPECT_EQ(a.availability.series.mean_powered_on,
+            b.availability.series.mean_powered_on);
+  EXPECT_EQ(a.availability.series.mean_user_free,
+            b.availability.series.mean_user_free);
+  ASSERT_EQ(a.availability.ranking.entries.size(),
+            b.availability.ranking.entries.size());
+  for (std::size_t i = 0; i < a.availability.ranking.entries.size(); ++i) {
+    EXPECT_EQ(a.availability.ranking.entries[i].machine,
+              b.availability.ranking.entries[i].machine);
+    EXPECT_EQ(a.availability.ranking.entries[i].uptime_ratio,
+              b.availability.ranking.entries[i].uptime_ratio);
+  }
+  ASSERT_EQ(a.session_hours.bins.size(), b.session_hours.bins.size());
+  for (std::size_t i = 0; i < a.session_hours.bins.size(); ++i) {
+    EXPECT_EQ(a.session_hours.bins[i].samples, b.session_hours.bins[i].samples);
+    EXPECT_EQ(a.session_hours.bins[i].mean_cpu_idle_pct,
+              b.session_hours.bins[i].mean_cpu_idle_pct);
+  }
+  ASSERT_EQ(a.weekly.cpu_idle_pct.bin_count(),
+            b.weekly.cpu_idle_pct.bin_count());
+  for (std::size_t i = 0; i < a.weekly.cpu_idle_pct.bin_count(); ++i) {
+    EXPECT_EQ(a.weekly.cpu_idle_pct.Mean(i), b.weekly.cpu_idle_pct.Mean(i));
+    EXPECT_EQ(a.weekly.ram_load_pct.Mean(i), b.weekly.ram_load_pct.Mean(i));
+  }
+  EXPECT_EQ(a.equivalence.mean_occupied, b.equivalence.mean_occupied);
+  EXPECT_EQ(a.equivalence.mean_free, b.equivalence.mean_free);
+  EXPECT_EQ(a.equivalence.mean_total, b.equivalence.mean_total);
+  EXPECT_EQ(a.stability.sessions.session_count,
+            b.stability.sessions.session_count);
+  EXPECT_EQ(a.stability.sessions.mean_hours, b.stability.sessions.mean_hours);
+  EXPECT_EQ(a.stability.smart.experiment_cycles,
+            b.stability.smart.experiment_cycles);
+  EXPECT_EQ(a.stability.smart.cycles_per_machine_mean,
+            b.stability.smart.cycles_per_machine_mean);
+  ASSERT_EQ(a.per_lab.usage.size(), b.per_lab.usage.size());
+  for (std::size_t i = 0; i < a.per_lab.usage.size(); ++i) {
+    EXPECT_EQ(a.per_lab.usage[i].occupied_pct, b.per_lab.usage[i].occupied_pct);
+    EXPECT_EQ(a.per_lab.usage[i].cpu_idle_pct,
+              b.per_lab.usage[i].cpu_idle_pct);
+    EXPECT_EQ(a.per_lab.usage[i].uptime_pct, b.per_lab.usage[i].uptime_pct);
+  }
+  EXPECT_EQ(a.capacity.mean_ram_gb, b.capacity.mean_ram_gb);
+  EXPECT_EQ(a.capacity.p10_ram_gb, b.capacity.p10_ram_gb);
+  EXPECT_EQ(a.capacity.mean_disk_tb, b.capacity.mean_disk_tb);
+  EXPECT_EQ(a.capacity.p10_disk_tb, b.capacity.p10_disk_tb);
+  ASSERT_EQ(a.capacity.ram_gb.size(), b.capacity.ram_gb.size());
+  for (std::size_t i = 0; i < a.capacity.ram_gb.size(); ++i) {
+    EXPECT_EQ(a.capacity.ram_gb[i].value, b.capacity.ram_gb[i].value);
+  }
+}
+
+void ExpectRunIdentical(const core::StreamingExperimentResult& streamed) {
+  const core::ExperimentResult& golden = Materialised();
+  ASSERT_TRUE(streamed.errors.empty())
+      << "first error: " << streamed.errors.front();
+  EXPECT_EQ(streamed.stream_hash, MaterialisedHash());
+  EXPECT_EQ(streamed.samples, golden.trace.size());
+  EXPECT_EQ(streamed.run_stats.iterations, golden.run_stats.iterations);
+  EXPECT_EQ(streamed.run_stats.attempts, golden.run_stats.attempts);
+  EXPECT_EQ(streamed.run_stats.successes, golden.run_stats.successes);
+  EXPECT_EQ(streamed.run_stats.timeouts, golden.run_stats.timeouts);
+  EXPECT_EQ(streamed.run_stats.missing, golden.run_stats.missing);
+  EXPECT_EQ(streamed.run_stats.corrupt, golden.run_stats.corrupt);
+  EXPECT_EQ(streamed.run_stats.mean_iteration_s,
+            golden.run_stats.mean_iteration_s);
+  EXPECT_EQ(streamed.ground_truth.boots, golden.ground_truth.boots);
+  EXPECT_EQ(streamed.ground_truth.TotalLogins(),
+            golden.ground_truth.TotalLogins());
+  EXPECT_EQ(streamed.parse_failures, golden.parse_failures);
+  EXPECT_EQ(streamed.crosscheck_mismatches, golden.crosscheck_mismatches);
+  EXPECT_EQ(streamed.summary.iterations().size(),
+            golden.trace.iterations().size());
+  EXPECT_EQ(streamed.perf_index, golden.perf_index);
+  ExpectAnalysisIdentical(streamed.analysis, MaterialisedAnalysis());
+}
+
+TEST(StreamingDeterminismTest, InMemoryMatchesMaterialisedEngine) {
+  core::StreamingOptions options;
+  const auto streamed =
+      core::StreamingExperiment::Run(GoldenConfig(1), options);
+  ExpectRunIdentical(streamed);
+}
+
+TEST(StreamingDeterminismTest, WorkerCountAndBlockSizeAreInvisible) {
+  core::StreamingOptions options;
+  options.block_samples = 4096;  // force many sealed blocks
+  const auto streamed =
+      core::StreamingExperiment::Run(GoldenConfig(8), options);
+  ExpectRunIdentical(streamed);
+}
+
+TEST(StreamingDeterminismTest, SpilledRunMatchesAndCheckpoints) {
+  const std::string dir = ::testing::TempDir() + "/labmon_stream_spill";
+  std::filesystem::remove_all(dir);
+  core::StreamingOptions options;
+  options.spill_dir = dir;
+  options.block_samples = 4096;
+  const auto streamed =
+      core::StreamingExperiment::Run(GoldenConfig(2), options);
+  ExpectRunIdentical(streamed);
+  EXPECT_GT(streamed.merged_blocks, 1u);
+  // Every lab left a complete segment + committed sidecar.
+  std::size_t segments = 0;
+  std::size_t sidecars = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string path = entry.path().string();
+    if (path.ends_with(".lmsg")) ++segments;
+    if (path.ends_with(".ck")) ++sidecars;
+  }
+  EXPECT_EQ(segments, streamed.labs.size());
+  EXPECT_EQ(sidecars, streamed.labs.size());
+}
+
+TEST(StreamingDeterminismTest, ResumeAfterSimulatedCrashReproduces) {
+  const std::string dir = ::testing::TempDir() + "/labmon_stream_resume";
+  std::filesystem::remove_all(dir);
+  core::StreamingOptions options;
+  options.spill_dir = dir;
+  options.block_samples = 4096;
+  const auto first =
+      core::StreamingExperiment::Run(GoldenConfig(2), options);
+  ASSERT_TRUE(first.errors.empty());
+  const std::size_t lab_count = first.labs.size();
+  ASSERT_GE(lab_count, 2u);
+
+  // Simulate a crash mid-campaign: lab 0 died mid-write (truncated
+  // segment, sidecar never committed) and lab 1's checkpoint was lost.
+  {
+    const std::string seg0 = dir + "/lab0000.lmsg";
+    const std::uintmax_t size = std::filesystem::file_size(seg0);
+    std::filesystem::resize_file(seg0, size / 2);
+    std::filesystem::remove(dir + "/lab0000.ck");
+    std::filesystem::remove(dir + "/lab0001.ck");
+  }
+
+  core::StreamingOptions resume_options = options;
+  resume_options.resume = true;
+  const auto resumed =
+      core::StreamingExperiment::Run(GoldenConfig(2), resume_options);
+  EXPECT_EQ(resumed.labs_resumed, lab_count - 2);
+  ExpectRunIdentical(resumed);
+  EXPECT_EQ(resumed.stream_hash, first.stream_hash);
+}
+
+TEST(StreamingDeterminismTest, AnomalyDetectorObservesWholeStream) {
+  core::StreamingOptions options;
+  options.anomaly_threshold = 4.0;
+  const auto streamed =
+      core::StreamingExperiment::Run(GoldenConfig(4), options);
+  ASSERT_TRUE(streamed.errors.empty());
+  // Every merged sample is observed once, plus one observation per
+  // derived interval (strictly fewer than samples).
+  EXPECT_GE(streamed.anomaly_observations, streamed.samples);
+  EXPECT_LT(streamed.anomaly_observations, 2 * streamed.samples);
+  // Determinism must not depend on the detector being attached.
+  EXPECT_EQ(streamed.stream_hash, MaterialisedHash());
+}
+
+}  // namespace
+}  // namespace labmon

@@ -1,0 +1,152 @@
+#include "labmon/trace/block.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace labmon::trace {
+namespace {
+
+SampleRecord MakeRecord(std::uint32_t machine, std::uint32_t iteration,
+                        std::int64_t t, bool session = false) {
+  SampleRecord r;
+  r.machine = machine;
+  r.iteration = iteration;
+  r.t = t;
+  r.boot_time = t - 900;
+  r.uptime_s = 900;
+  r.cpu_idle_s = 640.25;
+  r.mem_load_pct = 37;
+  r.swap_load_pct = 12;
+  r.disk_total_b = 74'500'000'000ULL;
+  r.disk_free_b = 51'000'000'000ULL;
+  r.smart_power_on_hours = 4100;
+  r.smart_power_cycles = 512;
+  r.net_sent_b = 1000 + t;
+  r.net_recv_b = 2000 + t;
+  if (session) {
+    r.has_session = true;
+    r.session_logon = t - 120;
+    r.user = "a" + std::to_string(machine % 3);
+  }
+  return r;
+}
+
+TraceStore MakeStore(std::size_t samples) {
+  TraceStore store(4);
+  for (std::size_t i = 0; i < samples; ++i) {
+    store.Append(MakeRecord(static_cast<std::uint32_t>(i % 4),
+                            static_cast<std::uint32_t>(i / 4),
+                            900 * static_cast<std::int64_t>(i / 4 + 1),
+                            i % 2 == 0));
+  }
+  return store;
+}
+
+TEST(StoreReaderTest, CoversEveryRowAcrossBlockBoundaries) {
+  const TraceStore store = MakeStore(25);
+  StoreReader reader(store, 7);  // 25 rows -> blocks of 7,7,7,4
+  std::size_t rows = 0;
+  std::size_t blocks = 0;
+  while (const TraceBlock* block = reader.Next()) {
+    EXPECT_LE(block->size(), 7u);
+    rows += block->size();
+    ++blocks;
+  }
+  EXPECT_EQ(rows, 25u);
+  EXPECT_EQ(blocks, 4u);
+  reader.Reset();
+  EXPECT_NE(reader.Next(), nullptr);
+}
+
+TEST(StoreReaderTest, BlockUserTableIsSelfContained) {
+  const TraceStore store = MakeStore(10);
+  StoreReader reader(store, 3);
+  std::size_t pos = 0;
+  while (const TraceBlock* block = reader.Next()) {
+    for (std::size_t i = 0; i < block->size(); ++i, ++pos) {
+      EXPECT_EQ(block->UserOf(i), store.samples()[pos].user);
+    }
+  }
+  EXPECT_EQ(pos, store.size());
+}
+
+TEST(HashSampleStreamTest, IndependentOfBlockBoundaries) {
+  const TraceStore store = MakeStore(40);
+  StoreReader whole(store, kDefaultBlockSamples);
+  StoreReader tiny(store, 1);
+  StoreReader odd(store, 11);
+  const std::uint64_t h = HashSampleStream(whole);
+  EXPECT_EQ(HashSampleStream(tiny), h);
+  EXPECT_EQ(HashSampleStream(odd), h);
+}
+
+TEST(HashSampleStreamTest, SensitiveToAnyColumn) {
+  TraceStore a = MakeStore(8);
+  TraceStore b = MakeStore(8);
+  StoreReader ra(a), rb(b);
+  EXPECT_EQ(HashSampleStream(ra), HashSampleStream(rb));
+
+  TraceStore c = MakeStore(7);
+  c.Append([] {
+    SampleRecord r = MakeRecord(3, 1, 1800, false);
+    r.mem_load_pct = 38;  // one column, one unit off
+    return r;
+  }());
+  StoreReader rc(c);
+  ra.Reset();
+  EXPECT_NE(HashSampleStream(rc), HashSampleStream(ra));
+}
+
+TEST(HashSampleStreamTest, IndependentOfUserInterning) {
+  // Same sample sequence, different interning order: hash must agree
+  // because session rows hash the user string, not the table id.
+  TraceStore a(2);
+  TraceStore b(2);
+  SampleRecord r0 = MakeRecord(0, 0, 900, true);
+  r0.user = "zz9";
+  SampleRecord r1 = MakeRecord(1, 0, 900, true);
+  r1.user = "aa1";
+  a.Append(r0);
+  a.Append(r1);
+  b.InternUserId("aa1");  // pre-intern in reverse order
+  b.InternUserId("zz9");
+  b.Append(r0);
+  b.Append(r1);
+  StoreReader ra(a), rb(b);
+  EXPECT_EQ(HashSampleStream(ra), HashSampleStream(rb));
+}
+
+TEST(TraceBlockTest, AssignFromCopiesSamplesUsersIterations) {
+  TraceStore store = MakeStore(6);
+  store.AppendIteration({0, 900, 960, 4, 4});
+  store.AppendIteration({1, 1800, 1860, 4, 4});
+  TraceBlock block;
+  block.AssignFrom(store);
+  EXPECT_EQ(block.size(), 6u);
+  EXPECT_EQ(block.iterations.size(), 2u);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    EXPECT_EQ(block.UserOf(i), store.samples()[i].user);
+    EXPECT_EQ(block.cols.t[i], store.samples()[i].t);
+  }
+  block.Clear();
+  EXPECT_TRUE(block.empty());
+  EXPECT_TRUE(block.iterations.empty());
+}
+
+TEST(BlockVectorReaderTest, StreamsSealedBlocksInOrder) {
+  std::vector<TraceBlock> blocks(2);
+  blocks[0].AssignFrom(MakeStore(3));
+  blocks[1].AssignFrom(MakeStore(5));
+  BlockVectorReader reader(blocks);
+  const TraceBlock* b = reader.Next();
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->size(), 3u);
+  b = reader.Next();
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->size(), 5u);
+  EXPECT_EQ(reader.Next(), nullptr);
+}
+
+}  // namespace
+}  // namespace labmon::trace

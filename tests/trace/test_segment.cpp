@@ -1,0 +1,194 @@
+#include "labmon/trace/segment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace labmon::trace {
+namespace {
+
+SampleRecord MakeRecord(std::uint32_t machine, std::uint32_t iteration,
+                        std::int64_t t, bool session = false) {
+  SampleRecord r;
+  r.machine = machine;
+  r.iteration = iteration;
+  r.t = t;
+  r.boot_time = t - 500;
+  r.uptime_s = 500;
+  r.cpu_idle_s = 471.125;
+  r.mem_load_pct = 52;
+  r.swap_load_pct = 9;
+  r.disk_total_b = 74'500'000'000ULL;
+  r.disk_free_b = 58'000'000'321ULL;
+  r.smart_power_on_hours = 777;
+  r.smart_power_cycles = 66;
+  r.net_sent_b = 5000 + t;
+  r.net_recv_b = 9000 + t;
+  if (session) {
+    r.has_session = true;
+    r.session_logon = t - 200;
+    r.user = "b" + std::to_string(machine);
+  }
+  return r;
+}
+
+TraceStore MakeBlockStore(std::uint32_t iteration, std::size_t samples) {
+  TraceStore store(4);
+  for (std::size_t i = 0; i < samples; ++i) {
+    store.Append(MakeRecord(static_cast<std::uint32_t>(i % 4), iteration,
+                            900 * (iteration + 1) +
+                                static_cast<std::int64_t>(i),
+                            i % 2 == 1));
+  }
+  store.AppendIteration({iteration, 900 * (iteration + 1),
+                         900 * (iteration + 1) + 60,
+                         static_cast<std::uint32_t>(samples),
+                         static_cast<std::uint32_t>(samples)});
+  return store;
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string WriteSegment(const std::string& path,
+                         const std::vector<std::size_t>& block_sizes) {
+  auto writer = SegmentWriter::Open(path, 4);
+  EXPECT_TRUE(writer.ok()) << writer.error();
+  std::uint32_t iteration = 0;
+  for (const std::size_t n : block_sizes) {
+    auto appended = writer.value().Append(MakeBlockStore(iteration++, n));
+    EXPECT_TRUE(appended.ok()) << appended.error();
+  }
+  auto finished = writer.value().Finish();
+  EXPECT_TRUE(finished.ok()) << finished.error();
+  return path;
+}
+
+TEST(SegmentTest, RoundTripPreservesSamplesUsersIterations) {
+  const std::string path = WriteSegment(TempPath("seg_roundtrip.lmsg"),
+                                        {5, 3, 7});
+  auto reader = SegmentReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(reader.value().machine_count(), 4u);
+
+  std::uint32_t iteration = 0;
+  const std::vector<std::size_t> sizes = {5, 3, 7};
+  while (const TraceBlock* block = reader.value().Next()) {
+    ASSERT_LT(iteration, sizes.size());
+    EXPECT_EQ(block->size(), sizes[iteration]);
+    ASSERT_EQ(block->iterations.size(), 1u);
+    EXPECT_EQ(block->iterations[0].iteration, iteration);
+    const TraceStore expect = MakeBlockStore(iteration, sizes[iteration]);
+    for (std::size_t i = 0; i < block->size(); ++i) {
+      EXPECT_EQ(block->cols.t[i], expect.samples()[i].t);
+      EXPECT_EQ(block->UserOf(i), expect.samples()[i].user);
+    }
+    ++iteration;
+  }
+  EXPECT_FALSE(reader.value().failed()) << reader.value().error();
+  EXPECT_EQ(iteration, 3u);
+
+  reader.value().Reset();
+  const TraceBlock* again = reader.value().Next();
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(again->size(), 5u);
+}
+
+TEST(SegmentTest, ZeroSampleBlockRoundTrips) {
+  const std::string path = TempPath("seg_empty_block.lmsg");
+  auto writer = SegmentWriter::Open(path, 4);
+  ASSERT_TRUE(writer.ok());
+  TraceStore empty(4);
+  empty.AppendIteration({0, 900, 960, 4, 0});  // iteration with no responses
+  ASSERT_TRUE(writer.value().Append(empty).ok());
+  ASSERT_TRUE(writer.value().Append(MakeBlockStore(1, 2)).ok());
+  ASSERT_TRUE(writer.value().Finish().ok());
+
+  auto reader = SegmentReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  const TraceBlock* b0 = reader.value().Next();
+  ASSERT_NE(b0, nullptr);
+  EXPECT_EQ(b0->size(), 0u);
+  ASSERT_EQ(b0->iterations.size(), 1u);
+  EXPECT_EQ(b0->iterations[0].successes, 0u);
+  const TraceBlock* b1 = reader.value().Next();
+  ASSERT_NE(b1, nullptr);
+  EXPECT_EQ(b1->size(), 2u);
+  EXPECT_EQ(reader.value().Next(), nullptr);
+  EXPECT_FALSE(reader.value().failed());
+}
+
+TEST(SegmentTest, HeaderOnlySegmentStreamsNothing) {
+  const std::string path = WriteSegment(TempPath("seg_header_only.lmsg"), {});
+  auto reader = SegmentReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value().Next(), nullptr);
+  EXPECT_FALSE(reader.value().failed());
+}
+
+TEST(SegmentTest, TruncationInsideBlockFailsLoudly) {
+  const std::string path = WriteSegment(TempPath("seg_trunc.lmsg"), {6, 6});
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const std::streamoff full = in.tellg();
+  in.close();
+
+  // Chop the tail off the second block: first block must still stream,
+  // then the reader must report failure rather than ending silently.
+  std::ifstream src(path, std::ios::binary);
+  std::string bytes(static_cast<std::size_t>(full), '\0');
+  src.read(bytes.data(), full);
+  src.close();
+  const std::string cut = TempPath("seg_trunc_cut.lmsg");
+  std::ofstream out(cut, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), full - 10);
+  out.close();
+
+  auto reader = SegmentReader::Open(cut);
+  ASSERT_TRUE(reader.ok());
+  const TraceBlock* b0 = reader.value().Next();
+  ASSERT_NE(b0, nullptr);
+  EXPECT_EQ(b0->size(), 6u);
+  EXPECT_EQ(reader.value().Next(), nullptr);
+  EXPECT_TRUE(reader.value().failed());
+  EXPECT_FALSE(reader.value().error().empty());
+}
+
+TEST(SegmentTest, ChecksumBitFlipIsDetected) {
+  const std::string path = WriteSegment(TempPath("seg_flip.lmsg"), {8});
+  std::ifstream src(path, std::ios::binary | std::ios::ate);
+  const std::streamoff full = src.tellg();
+  src.seekg(0);
+  std::string bytes(static_cast<std::size_t>(full), '\0');
+  src.read(bytes.data(), full);
+  src.close();
+
+  // Flip one bit in the middle of the block payload (well past the
+  // header), leaving length prefix and checksum untouched.
+  bytes[static_cast<std::size_t>(full) / 2] ^= 0x10;
+  const std::string flipped = TempPath("seg_flip_bad.lmsg");
+  std::ofstream out(flipped, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), full);
+  out.close();
+
+  auto reader = SegmentReader::Open(flipped);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value().Next(), nullptr);
+  EXPECT_TRUE(reader.value().failed());
+  EXPECT_FALSE(reader.value().error().empty());
+}
+
+TEST(SegmentTest, BadMagicRejectedAtOpen) {
+  const std::string path = TempPath("seg_bad_magic.lmsg");
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << "NOTSEG??????";
+  out.close();
+  auto reader = SegmentReader::Open(path);
+  EXPECT_FALSE(reader.ok());
+}
+
+}  // namespace
+}  // namespace labmon::trace
