@@ -9,7 +9,9 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -23,24 +25,50 @@
 
 namespace labmon::bench {
 
-/// Peak resident-set size of this process so far, in bytes (0 where the
-/// platform has no getrusage). This is the process-wide high-water mark —
-/// it only ever grows, so comparing two configurations needs one process
-/// per configuration (stream_fleet re-execs itself per mode for exactly
-/// this reason).
+/// Linux fallback for sandboxes where getrusage is unavailable or reports
+/// ru_maxrss = 0 (seccomp'd containers, some emulated runners): VmHWM from
+/// /proc/self/status, in bytes. Returns 0 when that is unreadable too.
+inline std::uint64_t PeakRssFromProcStatus() {
+  std::ifstream status("/proc/self/status");
+  if (!status.is_open()) return 0;
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    std::istringstream fields(line.substr(6));
+    std::uint64_t kib = 0;
+    if (fields >> kib) return kib * 1024u;
+    return 0;
+  }
+  return 0;
+}
+
+/// Peak resident-set size of this process so far, in bytes. Prefers
+/// getrusage ru_maxrss, falls back to /proc/self/status VmHWM, and returns
+/// 0 only when neither source works — callers must treat 0 as "peak RSS
+/// not measurable here" (see PeakRssSupported), never as a real footprint.
+/// This is the process-wide high-water mark — it only ever grows, so
+/// comparing two configurations needs one process per configuration
+/// (stream_fleet re-execs itself per mode for exactly this reason).
 inline std::uint64_t PeakRssBytes() {
+  std::uint64_t peak = 0;
 #if defined(__unix__) || defined(__APPLE__)
   struct rusage usage = {};
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
 #if defined(__APPLE__)
-  return static_cast<std::uint64_t>(usage.ru_maxrss);  // already bytes
+    peak = static_cast<std::uint64_t>(usage.ru_maxrss);  // already bytes
 #else
-  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;  // KiB
+    peak = static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;  // KiB
 #endif
-#else
-  return 0;
+  }
 #endif
+  if (peak == 0) peak = PeakRssFromProcStatus();
+  return peak;
 }
+
+/// True when this platform can actually measure peak RSS. Gates that
+/// compare footprints must skip (not fail, and above all not compare
+/// 0-vs-0) when this is false.
+inline bool PeakRssSupported() { return PeakRssBytes() != 0; }
 
 /// RAII phase marker: wraps a bench phase ("run", "analyze", "render") in
 /// an obs span so traced bench runs show where the wall time went.

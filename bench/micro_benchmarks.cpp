@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <memory>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "labmon/analysis/aggregate.hpp"
@@ -22,8 +24,10 @@
 #include "labmon/trace/binary_io.hpp"
 #include "labmon/trace/block.hpp"
 #include "labmon/trace/intervals.hpp"
+#include "labmon/trace/merge_frontier.hpp"
 #include "labmon/trace/segment.hpp"
 #include "labmon/util/rng.hpp"
+#include "labmon/util/staging_ring.hpp"
 #include "labmon/winsim/paper_specs.hpp"
 #include "labmon/workload/driver.hpp"
 
@@ -454,6 +458,95 @@ void BM_SegmentRoundTrip(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * segment_bytes);
 }
 BENCHMARK(BM_SegmentRoundTrip)->Unit(benchmark::kMillisecond);
+
+void BM_StagingRingPushPop(benchmark::State& state) {
+  // Per-handoff overhead of the pipelined engine's staging ring (mutex +
+  // two condvars) on the uncontended fast path: one Push + one Pop per
+  // iteration on a never-full ring, moving the same pooled block pointer
+  // the real engine stages.
+  util::StagingRing<std::unique_ptr<trace::TraceBlock>> ring(64);
+  auto block = std::make_unique<trace::TraceBlock>();
+  for (auto _ : state) {
+    ring.Push(std::move(block));
+    ring.Pop(block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StagingRingPushPop);
+
+std::vector<std::vector<trace::TraceBlock>> MergeBenchParts(
+    std::size_t parts, std::size_t machines_per_part,
+    std::uint32_t iterations, std::size_t samples_per_machine) {
+  const std::size_t machine_count = parts * machines_per_part;
+  std::vector<std::vector<trace::TraceBlock>> streams(parts);
+  for (std::size_t p = 0; p < parts; ++p) {
+    trace::TraceStore store(machine_count);
+    for (std::uint32_t it = 0; it < iterations; ++it) {
+      for (std::size_t i = 0; i < samples_per_machine; ++i) {
+        for (std::size_t m = 0; m < machines_per_part; ++m) {
+          trace::SampleRecord r;
+          r.machine = static_cast<std::uint32_t>(p * machines_per_part + m);
+          r.iteration = it;
+          r.t = 900 * (it + 1) +
+                static_cast<std::int64_t>(i * machine_count + r.machine);
+          r.boot_time = r.t - 500;
+          r.uptime_s = 500;
+          r.cpu_idle_s = 471.125;
+          r.mem_load_pct = static_cast<int>((r.machine + i) % 100);
+          r.disk_total_b = 74'500'000'000ULL;
+          r.disk_free_b = 58'000'000'000ULL - i;
+          store.Append(r);
+        }
+      }
+      store.AppendIteration({it, 900 * (it + 1), 900 * (it + 1) + 60,
+                             static_cast<std::uint32_t>(machines_per_part *
+                                                        samples_per_machine),
+                             static_cast<std::uint32_t>(machines_per_part *
+                                                        samples_per_machine)});
+    }
+    trace::TraceBlock block;
+    block.AssignFrom(store);
+    streams[p].push_back(std::move(block));
+  }
+  return streams;
+}
+
+void BM_IncrementalMergeFront(benchmark::State& state) {
+  // The pipelined merge stage's hot loop: per-iteration-front gather +
+  // (t, machine) key sort + columnar append across all parts. Arg is the
+  // sort worker count (1 = serial, >1 = parallel per-front sorts over the
+  // batched backlog). All blocks are pre-buffered so the benchmark
+  // measures pure merge throughput, not collection.
+  const auto parts = MergeBenchParts(/*parts=*/4, /*machines_per_part=*/4,
+                                     /*iterations=*/64,
+                                     /*samples_per_machine=*/24);
+  const std::size_t machine_count = 16;
+  const std::size_t sort_workers = static_cast<std::size_t>(state.range(0));
+  std::int64_t merged_samples = 0;
+  for (auto _ : state) {
+    trace::MergeFrontier frontier(parts.size(), machine_count,
+                                  /*block_samples=*/8192);
+    for (std::size_t p = 0; p < parts.size(); ++p) {
+      for (const trace::TraceBlock& block : parts[p]) {
+        frontier.AppendView(p, &block);
+      }
+      frontier.FinishPart(p);
+    }
+    std::uint64_t folded = 0;
+    auto emit = [&](trace::TraceBlock& block) { folded += block.size(); };
+    auto recycle = [](std::size_t, std::unique_ptr<trace::TraceBlock>) {};
+    while (!frontier.finished()) {
+      frontier.Advance(trace::MergeFrontier::EmitFn(emit),
+                       trace::MergeFrontier::RecycleFn(recycle),
+                       sort_workers);
+    }
+    merged_samples = static_cast<std::int64_t>(folded);
+    benchmark::DoNotOptimize(folded);
+  }
+  state.SetItemsProcessed(state.iterations() * merged_samples);
+}
+BENCHMARK(BM_IncrementalMergeFront)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_RunningStats(benchmark::State& state) {
   util::Rng rng(3);

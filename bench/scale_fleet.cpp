@@ -10,6 +10,10 @@
 //   2. Shard sweep {1, 2, 4, 8}: wall time, machine-samples/s, measured
 //      speedup vs one shard, the load-balance speedup bound, and the
 //      profiler's per-phase self-time/allocation breakdown per run.
+//   2b. Pipelined engine sweep {1, 2, 8} shards: the overlapped
+//      collect/merge/fold engine (core::PipelinedExperiment) on the same
+//      campus — stream hash vs the materialised trace, serial fraction,
+//      ring/merge-lag/arena-reuse stats.
 //   3. Fleet-size sweep LABMON_SCALE_SWEEP (default "1,8,48" lab
 //      replicas): how the per-phase profile shifts as the campus grows.
 //
@@ -37,11 +41,13 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "labmon/core/streaming.hpp"
 #include "labmon/obs/exporters.hpp"
 #include "labmon/obs/prof.hpp"
 #include "labmon/obs/registry.hpp"
 #include "labmon/obs/span.hpp"
 #include "labmon/trace/binary_io.hpp"
+#include "labmon/trace/block.hpp"
 #include "labmon/util/csv.hpp"
 #include "labmon/util/strings.hpp"
 
@@ -164,6 +170,46 @@ struct ScaleRun {
   PhaseBreakdown phases;
 };
 
+/// One pipelined-engine run of the shard sweep.
+struct PipeRun {
+  int shards = 0;
+  double wall_s = 0.0;
+  double samples_per_s = 0.0;
+  double speedup = 0.0;  ///< vs the pipelined shards=1 run (measured)
+  std::uint64_t attempts = 0;
+  std::uint64_t stream_hash = 0;
+  core::PipelineStats stats;
+};
+
+std::string PipelineStatsJson(const core::PipelineStats& s,
+                              const std::string& indent) {
+  std::ostringstream json;
+  json << "{\n"
+       << indent << "  \"staged_blocks\": " << s.staged_blocks << ",\n"
+       << indent << "  \"ring_capacity\": " << s.ring_capacity << ",\n"
+       << indent << "  \"ring_peak_occupancy\": " << s.ring_peak_occupancy
+       << ",\n"
+       << indent << "  \"ring_push_stalls\": " << s.ring_push_stalls << ",\n"
+       << indent << "  \"ring_pop_stalls\": " << s.ring_pop_stalls << ",\n"
+       << indent << "  \"ring_push_wait_s\": "
+       << util::FormatFixed(s.ring_push_wait_s, 6) << ",\n"
+       << indent << "  \"ring_pop_wait_s\": "
+       << util::FormatFixed(s.ring_pop_wait_s, 6) << ",\n"
+       << indent << "  \"merge_lag_peak_blocks\": " << s.merge_lag_peak_blocks
+       << ",\n"
+       << indent << "  \"arena_acquired\": " << s.arena_acquired << ",\n"
+       << indent << "  \"arena_reused\": " << s.arena_reused << ",\n"
+       << indent << "  \"arena_reuse_ratio\": "
+       << util::FormatFixed(s.arena_reuse_ratio, 4) << ",\n"
+       << indent << "  \"wall_s\": " << util::FormatFixed(s.wall_s, 6) << ",\n"
+       << indent << "  \"pipeline_wall_s\": "
+       << util::FormatFixed(s.pipeline_wall_s, 6) << ",\n"
+       << indent << "  \"serial_fraction\": "
+       << util::FormatFixed(s.serial_fraction, 4) << "\n"
+       << indent << "}";
+  return json.str();
+}
+
 }  // namespace
 
 int main() {
@@ -281,6 +327,62 @@ int main() {
   }
   const bool prof_hash_stable = runs.front().trace_hash == off_a.trace_hash;
 
+  // ---- 2b. Pipelined engine sweep. -------------------------------------
+  // Same campus through core::PipelinedExperiment at {1, 2, 8} shards. The
+  // merged sample-stream hash must match the materialised trace's at every
+  // shard count (bit-identical pipelining), and the serial fraction — the
+  // share of wall time outside the overlapped collect/merge/fold region —
+  // is the number prof_gate pins (budget: <= 0.10).
+  const std::uint64_t mat_stream_hash = [&] {
+    trace::StoreReader reader(off_a.result.trace);
+    return trace::HashSampleStream(reader);
+  }();
+  std::vector<PipeRun> pipe_runs;
+  bool pipeline_bit_identical = true;
+  for (const int shards : {1, 2, 8}) {
+    config.shards = shards;
+    core::StreamingOptions options;  // in-memory, default block/ring sizes
+    obs::prof::Reset();
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = core::PipelinedExperiment::Run(config, options);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (!result.errors.empty()) {
+      for (const auto& error : result.errors) {
+        std::cerr << "pipeline error: " << error << "\n";
+      }
+      return 1;
+    }
+
+    PipeRun run;
+    run.shards = shards;
+    run.wall_s = wall;
+    run.attempts = result.run_stats.attempts;
+    run.samples_per_s =
+        wall > 0.0 ? static_cast<double>(run.attempts) / wall : 0.0;
+    run.speedup = pipe_runs.empty() ? 1.0 : pipe_runs.front().wall_s / wall;
+    run.stream_hash = result.stream_hash;
+    run.stats = result.pipeline;
+    pipeline_bit_identical =
+        pipeline_bit_identical && run.stream_hash == mat_stream_hash;
+    pipe_runs.push_back(run);
+
+    std::cout << "pipelined shards=" << shards << ": "
+              << util::FormatFixed(run.wall_s, 3) << " s, "
+              << util::FormatFixed(run.samples_per_s, 0)
+              << " machine-samples/s, serial fraction "
+              << util::FormatFixed(run.stats.serial_fraction, 3)
+              << ", ring peak " << run.stats.ring_peak_occupancy << "/"
+              << run.stats.ring_capacity << ", arena reuse "
+              << util::FormatFixed(100.0 * run.stats.arena_reuse_ratio, 1)
+              << "%, hash " << (run.stream_hash == mat_stream_hash
+                                    ? "matches materialised"
+                                    : "MISMATCH")
+              << "\n";
+  }
+  const PipeRun& pipe_wide = pipe_runs.back();  // 8 shards
+
   // ---- 3. Fleet-size sweep (shards=1). ---------------------------------
   std::vector<ScaleRun> scale_runs;
   for (const int k : scale_sweep) {
@@ -340,6 +442,23 @@ int main() {
          << "    }" << (i + 1 < runs.size() ? "," : "") << "\n";
   }
   json << "  ],\n"
+       << "  \"pipeline_runs\": [\n";
+  for (std::size_t i = 0; i < pipe_runs.size(); ++i) {
+    const PipeRun& run = pipe_runs[i];
+    json << "    {\n"
+         << "      \"shards\": " << run.shards << ",\n"
+         << "      \"wall_s\": " << util::FormatFixed(run.wall_s, 6) << ",\n"
+         << "      \"attempts\": " << run.attempts << ",\n"
+         << "      \"machine_samples_per_s\": "
+         << util::FormatFixed(run.samples_per_s, 1) << ",\n"
+         << "      \"speedup\": " << util::FormatFixed(run.speedup, 4) << ",\n"
+         << "      \"stream_hash_matches_materialised\": "
+         << (run.stream_hash == mat_stream_hash ? "true" : "false") << ",\n"
+         << "      \"pipeline\": " << PipelineStatsJson(run.stats, "      ")
+         << "\n"
+         << "    }" << (i + 1 < pipe_runs.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
        << "  \"scale_sweep\": [\n";
   for (std::size_t i = 0; i < scale_runs.size(); ++i) {
     const ScaleRun& run = scale_runs[i];
@@ -388,6 +507,18 @@ int main() {
             << util::FormatFixed(four.load_balance_bound, 4) << ",\n"
             << "  \"critical_path_fraction_4\": "
             << util::FormatFixed(four.critical_path_fraction, 4) << ",\n"
+            << "  \"pipeline_bit_identical\": "
+            << (pipeline_bit_identical ? "true" : "false") << ",\n"
+            << "  \"pipeline_serial_fraction_8\": "
+            << util::FormatFixed(pipe_wide.stats.serial_fraction, 4) << ",\n"
+            << "  \"pipeline_serial_s_8\": "
+            << util::FormatFixed(
+                   pipe_wide.stats.wall_s - pipe_wide.stats.pipeline_wall_s, 6)
+            << ",\n"
+            << "  \"pipeline_speedup_8\": "
+            << util::FormatFixed(pipe_wide.speedup, 4) << ",\n"
+            << "  \"pipeline_8\": " << PipelineStatsJson(pipe_wide.stats, "  ")
+            << ",\n"
             << "  \"phases_4\": " << BreakdownJson(four.phases, "  ") << ",\n"
             << "  \"prof\": " << obs::prof::ReportJson(last_report) << "\n"
             << "}\n";
@@ -415,13 +546,20 @@ int main() {
     std::cerr << "FAIL: trace hashes differ across shard counts\n";
     return 1;
   }
+  if (!pipeline_bit_identical) {
+    std::cerr << "FAIL: pipelined stream hash differs from the "
+                 "materialised trace\n";
+    return 1;
+  }
   if (!hash_prof_invariant || !prof_hash_stable) {
     std::cerr << "FAIL: profiling changed the trace hash\n";
     return 1;
   }
   std::cout << "\nwrote BENCH_scale.json, BENCH_prof.json, "
-            << "BENCH_prof_trace.json (bit-identical across shard counts; "
-            << "balance bound at 4 shards: "
-            << util::FormatFixed(four.load_balance_bound, 2) << "x)\n";
+            << "BENCH_prof_trace.json (bit-identical across shard counts "
+            << "and engines; balance bound at 4 shards: "
+            << util::FormatFixed(four.load_balance_bound, 2)
+            << "x; pipelined serial fraction at 8 shards: "
+            << util::FormatFixed(pipe_wide.stats.serial_fraction, 3) << ")\n";
   return 0;
 }

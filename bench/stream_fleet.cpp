@@ -132,6 +132,12 @@ int Measure(const std::string& mode, const std::string& out_path) {
   const double samples_per_s =
       wall_s > 0.0 ? static_cast<double>(attempts) / wall_s : 0.0;
   const std::uint64_t peak_rss = bench::PeakRssBytes();
+  const bool rss_supported = peak_rss != 0;
+  if (!rss_supported) {
+    std::cerr << "warning: peak RSS not measurable on this platform "
+                 "(getrusage and /proc/self/status both unavailable); "
+                 "reporting peak_rss_supported=false\n";
+  }
 
   // The hash is emitted as a hex string: JSON numbers round-trip through
   // doubles in the gate's parser and would silently lose low bits.
@@ -146,6 +152,8 @@ int Measure(const std::string& mode, const std::string& out_path) {
        << util::FormatFixed(samples_per_s, 1) << ",\n"
        << "      \"merged_blocks\": " << merged_blocks << ",\n"
        << "      \"peak_rss_bytes\": " << peak_rss << ",\n"
+       << "      \"peak_rss_supported\": "
+       << (rss_supported ? "true" : "false") << ",\n"
        << "      \"stream_hash\": \"" << HexHash(stream_hash) << "\"\n"
        << "    }";
   if (const auto written = util::WriteTextFile(out_path, json.str());

@@ -76,17 +76,30 @@ int main(int argc, char** argv) {
         "streamed hash matches materialised trace",
         stream_hash + " vs " + mat_hash);
 
+  // Platforms without getrusage/VmHWM report peak_rss_supported=false (and
+  // 0 bytes). Comparing 0-vs-0 would vacuously pass — or, with a partial
+  // report, trip the gate on a measurement artefact — so the RSS checks are
+  // skipped (not failed) unless every mode measured a real footprint.
   const double mat_rss = mat.Number("peak_rss_bytes", 0.0);
   const double stream_rss = stream.Number("peak_rss_bytes", 1e18);
-  const double slack = 32.0 * 1024.0 * 1024.0;
-  Check(stream_rss <= mat_rss + slack,
-        "streamed peak RSS no worse than materialised",
-        Mib(stream_rss) + " vs " + Mib(mat_rss));
-
   const double stream2_rss = stream2.Number("peak_rss_bytes", 1e18);
-  Check(stream2_rss <= stream_rss * 1.25 + slack,
-        "streamed peak RSS flat in the horizon (2x days)",
-        Mib(stream2_rss) + " vs " + Mib(stream_rss));
+  const bool rss_supported =
+      mat.Number("peak_rss_supported", mat_rss != 0.0 ? 1.0 : 0.0) != 0.0 &&
+      stream.Number("peak_rss_supported", 1.0) != 0.0 &&
+      stream2.Number("peak_rss_supported", 1.0) != 0.0 &&
+      mat_rss > 0.0;
+  const double slack = 32.0 * 1024.0 * 1024.0;
+  if (rss_supported) {
+    Check(stream_rss <= mat_rss + slack,
+          "streamed peak RSS no worse than materialised",
+          Mib(stream_rss) + " vs " + Mib(mat_rss));
+    Check(stream2_rss <= stream_rss * 1.25 + slack,
+          "streamed peak RSS flat in the horizon (2x days)",
+          Mib(stream2_rss) + " vs " + Mib(stream_rss));
+  } else {
+    std::cout << "SKIP: peak RSS checks (platform cannot measure peak RSS; "
+                 "peak_rss_supported=false)\n";
+  }
 
   const double blocks1 = stream.Number("merged_blocks", 0.0);
   const double blocks2 = stream2.Number("merged_blocks", 0.0);

@@ -5,8 +5,9 @@
 //                    [--workers N] [--snapshot-dir DIR]
 //                    [--shards N] [--scale-labs K]
 //                    [--fault-plan plan.ini] [--retry N]
-//                    [--stream] [--spill-dir DIR] [--resume]
-//                    [--block-samples N] [--anomaly-threshold Z]
+//                    [--stream] [--pipeline] [--spill-dir DIR] [--resume]
+//                    [--block-samples N] [--ring-capacity N]
+//                    [--anomaly-threshold Z]
 //                    [--metrics-out m.prom]
 //                    [--trace-out t.json] [--events-out e.jsonl]
 //                    [--prof-out prof.json]
@@ -18,7 +19,13 @@
 // and the analysis output is bit-identical to the materialised engine.
 // --spill-dir DIR spills sealed blocks to per-lab checkpointed segments
 // in DIR; --resume reuses valid checkpoints found there (a campaign
-// killed mid-run restarts where it left off). --anomaly-threshold Z
+// killed mid-run restarts where it left off). --pipeline runs the
+// streaming campaign through the pipelined engine instead: shard workers
+// overlap simulation with the merge and the analysis fold via a bounded
+// staging ring (--ring-capacity, default 64 blocks), same bit-identical
+// output; the run summary adds ring/merge-lag/arena-reuse stats and
+// --prof-out wraps the profile as {"prof": ..., "pipeline": ...}.
+// --anomaly-threshold Z
 // enables online per-machine z-score anomaly detection (|z| >= Z on
 // memory load and CPU idle) and writes anomalies.jsonl into output_dir.
 // Streaming mode skips the CSV/trace exports (there is no materialised
@@ -145,6 +152,30 @@ std::string CampaignHealthReport(const obs::Registry& registry) {
   return out.str();
 }
 
+/// Pipeline stats as a JSON object — spliced into --prof-out so the same
+/// file carries the per-phase profile and the ring/merge/arena counters
+/// (the numbers bench/prof_gate budgets).
+std::string PipelineStatsJson(const core::PipelineStats& s) {
+  std::ostringstream json;
+  json << "{\"staged_blocks\": " << s.staged_blocks
+       << ", \"ring_capacity\": " << s.ring_capacity
+       << ", \"ring_peak_occupancy\": " << s.ring_peak_occupancy
+       << ", \"ring_push_stalls\": " << s.ring_push_stalls
+       << ", \"ring_pop_stalls\": " << s.ring_pop_stalls
+       << ", \"ring_push_wait_s\": " << util::FormatFixed(s.ring_push_wait_s, 6)
+       << ", \"ring_pop_wait_s\": " << util::FormatFixed(s.ring_pop_wait_s, 6)
+       << ", \"merge_lag_peak_blocks\": " << s.merge_lag_peak_blocks
+       << ", \"arena_acquired\": " << s.arena_acquired
+       << ", \"arena_reused\": " << s.arena_reused
+       << ", \"arena_reuse_ratio\": "
+       << util::FormatFixed(s.arena_reuse_ratio, 4)
+       << ", \"wall_s\": " << util::FormatFixed(s.wall_s, 6)
+       << ", \"pipeline_wall_s\": " << util::FormatFixed(s.pipeline_wall_s, 6)
+       << ", \"serial_fraction\": "
+       << util::FormatFixed(s.serial_fraction, 4) << "}";
+  return json.str();
+}
+
 bool WriteFileOrComplain(const std::string& path,
                          const std::function<void(std::ostream&)>& fill) {
   std::ofstream out(path, std::ios::binary);
@@ -171,9 +202,11 @@ int main(int argc, char** argv) {
   int shards = 0;
   int scale_labs = 0;  // 0 = not passed; keep the scenario/default value
   bool stream = false;
+  bool use_pipeline = false;
   bool resume = false;
   std::string spill_dir;
   std::size_t block_samples = 0;  // 0 = engine default
+  std::size_t ring_capacity = 0;  // 0 = engine default
   double anomaly_threshold = 0.0;
   if (const char* env = std::getenv("LABMON_SNAPSHOT_DIR")) snapshot_dir = env;
   std::size_t workers = 0;
@@ -212,12 +245,17 @@ int main(int argc, char** argv) {
       scale_labs = std::clamp(std::atoi(v), 1, 1024);
     } else if (arg == "--stream") {
       stream = true;
+    } else if (arg == "--pipeline") {
+      use_pipeline = true;
+      stream = true;  // the pipelined engine is a streaming engine
     } else if (arg == "--resume") {
       resume = true;
     } else if (const char* v = flag_value("--spill-dir")) {
       spill_dir = v;
     } else if (const char* v = flag_value("--block-samples")) {
       block_samples = static_cast<std::size_t>(std::atoll(v));
+    } else if (const char* v = flag_value("--ring-capacity")) {
+      ring_capacity = static_cast<std::size_t>(std::atoll(v));
     } else if (const char* v = flag_value("--anomaly-threshold")) {
       anomaly_threshold = std::atof(v);
     } else if (arg.rfind("--", 0) == 0) {
@@ -298,6 +336,7 @@ int main(int argc, char** argv) {
   if (stream) {
     core::StreamingOptions streaming;
     if (block_samples > 0) streaming.block_samples = block_samples;
+    if (ring_capacity > 0) streaming.ring_capacity = ring_capacity;
     streaming.spill_dir = spill_dir;
     streaming.resume = resume;
     streaming.anomaly_threshold = anomaly_threshold;
@@ -314,7 +353,9 @@ int main(int argc, char** argv) {
       streaming.anomaly_writer = anomaly_writer.get();
     }
 
-    const auto streamed = core::StreamingExperiment::Run(config, streaming);
+    const auto streamed = use_pipeline
+                              ? core::PipelinedExperiment::Run(config, streaming)
+                              : core::StreamingExperiment::Run(config, streaming);
     if (!streamed.errors.empty()) {
       for (const auto& error : streamed.errors) {
         std::cerr << "streaming error: " << error << '\n';
@@ -342,6 +383,20 @@ int main(int argc, char** argv) {
     std::cout << analysis::RenderCapacity(a.capacity, {}) << '\n';
 
     std::cout << "--- streaming run summary ---\n";
+    if (use_pipeline) {
+      const auto& p = streamed.pipeline;
+      std::cout << "pipelined engine: " << p.staged_blocks
+                << " blocks staged through a ring of " << p.ring_capacity
+                << " (peak occupancy " << p.ring_peak_occupancy << ", "
+                << p.ring_push_stalls << " push / " << p.ring_pop_stalls
+                << " pop stalls), merge lag peak " << p.merge_lag_peak_blocks
+                << " blocks, arena reuse "
+                << util::FormatFixed(100.0 * p.arena_reuse_ratio, 1)
+                << "%, serial fraction "
+                << util::FormatFixed(p.serial_fraction, 3) << " ("
+                << util::FormatFixed(p.pipeline_wall_s, 3) << " s of "
+                << util::FormatFixed(p.wall_s, 3) << " s overlapped)\n";
+    }
     std::cout << "iterations: " << streamed.run_stats.iterations
               << ", attempts: " << streamed.run_stats.attempts
               << ", samples: " << streamed.samples << " streamed through "
@@ -383,7 +438,13 @@ int main(int argc, char** argv) {
       const obs::prof::Report prof_report = obs::prof::Drain();
       obs::prof::Disable();
       if (!WriteFileOrComplain(prof_out, [&](std::ostream& out) {
-            out << obs::prof::ReportJson(prof_report) << '\n';
+            if (use_pipeline) {
+              out << "{\"prof\": " << obs::prof::ReportJson(prof_report)
+                  << ",\n \"pipeline\": "
+                  << PipelineStatsJson(streamed.pipeline) << "}\n";
+            } else {
+              out << obs::prof::ReportJson(prof_report) << '\n';
+            }
           })) {
         return 1;
       }

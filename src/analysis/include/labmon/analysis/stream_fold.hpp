@@ -28,6 +28,7 @@
 #include "labmon/analysis/passes.hpp"
 #include "labmon/trace/block.hpp"
 #include "labmon/trace/derived_trace.hpp"
+#include "labmon/util/staging_ring.hpp"
 
 namespace labmon::analysis {
 
@@ -73,6 +74,16 @@ class StreamingAnalysis {
 
   /// Folds one merged block. Blocks must arrive in stream order.
   void Accept(const trace::TraceBlock& block);
+
+  /// Pipelined entry point: pops merged blocks off `ring` until it closes,
+  /// folding the stream hash (seed trace::kSampleStreamHashSeed) and
+  /// Accept()ing each block, then handing the emptied block to `recycle`
+  /// (may be null). Runs on the fold stage's thread; returns the final
+  /// stream hash. Blocks consumed are counted in samples() as usual.
+  [[nodiscard]] std::uint64_t ConsumeRing(
+      util::StagingRing<trace::TraceBlock>& ring,
+      util::RecyclingPool<trace::TraceBlock>* recycle,
+      std::uint64_t hash_seed);
 
   /// Finalises every pass. `summary` carries the merged campaign's
   /// machine count and iteration metadata (no samples) — the only trace

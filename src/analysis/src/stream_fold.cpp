@@ -73,6 +73,24 @@ StreamingAnalysis::StreamingAnalysis(StreamingAnalysisConfig config)
 
 StreamingAnalysis::~StreamingAnalysis() = default;
 
+std::uint64_t StreamingAnalysis::ConsumeRing(
+    util::StagingRing<trace::TraceBlock>& ring,
+    util::RecyclingPool<trace::TraceBlock>* recycle,
+    std::uint64_t hash_seed) {
+  obs::prof::PhaseScope prof_scope(obs::prof::Phase::kFold);
+  std::uint64_t hash = hash_seed;
+  trace::TraceBlock block;
+  while (ring.Pop(block)) {
+    hash = trace::HashBlockSamples(hash, block);
+    Accept(block);
+    if (recycle != nullptr) {
+      block.Clear();
+      recycle->Release(std::move(block));
+    }
+  }
+  return hash;
+}
+
 void StreamingAnalysis::Accept(const trace::TraceBlock& block) {
   const trace::TraceStore::Columns& c = block.cols;
   for (std::size_t i = 0; i < block.size(); ++i) {

@@ -48,6 +48,20 @@ struct ExperimentConfig {
   int shards = 0;
 };
 
+/// A shard = a contiguous run of labs, [lab_begin, lab_end).
+struct LabShard {
+  std::size_t lab_begin = 0;
+  std::size_t lab_end = 0;
+};
+
+/// Contiguous greedy partition of the labs into `shards` groups balanced by
+/// machine count. Every shard gets at least one lab (shards is pre-clamped
+/// to the lab count) and every lab is covered exactly once. Shared by the
+/// materialised and pipelined engines so both attribute work to the same
+/// shard boundaries.
+[[nodiscard]] std::vector<LabShard> PartitionLabsByMachines(
+    const winsim::Fleet& fleet, std::size_t shards);
+
 /// Static description of one lab for reporting (Table 1).
 struct LabSummary {
   std::string name;

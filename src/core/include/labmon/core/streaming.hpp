@@ -48,6 +48,43 @@ struct StreamingOptions {
   std::uint64_t anomaly_min_samples = 32;
   /// Optional JSONL sink for anomaly records (not owned).
   obs::JsonlWriter* anomaly_writer = nullptr;
+
+  // --- PipelinedExperiment only (ignored by StreamingExperiment) ---
+
+  /// Capacity of the bounded staging ring between the shard collectors and
+  /// the merge stage (blocks). Small rings bound memory and apply
+  /// backpressure to fast shards; output is identical at any capacity.
+  std::size_t ring_capacity = 64;
+  /// Lockstep window length in collection periods: every lab is advanced
+  /// through window w before any lab starts w+1, so complete iteration
+  /// fronts reach the merge while later windows are still simulating.
+  std::size_t window_iterations = 16;
+  /// Worker budget for the parallel per-front merge sort engaged when the
+  /// staging ring backs up. 0 picks a small hardware-derived default.
+  std::size_t merge_sort_workers = 0;
+};
+
+/// Pipeline health counters from a PipelinedExperiment run (all zero for
+/// StreamingExperiment). Mirrored into obs::DefaultRegistry gauges under
+/// labmon_pipeline_*.
+struct PipelineStats {
+  std::uint64_t staged_blocks = 0;      ///< blocks pushed through the ring
+  std::uint64_t ring_push_stalls = 0;   ///< producer waits (ring full)
+  std::uint64_t ring_pop_stalls = 0;    ///< merge waits (ring empty)
+  double ring_push_wait_s = 0.0;
+  double ring_pop_wait_s = 0.0;
+  std::size_t ring_peak_occupancy = 0;
+  std::size_t ring_capacity = 0;
+  /// Peak blocks buffered inside the merge frontier (merge lag).
+  std::size_t merge_lag_peak_blocks = 0;
+  std::uint64_t arena_acquired = 0;  ///< block acquisitions (all pools)
+  std::uint64_t arena_reused = 0;    ///< served from a recycling pool
+  double arena_reuse_ratio = 0.0;
+  double wall_s = 0.0;           ///< whole run
+  double pipeline_wall_s = 0.0;  ///< overlapped collect/merge/fold region
+  /// (wall_s - pipeline_wall_s) / wall_s — time outside the overlapped
+  /// region (fleet build, result assembly).
+  double serial_fraction = 0.0;
 };
 
 /// Everything a streamed run produces. There is no materialised trace:
@@ -73,6 +110,8 @@ struct StreamingExperimentResult {
   std::size_t labs_resumed = 0;
   /// Per-lab spill/merge IO failures (empty on a clean run).
   std::vector<std::string> errors;
+  /// Pipeline health (PipelinedExperiment only; zeros otherwise).
+  PipelineStats pipeline;
 };
 
 class StreamingExperiment {
@@ -80,6 +119,33 @@ class StreamingExperiment {
   /// Runs collection + merge + incremental analysis end to end
   /// (deterministic for a given config; independent of shard count,
   /// block size and spill mode).
+  [[nodiscard]] static StreamingExperimentResult Run(
+      const ExperimentConfig& config, const StreamingOptions& options = {});
+};
+
+/// Pipelined campaign engine: the three streaming stages — per-shard
+/// collection, iteration-front merge, analysis fold — run concurrently,
+/// coupled by bounded staging rings, instead of strictly in sequence.
+///
+/// Shard workers advance their labs in lockstep windows of
+/// `window_iterations` collection periods and seal iteration-aligned
+/// blocks into a bounded MPSC staging ring at every window boundary. A
+/// dedicated merge thread drains the ring into a trace::MergeFrontier,
+/// which emits merged blocks the moment an iteration front is complete
+/// across all labs — it never waits for any lab to finish its campaign.
+/// Merged blocks flow through a second ring into the
+/// analysis::StreamingAnalysis fold running on its own thread. Block
+/// buffers recycle backwards through the rings (per-shard pools feed the
+/// collectors; the fold returns merged blocks to the emitter), so the
+/// steady state allocates nothing on the merge path.
+///
+/// The result is bit-identical to StreamingExperiment::Run (stream hash,
+/// run stats, all analyses) at any shard count, window length, block size
+/// or ring capacity, and checkpoints interoperate with streaming spill
+/// dirs in both directions (pinned by tests/core/
+/// test_pipelined_determinism).
+class PipelinedExperiment {
+ public:
   [[nodiscard]] static StreamingExperimentResult Run(
       const ExperimentConfig& config, const StreamingOptions& options = {});
 };

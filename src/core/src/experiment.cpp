@@ -20,29 +20,18 @@
 
 namespace labmon::core {
 
-namespace {
-
-/// A shard = a contiguous run of labs, [lab_begin, lab_end).
-struct Shard {
-  std::size_t lab_begin = 0;
-  std::size_t lab_end = 0;
-};
-
-/// Contiguous greedy partition of the labs into `shards` groups balanced by
-/// machine count. Every shard gets at least one lab (shards is pre-clamped
-/// to the lab count) and every lab is covered exactly once.
-std::vector<Shard> PartitionLabsByMachines(const winsim::Fleet& fleet,
-                                           std::size_t shards) {
+std::vector<LabShard> PartitionLabsByMachines(const winsim::Fleet& fleet,
+                                              std::size_t shards) {
   const auto labs = fleet.labs();
   std::size_t machines_left = fleet.size();
-  std::vector<Shard> out;
+  std::vector<LabShard> out;
   out.reserve(shards);
   std::size_t lab = 0;
   for (std::size_t s = 0; s < shards; ++s) {
     const std::size_t shards_left = shards - s;
     const std::size_t target =
         (machines_left + shards_left - 1) / shards_left;
-    Shard shard;
+    LabShard shard;
     shard.lab_begin = lab;
     std::size_t took = 0;
     // Take labs up to the per-shard target, but always leave enough labs
@@ -63,6 +52,8 @@ std::vector<Shard> PartitionLabsByMachines(const winsim::Fleet& fleet,
   }
   return out;
 }
+
+namespace {
 
 /// Trace capacity estimate per machine: ~96 aligned iterations per day,
 /// responses only while a machine is powered on. The response-rate guess is
@@ -117,7 +108,7 @@ ExperimentResult Experiment::Run(const ExperimentConfig& config) {
   const std::size_t shard_count = std::min(
       lab_count, config.shards > 0 ? static_cast<std::size_t>(config.shards)
                                    : util::DefaultWorkerCount());
-  const std::vector<Shard> shards =
+  const std::vector<LabShard> shards =
       PartitionLabsByMachines(fleet, std::max<std::size_t>(1, shard_count));
 
   // Campus-global behavioural context, computed once and shared read-only

@@ -1,12 +1,9 @@
 #include "labmon/core/streaming.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <memory>
 #include <mutex>
-#include <sstream>
 #include <utility>
 
 #include "labmon/core/snapshot.hpp"
@@ -22,120 +19,17 @@
 #include "labmon/util/parallel.hpp"
 #include "labmon/winsim/paper_specs.hpp"
 #include "labmon/workload/profile.hpp"
+#include "streaming_detail.hpp"
 
 namespace labmon::core {
 
 namespace {
 
-/// What one lab's collection contributes to the campaign totals — exactly
-/// the fields Experiment::Run sums per shard. This is also the sidecar
-/// payload: a resumed lab restores these without re-simulating.
-struct LabCheckpoint {
-  ddc::RunStats stats;
-  workload::GroundTruth truth;
-  std::uint64_t parse_failures = 0;
-  std::uint64_t crosscheck_mismatches = 0;
-  std::uint64_t blocks = 0;
-};
-
-constexpr char kSidecarMagic[] = "LMSGCK";
-constexpr std::uint64_t kSidecarVersion = 1;
-
-std::string LabFileStem(const std::string& dir, std::size_t lab) {
-  char name[32];
-  std::snprintf(name, sizeof(name), "lab%04zu", lab);
-  return dir + "/" + name;
-}
-
-std::string SegmentPath(const std::string& dir, std::size_t lab) {
-  return LabFileStem(dir, lab) + ".lmsg";
-}
-
-std::string SidecarPath(const std::string& dir, std::size_t lab) {
-  return LabFileStem(dir, lab) + ".ck";
-}
-
-/// The sidecar is the checkpoint commit point: written (atomically, via
-/// temp file + rename) only after the lab's segment is complete, so a
-/// crash mid-lab leaves no sidecar and the lab is simply re-simulated.
-bool WriteSidecar(const std::string& path, std::uint64_t fingerprint,
-                  std::size_t lab, const LabCheckpoint& cp) {
-  std::ostringstream out;
-  out << kSidecarMagic << ' ' << kSidecarVersion << '\n';
-  out << "fingerprint " << fingerprint << '\n';
-  out << "lab " << lab << '\n';
-  out << "blocks " << cp.blocks << '\n';
-  out << "parse_failures " << cp.parse_failures << '\n';
-  out << "crosscheck_mismatches " << cp.crosscheck_mismatches << '\n';
-  const ddc::RunStats& s = cp.stats;
-  out << "stats " << s.attempts << ' ' << s.successes << ' ' << s.timeouts
-      << ' ' << s.errors << ' ' << s.missing << ' ' << s.corrupt << ' '
-      << s.recovered_after_retry << ' ' << s.retry_attempts << ' '
-      << s.retried_collections << ' ' << s.faults_injected << '\n';
-  const workload::GroundTruth& t = cp.truth;
-  out << "truth " << t.boots << ' ' << t.shutdowns << ' ' << t.reboots << ' '
-      << t.short_cycles << ' ' << t.class_logins << ' ' << t.walkin_logins
-      << ' ' << t.forgotten_sessions << ' ' << t.lost_arrivals << ' '
-      << t.sweep_shutdowns << '\n';
-
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
-    if (!file) return false;
-    const std::string bytes = out.str();
-    file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    file.flush();
-    if (!file) return false;
-  }
-  return std::rename(tmp.c_str(), path.c_str()) == 0;
-}
-
-/// Parses and validates a sidecar; false on any mismatch (wrong magic or
-/// version, foreign fingerprint, wrong lab index, truncation).
-bool LoadSidecar(const std::string& path, std::uint64_t fingerprint,
-                 std::size_t lab, LabCheckpoint& cp) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return false;
-  std::string magic;
-  std::uint64_t version = 0;
-  std::uint64_t stored_fingerprint = 0;
-  std::uint64_t stored_lab = 0;
-  std::string key;
-  if (!(file >> magic >> version) || magic != kSidecarMagic ||
-      version != kSidecarVersion) {
-    return false;
-  }
-  if (!(file >> key >> stored_fingerprint) || key != "fingerprint" ||
-      stored_fingerprint != fingerprint) {
-    return false;
-  }
-  if (!(file >> key >> stored_lab) || key != "lab" || stored_lab != lab) {
-    return false;
-  }
-  if (!(file >> key >> cp.blocks) || key != "blocks") return false;
-  if (!(file >> key >> cp.parse_failures) || key != "parse_failures") {
-    return false;
-  }
-  if (!(file >> key >> cp.crosscheck_mismatches) ||
-      key != "crosscheck_mismatches") {
-    return false;
-  }
-  ddc::RunStats& s = cp.stats;
-  if (!(file >> key >> s.attempts >> s.successes >> s.timeouts >> s.errors >>
-        s.missing >> s.corrupt >> s.recovered_after_retry >>
-        s.retry_attempts >> s.retried_collections >> s.faults_injected) ||
-      key != "stats") {
-    return false;
-  }
-  workload::GroundTruth& t = cp.truth;
-  if (!(file >> key >> t.boots >> t.shutdowns >> t.reboots >>
-        t.short_cycles >> t.class_logins >> t.walkin_logins >>
-        t.forgotten_sessions >> t.lost_arrivals >> t.sweep_shutdowns) ||
-      key != "truth") {
-    return false;
-  }
-  return true;
-}
+using detail::LabCheckpoint;
+using detail::LoadSidecar;
+using detail::SegmentPath;
+using detail::SidecarPath;
+using detail::WriteSidecar;
 
 /// Wraps the post-collect sink: samples append to a small working store,
 /// and whenever an iteration completes with the store at or past the
@@ -383,19 +277,7 @@ StreamingExperimentResult StreamingExperiment::Run(
   if (!result.errors.empty()) return result;
 
   for (const LabCheckpoint& cp : checkpoints) {
-    result.run_stats.attempts += cp.stats.attempts;
-    result.run_stats.successes += cp.stats.successes;
-    result.run_stats.timeouts += cp.stats.timeouts;
-    result.run_stats.errors += cp.stats.errors;
-    result.run_stats.missing += cp.stats.missing;
-    result.run_stats.corrupt += cp.stats.corrupt;
-    result.run_stats.recovered_after_retry += cp.stats.recovered_after_retry;
-    result.run_stats.retry_attempts += cp.stats.retry_attempts;
-    result.run_stats.retried_collections += cp.stats.retried_collections;
-    result.run_stats.faults_injected += cp.stats.faults_injected;
-    result.ground_truth += cp.truth;
-    result.parse_failures += cp.parse_failures;
-    result.crosscheck_mismatches += cp.crosscheck_mismatches;
+    detail::AccumulateCheckpoint(result, cp);
   }
   if (result.crosscheck_mismatches != 0) {
     util::log::Warn(std::to_string(result.crosscheck_mismatches) +
@@ -403,26 +285,7 @@ StreamingExperimentResult StreamingExperiment::Run(
                     "codec diverged from the wire format");
   }
 
-  result.hardware = fleet.HardwareTotals();
-  result.perf_index.reserve(machine_count);
-  for (std::size_t i = 0; i < machine_count; ++i) {
-    result.perf_index.push_back(fleet.machine(i).spec().CombinedIndex());
-  }
-  std::vector<analysis::LabKey> keys;
-  for (const auto& lab : fleet.labs()) {
-    const auto& spec = fleet.machine(lab.first).spec();
-    LabSummary summary;
-    summary.name = lab.name;
-    summary.machine_count = lab.count;
-    summary.cpu_model = spec.cpu_model;
-    summary.cpu_ghz = spec.cpu_ghz;
-    summary.ram_mb = spec.ram_mb;
-    summary.disk_gb = spec.disk_gb;
-    summary.int_index = spec.int_index;
-    summary.fp_index = spec.fp_index;
-    result.labs.push_back(std::move(summary));
-    keys.push_back(analysis::LabKey{lab.name, lab.first, lab.count});
-  }
+  std::vector<analysis::LabKey> keys = detail::FillFleetSummaries(result, fleet);
 
   // Merge + fold: re-stream every lab, merge iteration-major and fold the
   // merged blocks into the incremental analysis as they seal. The stream
@@ -493,23 +356,7 @@ StreamingExperimentResult StreamingExperiment::Run(
   result.merged_blocks = merged.blocks;
   result.stream_hash = stream_hash;
 
-  // Iteration aggregates, exactly as Experiment::Run computes them.
-  {
-    double sum_s = 0.0;
-    for (const trace::IterationInfo& it : result.summary.iterations()) {
-      const double duration = static_cast<double>(it.end_t - it.start_t);
-      sum_s += duration;
-      result.run_stats.max_iteration_s =
-          std::max(result.run_stats.max_iteration_s, duration);
-    }
-    const std::size_t n = result.summary.iterations().size();
-    result.run_stats.iterations = n;
-    result.run_stats.mean_iteration_s =
-        n ? sum_s / static_cast<double>(n) : 0.0;
-    result.run_stats.total_span_s =
-        n ? static_cast<double>(result.summary.iterations().back().end_t)
-          : 0.0;
-  }
+  detail::ComputeIterationAggregates(result);
 
   result.analysis = fold.Finish(result.summary);
   if (detector) {

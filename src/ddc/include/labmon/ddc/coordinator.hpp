@@ -172,8 +172,22 @@ class Coordinator {
 
   /// Runs iterations from `start` until the iteration start would reach
   /// `end`. Returns run statistics. Tallies are per-run: calling Run()
-  /// again on the same coordinator starts from zero.
+  /// again on the same coordinator starts from zero. Exactly equivalent to
+  /// Begin(start); StepUntil(end); Finish().
   RunStats Run(util::SimTime start, util::SimTime end);
+
+  /// Incremental windowed driving — the pipelined engine advances every
+  /// lab in lockstep time windows so sealed blocks stream out while later
+  /// windows are still simulating. The sweep/boundary sequence (and thus
+  /// every probe, retry and fault draw) is bit-identical to one Run(start,
+  /// end) call for any ascending window partition of [start, end).
+  void Begin(util::SimTime start);
+  /// Runs every iteration whose schedule condition falls before `until`.
+  /// Call with ascending `until` values; the final call must use the run's
+  /// end time.
+  void StepUntil(util::SimTime until);
+  /// Finalises and returns the run statistics accumulated since Begin().
+  [[nodiscard]] RunStats Finish();
 
  private:
   /// Per-machine instruments, resolved once per Run() so the probe loop
@@ -215,6 +229,16 @@ class Coordinator {
   std::uint64_t retry_attempts_ = 0;
   std::uint64_t retried_collections_ = 0;
   std::uint64_t structured_ok_ = 0;  ///< cross-check cadence counter
+
+  // Incremental-run loop state (Begin()/StepUntil()/Finish()).
+  util::SimTime run_start_ = 0;
+  util::SimTime boundary_ = 0;          ///< aligned mode: sweep k's anchor
+  util::SimTime iteration_start_ = 0;
+  util::SimTime last_iteration_end_ = 0;
+  std::uint64_t iterations_done_ = 0;
+  double iteration_s_sum_ = 0.0;
+  double max_iteration_s_ = 0.0;
+  std::uint64_t faults_before_ = 0;
 
   winsim::Fleet& fleet_;
   Probe& probe_;

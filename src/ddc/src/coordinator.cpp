@@ -237,39 +237,50 @@ util::SimTime Coordinator::CollectOnce(std::size_t machine_index,
 }
 
 RunStats Coordinator::Run(util::SimTime start, util::SimTime end) {
-  // Tallies are per-run; without this a second Run() would fold the first
+  Begin(start);
+  StepUntil(end);
+  return Finish();
+}
+
+void Coordinator::Begin(util::SimTime start) {
+  // Tallies are per-run; without this a second run would fold the first
   // run's counts into its RunStats.
   attempts_ = successes_ = timeouts_ = errors_ = 0;
   missing_ = corrupt_ = recovered_ = 0;
   retry_attempts_ = retried_collections_ = 0;
   structured_ok_ = 0;
-  const std::uint64_t faults_before =
-      config_.faults ? config_.faults->injected_total() : 0;
+  faults_before_ = config_.faults ? config_.faults->injected_total() : 0;
+  run_start_ = start;
+  boundary_ = start;
+  iteration_start_ = start;
+  last_iteration_end_ = start;
+  iterations_done_ = 0;
+  iteration_s_sum_ = 0.0;
+  max_iteration_s_ = 0.0;
+}
 
-  RunStats stats;
-  double iteration_s_sum = 0.0;
-  util::SimTime boundary = start;  ///< aligned mode: sweep k's anchor
-  util::SimTime iteration_start = start;
-  while (config_.aligned_schedule ? boundary < end : iteration_start < end) {
+void Coordinator::StepUntil(util::SimTime until) {
+  while (config_.aligned_schedule ? boundary_ < until
+                                  : iteration_start_ < until) {
     if (config_.aligned_schedule) {
       // Carry a late sweep, never skip a boundary: every range runs the
       // same sweep count over [start, end).
-      iteration_start = std::max(boundary, iteration_start);
+      iteration_start_ = std::max(boundary_, iteration_start_);
     }
     util::SimTime iteration_end;
     {
       obs::Span span("coordinator.iteration", config_.tracer);
       iteration_end =
           config_.mode == CoordinatorConfig::Mode::kSequential
-              ? RunIterationSequential(stats.iterations, iteration_start)
-              : RunIterationParallel(stats.iterations, iteration_start);
-      span.SetSimRange(iteration_start, iteration_end);
+              ? RunIterationSequential(iterations_done_, iteration_start_)
+              : RunIterationParallel(iterations_done_, iteration_start_);
+      span.SetSimRange(iteration_start_, iteration_end);
     }
-    sink_.OnIterationEnd(stats.iterations, iteration_start, iteration_end);
+    sink_.OnIterationEnd(iterations_done_, iteration_start_, iteration_end);
     const double duration =
-        static_cast<double>(iteration_end - iteration_start);
-    iteration_s_sum += duration;
-    stats.max_iteration_s = std::max(stats.max_iteration_s, duration);
+        static_cast<double>(iteration_end - iteration_start_);
+    iteration_s_sum_ += duration;
+    max_iteration_s_ = std::max(max_iteration_s_, duration);
     if (iterations_counter_) {
       iterations_counter_->Increment();
       iteration_hist_->Observe(duration);
@@ -278,21 +289,32 @@ RunStats Coordinator::Run(util::SimTime start, util::SimTime end) {
       overrun_hist_->Observe(overrun);
       overrun_gauge_->Set(overrun);
     }
-    ++stats.iterations;
-    stats.total_span_s = static_cast<double>(iteration_end - start);
+    ++iterations_done_;
+    last_iteration_end_ = iteration_end;
     if (config_.aligned_schedule) {
-      boundary += config_.period;
-      iteration_start = iteration_end;
+      boundary_ += config_.period;
+      iteration_start_ = iteration_end;
     } else {
       // Next attempt at the next period boundary — or immediately, when the
       // iteration overran the period (the paper's 6,883 < 7,392 effect).
-      iteration_start =
-          std::max(iteration_start + config_.period, iteration_end);
+      iteration_start_ =
+          std::max(iteration_start_ + config_.period, iteration_end);
     }
   }
+}
+
+RunStats Coordinator::Finish() {
+  RunStats stats;
+  stats.iterations = iterations_done_;
+  stats.max_iteration_s = max_iteration_s_;
   stats.mean_iteration_s =
-      stats.iterations ? iteration_s_sum / static_cast<double>(stats.iterations)
-                       : 0.0;
+      iterations_done_
+          ? iteration_s_sum_ / static_cast<double>(iterations_done_)
+          : 0.0;
+  stats.total_span_s =
+      iterations_done_
+          ? static_cast<double>(last_iteration_end_ - run_start_)
+          : 0.0;
 
   // Fold per-attempt tallies (kept by the sequential/parallel loops via the
   // member counters below).
@@ -306,7 +328,7 @@ RunStats Coordinator::Run(util::SimTime start, util::SimTime end) {
   stats.retry_attempts = retry_attempts_;
   stats.retried_collections = retried_collections_;
   stats.faults_injected =
-      config_.faults ? config_.faults->injected_total() - faults_before : 0;
+      config_.faults ? config_.faults->injected_total() - faults_before_ : 0;
   return stats;
 }
 

@@ -59,9 +59,11 @@ enum class Phase : std::uint8_t {
   kAnalysis,        ///< derived trace + analysis pipeline
   kSnapshot,        ///< snapshot cache load/store
   kExport,          ///< report/CSV/exporter output
+  kStage,           ///< pipelined engine: block sealing + ring transfer/waits
+  kFold,            ///< pipelined engine: streaming-analysis fold stage
   kOther,
 };
-inline constexpr std::size_t kPhaseCount = 9;
+inline constexpr std::size_t kPhaseCount = 11;
 [[nodiscard]] const char* PhaseName(Phase phase) noexcept;
 
 /// Shard id meaning "not inside any shard" (serial / coordinator thread).

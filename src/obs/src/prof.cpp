@@ -239,6 +239,8 @@ const char* PhaseName(Phase phase) noexcept {
     case Phase::kAnalysis: return "analysis";
     case Phase::kSnapshot: return "snapshot";
     case Phase::kExport: return "export";
+    case Phase::kStage: return "stage";
+    case Phase::kFold: return "fold";
     case Phase::kOther: return "other";
   }
   return "other";

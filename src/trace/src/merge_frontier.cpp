@@ -1,0 +1,210 @@
+#include "labmon/trace/merge_frontier.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "labmon/util/parallel.hpp"
+
+namespace labmon::trace {
+
+namespace {
+/// Fronts gathered per Advance() batch before sorting + appending. Bounds
+/// the staged-key working set; large enough that a backed-up ring yields
+/// real sort parallelism.
+constexpr std::size_t kMaxFrontBatch = 32;
+/// Parallel sorting only pays for itself past this many staged keys.
+constexpr std::size_t kParallelSortThreshold = 4096;
+}  // namespace
+
+MergeFrontier::MergeFrontier(std::size_t part_count,
+                             std::size_t machine_count,
+                             std::size_t block_samples)
+    : parts_(part_count),
+      block_samples_(std::max<std::size_t>(1, block_samples)),
+      builder_(machine_count) {}
+
+void MergeFrontier::Append(std::size_t part,
+                           std::unique_ptr<TraceBlock> block) {
+  Part& p = parts_[part];
+  Slot slot;
+  slot.view = block.get();
+  slot.owned = std::move(block);
+  p.slots.push_back(std::move(slot));
+  ++buffered_blocks_;
+}
+
+void MergeFrontier::AppendView(std::size_t part, const TraceBlock* block) {
+  Slot slot;
+  slot.view = block;
+  parts_[part].slots.push_back(std::move(slot));
+  ++buffered_blocks_;
+}
+
+void MergeFrontier::FinishPart(std::size_t part) {
+  parts_[part].done = true;
+}
+
+void MergeFrontier::RetireExhausted(std::size_t part) {
+  Part& p = parts_[part];
+  while (!p.slots.empty()) {
+    const TraceBlock& head = *p.slots.front().view;
+    if (p.idx < head.size() || p.it_idx < head.iterations.size()) break;
+    Slot slot = std::move(p.slots.front());
+    p.slots.pop_front();
+    p.idx = 0;
+    p.it_idx = 0;
+    --buffered_blocks_;
+    if (slot.owned) retired_.emplace_back(part, std::move(slot.owned));
+  }
+}
+
+MergeFrontier::Scan MergeFrontier::CheckReady() {
+  while (scan_pos_ < parts_.size()) {
+    Part& part = parts_[scan_pos_];
+    RetireExhausted(scan_pos_);
+    if (!part.slots.empty()) {
+      scan_content_ = true;
+    } else if (!part.done) {
+      stalled_part_ = scan_pos_;
+      return Scan::kStalled;
+    }
+    ++scan_pos_;
+  }
+  return scan_content_ ? Scan::kReady : Scan::kExhausted;
+}
+
+void MergeFrontier::GatherFront() {
+  const std::uint64_t it = next_front_;
+  const std::size_t range_begin = batch_keys_.size();
+  IterationInfo info;
+  info.iteration = it;
+  bool any = false;
+  for (Part& part : parts_) {
+    if (part.slots.empty()) continue;  // finished part, stream drained
+    const TraceBlock& block = *part.slots.front().view;
+    // Drop malformed (non-monotonic / info-less) rows so a corrupt input
+    // cannot wedge the merge loop; MergeTraces drops the same rows by
+    // leaving its cursor stuck until max_iters.
+    while (part.idx < block.size() &&
+           block.cols.iteration[part.idx] < it) {
+      ++part.idx;
+    }
+    while (part.it_idx < block.iterations.size() &&
+           block.iterations[part.it_idx].iteration < it) {
+      ++part.it_idx;
+    }
+    if (part.it_idx >= block.iterations.size() ||
+        block.iterations[part.it_idx].iteration != it) {
+      continue;
+    }
+    const IterationInfo& pi = block.iterations[part.it_idx];
+    ++part.it_idx;
+    if (!any) {
+      info.start_t = pi.start_t;
+      info.end_t = pi.end_t;
+      any = true;
+    } else {
+      info.start_t = std::min(info.start_t, pi.start_t);
+      info.end_t = std::max(info.end_t, pi.end_t);
+    }
+    info.attempts += pi.attempts;
+    info.successes += pi.successes;
+    const TraceStore::Columns& cols = block.cols;
+    while (part.idx < block.size() && cols.iteration[part.idx] == it) {
+      batch_keys_.push_back({cols.t[part.idx], cols.machine[part.idx],
+                             &block,
+                             static_cast<std::uint32_t>(part.idx)});
+      ++part.idx;
+    }
+  }
+  batch_ranges_.emplace_back(range_begin, batch_keys_.size());
+  batch_infos_.push_back(info);
+  batch_has_info_.push_back(any ? 1 : 0);
+  ++next_front_;
+  // The next front starts a fresh readiness scan (this one consumed
+  // content, so earlier parts may now be exhausted).
+  scan_pos_ = 0;
+  scan_content_ = false;
+}
+
+void MergeFrontier::Seal(EmitFn emit) {
+  if (builder_.size() == 0) return;
+  sealed_.AssignFrom(builder_);
+  sealed_.iterations.clear();
+  samples_ += sealed_.size();
+  ++blocks_;
+  emit(sealed_);
+  builder_.ClearSamples();
+}
+
+std::size_t MergeFrontier::Advance(EmitFn emit, RecycleFn recycle,
+                                   std::size_t sort_workers) {
+  std::size_t fronts_merged = 0;
+  while (!finished_) {
+    // Gather a batch of ready fronts.
+    batch_keys_.clear();
+    batch_ranges_.clear();
+    batch_infos_.clear();
+    batch_has_info_.clear();
+    Scan scan = Scan::kReady;
+    while (batch_ranges_.size() < kMaxFrontBatch) {
+      scan = CheckReady();
+      if (scan != Scan::kReady) break;
+      GatherFront();
+    }
+    if (!batch_ranges_.empty()) {
+      // Sort each front's keys — in parallel when the ring backed up and
+      // the batch is big enough to amortise the threads. Keys are unique
+      // per front ((t, machine); a machine is probed at most once per
+      // iteration), so the sorted order does not depend on scheduling.
+      const auto sort_range = [&](std::size_t f) {
+        const auto [begin, end] = batch_ranges_[f];
+        std::sort(batch_keys_.begin() + static_cast<std::ptrdiff_t>(begin),
+                  batch_keys_.begin() + static_cast<std::ptrdiff_t>(end),
+                  [](const Key& a, const Key& b) {
+                    return a.t != b.t ? a.t < b.t : a.machine < b.machine;
+                  });
+      };
+      if (sort_workers > 1 && batch_ranges_.size() > 1 &&
+          batch_keys_.size() >= kParallelSortThreshold) {
+        util::ParallelFor(batch_ranges_.size(), sort_range, sort_workers);
+      } else {
+        for (std::size_t f = 0; f < batch_ranges_.size(); ++f) {
+          sort_range(f);
+        }
+      }
+      // Append strictly in front order; seal points fall exactly where the
+      // one-front-at-a-time merge would put them.
+      for (std::size_t f = 0; f < batch_ranges_.size(); ++f) {
+        const auto [begin, end] = batch_ranges_[f];
+        for (std::size_t k = begin; k < end; ++k) {
+          const Key& key = batch_keys_[k];
+          const TraceBlock& src = *key.src;
+          std::uint32_t uid = src.cols.user_id[key.idx];
+          if (uid != TraceStore::kNoUser) {
+            uid = builder_.InternUserId(src.users[uid]);
+          }
+          builder_.AppendFrom(src.cols, key.idx, uid);
+        }
+        if (batch_has_info_[f]) iterations_.push_back(batch_infos_[f]);
+        ++fronts_merged;
+        if (builder_.size() >= block_samples_) Seal(emit);
+      }
+    }
+    // Consumed owned blocks are safe to recycle once their rows are
+    // appended (keys referenced them during the batch).
+    for (auto& [part, block] : retired_) {
+      recycle(part, std::move(block));
+    }
+    retired_.clear();
+    if (scan == Scan::kExhausted) {
+      Seal(emit);  // trailing partial block
+      finished_ = true;
+      break;
+    }
+    if (scan == Scan::kStalled) break;
+  }
+  return fronts_merged;
+}
+
+}  // namespace labmon::trace

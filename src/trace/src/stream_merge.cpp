@@ -1,43 +1,17 @@
 #include "labmon/trace/stream_merge.hpp"
 
-#include <algorithm>
-#include <string>
+#include <memory>
 
 #include "labmon/obs/prof.hpp"
+#include "labmon/trace/merge_frontier.hpp"
 
 namespace labmon::trace {
 
-namespace {
-
-/// Cursor over one part's block stream: current block plus sample and
-/// iteration indices within it. Collection blocks are iteration-aligned,
-/// so one iteration's samples and its IterationInfo always live in the
-/// same block — gathering an iteration never crosses a block boundary.
-struct PartCursor {
-  TraceReader* reader = nullptr;
-  const TraceBlock* block = nullptr;
-  std::size_t idx = 0;
-  std::size_t it_idx = 0;
-  bool done = false;
-
-  void NextBlock() {
-    block = reader->Next();
-    idx = 0;
-    it_idx = 0;
-    done = block == nullptr;
-  }
-  /// Skips past fully-consumed blocks; false when the stream is exhausted.
-  bool EnsureContent() {
-    while (!done && idx >= block->size() &&
-           it_idx >= block->iterations.size()) {
-      NextBlock();
-    }
-    return !done;
-  }
-};
-
-}  // namespace
-
+// Pull-model adapter over MergeFrontier: feed each reader's current block
+// as a borrowed view, advance until the frontier stalls, pull the stalled
+// part's next block. A part never buffers more than one view at a time, so
+// the reader's scratch block stays valid exactly as long as the frontier
+// references it (its rows are appended before Advance returns).
 StreamMergeResult StreamMergeBlocks(
     std::span<TraceReader* const> parts, std::size_t machine_count,
     std::size_t block_samples,
@@ -45,101 +19,28 @@ StreamMergeResult StreamMergeBlocks(
   obs::prof::PhaseScope prof_scope(obs::prof::Phase::kMerge);
   StreamMergeResult result;
   if (parts.empty()) return result;
-  block_samples = std::max<std::size_t>(1, block_samples);
 
-  std::vector<PartCursor> cursors(parts.size());
-  for (std::size_t p = 0; p < parts.size(); ++p) {
-    cursors[p].reader = parts[p];
-    cursors[p].NextBlock();
+  MergeFrontier frontier(parts.size(), machine_count, block_samples);
+  const auto feed = [&](std::size_t p) {
+    if (const TraceBlock* block = parts[p]->Next(); block != nullptr) {
+      frontier.AppendView(p, block);
+    } else {
+      frontier.FinishPart(p);
+    }
+  };
+  for (std::size_t p = 0; p < parts.size(); ++p) feed(p);
+
+  const auto emit = [&](TraceBlock& block) { sink(block); };
+  const auto drop = [](std::size_t, std::unique_ptr<TraceBlock>) {};
+  while (!frontier.finished()) {
+    frontier.Advance(emit, drop);
+    if (frontier.finished()) break;
+    feed(frontier.stalled_part());
   }
 
-  // Same per-iteration staging as MergeTraces: Key sorted by (t, machine)
-  // is a total order because a machine is probed at most once per
-  // iteration.
-  struct Key {
-    std::int64_t t;
-    std::uint32_t machine;
-    std::size_t part;
-    std::size_t idx;
-  };
-  std::vector<Key> staged;
-
-  // The output block is built in a TraceStore so the sealed block gets a
-  // block-local user table via the store's interning; user strings are
-  // carried by value across the part→merged boundary, so the merged ids
-  // are block-local and the stream hash (which hashes strings, not ids)
-  // is unaffected.
-  TraceStore builder(machine_count);
-  TraceBlock sealed;
-  const auto seal = [&] {
-    if (builder.size() == 0) return;
-    sealed.AssignFrom(builder);
-    sealed.iterations.clear();
-    result.samples += sealed.size();
-    ++result.blocks;
-    sink(sealed);
-    builder.ClearSamples();
-  };
-
-  for (std::uint64_t it = 0;; ++it) {
-    bool alive = false;
-    bool any = false;
-    IterationInfo info;
-    info.iteration = it;
-    for (std::size_t p = 0; p < parts.size(); ++p) {
-      PartCursor& cur = cursors[p];
-      if (!cur.EnsureContent()) continue;
-      alive = true;
-      // Drop malformed (non-monotonic / info-less) rows so a corrupt input
-      // cannot wedge the merge loop; MergeTraces drops the same rows by
-      // leaving its cursor stuck until max_iters.
-      while (cur.idx < cur.block->size() &&
-             cur.block->cols.iteration[cur.idx] < it) {
-        ++cur.idx;
-      }
-      while (cur.it_idx < cur.block->iterations.size() &&
-             cur.block->iterations[cur.it_idx].iteration < it) {
-        ++cur.it_idx;
-      }
-      if (cur.it_idx >= cur.block->iterations.size() ||
-          cur.block->iterations[cur.it_idx].iteration != it) {
-        continue;
-      }
-      const IterationInfo& pi = cur.block->iterations[cur.it_idx];
-      ++cur.it_idx;
-      if (!any) {
-        info.start_t = pi.start_t;
-        info.end_t = pi.end_t;
-        any = true;
-      } else {
-        info.start_t = std::min(info.start_t, pi.start_t);
-        info.end_t = std::max(info.end_t, pi.end_t);
-      }
-      info.attempts += pi.attempts;
-      info.successes += pi.successes;
-      const TraceStore::Columns& cols = cur.block->cols;
-      while (cur.idx < cur.block->size() && cols.iteration[cur.idx] == it) {
-        staged.push_back({cols.t[cur.idx], cols.machine[cur.idx], p, cur.idx});
-        ++cur.idx;
-      }
-    }
-    if (!alive) break;
-    std::sort(staged.begin(), staged.end(), [](const Key& a, const Key& b) {
-      return a.t != b.t ? a.t < b.t : a.machine < b.machine;
-    });
-    for (const Key& k : staged) {
-      const TraceBlock& src = *cursors[k.part].block;
-      std::uint32_t uid = src.cols.user_id[k.idx];
-      if (uid != TraceStore::kNoUser) {
-        uid = builder.InternUserId(src.users[uid]);
-      }
-      builder.AppendFrom(src.cols, k.idx, uid);
-    }
-    staged.clear();
-    if (any) result.iterations.push_back(info);
-    if (builder.size() >= block_samples) seal();
-  }
-  seal();
+  result.iterations = frontier.TakeIterations();
+  result.samples = frontier.samples();
+  result.blocks = frontier.blocks();
   return result;
 }
 

@@ -1,0 +1,338 @@
+// Pipelined-engine determinism suite — the overlapped engine's contract:
+// windowed lockstep collection, the staging-ring merge and the threaded
+// analysis fold must reproduce the materialised engine bit-for-bit for
+// any shard count, window length, block size and ring capacity (including
+// the degenerate capacity-1 ring, which forces constant backpressure),
+// checkpoints must interoperate with StreamingExperiment spill dirs in
+// both directions, and a failing lab must abort the pipeline promptly
+// instead of deadlocking a parked stage.
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "labmon/analysis/stream_fold.hpp"
+#include "labmon/core/experiment.hpp"
+#include "labmon/core/streaming.hpp"
+#include "labmon/trace/block.hpp"
+
+namespace labmon {
+namespace {
+
+constexpr int kDays = 2;
+constexpr std::uint64_t kSeed = 20050201;
+
+core::ExperimentConfig GoldenConfig(int shards) {
+  core::ExperimentConfig config;
+  config.campus.days = kDays;
+  config.campus.seed = kSeed;
+  config.shards = shards;
+  return config;
+}
+
+const core::ExperimentResult& Materialised() {
+  static const core::ExperimentResult result =
+      core::Experiment::Run(GoldenConfig(1));
+  return result;
+}
+
+std::uint64_t MaterialisedHash() {
+  trace::StoreReader reader(Materialised().trace);
+  return trace::HashSampleStream(reader);
+}
+
+/// The fold over the materialised trace — pinned bit-identical to the
+/// chunked AnalysisPipeline by test_stream_fold.
+const analysis::StreamingAnalysisResult& MaterialisedAnalysis() {
+  static const analysis::StreamingAnalysisResult result = [] {
+    const core::ExperimentResult& golden = Materialised();
+    analysis::StreamingAnalysisConfig config;
+    config.machine_count = golden.trace.machine_count();
+    config.perf_index = golden.perf_index;
+    std::size_t first = 0;
+    for (const auto& lab : golden.labs) {
+      config.labs.push_back(
+          analysis::LabKey{lab.name, first, lab.machine_count});
+      first += lab.machine_count;
+    }
+    config.experiment_days = golden.days;
+    analysis::StreamingAnalysis fold(std::move(config));
+    trace::StoreReader reader(golden.trace);
+    while (const trace::TraceBlock* block = reader.Next()) {
+      fold.Accept(*block);
+    }
+    trace::TraceStore summary(golden.trace.machine_count());
+    for (const auto& info : golden.trace.iterations()) {
+      summary.AppendIteration(info);
+    }
+    return fold.Finish(summary);
+  }();
+  return result;
+}
+
+void ExpectAnalysisIdentical(const analysis::StreamingAnalysisResult& a,
+                             const analysis::StreamingAnalysisResult& b) {
+  const auto expect_column = [](const analysis::Table2Column& x,
+                                const analysis::Table2Column& y) {
+    EXPECT_EQ(x.samples, y.samples);
+    EXPECT_EQ(x.uptime_pct, y.uptime_pct);
+    EXPECT_EQ(x.cpu_idle_pct, y.cpu_idle_pct);
+    EXPECT_EQ(x.ram_load_pct, y.ram_load_pct);
+    EXPECT_EQ(x.swap_load_pct, y.swap_load_pct);
+    EXPECT_EQ(x.disk_used_gb, y.disk_used_gb);
+    EXPECT_EQ(x.sent_bps, y.sent_bps);
+    EXPECT_EQ(x.recv_bps, y.recv_bps);
+  };
+  expect_column(a.table2.no_login, b.table2.no_login);
+  expect_column(a.table2.with_login, b.table2.with_login);
+  expect_column(a.table2.both, b.table2.both);
+  EXPECT_EQ(a.table2.raw_login_samples, b.table2.raw_login_samples);
+  EXPECT_EQ(a.table2.reclassified_samples, b.table2.reclassified_samples);
+  EXPECT_EQ(a.availability.series.mean_powered_on,
+            b.availability.series.mean_powered_on);
+  EXPECT_EQ(a.availability.series.mean_user_free,
+            b.availability.series.mean_user_free);
+  ASSERT_EQ(a.availability.ranking.entries.size(),
+            b.availability.ranking.entries.size());
+  for (std::size_t i = 0; i < a.availability.ranking.entries.size(); ++i) {
+    EXPECT_EQ(a.availability.ranking.entries[i].machine,
+              b.availability.ranking.entries[i].machine);
+    EXPECT_EQ(a.availability.ranking.entries[i].uptime_ratio,
+              b.availability.ranking.entries[i].uptime_ratio);
+  }
+  ASSERT_EQ(a.session_hours.bins.size(), b.session_hours.bins.size());
+  for (std::size_t i = 0; i < a.session_hours.bins.size(); ++i) {
+    EXPECT_EQ(a.session_hours.bins[i].samples,
+              b.session_hours.bins[i].samples);
+    EXPECT_EQ(a.session_hours.bins[i].mean_cpu_idle_pct,
+              b.session_hours.bins[i].mean_cpu_idle_pct);
+  }
+  ASSERT_EQ(a.weekly.cpu_idle_pct.bin_count(),
+            b.weekly.cpu_idle_pct.bin_count());
+  for (std::size_t i = 0; i < a.weekly.cpu_idle_pct.bin_count(); ++i) {
+    EXPECT_EQ(a.weekly.cpu_idle_pct.Mean(i), b.weekly.cpu_idle_pct.Mean(i));
+    EXPECT_EQ(a.weekly.ram_load_pct.Mean(i), b.weekly.ram_load_pct.Mean(i));
+  }
+  EXPECT_EQ(a.equivalence.mean_occupied, b.equivalence.mean_occupied);
+  EXPECT_EQ(a.equivalence.mean_free, b.equivalence.mean_free);
+  EXPECT_EQ(a.equivalence.mean_total, b.equivalence.mean_total);
+  EXPECT_EQ(a.stability.sessions.session_count,
+            b.stability.sessions.session_count);
+  EXPECT_EQ(a.stability.sessions.mean_hours, b.stability.sessions.mean_hours);
+  EXPECT_EQ(a.stability.smart.experiment_cycles,
+            b.stability.smart.experiment_cycles);
+  EXPECT_EQ(a.stability.smart.cycles_per_machine_mean,
+            b.stability.smart.cycles_per_machine_mean);
+  ASSERT_EQ(a.per_lab.usage.size(), b.per_lab.usage.size());
+  for (std::size_t i = 0; i < a.per_lab.usage.size(); ++i) {
+    EXPECT_EQ(a.per_lab.usage[i].occupied_pct,
+              b.per_lab.usage[i].occupied_pct);
+    EXPECT_EQ(a.per_lab.usage[i].cpu_idle_pct,
+              b.per_lab.usage[i].cpu_idle_pct);
+    EXPECT_EQ(a.per_lab.usage[i].uptime_pct, b.per_lab.usage[i].uptime_pct);
+  }
+  EXPECT_EQ(a.capacity.mean_ram_gb, b.capacity.mean_ram_gb);
+  EXPECT_EQ(a.capacity.p10_ram_gb, b.capacity.p10_ram_gb);
+  EXPECT_EQ(a.capacity.mean_disk_tb, b.capacity.mean_disk_tb);
+  EXPECT_EQ(a.capacity.p10_disk_tb, b.capacity.p10_disk_tb);
+  ASSERT_EQ(a.capacity.ram_gb.size(), b.capacity.ram_gb.size());
+  for (std::size_t i = 0; i < a.capacity.ram_gb.size(); ++i) {
+    EXPECT_EQ(a.capacity.ram_gb[i].value, b.capacity.ram_gb[i].value);
+  }
+}
+
+void ExpectRunIdentical(const core::StreamingExperimentResult& piped) {
+  const core::ExperimentResult& golden = Materialised();
+  ASSERT_TRUE(piped.errors.empty())
+      << "first error: " << piped.errors.front();
+  EXPECT_EQ(piped.stream_hash, MaterialisedHash());
+  EXPECT_EQ(piped.samples, golden.trace.size());
+  EXPECT_EQ(piped.run_stats.iterations, golden.run_stats.iterations);
+  EXPECT_EQ(piped.run_stats.attempts, golden.run_stats.attempts);
+  EXPECT_EQ(piped.run_stats.successes, golden.run_stats.successes);
+  EXPECT_EQ(piped.run_stats.timeouts, golden.run_stats.timeouts);
+  EXPECT_EQ(piped.run_stats.missing, golden.run_stats.missing);
+  EXPECT_EQ(piped.run_stats.corrupt, golden.run_stats.corrupt);
+  EXPECT_EQ(piped.run_stats.mean_iteration_s,
+            golden.run_stats.mean_iteration_s);
+  EXPECT_EQ(piped.ground_truth.boots, golden.ground_truth.boots);
+  EXPECT_EQ(piped.ground_truth.TotalLogins(),
+            golden.ground_truth.TotalLogins());
+  EXPECT_EQ(piped.parse_failures, golden.parse_failures);
+  EXPECT_EQ(piped.crosscheck_mismatches, golden.crosscheck_mismatches);
+  EXPECT_EQ(piped.summary.iterations().size(),
+            golden.trace.iterations().size());
+  EXPECT_EQ(piped.perf_index, golden.perf_index);
+  ExpectAnalysisIdentical(piped.analysis, MaterialisedAnalysis());
+}
+
+TEST(PipelinedDeterminismTest, DefaultsMatchMaterialisedEngine) {
+  core::StreamingOptions options;
+  const auto piped = core::PipelinedExperiment::Run(GoldenConfig(1), options);
+  ExpectRunIdentical(piped);
+  EXPECT_GT(piped.pipeline.staged_blocks, 0u);
+  EXPECT_EQ(piped.pipeline.ring_capacity, options.ring_capacity);
+}
+
+TEST(PipelinedDeterminismTest, ShardWindowBlockAndRingAreInvisible) {
+  struct Case {
+    int shards;
+    std::size_t block_samples;
+    std::size_t ring_capacity;
+    std::size_t window_iterations;
+  };
+  // Representative corners of the {shards} x {block} x {ring} x {window}
+  // matrix, including tiny blocks (merged block per sample) and the
+  // capacity-1 ring under many shards (constant backpressure, labs
+  // completing out of order).
+  const Case cases[] = {
+      {2, 97, 4, 3},
+      {8, 1, 1, 5},
+      {4, 65536, 64, 16},
+      {8, 4096, 1, 1},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE("shards=" + std::to_string(c.shards) +
+                 " block=" + std::to_string(c.block_samples) +
+                 " ring=" + std::to_string(c.ring_capacity) +
+                 " window=" + std::to_string(c.window_iterations));
+    core::StreamingOptions options;
+    options.block_samples = c.block_samples;
+    options.ring_capacity = c.ring_capacity;
+    options.window_iterations = c.window_iterations;
+    const auto piped =
+        core::PipelinedExperiment::Run(GoldenConfig(c.shards), options);
+    ExpectRunIdentical(piped);
+  }
+}
+
+TEST(PipelinedDeterminismTest, SpilledRunMatchesAndCheckpoints) {
+  const std::string dir = ::testing::TempDir() + "/labmon_pipe_spill";
+  std::filesystem::remove_all(dir);
+  core::StreamingOptions options;
+  options.spill_dir = dir;
+  options.block_samples = 4096;
+  options.ring_capacity = 4;
+  const auto piped = core::PipelinedExperiment::Run(GoldenConfig(2), options);
+  ExpectRunIdentical(piped);
+  EXPECT_GT(piped.merged_blocks, 1u);
+  std::size_t segments = 0;
+  std::size_t sidecars = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string path = entry.path().string();
+    if (path.ends_with(".lmsg")) ++segments;
+    if (path.ends_with(".ck")) ++sidecars;
+  }
+  EXPECT_EQ(segments, piped.labs.size());
+  EXPECT_EQ(sidecars, piped.labs.size());
+}
+
+TEST(PipelinedDeterminismTest, ResumesStreamingCheckpointsAndViceVersa) {
+  // Checkpoints are engine-portable: a pipelined run resumes a streaming
+  // spill dir (replaying segments through the ring concurrently with live
+  // simulation) and a streaming run resumes a pipelined spill dir.
+  const std::string dir = ::testing::TempDir() + "/labmon_pipe_cross";
+  std::filesystem::remove_all(dir);
+  core::StreamingOptions options;
+  options.spill_dir = dir;
+  options.block_samples = 4096;
+  const auto seeded = core::StreamingExperiment::Run(GoldenConfig(2), options);
+  ASSERT_TRUE(seeded.errors.empty());
+  const std::size_t lab_count = seeded.labs.size();
+  ASSERT_GE(lab_count, 2u);
+
+  // Crash two labs: a truncated segment and a lost sidecar.
+  {
+    const std::string seg0 = dir + "/lab0000.lmsg";
+    const std::uintmax_t size = std::filesystem::file_size(seg0);
+    std::filesystem::resize_file(seg0, size / 2);
+    std::filesystem::remove(dir + "/lab0000.ck");
+    std::filesystem::remove(dir + "/lab0001.ck");
+  }
+  core::StreamingOptions resume_options = options;
+  resume_options.resume = true;
+  resume_options.ring_capacity = 2;
+  const auto piped =
+      core::PipelinedExperiment::Run(GoldenConfig(2), resume_options);
+  EXPECT_EQ(piped.labs_resumed, lab_count - 2);
+  ExpectRunIdentical(piped);
+
+  // Reverse direction: crash a lab of the (pipelined-written) spill dir
+  // and resume it with the streaming engine.
+  std::filesystem::remove(dir + "/lab0001.ck");
+  const auto streamed =
+      core::StreamingExperiment::Run(GoldenConfig(2), resume_options);
+  EXPECT_EQ(streamed.labs_resumed, lab_count - 1);
+  ASSERT_TRUE(streamed.errors.empty());
+  EXPECT_EQ(streamed.stream_hash, piped.stream_hash);
+}
+
+TEST(PipelinedDeterminismTest, AllLabsResumedSkipsSimulation) {
+  const std::string dir = ::testing::TempDir() + "/labmon_pipe_all_resumed";
+  std::filesystem::remove_all(dir);
+  core::StreamingOptions options;
+  options.spill_dir = dir;
+  options.block_samples = 4096;
+  const auto first = core::PipelinedExperiment::Run(GoldenConfig(2), options);
+  ASSERT_TRUE(first.errors.empty());
+  core::StreamingOptions resume_options = options;
+  resume_options.resume = true;
+  const auto second =
+      core::PipelinedExperiment::Run(GoldenConfig(2), resume_options);
+  EXPECT_EQ(second.labs_resumed, first.labs.size());
+  ExpectRunIdentical(second);
+}
+
+TEST(PipelinedDeterminismTest, FaultedRunMatchesStreamingEngine) {
+  // Under an active fault scenario the output differs from the clean
+  // golden, but the pipelined and streaming engines must still agree
+  // bit-for-bit with each other.
+  core::ExperimentConfig config = GoldenConfig(4);
+  config.fault_plan.enabled = true;
+  config.fault_plan.stochastic.transient_error_prob = 0.01;
+  config.fault_plan.stochastic.wire_corruption_prob = 0.005;
+  config.fault_plan.stochastic.straggler_prob = 0.01;
+
+  core::StreamingOptions options;
+  options.block_samples = 2048;
+  options.ring_capacity = 4;
+  options.window_iterations = 7;
+  const auto streamed = core::StreamingExperiment::Run(config, options);
+  ASSERT_TRUE(streamed.errors.empty());
+  const auto piped = core::PipelinedExperiment::Run(config, options);
+  ASSERT_TRUE(piped.errors.empty());
+  EXPECT_GT(piped.run_stats.faults_injected, 0u);
+  EXPECT_EQ(piped.stream_hash, streamed.stream_hash);
+  EXPECT_EQ(piped.samples, streamed.samples);
+  EXPECT_EQ(piped.merged_blocks, streamed.merged_blocks);
+  EXPECT_EQ(piped.run_stats.attempts, streamed.run_stats.attempts);
+  EXPECT_EQ(piped.run_stats.faults_injected,
+            streamed.run_stats.faults_injected);
+  EXPECT_EQ(piped.run_stats.corrupt, streamed.run_stats.corrupt);
+  EXPECT_EQ(piped.parse_failures, streamed.parse_failures);
+  ExpectAnalysisIdentical(piped.analysis, streamed.analysis);
+}
+
+TEST(PipelinedDeterminismTest, FailingLabAbortsWithoutDeadlock) {
+  // Sabotage one lab's segment path with a directory so SegmentWriter::Open
+  // fails inside the first window. The run must drain the pipeline, cancel
+  // the rings and return with errors — parked stages must not deadlock
+  // (the test would time out if they did). A tiny ring maximises the
+  // chance other producers are parked on it when the error fires.
+  const std::string dir = ::testing::TempDir() + "/labmon_pipe_fail";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir + "/lab0000.lmsg");
+  core::StreamingOptions options;
+  options.spill_dir = dir;
+  options.block_samples = 256;
+  options.ring_capacity = 1;
+  options.window_iterations = 2;
+  const auto piped = core::PipelinedExperiment::Run(GoldenConfig(4), options);
+  ASSERT_FALSE(piped.errors.empty());
+  EXPECT_EQ(piped.samples, 0u);
+}
+
+}  // namespace
+}  // namespace labmon
