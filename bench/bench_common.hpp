@@ -124,6 +124,40 @@ inline core::ExperimentConfig BenchConfig() {
   return config;
 }
 
+// --- Figure 6 cross-check -------------------------------------------------
+// The paper's cluster-equivalence ratios (§5.4, Figure 6): what fraction of
+// a dedicated same-size cluster the harvested idle CPU is worth. Harvest
+// benches and gates compare against these through ONE helper so the
+// fleet-average-index math is never duplicated (or subtly diverged) again.
+
+inline constexpr double kPaperEquivalenceOccupied = 0.26;
+inline constexpr double kPaperEquivalenceFree = 0.25;
+inline constexpr double kPaperEquivalenceTotal = 0.51;  ///< the 2:1 claim
+
+struct Fig6Comparison {
+  double ratio = 0.0;           ///< realised equivalence ratio
+  double paper_ratio = 0.0;     ///< the Figure 6 value compared against
+  double relative_error = 0.0;  ///< (ratio - paper) / paper
+};
+
+/// Compares a harvest run's effective-dedicated-machines figure (already
+/// normalised by the fleet-average combined index — see
+/// harvest::HarvestResult / harvest::DagResult) with a Figure 6 ratio.
+inline Fig6Comparison CompareWithFig6(double effective_dedicated_machines,
+                                      std::size_t fleet_size,
+                                      double paper_ratio) {
+  Fig6Comparison out;
+  out.paper_ratio = paper_ratio;
+  if (fleet_size > 0) {
+    out.ratio =
+        effective_dedicated_machines / static_cast<double>(fleet_size);
+  }
+  if (paper_ratio != 0.0) {
+    out.relative_error = (out.ratio - paper_ratio) / paper_ratio;
+  }
+  return out;
+}
+
 inline void Banner(const std::string& title) {
   std::cout << std::string(72, '=') << '\n'
             << title << '\n'

@@ -1,0 +1,102 @@
+// harvest_gate — CI comparator over BENCH_harvest.json (see
+// bench/harvest_dag).
+//
+//   harvest_gate BENCH_harvest.json
+//
+// Enforces the harvest layer's contract:
+//   * Figure 6 band: the free+occupied equivalence ratio is within +-20%
+//     of the paper's 0.51 (the 2:1 claim), and the free-only ratio within
+//     [-30%, +20%] of 0.25 (extra downside slack: eviction losses are real
+//     costs the paper's idleness accounting never paid)
+//   * chaos bounds: >= 80% of the dag completes under the mixed fault
+//     plan, eviction waste stays <= 20% of gross work, and chaos actually
+//     fired (a vacuously clean run must not pass)
+//   * determinism: the mixed-plan rerun hash equals the first run's, and
+//     the inert-plan hash equals the zero-fault hash (strict no-op) —
+//     hashes compared as hex strings so no bits are lost to JSON doubles
+//
+// Exit code 0 = all checks pass; 1 = at least one FAIL (each printed).
+#include <iostream>
+#include <string>
+
+#include "labmon/util/csv.hpp"
+#include "labmon/util/json.hpp"
+#include "labmon/util/strings.hpp"
+
+namespace {
+
+using namespace labmon;
+
+int g_failures = 0;
+
+void Check(bool ok, const std::string& what, const std::string& detail) {
+  std::cout << (ok ? "PASS" : "FAIL") << ": " << what << " (" << detail
+            << ")\n";
+  if (!ok) ++g_failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: harvest_gate BENCH_harvest.json\n";
+    return 2;
+  }
+
+  const auto text = util::ReadTextFile(argv[1]);
+  if (!text.ok()) {
+    std::cerr << "cannot read " << argv[1] << ": " << text.error() << "\n";
+    return 2;
+  }
+  const auto doc = util::json::Parse(text.value());
+  if (!doc.ok()) {
+    std::cerr << "cannot parse " << argv[1] << ": " << doc.error() << "\n";
+    return 2;
+  }
+  std::cout << "harvest_gate: " << argv[1] << "\n";
+
+  const auto& equivalence = doc.value()["equivalence"];
+  const double ratio_total = equivalence.Number("ratio_total", 0.0);
+  const double ratio_free = equivalence.Number("ratio_free", 0.0);
+  const double paper_total = equivalence.Number("paper_ratio_total", 0.51);
+  const double paper_free = equivalence.Number("paper_ratio_free", 0.25);
+
+  Check(ratio_total >= paper_total * 0.8 && ratio_total <= paper_total * 1.2,
+        "equivalence ratio within +-20% of the paper's 2:1 claim",
+        util::FormatFixed(ratio_total, 3) + " vs " +
+            util::FormatFixed(paper_total, 2));
+  Check(ratio_free >= paper_free * 0.7 && ratio_free <= paper_free * 1.2,
+        "free-only ratio within [-30%, +20%] of the paper's free ratio",
+        util::FormatFixed(ratio_free, 3) + " vs " +
+            util::FormatFixed(paper_free, 2));
+
+  const auto& chaos = doc.value()["chaos"];
+  const double completion = chaos.Number("completion_fraction", 0.0);
+  const double waste = chaos.Number("waste_fraction", 1.0);
+  const double fired = chaos.Number("evictions_chaos", 0.0) +
+                       chaos.Number("chaos_task_failures", 0.0);
+  Check(completion >= 0.80, "chaos completion >= 80%",
+        util::FormatFixed(100.0 * completion, 1) + "%");
+  Check(waste <= 0.20, "chaos waste fraction <= 20%",
+        util::FormatFixed(100.0 * waste, 1) + "%");
+  Check(fired > 0.0, "chaos actually fired (bounds are not vacuous)",
+        util::FormatFixed(fired, 0) + " injected incidents");
+
+  const std::string hash = chaos["hash"].AsString();
+  const std::string rerun = chaos["rerun_hash"].AsString();
+  const std::string zero = chaos["zero_fault_hash"].AsString();
+  const std::string inert = chaos["inert_plan_hash"].AsString();
+  Check(!hash.empty() && hash == rerun,
+        "chaos run is deterministic (rerun hash identical)",
+        hash + " vs " + rerun);
+  Check(!zero.empty() && zero == inert,
+        "inert plan is a strict no-op (hash equals zero-fault run)",
+        inert + " vs " + zero);
+
+  if (g_failures > 0) {
+    std::cerr << g_failures << " check(s) failed\n";
+    return 1;
+  }
+  std::cout << "all checks passed\n";
+  return 0;
+}

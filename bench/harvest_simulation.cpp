@@ -29,7 +29,7 @@ int main() {
       " index-hours, " + std::to_string(days) + "-day horizon");
   table.SetHeader({"Policy", "Done", "Makespan (h)", "Waste (%)",
                    "Evict login", "Evict power", "Mean busy",
-                   "Effective machines"});
+                   "Effective machines", "Equiv ratio"});
 
   const auto run = [&](bool occupied, double checkpoint_minutes,
                        bool backups = false) {
@@ -59,7 +59,12 @@ int main() {
          std::to_string(result.evictions_login),
          std::to_string(result.evictions_poweroff),
          util::FormatFixed(result.mean_busy_machines, 1),
-         util::FormatFixed(result.effective_dedicated_machines, 1)});
+         util::FormatFixed(result.effective_dedicated_machines, 1),
+         util::FormatFixed(
+             bench::CompareWithFig6(result.effective_dedicated_machines,
+                                    fleet.size(), bench::kPaperEquivalenceTotal)
+                 .ratio,
+             3)});
   };
 
   for (const double ckpt : {0.0, 60.0, 15.0, 5.0}) {

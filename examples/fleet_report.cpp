@@ -11,6 +11,15 @@
 //                    [--metrics-out m.prom]
 //                    [--trace-out t.json] [--events-out e.jsonl]
 //                    [--prof-out prof.json]
+//                    [--harvest-dag N] [--job-mix NAME] [--deadline HOURS]
+//
+// --harvest-dag N switches to harvest mode: instead of the monitoring
+// report, an opportunistic DAG of N jobs (shape from --job-mix: bag,
+// chain, fanio, layered or mixed — default mixed) is scheduled on the
+// idle machines of the same simulated campus, and a goodput/eviction/
+// equivalence summary is printed. --deadline HOURS gives every job a
+// soft deadline that many hours after submission (misses are counted,
+// not enforced). --fault-plan applies chaos to the harvest too.
 //
 // --stream runs the campaign through the streaming engine: collection
 // seals fixed-size trace blocks (--block-samples, default 65536) instead
@@ -83,10 +92,13 @@
 #include "labmon/core/report.hpp"
 #include "labmon/core/streaming.hpp"
 #include "labmon/faultsim/fault_plan.hpp"
+#include "labmon/harvest/dag_scheduler.hpp"
 #include "labmon/obs/exporters.hpp"
 #include "labmon/obs/prof.hpp"
 #include "labmon/trace/binary_io.hpp"
+#include "labmon/winsim/paper_specs.hpp"
 #include "labmon/workload/config_io.hpp"
+#include "labmon/workload/driver.hpp"
 #include "labmon/util/log.hpp"
 #include "labmon/util/strings.hpp"
 
@@ -208,6 +220,9 @@ int main(int argc, char** argv) {
   std::size_t block_samples = 0;  // 0 = engine default
   std::size_t ring_capacity = 0;  // 0 = engine default
   double anomaly_threshold = 0.0;
+  std::size_t harvest_jobs = 0;  // > 0 switches to harvest mode
+  harvest::JobMixKind job_mix = harvest::JobMixKind::kMixed;
+  double deadline_hours = 0.0;
   if (const char* env = std::getenv("LABMON_SNAPSHOT_DIR")) snapshot_dir = env;
   std::size_t workers = 0;
   std::vector<std::string> positional;
@@ -258,6 +273,22 @@ int main(int argc, char** argv) {
       ring_capacity = static_cast<std::size_t>(std::atoll(v));
     } else if (const char* v = flag_value("--anomaly-threshold")) {
       anomaly_threshold = std::atof(v);
+    } else if (const char* v = flag_value("--harvest-dag")) {
+      harvest_jobs = static_cast<std::size_t>(std::atoll(v));
+      if (harvest_jobs == 0) {
+        std::cerr << "--harvest-dag wants a positive job count\n";
+        return 1;
+      }
+    } else if (const char* v = flag_value("--job-mix")) {
+      const auto parsed = harvest::ParseJobMixName(v);
+      if (!parsed) {
+        std::cerr << "unknown --job-mix \"" << v
+                  << "\" (want bag, chain, fanio, layered or mixed)\n";
+        return 1;
+      }
+      job_mix = *parsed;
+    } else if (const char* v = flag_value("--deadline")) {
+      deadline_hours = std::atof(v);
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag " << arg << '\n';
       return 1;
@@ -305,6 +336,70 @@ int main(int argc, char** argv) {
   if (retry_attempts > 0) config.collector.retry.max_attempts = retry_attempts;
   config.shards = shards;
   if (scale_labs > 0) config.campus.scale_labs = scale_labs;
+
+  if (harvest_jobs > 0) {
+    // Harvest mode: schedule an opportunistic DAG on the idle machines of
+    // the same simulated campus instead of running the monitoring report.
+    util::Rng rng(config.campus.seed);
+    winsim::Fleet fleet = winsim::MakePaperFleet(rng);
+    workload::WorkloadDriver driver(fleet, config.campus);
+    harvest::JobMixOptions mix;
+    mix.kind = job_mix;
+    mix.jobs = harvest_jobs;
+    mix.seed = config.campus.seed;
+    if (deadline_hours > 0.0) {
+      mix.deadline = static_cast<util::SimTime>(deadline_hours * 3600.0);
+    }
+    const harvest::JobDag dag = harvest::MakeJobMix(mix);
+    harvest::DagPolicy policy;
+    harvest::DagScheduler scheduler(fleet, driver, policy);
+    if (config.fault_plan.Active()) scheduler.SetFaultPlan(config.fault_plan);
+    const harvest::DagResult r =
+        scheduler.Run(dag, 0, config.campus.EndTime());
+
+    std::cout << "--- harvest dag summary ---\n";
+    std::cout << "mix: " << harvest::JobMixName(job_mix) << ", "
+              << r.jobs_total << " jobs ("
+              << util::FormatFixed(dag.TotalIndexSeconds() / 3600.0, 1)
+              << " index-hours), " << config.campus.days
+              << "-day horizon, seed " << config.campus.seed << '\n';
+    std::cout << "completed: " << r.jobs_completed << ", failed: "
+              << r.jobs_failed << ", makespan: "
+              << (r.dag_finished
+                      ? util::FormatFixed(r.makespan_s / 3600.0, 1) + " h"
+                      : std::string("DNF"))
+              << '\n';
+    if (deadline_hours > 0.0) {
+      std::cout << "deadline: " << util::FormatFixed(deadline_hours, 1)
+                << " h soft, " << r.deadline_misses << " missed\n";
+    }
+    std::cout << "goodput: " << util::FormatFixed(r.useful_index_seconds / 3600.0, 1)
+              << " index-hours useful, "
+              << util::FormatFixed(100.0 * r.WasteFraction(), 1)
+              << "% wasted to evictions\n";
+    std::cout << "evictions: " << r.evictions_login << " login, "
+              << r.evictions_poweroff << " poweroff, " << r.evictions_chaos
+              << " chaos; " << r.retries << " retries, "
+              << r.checkpoints_written << " checkpoints";
+    if (config.fault_plan.Active()) {
+      std::cout << ", " << r.chaos_task_failures << " chaos task failures";
+    }
+    std::cout << '\n';
+    std::cout << "effective dedicated machines: "
+              << util::FormatFixed(r.effective_dedicated_machines, 1) << " of "
+              << fleet.size() << " (equivalence ratio "
+              << util::FormatFixed(r.effective_dedicated_machines /
+                                       static_cast<double>(fleet.size()),
+                                   3)
+              << "; paper Figure 6 mean_total = 0.51)\n";
+    if (r.dag_finished) {
+      std::cout << "vs dedicated cluster: "
+                << util::FormatFixed(r.harvest_slowdown, 1)
+                << "x slowdown, critical path stretched "
+                << util::FormatFixed(r.critical_path_stretch, 1) << "x\n";
+    }
+    return 0;
+  }
 
   // Observability wiring: metrics registry, span tracer, JSONL log capture.
   if (!metrics_out.empty()) {

@@ -73,8 +73,13 @@ struct HarvestResult {
   std::uint64_t backup_copies_cancelled = 0;
   /// Mean number of machines computing at any instant.
   double mean_busy_machines = 0.0;
+  /// Fleet-average combined index (Fleet::MeanCombinedIndex) used as the
+  /// Fig 6 normaliser below — recorded so consumers never re-derive it.
+  double fleet_mean_index = 0.0;
   /// Useful throughput expressed as dedicated machines of fleet-average
-  /// index — directly comparable with Figure 6's equivalence ratio × 169.
+  /// index: useful_index_seconds / makespan_s / fleet_mean_index. Divide
+  /// by the fleet size to get Figure 6's equivalence ratio (the paper's
+  /// 2:1 claim is ratio ≈ 0.51 over free + occupied periods).
   double effective_dedicated_machines = 0.0;
 
   [[nodiscard]] double WasteFraction() const noexcept {

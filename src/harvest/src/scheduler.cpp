@@ -171,15 +171,11 @@ HarvestResult DesktopGrid::Run(const JobBatch& batch, util::SimTime start,
 
   result.mean_busy_machines =
       elapsed_s > 0.0 ? busy_machine_seconds / elapsed_s : 0.0;
-  double index_sum = 0.0;
-  for (std::size_t i = 0; i < fleet_.size(); ++i) {
-    index_sum += fleet_.machine(i).spec().CombinedIndex();
-  }
-  const double avg_index =
-      fleet_.size() ? index_sum / static_cast<double>(fleet_.size()) : 1.0;
-  if (result.makespan_s > 0.0 && avg_index > 0.0) {
-    result.effective_dedicated_machines =
-        result.useful_index_seconds / result.makespan_s / avg_index;
+  result.fleet_mean_index = fleet_.MeanCombinedIndex();
+  if (result.makespan_s > 0.0 && result.fleet_mean_index > 0.0) {
+    result.effective_dedicated_machines = result.useful_index_seconds /
+                                          result.makespan_s /
+                                          result.fleet_mean_index;
   }
   return result;
 }

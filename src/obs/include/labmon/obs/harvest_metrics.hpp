@@ -1,0 +1,74 @@
+// Harvest-scheduler instrument bundle.
+//
+// The DAG scheduler's inner loop runs once per machine per scheduler step
+// (169 × 1,440 slots per simulated day at the 60 s step), so instruments
+// are resolved against the registry exactly once, here, and the scheduler
+// writes through cached pointers — the same idiom the DDC coordinator uses.
+// A null registry yields a bundle of null pointers; callers guard with
+// `enabled()` so the opt-out path stays free of atomic traffic.
+#pragma once
+
+#include "labmon/obs/registry.hpp"
+
+namespace labmon::obs {
+
+struct HarvestInstruments {
+  Counter* jobs_completed = nullptr;
+  Counter* jobs_failed = nullptr;
+  Counter* evictions_login = nullptr;
+  Counter* evictions_poweroff = nullptr;
+  Counter* evictions_chaos = nullptr;
+  Counter* retries = nullptr;
+  Counter* checkpoints = nullptr;
+  Counter* backup_copies = nullptr;
+  Histogram* queue_depth = nullptr;       ///< ready jobs, sampled per step
+  Histogram* turnaround_hours = nullptr;  ///< submit -> completion per job
+  Gauge* effective_machines = nullptr;    ///< Fig 6 comparison, set at run end
+
+  [[nodiscard]] bool enabled() const noexcept { return jobs_completed != nullptr; }
+
+  /// Resolves the bundle against `registry` (nullptr = everything off).
+  static HarvestInstruments For(Registry* registry) {
+    HarvestInstruments out;
+    if (registry == nullptr) return out;
+    const auto counter = [&](const char* name, const char* help) {
+      return &registry->GetCounter(name, help);
+    };
+    out.jobs_completed = counter("labmon_harvest_jobs_completed_total",
+                                 "DAG jobs completed by the harvest scheduler");
+    out.jobs_failed = counter("labmon_harvest_jobs_failed_total",
+                              "DAG jobs that exhausted their retry budget");
+    out.evictions_login =
+        counter("labmon_harvest_evictions_login_total",
+                "harvest tasks evicted by an interactive login");
+    out.evictions_poweroff =
+        counter("labmon_harvest_evictions_poweroff_total",
+                "harvest tasks evicted by a machine power-off");
+    out.evictions_chaos =
+        counter("labmon_harvest_evictions_chaos_total",
+                "harvest tasks evicted by injected faults (crash/outage)");
+    out.retries = counter("labmon_harvest_retries_total",
+                          "harvest task attempts re-queued after eviction or "
+                          "injected failure");
+    out.checkpoints = counter("labmon_harvest_checkpoints_total",
+                              "harvest task checkpoints written");
+    out.backup_copies = counter("labmon_harvest_backup_copies_total",
+                                "speculative backup copies started");
+    out.queue_depth = &registry->GetHistogram(
+        "labmon_harvest_queue_depth",
+        {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+         1024.0},
+        "ready-to-run DAG jobs, sampled each scheduler step");
+    out.turnaround_hours = &registry->GetHistogram(
+        "labmon_harvest_job_turnaround_hours",
+        {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 24.0, 48.0, 96.0, 168.0},
+        "submit-to-completion wall hours per completed DAG job");
+    out.effective_machines =
+        &registry->GetGauge("labmon_harvest_effective_dedicated_machines",
+                            "useful harvest throughput expressed as dedicated "
+                            "machines of fleet-average NBench index (Fig 6)");
+    return out;
+  }
+};
+
+}  // namespace labmon::obs

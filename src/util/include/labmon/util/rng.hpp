@@ -39,6 +39,7 @@ inline constexpr std::uint64_t kLabEvents = 2;     ///< per-lab behaviour draws
 inline constexpr std::uint64_t kMachineTraits = 3; ///< per-machine temperament
 inline constexpr std::uint64_t kCollector = 4;     ///< per-lab DDC transport
 inline constexpr std::uint64_t kFaults = 5;        ///< per-lab fault injection
+inline constexpr std::uint64_t kHarvest = 6;       ///< harvest chaos + job mixes
 }  // namespace seed_stream
 
 /// Derives a statistically independent seed for one entity of one substream

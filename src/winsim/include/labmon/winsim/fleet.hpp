@@ -69,6 +69,12 @@ class Fleet {
   /// this so each shard only touches its own machines.
   void AdvanceRangeTo(std::size_t first, std::size_t count, util::SimTime t);
 
+  /// Fleet-average combined NBench index — the normaliser of Figure 6's
+  /// cluster-equivalence ratio (effective dedicated machines = useful
+  /// index-seconds / elapsed / this). Shared by both harvest schedulers and
+  /// the benches so the Fig 6 comparison is computed one way everywhere.
+  [[nodiscard]] double MeanCombinedIndex() const noexcept;
+
   /// Aggregate hardware totals (paper §4.1: 56.62 GB RAM, 6.66 TB disk…).
   struct Totals {
     double ram_gb = 0.0;

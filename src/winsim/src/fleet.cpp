@@ -87,6 +87,13 @@ void Fleet::AdvanceRangeTo(std::size_t first, std::size_t count,
   }
 }
 
+double Fleet::MeanCombinedIndex() const noexcept {
+  if (machines_.empty()) return 1.0;
+  double sum = 0.0;
+  for (const Machine& m : machines_) sum += m.spec().CombinedIndex();
+  return sum / static_cast<double>(machines_.size());
+}
+
 Fleet::Totals Fleet::HardwareTotals() const noexcept {
   Totals totals;
   for (const Machine& m : machines_) {

@@ -62,6 +62,35 @@ struct GroundTruth {
   }
 };
 
+/// Observer of machine-level behavioural transitions, invoked synchronously
+/// from AdvanceTo at the exact event instants. This is the interactive-
+/// session eviction signal of the harvest layer: a scavenger that merely
+/// polls machine state on its scheduler period would miss sessions and
+/// power cycles shorter than a step (the §5.2.2 "invisible" short cycles),
+/// while a hook sees every one. Callbacks must not mutate the fleet or the
+/// driver. Default implementations do nothing, so observers override only
+/// the transitions they care about.
+class MachineObserver {
+ public:
+  virtual ~MachineObserver() = default;
+  virtual void OnBoot(std::size_t machine, util::SimTime t) {
+    (void)machine;
+    (void)t;
+  }
+  virtual void OnShutdown(std::size_t machine, util::SimTime t) {
+    (void)machine;
+    (void)t;
+  }
+  virtual void OnLogin(std::size_t machine, util::SimTime t) {
+    (void)machine;
+    (void)t;
+  }
+  virtual void OnLogout(std::size_t machine, util::SimTime t) {
+    (void)machine;
+    (void)t;
+  }
+};
+
 class WorkloadDriver {
  public:
   /// Whole-campus driver. The fleet must outlive the driver. All machines
@@ -97,6 +126,11 @@ class WorkloadDriver {
   [[nodiscard]] std::uint64_t dispatched_events() const noexcept {
     return dispatched_;
   }
+
+  /// Installs (or, with nullptr, removes) the transition observer. The
+  /// observer must outlive the driver or be removed first; it never affects
+  /// the behavioural simulation (no RNG draws, no state changes).
+  void SetObserver(MachineObserver* observer) noexcept { observer_ = observer; }
 
   /// Per-machine behavioural temperament (tests & ablations).
   [[nodiscard]] double StayOnTendency(std::size_t machine) const noexcept;
@@ -229,6 +263,7 @@ class WorkloadDriver {
   /// lab's user names do not depend on campus-wide login interleaving.
   std::vector<std::uint64_t> next_student_;
   GroundTruth truth_;
+  MachineObserver* observer_ = nullptr;
 };
 
 }  // namespace labmon::workload

@@ -545,6 +545,7 @@ void WorkloadDriver::BootMachine(std::size_t i, SimTime t) {
   m.Boot(t);
   ++st.power_gen;
   ++truth_.boots;
+  if (observer_ != nullptr) observer_->OnBoot(i, t);
 
   const auto& spec = m.spec();
   const MemoryModel& mm = config_.memory;
@@ -589,6 +590,9 @@ void WorkloadDriver::ShutdownMachine(std::size_t i, SimTime t) {
   ++st.session_gen;
   st.sess = SessKind::kNone;
   ++truth_.shutdowns;
+  // A shutdown implies the end of any interactive session; observers get
+  // only the shutdown (the stronger signal).
+  if (observer_ != nullptr) observer_->OnShutdown(i, t);
 }
 
 void WorkloadDriver::LoginMachine(std::size_t i, SimTime t, SessKind kind,
@@ -609,6 +613,7 @@ void WorkloadDriver::LoginMachine(std::size_t i, SimTime t, SessKind kind,
   ++st.session_gen;
   st.sess = kind;
   st.heavy = heavy;
+  if (observer_ != nullptr) observer_->OnLogin(i, t);
   if (kind == SessKind::kClass) {
     ++truth_.class_logins;
   } else {
@@ -656,6 +661,7 @@ void WorkloadDriver::ForceLogout(std::size_t i, SimTime t) {
   m.SetSwapLoadPercent(st.base_swap);
   m.SetDiskUsedBytes(static_cast<std::uint64_t>(st.disk_image_gb * 1e9));
   ApplyIdleRates(i);
+  if (observer_ != nullptr) observer_->OnLogout(i, t);
 }
 
 void WorkloadDriver::ApplyIdleRates(std::size_t i) {

@@ -174,6 +174,165 @@ TEST(DesktopGridTest, BackupsNeverExceedCopyLimit) {
             result.backup_copies_started + result.units_total);
 }
 
+// A campus with no classes, no walk-ins, no sweeps and no short cycles:
+// once booted, machines stay on and session-free for the whole horizon.
+workload::CampusConfig QuietCampus(int days, std::uint64_t seed) {
+  workload::CampusConfig c;
+  c.days = days;
+  c.seed = seed;
+  c.timetable.weekday_slot_prob = 0.0;
+  c.timetable.saturday_slot_prob = 0.0;
+  c.timetable.heavy_class_lab = -1;
+  c.arrivals.weekday_peak_per_hour = 0.0;
+  c.power.sweeps_enabled = false;
+  c.power.short_cycles_per_day = 0.0;
+  return c;
+}
+
+struct QuietFixture {
+  explicit QuietFixture(int days = 1, std::uint64_t seed = 5)
+      : campus(QuietCampus(days, seed)) {
+    util::Rng rng(seed);
+    fleet = std::make_unique<winsim::Fleet>(winsim::MakePaperFleet(rng));
+    driver = std::make_unique<workload::WorkloadDriver>(*fleet, campus);
+    // Booted after driver construction (it requires an all-off fleet);
+    // with every behavioural rate zeroed the driver never touches them.
+    for (std::size_t i = 0; i < fleet->size(); ++i) {
+      fleet->machine(i).Boot(0);
+    }
+  }
+  workload::CampusConfig campus;
+  std::unique_ptr<winsim::Fleet> fleet;
+  std::unique_ptr<workload::WorkloadDriver> driver;
+};
+
+TEST(DesktopGridTest, ZeroLengthHorizonIsANoOp) {
+  GridFixture f(1);
+  HarvestPolicy policy;
+  DesktopGrid grid(*f.fleet, *f.driver, policy);
+  JobBatch batch;
+  batch.unit_count = 10;
+  batch.unit_index_seconds = 3600.0;
+  const auto result = grid.Run(batch, 0, 0);
+  EXPECT_EQ(result.units_completed, 0u);
+  EXPECT_FALSE(result.batch_finished);
+  EXPECT_DOUBLE_EQ(result.makespan_s, 0.0);
+  EXPECT_DOUBLE_EQ(result.useful_index_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.wasted_index_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.effective_dedicated_machines, 0.0);
+  EXPECT_EQ(result.evictions_login + result.evictions_poweroff, 0u);
+}
+
+TEST(DesktopGridTest, OccupiedModeParityOnSessionFreeFleet) {
+  // On an always-on fleet with no interactive sessions the occupied-machine
+  // knob must not change a single number: eligibility is identical.
+  const auto run = [&](bool occupied) {
+    QuietFixture f(1, 77);
+    HarvestPolicy policy;
+    policy.use_occupied_machines = occupied;
+    DesktopGrid grid(*f.fleet, *f.driver, policy);
+    JobBatch batch;
+    batch.unit_count = 500;
+    batch.unit_index_seconds = 10.0 * 3600.0;
+    return grid.Run(batch, 0, f.campus.EndTime());
+  };
+  const auto free_only = run(false);
+  const auto occupied = run(true);
+  EXPECT_EQ(free_only.units_completed, occupied.units_completed);
+  EXPECT_EQ(free_only.useful_index_seconds, occupied.useful_index_seconds);
+  EXPECT_EQ(free_only.wasted_index_seconds, occupied.wasted_index_seconds);
+  EXPECT_EQ(free_only.makespan_s, occupied.makespan_s);
+  EXPECT_EQ(free_only.evictions_login, occupied.evictions_login);
+  EXPECT_EQ(free_only.evictions_poweroff, occupied.evictions_poweroff);
+  EXPECT_EQ(free_only.effective_dedicated_machines,
+            occupied.effective_dedicated_machines);
+}
+
+TEST(DesktopGridTest, QuietFleetHasNoEvictionsAndNoWaste) {
+  QuietFixture f(1, 3);
+  HarvestPolicy policy;
+  DesktopGrid grid(*f.fleet, *f.driver, policy);
+  JobBatch batch;
+  batch.unit_count = 100;
+  batch.unit_index_seconds = 5.0 * 3600.0;
+  const auto result = grid.Run(batch, 0, f.campus.EndTime());
+  EXPECT_TRUE(result.batch_finished);
+  EXPECT_EQ(result.evictions_login, 0u);
+  EXPECT_EQ(result.evictions_poweroff, 0u);
+  EXPECT_DOUBLE_EQ(result.wasted_index_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.WasteFraction(), 0.0);
+}
+
+TEST(DesktopGridTest, FirstCopyWinsCreditsWorkExactlyOnce) {
+  // With speculative backups on, duplicated copies must surface as waste,
+  // never as double credit: a finished batch's useful work equals the
+  // batch total exactly.
+  GridFixture f(3, 41);
+  HarvestPolicy policy;
+  policy.speculative_backups = true;
+  policy.checkpoint_interval_s = 900;
+  DesktopGrid grid(*f.fleet, *f.driver, policy);
+  JobBatch batch;
+  batch.unit_count = 900;
+  batch.unit_index_seconds = 25.0 * 3600.0;
+  const auto result = grid.Run(batch, 0, f.campus.EndTime());
+  ASSERT_TRUE(result.batch_finished);
+  EXPECT_DOUBLE_EQ(result.useful_index_seconds, batch.TotalIndexSeconds());
+  // Duplicated progress of cancelled copies showed up as waste instead.
+  EXPECT_GE(result.wasted_index_seconds, 0.0);
+}
+
+TEST(DesktopGridTest, CheckpointLossBoundsWasteFraction) {
+  // Without checkpoints every eviction loses the copy's whole progress, so
+  // waste can only grow relative to a checkpointed run — but the fraction
+  // stays a fraction in both.
+  const auto run = [&](double ckpt_s) {
+    GridFixture f(3, 13);
+    HarvestPolicy policy;
+    policy.checkpoint_interval_s = ckpt_s;
+    policy.claim_delay_s = 0;
+    return RunBatch(f, policy, 3000, 20.0);
+  };
+  const auto none = run(0.0);
+  const auto frequent = run(300.0);
+  EXPECT_GE(none.WasteFraction(), frequent.WasteFraction());
+  EXPECT_GE(none.WasteFraction(), 0.0);
+  EXPECT_LE(none.WasteFraction(), 1.0);
+  EXPECT_GE(frequent.WasteFraction(), 0.0);
+  EXPECT_LE(frequent.WasteFraction(), 1.0);
+  EXPECT_EQ(none.checkpoints_written, 0u);
+  EXPECT_GT(frequent.checkpoints_written, 0u);
+}
+
+TEST(DesktopGridTest, RerunsAreBitIdenticalAtFixedSeed) {
+  const auto run = [&] {
+    GridFixture f(2, 1234);
+    HarvestPolicy policy;
+    policy.checkpoint_interval_s = 600;
+    return RunBatch(f, policy, 800, 12.0);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.units_completed, b.units_completed);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.useful_index_seconds, b.useful_index_seconds);
+  EXPECT_EQ(a.wasted_index_seconds, b.wasted_index_seconds);
+  EXPECT_EQ(a.evictions_login, b.evictions_login);
+  EXPECT_EQ(a.evictions_poweroff, b.evictions_poweroff);
+  EXPECT_EQ(a.checkpoints_written, b.checkpoints_written);
+  EXPECT_EQ(a.mean_busy_machines, b.mean_busy_machines);
+  EXPECT_EQ(a.fleet_mean_index, b.fleet_mean_index);
+  EXPECT_EQ(a.effective_dedicated_machines, b.effective_dedicated_machines);
+}
+
+TEST(DesktopGridTest, FleetMeanIndexIsRecorded) {
+  GridFixture f(1);
+  HarvestPolicy policy;
+  const auto result = RunBatch(f, policy, 10, 1.0);
+  EXPECT_DOUBLE_EQ(result.fleet_mean_index, f.fleet->MeanCombinedIndex());
+  EXPECT_GT(result.fleet_mean_index, 0.0);
+}
+
 TEST(DescribePolicyTest, Labels) {
   HarvestPolicy policy;
   policy.checkpoint_interval_s = 900;
