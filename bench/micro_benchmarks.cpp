@@ -26,7 +26,9 @@
 #include "labmon/trace/intervals.hpp"
 #include "labmon/trace/merge_frontier.hpp"
 #include "labmon/trace/segment.hpp"
+#include "labmon/trace/spill_codec.hpp"
 #include "labmon/util/rng.hpp"
+#include "labmon/util/varint.hpp"
 #include "labmon/util/staging_ring.hpp"
 #include "labmon/winsim/paper_specs.hpp"
 #include "labmon/workload/driver.hpp"
@@ -418,9 +420,11 @@ void BM_BlockFold(benchmark::State& state) {
 BENCHMARK(BM_BlockFold)->Unit(benchmark::kMillisecond);
 
 void BM_SegmentRoundTrip(benchmark::State& state) {
-  // LMSG1 spill throughput: write the trace as one checksummed segment
-  // block, then stream it back (length-prefix walk + checksum verify +
-  // LMTR1 decode). bytes/s covers the full round trip.
+  // Spill throughput per codec (Arg 1 = LMSG1, Arg 2 = LMSG2): write the
+  // trace as one checksummed segment block, then stream it back
+  // (length-prefix walk + checksum verify + payload decode). bytes/s
+  // covers the full round trip at the on-disk byte count of that codec.
+  const auto codec = static_cast<trace::SpillCodecId>(state.range(0));
   core::ExperimentConfig config;
   config.campus.days = 2;
   const auto result = bench::RunExperiment(config);
@@ -430,8 +434,8 @@ void BM_SegmentRoundTrip(benchmark::State& state) {
 
   std::int64_t segment_bytes = 0;
   for (auto _ : state) {
-    auto writer =
-        trace::SegmentWriter::Open(path, result.trace.machine_count());
+    auto writer = trace::SegmentWriter::Open(
+        path, result.trace.machine_count(), codec);
     if (!writer.ok() || !writer.value().Append(result.trace).ok() ||
         !writer.value().Finish().ok()) {
       state.SkipWithError("segment write failed");
@@ -455,9 +459,87 @@ void BM_SegmentRoundTrip(benchmark::State& state) {
   }
   std::error_code ec;
   std::filesystem::remove(path, ec);
+  state.SetLabel(trace::SpillCodecName(codec));
   state.SetBytesProcessed(state.iterations() * segment_bytes);
 }
-BENCHMARK(BM_SegmentRoundTrip)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SegmentRoundTrip)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_ColumnDeltaEncode(benchmark::State& state) {
+  // LMSG2 per-column encode (delta/zigzag transforms + RLE + varint) on a
+  // fleet-like trace; items/s = samples/s, bytes/s = raw columnar bytes.
+  core::ExperimentConfig config;
+  config.campus.days = 2;
+  const auto result = bench::RunExperiment(config);
+  const trace::SpillCodec& codec =
+      trace::GetSpillCodec(trace::SpillCodecId::kLmsg2);
+  std::string payload;
+  for (auto _ : state) {
+    codec.EncodeBlock(result.trace, payload);
+    benchmark::DoNotOptimize(payload.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(result.trace.size()));
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(trace::RawColumnBytes(result.trace)));
+}
+BENCHMARK(BM_ColumnDeltaEncode)->Unit(benchmark::kMillisecond);
+
+void BM_ColumnDeltaDecode(benchmark::State& state) {
+  // The decode side of BM_ColumnDeltaEncode: RLE expansion + prefix-sum
+  // reconstruction of every column from one encoded payload.
+  core::ExperimentConfig config;
+  config.campus.days = 2;
+  const auto result = bench::RunExperiment(config);
+  const trace::SpillCodec& codec =
+      trace::GetSpillCodec(trace::SpillCodecId::kLmsg2);
+  std::string payload;
+  codec.EncodeBlock(result.trace, payload);
+  trace::TraceBlock block;
+  for (auto _ : state) {
+    const auto decoded =
+        codec.DecodeBlock(payload, result.trace.machine_count(), block);
+    if (!decoded.ok()) {
+      state.SkipWithError("decode failed");
+      break;
+    }
+    benchmark::DoNotOptimize(block.cols.t.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(result.trace.size()));
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(trace::RawColumnBytes(result.trace)));
+}
+BENCHMARK(BM_ColumnDeltaDecode)->Unit(benchmark::kMillisecond);
+
+void BM_VarintPut(benchmark::State& state) {
+  // Varint append fast path with a fresh output string per iteration —
+  // Arg(1) passes the reserve hint the LMSG2 encoder uses, Arg(0) the
+  // plain overload, so the delta is the per-block reallocation cost the
+  // hint removes.
+  const bool hinted = state.range(0) != 0;
+  util::Rng rng(7);
+  std::vector<std::uint64_t> values(64 * 1024);
+  for (auto& v : values) {
+    v = rng.NextU64() >> (rng.NextU64() % 64);  // mixed 1..10-byte codes
+  }
+  for (auto _ : state) {
+    std::string out;
+    if (hinted) {
+      for (const std::uint64_t v : values) {
+        util::PutVarint(out, v, values.size());
+      }
+    } else {
+      for (const std::uint64_t v : values) util::PutVarint(out, v);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(hinted ? "reserve_hint" : "plain");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_VarintPut)->Arg(0)->Arg(1);
 
 void BM_StagingRingPushPop(benchmark::State& state) {
   // Per-handoff overhead of the pipelined engine's staging ring (mutex +

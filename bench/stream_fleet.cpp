@@ -18,16 +18,26 @@
 // assembles BENCH_stream.json, which bench/stream_gate checks in CI.
 //
 // Modes:
-//   materialized  Experiment::Run at LABMON_STREAM_DAYS (default 14),
-//                 sample-stream hash computed over the materialised store.
-//   streamed      StreamingExperiment::Run at the same horizon, spilling
-//                 per-lab LMSG1 segments to a scratch directory.
-//   streamed_2x   the streamed run at twice the horizon — its peak RSS
-//                 must stay flat vs `streamed` (O(block) memory claim).
+//   materialized    Experiment::Run at LABMON_STREAM_DAYS (default 14),
+//                   sample-stream hash computed over the materialised store.
+//   streamed        StreamingExperiment::Run at the same horizon, spilling
+//                   per-lab segments (default codec, LMSG2) to a scratch
+//                   directory.
+//   streamed_lmsg1  the streamed run spilling uncompressed LMSG1 segments
+//                   — same horizon, so its segment bytes against
+//                   `streamed` measure the LMSG2 compression ratio and its
+//                   hash pins cross-codec stream identity.
+//   streamed_2x     the streamed run at twice the horizon — its peak RSS
+//                   must stay flat vs `streamed` (O(block) memory claim).
+//
+// The parent summarises the codec comparison in a "compression" section
+// of BENCH_stream.json (lmsg1 vs lmsg2 on-disk bytes and their ratio),
+// which bench/stream_gate holds to a minimum band in CI.
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
+#include <iterator>
 #include <sstream>
 #include <string>
 
@@ -35,6 +45,7 @@
 #include "labmon/core/streaming.hpp"
 #include "labmon/trace/block.hpp"
 #include "labmon/util/csv.hpp"
+#include "labmon/util/json.hpp"
 #include "labmon/util/strings.hpp"
 
 namespace {
@@ -93,6 +104,7 @@ int Measure(const std::string& mode, const std::string& out_path) {
   std::uint64_t samples = 0;
   std::uint64_t merged_blocks = 0;
   std::uint64_t stream_hash = 0;
+  core::SpillCompressionStats spill_stats;
 
   if (mode == "materialized") {
     const auto result = core::Experiment::Run(StreamConfig(days));
@@ -100,7 +112,8 @@ int Measure(const std::string& mode, const std::string& out_path) {
     samples = result.trace.size();
     trace::StoreReader reader(result.trace);
     stream_hash = trace::HashSampleStream(reader);
-  } else if (mode == "streamed" || mode == "streamed_2x") {
+  } else if (mode == "streamed" || mode == "streamed_2x" ||
+             mode == "streamed_lmsg1") {
     const std::filesystem::path spill =
         std::filesystem::path("stream_fleet_spill") / mode;
     std::error_code ec;
@@ -108,6 +121,9 @@ int Measure(const std::string& mode, const std::string& out_path) {
     core::StreamingOptions options;
     options.block_samples = StreamBlockSamples();
     options.spill_dir = spill.string();
+    if (mode == "streamed_lmsg1") {
+      options.spill_codec = trace::SpillCodecId::kLmsg1;
+    }
     const auto result =
         core::StreamingExperiment::Run(StreamConfig(days), options);
     if (!result.errors.empty()) {
@@ -120,6 +136,7 @@ int Measure(const std::string& mode, const std::string& out_path) {
     samples = result.samples;
     merged_blocks = result.merged_blocks;
     stream_hash = result.stream_hash;
+    spill_stats = result.spill;
     std::filesystem::remove_all(spill, ec);
   } else {
     std::cerr << "unknown mode \"" << mode << "\"\n";
@@ -139,6 +156,17 @@ int Measure(const std::string& mode, const std::string& out_path) {
                  "reporting peak_rss_supported=false\n";
   }
 
+  const double encode_mb_per_s =
+      spill_stats.encode_s > 0.0
+          ? static_cast<double>(spill_stats.raw_bytes_encoded) /
+                spill_stats.encode_s / 1.0e6
+          : 0.0;
+  const double decode_mb_per_s =
+      spill_stats.decode_s > 0.0
+          ? static_cast<double>(spill_stats.raw_bytes_decoded) /
+                spill_stats.decode_s / 1.0e6
+          : 0.0;
+
   // The hash is emitted as a hex string: JSON numbers round-trip through
   // doubles in the gate's parser and would silently lose low bits.
   std::ostringstream json;
@@ -154,6 +182,23 @@ int Measure(const std::string& mode, const std::string& out_path) {
        << "      \"peak_rss_bytes\": " << peak_rss << ",\n"
        << "      \"peak_rss_supported\": "
        << (rss_supported ? "true" : "false") << ",\n"
+       << "      \"spill_codec\": \"" << spill_stats.codec << "\",\n"
+       << "      \"spill_segment_bytes\": " << spill_stats.segment_bytes
+       << ",\n"
+       << "      \"spill_raw_bytes\": " << spill_stats.raw_bytes_encoded
+       << ",\n"
+       << "      \"spill_payload_bytes\": "
+       << spill_stats.payload_bytes_encoded << ",\n"
+       << "      \"compression_ratio\": "
+       << util::FormatFixed(spill_stats.CompressionRatio(), 3) << ",\n"
+       << "      \"encode_ns_per_sample\": "
+       << util::FormatFixed(spill_stats.EncodeNsPerSample(), 1) << ",\n"
+       << "      \"decode_ns_per_sample\": "
+       << util::FormatFixed(spill_stats.DecodeNsPerSample(), 1) << ",\n"
+       << "      \"encode_mb_per_s\": "
+       << util::FormatFixed(encode_mb_per_s, 1) << ",\n"
+       << "      \"decode_mb_per_s\": "
+       << util::FormatFixed(decode_mb_per_s, 1) << ",\n"
        << "      \"stream_hash\": \"" << HexHash(stream_hash) << "\"\n"
        << "    }";
   if (const auto written = util::WriteTextFile(out_path, json.str());
@@ -171,6 +216,18 @@ int Measure(const std::string& mode, const std::string& out_path) {
                                      (1024.0 * 1024.0),
                                  1)
             << " MiB, stream hash " << HexHash(stream_hash) << "\n";
+  if (!spill_stats.codec.empty()) {
+    std::cout << "  spill " << spill_stats.codec << ": "
+              << spill_stats.segment_bytes << " bytes on disk ("
+              << util::FormatFixed(spill_stats.CompressionRatio(), 2)
+              << "x raw), encode "
+              << util::FormatFixed(spill_stats.EncodeNsPerSample(), 1)
+              << " ns/sample @ " << util::FormatFixed(encode_mb_per_s, 0)
+              << " MB/s, decode "
+              << util::FormatFixed(spill_stats.DecodeNsPerSample(), 1)
+              << " ns/sample @ " << util::FormatFixed(decode_mb_per_s, 0)
+              << " MB/s\n";
+  }
   return 0;
 }
 
@@ -195,14 +252,19 @@ int main(int argc, char** argv) {
             << std::string(72, '=') << "\n\n";
 
   const std::string self = argv[0];
-  const char* modes[] = {"materialized", "streamed", "streamed_2x"};
+  const char* modes[] = {"materialized", "streamed", "streamed_lmsg1",
+                         "streamed_2x"};
+  constexpr std::size_t kModeCount = std::size(modes);
+  // lmsg1 vs lmsg2 on-disk bytes for the parent's compression summary.
+  double lmsg1_bytes = 0.0;
+  double lmsg2_bytes = 0.0;
   std::ostringstream json;
   json << "{\n"
        << "  \"bench\": \"stream_fleet\",\n"
        << "  \"days\": " << days << ",\n"
        << "  \"block_samples\": " << StreamBlockSamples() << ",\n"
        << "  \"modes\": {\n";
-  for (std::size_t i = 0; i < 3; ++i) {
+  for (std::size_t i = 0; i < kModeCount; ++i) {
     const std::string fragment =
         std::string("stream_fleet_") + modes[i] + ".part.json";
     const std::string command =
@@ -219,10 +281,36 @@ int main(int argc, char** argv) {
     }
     std::error_code ec;
     std::filesystem::remove(fragment, ec);
+    if (const auto parsed = util::json::Parse(part.value()); parsed.ok()) {
+      const double bytes = parsed.value().Number("spill_segment_bytes", 0.0);
+      const std::string& codec = parsed.value()["spill_codec"].AsString();
+      if (codec == "lmsg1") lmsg1_bytes = bytes;
+      // streamed_2x also spills lmsg2 but at a different horizon; only the
+      // base-horizon run is comparable against streamed_lmsg1.
+      if (codec == "lmsg2" && std::string(modes[i]) == "streamed") {
+        lmsg2_bytes = bytes;
+      }
+    }
     json << "    \"" << modes[i] << "\": " << part.value()
-         << (i + 1 < 3 ? "," : "") << "\n";
+         << (i + 1 < kModeCount ? "," : "") << "\n";
   }
-  json << "  }\n}\n";
+  json << "  },\n"
+       << "  \"compression\": {\n"
+       << "    \"lmsg1_segment_bytes\": "
+       << static_cast<std::uint64_t>(lmsg1_bytes) << ",\n"
+       << "    \"lmsg2_segment_bytes\": "
+       << static_cast<std::uint64_t>(lmsg2_bytes) << ",\n"
+       << "    \"segment_ratio\": "
+       << util::FormatFixed(
+              lmsg2_bytes > 0.0 ? lmsg1_bytes / lmsg2_bytes : 0.0, 3)
+       << "\n"
+       << "  }\n}\n";
+  std::cout << "\ncompression: lmsg1 "
+            << static_cast<std::uint64_t>(lmsg1_bytes) << " bytes vs lmsg2 "
+            << static_cast<std::uint64_t>(lmsg2_bytes) << " bytes ("
+            << util::FormatFixed(
+                   lmsg2_bytes > 0.0 ? lmsg1_bytes / lmsg2_bytes : 0.0, 2)
+            << "x)\n";
 
   if (const auto written =
           util::WriteTextFile("BENCH_stream.json", json.str());

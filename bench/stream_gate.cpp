@@ -20,6 +20,18 @@
 //     write/read and checksumming must not cripple throughput. The band
 //     is wide because bench containers are noisy; the gate exists to
 //     catch step regressions, not jitter.
+//   * cross-codec stream identity: the LMSG1 run's hash equals the LMSG2
+//     run's (and hence the materialised trace's) — compression must be
+//     invisible to the decoded stream
+//   * compression band: both codecs spilled real bytes; the LMSG2 run's
+//     raw->disk compression ratio is >= 3x (the headline segment-size
+//     claim, against raw columnar bytes); and the lmsg1/lmsg2 on-disk
+//     ratio sits in [1.3, 50]. The cross-codec band is deliberately
+//     modest: LMTR1 (LMSG1's payload) is itself per-machine delta+varint
+//     coded, so LMSG2's incremental win over it is bounded (~1.5x
+//     measured) even though its reduction versus raw bytes is ~6x. The
+//     lower bounds catch a broken or disabled encoder, the loose upper
+//     bound catches nonsense accounting.
 //
 // Exit code 0 = all checks pass; 1 = at least one FAIL (each printed).
 #include <iostream>
@@ -114,6 +126,35 @@ int main(int argc, char** argv) {
         "streamed wall within 2.5x of materialised",
         util::FormatFixed(stream_wall, 3) + " s vs " +
             util::FormatFixed(mat_wall, 3) + " s");
+
+  // --- spill codec checks (LMSG2 tentpole) ---
+  const auto& lmsg1 = modes["streamed_lmsg1"];
+  const std::string lmsg1_hash = lmsg1["stream_hash"].AsString();
+  Check(!lmsg1_hash.empty() && lmsg1_hash == stream_hash,
+        "lmsg1 and lmsg2 runs decode identical streams",
+        lmsg1_hash + " vs " + stream_hash);
+  Check(lmsg1["spill_codec"].AsString() == "lmsg1" &&
+            stream["spill_codec"].AsString() == "lmsg2",
+        "modes ran under the codecs they claim",
+        lmsg1["spill_codec"].AsString() + " / " +
+            stream["spill_codec"].AsString());
+
+  const auto& compression = doc.value()["compression"];
+  const double lmsg1_bytes = compression.Number("lmsg1_segment_bytes", 0.0);
+  const double lmsg2_bytes = compression.Number("lmsg2_segment_bytes", 0.0);
+  Check(lmsg1_bytes > 0.0 && lmsg2_bytes > 0.0,
+        "both codecs spilled real segment bytes",
+        util::FormatFixed(lmsg1_bytes, 0) + " / " +
+            util::FormatFixed(lmsg2_bytes, 0) + " bytes");
+  const double raw_ratio = stream.Number("compression_ratio", 0.0);
+  Check(raw_ratio >= 3.0,
+        "lmsg2 raw->disk compression ratio >= 3x",
+        util::FormatFixed(raw_ratio, 2) + "x");
+  const double ratio =
+      lmsg2_bytes > 0.0 ? lmsg1_bytes / lmsg2_bytes : 0.0;
+  Check(ratio >= 1.3 && ratio <= 50.0,
+        "lmsg1/lmsg2 segment-size ratio in [1.3, 50]",
+        util::FormatFixed(ratio, 2) + "x");
 
   if (g_failures > 0) {
     std::cerr << g_failures << " check(s) failed\n";

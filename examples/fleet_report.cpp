@@ -6,6 +6,7 @@
 //                    [--shards N] [--scale-labs K]
 //                    [--fault-plan plan.ini] [--retry N]
 //                    [--stream] [--pipeline] [--spill-dir DIR] [--resume]
+//                    [--spill-codec lmsg1|lmsg2]
 //                    [--block-samples N] [--ring-capacity N]
 //                    [--anomaly-threshold Z]
 //                    [--metrics-out m.prom]
@@ -28,7 +29,11 @@
 // and the analysis output is bit-identical to the materialised engine.
 // --spill-dir DIR spills sealed blocks to per-lab checkpointed segments
 // in DIR; --resume reuses valid checkpoints found there (a campaign
-// killed mid-run restarts where it left off). --pipeline runs the
+// killed mid-run restarts where it left off). --spill-codec picks the
+// segment format for newly written spills (default lmsg2, the per-column
+// compressed one; lmsg1 is the uncompressed original) — read-back always
+// dispatches on each segment's own magic, so resume may mix codecs and
+// the analyses are bit-identical either way. --pipeline runs the
 // streaming campaign through the pipelined engine instead: shard workers
 // overlap simulation with the merge and the analysis fold via a bounded
 // staging ring (--ring-capacity, default 64 blocks), same bit-identical
@@ -217,6 +222,7 @@ int main(int argc, char** argv) {
   bool use_pipeline = false;
   bool resume = false;
   std::string spill_dir;
+  trace::SpillCodecId spill_codec = trace::kDefaultSpillCodec;
   std::size_t block_samples = 0;  // 0 = engine default
   std::size_t ring_capacity = 0;  // 0 = engine default
   double anomaly_threshold = 0.0;
@@ -267,6 +273,14 @@ int main(int argc, char** argv) {
       resume = true;
     } else if (const char* v = flag_value("--spill-dir")) {
       spill_dir = v;
+    } else if (const char* v = flag_value("--spill-codec")) {
+      const auto parsed = trace::ParseSpillCodecName(v);
+      if (!parsed) {
+        std::cerr << "unknown --spill-codec \"" << v
+                  << "\" (want lmsg1 or lmsg2)\n";
+        return 1;
+      }
+      spill_codec = *parsed;
     } else if (const char* v = flag_value("--block-samples")) {
       block_samples = static_cast<std::size_t>(std::atoll(v));
     } else if (const char* v = flag_value("--ring-capacity")) {
@@ -433,6 +447,7 @@ int main(int argc, char** argv) {
     if (block_samples > 0) streaming.block_samples = block_samples;
     if (ring_capacity > 0) streaming.ring_capacity = ring_capacity;
     streaming.spill_dir = spill_dir;
+    streaming.spill_codec = spill_codec;
     streaming.resume = resume;
     streaming.anomaly_threshold = anomaly_threshold;
     std::ofstream anomaly_file;
@@ -513,6 +528,17 @@ int main(int argc, char** argv) {
         std::cout << " (" << streamed.labs_resumed << " labs resumed)";
       }
       std::cout << '\n';
+      const auto& sp = streamed.spill;
+      std::cout << "spill codec " << sp.codec << ": " << sp.segments
+                << " segments, " << sp.segment_bytes << " bytes on disk ("
+                << sp.raw_bytes_encoded << " raw -> "
+                << sp.payload_bytes_encoded << " encoded, "
+                << util::FormatFixed(sp.CompressionRatio(), 2)
+                << "x), encode "
+                << util::FormatFixed(sp.EncodeNsPerSample(), 1)
+                << " ns/sample, decode "
+                << util::FormatFixed(sp.DecodeNsPerSample(), 1)
+                << " ns/sample\n";
     }
     if (anomaly_threshold > 0.0) {
       std::cout << "anomalies: " << streamed.anomalies << " (|z| >= "

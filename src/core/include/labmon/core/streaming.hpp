@@ -28,6 +28,7 @@
 #include "labmon/core/experiment.hpp"
 #include "labmon/obs/jsonl.hpp"
 #include "labmon/trace/block.hpp"
+#include "labmon/trace/spill_codec.hpp"
 
 namespace labmon::core {
 
@@ -41,6 +42,12 @@ struct StreamingOptions {
   /// Reuse valid per-lab checkpoints found in `spill_dir` instead of
   /// re-simulating those labs (requires spilling).
   bool resume = false;
+  /// On-disk codec for newly written spill segments (trace/spill_codec.hpp).
+  /// Read-back always dispatches on each segment's own magic, so a resumed
+  /// campaign may mix codecs freely — the codec is deliberately excluded
+  /// from the config fingerprint and the decoded streams are bit-identical
+  /// either way.
+  trace::SpillCodecId spill_codec = trace::kDefaultSpillCodec;
   /// Online anomaly detection: |z| threshold on per-machine memory load
   /// and CPU idle deltas. 0 disables the detector.
   double anomaly_threshold = 0.0;
@@ -87,6 +94,45 @@ struct PipelineStats {
   double serial_fraction = 0.0;
 };
 
+/// Spill codec accounting for one run: the encode side sums every segment
+/// writer (shard workers compress before bytes hit disk), the decode side
+/// sums every segment read-back (the merge re-stream and resume replay).
+/// All zeros when spilling is disabled. Mirrored into obs gauges under
+/// labmon_spill_*.
+struct SpillCompressionStats {
+  std::string codec;  ///< codec newly written segments used ("" = no spill)
+  std::uint64_t segments = 0;       ///< segment files written this run
+  std::uint64_t segment_bytes = 0;  ///< on-disk bytes incl. framing
+  std::uint64_t blocks_encoded = 0;
+  std::uint64_t samples_encoded = 0;
+  std::uint64_t raw_bytes_encoded = 0;      ///< columnar in-memory footprint
+  std::uint64_t payload_bytes_encoded = 0;  ///< encoded payload bytes
+  double encode_s = 0.0;
+  std::uint64_t blocks_decoded = 0;
+  std::uint64_t samples_decoded = 0;
+  std::uint64_t raw_bytes_decoded = 0;
+  std::uint64_t payload_bytes_decoded = 0;
+  double decode_s = 0.0;
+
+  /// Raw columnar bytes per encoded payload byte (0 when nothing spilled).
+  [[nodiscard]] double CompressionRatio() const noexcept {
+    return payload_bytes_encoded != 0
+               ? static_cast<double>(raw_bytes_encoded) /
+                     static_cast<double>(payload_bytes_encoded)
+               : 0.0;
+  }
+  [[nodiscard]] double EncodeNsPerSample() const noexcept {
+    return samples_encoded != 0
+               ? encode_s * 1e9 / static_cast<double>(samples_encoded)
+               : 0.0;
+  }
+  [[nodiscard]] double DecodeNsPerSample() const noexcept {
+    return samples_decoded != 0
+               ? decode_s * 1e9 / static_cast<double>(samples_decoded)
+               : 0.0;
+  }
+};
+
 /// Everything a streamed run produces. There is no materialised trace:
 /// `summary` holds machine count + merged iteration metadata only, and
 /// `stream_hash` fingerprints the merged sample sequence
@@ -112,6 +158,8 @@ struct StreamingExperimentResult {
   std::vector<std::string> errors;
   /// Pipeline health (PipelinedExperiment only; zeros otherwise).
   PipelineStats pipeline;
+  /// Spill codec accounting (zeros when spilling is disabled).
+  SpillCompressionStats spill;
 };
 
 class StreamingExperiment {

@@ -255,11 +255,13 @@ StreamingExperimentResult PipelinedExperiment::Run(
 
   StreamingExperimentResult result;
   result.days = config.campus.days;
+  if (spill) result.spill.codec = trace::SpillCodecName(options.spill_codec);
   std::mutex error_mutex;
   auto record_error = [&](std::string message) {
     const std::scoped_lock lock(error_mutex);
     result.errors.push_back(std::move(message));
   };
+  std::mutex spill_mutex;
 
   if (spill) {
     std::error_code ec;
@@ -486,6 +488,10 @@ StreamingExperimentResult PipelinedExperiment::Run(
           any_failed.store(true);
           continue;
         }
+        {
+          const std::scoped_lock lock(spill_mutex);
+          detail::AccumulateSpillDecode(result.spill, reader.codec_stats());
+        }
         StagedBlock fin;
         fin.lab = lab;
         fin.final_block = true;
@@ -523,7 +529,8 @@ StreamingExperimentResult PipelinedExperiment::Run(
           std::unique_ptr<trace::SegmentWriter> writer;
           if (spill) {
             auto opened = trace::SegmentWriter::Open(
-                detail::SegmentPath(options.spill_dir, lab), machine_count);
+                detail::SegmentPath(options.spill_dir, lab), machine_count,
+                options.spill_codec);
             if (!opened.ok()) {
               record_error(opened.error());
               lab_failed[lab] = 1;
@@ -619,6 +626,7 @@ StreamingExperimentResult PipelinedExperiment::Run(
           cp.crosscheck_mismatches =
               run.sink().inner().crosscheck_mismatches();
           cp.blocks = run.sink().blocks_sealed();
+          cp.codec = options.spill_codec;
 
           if (spill) {
             if (auto finished = run.writer()->Finish(); !finished.ok()) {
@@ -626,6 +634,14 @@ StreamingExperimentResult PipelinedExperiment::Run(
               lab_failed[lab] = 1;
               any_failed.store(true);
               continue;
+            }
+            // Encoding itself ran inside PipelineSink::Seal on this shard
+            // worker — compression never touches the merge thread.
+            {
+              const std::scoped_lock lock(spill_mutex);
+              detail::AccumulateSpillEncode(result.spill,
+                                            run.writer()->codec_stats(),
+                                            run.writer()->bytes_written());
             }
             if (!detail::WriteSidecar(
                     detail::SidecarPath(options.spill_dir, lab), fingerprint,
@@ -683,6 +699,7 @@ StreamingExperimentResult PipelinedExperiment::Run(
     result.anomalies = detector->anomalies();
     result.anomaly_observations = detector->observations();
   }
+  detail::PublishSpillGauges(result.spill);
 
   // ---- Pipeline health: result struct + registry gauges. ----
   const util::StagingRingStats ring_stats = collect_ring.stats();

@@ -126,11 +126,13 @@ StreamingExperimentResult StreamingExperiment::Run(
 
   StreamingExperimentResult result;
   result.days = config.campus.days;
+  if (spill) result.spill.codec = trace::SpillCodecName(options.spill_codec);
   std::mutex error_mutex;
   auto record_error = [&](std::string message) {
     const std::scoped_lock lock(error_mutex);
     result.errors.push_back(std::move(message));
   };
+  std::mutex spill_mutex;
 
   if (spill) {
     std::error_code ec;
@@ -203,7 +205,8 @@ StreamingExperimentResult StreamingExperiment::Run(
       std::unique_ptr<trace::SegmentWriter> writer;
       if (spill) {
         auto opened = trace::SegmentWriter::Open(
-            SegmentPath(options.spill_dir, lab), machine_count);
+            SegmentPath(options.spill_dir, lab), machine_count,
+            options.spill_codec);
         if (!opened.ok()) {
           record_error(opened.error());
           return;
@@ -258,11 +261,17 @@ StreamingExperimentResult StreamingExperiment::Run(
       cp.parse_failures = sink.inner().parse_failures();
       cp.crosscheck_mismatches = sink.inner().crosscheck_mismatches();
       cp.blocks = sink.blocks_sealed();
+      cp.codec = options.spill_codec;
 
       if (spill) {
         if (auto finished = writer->Finish(); !finished.ok()) {
           record_error(finished.error());
           return;
+        }
+        {
+          const std::scoped_lock lock(spill_mutex);
+          detail::AccumulateSpillEncode(result.spill, writer->codec_stats(),
+                                        writer->bytes_written());
         }
         if (!WriteSidecar(SidecarPath(options.spill_dir, lab), fingerprint,
                           lab, cp)) {
@@ -346,7 +355,11 @@ StreamingExperimentResult StreamingExperiment::Run(
       if (reader.failed()) record_error(reader.error());
     }
     if (!result.errors.empty()) return result;
+    for (const auto& reader : segment_readers) {
+      detail::AccumulateSpillDecode(result.spill, reader.codec_stats());
+    }
   }
+  detail::PublishSpillGauges(result.spill);
 
   result.summary = trace::TraceStore(machine_count);
   for (const trace::IterationInfo& info : merged.iterations) {

@@ -10,6 +10,8 @@
 #include <string>
 
 #include "labmon/core/streaming.hpp"
+#include "labmon/obs/registry.hpp"
+#include "labmon/trace/spill_codec.hpp"
 #include "labmon/winsim/fleet.hpp"
 
 namespace labmon::core::detail {
@@ -23,10 +25,16 @@ struct LabCheckpoint {
   std::uint64_t parse_failures = 0;
   std::uint64_t crosscheck_mismatches = 0;
   std::uint64_t blocks = 0;
+  /// Codec the lab's segment was written under. Informational: resume
+  /// re-opens the segment and dispatches on its actual magic, so a
+  /// checkpoint written under either codec resumes under any requested
+  /// codec (cross-codec resume is pinned by the determinism tests).
+  trace::SpillCodecId codec = trace::kDefaultSpillCodec;
 };
 
 inline constexpr char kSidecarMagic[] = "LMSGCK";
-inline constexpr std::uint64_t kSidecarVersion = 1;
+// v2 added the "codec" line; v1 sidecars are simply re-simulated.
+inline constexpr std::uint64_t kSidecarVersion = 2;
 
 inline std::string LabFileStem(const std::string& dir, std::size_t lab) {
   char name[32];
@@ -51,6 +59,7 @@ inline bool WriteSidecar(const std::string& path, std::uint64_t fingerprint,
   out << kSidecarMagic << ' ' << kSidecarVersion << '\n';
   out << "fingerprint " << fingerprint << '\n';
   out << "lab " << lab << '\n';
+  out << "codec " << trace::SpillCodecName(cp.codec) << '\n';
   out << "blocks " << cp.blocks << '\n';
   out << "parse_failures " << cp.parse_failures << '\n';
   out << "crosscheck_mismatches " << cp.crosscheck_mismatches << '\n';
@@ -99,6 +108,11 @@ inline bool LoadSidecar(const std::string& path, std::uint64_t fingerprint,
   if (!(file >> key >> stored_lab) || key != "lab" || stored_lab != lab) {
     return false;
   }
+  std::string codec_name;
+  if (!(file >> key >> codec_name) || key != "codec") return false;
+  const auto codec = trace::ParseSpillCodecName(codec_name);
+  if (!codec.has_value()) return false;
+  cp.codec = *codec;
   if (!(file >> key >> cp.blocks) || key != "blocks") return false;
   if (!(file >> key >> cp.parse_failures) || key != "parse_failures") {
     return false;
@@ -141,6 +155,56 @@ inline void AccumulateCheckpoint(StreamingExperimentResult& result,
   result.ground_truth += cp.truth;
   result.parse_failures += cp.parse_failures;
   result.crosscheck_mismatches += cp.crosscheck_mismatches;
+}
+
+/// Folds one finished segment writer into the run's encode-side spill
+/// accounting. Callers on worker threads must hold their own lock.
+inline void AccumulateSpillEncode(SpillCompressionStats& spill,
+                                  const trace::SpillCodecStats& stats,
+                                  std::uint64_t segment_bytes) {
+  ++spill.segments;
+  spill.segment_bytes += segment_bytes;
+  spill.blocks_encoded += stats.blocks;
+  spill.samples_encoded += stats.samples;
+  spill.raw_bytes_encoded += stats.raw_bytes;
+  spill.payload_bytes_encoded += stats.payload_bytes;
+  spill.encode_s += static_cast<double>(stats.ns) * 1e-9;
+}
+
+/// Folds one drained segment reader into the decode-side accounting.
+inline void AccumulateSpillDecode(SpillCompressionStats& spill,
+                                  const trace::SpillCodecStats& stats) {
+  spill.blocks_decoded += stats.blocks;
+  spill.samples_decoded += stats.samples;
+  spill.raw_bytes_decoded += stats.raw_bytes;
+  spill.payload_bytes_decoded += stats.payload_bytes;
+  spill.decode_s += static_cast<double>(stats.ns) * 1e-9;
+}
+
+/// Mirrors the run's spill accounting into obs gauges (no-op when the run
+/// did not spill). Per-column ratios are kept by the codec itself under
+/// labmon_spill_column_*.
+inline void PublishSpillGauges(const SpillCompressionStats& spill) {
+  if (spill.codec.empty() || spill.segments == 0) return;
+  auto& registry = obs::DefaultRegistry();
+  const obs::Labels labels{{"codec", spill.codec}};
+  registry
+      .GetGauge("labmon_spill_compression_ratio",
+                "Raw columnar bytes per encoded spill payload byte.", labels)
+      .Set(spill.CompressionRatio());
+  registry
+      .GetGauge("labmon_spill_segment_bytes",
+                "On-disk spill segment bytes written by the last run.",
+                labels)
+      .Set(static_cast<double>(spill.segment_bytes));
+  registry
+      .GetGauge("labmon_spill_encode_ns_per_sample",
+                "Spill encode cost of the last run, ns per sample.", labels)
+      .Set(spill.EncodeNsPerSample());
+  registry
+      .GetGauge("labmon_spill_decode_ns_per_sample",
+                "Spill decode cost of the last run, ns per sample.", labels)
+      .Set(spill.DecodeNsPerSample());
 }
 
 /// Copies fleet-derived summaries (hardware totals, perf index, per-lab

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "labmon/trace/trace_store.hpp"
 #include "labmon/util/expected.hpp"
@@ -27,7 +28,7 @@ namespace labmon::trace {
 
 /// Parses a binary trace; verifies magic, bounds and counts.
 [[nodiscard]] util::Result<TraceStore> DeserializeTrace(
-    const std::string& bytes);
+    std::string_view bytes);
 
 /// Writes/reads a binary trace file.
 [[nodiscard]] util::Result<bool> WriteTraceFile(const std::string& path,

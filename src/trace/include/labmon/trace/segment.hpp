@@ -1,22 +1,26 @@
-// On-disk trace segments ("LMSG1") — the spill format of the streaming
-// pipeline.
+// On-disk trace segments — the spill files of the streaming pipeline.
 //
 // A segment is a header plus a sequence of length-prefixed, checksummed
-// blocks; each block payload is a complete LMTR1 trace (binary_io) holding
-// that block's samples, its *block-local* user table and the iteration
-// metadata the block covers. Blocks are therefore fully self-contained:
-// delta state never crosses a block boundary, so a partially-written
-// segment is readable up to its last complete block and a resumed
-// campaign can re-stream spilled labs without any sidecar decoder state.
+// block payloads; what the payload bytes are is the codec's business
+// (spill_codec.hpp): LMSG1 payloads are complete LMTR1 traces, LMSG2
+// payloads are per-column compressed encodings of the same block. Either
+// way a block carries its samples, its *block-local* user table and the
+// iteration metadata it covers, so blocks are fully self-contained: codec
+// state never crosses a block boundary, a partially-written segment is
+// readable up to its last complete block, and a resumed campaign can
+// re-stream spilled labs without any sidecar decoder state.
 //
-// Layout:
-//   magic "LMSG1"
+// Layout (framing is identical for every codec):
+//   magic: the codec's 5 bytes ("LMSG1" or "LMSG2")
 //   varint version (1), varint machine_count
-//   per block: varint payload_len, payload (LMTR1 bytes),
-//              8-byte LE FNV-1a checksum of the payload
+//   per block: varint payload_len, payload bytes,
+//              8-byte LE FNV-1a checksum of the (encoded) payload
 //
-// Truncation anywhere inside a block, or a checksum/LMTR1 parse failure,
-// surfaces as a read error (never as silently-short data).
+// The reader dispatches on the magic it finds, so one spill directory may
+// mix segments written under different codecs (e.g. across a resumed
+// campaign that changed codec). Truncation anywhere inside a block, a
+// checksum mismatch, or a payload decode failure surfaces as a read error
+// — never as silently-short data.
 #pragma once
 
 #include <cstdint>
@@ -24,21 +28,25 @@
 #include <string>
 
 #include "labmon/trace/block.hpp"
+#include "labmon/trace/spill_codec.hpp"
 #include "labmon/util/expected.hpp"
 
 namespace labmon::trace {
 
 class SegmentWriter {
  public:
-  /// Opens (truncates) `path` and writes the segment header.
+  /// Opens (truncates) `path` and writes the segment header for `codec`.
   [[nodiscard]] static util::Result<SegmentWriter> Open(
-      const std::string& path, std::size_t machine_count);
+      const std::string& path, std::size_t machine_count,
+      SpillCodecId codec = kDefaultSpillCodec);
 
   SegmentWriter(SegmentWriter&&) = default;
   SegmentWriter& operator=(SegmentWriter&&) = default;
 
   /// Appends one sealed block: `block_store` must hold the block's samples,
-  /// its own (block-local) user table and its iteration rows.
+  /// its own (block-local) user table and its iteration rows. Encoding runs
+  /// on the calling thread — spill callers invoke this from shard workers
+  /// so compression stays off any merge critical path.
   [[nodiscard]] util::Result<bool> Append(const TraceStore& block_store);
 
   /// Flushes and closes; returns an error if any write failed.
@@ -48,18 +56,27 @@ class SegmentWriter {
   [[nodiscard]] std::uint64_t bytes_written() const noexcept {
     return bytes_written_;
   }
+  [[nodiscard]] SpillCodecId codec() const noexcept { return codec_->id(); }
+  /// Encode-side accounting (raw vs payload bytes, encode time) summed
+  /// over every Append on this writer.
+  [[nodiscard]] const SpillCodecStats& codec_stats() const noexcept {
+    return stats_;
+  }
 
  private:
   SegmentWriter() = default;
 
   std::ofstream out_;
   std::string path_;
+  const SpillCodec* codec_ = nullptr;
+  std::string payload_;  ///< reused encode buffer
+  SpillCodecStats stats_;
   std::uint64_t blocks_ = 0;
   std::uint64_t bytes_written_ = 0;
 };
 
 /// Streams the blocks of a segment file back. A failed read (truncation,
-/// checksum mismatch, payload parse error) ends the stream with
+/// checksum mismatch, payload decode error) ends the stream with
 /// `failed()` true and a diagnostic in `error()` — callers must check
 /// after Next() returns nullptr.
 class SegmentReader final : public TraceReader {
@@ -78,17 +95,26 @@ class SegmentReader final : public TraceReader {
   [[nodiscard]] std::size_t machine_count() const noexcept {
     return machine_count_;
   }
+  /// The codec this segment was written under (from its magic).
+  [[nodiscard]] SpillCodecId codec() const noexcept { return codec_->id(); }
+  /// Decode-side accounting summed over every Next on this reader
+  /// (cumulative across Reset).
+  [[nodiscard]] const SpillCodecStats& codec_stats() const noexcept {
+    return stats_;
+  }
 
  private:
   SegmentReader() = default;
 
   std::ifstream in_;
   std::string path_;
+  const SpillCodec* codec_ = nullptr;
   std::size_t machine_count_ = 0;
   std::uint64_t next_iteration_ = 0;
   std::streampos first_block_pos_;
   std::string error_;
   std::string payload_;
+  SpillCodecStats stats_;
   TraceBlock scratch_;
 };
 

@@ -145,7 +145,7 @@ std::string SerializeTrace(const TraceStore& store) {
   return out;
 }
 
-util::Result<TraceStore> DeserializeTrace(const std::string& bytes) {
+util::Result<TraceStore> DeserializeTrace(std::string_view bytes) {
   obs::Span span("trace.deserialize");
   using R = util::Result<TraceStore>;
   if (bytes.size() < kMagicLen ||

@@ -1,19 +1,19 @@
 #include "labmon/trace/segment.hpp"
 
+#include <chrono>
 #include <utility>
 
-#include "labmon/trace/binary_io.hpp"
+#include "labmon/obs/registry.hpp"
 #include "labmon/util/varint.hpp"
 
 namespace labmon::trace {
 
 namespace {
 
-constexpr char kMagic[] = "LMSG1";
 constexpr std::size_t kMagicLen = 5;
 constexpr std::uint64_t kVersion = 1;
-/// Hard sanity bound on one block payload (a 64k-sample LMTR1 block is a
-/// few MB; anything near this is a corrupt length prefix).
+/// Hard sanity bound on one block payload (a 64k-sample block is a few MB
+/// encoded; anything near this is a corrupt length prefix).
 constexpr std::uint64_t kMaxPayloadBytes = 1ull << 31;
 
 std::uint64_t Fnv1a(const std::string& bytes) noexcept {
@@ -23,6 +23,13 @@ std::uint64_t Fnv1a(const std::string& bytes) noexcept {
     h *= 0x100000001b3ull;
   }
   return h;
+}
+
+std::uint64_t NowNs() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 /// Reads one LEB128 varint byte-at-a-time from the stream. Returns false
@@ -45,16 +52,47 @@ bool ReadVarint(std::istream& in, std::uint64_t& value, bool& clean_eof) {
   return false;
 }
 
+/// Bulk-updates the registry's spill codec counters, one call per
+/// Append/Next so the encode/decode hot loops stay clean (the per-column
+/// breakdown is counted inside the LMSG2 codec itself).
+void CountSpillIo(const SpillCodec& codec, const char* direction,
+                  const SpillCodecStats& delta) {
+  obs::Registry& registry = obs::DefaultRegistry();
+  const char* name = SpillCodecName(codec.id());
+  registry
+      .GetCounter("labmon_spill_raw_bytes_total",
+                  "In-memory columnar bytes moved through the spill codecs",
+                  {{"codec", name}, {"direction", direction}})
+      .Increment(delta.raw_bytes);
+  registry
+      .GetCounter("labmon_spill_payload_bytes_total",
+                  "Encoded payload bytes moved through the spill codecs",
+                  {{"codec", name}, {"direction", direction}})
+      .Increment(delta.payload_bytes);
+  registry
+      .GetCounter("labmon_spill_codec_ns_total",
+                  "Wall nanoseconds spent in spill encode/decode",
+                  {{"codec", name}, {"direction", direction}})
+      .Increment(delta.ns);
+  registry
+      .GetCounter("labmon_spill_codec_samples_total",
+                  "Samples moved through the spill codecs",
+                  {{"codec", name}, {"direction", direction}})
+      .Increment(delta.samples);
+}
+
 }  // namespace
 
 util::Result<SegmentWriter> SegmentWriter::Open(const std::string& path,
-                                                std::size_t machine_count) {
+                                                std::size_t machine_count,
+                                                SpillCodecId codec) {
   using R = util::Result<SegmentWriter>;
   SegmentWriter writer;
   writer.path_ = path;
+  writer.codec_ = &GetSpillCodec(codec);
   writer.out_.open(path, std::ios::binary | std::ios::trunc);
   if (!writer.out_) return R::Err("cannot open segment for write: " + path);
-  std::string header(kMagic, kMagicLen);
+  std::string header(writer.codec_->magic());
   util::PutVarint(header, kVersion);
   util::PutVarint(header, machine_count);
   writer.out_.write(header.data(),
@@ -67,19 +105,28 @@ util::Result<SegmentWriter> SegmentWriter::Open(const std::string& path,
 util::Result<bool> SegmentWriter::Append(const TraceStore& block_store) {
   using R = util::Result<bool>;
   if (!out_) return R::Err("segment writer not open: " + path_);
-  const std::string payload = SerializeTrace(block_store);
+  const std::uint64_t t0 = NowNs();
+  codec_->EncodeBlock(block_store, payload_);
+  SpillCodecStats delta;
+  delta.blocks = 1;
+  delta.samples = block_store.size();
+  delta.raw_bytes = RawColumnBytes(block_store);
+  delta.payload_bytes = payload_.size();
+  delta.ns = NowNs() - t0;
+  stats_ += delta;
+  CountSpillIo(*codec_, "write", delta);
   std::string frame;
-  util::PutVarint(frame, payload.size());
-  const std::uint64_t checksum = Fnv1a(payload);
+  util::PutVarint(frame, payload_.size());
+  const std::uint64_t checksum = Fnv1a(payload_);
   out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
-  out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out_.write(payload_.data(), static_cast<std::streamsize>(payload_.size()));
   char sum[8];
   for (int i = 0; i < 8; ++i) {
     sum[i] = static_cast<char>((checksum >> (8 * i)) & 0xff);
   }
   out_.write(sum, 8);
   if (!out_) return R::Err("segment block write failed: " + path_);
-  bytes_written_ += frame.size() + payload.size() + 8;
+  bytes_written_ += frame.size() + payload_.size() + 8;
   ++blocks_;
   return true;
 }
@@ -101,8 +148,11 @@ util::Result<SegmentReader> SegmentReader::Open(const std::string& path) {
   if (!reader.in_) return R::Err("cannot open segment for read: " + path);
   char magic[kMagicLen];
   reader.in_.read(magic, kMagicLen);
-  if (reader.in_.gcount() != static_cast<std::streamsize>(kMagicLen) ||
-      std::string(magic, kMagicLen) != std::string(kMagic, kMagicLen)) {
+  if (reader.in_.gcount() != static_cast<std::streamsize>(kMagicLen)) {
+    return R::Err("bad segment magic: " + path);
+  }
+  reader.codec_ = FindSpillCodecByMagic(std::string_view(magic, kMagicLen));
+  if (reader.codec_ == nullptr) {
     return R::Err("bad segment magic: " + path);
   }
   std::uint64_t version = 0;
@@ -159,15 +209,23 @@ const TraceBlock* SegmentReader::Next() {
     error_ = "block checksum mismatch: " + path_;
     return nullptr;
   }
-  auto store = DeserializeTrace(payload_);
-  if (!store.ok()) {
-    error_ = "block payload parse failed (" + store.error() + "): " + path_;
+  const std::uint64_t t0 = NowNs();
+  auto decoded = codec_->DecodeBlock(payload_, machine_count_, scratch_);
+  if (!decoded.ok()) {
+    error_ = "block payload decode failed (" + decoded.error() + "): " + path_;
     return nullptr;
   }
-  scratch_.AssignFrom(store.value());
-  // LMTR1 numbers iteration rows from zero within each payload; a segment's
-  // blocks cover the lab's iterations contiguously in order, so restore the
-  // stream-global numbering the merge keys on.
+  SpillCodecStats delta;
+  delta.blocks = 1;
+  delta.samples = scratch_.size();
+  delta.raw_bytes = RawColumnBytes(scratch_);
+  delta.payload_bytes = payload_.size();
+  delta.ns = NowNs() - t0;
+  stats_ += delta;
+  CountSpillIo(*codec_, "read", delta);
+  // Payloads number iteration rows from zero; a segment's blocks cover the
+  // lab's iterations contiguously in order, so restore the stream-global
+  // numbering the merge keys on.
   for (IterationInfo& info : scratch_.iterations) {
     info.iteration = next_iteration_++;
   }

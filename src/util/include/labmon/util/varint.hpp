@@ -7,14 +7,26 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 
 namespace labmon::util {
 
 /// Appends an unsigned LEB128 varint (1–10 bytes).
 void PutVarint(std::string& out, std::uint64_t value);
 
+/// Same, with a reserve hint: when the buffer is within one varint of its
+/// capacity, it grows by at least `reserve_hint` bytes in one step. Encoder
+/// hot loops that append millions of varints per block pass the expected
+/// section size so the buffer is sized once instead of reallocating along
+/// the string's default growth curve.
+void PutVarint(std::string& out, std::uint64_t value, std::size_t reserve_hint);
+
 /// Zigzag-maps a signed value and appends it as a varint.
 void PutSignedVarint(std::string& out, std::int64_t value);
+
+/// Zigzag + reserve hint (see the PutVarint overload).
+void PutSignedVarint(std::string& out, std::int64_t value,
+                     std::size_t reserve_hint);
 
 /// Zigzag encode/decode.
 [[nodiscard]] constexpr std::uint64_t ZigzagEncode(std::int64_t v) noexcept {
@@ -34,6 +46,9 @@ class VarintReader {
   explicit VarintReader(const std::string& data) noexcept
       : data_(reinterpret_cast<const std::uint8_t*>(data.data()),
               data.size()) {}
+  explicit VarintReader(std::string_view data) noexcept
+      : data_(reinterpret_cast<const std::uint8_t*>(data.data()),
+              data.size()) {}
 
   /// Reads one unsigned varint; nullopt on truncation/overlong input.
   [[nodiscard]] std::optional<std::uint64_t> Read() noexcept;
@@ -41,6 +56,13 @@ class VarintReader {
   [[nodiscard]] std::optional<std::int64_t> ReadSigned() noexcept;
   /// Reads `n` raw bytes as a string.
   [[nodiscard]] std::optional<std::string> ReadBytes(std::size_t n);
+  /// Advances the cursor `n` bytes; false (cursor unchanged) if fewer
+  /// remain.
+  [[nodiscard]] bool Skip(std::size_t n) noexcept {
+    if (remaining() < n) return false;
+    pos_ += n;
+    return true;
+  }
 
   [[nodiscard]] std::size_t position() const noexcept { return pos_; }
   [[nodiscard]] bool AtEnd() const noexcept { return pos_ >= data_.size(); }

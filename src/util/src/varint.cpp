@@ -2,16 +2,46 @@
 
 namespace labmon::util {
 
-void PutVarint(std::string& out, std::uint64_t value) {
+namespace {
+
+constexpr std::size_t kMaxVarintBytes = 10;
+
+// Encodes into a stack buffer and appends once; a single append lets the
+// string grow (or not) with one capacity check instead of one per byte.
+inline void AppendVarint(std::string& out, std::uint64_t value) {
+  char buf[kMaxVarintBytes];
+  std::size_t n = 0;
   while (value >= 0x80) {
-    out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+    buf[n++] = static_cast<char>((value & 0x7f) | 0x80);
     value >>= 7;
   }
-  out.push_back(static_cast<char>(value));
+  buf[n++] = static_cast<char>(value);
+  out.append(buf, n);
+}
+
+}  // namespace
+
+void PutVarint(std::string& out, std::uint64_t value) {
+  AppendVarint(out, value);
+}
+
+void PutVarint(std::string& out, std::uint64_t value,
+               std::size_t reserve_hint) {
+  if (out.capacity() - out.size() < kMaxVarintBytes) {
+    out.reserve(out.size() +
+                (reserve_hint > kMaxVarintBytes ? reserve_hint
+                                                : kMaxVarintBytes));
+  }
+  AppendVarint(out, value);
 }
 
 void PutSignedVarint(std::string& out, std::int64_t value) {
-  PutVarint(out, ZigzagEncode(value));
+  AppendVarint(out, ZigzagEncode(value));
+}
+
+void PutSignedVarint(std::string& out, std::int64_t value,
+                     std::size_t reserve_hint) {
+  PutVarint(out, ZigzagEncode(value), reserve_hint);
 }
 
 std::optional<std::uint64_t> VarintReader::Read() noexcept {

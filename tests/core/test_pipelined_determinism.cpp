@@ -269,6 +269,45 @@ TEST(PipelinedDeterminismTest, ResumesStreamingCheckpointsAndViceVersa) {
   EXPECT_EQ(streamed.stream_hash, piped.stream_hash);
 }
 
+TEST(PipelinedDeterminismTest, CrossCodecResumeIsBitIdenticalBothWays) {
+  // A pipelined campaign written under one spill codec resumes under the
+  // other: re-simulated labs spill in the new format, survivors replay
+  // from the old one, and the merged stream is bit-identical either way.
+  const std::string dir = ::testing::TempDir() + "/labmon_pipe_codec";
+  std::filesystem::remove_all(dir);
+  core::StreamingOptions options;
+  options.spill_dir = dir;
+  options.block_samples = 4096;
+  options.spill_codec = trace::SpillCodecId::kLmsg1;
+  const auto first = core::PipelinedExperiment::Run(GoldenConfig(2), options);
+  ASSERT_TRUE(first.errors.empty());
+  const std::size_t lab_count = first.labs.size();
+  ASSERT_GE(lab_count, 2u);
+  EXPECT_EQ(first.spill.codec, "lmsg1");
+  EXPECT_EQ(first.spill.samples_encoded, first.samples);
+
+  std::filesystem::remove(dir + "/lab0000.ck");
+  std::filesystem::remove(dir + "/lab0001.ck");
+  core::StreamingOptions resume_options = options;
+  resume_options.resume = true;
+  resume_options.spill_codec = trace::SpillCodecId::kLmsg2;
+  const auto second =
+      core::PipelinedExperiment::Run(GoldenConfig(2), resume_options);
+  EXPECT_EQ(second.labs_resumed, lab_count - 2);
+  ExpectRunIdentical(second);
+  EXPECT_EQ(second.stream_hash, first.stream_hash);
+
+  // Reverse direction over the now-mixed directory: lose an LMSG2 lab's
+  // checkpoint and resume requesting LMSG1 again.
+  std::filesystem::remove(dir + "/lab0000.ck");
+  resume_options.spill_codec = trace::SpillCodecId::kLmsg1;
+  const auto third =
+      core::PipelinedExperiment::Run(GoldenConfig(2), resume_options);
+  EXPECT_EQ(third.labs_resumed, lab_count - 1);
+  ExpectRunIdentical(third);
+  EXPECT_EQ(third.stream_hash, first.stream_hash);
+}
+
 TEST(PipelinedDeterminismTest, AllLabsResumedSkipsSimulation) {
   const std::string dir = ::testing::TempDir() + "/labmon_pipe_all_resumed";
   std::filesystem::remove_all(dir);

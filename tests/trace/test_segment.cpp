@@ -50,13 +50,14 @@ TraceStore MakeBlockStore(std::uint32_t iteration, std::size_t samples) {
   return store;
 }
 
-std::string TempPath(const char* name) {
+std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
 }
 
 std::string WriteSegment(const std::string& path,
-                         const std::vector<std::size_t>& block_sizes) {
-  auto writer = SegmentWriter::Open(path, 4);
+                         const std::vector<std::size_t>& block_sizes,
+                         SpillCodecId codec) {
+  auto writer = SegmentWriter::Open(path, 4, codec);
   EXPECT_TRUE(writer.ok()) << writer.error();
   std::uint32_t iteration = 0;
   for (const std::size_t n : block_sizes) {
@@ -68,12 +69,30 @@ std::string WriteSegment(const std::string& path,
   return path;
 }
 
-TEST(SegmentTest, RoundTripPreservesSamplesUsersIterations) {
-  const std::string path = WriteSegment(TempPath("seg_roundtrip.lmsg"),
-                                        {5, 3, 7});
+/// Every structural segment test runs once per codec: the framing contract
+/// (round trip, loud corruption, empty blocks) is codec-independent.
+class SegmentCodecTest : public ::testing::TestWithParam<SpillCodecId> {
+ protected:
+  [[nodiscard]] SpillCodecId codec() const { return GetParam(); }
+  [[nodiscard]] std::string Path(const std::string& stem) const {
+    return TempPath(stem + "_" + SpillCodecName(codec()) + ".lmsg");
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Codecs, SegmentCodecTest,
+                         ::testing::Values(SpillCodecId::kLmsg1,
+                                           SpillCodecId::kLmsg2),
+                         [](const auto& info) {
+                           return std::string(SpillCodecName(info.param));
+                         });
+
+TEST_P(SegmentCodecTest, RoundTripPreservesSamplesUsersIterations) {
+  const std::string path =
+      WriteSegment(Path("seg_roundtrip"), {5, 3, 7}, codec());
   auto reader = SegmentReader::Open(path);
   ASSERT_TRUE(reader.ok()) << reader.error();
   EXPECT_EQ(reader.value().machine_count(), 4u);
+  EXPECT_EQ(reader.value().codec(), codec());
 
   std::uint32_t iteration = 0;
   const std::vector<std::size_t> sizes = {5, 3, 7};
@@ -91,6 +110,8 @@ TEST(SegmentTest, RoundTripPreservesSamplesUsersIterations) {
   }
   EXPECT_FALSE(reader.value().failed()) << reader.value().error();
   EXPECT_EQ(iteration, 3u);
+  EXPECT_EQ(reader.value().codec_stats().blocks, 3u);
+  EXPECT_EQ(reader.value().codec_stats().samples, 15u);
 
   reader.value().Reset();
   const TraceBlock* again = reader.value().Next();
@@ -98,9 +119,9 @@ TEST(SegmentTest, RoundTripPreservesSamplesUsersIterations) {
   EXPECT_EQ(again->size(), 5u);
 }
 
-TEST(SegmentTest, ZeroSampleBlockRoundTrips) {
-  const std::string path = TempPath("seg_empty_block.lmsg");
-  auto writer = SegmentWriter::Open(path, 4);
+TEST_P(SegmentCodecTest, ZeroSampleBlockRoundTrips) {
+  const std::string path = Path("seg_empty_block");
+  auto writer = SegmentWriter::Open(path, 4, codec());
   ASSERT_TRUE(writer.ok());
   TraceStore empty(4);
   empty.AppendIteration({0, 900, 960, 4, 0});  // iteration with no responses
@@ -122,16 +143,16 @@ TEST(SegmentTest, ZeroSampleBlockRoundTrips) {
   EXPECT_FALSE(reader.value().failed());
 }
 
-TEST(SegmentTest, HeaderOnlySegmentStreamsNothing) {
-  const std::string path = WriteSegment(TempPath("seg_header_only.lmsg"), {});
+TEST_P(SegmentCodecTest, HeaderOnlySegmentStreamsNothing) {
+  const std::string path = WriteSegment(Path("seg_header_only"), {}, codec());
   auto reader = SegmentReader::Open(path);
   ASSERT_TRUE(reader.ok());
   EXPECT_EQ(reader.value().Next(), nullptr);
   EXPECT_FALSE(reader.value().failed());
 }
 
-TEST(SegmentTest, TruncationInsideBlockFailsLoudly) {
-  const std::string path = WriteSegment(TempPath("seg_trunc.lmsg"), {6, 6});
+TEST_P(SegmentCodecTest, TruncationInsideBlockFailsLoudly) {
+  const std::string path = WriteSegment(Path("seg_trunc"), {6, 6}, codec());
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   const std::streamoff full = in.tellg();
   in.close();
@@ -142,7 +163,7 @@ TEST(SegmentTest, TruncationInsideBlockFailsLoudly) {
   std::string bytes(static_cast<std::size_t>(full), '\0');
   src.read(bytes.data(), full);
   src.close();
-  const std::string cut = TempPath("seg_trunc_cut.lmsg");
+  const std::string cut = Path("seg_trunc_cut");
   std::ofstream out(cut, std::ios::binary | std::ios::trunc);
   out.write(bytes.data(), full - 10);
   out.close();
@@ -157,8 +178,8 @@ TEST(SegmentTest, TruncationInsideBlockFailsLoudly) {
   EXPECT_FALSE(reader.value().error().empty());
 }
 
-TEST(SegmentTest, ChecksumBitFlipIsDetected) {
-  const std::string path = WriteSegment(TempPath("seg_flip.lmsg"), {8});
+TEST_P(SegmentCodecTest, ChecksumBitFlipIsDetected) {
+  const std::string path = WriteSegment(Path("seg_flip"), {8}, codec());
   std::ifstream src(path, std::ios::binary | std::ios::ate);
   const std::streamoff full = src.tellg();
   src.seekg(0);
@@ -169,7 +190,7 @@ TEST(SegmentTest, ChecksumBitFlipIsDetected) {
   // Flip one bit in the middle of the block payload (well past the
   // header), leaving length prefix and checksum untouched.
   bytes[static_cast<std::size_t>(full) / 2] ^= 0x10;
-  const std::string flipped = TempPath("seg_flip_bad.lmsg");
+  const std::string flipped = Path("seg_flip_bad");
   std::ofstream out(flipped, std::ios::binary | std::ios::trunc);
   out.write(bytes.data(), full);
   out.close();
@@ -181,6 +202,22 @@ TEST(SegmentTest, ChecksumBitFlipIsDetected) {
   EXPECT_FALSE(reader.value().error().empty());
 }
 
+TEST_P(SegmentCodecTest, WriterReportsCodecAndCompressionStats) {
+  const std::string path = Path("seg_stats");
+  auto writer = SegmentWriter::Open(path, 4, codec());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value().Append(MakeBlockStore(0, 64)).ok());
+  ASSERT_TRUE(writer.value().Finish().ok());
+  EXPECT_EQ(writer.value().codec(), codec());
+  const SpillCodecStats& stats = writer.value().codec_stats();
+  EXPECT_EQ(stats.blocks, 1u);
+  EXPECT_EQ(stats.samples, 64u);
+  EXPECT_GT(stats.raw_bytes, 0u);
+  EXPECT_GT(stats.payload_bytes, 0u);
+  EXPECT_LE(writer.value().bytes_written(),
+            stats.payload_bytes + 64);  // framing is small
+}
+
 TEST(SegmentTest, BadMagicRejectedAtOpen) {
   const std::string path = TempPath("seg_bad_magic.lmsg");
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -188,6 +225,62 @@ TEST(SegmentTest, BadMagicRejectedAtOpen) {
   out.close();
   auto reader = SegmentReader::Open(path);
   EXPECT_FALSE(reader.ok());
+}
+
+// A spill directory mixing codecs (e.g. a campaign resumed under a
+// different --spill-codec) must stream every segment by its own magic —
+// and still reject unknown magics loudly, never mis-parse.
+TEST(SegmentTest, MixedCodecDirectoryStreamsBothFormats) {
+  const std::string p1 = TempPath("seg_mixed_lab0.lmsg");
+  const std::string p2 = TempPath("seg_mixed_lab1.lmsg");
+  WriteSegment(p1, {4, 4}, SpillCodecId::kLmsg1);
+  WriteSegment(p2, {4, 4}, SpillCodecId::kLmsg2);
+
+  std::size_t total = 0;
+  for (const std::string& path : {p1, p2}) {
+    auto reader = SegmentReader::Open(path);
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    while (const TraceBlock* block = reader.value().Next()) {
+      total += block->size();
+    }
+    EXPECT_FALSE(reader.value().failed()) << reader.value().error();
+  }
+  EXPECT_EQ(total, 16u);
+
+  // The two readers decode identical sample streams.
+  auto r1 = SegmentReader::Open(p1);
+  auto r2 = SegmentReader::Open(p2);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1.value().codec(), SpillCodecId::kLmsg1);
+  EXPECT_EQ(r2.value().codec(), SpillCodecId::kLmsg2);
+  EXPECT_EQ(HashSampleStream(r1.value()), HashSampleStream(r2.value()));
+
+  // An unknown magic in the same directory fails at Open, not silently.
+  const std::string bad = TempPath("seg_mixed_lab2.lmsg");
+  std::ofstream out(bad, std::ios::binary | std::ios::trunc);
+  out << "LMSG9\x01\x04";
+  out.close();
+  EXPECT_FALSE(SegmentReader::Open(bad).ok());
+}
+
+// LMSG2 segments are the compressed format: on a redundant block stream
+// they must be materially smaller than LMSG1 for the same data.
+TEST(SegmentTest, Lmsg2IsSmallerThanLmsg1OnRedundantBlocks) {
+  const std::string p1 = TempPath("seg_size1.lmsg");
+  const std::string p2 = TempPath("seg_size2.lmsg");
+  auto w1 = SegmentWriter::Open(p1, 4, SpillCodecId::kLmsg1);
+  auto w2 = SegmentWriter::Open(p2, 4, SpillCodecId::kLmsg2);
+  ASSERT_TRUE(w1.ok() && w2.ok());
+  for (std::uint32_t it = 0; it < 4; ++it) {
+    const TraceStore block = MakeBlockStore(it, 512);
+    ASSERT_TRUE(w1.value().Append(block).ok());
+    ASSERT_TRUE(w2.value().Append(block).ok());
+  }
+  ASSERT_TRUE(w1.value().Finish().ok());
+  ASSERT_TRUE(w2.value().Finish().ok());
+  EXPECT_LT(w2.value().bytes_written() * 2, w1.value().bytes_written())
+      << "lmsg1=" << w1.value().bytes_written()
+      << " lmsg2=" << w2.value().bytes_written();
 }
 
 }  // namespace

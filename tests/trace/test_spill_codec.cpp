@@ -1,0 +1,301 @@
+// SpillCodec unit + fuzz suite: LMSG2 round-trip fidelity over arbitrary
+// column mixes and block sizes, cross-codec equivalence on probe-like
+// data, and loud failure on every class of payload corruption the segment
+// checksum could in principle miss (the codec must stand alone).
+#include "labmon/trace/spill_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "labmon/trace/block.hpp"
+#include "labmon/util/varint.hpp"
+
+namespace labmon::trace {
+namespace {
+
+constexpr std::size_t kMachines = 16;
+
+const SpillCodec& Lmsg2() { return GetSpillCodec(SpillCodecId::kLmsg2); }
+const SpillCodec& Lmsg1() { return GetSpillCodec(SpillCodecId::kLmsg1); }
+
+/// Builds a block store with every column driven by the RNG across its
+/// full domain. cpu_idle_s stays in the probe's two-decimal domain (the
+/// codec contract is "bit-identical to LMTR1", and LMTR1's centisecond
+/// transform is exact only there); everything else is unconstrained.
+TraceStore RandomBlock(std::mt19937_64& rng, std::size_t samples) {
+  TraceStore store(kMachines);
+  std::uniform_int_distribution<std::uint64_t> u64;
+  std::uniform_int_distribution<std::uint32_t> machine(0, kMachines - 1);
+  std::uniform_int_distribution<int> pct(0, 100);
+  std::uniform_int_distribution<int> user_pick(0, 4);
+  std::uniform_int_distribution<std::int64_t> idle_cs(0, 400'000'000);
+  for (std::size_t i = 0; i < samples; ++i) {
+    SampleRecord r;
+    r.machine = machine(rng);
+    r.iteration = static_cast<std::uint32_t>(u64(rng));
+    r.t = static_cast<std::int64_t>(u64(rng));
+    r.boot_time = static_cast<std::int64_t>(u64(rng));
+    r.uptime_s = static_cast<std::int64_t>(u64(rng));
+    r.cpu_idle_s = static_cast<double>(idle_cs(rng)) / 100.0;
+    r.ram_mb = static_cast<std::uint16_t>(u64(rng));
+    r.mem_load_pct = static_cast<std::uint8_t>(pct(rng));
+    r.swap_load_pct = static_cast<std::uint8_t>(pct(rng));
+    r.disk_total_b = u64(rng);
+    r.disk_free_b = u64(rng);
+    r.smart_power_on_hours = u64(rng);
+    r.smart_power_cycles = u64(rng);
+    r.net_sent_b = u64(rng);
+    r.net_recv_b = u64(rng);
+    const int pick = user_pick(rng);
+    if (pick > 0) {
+      r.has_session = true;
+      r.session_logon = static_cast<std::int64_t>(u64(rng));
+      r.user = "user" + std::to_string(pick);
+    }
+    store.Append(std::move(r));
+  }
+  std::uniform_int_distribution<std::size_t> iters(0, 3);
+  const std::size_t iteration_rows = iters(rng);
+  for (std::size_t i = 0; i < iteration_rows; ++i) {
+    store.AppendIteration({i, static_cast<std::int64_t>(u64(rng)),
+                           static_cast<std::int64_t>(u64(rng)),
+                           static_cast<std::uint32_t>(u64(rng)),
+                           static_cast<std::uint32_t>(u64(rng))});
+  }
+  return store;
+}
+
+void ExpectBlockEqualsStore(const TraceBlock& block, const TraceStore& store) {
+  ASSERT_EQ(block.size(), store.size());
+  const TraceStore::Columns& got = block.cols;
+  const TraceStore::Columns& want = store.columns();
+  TraceStore::ForEachColumn([&](auto member) {
+    const auto& g = got.*member;
+    const auto& w = want.*member;
+    ASSERT_EQ(g.size(), w.size());
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      ASSERT_EQ(g[i], w[i]) << "row " << i;
+    }
+  });
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    ASSERT_EQ(block.UserOf(i), store.UserOf(i)) << "row " << i;
+  }
+  ASSERT_EQ(block.iterations.size(), store.iterations().size());
+  for (std::size_t i = 0; i < block.iterations.size(); ++i) {
+    const IterationInfo& g = block.iterations[i];
+    const IterationInfo& w = store.iterations()[i];
+    EXPECT_EQ(g.start_t, w.start_t);
+    EXPECT_EQ(g.end_t, w.end_t);
+    EXPECT_EQ(g.attempts, w.attempts);
+    EXPECT_EQ(g.successes, w.successes);
+  }
+}
+
+TEST(SpillCodecTest, NamesAndParsingRoundTrip) {
+  EXPECT_STREQ(SpillCodecName(SpillCodecId::kLmsg1), "lmsg1");
+  EXPECT_STREQ(SpillCodecName(SpillCodecId::kLmsg2), "lmsg2");
+  EXPECT_EQ(ParseSpillCodecName("lmsg1"), SpillCodecId::kLmsg1);
+  EXPECT_EQ(ParseSpillCodecName("lmsg2"), SpillCodecId::kLmsg2);
+  EXPECT_EQ(ParseSpillCodecName("zstd"), std::nullopt);
+  EXPECT_EQ(ParseSpillCodecName(""), std::nullopt);
+  EXPECT_EQ(GetSpillCodec(SpillCodecId::kLmsg1).magic(), "LMSG1");
+  EXPECT_EQ(GetSpillCodec(SpillCodecId::kLmsg2).magic(), "LMSG2");
+  EXPECT_EQ(FindSpillCodecByMagic("LMSG2"), &Lmsg2());
+  EXPECT_EQ(FindSpillCodecByMagic("LMSG0"), nullptr);
+}
+
+// The fuzz harness: any column mix, any block size including 1 and 0.
+TEST(SpillCodecTest, RandomBlockRoundTripFuzz) {
+  std::mt19937_64 rng(20050201);
+  const std::size_t sizes[] = {0, 1, 2, 3, 7, 64, 257, 1024};
+  std::string payload;
+  TraceBlock decoded;
+  for (int round = 0; round < 8; ++round) {
+    for (const std::size_t n : sizes) {
+      const TraceStore store = RandomBlock(rng, n);
+      Lmsg2().EncodeBlock(store, payload);
+      auto ok = Lmsg2().DecodeBlock(payload, kMachines, decoded);
+      ASSERT_TRUE(ok.ok()) << ok.error() << " (n=" << n << ")";
+      ExpectBlockEqualsStore(decoded, store);
+    }
+  }
+}
+
+// Cross-codec fidelity: both codecs must decode the exact same sample
+// values (including the centisecond-quantised cpu_idle_s), so the stream
+// hash — which is what the engines pin — is codec-independent.
+TEST(SpillCodecTest, Lmsg1AndLmsg2DecodeIdenticalStreams) {
+  std::mt19937_64 rng(42);
+  std::string p1;
+  std::string p2;
+  TraceBlock b1;
+  TraceBlock b2;
+  for (const std::size_t n : {1u, 33u, 500u}) {
+    const TraceStore store = RandomBlock(rng, n);
+    Lmsg1().EncodeBlock(store, p1);
+    Lmsg2().EncodeBlock(store, p2);
+    ASSERT_TRUE(Lmsg1().DecodeBlock(p1, kMachines, b1).ok());
+    ASSERT_TRUE(Lmsg2().DecodeBlock(p2, kMachines, b2).ok());
+    const std::uint64_t h1 = HashBlockSamples(kSampleStreamHashSeed, b1);
+    const std::uint64_t h2 = HashBlockSamples(kSampleStreamHashSeed, b2);
+    EXPECT_EQ(h1, h2) << "n=" << n;
+  }
+}
+
+TEST(SpillCodecTest, CompressesRedundantFleetLikeBlocks) {
+  // A fleet-like block: per-machine near-constant levels, shared users,
+  // monotone counters — the shape the simulator produces.
+  TraceStore store(kMachines);
+  for (std::uint32_t it = 0; it < 64; ++it) {
+    for (std::uint32_t m = 0; m < kMachines; ++m) {
+      SampleRecord r;
+      r.machine = m;
+      r.iteration = it;
+      r.t = 900 * it + m;
+      r.boot_time = 1000 + m;
+      r.uptime_s = 900 * it;
+      r.cpu_idle_s = static_cast<double>(890 * it) / 100.0;  // n/100 domain
+      r.ram_mb = 512;
+      r.mem_load_pct = 40;
+      r.swap_load_pct = 5;
+      r.disk_total_b = 80'000'000'000ULL;
+      r.disk_free_b = 60'000'000'000ULL - it * 1000;
+      r.smart_power_on_hours = 1000 + it / 4;
+      r.smart_power_cycles = 120;
+      r.net_sent_b = 100'000ULL * it;
+      r.net_recv_b = 300'000ULL * it;
+      if (m % 3 == 0) {
+        r.has_session = true;
+        r.session_logon = 900;
+        r.user = "student" + std::to_string(m % 2);
+      }
+      store.Append(std::move(r));
+    }
+  }
+  std::string p1;
+  std::string p2;
+  Lmsg1().EncodeBlock(store, p1);
+  Lmsg2().EncodeBlock(store, p2);
+  EXPECT_LT(p2.size() * 3, p1.size())
+      << "lmsg1=" << p1.size() << " lmsg2=" << p2.size();
+  TraceBlock decoded;
+  ASSERT_TRUE(Lmsg2().DecodeBlock(p2, kMachines, decoded).ok());
+  ExpectBlockEqualsStore(decoded, store);
+}
+
+TEST(SpillCodecTest, RawColumnBytesCountsColumnsUsersIterations) {
+  std::mt19937_64 rng(7);
+  const TraceStore store = RandomBlock(rng, 10);
+  const std::uint64_t raw = RawColumnBytes(store);
+  EXPECT_GT(raw, 10 * 50u);  // 18 columns, >= ~90 bytes/row
+  TraceBlock block;
+  block.AssignFrom(store);
+  EXPECT_EQ(RawColumnBytes(block), raw);
+}
+
+// --- corruption / decoded-length validation -----------------------------
+
+std::string EncodeOne(const TraceStore& store) {
+  std::string payload;
+  Lmsg2().EncodeBlock(store, payload);
+  return payload;
+}
+
+TEST(SpillCodecTest, TruncatedPayloadFailsAtEveryLength) {
+  std::mt19937_64 rng(3);
+  const TraceStore store = RandomBlock(rng, 40);
+  const std::string payload = EncodeOne(store);
+  TraceBlock decoded;
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    auto result = Lmsg2().DecodeBlock(
+        std::string_view(payload).substr(0, cut), kMachines, decoded);
+    EXPECT_FALSE(result.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(SpillCodecTest, TrailingGarbageIsRejected) {
+  std::mt19937_64 rng(4);
+  const TraceStore store = RandomBlock(rng, 8);
+  std::string payload = EncodeOne(store);
+  payload.push_back('\x7f');
+  TraceBlock decoded;
+  auto result = Lmsg2().DecodeBlock(payload, kMachines, decoded);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("trailing"), std::string::npos)
+      << result.error();
+}
+
+TEST(SpillCodecTest, BitFlipsFailOrPreserveStructure) {
+  // Without the segment checksum a flipped bit may still decode (varint
+  // payloads are dense), but it must never crash, hang, or produce a
+  // structurally broken block (wrong row counts, dangling user ids).
+  std::mt19937_64 rng(5);
+  const TraceStore store = RandomBlock(rng, 30);
+  const std::string payload = EncodeOne(store);
+  TraceBlock decoded;
+  for (std::size_t bit = 0; bit < payload.size() * 8; bit += 7) {
+    std::string mutated = payload;
+    mutated[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    auto result = Lmsg2().DecodeBlock(mutated, kMachines, decoded);
+    if (!result.ok()) continue;
+    TraceStore::ForEachColumn([&](auto member) {
+      EXPECT_EQ((decoded.cols.*member).size(), decoded.size());
+    });
+    for (std::size_t i = 0; i < decoded.size(); ++i) {
+      const std::uint32_t id = decoded.cols.user_id[i];
+      if (id != TraceStore::kNoUser) {
+        EXPECT_LT(id, decoded.users.size());
+      }
+      EXPECT_LT(decoded.cols.machine[i], kMachines);
+    }
+  }
+}
+
+TEST(SpillCodecTest, MachineIdBeyondFleetBoundIsRejected) {
+  TraceStore store(4);
+  SampleRecord r;
+  r.machine = 3;
+  r.t = 100;
+  store.Append(std::move(r));
+  const std::string payload = EncodeOne(store);
+  TraceBlock decoded;
+  EXPECT_TRUE(Lmsg2().DecodeBlock(payload, 4, decoded).ok());
+  auto tight = Lmsg2().DecodeBlock(payload, 3, decoded);
+  ASSERT_FALSE(tight.ok());
+  EXPECT_NE(tight.error().find("machine"), std::string::npos) << tight.error();
+}
+
+TEST(SpillCodecTest, HostileHeaderCountsFailFast) {
+  // Hand-built payloads with implausible counts must fail on the header
+  // check, not attempt a huge reserve.
+  std::string payload;
+  util::PutVarint(payload, std::uint64_t{1} << 40);  // sample_count
+  util::PutVarint(payload, 0);
+  util::PutVarint(payload, 0);
+  TraceBlock decoded;
+  EXPECT_FALSE(Lmsg2().DecodeBlock(payload, kMachines, decoded).ok());
+
+  payload.clear();
+  util::PutVarint(payload, 1);
+  util::PutVarint(payload, 0);
+  util::PutVarint(payload, std::uint64_t{1} << 33);  // user_count
+  EXPECT_FALSE(Lmsg2().DecodeBlock(payload, kMachines, decoded).ok());
+}
+
+TEST(SpillCodecTest, EncodeIsDeterministic) {
+  std::mt19937_64 rng(11);
+  const TraceStore store = RandomBlock(rng, 100);
+  std::string a;
+  std::string b;
+  Lmsg2().EncodeBlock(store, a);
+  Lmsg2().EncodeBlock(store, b);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+}  // namespace
+}  // namespace labmon::trace

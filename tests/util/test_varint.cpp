@@ -88,6 +88,42 @@ TEST(VarintTest, ReadBytes) {
   EXPECT_FALSE(reader.ReadBytes(1).has_value());
 }
 
+TEST(VarintTest, SkipAdvancesWithinBounds) {
+  std::string out = "abcdef";
+  VarintReader reader(out);
+  EXPECT_TRUE(reader.Skip(2));
+  EXPECT_EQ(reader.position(), 2u);
+  EXPECT_EQ(reader.ReadBytes(1).value(), "c");
+  EXPECT_FALSE(reader.Skip(10));     // beyond end: cursor unchanged
+  EXPECT_EQ(reader.position(), 3u);
+  EXPECT_TRUE(reader.Skip(3));
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_TRUE(reader.Skip(0));
+}
+
+TEST(VarintTest, StringViewReaderMatchesStringReader) {
+  std::string out;
+  PutVarint(out, 1234567u);
+  PutSignedVarint(out, -42);
+  VarintReader reader{std::string_view(out)};
+  EXPECT_EQ(reader.Read().value(), 1234567u);
+  EXPECT_EQ(reader.ReadSigned().value(), -42);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(VarintTest, ReserveHintOverloadEncodesIdenticallyAndPreallocates) {
+  std::string plain;
+  std::string hinted;
+  for (std::uint64_t v = 0; v < 4000; v = v * 3 + 1) {
+    PutVarint(plain, v);
+    PutVarint(hinted, v, 4096);
+    PutSignedVarint(plain, -static_cast<std::int64_t>(v));
+    PutSignedVarint(hinted, -static_cast<std::int64_t>(v), 4096);
+  }
+  EXPECT_EQ(plain, hinted);
+  EXPECT_GE(hinted.capacity(), 4096u);  // one up-front growth step
+}
+
 TEST(VarintTest, RandomisedRoundTrip) {
   Rng rng(99);
   std::string out;
